@@ -1,0 +1,109 @@
+// Road-network ablation (the paper's Section II generalization): the same
+// workload matched under the Euclidean range constraint vs the
+// shortest-path ("irregular shapes") constraint over a perturbed grid
+// city. Roads only lengthen distances, so completions shrink; borrowing
+// recovers part of the loss because the lender platform's workers sit on
+// the right side of the road graph.
+
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "core/dem_com.h"
+#include "core/ram_com.h"
+#include "core/tota_greedy.h"
+#include "datagen/synthetic.h"
+#include "roadnet/road_generator.h"
+#include "roadnet/road_metric.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace comx;  // NOLINT — leaf benchmark binary
+
+struct Outcome {
+  double revenue = 0.0;
+  int64_t completed = 0;
+};
+
+template <typename Matcher>
+Outcome Run(const Instance& instance, const DistanceMetric* metric,
+            int seeds) {
+  SimConfig sim;
+  sim.workers_recycle = true;
+  sim.measure_response_time = false;
+  sim.metric = metric;
+  Outcome out;
+  for (int s = 1; s <= seeds; ++s) {
+    Matcher m0, m1;
+    auto r = RunSimulation(instance, {&m0, &m1}, sim,
+                           static_cast<uint64_t>(s));
+    if (!r.ok()) {
+      std::fprintf(stderr, "sim: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.revenue += r->metrics.TotalRevenue();
+    out.completed += r->metrics.Aggregate().completed;
+  }
+  out.revenue /= seeds;
+  out.completed /= seeds;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seeds = static_cast<int>(bench::ArgInt(argc, argv, "--seeds", 4));
+
+  RoadGridConfig road;
+  road.rows = 25;
+  road.cols = 25;
+  road.spacing_km = 1.25;
+  road.closure_fraction = 0.15;
+  road.seed = 31;
+  auto city = GenerateGridCity(road);
+  if (!city.ok()) {
+    std::fprintf(stderr, "road gen: %s\n", city.status().ToString().c_str());
+    return 1;
+  }
+  const RoadNetworkMetric road_metric(&*city);
+  std::printf("road-network ablation on %s, %d seeds\n\n",
+              city->Summary().c_str(), seeds);
+
+  std::printf("%-8s %8s | %12s %9s | %12s %9s | %9s\n", "algo", "rad",
+              "rev(euclid)", "served", "rev(road)", "served", "rev ratio");
+  for (double rad : {1.0, 1.5, 2.0}) {
+    SyntheticConfig config;
+    config.requests_per_platform = {1250};
+    config.workers_per_platform = {250};
+    config.radius_km = rad;
+    config.seed = 2020;
+    auto instance = GenerateSynthetic(config);
+    if (!instance.ok()) return 1;
+
+    const struct {
+      const char* name;
+      Outcome euclid;
+      Outcome roadnet;
+    } rows[] = {
+        {"TOTA", Run<TotaGreedy>(*instance, nullptr, seeds),
+         Run<TotaGreedy>(*instance, &road_metric, seeds)},
+        {"DemCOM", Run<DemCom>(*instance, nullptr, seeds),
+         Run<DemCom>(*instance, &road_metric, seeds)},
+        {"RamCOM", Run<RamCom>(*instance, nullptr, seeds),
+         Run<RamCom>(*instance, &road_metric, seeds)},
+    };
+    for (const auto& row : rows) {
+      std::printf("%-8s %8.1f | %12.1f %9lld | %12.1f %9lld | %9.3f\n",
+                  row.name, rad, row.euclid.revenue,
+                  static_cast<long long>(row.euclid.completed),
+                  row.roadnet.revenue,
+                  static_cast<long long>(row.roadnet.completed),
+                  row.roadnet.revenue / row.euclid.revenue);
+    }
+  }
+  std::printf("\nexpected shape: road distances shrink every algorithm's "
+              "feasible sets (ratios < 1), least at large rad; the COM "
+              "algorithms keep their edge over TOTA under both metrics.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Batched vs online dispatch: sweep the batch window length and compare
+// revenue / completions / user-visible waiting against the per-request
+// online algorithms on the identical workload. Quantifies the classic
+// latency-for-quality trade the spatial-crowdsourcing literature discusses
+// — and shows the cross-platform borrowing edge persists in both regimes.
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/dem_com.h"
+#include "core/ram_com.h"
+#include "core/tota_greedy.h"
+#include "datagen/synthetic.h"
+#include "sim/batch_simulator.h"
+
+namespace {
+
+using namespace comx;  // NOLINT — leaf benchmark binary
+
+template <typename Matcher>
+void OnlineRow(const char* name, const Instance& instance, int seeds) {
+  SimConfig sim;
+  sim.workers_recycle = true;
+  sim.measure_response_time = false;
+  double revenue = 0.0;
+  int64_t completed = 0, coop = 0;
+  for (int s = 1; s <= seeds; ++s) {
+    Matcher m0, m1;
+    auto r = RunSimulation(instance, {&m0, &m1}, sim,
+                           static_cast<uint64_t>(s));
+    if (!r.ok()) std::exit(1);
+    revenue += r->metrics.TotalRevenue();
+    completed += r->metrics.Aggregate().completed;
+    coop += r->metrics.Aggregate().completed_outer;
+  }
+  std::printf("%-16s %12.1f %9lld %7lld %13s\n", name, revenue / seeds,
+              static_cast<long long>(completed / seeds),
+              static_cast<long long>(coop / seeds), "instant");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seeds = static_cast<int>(bench::ArgInt(argc, argv, "--seeds", 4));
+  SyntheticConfig config;
+  config.requests_per_platform = {1250};
+  config.workers_per_platform = {250};
+  config.seed = 2020;
+  auto instance = GenerateSynthetic(config);
+  if (!instance.ok()) return 1;
+  std::printf("batched vs online dispatch on %s, %d seeds\n\n",
+              instance->Summary().c_str(), seeds);
+  std::printf("%-16s %12s %9s %7s %13s\n", "dispatch", "revenue", "served",
+              "coop", "mean wait");
+  OnlineRow<TotaGreedy>("online TOTA", *instance, seeds);
+  OnlineRow<DemCom>("online DemCOM", *instance, seeds);
+  OnlineRow<RamCom>("online RamCOM", *instance, seeds);
+
+  for (double window : {15.0, 60.0, 300.0, 900.0}) {
+    BatchConfig batch;
+    batch.window_seconds = window;
+    batch.sim.workers_recycle = true;
+    double revenue = 0.0, wait = 0.0;
+    int64_t completed = 0, coop = 0;
+    for (int s = 1; s <= seeds; ++s) {
+      auto r = RunBatchSimulation(*instance, batch,
+                                  static_cast<uint64_t>(s));
+      if (!r.ok()) {
+        std::fprintf(stderr, "batch: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      const auto agg = r->metrics.Aggregate();
+      revenue += agg.revenue;
+      completed += agg.completed;
+      coop += agg.completed_outer;
+      wait += agg.response_time_us.mean() / 1e6;  // simulated seconds
+    }
+    std::printf("%-16s %12.1f %9lld %7lld %12.1fs\n",
+                ("batch " + std::to_string(static_cast<int>(window)) + "s")
+                    .c_str(),
+                revenue / seeds, static_cast<long long>(completed / seeds),
+                static_cast<long long>(coop / seeds), wait / seeds);
+  }
+  std::printf("\nexpected shape: longer windows buy revenue/completions "
+              "(better per-window matchings, retry on freed supply) at the "
+              "cost of user waiting that grows with the window; online COM "
+              "stays competitive at zero wait.\n");
+  return 0;
+}

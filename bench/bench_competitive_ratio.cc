@@ -1,0 +1,113 @@
+// Empirical competitive-ratio study (Theorems 1-2): estimates CR_A
+// (min over sampled arrival orders) and CR_RO (mean) for TOTA, DemCOM and
+// RamCOM on small random instances, against the exact offline optimum.
+//
+// Paper claims reproduced in shape:
+//   * DemCOM's adversarial CR is unbounded (its empirical min ratio can be
+//     driven towards 0 by bad orders) and its random-order CR matches the
+//     plain greedy's;
+//   * RamCOM's random-order CR stays above the 1/(8e) ~ 0.046 floor.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "core/dem_com.h"
+#include "core/ram_com.h"
+#include "core/tota_greedy.h"
+#include "datagen/synthetic.h"
+#include "sim/competitive_ratio.h"
+
+namespace {
+
+using comx::CrConfig;
+using comx::EstimateCompetitiveRatio;
+using comx::MatcherFactoryFn;
+
+void Report(const char* name, const comx::Instance& instance,
+            const MatcherFactoryFn& factory, int permutations) {
+  CrConfig config;
+  config.permutations = permutations;
+  auto estimate = EstimateCompetitiveRatio(instance, factory, config);
+  if (!estimate.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name,
+                 estimate.status().ToString().c_str());
+    return;
+  }
+  std::printf("  %-8s CR_A(min) %.4f   CR_RO(mean) %.4f   sd %.4f   "
+              "orders %lld\n",
+              name, estimate->min_ratio, estimate->mean_ratio,
+              estimate->ratios.stddev(),
+              static_cast<long long>(estimate->ratios.count()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int permutations =
+      static_cast<int>(comx::bench::ArgInt(argc, argv, "--perms", 120));
+  std::printf("Competitive ratios over %d sampled arrival orders "
+              "(1/(8e) = %.4f)\n",
+              permutations, 1.0 / (8.0 * std::exp(1.0)));
+
+  for (int64_t size : {10, 20, 40}) {
+    comx::SyntheticConfig config;
+    config.requests_per_platform = {size};
+    config.workers_per_platform = {size / 2};
+    config.seed = 7u * static_cast<uint64_t>(size);
+    auto instance = comx::GenerateSynthetic(config);
+    if (!instance.ok()) return 1;
+    std::printf("\ninstance: %s\n", instance->Summary().c_str());
+    Report("TOTA", *instance,
+           [] { return std::unique_ptr<comx::OnlineMatcher>(
+                    new comx::TotaGreedy()); },
+           permutations);
+    Report("DemCOM", *instance,
+           [] { return std::unique_ptr<comx::OnlineMatcher>(
+                    new comx::DemCom()); },
+           permutations);
+    Report("RamCOM", *instance,
+           [] { return std::unique_ptr<comx::OnlineMatcher>(
+                    new comx::RamCom()); },
+           permutations);
+  }
+  // Theta sweep: RamCOM's threshold count theta = ceil(ln(max v + 1))
+  // grows with the value scale; more arms dilute each one's probability,
+  // which is where the 1/ln(Umax) factor of the Greedy-RT-style analysis
+  // bites. Scale the value distribution and watch the mean ratio.
+  std::printf("\nRamCOM CR_RO vs value scale (theta sweep):\n");
+  for (double max_value : {7.0, 20.0, 50.0, 120.0}) {
+    comx::SyntheticConfig config;
+    config.requests_per_platform = {25};
+    config.workers_per_platform = {12};
+    config.value.max_value = max_value;
+    config.value.log_mu = std::log(max_value / 3.0);
+    config.seed = 99;
+    auto instance = comx::GenerateSynthetic(config);
+    if (!instance.ok()) return 1;
+    const int theta = static_cast<int>(
+        std::ceil(std::log(instance->MaxRequestValue() + 1.0)));
+    CrConfig cr;
+    cr.permutations = permutations;
+    auto est = EstimateCompetitiveRatio(
+        *instance,
+        [] { return std::unique_ptr<comx::OnlineMatcher>(
+                 new comx::RamCom()); },
+        cr);
+    if (!est.ok()) {
+      std::fprintf(stderr, "theta sweep: %s\n",
+                   est.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  max v %6.0f  theta %d  CR_RO %.4f  min %.4f\n",
+                max_value, theta, est->mean_ratio, est->min_ratio);
+  }
+
+  std::printf("\nexpected shape: every mean ratio well above 1/(8e); "
+              "min ratios noticeably below means (adversarial orders "
+              "hurt); RamCOM's min above the floor; the theta sweep's "
+              "mean ratio degrades gently as the value range (and with "
+              "it theta) grows.\n");
+  return 0;
+}

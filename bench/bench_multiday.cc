@@ -1,0 +1,69 @@
+// Incentive-feedback trajectory (extension; see sim/multi_day.h): the same
+// worker population matched day after day, with every completed payment
+// appended to the serving worker's history. Shows where each algorithm's
+// pricing drives the market: DemCOM's minimum payments depress the price
+// level workers appear to accept; RamCOM's MER payments hold it near the
+// revenue-optimal point; TOTA (full-value services only) inflates it.
+
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "core/dem_com.h"
+#include "core/ram_com.h"
+#include "core/tota_greedy.h"
+#include "sim/multi_day.h"
+
+namespace {
+
+using namespace comx;  // NOLINT — leaf benchmark binary
+
+void Trajectory(const char* name, const DayMatcherFactory& factory,
+                int days) {
+  MultiDayConfig config;
+  config.days = days;
+  config.day_template.requests_per_platform = {1250};
+  config.day_template.workers_per_platform = {250};
+  config.sim.measure_response_time = false;
+  auto result = RunMultiDay(config, factory, 2020);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("%s\n", name);
+  std::printf("  day  revenue   served  coop  acpRt  payRate  "
+              "meanHistory\n");
+  for (size_t d = 0; d < result->days.size(); ++d) {
+    const DayOutcome& day = result->days[d];
+    std::printf("  %3zu %9.1f %7lld %5lld  %5.2f  %6.2f  %10.2f\n", d,
+                day.revenue, static_cast<long long>(day.completed),
+                static_cast<long long>(day.cooperative), day.acceptance,
+                day.payment_rate, day.mean_history_value);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int days = static_cast<int>(bench::ArgInt(argc, argv, "--days", 8));
+  std::printf("incentive-feedback trajectories (%d days, fixed worker "
+              "population, fresh requests daily)\n\n",
+              days);
+  Trajectory("TOTA (no borrowing; services append full values)",
+             [] { return std::unique_ptr<OnlineMatcher>(new TotaGreedy()); },
+             days);
+  Trajectory("DemCOM (minimum payments)",
+             [] { return std::unique_ptr<OnlineMatcher>(new DemCom()); },
+             days);
+  Trajectory("RamCOM (MER payments)",
+             [] { return std::unique_ptr<OnlineMatcher>(new RamCom()); },
+             days);
+  std::printf("expected shape: TOTA's mean history climbs towards the value "
+              "scale; DemCOM's climbs more slowly (cheap cooperative "
+              "payments dilute it) and its acceptance ratio drifts upward "
+              "as workers look cheaper; RamCOM holds payment rates steady "
+              "while sustaining the highest cooperative volume.\n");
+  return 0;
+}

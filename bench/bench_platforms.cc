@@ -1,0 +1,79 @@
+// Extension sweep: how does cooperation scale with the NUMBER of
+// cooperating platforms? The paper evaluates two platforms (DiDi +
+// Yueche); its model allows any number ("the outer crowd workers may
+// belong to several cooperative platforms"). The total market is held
+// fixed (requests and workers split evenly), so the sweep isolates the
+// value of fragmentation + cooperation.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common.h"
+#include "core/dem_com.h"
+#include "core/ram_com.h"
+#include "core/tota_greedy.h"
+#include "datagen/synthetic.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace comx;  // NOLINT — leaf benchmark binary
+
+template <typename Matcher>
+double MeanRevenue(const Instance& instance, int seeds) {
+  SimConfig sim;
+  sim.workers_recycle = true;
+  sim.measure_response_time = false;
+  double total = 0.0;
+  for (int s = 1; s <= seeds; ++s) {
+    std::vector<std::unique_ptr<OnlineMatcher>> owned;
+    std::vector<OnlineMatcher*> matchers;
+    for (PlatformId p = 0; p < instance.PlatformCount(); ++p) {
+      owned.push_back(std::make_unique<Matcher>());
+      matchers.push_back(owned.back().get());
+    }
+    auto r = RunSimulation(instance, matchers, sim,
+                           static_cast<uint64_t>(s));
+    if (!r.ok()) {
+      std::fprintf(stderr, "sim: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+    total += r->metrics.TotalRevenue();
+  }
+  return total / seeds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seeds = static_cast<int>(bench::ArgInt(argc, argv, "--seeds", 5));
+  const int64_t total_requests = 3000;
+  const int64_t total_workers = 600;
+  std::printf("platform-count sweep: market fixed at |R|=%lld, |W|=%lld, "
+              "split evenly over K platforms (%d seeds)\n\n",
+              static_cast<long long>(total_requests),
+              static_cast<long long>(total_workers), seeds);
+  std::printf("%-4s %12s %12s %12s %14s\n", "K", "TOTA", "DemCOM", "RamCOM",
+              "coop gain(Dem)");
+  for (int32_t platforms : {1, 2, 3, 4, 6}) {
+    SyntheticConfig config;
+    config.platforms = platforms;
+    config.requests_per_platform = {total_requests / platforms};
+    config.workers_per_platform = {total_workers / platforms};
+    config.seed = 2020;
+    auto instance = GenerateSynthetic(config);
+    if (!instance.ok()) return 1;
+    const double tota = MeanRevenue<TotaGreedy>(*instance, seeds);
+    const double dem = MeanRevenue<DemCom>(*instance, seeds);
+    const double ram = MeanRevenue<RamCom>(*instance, seeds);
+    std::printf("%-4d %12.1f %12.1f %12.1f %13.1f%%\n", platforms, tota, dem,
+                ram, 100.0 * (dem - tota) / tota);
+  }
+  std::printf("\nexpected shape: at K=1 there is nothing to borrow (all "
+              "equal); as K grows, each platform's own fleet shrinks and "
+              "TOTA degrades, while cooperation recovers most of the "
+              "fragmentation loss — the win-win the paper's introduction "
+              "argues for.\n");
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces Table V: effectiveness/efficiency on the RDC10 + RYC10 clone
+// (Chengdu, Oct 2016).
+
+#include "table_main.h"
+
+int main(int argc, char** argv) {
+  return comx::bench::TableMain(
+      argc, argv, comx::Rdc10Ryc10(), "Table V (RDC10 + RYC10)",
+      "  OFF    Rev 1.752M/1.743M  resp 0.34ms  CpR 91,321/90,589\n"
+      "  TOTA   Rev 1.343M/1.348M  resp 0.43ms  CpR 68,689/68,453\n"
+      "  DemCOM Rev 1.369M/1.372M  resp 0.43ms  CpR 71,931/71,721  "
+      "CoR 7,077   AcpRt 0.16  v'/v 0.72\n"
+      "  RamCOM Rev 1.436M/1.437M  resp 0.56ms  CpR 69,186/68,560  "
+      "CoR 72,417  AcpRt 0.66  v'/v 0.81");
+}

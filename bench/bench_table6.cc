@@ -1,0 +1,15 @@
+// Reproduces Table VI: effectiveness/efficiency on the RDC11 + RYC11 clone
+// (Chengdu, Nov 2016).
+
+#include "table_main.h"
+
+int main(int argc, char** argv) {
+  return comx::bench::TableMain(
+      argc, argv, comx::Rdc11Ryc11(), "Table VI (RDC11 + RYC11)",
+      "  OFF    Rev 1.914M/1.924M  resp 0.32ms  CpR 100,973/100,448\n"
+      "  TOTA   Rev 1.612M/1.594M  resp 0.52ms  CpR 81,912/81,706\n"
+      "  DemCOM Rev 1.621M/1.614M  resp 0.52ms  CpR 85,737/85,460  "
+      "CoR 6,220   AcpRt 0.17  v'/v 0.70\n"
+      "  RamCOM Rev 1.645M/1.646M  resp 0.75ms  CpR 82,385/82,760  "
+      "CoR 91,699  AcpRt 0.75  v'/v 0.82");
+}

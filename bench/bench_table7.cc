@@ -1,0 +1,15 @@
+// Reproduces Table VII: effectiveness/efficiency on the RDX11 + RYX11 clone
+// (Xi'an, Nov 2016 — the supply-starved 25:1 city).
+
+#include "table_main.h"
+
+int main(int argc, char** argv) {
+  return comx::bench::TableMain(
+      argc, argv, comx::Rdx11Ryx11(), "Table VII (RDX11 + RYX11)",
+      "  OFF    Rev 1.103M/1.102M  resp 0.52ms  CpR 57,611/57,638\n"
+      "  TOTA   Rev 0.512M/0.509M  resp 0.50ms  CpR 24,695/24,907\n"
+      "  DemCOM Rev 0.525M/0.523M  resp 0.53ms  CpR 26,818/26,736  "
+      "CoR 6,531   AcpRt 0.09  v'/v 0.77\n"
+      "  RamCOM Rev 0.555M/0.549M  resp 0.55ms  CpR 26,730/26,666  "
+      "CoR 16,487  AcpRt 0.25  v'/v 0.82");
+}

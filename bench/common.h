@@ -1,0 +1,75 @@
+// Shared harness for the table/figure benchmark binaries: runs each
+// algorithm over an instance for several matcher seeds, averages the
+// paper's metrics, and renders aligned tables / CSV series.
+
+#ifndef COMX_BENCH_COMMON_H_
+#define COMX_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/offline_opt.h"
+#include "model/instance.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+
+namespace comx {
+namespace bench {
+
+/// Which algorithm a row reports.
+enum class Algo { kOff, kTota, kGreedyRt, kDemCom, kRamCom };
+
+/// Display name ("OFF", "TOTA", ...).
+const char* AlgoName(Algo algo);
+
+/// One averaged result row (the columns of Tables V-VII).
+struct Row {
+  Algo algo = Algo::kTota;
+  /// Per-platform revenue (index = platform id).
+  std::vector<double> revenue;
+  /// Per-platform completed requests.
+  std::vector<int64_t> completed;
+  double response_ms = 0.0;
+  double memory_mb = 0.0;
+  int64_t cooperative = 0;   // |CoR| summed over platforms
+  double acceptance = 0.0;   // |AcpRt|
+  double payment_rate = 0.0; // mean v'_r / v_r
+};
+
+/// Run configuration for one table.
+struct TableRunConfig {
+  SimConfig sim;
+  /// Matcher seeds averaged per algorithm.
+  int seeds = 3;
+  /// OFF worker capacity (recycled service slots per worker).
+  int32_t off_capacity = 64;
+  /// Which algorithms to run, in display order.
+  std::vector<Algo> algos = {Algo::kOff, Algo::kTota, Algo::kDemCom,
+                             Algo::kRamCom};
+};
+
+/// Runs every configured algorithm over `instance`; returns one row each.
+/// Dies (exit 1) on internal errors — bench binaries are leaf programs.
+std::vector<Row> RunTable(const Instance& instance,
+                          const TableRunConfig& config);
+
+/// Prints rows in the Tables V-VII layout.
+void PrintTable(const std::string& title, const std::vector<Row>& rows,
+                int32_t platform_count);
+
+/// Appends rows to a CSV file (creating it with a header when absent).
+/// `tag` labels the sweep point (e.g. "R=2500").
+void AppendCsv(const std::string& path, const std::string& tag,
+               const std::vector<Row>& rows);
+
+/// Parses "--flag value"-style argv pairs; returns the value of `flag` or
+/// `fallback`.
+double ArgDouble(int argc, char** argv, const std::string& flag,
+                 double fallback);
+int64_t ArgInt(int argc, char** argv, const std::string& flag,
+               int64_t fallback);
+
+}  // namespace bench
+}  // namespace comx
+
+#endif  // COMX_BENCH_COMMON_H_

@@ -1,0 +1,76 @@
+// Shared sweep driver for the Fig. 5 panels: each binary sweeps one factor
+// of Table IV (|R|, |W|, or rad) and prints the four panel series (total
+// revenue, average response time, memory, acceptance ratio) for TOTA,
+// DemCOM and RamCOM.
+
+#ifndef COMX_BENCH_FIG5_COMMON_H_
+#define COMX_BENCH_FIG5_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "datagen/synthetic.h"
+
+namespace comx {
+namespace bench {
+
+/// One sweep point: totals across both platforms, as in Table IV.
+struct SweepPoint {
+  std::string label;
+  int64_t total_requests = 2500;
+  int64_t total_workers = 500;
+  double radius_km = 1.0;
+};
+
+inline void RunSweep(const char* figure, const char* factor,
+                     const std::vector<SweepPoint>& points, int seeds,
+                     const std::string& csv_path) {
+  std::printf("%s — sweep over %s (Table IV defaults elsewhere: |R|=2500, "
+              "|W|=500, rad=1, 2 platforms)\n",
+              figure, factor);
+  std::printf("%-10s %-9s | %12s %12s %12s | %9s %9s %9s | %8s %8s %8s | "
+              "%7s %7s\n",
+              factor, "", "rev(TOTA)", "rev(Dem)", "rev(Ram)", "ms(TOTA)",
+              "ms(Dem)", "ms(Ram)", "MB(TOTA)", "MB(Dem)", "MB(Ram)",
+              "acp(Dem)", "acp(Ram)");
+  for (const SweepPoint& point : points) {
+    SyntheticConfig config;
+    config.requests_per_platform = {point.total_requests / 2};
+    config.workers_per_platform = {point.total_workers / 2};
+    config.radius_km = point.radius_km;
+    config.seed = 2020;
+    auto instance = GenerateSynthetic(config);
+    if (!instance.ok()) {
+      std::fprintf(stderr, "generate: %s\n",
+                   instance.status().ToString().c_str());
+      std::exit(1);
+    }
+    TableRunConfig run;
+    run.seeds = seeds;
+    run.sim.workers_recycle = true;
+    run.algos = {Algo::kTota, Algo::kDemCom, Algo::kRamCom};
+    const std::vector<Row> rows = RunTable(*instance, run);
+    const Row& tota = rows[0];
+    const Row& dem = rows[1];
+    const Row& ram = rows[2];
+    auto total = [](const Row& r) {
+      double sum = 0.0;
+      for (double x : r.revenue) sum += x;
+      return sum;
+    };
+    std::printf("%-10s %-9s | %12.1f %12.1f %12.1f | %9.4f %9.4f %9.4f | "
+                "%8.2f %8.2f %8.2f | %7.3f %7.3f\n",
+                point.label.c_str(), "", total(tota), total(dem), total(ram),
+                tota.response_ms, dem.response_ms, ram.response_ms,
+                tota.memory_mb, dem.memory_mb, ram.memory_mb, dem.acceptance,
+                ram.acceptance);
+    AppendCsv(csv_path, point.label, rows);
+  }
+}
+
+}  // namespace bench
+}  // namespace comx
+
+#endif  // COMX_BENCH_FIG5_COMMON_H_

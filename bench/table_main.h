@@ -1,0 +1,57 @@
+// Shared main() body for the three Table V/VI/VII binaries: each reproduces
+// one row-pair of Table III as a synthetic clone and prints the paper's
+// effectiveness/efficiency columns, with the paper's own numbers echoed for
+// comparison.
+
+#ifndef COMX_BENCH_TABLE_MAIN_H_
+#define COMX_BENCH_TABLE_MAIN_H_
+
+#include <cstdio>
+
+#include "common.h"
+#include "datagen/real_like.h"
+
+namespace comx {
+namespace bench {
+
+/// Paper-reported reference values for one table (target platform order:
+/// platform 0 = DiDi-like, platform 1 = Yueche-like).
+struct PaperReference {
+  const char* rows;
+};
+
+inline int TableMain(int argc, char** argv, const RealDatasetSpec& spec,
+                     const char* table_name, const char* paper_rows) {
+  // Defaults keep the default `for b in build/bench/*` sweep fast; pass
+  // --scale 1.0 for the full Table III sizes.
+  const double scale = ArgDouble(argc, argv, "--scale", 0.05);
+  const int seeds = static_cast<int>(ArgInt(argc, argv, "--seeds", 5));
+
+  auto instance = GenerateRealLike(spec, scale, /*seed=*/2016);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 instance.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s — synthetic clone of %s at scale %.3g\n", table_name,
+              spec.name.c_str(), scale);
+  std::printf("workload: %s\n", instance->Summary().c_str());
+
+  TableRunConfig config;
+  config.seeds = seeds;
+  config.sim.workers_recycle = true;
+  const std::vector<Row> rows = RunTable(*instance, config);
+  PrintTable(table_name, rows, instance->PlatformCount());
+
+  std::printf("\npaper reference (full scale, real data):\n%s\n", paper_rows);
+  std::printf("expected shape: OFF > RamCOM > DemCOM > TOTA in revenue; "
+              "RamCOM CoR/AcpRt far above DemCOM; payment rates ~0.6-0.8.\n");
+
+  AppendCsv("bench_tables.csv", spec.name, rows);
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace comx
+
+#endif  // COMX_BENCH_TABLE_MAIN_H_

@@ -1,0 +1,129 @@
+// Cross-platform cooperation study: when does borrowing actually pay?
+// Sweeps the spatial imbalance between platforms (0 = both platforms'
+// supply and demand share the same hotspots, 1 = fully anti-aligned as in
+// the paper's Fig. 2) and reports the cooperation gain of DemCOM/RamCOM
+// over TOTA, plus an empirical competitive-ratio readout on a small
+// instance. Writes the sweep to cross_platform_study.csv.
+//
+//   ./build/examples/cross_platform_study [seeds]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+
+#include "core/dem_com.h"
+#include "core/ram_com.h"
+#include "core/tota_greedy.h"
+#include "datagen/density.h"
+#include "datagen/synthetic.h"
+#include "sim/competitive_ratio.h"
+#include "sim/simulator.h"
+
+namespace {
+
+template <typename Matcher>
+double MeanRevenue(const comx::Instance& instance, int seeds) {
+  comx::SimConfig sim;
+  sim.workers_recycle = true;
+  sim.measure_response_time = false;
+  double total = 0.0;
+  for (int s = 1; s <= seeds; ++s) {
+    Matcher m0, m1;
+    auto r = comx::RunSimulation(instance, {&m0, &m1}, sim,
+                                 static_cast<uint64_t>(s));
+    if (!r.ok()) {
+      std::fprintf(stderr, "sim: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+    total += r->metrics.TotalRevenue();
+  }
+  return total / seeds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 5;
+
+  // Visualize the Fig. 2 situation first: at full imbalance, platform 0's
+  // idle workers sit in different hotspots than its own requests.
+  {
+    comx::SyntheticConfig config;
+    config.requests_per_platform = {3000};
+    config.workers_per_platform = {3000};
+    config.imbalance = 1.0;
+    config.seed = 2020;
+    auto instance = comx::GenerateSynthetic(config);
+    if (!instance.ok()) return 1;
+    const comx::CityModel city(config.city);
+    const comx::DensityGrid grid(*instance, city.Bounds(), 36, 14);
+    std::printf("platform 0 WORKERS (imbalance 1.0):\n%s\n",
+                grid.AsciiHeatmap(0, true).c_str());
+    std::printf("platform 0 REQUESTS (same city):\n%s\n",
+                grid.AsciiHeatmap(0, false).c_str());
+    std::printf("spatial imbalance score (total variation): %.2f\n\n",
+                grid.ImbalanceScore());
+  }
+
+  std::printf("cooperation gain vs cross-platform imbalance "
+              "(|R|=2500, |W|=500, %d seeds)\n\n",
+              seeds);
+  std::printf("imbalance   TOTA        DemCOM      RamCOM      "
+              "gain(Dem)  gain(Ram)\n");
+  std::ofstream csv("cross_platform_study.csv");
+  csv << "imbalance,tota,demcom,ramcom\n";
+  for (double imbalance : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    comx::SyntheticConfig config;
+    config.requests_per_platform = {1250};
+    config.workers_per_platform = {250};
+    config.imbalance = imbalance;
+    config.seed = 2020;
+    auto instance = comx::GenerateSynthetic(config);
+    if (!instance.ok()) return 1;
+    const double tota = MeanRevenue<comx::TotaGreedy>(*instance, seeds);
+    const double dem = MeanRevenue<comx::DemCom>(*instance, seeds);
+    const double ram = MeanRevenue<comx::RamCom>(*instance, seeds);
+    std::printf("%9.1f   %-11.1f %-11.1f %-11.1f %8.1f%%  %8.1f%%\n",
+                imbalance, tota, dem, ram, 100.0 * (dem - tota) / tota,
+                100.0 * (ram - tota) / tota);
+    csv << imbalance << ',' << tota << ',' << dem << ',' << ram << '\n';
+  }
+
+  // Competitive-ratio readout (Definitions 2.7-2.8) on a small instance.
+  std::printf("\nempirical competitive ratios (small instance, 80 sampled "
+              "orders, reservation ground truth):\n");
+  comx::SyntheticConfig small;
+  small.requests_per_platform = {30};
+  small.workers_per_platform = {15};
+  small.seed = 3;
+  auto instance = comx::GenerateSynthetic(small);
+  if (!instance.ok()) return 1;
+  comx::CrConfig cr;
+  cr.permutations = 80;
+  const struct {
+    const char* name;
+    comx::MatcherFactoryFn factory;
+  } algos[] = {
+      {"TOTA", [] { return std::unique_ptr<comx::OnlineMatcher>(
+                        new comx::TotaGreedy()); }},
+      {"DemCOM", [] { return std::unique_ptr<comx::OnlineMatcher>(
+                          new comx::DemCom()); }},
+      {"RamCOM", [] { return std::unique_ptr<comx::OnlineMatcher>(
+                          new comx::RamCom()); }},
+  };
+  for (const auto& algo : algos) {
+    auto est = comx::EstimateCompetitiveRatio(*instance, algo.factory, cr);
+    if (!est.ok()) {
+      std::fprintf(stderr, "%s: %s\n", algo.name,
+                   est.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %-8s min %.3f   mean %.3f\n", algo.name, est->min_ratio,
+                est->mean_ratio);
+  }
+  std::printf("\ntakeaway: cooperation gains grow with imbalance — at 0 "
+              "the platforms have nothing to trade; near 1 each platform's "
+              "idle workers sit exactly where the other's requests are.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Food-delivery lunch surge across THREE platforms (the Meituan / Ele.me /
+// Baidu situation from the paper's introduction): demand spikes hard at
+// lunch, each platform's couriers cluster in different districts, and
+// cross-platform borrowing smooths the surge. Compares TOTA, DemCOM and
+// RamCOM and prints who borrowed from whom.
+//
+//   ./build/examples/food_delivery_surge [requests_per_platform]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/dem_com.h"
+#include "core/ram_com.h"
+#include "core/tota_greedy.h"
+#include "datagen/synthetic.h"
+#include "sim/simulator.h"
+
+namespace {
+
+comx::SyntheticConfig SurgeConfig(int64_t requests) {
+  comx::SyntheticConfig config;
+  config.platforms = 3;
+  config.requests_per_platform = {requests};
+  config.workers_per_platform = {requests / 6};
+  config.radius_km = 1.5;  // couriers ride farther than taxis pick up
+  // One dominating lunch peak instead of the commute double-peak.
+  config.city = comx::CityModel::ChengduLike();
+  config.city.morning_peak = 12.0 * 3600.0;
+  config.city.evening_peak = 12.5 * 3600.0;
+  config.city.peak_sigma = 0.75 * 3600.0;
+  config.city.peak_weight = 0.85;
+  // Meals are cheap and uniform compared to taxi fares.
+  config.value.log_mu = 2.0;   // median ~7.4
+  config.value.log_sigma = 0.35;
+  config.value.max_value = 25.0;
+  config.imbalance = 0.8;
+  config.seed = 77;
+  return config;
+}
+
+template <typename Matcher>
+void RunAndReport(const char* name, const comx::Instance& instance) {
+  comx::SimConfig sim;
+  sim.workers_recycle = true;
+  // Deliveries are quick: short fixed prep + distance-dominated ride.
+  sim.base_service_seconds = 240.0;
+  sim.service_seconds_per_value = 45.0;
+  std::vector<std::unique_ptr<comx::OnlineMatcher>> owned;
+  std::vector<comx::OnlineMatcher*> matchers;
+  for (int p = 0; p < 3; ++p) {
+    owned.push_back(std::make_unique<Matcher>());
+    matchers.push_back(owned.back().get());
+  }
+  auto result = comx::RunSimulation(instance, matchers, sim, 5);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  const auto agg = result->metrics.Aggregate();
+  std::printf("%-8s revenue %9.1f  served %5lld/%lld  borrowed %5lld  "
+              "acceptance %.2f\n",
+              name, agg.revenue, static_cast<long long>(agg.completed),
+              static_cast<long long>(instance.requests().size()),
+              static_cast<long long>(agg.completed_outer),
+              agg.AcceptanceRatio());
+
+  // Borrow matrix: rows = requesting platform, cols = lender platform.
+  int64_t matrix[3][3] = {};
+  for (const comx::Assignment& a : result->matching.assignments) {
+    if (!a.is_outer) continue;
+    const int from = instance.request(a.request).platform;
+    const int to = instance.worker(a.worker).platform;
+    ++matrix[from][to];
+  }
+  if (agg.completed_outer > 0) {
+    std::printf("         borrow matrix (request platform -> courier "
+                "platform):\n");
+    for (int i = 0; i < 3; ++i) {
+      std::printf("           p%d:", i);
+      for (int j = 0; j < 3; ++j) {
+        std::printf(" %6lld", static_cast<long long>(matrix[i][j]));
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int64_t requests = argc > 1 ? std::atoll(argv[1]) : 1500;
+  auto instance = comx::GenerateSynthetic(SurgeConfig(requests));
+  if (!instance.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 instance.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("lunch-surge workload: %s\n\n", instance->Summary().c_str());
+  RunAndReport<comx::TotaGreedy>("TOTA", *instance);
+  RunAndReport<comx::DemCom>("DemCOM", *instance);
+  RunAndReport<comx::RamCom>("RamCOM", *instance);
+  std::printf("\nthe borrow matrix shows each platform lending its idle "
+              "couriers to the districts where the *other* platforms' "
+              "orders spike — the Fig. 2 situation resolved by COM.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "core/cost_aware.h"
+
+namespace comx {
+
+void CostAwareDemCom::Reset(const Instance& /*instance*/,
+                            PlatformId /*platform*/, uint64_t seed) {
+  rng_ = Rng(seed);
+}
+
+WorkerId CostAwareDemCom::BestByNet(const std::vector<WorkerId>& candidates,
+                                    const Request& r,
+                                    const PlatformView& view,
+                                    double gross_revenue) const {
+  WorkerId best = kInvalidId;
+  double best_net = 0.0;  // only accept strictly positive nets
+  for (WorkerId w : candidates) {
+    const double net =
+        gross_revenue - config_.cost_per_km * view.DistanceTo(w, r);
+    if (net > best_net || (net == best_net && best != kInvalidId && w < best)) {
+      if (net > 0.0) {
+        best = w;
+        best_net = net;
+      }
+    }
+  }
+  return best;
+}
+
+Decision CostAwareDemCom::OnRequest(const Request& r,
+                                    const PlatformView& view) {
+  // Inner first, like DemCOM, but maximizing net revenue and refusing
+  // assignments whose pickup cost eats the whole fare.
+  const std::vector<WorkerId> inner = view.FeasibleInnerWorkers(r);
+  if (const WorkerId w = BestByNet(inner, r, view, r.value);
+      w != kInvalidId) {
+    return Decision::Inner(w);
+  }
+
+  std::vector<WorkerId> outer = view.FeasibleOuterWorkers(r);
+  if (outer.empty()) return Decision::Reject();
+
+  const MinPaymentEstimate estimate = EstimateMinOuterPayment(
+      view.acceptance(), outer, r.value, config_.pricing, &rng_);
+  const double payment = estimate.payment;
+  if (payment > r.value) return Decision::Reject();
+
+  // Acceptance draws as in DemCOM; among accepting workers pick the best
+  // net (v - payment - cost * dist), refusing non-positive nets.
+  std::vector<WorkerId> accepting;
+  accepting.reserve(outer.size());
+  for (WorkerId w : outer) {
+    if (view.acceptance().Accepts(w, payment, &rng_)) {
+      accepting.push_back(w);
+    }
+  }
+  if (accepting.empty()) {
+    Decision d = Decision::Reject();
+    d.attempted_outer = true;
+    return d;
+  }
+  const WorkerId w = BestByNet(accepting, r, view, r.value - payment);
+  if (w == kInvalidId) {
+    // Someone accepted, but the travel would make the borrow unprofitable.
+    Decision d = Decision::Reject();
+    d.attempted_outer = true;
+    return d;
+  }
+  return Decision::Outer(w, payment);
+}
+
+}  // namespace comx

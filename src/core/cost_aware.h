@@ -1,0 +1,51 @@
+// Travel-cost-aware cross online matching — the paper's future-work
+// direction ("the cooperation can be improved if the crowd workers can
+// provide the service after short travel distances", Section VII).
+//
+// CostAwareDemCom runs DemCOM's decision structure but optimizes *net*
+// revenue: every candidate assignment is charged `cost_per_km` for the
+// pickup leg, the inner worker maximizing v_r - cost * dist is chosen
+// (instead of merely the nearest), assignments whose net revenue would be
+// non-positive are refused, and the outer-payment viability check uses the
+// net value.
+
+#ifndef COMX_CORE_COST_AWARE_H_
+#define COMX_CORE_COST_AWARE_H_
+
+#include "core/online_matcher.h"
+#include "pricing/min_payment_estimator.h"
+#include "util/rng.h"
+
+namespace comx {
+
+/// Tuning for the travel-cost extension.
+struct CostAwareConfig {
+  /// Revenue charged per pickup km (fuel + opportunity cost).
+  double cost_per_km = 2.0;
+  /// Algorithm 2 accuracy knobs, as in DemCom.
+  MinPaymentConfig pricing;
+};
+
+/// DemCOM variant optimizing revenue net of pickup travel cost.
+class CostAwareDemCom : public OnlineMatcher {
+ public:
+  explicit CostAwareDemCom(CostAwareConfig config = {}) : config_(config) {}
+
+  void Reset(const Instance& instance, PlatformId platform,
+             uint64_t seed) override;
+  Decision OnRequest(const Request& r, const PlatformView& view) override;
+  std::string name() const override { return "CostDemCOM"; }
+
+ private:
+  /// Best candidate by net revenue; kInvalidId when every net <= 0.
+  WorkerId BestByNet(const std::vector<WorkerId>& candidates,
+                     const Request& r, const PlatformView& view,
+                     double gross_revenue) const;
+
+  CostAwareConfig config_;
+  Rng rng_{0};
+};
+
+}  // namespace comx
+
+#endif  // COMX_CORE_COST_AWARE_H_

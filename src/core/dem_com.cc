@@ -1,0 +1,55 @@
+#include "core/dem_com.h"
+
+namespace comx {
+
+void DemCom::Reset(const Instance& /*instance*/, PlatformId /*platform*/,
+                   uint64_t seed) {
+  rng_ = Rng(seed);
+  diag_ = Diagnostics{};
+}
+
+Decision DemCom::OnRequest(const Request& r, const PlatformView& view) {
+  // Lines 3-6: inner workers take absolute priority; nearest one serves.
+  const std::vector<WorkerId> inner = view.FeasibleInnerWorkers(r);
+  if (const WorkerId w = NearestWorker(inner, r, view); w != kInvalidId) {
+    return Decision::Inner(w);
+  }
+
+  // Lines 8-10: candidate outer workers; reject when none. An optional
+  // nearest-K cap bounds the pricing cost (see constructor).
+  std::vector<WorkerId> outer = view.FeasibleOuterWorkers(r);
+  if (outer.empty()) return Decision::Reject();
+  KeepNearest(&outer, r, view, max_outer_candidates_);
+
+  // Line 12: estimate the minimum outer payment (Algorithm 2).
+  const MinPaymentEstimate estimate = EstimateMinOuterPayment(
+      view.acceptance(), outer, r.value, config_, &rng_);
+  const double payment = estimate.payment;
+
+  // Lines 13-14: serving would lose money; reject.
+  if (payment > r.value) return Decision::Reject();
+
+  // Lines 15-20: each candidate draws its acceptance at the quoted payment.
+  ++diag_.outer_offers;
+  diag_.payment_sum += payment;
+  diag_.payment_rate_sum += payment / r.value;
+  std::vector<WorkerId> accepting;
+  accepting.reserve(outer.size());
+  for (WorkerId w : outer) {
+    if (view.acceptance().Accepts(w, payment, &rng_)) {
+      accepting.push_back(w);
+    }
+  }
+
+  // Lines 21-26: nearest accepting worker serves at payment v'_r.
+  if (accepting.empty()) {
+    Decision d = Decision::Reject();
+    d.attempted_outer = true;
+    return d;
+  }
+  ++diag_.outer_accepts;
+  const WorkerId w = NearestWorker(accepting, r, view);
+  return Decision::Outer(w, payment);
+}
+
+}  // namespace comx

@@ -1,0 +1,56 @@
+// DemCOM (Algorithm 1 of the paper): deterministic cross online matching.
+//
+// Inner workers get absolute priority: an incoming request is served by the
+// nearest feasible inner worker when one exists. Otherwise the minimum
+// outer payment v'_r is estimated by Monte-Carlo bisection (Algorithm 2 /
+// pricing/min_payment_estimator.h); if v'_r <= v_r, every feasible outer
+// worker draws a Bernoulli(pr(v'_r, w)) acceptance (Definition 3.1) and the
+// request goes to the nearest accepting worker at payment v'_r, yielding
+// revenue v_r - v'_r. Rejected otherwise.
+
+#ifndef COMX_CORE_DEM_COM_H_
+#define COMX_CORE_DEM_COM_H_
+
+#include "core/online_matcher.h"
+#include "pricing/min_payment_estimator.h"
+#include "util/rng.h"
+
+namespace comx {
+
+/// Deterministic cross online matcher.
+class DemCom : public OnlineMatcher {
+ public:
+  /// `config` tunes Algorithm 2's Monte-Carlo accuracy (Lemma 1).
+  /// `max_outer_candidates` > 0 caps the cooperative candidate set to the
+  /// nearest K workers before pricing — a production latency knob (the
+  /// estimator's cost is linear in the candidate count); 0 = unlimited.
+  explicit DemCom(MinPaymentConfig config = {}, int max_outer_candidates = 0)
+      : config_(config), max_outer_candidates_(max_outer_candidates) {}
+
+  void Reset(const Instance& instance, PlatformId platform,
+             uint64_t seed) override;
+  Decision OnRequest(const Request& r, const PlatformView& view) override;
+  std::string name() const override { return "DemCOM"; }
+
+  /// Diagnostics accumulated since the last Reset.
+  struct Diagnostics {
+    /// Requests offered to outer workers.
+    int64_t outer_offers = 0;
+    /// Offers some outer worker accepted.
+    int64_t outer_accepts = 0;
+    /// Sum and count of quoted minimum payments, for mean payment rate.
+    double payment_sum = 0.0;
+    double payment_rate_sum = 0.0;  // sum of v'_r / v_r
+  };
+  const Diagnostics& diagnostics() const { return diag_; }
+
+ private:
+  MinPaymentConfig config_;
+  int max_outer_candidates_ = 0;
+  Rng rng_{0};
+  Diagnostics diag_;
+};
+
+}  // namespace comx
+
+#endif  // COMX_CORE_DEM_COM_H_

@@ -1,0 +1,26 @@
+#include "core/greedy_rt.h"
+
+#include <cmath>
+
+namespace comx {
+
+void GreedyRt::Reset(const Instance& instance, PlatformId /*platform*/,
+                     uint64_t seed) {
+  rng_ = Rng(seed);
+  const double max_v = instance.MaxRequestValue();
+  const int64_t theta =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(
+                               std::log(max_v + 1.0))));
+  const int64_t k = rng_.UniformInt(0, theta - 1);
+  threshold_ = std::exp(static_cast<double>(k));
+}
+
+Decision GreedyRt::OnRequest(const Request& r, const PlatformView& view) {
+  if (r.value < threshold_) return Decision::Reject();
+  const std::vector<WorkerId> inner = view.FeasibleInnerWorkers(r);
+  const WorkerId w = NearestWorker(inner, r, view);
+  if (w == kInvalidId) return Decision::Reject();
+  return Decision::Inner(w);
+}
+
+}  // namespace comx

@@ -1,0 +1,35 @@
+// Greedy-RT (Tong et al. ICDE'16 [9]): the random-threshold variant of the
+// single-platform greedy with competitive ratio 1 / (2e ln(Umax + 1)) under
+// the adversarial model. Included as an ablation baseline: it shows what the
+// randomized-threshold idea achieves *without* cross-platform borrowing,
+// isolating RamCOM's cooperation gain from its thresholding gain.
+
+#ifndef COMX_CORE_GREEDY_RT_H_
+#define COMX_CORE_GREEDY_RT_H_
+
+#include "core/online_matcher.h"
+#include "util/rng.h"
+
+namespace comx {
+
+/// Single-platform greedy that only serves requests whose value exceeds a
+/// randomly drawn threshold e^k, k uniform over {0, ..., theta - 1},
+/// theta = ceil(ln(max v + 1)).
+class GreedyRt : public OnlineMatcher {
+ public:
+  void Reset(const Instance& instance, PlatformId platform,
+             uint64_t seed) override;
+  Decision OnRequest(const Request& r, const PlatformView& view) override;
+  std::string name() const override { return "Greedy-RT"; }
+
+  /// The drawn threshold e^k (for tests/diagnostics).
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_ = 0.0;
+  Rng rng_{0};
+};
+
+}  // namespace comx
+
+#endif  // COMX_CORE_GREEDY_RT_H_

@@ -1,0 +1,38 @@
+#include "core/online_matcher.h"
+
+#include <algorithm>
+
+namespace comx {
+
+WorkerId NearestWorker(const std::vector<WorkerId>& candidates,
+                       const Request& r, const PlatformView& view) {
+  WorkerId best = kInvalidId;
+  double best_dist = 0.0;
+  for (WorkerId w : candidates) {
+    const double d = view.DistanceTo(w, r);
+    if (best == kInvalidId || d < best_dist ||
+        (d == best_dist && w < best)) {
+      best = w;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+void KeepNearest(std::vector<WorkerId>* candidates, const Request& r,
+                 const PlatformView& view, int cap) {
+  if (cap <= 0 || static_cast<int>(candidates->size()) <= cap) return;
+  std::vector<std::pair<double, WorkerId>> ranked;
+  ranked.reserve(candidates->size());
+  for (WorkerId w : *candidates) {
+    ranked.emplace_back(view.DistanceTo(w, r), w);
+  }
+  std::nth_element(ranked.begin(), ranked.begin() + cap, ranked.end());
+  ranked.resize(static_cast<size_t>(cap));
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  candidates->clear();
+  for (const auto& [dist, w] : ranked) candidates->push_back(w);
+}
+
+}  // namespace comx

@@ -1,0 +1,106 @@
+// The online matching policy interface. The simulator (sim/) feeds each
+// arriving request to a matcher, which answers with a Decision: reject,
+// serve with an inner worker, or borrow an outer worker at some payment.
+// Matchers never mutate platform state themselves — occupancy, waiting
+// lists, and revenue accounting are the simulator's job — so each policy is
+// a pure function of the request and the PlatformView plus its own RNG.
+
+#ifndef COMX_CORE_ONLINE_MATCHER_H_
+#define COMX_CORE_ONLINE_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "model/instance.h"
+#include "model/request.h"
+#include "pricing/acceptance_model.h"
+
+namespace comx {
+
+/// What the platform decided for one request.
+struct Decision {
+  enum class Kind : int8_t { kReject = 0, kInner = 1, kOuter = 2 };
+
+  Kind kind = Kind::kReject;
+  /// The assigned worker for kInner / kOuter.
+  WorkerId worker = kInvalidId;
+  /// Outer payment v'_r for kOuter decisions.
+  double outer_payment = 0.0;
+  /// True when the matcher offered the request to outer workers at some
+  /// price (regardless of whether anyone accepted). Drives the paper's
+  /// acceptance-ratio metric |AcpRt| = accepted / offered.
+  bool attempted_outer = false;
+
+  static Decision Reject() { return Decision{}; }
+  static Decision Inner(WorkerId w) {
+    Decision d;
+    d.kind = Kind::kInner;
+    d.worker = w;
+    return d;
+  }
+  static Decision Outer(WorkerId w, double payment) {
+    Decision d;
+    d.kind = Kind::kOuter;
+    d.worker = w;
+    d.outer_payment = payment;
+    d.attempted_outer = true;
+    return d;
+  }
+};
+
+/// Read-only view of the platform state at one request arrival, implemented
+/// by the simulator. "Feasible" always means: currently unoccupied, arrived
+/// before the request, and covering the request's location (Definition 2.6).
+class PlatformView {
+ public:
+  virtual ~PlatformView() = default;
+
+  /// Unoccupied inner workers able to serve `r`.
+  virtual std::vector<WorkerId> FeasibleInnerWorkers(
+      const Request& r) const = 0;
+
+  /// Unoccupied outer (borrowable) workers able to serve `r`.
+  virtual std::vector<WorkerId> FeasibleOuterWorkers(
+      const Request& r) const = 0;
+
+  /// Euclidean km distance from worker `w`'s current location to `r`.
+  virtual double DistanceTo(WorkerId w, const Request& r) const = 0;
+
+  /// The instance being simulated.
+  virtual const Instance& instance() const = 0;
+
+  /// Shared acceptance-probability model (Definition 3.1).
+  virtual const AcceptanceModel& acceptance() const = 0;
+};
+
+/// An online matching policy.
+class OnlineMatcher {
+ public:
+  virtual ~OnlineMatcher() = default;
+
+  /// Re-initializes internal state for a fresh run over `instance` on
+  /// behalf of `platform`, with a deterministic RNG seed.
+  virtual void Reset(const Instance& instance, PlatformId platform,
+                     uint64_t seed) = 0;
+
+  /// Decides what to do with request `r` given the current platform state.
+  virtual Decision OnRequest(const Request& r, const PlatformView& view) = 0;
+
+  /// Display name ("TOTA", "DemCOM", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Shared helper: index of the nearest worker in `candidates` (ties broken
+/// by lower id for determinism). Returns kInvalidId on empty input.
+WorkerId NearestWorker(const std::vector<WorkerId>& candidates,
+                       const Request& r, const PlatformView& view);
+
+/// Shared helper: truncates `candidates` in place to the `cap` nearest
+/// workers (stable: distance, then id). No-op when cap <= 0 or the set is
+/// already small enough.
+void KeepNearest(std::vector<WorkerId>* candidates, const Request& r,
+                 const PlatformView& view, int cap);
+
+}  // namespace comx
+
+#endif  // COMX_CORE_ONLINE_MATCHER_H_

@@ -1,0 +1,73 @@
+#include "core/ram_com.h"
+
+#include <cmath>
+
+namespace comx {
+
+void RamCom::Reset(const Instance& instance, PlatformId /*platform*/,
+                   uint64_t seed) {
+  rng_ = Rng(seed);
+  diag_ = Diagnostics{};
+  // Lines 1-2: theta = ceil(ln(max v + 1)) thresholds, drawn uniformly.
+  // We draw the exponent from {0, ..., theta-1} (the Greedy-RT convention
+  // of [9]) rather than the literal {1, ..., theta} of Algorithm 3: with
+  // e^theta >= max v + 1 by construction, the k = theta arm would divert
+  // *every* request away from inner workers, which contradicts the paper's
+  // own Table V-VII results (RamCOM's completed-request counts track
+  // TOTA's). Example 3 (k = 1, threshold e) is unaffected.
+  const double max_v = instance.MaxRequestValue();
+  const int64_t theta =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(
+                               std::log(max_v + 1.0))));
+  const int64_t k = fixed_exponent_ >= 0 ? fixed_exponent_
+                                         : rng_.UniformInt(0, theta - 1);
+  threshold_ = std::exp(static_cast<double>(k));
+}
+
+Decision RamCom::OnRequest(const Request& r, const PlatformView& view) {
+  // Lines 4-7: high-value requests go to a *random* feasible inner worker,
+  // keeping the inner fleet available for big-ticket arrivals.
+  if (r.value > threshold_) {
+    const std::vector<WorkerId> inner = view.FeasibleInnerWorkers(r);
+    if (!inner.empty()) {
+      const WorkerId w = inner[rng_.PickIndex(inner.size())];
+      return Decision::Inner(w);
+    }
+    // Example 3: a high-value request with no free inner worker falls
+    // through to the cooperative path rather than being rejected.
+  }
+
+  // Lines 9-11: price with the maximum-expected-revenue rule, then run
+  // DemCOM's acceptance step (Algorithm 1 lines 13-26) at payment v_re.
+  std::vector<WorkerId> outer = view.FeasibleOuterWorkers(r);
+  if (outer.empty()) return Decision::Reject();
+  KeepNearest(&outer, r, view, max_outer_candidates_);
+
+  const MerQuote quote =
+      ComputeMerQuote(view.acceptance(), outer, r.value, config_);
+  const double payment = quote.payment;
+  if (payment > r.value) return Decision::Reject();
+
+  ++diag_.outer_offers;
+  diag_.payment_sum += payment;
+  diag_.payment_rate_sum += payment / r.value;
+  diag_.expected_revenue_sum += quote.expected_revenue;
+
+  std::vector<WorkerId> accepting;
+  accepting.reserve(outer.size());
+  for (WorkerId w : outer) {
+    if (view.acceptance().Accepts(w, payment, &rng_)) {
+      accepting.push_back(w);
+    }
+  }
+  if (accepting.empty()) {
+    Decision d = Decision::Reject();
+    d.attempted_outer = true;
+    return d;
+  }
+  ++diag_.outer_accepts;
+  const WorkerId w = NearestWorker(accepting, r, view);
+  return Decision::Outer(w, payment);
+}
+
+}  // namespace comx

@@ -1,0 +1,27 @@
+#include "core/ranking.h"
+
+namespace comx {
+
+void Ranking::Reset(const Instance& instance, PlatformId /*platform*/,
+                    uint64_t seed) {
+  Rng rng(seed);
+  ranks_.resize(instance.workers().size());
+  for (double& rank : ranks_) rank = rng.NextDouble();
+}
+
+Decision Ranking::OnRequest(const Request& r, const PlatformView& view) {
+  const std::vector<WorkerId> inner = view.FeasibleInnerWorkers(r);
+  WorkerId best = kInvalidId;
+  double best_rank = 2.0;
+  for (WorkerId w : inner) {
+    const double rank = ranks_[static_cast<size_t>(w)];
+    if (rank < best_rank) {
+      best_rank = rank;
+      best = w;
+    }
+  }
+  if (best == kInvalidId) return Decision::Reject();
+  return Decision::Inner(best);
+}
+
+}  // namespace comx

@@ -1,0 +1,35 @@
+// RANKING (Karp, Vazirani, Vazirani STOC'90), the classic online bipartite
+// matching algorithm the paper surveys in Section VI: every worker draws a
+// random rank once; each request is served by its feasible inner worker of
+// smallest rank. Included as a cardinality-oriented baseline — it ignores
+// request values and distances, which is exactly the gap the revenue-aware
+// COM algorithms close.
+
+#ifndef COMX_CORE_RANKING_H_
+#define COMX_CORE_RANKING_H_
+
+#include <vector>
+
+#include "core/online_matcher.h"
+#include "util/rng.h"
+
+namespace comx {
+
+/// Single-platform RANKING matcher.
+class Ranking : public OnlineMatcher {
+ public:
+  void Reset(const Instance& instance, PlatformId platform,
+             uint64_t seed) override;
+  Decision OnRequest(const Request& r, const PlatformView& view) override;
+  std::string name() const override { return "RANKING"; }
+
+  /// The rank drawn for worker `w` (for tests).
+  double RankOf(WorkerId w) const { return ranks_[static_cast<size_t>(w)]; }
+
+ private:
+  std::vector<double> ranks_;
+};
+
+}  // namespace comx
+
+#endif  // COMX_CORE_RANKING_H_

@@ -1,0 +1,18 @@
+#include "core/tota_greedy.h"
+
+namespace comx {
+
+void TotaGreedy::Reset(const Instance& /*instance*/, PlatformId /*platform*/,
+                       uint64_t seed) {
+  rng_ = Rng(seed);
+}
+
+Decision TotaGreedy::OnRequest(const Request& r, const PlatformView& view) {
+  const std::vector<WorkerId> inner = view.FeasibleInnerWorkers(r);
+  if (inner.empty()) return Decision::Reject();
+  const WorkerId w = random_choice_ ? inner[rng_.PickIndex(inner.size())]
+                                    : NearestWorker(inner, r, view);
+  return Decision::Inner(w);
+}
+
+}  // namespace comx

@@ -1,0 +1,39 @@
+// TOTA baseline: traditional online task assignment on a single platform
+// (the greedy algorithm of Tong et al. ICDE'16 [9], the comparison point of
+// the paper's Section V). Each incoming request is served by the nearest
+// feasible inner worker, or rejected; outer workers are never used.
+
+#ifndef COMX_CORE_TOTA_GREEDY_H_
+#define COMX_CORE_TOTA_GREEDY_H_
+
+#include "core/online_matcher.h"
+#include "util/rng.h"
+
+namespace comx {
+
+/// Greedy single-platform online matcher (special case of COM with
+/// W_out = empty).
+class TotaGreedy : public OnlineMatcher {
+ public:
+  /// `random_choice` swaps the nearest-worker rule for a uniformly random
+  /// feasible worker — the selection policy RamCOM uses for its inner
+  /// assignments (Algorithm 3 line 7). Exposed for the design ablation
+  /// isolating selection policy from cooperation.
+  explicit TotaGreedy(bool random_choice = false)
+      : random_choice_(random_choice) {}
+
+  void Reset(const Instance& instance, PlatformId platform,
+             uint64_t seed) override;
+  Decision OnRequest(const Request& r, const PlatformView& view) override;
+  std::string name() const override {
+    return random_choice_ ? "TOTA-rand" : "TOTA";
+  }
+
+ private:
+  bool random_choice_;
+  Rng rng_{0};
+};
+
+}  // namespace comx
+
+#endif  // COMX_CORE_TOTA_GREEDY_H_

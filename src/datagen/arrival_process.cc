@@ -1,0 +1,68 @@
+#include "datagen/arrival_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace comx {
+namespace {
+
+double GaussianBump(double t, double mean, double sigma) {
+  const double z = (t - mean) / sigma;
+  return std::exp(-0.5 * z * z);
+}
+
+}  // namespace
+
+double DayCurveIntensity(const CityModel::Params& params, double t) {
+  const double base = (1.0 - params.peak_weight) / params.horizon_seconds;
+  // Each peak carries half of peak_weight; a Gaussian's mass is
+  // sqrt(2 pi) sigma, so the density height normalizes accordingly.
+  const double peak_norm =
+      params.peak_weight / 2.0 /
+      (std::sqrt(2.0 * 3.14159265358979323846) * params.peak_sigma);
+  return base + peak_norm * (GaussianBump(t, params.morning_peak,
+                                          params.peak_sigma) +
+                             GaussianBump(t, params.evening_peak,
+                                          params.peak_sigma));
+}
+
+std::vector<double> DrawArrivalTimes(const CityModel& city,
+                                     ArrivalProcess process, int64_t n,
+                                     Rng* rng) {
+  std::vector<double> times;
+  if (n <= 0) return times;
+  times.reserve(static_cast<size_t>(n));
+  const CityModel::Params& params = city.params();
+
+  if (process == ArrivalProcess::kIidDayCurve) {
+    for (int64_t i = 0; i < n; ++i) times.push_back(city.SampleTime(rng));
+    std::sort(times.begin(), times.end());
+    return times;
+  }
+
+  // Lewis-Shedler thinning against a constant dominating intensity.
+  double lambda_max = 0.0;
+  for (double t = 0.0; t < params.horizon_seconds; t += 60.0) {
+    lambda_max = std::max(lambda_max, DayCurveIntensity(params, t));
+  }
+  lambda_max *= 1.05;  // head-room over the sampled maximum
+
+  double t = 0.0;
+  while (static_cast<int64_t>(times.size()) < n) {
+    t += rng->Exponential(lambda_max);
+    if (t >= params.horizon_seconds) {
+      // Wrap to the next "day" so exactly n arrivals always come out
+      // (one exponential jump can span several days when the intensity is
+      // low, hence fmod rather than one subtraction); wrapping keeps the
+      // day-curve statistics.
+      t = std::fmod(t, params.horizon_seconds);
+    }
+    if (rng->NextDouble() * lambda_max <= DayCurveIntensity(params, t)) {
+      times.push_back(t);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+}  // namespace comx

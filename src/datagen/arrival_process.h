@@ -1,0 +1,43 @@
+// Arrival-time processes. The default CityModel draws i.i.d. times from a
+// two-peak day curve; this module adds a non-homogeneous Poisson process
+// (thinning / Lewis-Shedler) over the same curve, giving realistic bursty
+// inter-arrival statistics. Selectable per-generator via
+// SyntheticConfig::arrival_process.
+
+#ifndef COMX_DATAGEN_ARRIVAL_PROCESS_H_
+#define COMX_DATAGEN_ARRIVAL_PROCESS_H_
+
+#include <vector>
+
+#include "datagen/city_model.h"
+#include "util/rng.h"
+
+namespace comx {
+
+/// How arrival timestamps are produced.
+enum class ArrivalProcess : int8_t {
+  /// Independent draws from the day curve (the original behaviour).
+  kIidDayCurve = 0,
+  /// Non-homogeneous Poisson process whose intensity is proportional to
+  /// the day curve, thinned from a homogeneous dominating process. The
+  /// total count is exactly the requested n (the first n points of the
+  /// process, rescaled to the horizon).
+  kPoisson = 1,
+};
+
+/// Relative intensity of the city's day curve at time t (unnormalized):
+/// peak_weight split across the two Gaussian peaks plus the uniform base.
+double DayCurveIntensity(const CityModel::Params& params, double t);
+
+/// Draws `n` arrival times in [0, horizon) under the chosen process,
+/// sorted ascending. For kIidDayCurve the draws are then sorted; for
+/// kPoisson the Lewis-Shedler thinning runs until n acceptances (wrapping
+/// around the day if the intensity mass runs out, which keeps the output
+/// well-defined for any n).
+std::vector<double> DrawArrivalTimes(const CityModel& city,
+                                     ArrivalProcess process, int64_t n,
+                                     Rng* rng);
+
+}  // namespace comx
+
+#endif  // COMX_DATAGEN_ARRIVAL_PROCESS_H_

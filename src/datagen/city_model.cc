@@ -1,0 +1,81 @@
+#include "datagen/city_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace comx {
+
+CityModel::CityModel(Params params) : params_(std::move(params)) {}
+
+Point CityModel::SamplePoint(const std::vector<double>& hotspot_weights,
+                             Rng* rng) const {
+  const double e = params_.extent_km;
+  const bool background =
+      params_.hotspots.empty() || rng->Bernoulli(params_.background_weight);
+  if (background) {
+    return Point(rng->Uniform(-e, e), rng->Uniform(-e, e));
+  }
+  // Pick a hotspot by weight (uniform when no weights given).
+  size_t idx = 0;
+  if (hotspot_weights.empty()) {
+    idx = rng->PickIndex(params_.hotspots.size());
+  } else {
+    assert(hotspot_weights.size() == params_.hotspots.size());
+    double total = 0.0;
+    for (double w : hotspot_weights) total += w;
+    double x = rng->Uniform(0.0, total);
+    for (size_t i = 0; i < hotspot_weights.size(); ++i) {
+      x -= hotspot_weights[i];
+      if (x <= 0.0) {
+        idx = i;
+        break;
+      }
+      idx = i;  // fall back to the last one on numeric edge
+    }
+  }
+  const Hotspot& h = params_.hotspots[idx];
+  const double x = std::clamp(rng->Normal(h.center.x, h.sigma), -e, e);
+  const double y = std::clamp(rng->Normal(h.center.y, h.sigma), -e, e);
+  return Point(x, y);
+}
+
+double CityModel::SampleTime(Rng* rng) const {
+  if (rng->Bernoulli(params_.peak_weight)) {
+    const double peak = rng->Bernoulli(0.5) ? params_.morning_peak
+                                            : params_.evening_peak;
+    const double t = rng->Normal(peak, params_.peak_sigma);
+    return std::clamp(t, 0.0, params_.horizon_seconds - 1.0);
+  }
+  return rng->Uniform(0.0, params_.horizon_seconds);
+}
+
+CityModel::Params CityModel::ChengduLike() {
+  Params p;
+  p.extent_km = 15.0;
+  p.hotspots = {
+      {Point(0.0, 0.0), 2.5},    // downtown core
+      {Point(7.0, 4.0), 2.0},    // business district
+      {Point(-6.0, 6.0), 2.0},   // university area
+      {Point(-4.0, -8.0), 2.5},  // residential south
+  };
+  return p;
+}
+
+CityModel::Params CityModel::XianLike() {
+  Params p;
+  p.extent_km = 12.0;
+  p.hotspots = {
+      {Point(0.0, 0.0), 1.8},   // walled city core
+      {Point(6.0, -3.0), 1.6},  // hi-tech zone
+      {Point(-5.0, 5.0), 2.0},  // north suburbs
+  };
+  p.background_weight = 0.10;
+  return p;
+}
+
+BBox CityModel::Bounds() const {
+  const double e = params_.extent_km;
+  return BBox(Point(-e, -e), Point(e, e));
+}
+
+}  // namespace comx

@@ -1,0 +1,74 @@
+// Spatial + temporal model of one city. Locations come from a Gaussian-
+// mixture of hotspots inside a bounded square; arrival times follow a
+// two-peak (commute) day curve. Per-platform hotspot weights create the
+// cross-platform supply/demand imbalance of the paper's Fig. 2: one
+// platform's workers cluster where the other platform's requests are, which
+// is precisely the regime where borrowing pays off.
+
+#ifndef COMX_DATAGEN_CITY_MODEL_H_
+#define COMX_DATAGEN_CITY_MODEL_H_
+
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace comx {
+
+/// One Gaussian hotspot.
+struct Hotspot {
+  Point center;
+  /// Isotropic standard deviation in km.
+  double sigma = 2.0;
+};
+
+/// Gaussian-mixture city with a commute-shaped arrival-time curve.
+class CityModel {
+ public:
+  struct Params {
+    /// City half-width: the square [-extent, extent]^2 km.
+    double extent_km = 15.0;
+    /// Hotspots; empty means uniform over the square.
+    std::vector<Hotspot> hotspots;
+    /// Mixture weight of the uniform background vs. the hotspots.
+    double background_weight = 0.15;
+    /// Day length (seconds); arrivals land in [0, horizon).
+    double horizon_seconds = 86'400.0;
+    /// Morning / evening rush-hour peaks (seconds into the day) and their
+    /// widths; a uniform base load fills the rest.
+    double morning_peak = 8.0 * 3600.0;
+    double evening_peak = 18.0 * 3600.0;
+    double peak_sigma = 1.5 * 3600.0;
+    double peak_weight = 0.6;  // fraction of arrivals in the two peaks
+  };
+
+  explicit CityModel(Params params);
+
+  /// Samples a location using per-hotspot weights (must match the hotspot
+  /// count; pass {} for equal weights). Points are clamped to the square.
+  Point SamplePoint(const std::vector<double>& hotspot_weights,
+                    Rng* rng) const;
+
+  /// Samples an arrival time from the day curve.
+  double SampleTime(Rng* rng) const;
+
+  /// Default Chengdu-like layout: 4 hotspots around a dense core.
+  static Params ChengduLike();
+
+  /// Xi'an-like layout: 3 hotspots, tighter core, stronger skew.
+  static Params XianLike();
+
+  const Params& params() const { return params_; }
+
+  /// Bounding box of the city square.
+  BBox Bounds() const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace comx
+
+#endif  // COMX_DATAGEN_CITY_MODEL_H_

@@ -1,0 +1,130 @@
+#include "datagen/dataset.h"
+
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace comx {
+namespace {
+
+constexpr char kWorkerHeader[] = "id,platform,time,x,y,radius,history";
+constexpr char kRequestHeader[] = "id,platform,time,x,y,value";
+
+std::string JoinHistory(const std::vector<double>& history) {
+  std::vector<std::string> parts;
+  parts.reserve(history.size());
+  for (double h : history) parts.push_back(StrFormat("%.17g", h));
+  return Join(parts, ";");
+}
+
+Result<std::vector<double>> ParseHistory(const std::string& field) {
+  std::vector<double> out;
+  if (field.empty()) return out;
+  for (const std::string& part : Split(field, ';')) {
+    COMX_ASSIGN_OR_RETURN(double v, ParseDouble(part));
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveInstance(const Instance& instance, const std::string& prefix) {
+  {
+    std::ofstream out(prefix + ".workers.csv", std::ios::trunc);
+    if (!out) return Status::IoError("cannot write " + prefix + ".workers.csv");
+    out << kWorkerHeader << '\n';
+    CsvWriter writer(&out);
+    for (const Worker& w : instance.workers()) {
+      writer.WriteRow({StrFormat("%lld", static_cast<long long>(w.id)),
+                       StrFormat("%d", w.platform),
+                       StrFormat("%.17g", w.time),
+                       StrFormat("%.17g", w.location.x),
+                       StrFormat("%.17g", w.location.y),
+                       StrFormat("%.17g", w.radius), JoinHistory(w.history)});
+    }
+    if (!out) return Status::IoError("write failed: " + prefix);
+  }
+  {
+    std::ofstream out(prefix + ".requests.csv", std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot write " + prefix + ".requests.csv");
+    }
+    out << kRequestHeader << '\n';
+    CsvWriter writer(&out);
+    for (const Request& r : instance.requests()) {
+      writer.WriteRow({StrFormat("%lld", static_cast<long long>(r.id)),
+                       StrFormat("%d", r.platform),
+                       StrFormat("%.17g", r.time),
+                       StrFormat("%.17g", r.location.x),
+                       StrFormat("%.17g", r.location.y),
+                       StrFormat("%.17g", r.value)});
+    }
+    if (!out) return Status::IoError("write failed: " + prefix);
+  }
+  return Status::OK();
+}
+
+Result<Instance> LoadInstance(const std::string& prefix) {
+  Instance instance;
+  {
+    COMX_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(prefix + ".workers.csv"));
+    if (rows.empty() || Join(rows[0], ",") != kWorkerHeader) {
+      return Status::InvalidArgument("bad worker CSV header in " + prefix);
+    }
+    for (size_t i = 1; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      if (row.size() != 7) {
+        return Status::InvalidArgument(
+            StrFormat("worker row %zu has %zu fields, want 7", i, row.size()));
+      }
+      Worker w;
+      COMX_ASSIGN_OR_RETURN(int64_t id, ParseInt64(row[0]));
+      COMX_ASSIGN_OR_RETURN(int64_t platform, ParseInt64(row[1]));
+      COMX_ASSIGN_OR_RETURN(w.time, ParseDouble(row[2]));
+      COMX_ASSIGN_OR_RETURN(w.location.x, ParseDouble(row[3]));
+      COMX_ASSIGN_OR_RETURN(w.location.y, ParseDouble(row[4]));
+      COMX_ASSIGN_OR_RETURN(w.radius, ParseDouble(row[5]));
+      COMX_ASSIGN_OR_RETURN(w.history, ParseHistory(row[6]));
+      w.platform = static_cast<PlatformId>(platform);
+      const WorkerId assigned = instance.AddWorker(std::move(w));
+      if (assigned != id) {
+        return Status::InvalidArgument(
+            StrFormat("worker ids not dense at row %zu", i));
+      }
+    }
+  }
+  {
+    COMX_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(prefix + ".requests.csv"));
+    if (rows.empty() || Join(rows[0], ",") != kRequestHeader) {
+      return Status::InvalidArgument("bad request CSV header in " + prefix);
+    }
+    for (size_t i = 1; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      if (row.size() != 6) {
+        return Status::InvalidArgument(
+            StrFormat("request row %zu has %zu fields, want 6", i,
+                      row.size()));
+      }
+      Request r;
+      COMX_ASSIGN_OR_RETURN(int64_t id, ParseInt64(row[0]));
+      COMX_ASSIGN_OR_RETURN(int64_t platform, ParseInt64(row[1]));
+      COMX_ASSIGN_OR_RETURN(r.time, ParseDouble(row[2]));
+      COMX_ASSIGN_OR_RETURN(r.location.x, ParseDouble(row[3]));
+      COMX_ASSIGN_OR_RETURN(r.location.y, ParseDouble(row[4]));
+      COMX_ASSIGN_OR_RETURN(r.value, ParseDouble(row[5]));
+      r.platform = static_cast<PlatformId>(platform);
+      const RequestId assigned = instance.AddRequest(std::move(r));
+      if (assigned != id) {
+        return Status::InvalidArgument(
+            StrFormat("request ids not dense at row %zu", i));
+      }
+    }
+  }
+  instance.BuildEvents();
+  COMX_RETURN_IF_ERROR(instance.Validate());
+  return instance;
+}
+
+}  // namespace comx

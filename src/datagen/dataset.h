@@ -1,0 +1,30 @@
+// Instance persistence: save/load as a pair of CSV files so generated
+// datasets can be inspected, versioned, and shared between the benchmark
+// binaries and external tooling.
+//
+// Format:
+//   <prefix>.workers.csv : id,platform,time,x,y,radius,history
+//     (history is ';'-joined decimal values)
+//   <prefix>.requests.csv: id,platform,time,x,y,value
+// Both carry a header line. The event order is rebuilt from timestamps on
+// load (BuildEvents), matching how it was built before save.
+
+#ifndef COMX_DATAGEN_DATASET_H_
+#define COMX_DATAGEN_DATASET_H_
+
+#include <string>
+
+#include "model/instance.h"
+#include "util/result.h"
+
+namespace comx {
+
+/// Writes `<prefix>.workers.csv` and `<prefix>.requests.csv`.
+Status SaveInstance(const Instance& instance, const std::string& prefix);
+
+/// Reads an instance saved by SaveInstance; validates before returning.
+Result<Instance> LoadInstance(const std::string& prefix);
+
+}  // namespace comx
+
+#endif  // COMX_DATAGEN_DATASET_H_

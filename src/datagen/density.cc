@@ -1,0 +1,112 @@
+#include "datagen/density.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace comx {
+
+DensityGrid::DensityGrid(const Instance& instance, const BBox& bounds,
+                         int32_t cols, int32_t rows)
+    : cols_(cols), rows_(rows), platforms_(instance.PlatformCount()) {
+  assert(cols >= 1 && rows >= 1);
+  assert(!bounds.empty());
+  const size_t cells = static_cast<size_t>(cols) * static_cast<size_t>(rows);
+  worker_counts_.assign(static_cast<size_t>(std::max(platforms_, 1)),
+                        std::vector<int64_t>(cells, 0));
+  request_counts_ = worker_counts_;
+
+  auto cell_of = [&](const Point& p) {
+    const double fx = (p.x - bounds.min_corner().x) /
+                      std::max(1e-12, bounds.width());
+    const double fy = (p.y - bounds.min_corner().y) /
+                      std::max(1e-12, bounds.height());
+    const int32_t col = std::clamp(
+        static_cast<int32_t>(fx * static_cast<double>(cols_)), 0, cols_ - 1);
+    const int32_t row = std::clamp(
+        static_cast<int32_t>(fy * static_cast<double>(rows_)), 0, rows_ - 1);
+    return CellIndex(col, row);
+  };
+  for (const Worker& w : instance.workers()) {
+    ++worker_counts_[static_cast<size_t>(w.platform)][cell_of(w.location)];
+  }
+  for (const Request& r : instance.requests()) {
+    ++request_counts_[static_cast<size_t>(r.platform)][cell_of(r.location)];
+  }
+}
+
+int64_t DensityGrid::WorkerCount(PlatformId platform, int32_t col,
+                                 int32_t row) const {
+  return worker_counts_[static_cast<size_t>(platform)][CellIndex(col, row)];
+}
+
+int64_t DensityGrid::RequestCount(PlatformId platform, int32_t col,
+                                  int32_t row) const {
+  return request_counts_[static_cast<size_t>(platform)][CellIndex(col, row)];
+}
+
+double DensityGrid::ImbalanceScore() const {
+  if (platforms_ < 1) return 0.0;
+  int64_t total_workers = 0, total_requests = 0;
+  for (int64_t c : worker_counts_[0]) total_workers += c;
+  for (int64_t c : request_counts_[0]) total_requests += c;
+  if (total_workers == 0 || total_requests == 0) return 0.0;
+  // Total-variation distance between platform 0's worker and request
+  // spatial distributions.
+  double tv = 0.0;
+  for (size_t i = 0; i < worker_counts_[0].size(); ++i) {
+    const double ws = static_cast<double>(worker_counts_[0][i]) /
+                      static_cast<double>(total_workers);
+    const double rs = static_cast<double>(request_counts_[0][i]) /
+                      static_cast<double>(total_requests);
+    tv += std::abs(ws - rs);
+  }
+  return 0.5 * tv;
+}
+
+std::string DensityGrid::AsciiHeatmap(PlatformId platform,
+                                      bool workers) const {
+  static const char kRamp[] = " .:+*#";
+  const auto& counts =
+      workers ? worker_counts_[static_cast<size_t>(platform)]
+              : request_counts_[static_cast<size_t>(platform)];
+  int64_t max_count = 1;
+  for (int64_t c : counts) max_count = std::max(max_count, c);
+  std::string out;
+  // Row 0 is the bottom (min y); print top-down.
+  for (int32_t row = rows_ - 1; row >= 0; --row) {
+    for (int32_t col = 0; col < cols_; ++col) {
+      const int64_t c = counts[CellIndex(col, row)];
+      const size_t level =
+          c == 0 ? 0
+                 : 1 + static_cast<size_t>(
+                           (c * 4) / std::max<int64_t>(1, max_count));
+      out.push_back(kRamp[std::min<size_t>(level, 5)]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status DensityGrid::WriteCsv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot write " + path);
+  out << "platform,role,col,row,count\n";
+  for (int32_t p = 0; p < platforms_; ++p) {
+    for (int32_t row = 0; row < rows_; ++row) {
+      for (int32_t col = 0; col < cols_; ++col) {
+        out << p << ",worker," << col << ',' << row << ','
+            << WorkerCount(p, col, row) << '\n';
+        out << p << ",request," << col << ',' << row << ','
+            << RequestCount(p, col, row) << '\n';
+      }
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace comx

@@ -1,0 +1,66 @@
+// Supply/demand density analysis: bins an instance's workers and requests
+// into a uniform grid per platform — the quantitative form of the paper's
+// Fig. 2 (one platform's idle cars sitting where the other's users are).
+// Used by the examples' ASCII heatmaps and available for external tooling
+// through the CSV writer.
+
+#ifndef COMX_DATAGEN_DENSITY_H_
+#define COMX_DATAGEN_DENSITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "model/instance.h"
+#include "util/result.h"
+
+namespace comx {
+
+/// Per-cell, per-platform counts over a uniform grid.
+class DensityGrid {
+ public:
+  /// Bins every entity of `instance` into `cols` x `rows` cells covering
+  /// `bounds` (entities outside are clamped to edge cells).
+  DensityGrid(const Instance& instance, const BBox& bounds, int32_t cols,
+              int32_t rows);
+
+  int32_t cols() const { return cols_; }
+  int32_t rows() const { return rows_; }
+
+  /// Workers of `platform` in cell (col, row).
+  int64_t WorkerCount(PlatformId platform, int32_t col, int32_t row) const;
+
+  /// Requests of `platform` in cell (col, row).
+  int64_t RequestCount(PlatformId platform, int32_t col, int32_t row) const;
+
+  /// Cross-platform imbalance score in [0, 1]: mean over cells of
+  /// |share_of_p0_workers - share_of_p0_requests| weighted by cell mass.
+  /// 0 = supply and demand of platform 0 are co-located; higher = the
+  /// Fig. 2 situation. Only meaningful for two platforms.
+  double ImbalanceScore() const;
+
+  /// Renders one platform's request density as an ASCII heatmap
+  /// (' ' . : + * #' by increasing density), one row per line.
+  std::string AsciiHeatmap(PlatformId platform, bool workers) const;
+
+  /// Writes "platform,role,col,row,count" rows (role: worker/request).
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  size_t CellIndex(int32_t col, int32_t row) const {
+    return static_cast<size_t>(row) * static_cast<size_t>(cols_) +
+           static_cast<size_t>(col);
+  }
+
+  int32_t cols_;
+  int32_t rows_;
+  int32_t platforms_;
+  // [platform][cell]
+  std::vector<std::vector<int64_t>> worker_counts_;
+  std::vector<std::vector<int64_t>> request_counts_;
+};
+
+}  // namespace comx
+
+#endif  // COMX_DATAGEN_DENSITY_H_

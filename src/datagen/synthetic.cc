@@ -1,0 +1,123 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace comx {
+namespace {
+
+int64_t CountFor(const std::vector<int64_t>& per_platform, PlatformId p) {
+  if (per_platform.size() == 1) return per_platform[0];
+  return per_platform[static_cast<size_t>(p)];
+}
+
+}  // namespace
+
+Status SyntheticConfig::Validate() const {
+  if (platforms < 1) return Status::InvalidArgument("need >= 1 platform");
+  auto check_counts = [&](const std::vector<int64_t>& v, const char* what) {
+    if (v.size() != 1 && v.size() != static_cast<size_t>(platforms)) {
+      return Status::InvalidArgument(
+          StrFormat("%s must have 1 or %d entries", what, platforms));
+    }
+    for (int64_t n : v) {
+      if (n < 0) return Status::InvalidArgument(StrFormat("%s < 0", what));
+    }
+    return Status::OK();
+  };
+  COMX_RETURN_IF_ERROR(check_counts(requests_per_platform, "requests"));
+  COMX_RETURN_IF_ERROR(check_counts(workers_per_platform, "workers"));
+  if (!(radius_km > 0.0)) {
+    return Status::InvalidArgument("radius must be positive");
+  }
+  if (imbalance < 0.0 || imbalance > 1.0) {
+    return Status::InvalidArgument("imbalance must be in [0, 1]");
+  }
+  if (min_history < 1 || max_history < min_history) {
+    return Status::InvalidArgument("history bounds must satisfy 1 <= min <= max");
+  }
+  return Status::OK();
+}
+
+std::vector<double> HotspotWeights(const SyntheticConfig& config,
+                                   PlatformId p, bool worker) {
+  std::vector<double> weights(config.city.hotspots.size(), 1.0);
+  if (weights.empty() || config.imbalance == 0.0) return weights;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    // Platform p's workers lean to hotspots of parity p; its requests lean
+    // the other way. With two platforms this anti-aligns supply and demand
+    // across platforms exactly as in Fig. 2.
+    const bool lean_here = ((static_cast<int64_t>(i) + p) % 2) == 0;
+    const double delta = config.imbalance * (lean_here ? 1.0 : -1.0) *
+                         (worker ? 1.0 : -1.0);
+    weights[i] = std::max(0.0, 1.0 + delta);
+  }
+  return weights;
+}
+
+Result<Instance> GenerateSynthetic(const SyntheticConfig& config) {
+  COMX_RETURN_IF_ERROR(config.Validate());
+  Rng rng(config.seed);
+  const CityModel city(config.city);
+  const ValueModel values(config.value);
+
+  Instance instance;
+  for (PlatformId p = 0; p < config.platforms; ++p) {
+    const std::vector<double> worker_weights =
+        HotspotWeights(config, p, /*worker=*/true);
+    const std::vector<double> request_weights =
+        HotspotWeights(config, p, /*worker=*/false);
+
+    const int64_t n_workers = CountFor(config.workers_per_platform, p);
+    // The default i.i.d. process draws inline (preserving the RNG stream
+    // layout of earlier releases, so seeds keep producing identical
+    // datasets); Poisson pre-draws the whole sorted arrival sequence.
+    std::vector<double> worker_times;
+    if (config.arrival_process != ArrivalProcess::kIidDayCurve) {
+      worker_times =
+          DrawArrivalTimes(city, config.arrival_process, n_workers, &rng);
+    }
+    for (int64_t i = 0; i < n_workers; ++i) {
+      Worker w;
+      w.platform = p;
+      w.time = worker_times.empty() ? city.SampleTime(&rng)
+                                    : worker_times[static_cast<size_t>(i)];
+      w.location = city.SamplePoint(worker_weights, &rng);
+      w.radius = config.radius_km;
+      const int64_t n_hist =
+          rng.UniformInt(config.min_history, config.max_history);
+      const double price_level =
+          rng.LogNormal(config.frugality_log_mu, config.frugality_log_sigma) *
+          values.Median();
+      w.history.reserve(static_cast<size_t>(n_hist));
+      for (int64_t h = 0; h < n_hist; ++h) {
+        w.history.push_back(std::max(
+            0.5, price_level * rng.LogNormal(0.0, config.history_within_sigma)));
+      }
+      instance.AddWorker(std::move(w));
+    }
+
+    const int64_t n_requests = CountFor(config.requests_per_platform, p);
+    std::vector<double> request_times;
+    if (config.arrival_process != ArrivalProcess::kIidDayCurve) {
+      request_times =
+          DrawArrivalTimes(city, config.arrival_process, n_requests, &rng);
+    }
+    for (int64_t i = 0; i < n_requests; ++i) {
+      Request r;
+      r.platform = p;
+      r.time = request_times.empty() ? city.SampleTime(&rng)
+                                     : request_times[static_cast<size_t>(i)];
+      r.location = city.SamplePoint(request_weights, &rng);
+      r.value = values.Draw(&rng);
+      instance.AddRequest(std::move(r));
+    }
+  }
+
+  instance.BuildEvents();
+  COMX_RETURN_IF_ERROR(instance.Validate());
+  return instance;
+}
+
+}  // namespace comx

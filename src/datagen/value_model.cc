@@ -1,0 +1,37 @@
+#include "datagen/value_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace comx {
+
+Result<ValueDistribution> ParseValueDistribution(const std::string& name) {
+  if (name == "real") return ValueDistribution::kRealLike;
+  if (name == "normal") return ValueDistribution::kNormal;
+  return Status::InvalidArgument("unknown value distribution: " + name);
+}
+
+double ValueModel::Draw(Rng* rng) const {
+  double v = 0.0;
+  switch (params_.distribution) {
+    case ValueDistribution::kRealLike:
+      v = rng->LogNormal(params_.log_mu, params_.log_sigma);
+      break;
+    case ValueDistribution::kNormal:
+      v = rng->Normal(params_.mean, params_.stddev);
+      break;
+  }
+  return std::clamp(v, params_.min_value, params_.max_value);
+}
+
+double ValueModel::Median() const {
+  switch (params_.distribution) {
+    case ValueDistribution::kRealLike:
+      return std::exp(params_.log_mu);
+    case ValueDistribution::kNormal:
+      return params_.mean;
+  }
+  return params_.mean;
+}
+
+}  // namespace comx

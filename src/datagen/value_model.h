@@ -1,0 +1,64 @@
+// Request-value distributions. Table IV of the paper sweeps two of them:
+// "real" (the empirical fare distribution of the ride-hailing logs, which we
+// model as a clamped log-normal — fares are right-skewed with a mode around
+// the short-trip price) and "normal".
+
+#ifndef COMX_DATAGEN_VALUE_MODEL_H_
+#define COMX_DATAGEN_VALUE_MODEL_H_
+
+#include <string>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace comx {
+
+/// Which distribution request values are drawn from.
+enum class ValueDistribution : int8_t {
+  /// Clamped log-normal — matches the right-skew of real fare data.
+  kRealLike = 0,
+  /// Clamped normal.
+  kNormal = 1,
+};
+
+/// Parses "real" / "normal" (case-sensitive, as in Table IV).
+Result<ValueDistribution> ParseValueDistribution(const std::string& name);
+
+/// Draws request values from the configured distribution.
+class ValueModel {
+ public:
+  /// Parameters chosen so both distributions share mean ~= 18 (the implied
+  /// per-request revenue of the paper's tables) and values stay within
+  /// [min_value, max_value]. max_value = 50 keeps RamCOM's threshold count
+  /// theta = ceil(ln(max v + 1)) at 4, the regime the paper's tables
+  /// reflect (its completed-request counts track TOTA's, which requires
+  /// most threshold draws to divert only the low-value tail).
+  struct Params {
+    ValueDistribution distribution = ValueDistribution::kRealLike;
+    /// Log-normal: exp(N(log_mu, log_sigma)); Normal: N(mean, stddev).
+    double log_mu = 2.80;     // exp(2.80) ~= 16.4 median
+    double log_sigma = 0.45;  // mean ~= 16.4 * exp(0.101) ~= 18.2
+    double mean = 18.0;
+    double stddev = 6.0;
+    double min_value = 2.0;
+    double max_value = 50.0;
+  };
+
+  ValueModel() : params_(Params{}) {}
+  explicit ValueModel(Params params) : params_(params) {}
+
+  /// One request value.
+  double Draw(Rng* rng) const;
+
+  /// Median of the configured distribution (before clamping).
+  double Median() const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace comx
+
+#endif  // COMX_DATAGEN_VALUE_MODEL_H_

@@ -1,0 +1,30 @@
+// Distance functions between planar points and between raw lat/lon pairs.
+
+#ifndef COMX_GEO_DISTANCE_H_
+#define COMX_GEO_DISTANCE_H_
+
+#include "geo/point.h"
+
+namespace comx {
+
+/// Euclidean distance in km between two planar points.
+double EuclideanDistance(const Point& a, const Point& b);
+
+/// Squared Euclidean distance; avoids the sqrt for comparisons.
+double SquaredDistance(const Point& a, const Point& b);
+
+/// True when `b` lies within `radius_km` of `a` (inclusive boundary).
+bool WithinRadius(const Point& a, const Point& b, double radius_km);
+
+/// Great-circle distance in km between (lat, lon) degrees via haversine.
+/// Used only when importing raw coordinate datasets.
+double HaversineKm(double lat1, double lon1, double lat2, double lon2);
+
+/// Projects (lat, lon) degrees to planar km around a reference origin using
+/// the equirectangular approximation (accurate at city scale).
+Point ProjectEquirectangular(double lat, double lon, double origin_lat,
+                             double origin_lon);
+
+}  // namespace comx
+
+#endif  // COMX_GEO_DISTANCE_H_

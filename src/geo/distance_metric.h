@@ -1,0 +1,60 @@
+// Pluggable distance metric: the range constraint of Definition 2.6 is
+// "within rad of the worker" under *some* travel metric. Euclidean is the
+// paper's default; roadnet/road_metric.h provides the shortest-path
+// variant the paper sketches in Section II ("irregular shapes").
+
+#ifndef COMX_GEO_DISTANCE_METRIC_H_
+#define COMX_GEO_DISTANCE_METRIC_H_
+
+#include <string>
+
+#include "geo/distance.h"
+#include "geo/point.h"
+
+namespace comx {
+
+/// Travel-distance metric between planar points.
+///
+/// Contract: Distance(a, b) >= EuclideanDistance(a, b) (travel is never
+/// shorter than the straight line), which lets spatial indexes use
+/// Euclidean pre-filters as sound lower bounds.
+class DistanceMetric {
+ public:
+  virtual ~DistanceMetric() = default;
+
+  /// Travel distance in km.
+  virtual double Distance(const Point& a, const Point& b) const = 0;
+
+  /// True when Distance(a, b) <= radius. Overridable for cheap rejections.
+  virtual bool WithinRange(const Point& a, const Point& b,
+                           double radius) const {
+    if (!WithinRadius(a, b, radius)) return false;  // Euclidean lower bound
+    return Distance(a, b) <= radius;
+  }
+
+  /// Display name ("euclidean", "roadnet", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Straight-line metric (the paper's default).
+class EuclideanMetric : public DistanceMetric {
+ public:
+  double Distance(const Point& a, const Point& b) const override {
+    return EuclideanDistance(a, b);
+  }
+  bool WithinRange(const Point& a, const Point& b,
+                   double radius) const override {
+    return WithinRadius(a, b, radius);
+  }
+  std::string name() const override { return "euclidean"; }
+};
+
+/// Process-wide Euclidean instance used whenever no metric is supplied.
+inline const DistanceMetric& DefaultMetric() {
+  static const EuclideanMetric metric;
+  return metric;
+}
+
+}  // namespace comx
+
+#endif  // COMX_GEO_DISTANCE_METRIC_H_

@@ -1,0 +1,103 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace comx {
+
+GridIndex::GridIndex(double cell_size_km) : cell_size_(cell_size_km) {
+  assert(cell_size_km > 0.0);
+}
+
+int32_t GridIndex::CellCoordX(double x) const {
+  return static_cast<int32_t>(std::floor(x / cell_size_));
+}
+
+int32_t GridIndex::CellCoordY(double y) const {
+  return static_cast<int32_t>(std::floor(y / cell_size_));
+}
+
+GridIndex::CellKey GridIndex::PackCell(int32_t cx, int32_t cy) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(cy));
+}
+
+GridIndex::CellKey GridIndex::KeyFor(const Point& p) const {
+  return PackCell(CellCoordX(p.x), CellCoordY(p.y));
+}
+
+Status GridIndex::Insert(int64_t id, const Point& location) {
+  auto [it, inserted] = locations_.try_emplace(id, location);
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrFormat("grid index already holds id %lld",
+                  static_cast<long long>(id)));
+  }
+  cells_[KeyFor(location)].push_back(id);
+  return Status::OK();
+}
+
+Status GridIndex::Remove(int64_t id) {
+  const auto it = locations_.find(id);
+  if (it == locations_.end()) {
+    return Status::NotFound(
+        StrFormat("grid index has no id %lld", static_cast<long long>(id)));
+  }
+  const CellKey key = KeyFor(it->second);
+  auto cell_it = cells_.find(key);
+  assert(cell_it != cells_.end());
+  auto& bucket = cell_it->second;
+  const auto pos = std::find(bucket.begin(), bucket.end(), id);
+  assert(pos != bucket.end());
+  // Swap-and-pop: bucket order is unspecified.
+  *pos = bucket.back();
+  bucket.pop_back();
+  if (bucket.empty()) cells_.erase(cell_it);
+  locations_.erase(it);
+  return Status::OK();
+}
+
+bool GridIndex::Contains(int64_t id) const { return locations_.count(id) > 0; }
+
+Point GridIndex::LocationOf(int64_t id) const {
+  const auto it = locations_.find(id);
+  assert(it != locations_.end());
+  return it->second;
+}
+
+std::vector<int64_t> GridIndex::QueryRadius(const Point& center,
+                                            double radius) const {
+  std::vector<int64_t> out;
+  ForEachInRadius(center, radius,
+                  [&out](int64_t id, double /*d2*/) { out.push_back(id); });
+  return out;
+}
+
+std::vector<int64_t> GridIndex::QueryRect(const BBox& box) const {
+  std::vector<int64_t> out;
+  if (box.empty()) return out;
+  const int32_t cx_lo = CellCoordX(box.min_corner().x);
+  const int32_t cx_hi = CellCoordX(box.max_corner().x);
+  const int32_t cy_lo = CellCoordY(box.min_corner().y);
+  const int32_t cy_hi = CellCoordY(box.max_corner().y);
+  for (int32_t cx = cx_lo; cx <= cx_hi; ++cx) {
+    for (int32_t cy = cy_lo; cy <= cy_hi; ++cy) {
+      const auto it = cells_.find(PackCell(cx, cy));
+      if (it == cells_.end()) continue;
+      for (int64_t id : it->second) {
+        if (box.Contains(locations_.at(id))) out.push_back(id);
+      }
+    }
+  }
+  return out;
+}
+
+void GridIndex::Clear() {
+  cells_.clear();
+  locations_.clear();
+}
+
+}  // namespace comx

@@ -1,0 +1,71 @@
+#include "geo/kd_tree.h"
+
+#include <algorithm>
+
+#include "geo/distance.h"
+
+namespace comx {
+
+KdTree::KdTree(std::vector<Item> items) : items_(std::move(items)) {
+  if (!items_.empty()) Build(0, items_.size(), 0);
+}
+
+void KdTree::Build(size_t lo, size_t hi, int axis) {
+  if (hi - lo <= 1) return;
+  const size_t mid = lo + (hi - lo) / 2;
+  std::nth_element(items_.begin() + static_cast<ptrdiff_t>(lo),
+                   items_.begin() + static_cast<ptrdiff_t>(mid),
+                   items_.begin() + static_cast<ptrdiff_t>(hi),
+                   [axis](const Item& a, const Item& b) {
+                     return axis == 0 ? a.location.x < b.location.x
+                                      : a.location.y < b.location.y;
+                   });
+  Build(lo, mid, axis ^ 1);
+  Build(mid + 1, hi, axis ^ 1);
+}
+
+std::vector<int64_t> KdTree::QueryRadius(const Point& center,
+                                         double radius) const {
+  std::vector<int64_t> out;
+  ForEachInRadius(center, radius,
+                  [&out](const Item& item, double /*d2*/) {
+                    out.push_back(item.id);
+                  });
+  return out;
+}
+
+Result<KdTree::Item> KdTree::Nearest(const Point& p) const {
+  if (items_.empty()) return Status::FailedPrecondition("empty kd-tree");
+  size_t best = 0;
+  double best_d2 = SquaredDistance(p, items_[0].location);
+  NearestVisit(0, items_.size(), 0, p, &best, &best_d2);
+  return items_[best];
+}
+
+void KdTree::NearestVisit(size_t lo, size_t hi, int axis, const Point& p,
+                          size_t* best, double* best_d2) const {
+  if (lo >= hi) return;
+  const size_t mid = lo + (hi - lo) / 2;
+  const double d2 = SquaredDistance(p, items_[mid].location);
+  if (d2 < *best_d2) {
+    *best_d2 = d2;
+    *best = mid;
+  }
+  const double split =
+      axis == 0 ? items_[mid].location.x : items_[mid].location.y;
+  const double delta = (axis == 0 ? p.x : p.y) - split;
+  const int next = axis ^ 1;
+  if (delta <= 0.0) {
+    NearestVisit(lo, mid, next, p, best, best_d2);
+    if (delta * delta < *best_d2) {
+      NearestVisit(mid + 1, hi, next, p, best, best_d2);
+    }
+  } else {
+    NearestVisit(mid + 1, hi, next, p, best, best_d2);
+    if (delta * delta < *best_d2) {
+      NearestVisit(lo, mid, next, p, best, best_d2);
+    }
+  }
+}
+
+}  // namespace comx

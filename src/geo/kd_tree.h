@@ -1,0 +1,96 @@
+// Static 2-d tree over (id, point) pairs: bulk-built once, then queried.
+// Complements the dynamic GridIndex — the offline graph builder and the
+// data generators query fixed point sets, where a balanced kd-tree gives
+// radius and nearest-neighbour queries without tuning a cell size. The
+// micro-benchmarks compare the two.
+
+#ifndef COMX_GEO_KD_TREE_H_
+#define COMX_GEO_KD_TREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geo/point.h"
+#include "util/result.h"
+
+namespace comx {
+
+/// Immutable balanced kd-tree.
+class KdTree {
+ public:
+  /// One indexed entry.
+  struct Item {
+    int64_t id = 0;
+    Point location;
+  };
+
+  /// Bulk-builds in O(n log n). Duplicated ids/points are allowed.
+  explicit KdTree(std::vector<Item> items);
+
+  /// All ids within `radius` of `center` (inclusive). Order unspecified.
+  std::vector<int64_t> QueryRadius(const Point& center, double radius) const;
+
+  /// Visits every hit without allocating; returns the hit count.
+  template <typename Fn>
+  size_t ForEachInRadius(const Point& center, double radius, Fn&& fn) const;
+
+  /// Nearest item to `p` (ties arbitrary). Errors on an empty tree.
+  Result<Item> Nearest(const Point& p) const;
+
+  /// Number of indexed items.
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  void Build(size_t lo, size_t hi, int axis);
+  template <typename Fn>
+  void RadiusVisit(size_t lo, size_t hi, int axis, const Point& center,
+                   double r2, Fn&& fn) const;
+  void NearestVisit(size_t lo, size_t hi, int axis, const Point& p,
+                    size_t* best, double* best_d2) const;
+
+  // Items stored in kd-order: the median of [lo, hi) sits at mid.
+  std::vector<Item> items_;
+};
+
+template <typename Fn>
+size_t KdTree::ForEachInRadius(const Point& center, double radius,
+                               Fn&& fn) const {
+  if (radius < 0.0 || items_.empty()) return 0;
+  size_t hits = 0;
+  RadiusVisit(0, items_.size(), 0, center, radius * radius,
+              [&](const Item& item, double d2) {
+                ++hits;
+                fn(item, d2);
+              });
+  return hits;
+}
+
+template <typename Fn>
+void KdTree::RadiusVisit(size_t lo, size_t hi, int axis, const Point& center,
+                         double r2, Fn&& fn) const {
+  if (lo >= hi) return;
+  const size_t mid = lo + (hi - lo) / 2;
+  const Item& item = items_[mid];
+  const double dx = item.location.x - center.x;
+  const double dy = item.location.y - center.y;
+  const double d2 = dx * dx + dy * dy;
+  if (d2 <= r2) fn(item, d2);
+  const double split = axis == 0 ? item.location.x : item.location.y;
+  const double delta = (axis == 0 ? center.x : center.y) - split;
+  const int next = axis ^ 1;
+  // Visit the side containing the query first; prune the far side when the
+  // splitting plane is beyond the radius.
+  if (delta <= 0.0) {
+    RadiusVisit(lo, mid, next, center, r2, fn);
+    if (delta * delta <= r2) RadiusVisit(mid + 1, hi, next, center, r2, fn);
+  } else {
+    RadiusVisit(mid + 1, hi, next, center, r2, fn);
+    if (delta * delta <= r2) RadiusVisit(lo, mid, next, center, r2, fn);
+  }
+}
+
+}  // namespace comx
+
+#endif  // COMX_GEO_KD_TREE_H_

@@ -1,0 +1,42 @@
+// 2D point in a local planar frame. Coordinates are kilometres: datasets in
+// latitude/longitude are projected by the data generator (equirectangular
+// around the city centre), so the range constraint of the paper ("within rad
+// kilometres") is plain Euclidean distance here. Section II of the paper
+// notes the Euclidean choice is without loss of generality.
+
+#ifndef COMX_GEO_POINT_H_
+#define COMX_GEO_POINT_H_
+
+#include <ostream>
+
+namespace comx {
+
+/// A point in the 2D plane, in kilometres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double px, double py) : x(px), y(py) {}
+
+  constexpr bool operator==(const Point& o) const {
+    return x == o.x && y == o.y;
+  }
+  constexpr bool operator!=(const Point& o) const { return !(*this == o); }
+
+  constexpr Point operator+(const Point& o) const {
+    return Point(x + o.x, y + o.y);
+  }
+  constexpr Point operator-(const Point& o) const {
+    return Point(x - o.x, y - o.y);
+  }
+  constexpr Point operator*(double s) const { return Point(x * s, y * s); }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+}  // namespace comx
+
+#endif  // COMX_GEO_POINT_H_

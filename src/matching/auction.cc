@@ -1,0 +1,97 @@
+#include "matching/auction.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace comx {
+
+Result<BipartiteMatching> AuctionMaxWeight(const BipartiteGraph& graph,
+                                           const AuctionConfig& config) {
+  const int32_t n_left = graph.left_count();
+  const int32_t n_right = graph.right_count();
+  double max_weight = 0.0;
+  for (const BipartiteEdge& e : graph.edges()) {
+    if (e.weight < 0.0) {
+      return Status::InvalidArgument("auction requires weights >= 0");
+    }
+    max_weight = std::max(max_weight, e.weight);
+  }
+
+  BipartiteMatching result;
+  result.match_of_left.assign(static_cast<size_t>(n_left), -1);
+  if (n_left == 0 || graph.edges().empty() || max_weight == 0.0) {
+    return result;
+  }
+
+  const double epsilon =
+      std::max(1e-12, max_weight * config.epsilon_fraction);
+  const auto& adj = graph.LeftAdjacency();
+  std::vector<double> price(static_cast<size_t>(n_right), 0.0);
+  std::vector<int32_t> owner(static_cast<size_t>(n_right), -1);
+  std::vector<int32_t> match(static_cast<size_t>(n_left), -1);
+  int64_t bids = 0;
+
+  std::deque<int32_t> unassigned;
+  for (int32_t l = 0; l < n_left; ++l) unassigned.push_back(l);
+
+  while (!unassigned.empty()) {
+    const int32_t person = unassigned.front();
+    unassigned.pop_front();
+    if (++bids > config.max_bids) {
+      return Status::Internal(StrFormat(
+          "auction exceeded %lld bids",
+          static_cast<long long>(config.max_bids)));
+    }
+    // Best and second-best net value over the person's edges; the implicit
+    // null option (stay unmatched) is worth exactly 0.
+    double best = 0.0, second = 0.0;
+    int32_t best_edge = -1;
+    for (int32_t ei : adj[static_cast<size_t>(person)]) {
+      const BipartiteEdge& e = graph.edges()[static_cast<size_t>(ei)];
+      const double net = e.weight - price[static_cast<size_t>(e.right)];
+      if (net > best) {
+        second = best;
+        best = net;
+        best_edge = ei;
+      } else if (net > second) {
+        second = net;
+      }
+    }
+    if (best_edge < 0) {
+      // No profitable edge at current (monotonically rising) prices: the
+      // person permanently settles for the null option.
+      continue;
+    }
+    const BipartiteEdge& chosen =
+        graph.edges()[static_cast<size_t>(best_edge)];
+    price[static_cast<size_t>(chosen.right)] += best - second + epsilon;
+    const int32_t displaced = owner[static_cast<size_t>(chosen.right)];
+    if (displaced >= 0) {
+      match[static_cast<size_t>(displaced)] = -1;
+      unassigned.push_back(displaced);
+    }
+    owner[static_cast<size_t>(chosen.right)] = person;
+    match[static_cast<size_t>(person)] = chosen.right;
+  }
+
+  for (int32_t l = 0; l < n_left; ++l) {
+    const int32_t r = match[static_cast<size_t>(l)];
+    if (r < 0) continue;
+    // Credit the max parallel weight, consistent with the other solvers.
+    double best = 0.0;
+    for (int32_t ei : adj[static_cast<size_t>(l)]) {
+      const BipartiteEdge& e = graph.edges()[static_cast<size_t>(ei)];
+      if (e.right == r) best = std::max(best, e.weight);
+    }
+    if (best <= 0.0) continue;  // zero-weight match adds nothing
+    result.match_of_left[static_cast<size_t>(l)] = r;
+    result.total_weight += best;
+    ++result.size;
+  }
+  return result;
+}
+
+}  // namespace comx

@@ -1,0 +1,109 @@
+#include "matching/hopcroft_karp.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace comx {
+namespace {
+
+constexpr int32_t kNil = -1;
+constexpr int32_t kInf = std::numeric_limits<int32_t>::max();
+
+struct HkState {
+  const std::vector<std::vector<int32_t>>* adj;  // left -> right lists
+  std::vector<int32_t> match_left;               // left -> right
+  std::vector<int32_t> match_right;              // right -> left
+  std::vector<int32_t> dist;
+
+  bool Bfs() {
+    std::queue<int32_t> q;
+    const int32_t n = static_cast<int32_t>(adj->size());
+    bool found_free_right = false;
+    for (int32_t l = 0; l < n; ++l) {
+      if (match_left[static_cast<size_t>(l)] == kNil) {
+        dist[static_cast<size_t>(l)] = 0;
+        q.push(l);
+      } else {
+        dist[static_cast<size_t>(l)] = kInf;
+      }
+    }
+    while (!q.empty()) {
+      const int32_t l = q.front();
+      q.pop();
+      for (int32_t r : (*adj)[static_cast<size_t>(l)]) {
+        const int32_t l2 = match_right[static_cast<size_t>(r)];
+        if (l2 == kNil) {
+          found_free_right = true;
+        } else if (dist[static_cast<size_t>(l2)] == kInf) {
+          dist[static_cast<size_t>(l2)] = dist[static_cast<size_t>(l)] + 1;
+          q.push(l2);
+        }
+      }
+    }
+    return found_free_right;
+  }
+
+  bool Dfs(int32_t l) {
+    for (int32_t r : (*adj)[static_cast<size_t>(l)]) {
+      const int32_t l2 = match_right[static_cast<size_t>(r)];
+      if (l2 == kNil ||
+          (dist[static_cast<size_t>(l2)] ==
+               dist[static_cast<size_t>(l)] + 1 &&
+           Dfs(l2))) {
+        match_left[static_cast<size_t>(l)] = r;
+        match_right[static_cast<size_t>(r)] = l;
+        return true;
+      }
+    }
+    dist[static_cast<size_t>(l)] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+BipartiteMatching HopcroftKarpMaxCardinality(const BipartiteGraph& graph) {
+  // Deduplicated unweighted adjacency.
+  std::vector<std::vector<int32_t>> adj(
+      static_cast<size_t>(graph.left_count()));
+  for (const BipartiteEdge& e : graph.edges()) {
+    adj[static_cast<size_t>(e.left)].push_back(e.right);
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  HkState st;
+  st.adj = &adj;
+  st.match_left.assign(static_cast<size_t>(graph.left_count()), kNil);
+  st.match_right.assign(static_cast<size_t>(graph.right_count()), kNil);
+  st.dist.assign(static_cast<size_t>(graph.left_count()), kInf);
+
+  while (st.Bfs()) {
+    for (int32_t l = 0; l < graph.left_count(); ++l) {
+      if (st.match_left[static_cast<size_t>(l)] == kNil) st.Dfs(l);
+    }
+  }
+
+  BipartiteMatching result;
+  result.match_of_left = st.match_left;
+  // Report the weight of the chosen edges (max over parallel edges).
+  const auto& ladj = graph.LeftAdjacency();
+  for (int32_t l = 0; l < graph.left_count(); ++l) {
+    const int32_t r = result.match_of_left[static_cast<size_t>(l)];
+    if (r == kNil) continue;
+    ++result.size;
+    double best = 0.0;
+    for (int32_t ei : ladj[static_cast<size_t>(l)]) {
+      const auto& e = graph.edges()[static_cast<size_t>(ei)];
+      if (e.right == r) best = std::max(best, e.weight);
+    }
+    result.total_weight += best;
+  }
+  return result;
+}
+
+}  // namespace comx

@@ -1,0 +1,19 @@
+// Maximum-cardinality bipartite matching via Hopcroft–Karp, O(E sqrt(V)).
+// Used as a structural cross-check (an upper bound on how many requests any
+// matching can complete) and in tests of the offline solvers.
+
+#ifndef COMX_MATCHING_HOPCROFT_KARP_H_
+#define COMX_MATCHING_HOPCROFT_KARP_H_
+
+#include "matching/bipartite_graph.h"
+
+namespace comx {
+
+/// Returns a maximum-cardinality matching; total_weight is the sum of the
+/// (maximum) weights of the chosen edges, but cardinality — not weight — is
+/// what is maximized.
+BipartiteMatching HopcroftKarpMaxCardinality(const BipartiteGraph& graph);
+
+}  // namespace comx
+
+#endif  // COMX_MATCHING_HOPCROFT_KARP_H_

@@ -1,0 +1,163 @@
+#include "matching/min_cost_flow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace comx {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Residual-graph arc. Paired arcs: arc i's reverse is i ^ 1.
+struct Arc {
+  int32_t to;
+  int32_t cap;
+  double cost;
+};
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(int32_t node_count) : head_(node_count) {}
+
+  void AddArc(int32_t from, int32_t to, int32_t cap, double cost) {
+    head_[static_cast<size_t>(from)].push_back(
+        static_cast<int32_t>(arcs_.size()));
+    arcs_.push_back(Arc{to, cap, cost});
+    head_[static_cast<size_t>(to)].push_back(
+        static_cast<int32_t>(arcs_.size()));
+    arcs_.push_back(Arc{from, 0, -cost});
+  }
+
+  std::vector<std::vector<int32_t>> head_;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace
+
+Result<BipartiteMatching> MinCostFlowMaxWeight(
+    const BipartiteGraph& graph, const std::vector<int32_t>& right_capacity) {
+  const int32_t n_left = graph.left_count();
+  const int32_t n_right = graph.right_count();
+  const int32_t source = n_left + n_right;
+  const int32_t sink = source + 1;
+  const int32_t node_count = sink + 1;
+
+  FlowNetwork net(node_count);
+  for (int32_t l = 0; l < n_left; ++l) net.AddArc(source, l, 1, 0.0);
+  for (int32_t r = 0; r < n_right; ++r) {
+    const int32_t cap = right_capacity.empty()
+                            ? 1
+                            : right_capacity[static_cast<size_t>(r)];
+    net.AddArc(n_left + r, sink, cap, 0.0);
+  }
+  for (const BipartiteEdge& e : graph.edges()) {
+    if (e.weight < 0.0) {
+      return Status::InvalidArgument("MinCostFlow requires weights >= 0");
+    }
+    net.AddArc(e.left, n_left + e.right, 1, -e.weight);
+  }
+
+  // Johnson potentials. The initial graph is a DAG (source -> L -> R ->
+  // sink), so one pass in that topological order computes exact shortest
+  // distances despite the negative L->R costs.
+  std::vector<double> potential(static_cast<size_t>(node_count), 0.0);
+  {
+    std::vector<double> dist(static_cast<size_t>(node_count), kInf);
+    dist[static_cast<size_t>(source)] = 0.0;
+    auto relax_from = [&](int32_t u) {
+      if (dist[static_cast<size_t>(u)] == kInf) return;
+      for (int32_t ai : net.head_[static_cast<size_t>(u)]) {
+        const Arc& a = net.arcs_[static_cast<size_t>(ai)];
+        if (a.cap <= 0) continue;
+        const double nd = dist[static_cast<size_t>(u)] + a.cost;
+        if (nd < dist[static_cast<size_t>(a.to)]) {
+          dist[static_cast<size_t>(a.to)] = nd;
+        }
+      }
+    };
+    relax_from(source);
+    for (int32_t l = 0; l < n_left; ++l) relax_from(l);
+    for (int32_t r = 0; r < n_right; ++r) relax_from(n_left + r);
+    for (int32_t v = 0; v < node_count; ++v) {
+      potential[static_cast<size_t>(v)] =
+          dist[static_cast<size_t>(v)] == kInf ? 0.0
+                                               : dist[static_cast<size_t>(v)];
+    }
+  }
+
+  std::vector<double> dist(static_cast<size_t>(node_count));
+  std::vector<int32_t> parent_arc(static_cast<size_t>(node_count));
+  BipartiteMatching result;
+  result.match_of_left.assign(static_cast<size_t>(n_left), -1);
+
+  while (true) {
+    // Dijkstra on reduced costs.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(parent_arc.begin(), parent_arc.end(), -1);
+    dist[static_cast<size_t>(source)] = 0.0;
+    using QItem = std::pair<double, int32_t>;
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    pq.emplace(0.0, source);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[static_cast<size_t>(u)]) continue;
+      for (int32_t ai : net.head_[static_cast<size_t>(u)]) {
+        const Arc& a = net.arcs_[static_cast<size_t>(ai)];
+        if (a.cap <= 0) continue;
+        const double reduced = a.cost + potential[static_cast<size_t>(u)] -
+                               potential[static_cast<size_t>(a.to)];
+        const double nd = d + reduced;
+        if (nd + 1e-12 < dist[static_cast<size_t>(a.to)]) {
+          dist[static_cast<size_t>(a.to)] = nd;
+          parent_arc[static_cast<size_t>(a.to)] = ai;
+          pq.emplace(nd, a.to);
+        }
+      }
+    }
+    if (dist[static_cast<size_t>(sink)] == kInf) break;
+    const double true_cost = dist[static_cast<size_t>(sink)] -
+                             potential[static_cast<size_t>(source)] +
+                             potential[static_cast<size_t>(sink)];
+    // Stop once the cheapest augmenting path no longer has positive gain
+    // (cost is negated weight).
+    if (true_cost >= -1e-12) break;
+
+    for (int32_t v = 0; v < node_count; ++v) {
+      if (dist[static_cast<size_t>(v)] < kInf) {
+        potential[static_cast<size_t>(v)] += dist[static_cast<size_t>(v)];
+      }
+    }
+    // Augment one unit along the path.
+    int32_t v = sink;
+    while (v != source) {
+      const int32_t ai = parent_arc[static_cast<size_t>(v)];
+      net.arcs_[static_cast<size_t>(ai)].cap -= 1;
+      net.arcs_[static_cast<size_t>(ai ^ 1)].cap += 1;
+      v = net.arcs_[static_cast<size_t>(ai ^ 1)].to;
+    }
+    result.total_weight += -true_cost;
+  }
+
+  // Recover the matching from saturated left->right arcs: a left->right arc
+  // with zero remaining capacity whose reverse has capacity carries flow.
+  for (int32_t l = 0; l < n_left; ++l) {
+    for (int32_t ai : net.head_[static_cast<size_t>(l)]) {
+      if ((ai & 1) != 0) continue;  // skip reverse arcs
+      const Arc& a = net.arcs_[static_cast<size_t>(ai)];
+      if (a.to == source || a.to == sink) continue;
+      if (a.cap == 0 && net.arcs_[static_cast<size_t>(ai ^ 1)].cap == 1) {
+        result.match_of_left[static_cast<size_t>(l)] =
+            static_cast<int32_t>(a.to - n_left);
+        ++result.size;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace comx

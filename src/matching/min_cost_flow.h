@@ -1,0 +1,28 @@
+// Exact maximum-weight bipartite b-matching via min-cost flow (successive
+// shortest augmenting paths with Johnson potentials). Handles the sparse
+// graphs the dense Hungarian cannot, and per-right-vertex capacities
+// (worker service slots). Augmentation stops as soon as the best augmenting
+// path has non-positive gain, so vertices may stay unmatched — exactly the
+// OFF objective of Section II-B.
+
+#ifndef COMX_MATCHING_MIN_COST_FLOW_H_
+#define COMX_MATCHING_MIN_COST_FLOW_H_
+
+#include <vector>
+
+#include "matching/bipartite_graph.h"
+#include "util/result.h"
+
+namespace comx {
+
+/// Exact maximum-weight matching with optional right capacities.
+///
+/// Requirements: edge weights >= 0. Complexity O(F * E log V) where F is the
+/// matching size. Empty `right_capacity` means capacity 1 everywhere.
+Result<BipartiteMatching> MinCostFlowMaxWeight(
+    const BipartiteGraph& graph,
+    const std::vector<int32_t>& right_capacity = {});
+
+}  // namespace comx
+
+#endif  // COMX_MATCHING_MIN_COST_FLOW_H_

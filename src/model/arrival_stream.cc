@@ -1,0 +1,53 @@
+#include "model/arrival_stream.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace comx {
+
+std::vector<Event> EventsForPlatform(const Instance& instance,
+                                     PlatformId platform) {
+  std::vector<Event> out;
+  out.reserve(instance.events().size());
+  for (const Event& e : instance.events()) {
+    if (e.kind == EventKind::kWorkerArrival) {
+      out.push_back(e);
+    } else if (instance.request(e.entity_id).platform == platform) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+Instance RandomOrderCopy(const Instance& instance, Rng* rng) {
+  Instance copy = instance;
+  std::vector<Event> events = copy.events();
+  rng->Shuffle(&events);
+  // Re-assign monotone times preserving the shuffled order: position i gets
+  // time i (seconds). Entity timestamps must agree with their event.
+  for (size_t i = 0; i < events.size(); ++i) {
+    events[i].time = static_cast<Timestamp>(i);
+    events[i].sequence = static_cast<int64_t>(i);
+    if (events[i].kind == EventKind::kWorkerArrival) {
+      copy.mutable_worker(events[i].entity_id)->time = events[i].time;
+    } else {
+      copy.mutable_request(events[i].entity_id)->time = events[i].time;
+    }
+  }
+  copy.SetEvents(std::move(events));
+  return copy;
+}
+
+std::string ArrivalOrderString(const Instance& instance) {
+  std::vector<std::string> parts;
+  parts.reserve(instance.events().size());
+  for (const Event& e : instance.events()) {
+    parts.push_back(StrFormat(
+        "%c%lld", e.kind == EventKind::kWorkerArrival ? 'w' : 'r',
+        static_cast<long long>(e.entity_id + 1)));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace comx

@@ -1,0 +1,49 @@
+// Assignment records and the Matching result type shared by all algorithms.
+
+#ifndef COMX_MODEL_ASSIGNMENT_H_
+#define COMX_MODEL_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "model/ids.h"
+
+namespace comx {
+
+/// One matched (request, worker) pair and its revenue accounting.
+struct Assignment {
+  RequestId request = kInvalidId;
+  WorkerId worker = kInvalidId;
+  /// True when the worker was borrowed from another platform.
+  bool is_outer = false;
+  /// Outer payment v'_r handed to the borrowed worker; 0 for inner matches.
+  double outer_payment = 0.0;
+  /// Revenue credited to the target platform: v_r for inner matches,
+  /// v_r - outer_payment for outer ones (Definition 2.5).
+  double revenue = 0.0;
+
+  bool operator==(const Assignment& o) const {
+    return request == o.request && worker == o.worker &&
+           is_outer == o.is_outer && outer_payment == o.outer_payment &&
+           revenue == o.revenue;
+  }
+};
+
+/// A full matching result M with its total revenue.
+struct Matching {
+  std::vector<Assignment> assignments;
+  /// Sum of assignment revenues (kept incrementally; Verify in tests).
+  double total_revenue = 0.0;
+
+  /// Appends an assignment and accumulates its revenue.
+  void Add(const Assignment& a) {
+    assignments.push_back(a);
+    total_revenue += a.revenue;
+  }
+
+  /// Number of matched requests.
+  size_t size() const { return assignments.size(); }
+};
+
+}  // namespace comx
+
+#endif  // COMX_MODEL_ASSIGNMENT_H_

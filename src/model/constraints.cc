@@ -1,0 +1,21 @@
+#include "model/constraints.h"
+
+#include "geo/distance.h"
+
+namespace comx {
+
+Feasibility CheckFeasibility(const Worker& w, const Request& r) {
+  // Time constraint: a worker waits in the list and can only serve requests
+  // arriving at the platform after them (Definition 2.6).
+  if (w.time > r.time) return Feasibility::kViolatesTime;
+  if (!WithinRadius(w.location, r.location, w.radius)) {
+    return Feasibility::kViolatesRange;
+  }
+  return Feasibility::kFeasible;
+}
+
+bool CanServe(const Worker& w, const Request& r) {
+  return CheckFeasibility(w, r) == Feasibility::kFeasible;
+}
+
+}  // namespace comx

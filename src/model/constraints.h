@@ -1,0 +1,31 @@
+// Feasibility predicates implementing the four constraints of Definition 2.6.
+// Occupancy (1-by-1) and irrevocability (invariable) are enforced by the
+// simulator's waiting lists; the static time + range feasibility between one
+// worker and one request lives here so every algorithm shares one definition.
+
+#ifndef COMX_MODEL_CONSTRAINTS_H_
+#define COMX_MODEL_CONSTRAINTS_H_
+
+#include "model/request.h"
+#include "model/worker.h"
+
+namespace comx {
+
+/// Why a pairing is infeasible (or kFeasible).
+enum class Feasibility : int8_t {
+  kFeasible = 0,
+  /// Worker arrived after the request (time constraint).
+  kViolatesTime = 1,
+  /// Request is outside the worker's service radius (range constraint).
+  kViolatesRange = 2,
+};
+
+/// Checks the time and range constraints for worker w serving request r.
+Feasibility CheckFeasibility(const Worker& w, const Request& r);
+
+/// Convenience: CheckFeasibility(...) == kFeasible.
+bool CanServe(const Worker& w, const Request& r);
+
+}  // namespace comx
+
+#endif  // COMX_MODEL_CONSTRAINTS_H_

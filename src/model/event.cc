@@ -1,0 +1,14 @@
+#include "model/event.h"
+
+#include "util/string_util.h"
+
+namespace comx {
+
+std::string Event::ToString() const {
+  return StrFormat("Event{t=%.3f, %s #%lld, seq=%lld}", time,
+                   kind == EventKind::kWorkerArrival ? "worker" : "request",
+                   static_cast<long long>(entity_id),
+                   static_cast<long long>(sequence));
+}
+
+}  // namespace comx

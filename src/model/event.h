@@ -1,0 +1,48 @@
+// Arrival events: the unit the online simulator consumes. An event is either
+// a worker arrival or a request arrival, referencing the entity by dense id.
+
+#ifndef COMX_MODEL_EVENT_H_
+#define COMX_MODEL_EVENT_H_
+
+#include <string>
+
+#include "model/ids.h"
+
+namespace comx {
+
+/// Kind of arrival.
+enum class EventKind : int8_t {
+  kWorkerArrival = 0,
+  kRequestArrival = 1,
+};
+
+/// One arrival in the interleaved online stream.
+struct Event {
+  /// Arrival time; the stream is sorted ascending by this.
+  Timestamp time = 0.0;
+  /// Worker or request arrival.
+  EventKind kind = EventKind::kWorkerArrival;
+  /// Dense id of the worker or request (interpreted per `kind`).
+  int64_t entity_id = kInvalidId;
+  /// Stable tiebreaker: position in the original input order. Events with
+  /// equal time are ordered by this, so worker-before-request ties follow
+  /// the dataset's declared arrival order (Table II semantics).
+  int64_t sequence = 0;
+
+  /// Strict stream order: by time, then by sequence.
+  bool operator<(const Event& other) const {
+    if (time != other.time) return time < other.time;
+    return sequence < other.sequence;
+  }
+  bool operator==(const Event& other) const {
+    return time == other.time && kind == other.kind &&
+           entity_id == other.entity_id && sequence == other.sequence;
+  }
+
+  /// Compact debug representation.
+  std::string ToString() const;
+};
+
+}  // namespace comx
+
+#endif  // COMX_MODEL_EVENT_H_

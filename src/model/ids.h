@@ -1,0 +1,27 @@
+// Strongly-hinted id aliases used across the library.
+
+#ifndef COMX_MODEL_IDS_H_
+#define COMX_MODEL_IDS_H_
+
+#include <cstdint>
+
+namespace comx {
+
+/// Identifies a request within an Instance. Dense: 0..|R|-1.
+using RequestId = int64_t;
+
+/// Identifies a worker within an Instance. Dense: 0..|W|-1.
+using WorkerId = int64_t;
+
+/// Identifies a spatial-crowdsourcing platform (0 = first platform).
+using PlatformId = int32_t;
+
+/// Sentinel for "no id".
+inline constexpr int64_t kInvalidId = -1;
+
+/// Simulation timestamps are seconds since the instance epoch.
+using Timestamp = double;
+
+}  // namespace comx
+
+#endif  // COMX_MODEL_IDS_H_

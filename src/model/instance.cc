@@ -1,0 +1,141 @@
+#include "model/instance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace comx {
+
+WorkerId Instance::AddWorker(Worker worker) {
+  worker.id = static_cast<WorkerId>(workers_.size());
+  workers_.push_back(std::move(worker));
+  return workers_.back().id;
+}
+
+RequestId Instance::AddRequest(Request request) {
+  request.id = static_cast<RequestId>(requests_.size());
+  requests_.push_back(std::move(request));
+  return requests_.back().id;
+}
+
+void Instance::BuildEvents() {
+  events_.clear();
+  events_.reserve(workers_.size() + requests_.size());
+  int64_t seq = 0;
+  for (const Worker& w : workers_) {
+    events_.push_back(Event{w.time, EventKind::kWorkerArrival, w.id, seq++});
+  }
+  for (const Request& r : requests_) {
+    events_.push_back(Event{r.time, EventKind::kRequestArrival, r.id, seq++});
+  }
+  std::stable_sort(events_.begin(), events_.end());
+  // Re-number sequences to reflect the final stream order so downstream
+  // consumers can use `sequence` as a dense position.
+  for (size_t i = 0; i < events_.size(); ++i) {
+    events_[i].sequence = static_cast<int64_t>(i);
+  }
+}
+
+void Instance::SetEvents(std::vector<Event> events) {
+  events_ = std::move(events);
+}
+
+Status Instance::Validate() const {
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (workers_[i].id != static_cast<WorkerId>(i)) {
+      return Status::Internal(StrFormat("worker %zu has id %lld", i,
+                                        static_cast<long long>(workers_[i].id)));
+    }
+    COMX_RETURN_IF_ERROR(workers_[i].Validate());
+  }
+  for (size_t i = 0; i < requests_.size(); ++i) {
+    if (requests_[i].id != static_cast<RequestId>(i)) {
+      return Status::Internal(
+          StrFormat("request %zu has id %lld", i,
+                    static_cast<long long>(requests_[i].id)));
+    }
+    COMX_RETURN_IF_ERROR(requests_[i].Validate());
+  }
+  if (events_.size() != workers_.size() + requests_.size()) {
+    return Status::FailedPrecondition(
+        StrFormat("event stream covers %zu arrivals, expected %zu",
+                  events_.size(), workers_.size() + requests_.size()));
+  }
+  std::vector<bool> seen_worker(workers_.size(), false);
+  std::vector<bool> seen_request(requests_.size(), false);
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (i > 0 && events_[i].time < events_[i - 1].time) {
+      return Status::FailedPrecondition("events not sorted by time");
+    }
+    if (e.kind == EventKind::kWorkerArrival) {
+      if (e.entity_id < 0 ||
+          e.entity_id >= static_cast<int64_t>(workers_.size())) {
+        return Status::OutOfRange("event references unknown worker");
+      }
+      if (seen_worker[e.entity_id]) {
+        return Status::FailedPrecondition("worker appears twice in events");
+      }
+      if (workers_[e.entity_id].time != e.time) {
+        return Status::FailedPrecondition(
+            "event time disagrees with worker arrival time");
+      }
+      seen_worker[e.entity_id] = true;
+    } else {
+      if (e.entity_id < 0 ||
+          e.entity_id >= static_cast<int64_t>(requests_.size())) {
+        return Status::OutOfRange("event references unknown request");
+      }
+      if (seen_request[e.entity_id]) {
+        return Status::FailedPrecondition("request appears twice in events");
+      }
+      if (requests_[e.entity_id].time != e.time) {
+        return Status::FailedPrecondition(
+            "event time disagrees with request arrival time");
+      }
+      seen_request[e.entity_id] = true;
+    }
+  }
+  return Status::OK();
+}
+
+int32_t Instance::PlatformCount() const {
+  int32_t max_id = -1;
+  for (const Worker& w : workers_) max_id = std::max(max_id, w.platform);
+  for (const Request& r : requests_) max_id = std::max(max_id, r.platform);
+  return max_id + 1;
+}
+
+double Instance::MaxRequestValue() const {
+  double max_v = 0.0;
+  for (const Request& r : requests_) max_v = std::max(max_v, r.value);
+  return max_v;
+}
+
+int64_t Instance::RequestCountOf(PlatformId platform) const {
+  int64_t n = 0;
+  for (const Request& r : requests_) n += (r.platform == platform) ? 1 : 0;
+  return n;
+}
+
+int64_t Instance::WorkerCountOf(PlatformId platform) const {
+  int64_t n = 0;
+  for (const Worker& w : workers_) n += (w.platform == platform) ? 1 : 0;
+  return n;
+}
+
+std::string Instance::Summary() const {
+  std::string out = StrFormat("Instance{|W|=%zu, |R|=%zu, platforms=%d",
+                              workers_.size(), requests_.size(),
+                              PlatformCount());
+  for (PlatformId p = 0; p < PlatformCount(); ++p) {
+    out += StrFormat("; p%d: W=%lld R=%lld", p,
+                     static_cast<long long>(WorkerCountOf(p)),
+                     static_cast<long long>(RequestCountOf(p)));
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace comx

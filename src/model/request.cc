@@ -1,0 +1,33 @@
+#include "model/request.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace comx {
+
+Status Request::Validate() const {
+  if (id < 0) return Status::InvalidArgument("request id unset");
+  if (platform < 0) return Status::InvalidArgument("request platform unset");
+  if (!std::isfinite(time)) {
+    return Status::InvalidArgument("request time not finite");
+  }
+  if (!std::isfinite(location.x) || !std::isfinite(location.y)) {
+    return Status::InvalidArgument("request location not finite");
+  }
+  if (!(value > 0.0) || !std::isfinite(value)) {
+    return Status::InvalidArgument(
+        StrFormat("request %lld value must be positive, got %f",
+                  static_cast<long long>(id), value));
+  }
+  return Status::OK();
+}
+
+std::string Request::ToString() const {
+  return StrFormat("Request{id=%lld, platform=%d, t=%.3f, loc=(%.4f,%.4f), "
+                   "v=%.2f}",
+                   static_cast<long long>(id), platform, time, location.x,
+                   location.y, value);
+}
+
+}  // namespace comx

@@ -1,0 +1,37 @@
+// Request entity (Definition 2.1 of the paper): arrival time, 2D location,
+// and the value the requester pays on completion.
+
+#ifndef COMX_MODEL_REQUEST_H_
+#define COMX_MODEL_REQUEST_H_
+
+#include <string>
+
+#include "geo/point.h"
+#include "model/ids.h"
+#include "util/status.h"
+
+namespace comx {
+
+/// A user request r = <t, l_r, v_r> belonging to one platform.
+struct Request {
+  /// Dense id within the owning Instance.
+  RequestId id = kInvalidId;
+  /// Platform that received this request (the "target platform" for it).
+  PlatformId platform = 0;
+  /// Arrival time, seconds since the instance epoch.
+  Timestamp time = 0.0;
+  /// Location in the planar km frame.
+  Point location;
+  /// Value v_r > 0 the requester pays when served.
+  double value = 0.0;
+
+  /// Validates invariants (id set, value > 0, finite fields).
+  Status Validate() const;
+
+  /// Compact debug representation.
+  std::string ToString() const;
+};
+
+}  // namespace comx
+
+#endif  // COMX_MODEL_REQUEST_H_

@@ -1,0 +1,40 @@
+#include "model/worker.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace comx {
+
+Status Worker::Validate() const {
+  if (id < 0) return Status::InvalidArgument("worker id unset");
+  if (platform < 0) return Status::InvalidArgument("worker platform unset");
+  if (!std::isfinite(time)) {
+    return Status::InvalidArgument("worker time not finite");
+  }
+  if (!std::isfinite(location.x) || !std::isfinite(location.y)) {
+    return Status::InvalidArgument("worker location not finite");
+  }
+  if (!(radius > 0.0) || !std::isfinite(radius)) {
+    return Status::InvalidArgument(
+        StrFormat("worker %lld radius must be positive, got %f",
+                  static_cast<long long>(id), radius));
+  }
+  for (double h : history) {
+    if (!(h > 0.0) || !std::isfinite(h)) {
+      return Status::InvalidArgument(
+          StrFormat("worker %lld has non-positive history value %f",
+                    static_cast<long long>(id), h));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Worker::ToString() const {
+  return StrFormat("Worker{id=%lld, platform=%d, t=%.3f, loc=(%.4f,%.4f), "
+                   "rad=%.2f, |hist|=%zu}",
+                   static_cast<long long>(id), platform, time, location.x,
+                   location.y, radius, history.size());
+}
+
+}  // namespace comx

@@ -1,0 +1,49 @@
+// Worker entity (Definitions 2.2/2.3): arrival time, location, service radius,
+// owning platform, and the completed-request value history that drives the
+// acceptance-probability model of Definition 3.1.
+
+#ifndef COMX_MODEL_WORKER_H_
+#define COMX_MODEL_WORKER_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "model/ids.h"
+#include "util/status.h"
+
+namespace comx {
+
+/// A crowd worker w = <t, l_w, rad_w>.
+///
+/// Whether a worker is "inner" or "outer" is relative to the platform doing
+/// the matching: a worker is inner for its own platform and outer for every
+/// other one; see Instance / Platform.
+struct Worker {
+  /// Dense id within the owning Instance.
+  WorkerId id = kInvalidId;
+  /// Platform the worker is registered with.
+  PlatformId platform = 0;
+  /// Arrival time, seconds since the instance epoch.
+  Timestamp time = 0.0;
+  /// Location in the planar km frame.
+  Point location;
+  /// Service radius in km (range constraint, Definition 2.6).
+  double radius = 1.0;
+  /// Values of the worker's completed history requests, ascending order not
+  /// required. Drives pr(v', w) = |{h in history : h <= v'}| / |history|
+  /// (Definition 3.1). Empty history means the worker accepts any payment
+  /// with probability 0 under the estimator, so generators always provide
+  /// at least one entry.
+  std::vector<double> history;
+
+  /// Validates invariants (id set, radius > 0, positive history values).
+  Status Validate() const;
+
+  /// Compact debug representation.
+  std::string ToString() const;
+};
+
+}  // namespace comx
+
+#endif  // COMX_MODEL_WORKER_H_

@@ -1,0 +1,31 @@
+#include "pricing/history.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace comx {
+
+ValueHistory::ValueHistory(std::vector<double> values)
+    : values_(std::move(values)) {
+  std::sort(values_.begin(), values_.end());
+}
+
+double ValueHistory::Ecdf(double v) const {
+  if (values_.empty()) return 0.0;
+  const auto it = std::upper_bound(values_.begin(), values_.end(), v);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+double ValueHistory::Quantile(double q) const {
+  assert(!values_.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+}  // namespace comx

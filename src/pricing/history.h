@@ -1,0 +1,48 @@
+// Sorted completed-request value history of one worker, exposing the
+// empirical CDF that Definition 3.1 turns into an acceptance probability.
+
+#ifndef COMX_PRICING_HISTORY_H_
+#define COMX_PRICING_HISTORY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace comx {
+
+/// Immutable sorted view over a worker's completed-request values.
+class ValueHistory {
+ public:
+  /// Builds from raw values; sorts internally. Empty histories are legal
+  /// but make every acceptance probability 0 (Definition 3.1 with N = 0 is
+  /// treated as "never accepts": the worker has no evidence of accepting
+  /// any price).
+  explicit ValueHistory(std::vector<double> values);
+
+  /// Empirical CDF: fraction of history values <= v (Definition 3.1's
+  /// N(value <= v) / N). Returns 0 for an empty history.
+  double Ecdf(double v) const;
+
+  /// Number of history entries.
+  size_t size() const { return values_.size(); }
+
+  /// True when no entries.
+  bool empty() const { return values_.empty(); }
+
+  /// Smallest / largest history value. Precondition: !empty().
+  double min() const { return values_.front(); }
+  double max() const { return values_.back(); }
+
+  /// q-th quantile with linear interpolation, q in [0,1].
+  /// Precondition: !empty().
+  double Quantile(double q) const;
+
+  /// Ascending values.
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;  // ascending
+};
+
+}  // namespace comx
+
+#endif  // COMX_PRICING_HISTORY_H_

@@ -1,0 +1,67 @@
+#include "pricing/mer_pricer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace comx {
+
+MerQuote ComputeMerQuote(const AcceptanceModel& model,
+                         const std::vector<WorkerId>& candidates,
+                         double request_value, const MerConfig& config) {
+  MerQuote best;
+  if (candidates.empty() || request_value <= 0.0) return best;
+
+  // Candidate payments: integer grid + each worker's distinct history
+  // values within (0, v_r] + v_r itself.
+  std::vector<double> grid;
+  const int int_points = std::min(
+      config.max_grid_points,
+      static_cast<int>(std::floor(request_value)));
+  const double step =
+      int_points > 0 ? request_value / static_cast<double>(int_points + 1)
+                     : request_value;
+  for (int i = 1; i <= int_points; ++i) {
+    grid.push_back(step * static_cast<double>(i));
+  }
+  grid.push_back(request_value);
+  for (WorkerId w : candidates) {
+    const auto& hist = model.HistoryOf(w).values();
+    const int take = std::min<int>(
+        config.max_history_candidates_per_worker,
+        static_cast<int>(hist.size()));
+    // Spread picks across the sorted history so both cheap and expensive
+    // acceptance thresholds are represented.
+    for (int i = 0; i < take; ++i) {
+      const size_t idx = hist.size() <= 1
+                             ? 0
+                             : (static_cast<size_t>(i) * (hist.size() - 1)) /
+                                   static_cast<size_t>(std::max(1, take - 1));
+      const double v = hist[idx];
+      if (v > 0.0 && v <= request_value) grid.push_back(v);
+    }
+  }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+
+  for (double p : grid) {
+    const double pr = model.GroupAcceptProbability(candidates, p);
+    const double expected = (request_value - p) * pr;
+    if (expected > best.expected_revenue) {
+      best.expected_revenue = expected;
+      best.payment = p;
+      best.accept_probability = pr;
+    }
+  }
+  // Degenerate case: every grid point has zero expected revenue (e.g. no
+  // worker ever accepts anything below v_r). Quote v_r itself so the caller
+  // can still try a zero-revenue-but-user-satisfying match if it wants to.
+  if (best.payment == 0.0) {
+    best.payment = request_value;
+    best.accept_probability =
+        model.GroupAcceptProbability(candidates, request_value);
+    best.expected_revenue = 0.0;
+  }
+  return best;
+}
+
+}  // namespace comx

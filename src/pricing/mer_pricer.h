@@ -1,0 +1,51 @@
+// Maximum-expected-revenue pricing (Definition 4.1, after Tong et al.
+// SIGMOD'18 [14]): choose the outer payment p maximizing
+// (v_r - p) * pr(p, W) over the feasible worker set W, where pr(p, W) is
+// the probability that at least one worker accepts p. RamCOM uses this in
+// place of DemCOM's minimum-payment rule.
+//
+// The paper cites [14] only as a fast approximate maximizer with O(max v)
+// cost; we maximize over the integer payment grid {1, 2, ..., floor(v_r)}
+// plus v_r itself plus the candidates' distinct history values below v_r
+// (the ECDF only changes there, so the grid restricted this way finds the
+// exact maximizer of the empirical objective).
+
+#ifndef COMX_PRICING_MER_PRICER_H_
+#define COMX_PRICING_MER_PRICER_H_
+
+#include <vector>
+
+#include "model/ids.h"
+#include "pricing/acceptance_model.h"
+
+namespace comx {
+
+/// Result of the MER optimization for one cooperative request.
+struct MerQuote {
+  /// Argmax payment v_re.
+  double payment = 0.0;
+  /// pr(payment, W): probability any candidate accepts.
+  double accept_probability = 0.0;
+  /// (v_r - payment) * accept_probability at the maximizer.
+  double expected_revenue = 0.0;
+};
+
+/// Tuning for the candidate-payment grid.
+struct MerConfig {
+  /// Hard cap on integer grid points evaluated (keeps per-request cost
+  /// bounded for very large values); the history-value candidates are
+  /// always included.
+  int max_grid_points = 4096;
+  /// Cap on history candidate values pulled per worker.
+  int max_history_candidates_per_worker = 32;
+};
+
+/// Computes the MER quote for a request of value `request_value` against
+/// feasible outer workers `candidates`. Empty candidates yield a zero quote.
+MerQuote ComputeMerQuote(const AcceptanceModel& model,
+                         const std::vector<WorkerId>& candidates,
+                         double request_value, const MerConfig& config = {});
+
+}  // namespace comx
+
+#endif  // COMX_PRICING_MER_PRICER_H_

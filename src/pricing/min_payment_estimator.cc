@@ -1,0 +1,70 @@
+#include "pricing/min_payment_estimator.h"
+
+#include <cmath>
+
+namespace comx {
+namespace {
+
+// One Bernoulli sweep: does any candidate accept `payment`?
+bool AnyoneAccepts(const AcceptanceModel& model,
+                   const std::vector<WorkerId>& candidates, double payment,
+                   Rng* rng) {
+  bool any = false;
+  // Every candidate is drawn (not short-circuited) so the RNG stream
+  // consumption is independent of the outcome order, keeping runs
+  // reproducible under candidate reordering.
+  for (WorkerId w : candidates) {
+    any = model.DrawAcceptance(w, payment, rng) || any;
+  }
+  return any;
+}
+
+}  // namespace
+
+int MinPaymentConfig::SampleCount() const {
+  return static_cast<int>(std::ceil(4.0 * std::log(2.0 / xi) / (eta * eta)));
+}
+
+MinPaymentEstimate EstimateMinOuterPayment(
+    const AcceptanceModel& model, const std::vector<WorkerId>& candidates,
+    double request_value, const MinPaymentConfig& config, Rng* rng) {
+  MinPaymentEstimate out;
+  const int n_s = config.SampleCount();
+  if (candidates.empty()) {
+    out.payment = request_value + config.epsilon;
+    out.reject_fraction = 1.0;
+    return out;
+  }
+
+  double sum = 0.0;
+  int rejects = 0;
+  for (int s = 0; s < n_s; ++s) {
+    // Paper Algorithm 2 lines 4-6: if nobody accepts the full value, this
+    // instance contributes v_r + epsilon.
+    if (!AnyoneAccepts(model, candidates, request_value, rng)) {
+      sum += request_value + config.epsilon;
+      ++rejects;
+      continue;
+    }
+    // Bisection (lines 7-15): v_h is the lowest payment seen to be accepted
+    // in this instance, v_l the highest seen rejected.
+    double v_l = 0.0;
+    double v_h = request_value;
+    double v_m = 0.5 * v_h;
+    while (v_m - v_l > config.xi * request_value) {
+      if (AnyoneAccepts(model, candidates, v_m, rng)) {
+        v_h = v_m;
+      } else {
+        v_l = v_m;
+      }
+      v_m = 0.5 * (v_h - v_l) + v_l;
+    }
+    sum += v_m;
+  }
+  out.payment = sum / static_cast<double>(n_s);
+  out.reject_fraction = static_cast<double>(rejects) /
+                        static_cast<double>(n_s);
+  return out;
+}
+
+}  // namespace comx

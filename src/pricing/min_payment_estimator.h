@@ -1,0 +1,51 @@
+// Algorithm 2 of the paper: Monte-Carlo + bisection estimate of the minimum
+// outer payment v'_r with which some outer worker would plausibly accept a
+// cooperative request. Each sampling instance simulates the acceptance of
+// every candidate worker and bisects the payment until the bracket is
+// narrower than xi * v_r; the estimator is the mean over
+// n_s = ceil(4 ln(2/xi) / eta^2) instances (Lemma 1 accuracy bound).
+
+#ifndef COMX_PRICING_MIN_PAYMENT_ESTIMATOR_H_
+#define COMX_PRICING_MIN_PAYMENT_ESTIMATOR_H_
+
+#include <vector>
+
+#include "model/ids.h"
+#include "pricing/acceptance_model.h"
+#include "util/rng.h"
+
+namespace comx {
+
+/// Accuracy knobs of Algorithm 2.
+struct MinPaymentConfig {
+  /// Relative bisection tolerance and Lemma 1 relative-error bound.
+  double xi = 0.1;
+  /// Lemma 1 failure-probability bound; drives the sample count.
+  double eta = 0.5;
+  /// Additive bump returned when no worker accepts even the full value v_r
+  /// in a sampling instance (paper: "sets this instance as v_r + epsilon").
+  double epsilon = 1e-3;
+
+  /// n_s = ceil(4 ln(2/xi) / eta^2).
+  int SampleCount() const;
+};
+
+/// Outcome of one estimate.
+struct MinPaymentEstimate {
+  /// Mean bisected payment over all sampling instances.
+  double payment = 0.0;
+  /// Fraction of sampling instances in which nobody accepted at v_r — a
+  /// diagnostic for "the request is effectively unservable at any price".
+  double reject_fraction = 0.0;
+};
+
+/// Runs Algorithm 2 for request value `request_value` against the candidate
+/// outer workers `candidates` (already filtered for feasibility).
+/// An empty candidate set yields payment = request_value + epsilon.
+MinPaymentEstimate EstimateMinOuterPayment(
+    const AcceptanceModel& model, const std::vector<WorkerId>& candidates,
+    double request_value, const MinPaymentConfig& config, Rng* rng);
+
+}  // namespace comx
+
+#endif  // COMX_PRICING_MIN_PAYMENT_ESTIMATOR_H_

@@ -1,0 +1,149 @@
+#include "roadnet/road_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geo/distance.h"
+#include "util/string_util.h"
+
+namespace comx {
+namespace {
+
+// Union-find used to guarantee connectivity while closing streets.
+class DisjointSet {
+ public:
+  explicit DisjointSet(int32_t n) : parent_(static_cast<size_t>(n)) {
+    for (int32_t i = 0; i < n; ++i) parent_[static_cast<size_t>(i)] = i;
+  }
+  int32_t Find(int32_t x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  bool Union(int32_t a, int32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[static_cast<size_t>(a)] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int32_t> parent_;
+};
+
+}  // namespace
+
+Status RoadGridConfig::Validate() const {
+  if (rows < 2 || cols < 2) {
+    return Status::InvalidArgument("grid needs at least 2x2 intersections");
+  }
+  if (!(spacing_km > 0.0)) {
+    return Status::InvalidArgument("spacing must be positive");
+  }
+  if (jitter_km < 0.0 || jitter_km > 0.4 * spacing_km) {
+    return Status::InvalidArgument(
+        "jitter must be in [0, 0.4 * spacing] to keep streets sane");
+  }
+  if (closure_fraction < 0.0 || closure_fraction > 0.5) {
+    return Status::InvalidArgument("closure fraction must be in [0, 0.5]");
+  }
+  if (diagonal_fraction < 0.0 || diagonal_fraction > 1.0) {
+    return Status::InvalidArgument("diagonal fraction must be in [0, 1]");
+  }
+  if (detour_factor < 1.0 || detour_factor > 3.0) {
+    return Status::InvalidArgument("detour factor must be in [1, 3]");
+  }
+  return Status::OK();
+}
+
+Result<RoadGraph> GenerateGridCity(const RoadGridConfig& config) {
+  COMX_RETURN_IF_ERROR(config.Validate());
+  Rng rng(config.seed);
+  RoadGraph graph;
+
+  const double off_x =
+      config.centered
+          ? -0.5 * config.spacing_km * static_cast<double>(config.cols - 1)
+          : 0.0;
+  const double off_y =
+      config.centered
+          ? -0.5 * config.spacing_km * static_cast<double>(config.rows - 1)
+          : 0.0;
+  auto node_at = [&](int32_t r, int32_t c) {
+    return static_cast<NodeId>(r * config.cols + c);
+  };
+  for (int32_t r = 0; r < config.rows; ++r) {
+    for (int32_t c = 0; c < config.cols; ++c) {
+      const double x = off_x + config.spacing_km * static_cast<double>(c) +
+                       rng.Normal(0.0, config.jitter_km);
+      const double y = off_y + config.spacing_km * static_cast<double>(r) +
+                       rng.Normal(0.0, config.jitter_km);
+      graph.AddNode(Point(x, y));
+    }
+  }
+
+  struct CandidateEdge {
+    NodeId a, b;
+    bool closable;
+  };
+  std::vector<CandidateEdge> edges;
+  for (int32_t r = 0; r < config.rows; ++r) {
+    for (int32_t c = 0; c < config.cols; ++c) {
+      if (c + 1 < config.cols) {
+        edges.push_back({node_at(r, c), node_at(r, c + 1), true});
+      }
+      if (r + 1 < config.rows) {
+        edges.push_back({node_at(r, c), node_at(r + 1, c), true});
+      }
+      if (r + 1 < config.rows && c + 1 < config.cols &&
+          rng.Bernoulli(config.diagonal_fraction)) {
+        // One random diagonal per selected block.
+        if (rng.Bernoulli(0.5)) {
+          edges.push_back({node_at(r, c), node_at(r + 1, c + 1), false});
+        } else {
+          edges.push_back({node_at(r, c + 1), node_at(r + 1, c), false});
+        }
+      }
+    }
+  }
+
+  // Decide closures, then ensure connectivity by keeping any closed street
+  // whose removal would disconnect (union-find over kept edges; closed
+  // streets re-added until spanning).
+  std::vector<char> keep(edges.size(), 1);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].closable && rng.Bernoulli(config.closure_fraction)) {
+      keep[i] = 0;
+    }
+  }
+  DisjointSet ds(graph.node_count());
+  int32_t components = graph.node_count();
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (keep[i] && ds.Union(edges[i].a, edges[i].b)) --components;
+  }
+  for (size_t i = 0; i < edges.size() && components > 1; ++i) {
+    if (!keep[i] && ds.Union(edges[i].a, edges[i].b)) {
+      keep[i] = 1;
+      --components;
+    }
+  }
+  if (components > 1) {
+    return Status::Internal("grid city generation left disconnected parts");
+  }
+
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (!keep[i]) continue;
+    const double euclid = EuclideanDistance(
+        graph.NodeLocation(edges[i].a), graph.NodeLocation(edges[i].b));
+    COMX_RETURN_IF_ERROR(
+        graph.AddEdge(edges[i].a, edges[i].b, euclid * config.detour_factor));
+  }
+  return graph;
+}
+
+}  // namespace comx

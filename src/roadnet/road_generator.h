@@ -1,0 +1,44 @@
+// Synthetic road-network generators: a perturbed Manhattan grid (the
+// classic city-core layout) with optional diagonal avenues and random
+// street closures that keep the network connected.
+
+#ifndef COMX_ROADNET_ROAD_GENERATOR_H_
+#define COMX_ROADNET_ROAD_GENERATOR_H_
+
+#include "roadnet/road_graph.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace comx {
+
+/// Parameters of the grid-city generator.
+struct RoadGridConfig {
+  /// Intersections per axis (rows x cols graph).
+  int32_t rows = 31;
+  int32_t cols = 31;
+  /// Block edge length in km before perturbation.
+  double spacing_km = 1.0;
+  /// Intersection positions are jittered by Normal(0, jitter_km) per axis.
+  double jitter_km = 0.08;
+  /// Fraction of grid streets randomly closed (removed); closures that
+  /// would disconnect the network are skipped.
+  double closure_fraction = 0.1;
+  /// Fraction of blocks that get one diagonal shortcut street.
+  double diagonal_fraction = 0.15;
+  /// Detour factor applied to street lengths (roads are not straight);
+  /// 1.0 = exactly the Euclidean span.
+  double detour_factor = 1.15;
+  /// Centre the grid on the origin (matching CityModel's frame).
+  bool centered = true;
+  uint64_t seed = 7;
+
+  /// Validates ranges.
+  Status Validate() const;
+};
+
+/// Generates a connected grid city. Errors on invalid config.
+Result<RoadGraph> GenerateGridCity(const RoadGridConfig& config);
+
+}  // namespace comx
+
+#endif  // COMX_ROADNET_ROAD_GENERATOR_H_

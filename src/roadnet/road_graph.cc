@@ -1,0 +1,113 @@
+#include "roadnet/road_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "geo/distance.h"
+#include "util/string_util.h"
+
+namespace comx {
+
+NodeId RoadGraph::AddNode(const Point& location) {
+  nodes_.push_back(location);
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Status RoadGraph::AddEdge(NodeId a, NodeId b, double length_km) {
+  if (a < 0 || a >= node_count() || b < 0 || b >= node_count()) {
+    return Status::OutOfRange(StrFormat("edge (%d, %d) of %d nodes", a, b,
+                                        node_count()));
+  }
+  if (a == b) return Status::InvalidArgument("self-loop road segment");
+  const double euclid = EuclideanDistance(NodeLocation(a), NodeLocation(b));
+  if (length_km <= 0.0) length_km = euclid;
+  // Small tolerance: generators compute lengths from the same coordinates.
+  if (length_km + 1e-9 < euclid) {
+    return Status::InvalidArgument(
+        StrFormat("road length %.6f below Euclidean %.6f", length_km,
+                  euclid));
+  }
+  adjacency_[static_cast<size_t>(a)].push_back(RoadArc{b, length_km});
+  adjacency_[static_cast<size_t>(b)].push_back(RoadArc{a, length_km});
+  ++edge_count_;
+  return Status::OK();
+}
+
+void RoadGraph::EnsureSnapIndex() const {
+  if (snap_indexed_count_ == nodes_.size()) return;
+  snap_index_.Clear();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    (void)snap_index_.Insert(static_cast<int64_t>(i), nodes_[i]);
+  }
+  snap_indexed_count_ = nodes_.size();
+}
+
+Result<NodeId> RoadGraph::NearestNode(const Point& p) const {
+  if (nodes_.empty()) {
+    return Status::FailedPrecondition("empty road graph");
+  }
+  EnsureSnapIndex();
+  // Expanding-ring search over the grid index.
+  for (double radius = 0.5; ; radius *= 2.0) {
+    NodeId best = -1;
+    double best_d2 = 0.0;
+    snap_index_.ForEachInRadius(p, radius, [&](int64_t id, double d2) {
+      if (best == -1 || d2 < best_d2) {
+        best = static_cast<NodeId>(id);
+        best_d2 = d2;
+      }
+    });
+    if (best != -1) return best;
+    if (radius > 1e6) break;  // degenerate geometry guard
+  }
+  // Fall back to a linear scan (unreachable for sane inputs).
+  NodeId best = 0;
+  double best_d2 = SquaredDistance(p, nodes_[0]);
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    const double d2 = SquaredDistance(p, nodes_[i]);
+    if (d2 < best_d2) {
+      best = static_cast<NodeId>(i);
+      best_d2 = d2;
+    }
+  }
+  return best;
+}
+
+bool RoadGraph::IsConnected() const {
+  if (nodes_.empty()) return true;
+  std::vector<char> seen(nodes_.size(), 0);
+  std::queue<NodeId> queue;
+  queue.push(0);
+  seen[0] = 1;
+  size_t visited = 1;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (const RoadArc& arc : ArcsFrom(u)) {
+      if (!seen[static_cast<size_t>(arc.to)]) {
+        seen[static_cast<size_t>(arc.to)] = 1;
+        ++visited;
+        queue.push(arc.to);
+      }
+    }
+  }
+  return visited == nodes_.size();
+}
+
+double RoadGraph::TotalRoadKm() const {
+  double total = 0.0;
+  for (const auto& arcs : adjacency_) {
+    for (const RoadArc& arc : arcs) total += arc.length_km;
+  }
+  return total / 2.0;  // each undirected edge counted twice
+}
+
+std::string RoadGraph::Summary() const {
+  return StrFormat("RoadGraph{nodes=%d, edges=%lld, road_km=%.1f}",
+                   node_count(), static_cast<long long>(edge_count_),
+                   TotalRoadKm());
+}
+
+}  // namespace comx

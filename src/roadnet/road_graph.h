@@ -1,0 +1,89 @@
+// Road network: an undirected weighted graph embedded in the plane.
+// Section II of the paper notes COM generalizes from Euclidean ranges to
+// shortest-path distances over road networks ("changing the service range
+// from circulars to irregular shapes"); this substrate provides that
+// backend (see road_metric.h for the sim integration).
+
+#ifndef COMX_ROADNET_ROAD_GRAPH_H_
+#define COMX_ROADNET_ROAD_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/grid_index.h"
+#include "geo/point.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace comx {
+
+/// Node id within a RoadGraph (dense, 0-based).
+using NodeId = int32_t;
+
+/// One directed half-edge in the adjacency list.
+struct RoadArc {
+  NodeId to = 0;
+  /// Travel distance in km (>= the Euclidean distance between endpoints,
+  /// enforced at AddEdge, which keeps the A* Euclidean heuristic
+  /// admissible).
+  double length_km = 0.0;
+};
+
+/// Undirected, planar-embedded road network.
+class RoadGraph {
+ public:
+  RoadGraph() = default;
+
+  /// Adds an intersection at `location`; returns its dense id.
+  NodeId AddNode(const Point& location);
+
+  /// Adds an undirected road segment. `length_km` <= 0 means "use the
+  /// Euclidean distance". Errors when ids are out of range, the endpoints
+  /// coincide with themselves (self-loop), or the length is below the
+  /// Euclidean distance between the endpoints.
+  Status AddEdge(NodeId a, NodeId b, double length_km = 0.0);
+
+  /// Number of nodes.
+  int32_t node_count() const { return static_cast<int32_t>(nodes_.size()); }
+
+  /// Number of undirected edges.
+  int64_t edge_count() const { return edge_count_; }
+
+  /// Location of a node.
+  const Point& NodeLocation(NodeId id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
+
+  /// Outgoing arcs of a node.
+  const std::vector<RoadArc>& ArcsFrom(NodeId id) const {
+    return adjacency_[static_cast<size_t>(id)];
+  }
+
+  /// Nearest node to an arbitrary point (Euclidean snap). Errors with
+  /// FailedPrecondition on an empty graph.
+  Result<NodeId> NearestNode(const Point& p) const;
+
+  /// True when every node can reach every other (BFS from node 0).
+  bool IsConnected() const;
+
+  /// Sum of all edge lengths (km of road).
+  double TotalRoadKm() const;
+
+  /// Compact description for logs.
+  std::string Summary() const;
+
+ private:
+  void EnsureSnapIndex() const;
+
+  std::vector<Point> nodes_;
+  std::vector<std::vector<RoadArc>> adjacency_;
+  int64_t edge_count_ = 0;
+  // Lazy nearest-node index; rebuilt when nodes were added since last use.
+  mutable GridIndex snap_index_{0.5};
+  mutable size_t snap_indexed_count_ = 0;
+};
+
+}  // namespace comx
+
+#endif  // COMX_ROADNET_ROAD_GRAPH_H_

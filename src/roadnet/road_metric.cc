@@ -1,0 +1,35 @@
+#include "roadnet/road_metric.h"
+
+#include "roadnet/shortest_path.h"
+
+namespace comx {
+
+double RoadNetworkMetric::Distance(const Point& a, const Point& b) const {
+  auto na = graph_->NearestNode(a);
+  auto nb = graph_->NearestNode(b);
+  if (!na.ok() || !nb.ok()) return kUnreachable;
+  const double walk_on = EuclideanDistance(a, graph_->NodeLocation(*na));
+  const double walk_off = EuclideanDistance(b, graph_->NodeLocation(*nb));
+  if (*na == *nb) {
+    // Same snap node: within one block; walk segments dominate.
+    return walk_on + walk_off;
+  }
+  const uint64_t key =
+      (static_cast<uint64_t>(static_cast<uint32_t>(*na)) << 32) |
+      static_cast<uint64_t>(static_cast<uint32_t>(*nb));
+  double path;
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    path = it->second;
+  } else {
+    path = AStarKm(*graph_, *na, *nb);
+    cache_.emplace(key, path);
+    // Undirected graph: store the reverse too.
+    cache_.emplace(
+        (static_cast<uint64_t>(static_cast<uint32_t>(*nb)) << 32) |
+            static_cast<uint64_t>(static_cast<uint32_t>(*na)),
+        path);
+  }
+  return walk_on + path + walk_off;
+}
+
+}  // namespace comx

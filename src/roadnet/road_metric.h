@@ -1,0 +1,42 @@
+// Road-network travel metric: snap both endpoints to their nearest
+// intersections, run A* between them, and add the straight-line walk-on /
+// walk-off segments. Plugs into the simulator via SimConfig::metric to
+// realize the paper's road-network range constraint.
+
+#ifndef COMX_ROADNET_ROAD_METRIC_H_
+#define COMX_ROADNET_ROAD_METRIC_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "geo/distance_metric.h"
+#include "roadnet/road_graph.h"
+
+namespace comx {
+
+/// DistanceMetric backed by shortest paths over a RoadGraph.
+///
+/// Not thread-safe (per-instance memo of node-pair distances). The metric
+/// satisfies Distance >= Euclidean because edges are at least as long as
+/// their Euclidean span and the snap walks obey the triangle inequality.
+class RoadNetworkMetric : public DistanceMetric {
+ public:
+  /// The graph must outlive the metric and be connected for sensible
+  /// results (disconnected pairs report kUnreachable).
+  explicit RoadNetworkMetric(const RoadGraph* graph) : graph_(graph) {}
+
+  double Distance(const Point& a, const Point& b) const override;
+
+  std::string name() const override { return "roadnet"; }
+
+  /// Node-pair distances memoized so far (diagnostics).
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  const RoadGraph* graph_;
+  mutable std::unordered_map<uint64_t, double> cache_;
+};
+
+}  // namespace comx
+
+#endif  // COMX_ROADNET_ROAD_METRIC_H_

@@ -1,0 +1,49 @@
+// Shortest-path queries over a RoadGraph: point-to-point Dijkstra / A* and
+// the bounded "Dijkstra ball" that powers road-network range constraints
+// (all nodes reachable within d km — the paper's "irregular shapes").
+
+#ifndef COMX_ROADNET_SHORTEST_PATH_H_
+#define COMX_ROADNET_SHORTEST_PATH_H_
+
+#include <limits>
+#include <vector>
+
+#include "roadnet/road_graph.h"
+
+namespace comx {
+
+/// Sentinel distance for unreachable nodes.
+inline constexpr double kUnreachable =
+    std::numeric_limits<double>::infinity();
+
+/// Shortest network distance from `source` to `target` in km; kUnreachable
+/// when disconnected. Plain Dijkstra with early exit at the target.
+double ShortestPathKm(const RoadGraph& graph, NodeId source, NodeId target);
+
+/// A* with the Euclidean heuristic (admissible because every edge is at
+/// least as long as its Euclidean span). Identical results to Dijkstra,
+/// fewer settled nodes on spread-out targets.
+double AStarKm(const RoadGraph& graph, NodeId source, NodeId target);
+
+/// Distances from `source` to every node (full Dijkstra).
+std::vector<double> SingleSourceKm(const RoadGraph& graph, NodeId source);
+
+/// One reached node of a bounded Dijkstra.
+struct ReachedNode {
+  NodeId node = 0;
+  double distance_km = 0.0;
+};
+
+/// All nodes within `radius_km` network distance of `source`, in
+/// non-decreasing distance order (the "Dijkstra ball").
+std::vector<ReachedNode> NodesWithinKm(const RoadGraph& graph, NodeId source,
+                                       double radius_km);
+
+/// Shortest path as a node sequence (source first, target last); empty
+/// when unreachable.
+std::vector<NodeId> ShortestPathNodes(const RoadGraph& graph, NodeId source,
+                                      NodeId target);
+
+}  // namespace comx
+
+#endif  // COMX_ROADNET_SHORTEST_PATH_H_

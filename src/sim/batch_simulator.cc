@@ -1,0 +1,256 @@
+#include "sim/batch_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "matching/greedy_offline.h"
+#include "matching/hungarian.h"
+#include "pricing/acceptance_model.h"
+#include "pricing/mer_pricer.h"
+#include "sim/worker_pool.h"
+#include "util/memory_meter.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace comx {
+namespace {
+
+struct QueuedEvent {
+  Event event;
+  bool operator>(const QueuedEvent& o) const { return o.event < event; }
+};
+
+struct PendingRequest {
+  RequestId id = kInvalidId;
+  int64_t arrival_window = 0;
+};
+
+}  // namespace
+
+Result<SimResult> RunBatchSimulation(const Instance& instance,
+                                     const BatchConfig& config,
+                                     uint64_t seed) {
+  if (!(config.window_seconds > 0.0)) {
+    return Status::InvalidArgument("window_seconds must be positive");
+  }
+  if (config.max_wait_windows < 1) {
+    return Status::InvalidArgument("max_wait_windows must be >= 1");
+  }
+  const int32_t platform_count = instance.PlatformCount();
+  Stopwatch wall;
+  const DistanceMetric& metric =
+      config.sim.metric != nullptr ? *config.sim.metric : DefaultMetric();
+  const AcceptanceModel acceptance(instance, config.sim.acceptance_mode,
+                                   config.sim.reservation_seed);
+  WorkerPool pool(instance, &metric);
+  Rng rng(seed);
+
+  SimResult result;
+  result.metrics.per_platform.assign(static_cast<size_t>(platform_count),
+                                     PlatformMetrics{});
+
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>>
+      queue;
+  for (const Event& e : instance.events()) queue.push(QueuedEvent{e});
+  int64_t dynamic_sequence = static_cast<int64_t>(instance.events().size());
+  const int64_t static_event_count = dynamic_sequence;
+  std::vector<Point> drop_off(instance.workers().size());
+
+  std::vector<std::deque<PendingRequest>> pending(
+      static_cast<size_t>(platform_count));
+  int64_t window_index = 1;
+
+  auto flush_platform = [&](PlatformId p, Timestamp now) -> Status {
+    auto& waiting = pending[static_cast<size_t>(p)];
+    PlatformMetrics& pm = result.metrics.per_platform[static_cast<size_t>(p)];
+    // Expire requests that waited too long.
+    while (!waiting.empty() &&
+           window_index - waiting.front().arrival_window >=
+               config.max_wait_windows) {
+      ++pm.rejected;
+      waiting.pop_front();
+    }
+    if (waiting.empty()) return Status::OK();
+
+    // Build the window's bipartite graph over idle workers. Left vertices
+    // are pending requests; right vertices are (dense-reindexed) workers.
+    // BipartiteGraph's right count is fixed at construction, so edges are
+    // collected first.
+    std::vector<WorkerId> worker_of_column;
+    std::vector<int32_t> column_of_worker(instance.workers().size(), -1);
+    struct EdgePlan {
+      double payment;   // 0 for inner
+      bool is_outer;
+    };
+    struct RawEdge {
+      int32_t left;
+      WorkerId worker;
+      double weight;
+      EdgePlan plan;
+    };
+    std::vector<RawEdge> raw_edges;
+    for (size_t li = 0; li < waiting.size(); ++li) {
+      const Request& r = instance.request(waiting[li].id);
+      for (WorkerId w :
+           pool.FeasibleWorkersAt(r, p, /*inner=*/true, now)) {
+        raw_edges.push_back(RawEdge{static_cast<int32_t>(li), w, r.value,
+                                    EdgePlan{0.0, false}});
+      }
+      if (!config.allow_outer) continue;
+      const std::vector<WorkerId> outer =
+          pool.FeasibleWorkersAt(r, p, /*inner=*/false, now);
+      for (WorkerId w : outer) {
+        // Per-worker MER price (Definition 4.1 with W = {w}).
+        const MerQuote quote = ComputeMerQuote(acceptance, {w}, r.value);
+        const double gain = r.value - quote.payment;
+        if (!(gain > 0.0)) continue;
+        // Weight by expected revenue so the matcher prefers likely
+        // acceptances; the realized revenue is drawn below.
+        raw_edges.push_back(RawEdge{static_cast<int32_t>(li), w,
+                                    quote.expected_revenue,
+                                    EdgePlan{quote.payment, true}});
+      }
+    }
+    for (const RawEdge& e : raw_edges) {
+      if (column_of_worker[static_cast<size_t>(e.worker)] < 0) {
+        column_of_worker[static_cast<size_t>(e.worker)] =
+            static_cast<int32_t>(worker_of_column.size());
+        worker_of_column.push_back(e.worker);
+      }
+    }
+    BipartiteGraph window_graph(static_cast<int32_t>(waiting.size()),
+                                static_cast<int32_t>(worker_of_column.size()));
+    std::vector<EdgePlan> plan_of_edge;
+    for (const RawEdge& e : raw_edges) {
+      COMX_RETURN_IF_ERROR(window_graph.AddEdge(
+          e.left, column_of_worker[static_cast<size_t>(e.worker)], e.weight));
+      plan_of_edge.push_back(e.plan);
+    }
+
+    BipartiteMatching matched;
+    const int64_t cells = static_cast<int64_t>(window_graph.left_count()) *
+                          static_cast<int64_t>(window_graph.right_count());
+    if (cells <= 250'000) {
+      COMX_ASSIGN_OR_RETURN(matched, HungarianMaxWeight(window_graph));
+    } else {
+      matched = GreedyMaxWeight(window_graph);
+    }
+
+    // Recover the chosen edge per matched pair (max weight wins, matching
+    // the solver's credit).
+    const auto& adj = window_graph.LeftAdjacency();
+    std::deque<PendingRequest> still_waiting;
+    for (size_t li = 0; li < waiting.size(); ++li) {
+      const int32_t column =
+          matched.match_of_left[static_cast<size_t>(li)];
+      const Request& r = instance.request(waiting[li].id);
+      if (column < 0) {
+        still_waiting.push_back(waiting[li]);  // retry next window
+        continue;
+      }
+      int32_t best_edge = -1;
+      double best_weight = -1.0;
+      for (int32_t ei : adj[li]) {
+        const BipartiteEdge& e =
+            window_graph.edges()[static_cast<size_t>(ei)];
+        if (e.right == column && e.weight > best_weight) {
+          best_weight = e.weight;
+          best_edge = ei;
+        }
+      }
+      if (best_edge < 0) {
+        return Status::Internal("batch matching chose a non-edge");
+      }
+      const EdgePlan& plan = plan_of_edge[static_cast<size_t>(best_edge)];
+      const WorkerId wid = worker_of_column[static_cast<size_t>(column)];
+
+      // Outer assignments face the acceptance draw; a decline rejects the
+      // request (as in Algorithm 1 lines 25-26).
+      if (plan.is_outer) {
+        ++pm.outer_offers;
+        if (!acceptance.Accepts(wid, plan.payment, &rng)) {
+          ++pm.rejected;
+          continue;
+        }
+      }
+
+      const double pickup_km =
+          metric.Distance(pool.CurrentLocation(wid), r.location);
+      Assignment a;
+      a.request = r.id;
+      a.worker = wid;
+      a.is_outer = plan.is_outer;
+      a.outer_payment = plan.payment;
+      a.revenue = plan.is_outer ? r.value - plan.payment : r.value;
+      ++pm.completed;
+      if (plan.is_outer) {
+        ++pm.completed_outer;
+        pm.outer_payment_sum += plan.payment;
+        pm.payment_rate_sum += plan.payment / r.value;
+      } else {
+        ++pm.completed_inner;
+      }
+      pm.revenue += a.revenue;
+      pm.total_pickup_km += pickup_km;
+      // Batch latency: arrival to window close, reported in microseconds
+      // of *simulated* time (a different semantic from the online
+      // algorithms' compute latency — see header).
+      pm.response_time_us.Add((now - r.time) * 1e6);
+      result.matching.Add(a);
+
+      COMX_RETURN_IF_ERROR(pool.MarkOccupied(wid));
+      if (config.sim.workers_recycle) {
+        const double duration =
+            ServiceDurationSeconds(config.sim, pickup_km, r.value);
+        Event rearrival;
+        rearrival.time = now + duration;
+        rearrival.kind = EventKind::kWorkerArrival;
+        rearrival.entity_id = wid;
+        rearrival.sequence = dynamic_sequence++;
+        drop_off[static_cast<size_t>(wid)] = r.location;
+        queue.push(QueuedEvent{rearrival});
+      }
+    }
+    waiting = std::move(still_waiting);
+    return Status::OK();
+  };
+
+  auto any_pending = [&] {
+    for (const auto& dq : pending) {
+      if (!dq.empty()) return true;
+    }
+    return false;
+  };
+
+  while (!queue.empty() || any_pending()) {
+    const Timestamp flush_time =
+        static_cast<double>(window_index) * config.window_seconds;
+    while (!queue.empty() && queue.top().event.time <= flush_time) {
+      const Event e = queue.top().event;
+      queue.pop();
+      if (e.kind == EventKind::kWorkerArrival) {
+        const Point where = (e.sequence < static_event_count)
+                                ? instance.worker(e.entity_id).location
+                                : drop_off[static_cast<size_t>(e.entity_id)];
+        COMX_RETURN_IF_ERROR(pool.OnArrival(e.entity_id, where, e.time));
+      } else {
+        const Request& r = instance.request(e.entity_id);
+        pending[static_cast<size_t>(r.platform)].push_back(
+            PendingRequest{r.id, window_index});
+      }
+    }
+    for (PlatformId p = 0; p < platform_count; ++p) {
+      COMX_RETURN_IF_ERROR(flush_platform(p, flush_time));
+    }
+    ++window_index;
+  }
+
+  result.metrics.rss_bytes = CurrentRssBytes();
+  result.metrics.wall_seconds = wall.ElapsedNanos() / 1e9;
+  return result;
+}
+
+}  // namespace comx

@@ -1,0 +1,54 @@
+// Batched dispatch: instead of deciding each request the instant it
+// arrives (the paper's online model), the platform collects arrivals for a
+// time window and solves one maximum-weight matching per window over the
+// currently idle workers. This is the classic alternative the spatial-
+// crowdsourcing literature compares online algorithms against; the bench
+// (bench_batch.cc) quantifies the latency-for-revenue trade against
+// DemCOM/RamCOM on identical workloads.
+//
+// Time-constraint semantics: batching decides at window close, so a
+// worker qualifies for a pending request when it is idle at the flush
+// time (Def. 2.6's arrival-order constraint is taken against the decision
+// time, not the request's arrival) — this is exactly what lets pending
+// requests be retried when supply frees up, the capability online
+// dispatch lacks.
+//
+// Cooperative borrowing in a batch: outer edges are priced with the MER
+// rule (Definition 4.1) against the idle outer workers; an outer
+// assignment still has to survive the acceptance draw (Algorithm 1 lines
+// 17-20 semantics), so batching does not sidestep the incentive mechanism.
+
+#ifndef COMX_SIM_BATCH_SIMULATOR_H_
+#define COMX_SIM_BATCH_SIMULATOR_H_
+
+#include "sim/simulator.h"
+
+namespace comx {
+
+/// Knobs of the batch runner.
+struct BatchConfig {
+  /// Window length; arrivals within a window are matched together at the
+  /// window's end.
+  double window_seconds = 30.0;
+  /// Physics + acceptance mode, as for the online simulator.
+  SimConfig sim;
+  /// Allow cross-platform borrowing inside a batch.
+  bool allow_outer = true;
+  /// A request unmatched after this many windows is rejected (it keeps
+  /// retrying in the meantime — the capability online dispatch lacks).
+  int32_t max_wait_windows = 4;
+};
+
+/// Runs batched dispatch for every platform over the instance. Each
+/// platform batches its own requests; the worker pool is shared exactly as
+/// in the online simulator. Response time is reported as the matching
+/// latency each request experienced: time from its arrival to its window's
+/// close (in milliseconds, wall-clock of the *simulated* world — this is
+/// the user-visible waiting cost that batching introduces).
+Result<SimResult> RunBatchSimulation(const Instance& instance,
+                                     const BatchConfig& config,
+                                     uint64_t seed);
+
+}  // namespace comx
+
+#endif  // COMX_SIM_BATCH_SIMULATOR_H_

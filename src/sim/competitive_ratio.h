@@ -1,0 +1,65 @@
+// Empirical competitive-ratio harness for the two online models of
+// Section II-B: the adversarial model (worst ratio over arrival orders,
+// Definition 2.7) and the random-order model (expected ratio, Definition
+// 2.8). Orders are sampled uniformly; the offline optimum is recomputed per
+// order (OFF knows the order, so its value is order-dependent through the
+// time constraint).
+
+#ifndef COMX_SIM_COMPETITIVE_RATIO_H_
+#define COMX_SIM_COMPETITIVE_RATIO_H_
+
+#include <functional>
+#include <memory>
+
+#include "core/offline_opt.h"
+#include "core/online_matcher.h"
+#include "model/instance.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+#include "util/stats.h"
+
+namespace comx {
+
+/// Knobs for the CR estimation.
+struct CrConfig {
+  /// Number of uniformly sampled arrival orders.
+  int permutations = 100;
+  /// Base RNG seed (permutation i uses seed + i for both shuffle and
+  /// matcher randomness).
+  uint64_t seed = 7;
+  /// Simulation physics; defaults to the strict theory setting.
+  SimConfig sim = [] {
+    SimConfig c;
+    c.workers_recycle = false;
+    c.measure_response_time = false;
+    return c;
+  }();
+  /// Offline solver settings (exact solvers for the small CR instances).
+  OfflineConfig offline;
+};
+
+/// Estimated ratios over the sampled orders.
+struct CrEstimate {
+  /// min over sampled orders of alg/OPT — an upper bound estimate of CR_A.
+  double min_ratio = 0.0;
+  /// mean over sampled orders of alg/OPT — the CR_RO estimate.
+  double mean_ratio = 0.0;
+  /// Per-order ratio distribution.
+  RunningStats ratios;
+  /// Orders skipped because OPT was 0 (no feasible pair at any order).
+  int skipped = 0;
+};
+
+/// Factory producing a fresh matcher instance (one per platform per order).
+using MatcherFactoryFn = std::function<std::unique_ptr<OnlineMatcher>()>;
+
+/// Runs the estimation: for each sampled order, simulate `factory` matchers
+/// on every platform, solve OFF per platform on the same order, and record
+/// total-revenue ratios.
+Result<CrEstimate> EstimateCompetitiveRatio(const Instance& instance,
+                                            const MatcherFactoryFn& factory,
+                                            const CrConfig& config);
+
+}  // namespace comx
+
+#endif  // COMX_SIM_COMPETITIVE_RATIO_H_

@@ -1,0 +1,64 @@
+#include "sim/metrics.h"
+
+#include "util/string_util.h"
+
+namespace comx {
+
+double PlatformMetrics::AcceptanceRatio() const {
+  if (outer_offers == 0) return 0.0;
+  return static_cast<double>(completed_outer) /
+         static_cast<double>(outer_offers);
+}
+
+double PlatformMetrics::MeanPaymentRate() const {
+  if (completed_outer == 0) return 0.0;
+  return payment_rate_sum / static_cast<double>(completed_outer);
+}
+
+double PlatformMetrics::MeanResponseTimeMs() const {
+  return response_time_us.mean() / 1000.0;
+}
+
+void PlatformMetrics::Merge(const PlatformMetrics& other) {
+  revenue += other.revenue;
+  completed += other.completed;
+  completed_inner += other.completed_inner;
+  completed_outer += other.completed_outer;
+  rejected += other.rejected;
+  outer_offers += other.outer_offers;
+  outer_payment_sum += other.outer_payment_sum;
+  payment_rate_sum += other.payment_rate_sum;
+  total_pickup_km += other.total_pickup_km;
+  response_time_us.Merge(other.response_time_us);
+}
+
+std::string PlatformMetrics::ToString() const {
+  return StrFormat(
+      "rev=%.2f cpr=%lld (in=%lld out=%lld) rej=%lld acpRt=%.3f "
+      "payRate=%.3f rt=%.4fms",
+      revenue, static_cast<long long>(completed),
+      static_cast<long long>(completed_inner),
+      static_cast<long long>(completed_outer),
+      static_cast<long long>(rejected), AcceptanceRatio(), MeanPaymentRate(),
+      MeanResponseTimeMs());
+}
+
+double SimMetrics::TotalRevenue() const {
+  double total = 0.0;
+  for (const auto& m : per_platform) total += m.revenue;
+  return total;
+}
+
+int64_t SimMetrics::TotalCooperative() const {
+  int64_t total = 0;
+  for (const auto& m : per_platform) total += m.completed_outer;
+  return total;
+}
+
+PlatformMetrics SimMetrics::Aggregate() const {
+  PlatformMetrics agg;
+  for (const auto& m : per_platform) agg.Merge(m);
+  return agg;
+}
+
+}  // namespace comx

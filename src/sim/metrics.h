@@ -1,0 +1,82 @@
+// Per-platform effectiveness and efficiency metrics — exactly the columns of
+// the paper's Tables V-VII and the series of Fig. 5.
+
+#ifndef COMX_SIM_METRICS_H_
+#define COMX_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace comx {
+
+/// Everything the evaluation section reports for one platform.
+struct PlatformMetrics {
+  /// Total revenue Rev (Equation 1).
+  double revenue = 0.0;
+  /// |CpR|: completed requests (inner + cooperative).
+  int64_t completed = 0;
+  /// Completed by own (inner) workers.
+  int64_t completed_inner = 0;
+  /// |CoR| contribution: completed by borrowed (outer) workers.
+  int64_t completed_outer = 0;
+  /// Requests rejected.
+  int64_t rejected = 0;
+  /// Requests offered to outer workers at some payment (accepted or not);
+  /// the denominator of |AcpRt|.
+  int64_t outer_offers = 0;
+  /// Sum of v'_r over completed cooperative requests.
+  double outer_payment_sum = 0.0;
+  /// Sum of v'_r / v_r over completed cooperative requests; the numerator
+  /// of the paper's mean outer-payment-rate column.
+  double payment_rate_sum = 0.0;
+  /// Total pickup travel of the serving workers in km (the travel the
+  /// paper's future-work extension minimizes; see core/cost_aware.h).
+  double total_pickup_km = 0.0;
+  /// Per-request matcher latency in microseconds.
+  RunningStats response_time_us;
+
+  /// |AcpRt| = completed_outer / outer_offers (0 when never offered).
+  double AcceptanceRatio() const;
+
+  /// Mean v'_r / v_r over completed cooperative requests (0 when none).
+  double MeanPaymentRate() const;
+
+  /// Mean matcher latency in milliseconds (the paper's "Response Time").
+  double MeanResponseTimeMs() const;
+
+  /// Revenue net of pickup travel at `cost_per_km` (extension metric).
+  double NetRevenue(double cost_per_km) const {
+    return revenue - cost_per_km * total_pickup_km;
+  }
+
+  /// Merges another metrics block (for aggregating platforms).
+  void Merge(const PlatformMetrics& other);
+
+  /// One-line summary for logs.
+  std::string ToString() const;
+};
+
+/// Whole-run result: per-platform metrics plus global resource usage.
+struct SimMetrics {
+  std::vector<PlatformMetrics> per_platform;
+  /// Logical bytes of live state (instance + pool), deterministic.
+  int64_t logical_bytes = 0;
+  /// Process RSS sampled at the end of the run (platform-dependent).
+  int64_t rss_bytes = 0;
+  /// Wall-clock seconds of the whole simulation.
+  double wall_seconds = 0.0;
+
+  /// Sum of revenues over all platforms.
+  double TotalRevenue() const;
+  /// Sum of |CoR| over all platforms.
+  int64_t TotalCooperative() const;
+  /// Aggregate of every per-platform block.
+  PlatformMetrics Aggregate() const;
+};
+
+}  // namespace comx
+
+#endif  // COMX_SIM_METRICS_H_

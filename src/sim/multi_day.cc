@@ -1,0 +1,106 @@
+#include "sim/multi_day.h"
+
+#include <algorithm>
+
+#include "datagen/city_model.h"
+
+namespace comx {
+namespace {
+
+// Next day's instance: same workers (with current histories), fresh
+// arrival times for everyone, fresh requests.
+Result<Instance> NextDay(const Instance& today,
+                         const SyntheticConfig& config, uint64_t day_seed) {
+  SyntheticConfig fresh = config;
+  fresh.seed = day_seed;
+  COMX_ASSIGN_OR_RETURN(Instance day, GenerateSynthetic(fresh));
+  // Replace the generated workers' histories and locations with the
+  // carried-over population (worker counts are identical: same config).
+  for (WorkerId w = 0; w < static_cast<WorkerId>(today.workers().size());
+       ++w) {
+    day.mutable_worker(w)->location = today.worker(w).location;
+    day.mutable_worker(w)->history = today.worker(w).history;
+  }
+  day.BuildEvents();
+  COMX_RETURN_IF_ERROR(day.Validate());
+  return day;
+}
+
+void AppendHistory(Instance* instance, WorkerId worker, double payment,
+                   int32_t cap) {
+  auto& history = instance->mutable_worker(worker)->history;
+  history.push_back(std::max(0.01, payment));
+  if (static_cast<int32_t>(history.size()) > cap) {
+    history.erase(history.begin(),
+                  history.begin() +
+                      (static_cast<int64_t>(history.size()) - cap));
+  }
+}
+
+}  // namespace
+
+Result<MultiDayResult> RunMultiDay(const MultiDayConfig& config,
+                                   const DayMatcherFactory& factory,
+                                   uint64_t seed) {
+  if (config.days < 1) {
+    return Status::InvalidArgument("days must be >= 1");
+  }
+  if (config.max_history_length < 1) {
+    return Status::InvalidArgument("history cap must be >= 1");
+  }
+
+  SyntheticConfig base = config.day_template;
+  base.seed = seed;
+  COMX_ASSIGN_OR_RETURN(Instance day, GenerateSynthetic(base));
+
+  MultiDayResult trajectory;
+  for (int d = 0; d < config.days; ++d) {
+    std::vector<std::unique_ptr<OnlineMatcher>> owned;
+    std::vector<OnlineMatcher*> matchers;
+    for (PlatformId p = 0; p < day.PlatformCount(); ++p) {
+      owned.push_back(factory());
+      matchers.push_back(owned.back().get());
+    }
+    COMX_ASSIGN_OR_RETURN(
+        SimResult result,
+        RunSimulation(day, matchers, config.sim,
+                      seed * 1000003ull + static_cast<uint64_t>(d)));
+
+    if (config.update_histories) {
+      for (const Assignment& a : result.matching.assignments) {
+        const double payment =
+            a.is_outer ? a.outer_payment : day.request(a.request).value;
+        AppendHistory(&day, a.worker, payment, config.max_history_length);
+      }
+    }
+
+    DayOutcome outcome;
+    const PlatformMetrics agg = result.metrics.Aggregate();
+    outcome.revenue = agg.revenue;
+    outcome.completed = agg.completed;
+    outcome.cooperative = agg.completed_outer;
+    outcome.acceptance = agg.AcceptanceRatio();
+    outcome.payment_rate = agg.MeanPaymentRate();
+    double history_sum = 0.0;
+    int64_t history_count = 0;
+    for (const Worker& w : day.workers()) {
+      for (double h : w.history) {
+        history_sum += h;
+        ++history_count;
+      }
+    }
+    outcome.mean_history_value =
+        history_count > 0 ? history_sum / static_cast<double>(history_count)
+                          : 0.0;
+    trajectory.days.push_back(outcome);
+
+    if (d + 1 < config.days) {
+      COMX_ASSIGN_OR_RETURN(
+          day, NextDay(day, config.day_template,
+                       seed * 7919ull + static_cast<uint64_t>(d) + 1));
+    }
+  }
+  return trajectory;
+}
+
+}  // namespace comx

@@ -1,0 +1,73 @@
+// Multi-day simulation with incentive feedback. Definition 3.1 estimates a
+// worker's acceptance from its *completed-request history* — so every
+// cooperative payment a platform makes today changes how that worker
+// prices tomorrow. This module replays a fixed worker population over
+// consecutive days (fresh requests and arrival times per day), appending
+// each completed service's payment to the serving worker's history, and
+// reports the per-day trajectory of acceptance, payment rate, and revenue.
+//
+// The dynamics this exposes: DemCOM's minimum payments seed histories with
+// cheap entries, making workers look (and act, under Definition 3.1's
+// model) ever cheaper — a race to the bottom; RamCOM's MER payments keep
+// histories near the revenue-optimal level. Neither effect is analyzed in
+// the paper, but both follow directly from its acceptance model.
+
+#ifndef COMX_SIM_MULTI_DAY_H_
+#define COMX_SIM_MULTI_DAY_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/online_matcher.h"
+#include "datagen/synthetic.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+
+namespace comx {
+
+/// Knobs of the multi-day replay.
+struct MultiDayConfig {
+  /// Consecutive days simulated.
+  int days = 7;
+  /// Day-0 generator; subsequent days keep its worker population
+  /// (locations, radii, evolving histories) and redraw requests and
+  /// arrival times with per-day seeds.
+  SyntheticConfig day_template;
+  /// Simulation physics shared by every day.
+  SimConfig sim;
+  /// Append completed payments to the serving workers' histories.
+  bool update_histories = true;
+  /// History length cap; oldest entries are dropped FIFO.
+  int32_t max_history_length = 60;
+};
+
+/// Per-day aggregate outcome.
+struct DayOutcome {
+  double revenue = 0.0;
+  int64_t completed = 0;
+  int64_t cooperative = 0;
+  double acceptance = 0.0;
+  double payment_rate = 0.0;
+  /// Mean worker history value at the END of the day (the price-level
+  /// signal the next day's estimators see).
+  double mean_history_value = 0.0;
+};
+
+/// Full trajectory.
+struct MultiDayResult {
+  std::vector<DayOutcome> days;
+};
+
+/// Factory producing one fresh matcher per platform per day.
+using DayMatcherFactory = std::function<std::unique_ptr<OnlineMatcher>()>;
+
+/// Runs the replay. Errors propagate from generation or simulation.
+Result<MultiDayResult> RunMultiDay(const MultiDayConfig& config,
+                                   const DayMatcherFactory& factory,
+                                   uint64_t seed);
+
+}  // namespace comx
+
+#endif  // COMX_SIM_MULTI_DAY_H_

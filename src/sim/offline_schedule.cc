@@ -1,0 +1,161 @@
+#include "sim/offline_schedule.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "pricing/acceptance_model.h"
+#include "util/string_util.h"
+
+namespace comx {
+namespace {
+
+struct WorkerState {
+  Timestamp available_at = 0.0;
+  Point location;
+};
+
+struct SearchContext {
+  const Instance* instance;
+  const ScheduleConfig* config;
+  const DistanceMetric* metric;
+  PlatformId target;
+  std::vector<RequestId> requests;     // target requests, arrival order
+  std::vector<double> suffix_value;    // upper bound on remaining revenue
+  std::vector<double> reservations;    // rho_w per worker
+  int64_t nodes = 0;
+  double best = 0.0;
+  std::vector<int64_t> best_choice;    // worker id or -1 per request
+  std::vector<int64_t> choice;
+  bool node_budget_exceeded = false;
+
+  void Dfs(size_t idx, double revenue, std::vector<WorkerState>* workers) {
+    if (node_budget_exceeded) return;
+    if (++nodes > config->max_nodes) {
+      node_budget_exceeded = true;
+      return;
+    }
+    if (idx == requests.size()) {
+      if (revenue > best) {
+        best = revenue;
+        best_choice = choice;
+      }
+      return;
+    }
+    // Bound: even collecting every remaining value can't beat the best.
+    if (revenue + suffix_value[idx] <= best) return;
+
+    const Request& r = instance->request(requests[idx]);
+    // Try every feasible worker, most valuable first for better pruning.
+    struct Option {
+      WorkerId worker;
+      double gain;
+    };
+    std::vector<Option> options;
+    for (const Worker& w : instance->workers()) {
+      WorkerState& state = (*workers)[static_cast<size_t>(w.id)];
+      if (state.available_at > r.time) continue;
+      if (!metric->WithinRange(state.location, r.location, w.radius)) {
+        continue;
+      }
+      double gain;
+      if (w.platform == target) {
+        gain = r.value;
+      } else {
+        const double rho = reservations[static_cast<size_t>(w.id)];
+        gain = r.value - rho;
+        if (!(gain > 0.0)) continue;
+      }
+      options.push_back(Option{w.id, gain});
+    }
+    std::sort(options.begin(), options.end(),
+              [](const Option& a, const Option& b) {
+                return a.gain > b.gain;
+              });
+
+    for (const Option& option : options) {
+      const Worker& w = instance->worker(option.worker);
+      WorkerState saved = (*workers)[static_cast<size_t>(w.id)];
+      const double pickup = metric->Distance(saved.location, r.location);
+      WorkerState& state = (*workers)[static_cast<size_t>(w.id)];
+      state.location = r.location;
+      state.available_at =
+          config->sim.workers_recycle
+              ? r.time + ServiceDurationSeconds(config->sim, pickup, r.value)
+              : std::numeric_limits<double>::infinity();
+      choice[idx] = w.id;
+      Dfs(idx + 1, revenue + option.gain, workers);
+      (*workers)[static_cast<size_t>(w.id)] = saved;
+    }
+    // Reject branch.
+    choice[idx] = -1;
+    Dfs(idx + 1, revenue, workers);
+  }
+};
+
+}  // namespace
+
+Result<ScheduleSolution> SolveOfflineSchedule(const Instance& instance,
+                                              PlatformId target,
+                                              const ScheduleConfig& config) {
+  SearchContext ctx;
+  ctx.instance = &instance;
+  ctx.config = &config;
+  ctx.metric = config.sim.metric != nullptr ? config.sim.metric
+                                            : &DefaultMetric();
+  ctx.target = target;
+  for (const Request& r : instance.requests()) {
+    if (r.platform == target) ctx.requests.push_back(r.id);
+  }
+  std::sort(ctx.requests.begin(), ctx.requests.end(),
+            [&](RequestId a, RequestId b) {
+              return instance.request(a).time < instance.request(b).time;
+            });
+  if (static_cast<int32_t>(ctx.requests.size()) > config.max_requests) {
+    return Status::OutOfRange(
+        StrFormat("%zu requests exceed the exact scheduler's limit of %d",
+                  ctx.requests.size(), config.max_requests));
+  }
+
+  ctx.suffix_value.assign(ctx.requests.size() + 1, 0.0);
+  for (size_t i = ctx.requests.size(); i-- > 0;) {
+    ctx.suffix_value[i] =
+        ctx.suffix_value[i + 1] + instance.request(ctx.requests[i]).value;
+  }
+  ctx.reservations = DrawWorkerReservations(instance, config.reservation_seed);
+  ctx.choice.assign(ctx.requests.size(), -1);
+  ctx.best_choice = ctx.choice;
+
+  std::vector<WorkerState> workers;
+  workers.reserve(instance.workers().size());
+  for (const Worker& w : instance.workers()) {
+    workers.push_back(WorkerState{w.time, w.location});
+  }
+  ctx.Dfs(0, 0.0, &workers);
+  if (ctx.node_budget_exceeded) {
+    return Status::OutOfRange(
+        StrFormat("exact schedule search exceeded %lld nodes",
+                  static_cast<long long>(config.max_nodes)));
+  }
+
+  ScheduleSolution solution;
+  solution.revenue = ctx.best;
+  solution.nodes = ctx.nodes;
+  for (size_t i = 0; i < ctx.requests.size(); ++i) {
+    const int64_t wid = ctx.best_choice[i];
+    if (wid < 0) continue;
+    const Request& r = instance.request(ctx.requests[i]);
+    const Worker& w = instance.worker(wid);
+    Assignment a;
+    a.request = r.id;
+    a.worker = w.id;
+    a.is_outer = w.platform != target;
+    a.outer_payment =
+        a.is_outer ? ctx.reservations[static_cast<size_t>(wid)] : 0.0;
+    a.revenue = r.value - a.outer_payment;
+    solution.matching.Add(a);
+  }
+  return solution;
+}
+
+}  // namespace comx

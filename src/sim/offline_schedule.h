@@ -1,0 +1,50 @@
+// Exact offline optimum WITH worker recycling, by branch-and-bound over
+// assignment decisions in arrival order. Exponential — usable only for
+// tiny instances — but it is the ground truth that validates the
+// capacitated b-matching relaxation of offline_opt.h (relaxation >= exact
+// schedule >= strict 1-by-1 matching) and upper-bounds every online run
+// under reservation acceptance.
+
+#ifndef COMX_SIM_OFFLINE_SCHEDULE_H_
+#define COMX_SIM_OFFLINE_SCHEDULE_H_
+
+#include "geo/distance_metric.h"
+#include "model/assignment.h"
+#include "model/instance.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+
+namespace comx {
+
+/// Tuning/limits for the exact scheduler.
+struct ScheduleConfig {
+  /// Physics must match the simulator's for apples-to-apples bounds.
+  SimConfig sim;
+  /// Reservation seed: outer payments are the realized rho_w draws, as in
+  /// offline_opt.h / AcceptanceMode::kReservation.
+  uint64_t reservation_seed = 42;
+  /// Hard cap on explored search nodes; exceeding it errors (OutOfRange).
+  int64_t max_nodes = 20'000'000;
+  /// Refuse instances with more requests than this (search is O((W+1)^R)).
+  int32_t max_requests = 12;
+};
+
+/// Result of the exact search.
+struct ScheduleSolution {
+  /// Optimal total revenue for the target platform.
+  double revenue = 0.0;
+  /// One optimal assignment sequence (in request arrival order).
+  Matching matching;
+  /// Search nodes explored.
+  int64_t nodes = 0;
+};
+
+/// Exact recycling-aware offline optimum for `target`'s requests. Workers
+/// of other platforms are borrowable at their reservation payment.
+Result<ScheduleSolution> SolveOfflineSchedule(const Instance& instance,
+                                              PlatformId target,
+                                              const ScheduleConfig& config);
+
+}  // namespace comx
+
+#endif  // COMX_SIM_OFFLINE_SCHEDULE_H_

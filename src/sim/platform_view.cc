@@ -1,0 +1,11 @@
+#include "sim/platform_view.h"
+
+#include "geo/distance.h"
+
+namespace comx {
+
+double PoolPlatformView::DistanceTo(WorkerId w, const Request& r) const {
+  return pool_->metric().Distance(pool_->CurrentLocation(w), r.location);
+}
+
+}  // namespace comx

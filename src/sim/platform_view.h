@@ -1,0 +1,49 @@
+// PlatformView implementation backed by the shared WorkerPool: what one
+// platform's matcher is allowed to see at a request arrival.
+
+#ifndef COMX_SIM_PLATFORM_VIEW_H_
+#define COMX_SIM_PLATFORM_VIEW_H_
+
+#include <vector>
+
+#include "core/online_matcher.h"
+#include "sim/worker_pool.h"
+
+namespace comx {
+
+/// Read-only adapter from WorkerPool to the matcher-facing PlatformView.
+class PoolPlatformView : public PlatformView {
+ public:
+  PoolPlatformView(const Instance& instance, const AcceptanceModel& model,
+                   const WorkerPool& pool, PlatformId platform)
+      : instance_(&instance),
+        model_(&model),
+        pool_(&pool),
+        platform_(platform) {}
+
+  std::vector<WorkerId> FeasibleInnerWorkers(const Request& r) const override {
+    return pool_->FeasibleWorkers(r, platform_, /*inner=*/true);
+  }
+
+  std::vector<WorkerId> FeasibleOuterWorkers(const Request& r) const override {
+    return pool_->FeasibleWorkers(r, platform_, /*inner=*/false);
+  }
+
+  double DistanceTo(WorkerId w, const Request& r) const override;
+
+  const Instance& instance() const override { return *instance_; }
+  const AcceptanceModel& acceptance() const override { return *model_; }
+
+  /// The platform this view belongs to.
+  PlatformId platform() const { return platform_; }
+
+ private:
+  const Instance* instance_;
+  const AcceptanceModel* model_;
+  const WorkerPool* pool_;
+  PlatformId platform_;
+};
+
+}  // namespace comx
+
+#endif  // COMX_SIM_PLATFORM_VIEW_H_

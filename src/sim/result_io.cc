@@ -1,0 +1,86 @@
+#include "sim/result_io.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace comx {
+namespace {
+
+constexpr char kHeader[] =
+    "request,worker,request_platform,worker_platform,is_outer,"
+    "outer_payment,revenue,value,time";
+
+}  // namespace
+
+Status SaveMatchingCsv(const Instance& instance, const Matching& matching,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot write " + path);
+  out << kHeader << '\n';
+  CsvWriter writer(&out);
+  for (const Assignment& a : matching.assignments) {
+    if (a.request < 0 ||
+        a.request >= static_cast<RequestId>(instance.requests().size()) ||
+        a.worker < 0 ||
+        a.worker >= static_cast<WorkerId>(instance.workers().size())) {
+      return Status::OutOfRange("assignment references unknown entity");
+    }
+    const Request& r = instance.request(a.request);
+    const Worker& w = instance.worker(a.worker);
+    writer.WriteRow({StrFormat("%lld", static_cast<long long>(a.request)),
+                     StrFormat("%lld", static_cast<long long>(a.worker)),
+                     StrFormat("%d", r.platform), StrFormat("%d", w.platform),
+                     a.is_outer ? "1" : "0",
+                     StrFormat("%.17g", a.outer_payment),
+                     StrFormat("%.17g", a.revenue),
+                     StrFormat("%.17g", r.value),
+                     StrFormat("%.17g", r.time)});
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Matching> LoadMatchingCsv(const Instance& instance,
+                                 const std::string& path) {
+  COMX_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
+  if (rows.empty() || Join(rows[0], ",") != kHeader) {
+    return Status::InvalidArgument("bad matching CSV header in " + path);
+  }
+  Matching matching;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 9) {
+      return Status::InvalidArgument(
+          StrFormat("matching row %zu has %zu fields, want 9", i,
+                    row.size()));
+    }
+    Assignment a;
+    COMX_ASSIGN_OR_RETURN(a.request, ParseInt64(row[0]));
+    COMX_ASSIGN_OR_RETURN(a.worker, ParseInt64(row[1]));
+    COMX_ASSIGN_OR_RETURN(int64_t is_outer, ParseInt64(row[4]));
+    a.is_outer = is_outer != 0;
+    COMX_ASSIGN_OR_RETURN(a.outer_payment, ParseDouble(row[5]));
+    COMX_ASSIGN_OR_RETURN(a.revenue, ParseDouble(row[6]));
+    if (a.request < 0 ||
+        a.request >= static_cast<RequestId>(instance.requests().size()) ||
+        a.worker < 0 ||
+        a.worker >= static_cast<WorkerId>(instance.workers().size())) {
+      return Status::OutOfRange(
+          StrFormat("matching row %zu references unknown entity", i));
+    }
+    const Request& r = instance.request(a.request);
+    const double expected =
+        a.is_outer ? r.value - a.outer_payment : r.value;
+    if (std::abs(a.revenue - expected) > 1e-9) {
+      return Status::FailedPrecondition(
+          StrFormat("matching row %zu revenue inconsistent", i));
+    }
+    matching.Add(a);
+  }
+  return matching;
+}
+
+}  // namespace comx

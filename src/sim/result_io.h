@@ -1,0 +1,29 @@
+// Persistence of simulation results: matchings to CSV (one assignment per
+// row) so runs can be archived, diffed, and analysed outside the binary.
+
+#ifndef COMX_SIM_RESULT_IO_H_
+#define COMX_SIM_RESULT_IO_H_
+
+#include <string>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+#include "util/result.h"
+
+namespace comx {
+
+/// Writes `matching` as CSV:
+///   request,worker,request_platform,worker_platform,is_outer,
+///   outer_payment,revenue,value,time
+/// with a header row. Entities are resolved against `instance`.
+Status SaveMatchingCsv(const Instance& instance, const Matching& matching,
+                       const std::string& path);
+
+/// Reads a matching saved by SaveMatchingCsv and re-derives the totals.
+/// Validates ids against the instance and the revenue arithmetic.
+Result<Matching> LoadMatchingCsv(const Instance& instance,
+                                 const std::string& path);
+
+}  // namespace comx
+
+#endif  // COMX_SIM_RESULT_IO_H_

@@ -1,0 +1,302 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "geo/distance.h"
+#include "pricing/acceptance_model.h"
+#include "sim/platform_view.h"
+#include "sim/worker_pool.h"
+#include "util/memory_meter.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace comx {
+
+double ServiceDurationSeconds(const SimConfig& config, double pickup_km,
+                              double value) {
+  const double travel_s = pickup_km / config.speed_kmh * 3600.0;
+  return travel_s + config.base_service_seconds +
+         config.service_seconds_per_value * value;
+}
+
+namespace {
+
+// Deterministic logical footprint of the static instance data.
+int64_t InstanceLogicalBytes(const Instance& instance) {
+  int64_t bytes = 0;
+  bytes += static_cast<int64_t>(instance.workers().size() * sizeof(Worker));
+  bytes += static_cast<int64_t>(instance.requests().size() * sizeof(Request));
+  bytes += static_cast<int64_t>(instance.events().size() * sizeof(Event));
+  for (const Worker& w : instance.workers()) {
+    bytes += static_cast<int64_t>(w.history.size() * sizeof(double));
+  }
+  return bytes;
+}
+
+struct QueuedEvent {
+  Event event;
+  bool operator>(const QueuedEvent& o) const { return o.event < event; }
+};
+
+}  // namespace
+
+Result<SimResult> RunSimulation(const Instance& instance,
+                                const std::vector<OnlineMatcher*>& matchers,
+                                const SimConfig& config, uint64_t seed) {
+  const int32_t platform_count = instance.PlatformCount();
+  if (static_cast<int32_t>(matchers.size()) != platform_count) {
+    return Status::InvalidArgument(
+        StrFormat("need %d matchers, got %zu", platform_count,
+                  matchers.size()));
+  }
+  for (OnlineMatcher* m : matchers) {
+    if (m == nullptr) return Status::InvalidArgument("null matcher");
+  }
+
+  Stopwatch wall;
+  const DistanceMetric& metric =
+      config.metric != nullptr ? *config.metric : DefaultMetric();
+  const AcceptanceModel acceptance(instance, config.acceptance_mode,
+                                   config.reservation_seed);
+  WorkerPool pool(instance, &metric);
+  MemoryMeter pool_meter;
+  // Per-available-worker footprint: grid bucket slot + location + flags.
+  constexpr int64_t kPoolEntryBytes =
+      static_cast<int64_t>(sizeof(int64_t) + sizeof(Point) +
+                           sizeof(Timestamp) + 1);
+
+  std::vector<PoolPlatformView> views;
+  views.reserve(static_cast<size_t>(platform_count));
+  for (PlatformId p = 0; p < platform_count; ++p) {
+    views.emplace_back(instance, acceptance, pool, p);
+    matchers[static_cast<size_t>(p)]->Reset(instance, p,
+                                            seed + static_cast<uint64_t>(p));
+  }
+
+  SimResult result;
+  result.metrics.per_platform.assign(static_cast<size_t>(platform_count),
+                                     PlatformMetrics{});
+
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>>
+      queue;
+  for (const Event& e : instance.events()) queue.push(QueuedEvent{e});
+  const int64_t static_event_count =
+      static_cast<int64_t>(instance.events().size());
+  int64_t dynamic_sequence = static_event_count;
+  // Drop-off point of each worker's last completed service; re-arrival
+  // events place the worker there instead of at its static start location.
+  std::vector<Point> drop_off(instance.workers().size());
+
+  Stopwatch request_clock;
+  while (!queue.empty()) {
+    const Event e = queue.top().event;
+    queue.pop();
+    if (e.kind == EventKind::kWorkerArrival) {
+      const Worker& w = instance.worker(e.entity_id);
+      // Initial arrivals start at the static location; re-arrivals at the
+      // drop-off point of the service that just finished.
+      const Point where = (e.sequence < static_event_count)
+                              ? w.location
+                              : drop_off[static_cast<size_t>(e.entity_id)];
+      COMX_RETURN_IF_ERROR(pool.OnArrival(e.entity_id, where, e.time));
+      pool_meter.Allocate(kPoolEntryBytes);
+      continue;
+    }
+
+    const Request& r = instance.request(e.entity_id);
+    PlatformMetrics& pm =
+        result.metrics.per_platform[static_cast<size_t>(r.platform)];
+    OnlineMatcher* matcher = matchers[static_cast<size_t>(r.platform)];
+    const PoolPlatformView& view = views[static_cast<size_t>(r.platform)];
+
+    if (config.measure_response_time) request_clock.Reset();
+    const Decision decision = matcher->OnRequest(r, view);
+    if (config.measure_response_time) {
+      pm.response_time_us.Add(request_clock.ElapsedMicros());
+    }
+
+    if (decision.attempted_outer) ++pm.outer_offers;
+
+    if (decision.kind == Decision::Kind::kReject) {
+      ++pm.rejected;
+      continue;
+    }
+
+    // Validate and apply the decision.
+    const WorkerId wid = decision.worker;
+    if (wid < 0 || wid >= static_cast<WorkerId>(instance.workers().size())) {
+      return Status::Internal(
+          StrFormat("%s returned invalid worker id", matcher->name().c_str()));
+    }
+    if (!pool.IsAvailable(wid)) {
+      return Status::Internal(StrFormat("%s assigned an occupied worker",
+                                        matcher->name().c_str()));
+    }
+    const Worker& w = instance.worker(wid);
+    const bool is_outer = w.platform != r.platform;
+    if ((decision.kind == Decision::Kind::kOuter) != is_outer) {
+      return Status::Internal(
+          StrFormat("%s mislabelled inner/outer for worker %lld",
+                    matcher->name().c_str(), static_cast<long long>(wid)));
+    }
+    const double pickup_km =
+        metric.Distance(pool.CurrentLocation(wid), r.location);
+    if (pickup_km > w.radius + 1e-9) {
+      return Status::Internal(StrFormat(
+          "%s violated the range constraint (%.3f > %.3f)",
+          matcher->name().c_str(), pickup_km, w.radius));
+    }
+    if (pool.AvailableSince(wid) > r.time) {
+      return Status::Internal(
+          StrFormat("%s violated the time constraint",
+                    matcher->name().c_str()));
+    }
+
+    Assignment a;
+    a.request = r.id;
+    a.worker = wid;
+    a.is_outer = is_outer;
+    if (is_outer) {
+      const double payment = decision.outer_payment;
+      if (!(payment > 0.0) || payment > r.value + 1e-9) {
+        return Status::Internal(StrFormat(
+            "%s quoted outer payment %.4f outside (0, v=%.4f]",
+            matcher->name().c_str(), payment, r.value));
+      }
+      a.outer_payment = payment;
+      a.revenue = r.value - payment;
+      ++pm.completed_outer;
+      pm.outer_payment_sum += payment;
+      pm.payment_rate_sum += payment / r.value;
+    } else {
+      a.outer_payment = 0.0;
+      a.revenue = r.value;
+      ++pm.completed_inner;
+    }
+    ++pm.completed;
+    pm.revenue += a.revenue;
+    pm.total_pickup_km += pickup_km;
+    result.matching.Add(a);
+
+    COMX_RETURN_IF_ERROR(pool.MarkOccupied(wid));
+    pool_meter.Release(kPoolEntryBytes);
+
+    if (config.workers_recycle) {
+      const double duration =
+          ServiceDurationSeconds(config, pickup_km, r.value);
+      Event rearrival;
+      rearrival.time = r.time + duration;
+      rearrival.kind = EventKind::kWorkerArrival;
+      rearrival.entity_id = wid;
+      rearrival.sequence = dynamic_sequence++;
+      drop_off[static_cast<size_t>(wid)] = r.location;
+      queue.push(QueuedEvent{rearrival});
+    }
+  }
+
+  result.metrics.logical_bytes =
+      InstanceLogicalBytes(instance) + pool_meter.peak_bytes();
+  result.metrics.rss_bytes = CurrentRssBytes();
+  result.metrics.wall_seconds = wall.ElapsedNanos() / 1e9;
+  return result;
+}
+
+Status AuditSimResult(const Instance& instance, const SimConfig& config,
+                      const SimResult& result) {
+  const DistanceMetric& metric =
+      config.metric != nullptr ? *config.metric : DefaultMetric();
+  std::vector<Timestamp> available_since(instance.workers().size());
+  std::vector<Point> location(instance.workers().size());
+  std::vector<char> busy(instance.workers().size(), 0);
+  std::vector<char> request_served(instance.requests().size(), 0);
+  for (const Worker& w : instance.workers()) {
+    available_since[static_cast<size_t>(w.id)] = w.time;
+    location[static_cast<size_t>(w.id)] = w.location;
+  }
+
+  // Replay in recorded order; times must be non-decreasing. With recycling
+  // a worker frees up at its service end; we track that explicitly.
+  std::vector<Timestamp> busy_until(instance.workers().size(), 0.0);
+  double last_time = -std::numeric_limits<double>::infinity();
+  double revenue_check = 0.0;
+  for (const Assignment& a : result.matching.assignments) {
+    if (a.request < 0 ||
+        a.request >= static_cast<RequestId>(instance.requests().size())) {
+      return Status::OutOfRange("assignment references unknown request");
+    }
+    if (a.worker < 0 ||
+        a.worker >= static_cast<WorkerId>(instance.workers().size())) {
+      return Status::OutOfRange("assignment references unknown worker");
+    }
+    const Request& r = instance.request(a.request);
+    const Worker& w = instance.worker(a.worker);
+    if (r.time < last_time - 1e-9) {
+      return Status::FailedPrecondition("assignments out of time order");
+    }
+    last_time = r.time;
+    if (request_served[static_cast<size_t>(a.request)]) {
+      return Status::FailedPrecondition("request served twice");
+    }
+    request_served[static_cast<size_t>(a.request)] = 1;
+
+    auto& since = available_since[static_cast<size_t>(a.worker)];
+    auto& loc = location[static_cast<size_t>(a.worker)];
+    auto& is_busy = busy[static_cast<size_t>(a.worker)];
+    auto& until = busy_until[static_cast<size_t>(a.worker)];
+    if (is_busy) {
+      if (!config.workers_recycle) {
+        return Status::FailedPrecondition("worker used twice (1-by-1)");
+      }
+      if (until > r.time + 1e-9) {
+        return Status::FailedPrecondition(
+            "worker assigned while still serving");
+      }
+      // Recycled: it became available at `until` at the previous drop-off.
+      since = until;
+      is_busy = false;
+    }
+    if (since > r.time + 1e-9) {
+      return Status::FailedPrecondition("time constraint violated");
+    }
+    const double pickup = metric.Distance(loc, r.location);
+    if (pickup > w.radius + 1e-9) {
+      return Status::FailedPrecondition("range constraint violated");
+    }
+    const bool is_outer = w.platform != r.platform;
+    if (is_outer != a.is_outer) {
+      return Status::FailedPrecondition("inner/outer flag wrong");
+    }
+    if (is_outer) {
+      if (!(a.outer_payment > 0.0) || a.outer_payment > r.value + 1e-9) {
+        return Status::FailedPrecondition("outer payment outside (0, v]");
+      }
+      if (std::abs(a.revenue - (r.value - a.outer_payment)) > 1e-9) {
+        return Status::FailedPrecondition("outer revenue accounting wrong");
+      }
+    } else {
+      if (a.outer_payment != 0.0) {
+        return Status::FailedPrecondition("inner match has outer payment");
+      }
+      if (std::abs(a.revenue - r.value) > 1e-9) {
+        return Status::FailedPrecondition("inner revenue accounting wrong");
+      }
+    }
+    revenue_check += a.revenue;
+
+    is_busy = true;
+    until = r.time + (config.workers_recycle
+                          ? ServiceDurationSeconds(config, pickup, r.value)
+                          : std::numeric_limits<double>::infinity());
+    loc = r.location;
+  }
+  if (std::abs(revenue_check - result.matching.total_revenue) > 1e-6) {
+    return Status::FailedPrecondition("total revenue mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace comx

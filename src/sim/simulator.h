@@ -1,0 +1,87 @@
+// Event-driven co-simulation of every platform over one Instance.
+//
+// The interleaved arrival stream (workers + requests of all platforms) is
+// replayed chronologically. Each platform runs its own OnlineMatcher; the
+// shared WorkerPool realizes the 1-by-1 and invariable constraints (a
+// matched worker leaves every waiting list at once and assignments are
+// final). When `workers_recycle` is on, a worker finishing a service
+// re-enters the pool at the request's location after a travel + service
+// delay — this is how the paper's day-scale datasets complete far more
+// requests than they have workers.
+
+#ifndef COMX_SIM_SIMULATOR_H_
+#define COMX_SIM_SIMULATOR_H_
+
+#include <vector>
+
+#include "core/online_matcher.h"
+#include "geo/distance_metric.h"
+#include "model/assignment.h"
+#include "model/instance.h"
+#include "sim/metrics.h"
+#include "util/result.h"
+
+namespace comx {
+
+/// Physical model + run knobs for the simulation.
+struct SimConfig {
+  /// Whether workers re-enter the waiting lists after completing a request.
+  /// Off = strict 1-by-1 of Definition 2.6 (the theory / CR setting);
+  /// on = the day-scale evaluation setting of Section V.
+  bool workers_recycle = true;
+  /// Travel speed towards the pickup, km/h.
+  double speed_kmh = 30.0;
+  /// Fixed part of the service duration, seconds.
+  double base_service_seconds = 300.0;
+  /// Value-proportional part of the service duration, seconds per value
+  /// unit (ride fares correlate with ride durations).
+  double service_seconds_per_value = 30.0;
+  /// Measure per-request matcher latency (adds two clock reads/request).
+  bool measure_response_time = true;
+  /// How real offers are accepted: the paper's per-offer Bernoulli, or the
+  /// fixed-reservation ground truth shared with the offline solver (used by
+  /// the competitive-ratio harness; see pricing/acceptance_model.h).
+  AcceptanceMode acceptance_mode = AcceptanceMode::kBernoulli;
+  /// Reservation draw seed (kReservation mode only); must match the
+  /// OfflineConfig seed for online <= OPT to hold exactly.
+  uint64_t reservation_seed = 42;
+  /// Travel metric realizing the range constraint and pickup distances;
+  /// nullptr = Euclidean. Use roadnet::RoadNetworkMetric for the paper's
+  /// road-network variant. Must outlive the simulation.
+  const DistanceMetric* metric = nullptr;
+};
+
+/// Outcome of one simulation run.
+struct SimResult {
+  SimMetrics metrics;
+  /// Every assignment made, across all platforms.
+  Matching matching;
+};
+
+/// Travel time to the pickup plus the service itself, in seconds — the
+/// physics shared by the simulator, the audit, and the exact offline
+/// scheduler (core/offline_schedule.h).
+double ServiceDurationSeconds(const SimConfig& config, double pickup_km,
+                              double value);
+
+/// Runs all matchers over the instance. `matchers[p]` handles the requests
+/// of platform p; its size must equal instance.PlatformCount(). Matchers
+/// are Reset() with `seed + p` before the run.
+Result<SimResult> RunSimulation(const Instance& instance,
+                                const std::vector<OnlineMatcher*>& matchers,
+                                const SimConfig& config, uint64_t seed);
+
+/// Convenience: clones of a single matcher semantics — every platform uses
+/// the same policy object sequence. Provided as a factory callback so each
+/// platform gets an independent instance.
+using MatcherFactory = OnlineMatcher* (*)();
+
+/// Post-hoc audit used by tests: verifies that `result` is feasible for
+/// `instance` under `config` — every assignment respects the time, range,
+/// 1-by-1 (per availability episode) and revenue-accounting rules.
+Status AuditSimResult(const Instance& instance, const SimConfig& config,
+                      const SimResult& result);
+
+}  // namespace comx
+
+#endif  // COMX_SIM_SIMULATOR_H_

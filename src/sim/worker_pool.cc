@@ -1,0 +1,74 @@
+#include "sim/worker_pool.h"
+
+#include <algorithm>
+
+#include "geo/distance.h"
+
+namespace comx {
+
+WorkerPool::WorkerPool(const Instance& instance, const DistanceMetric* metric)
+    : instance_(&instance),
+      metric_(metric != nullptr ? metric : &DefaultMetric()),
+      index_(/*cell_size_km=*/1.0),
+      location_(instance.workers().size()),
+      available_since_(instance.workers().size(), 0.0),
+      available_(instance.workers().size(), false) {
+  for (const Worker& w : instance.workers()) {
+    max_radius_ = std::max(max_radius_, w.radius);
+    location_[static_cast<size_t>(w.id)] = w.location;
+  }
+}
+
+Status WorkerPool::OnArrival(WorkerId w, const Point& location, Timestamp t) {
+  if (available_[static_cast<size_t>(w)]) {
+    return Status::AlreadyExists("worker already in waiting list");
+  }
+  COMX_RETURN_IF_ERROR(index_.Insert(w, location));
+  location_[static_cast<size_t>(w)] = location;
+  available_since_[static_cast<size_t>(w)] = t;
+  available_[static_cast<size_t>(w)] = true;
+  return Status::OK();
+}
+
+Status WorkerPool::MarkOccupied(WorkerId w) {
+  if (!available_[static_cast<size_t>(w)]) {
+    return Status::NotFound("worker not in waiting list");
+  }
+  COMX_RETURN_IF_ERROR(index_.Remove(w));
+  available_[static_cast<size_t>(w)] = false;
+  return Status::OK();
+}
+
+std::vector<WorkerId> WorkerPool::FeasibleWorkers(const Request& r,
+                                                  PlatformId platform,
+                                                  bool inner) const {
+  return FeasibleWorkersAt(r, platform, inner, r.time);
+}
+
+std::vector<WorkerId> WorkerPool::FeasibleWorkersAt(const Request& r,
+                                                    PlatformId platform,
+                                                    bool inner,
+                                                    Timestamp as_of) const {
+  std::vector<WorkerId> out;
+  index_.ForEachInRadius(
+      r.location, max_radius_, [&](int64_t id, double d2) {
+        const Worker& w = instance_->worker(id);
+        const bool same = w.platform == platform;
+        if (inner != same) return;
+        // Time constraint against the *current* availability episode.
+        if (available_since_[static_cast<size_t>(id)] > as_of) return;
+        // Range constraint against the worker's own radius: Euclidean
+        // lower bound first, then the configured travel metric.
+        if (d2 > w.radius * w.radius) return;
+        if (!metric_->WithinRange(location_[static_cast<size_t>(id)],
+                                  r.location, w.radius)) {
+          return;
+        }
+        out.push_back(id);
+      });
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace comx

@@ -1,0 +1,86 @@
+// Shared pool of currently-available workers across all platforms — the
+// union of every platform's waiting list. A worker matched by any platform
+// is removed everywhere at once (the paper: "an outer crowd worker being
+// assigned to any request would be deleted from all its waiting lists over
+// all platforms"). Workers that recycle re-enter at their drop-off point.
+
+#ifndef COMX_SIM_WORKER_POOL_H_
+#define COMX_SIM_WORKER_POOL_H_
+
+#include <vector>
+
+#include "geo/distance_metric.h"
+#include "geo/grid_index.h"
+#include "model/instance.h"
+#include "model/request.h"
+#include "util/status.h"
+
+namespace comx {
+
+/// Dynamic availability state of every worker in an Instance.
+class WorkerPool {
+ public:
+  /// Starts with every worker unavailable (they arrive via events).
+  /// `metric` realizes the range constraint (nullptr = Euclidean); the
+  /// grid index always pre-filters with the sound Euclidean lower bound.
+  explicit WorkerPool(const Instance& instance,
+                      const DistanceMetric* metric = nullptr);
+
+  /// Makes worker `w` available at `location` from time `t` on. Errors with
+  /// AlreadyExists when the worker is already available.
+  Status OnArrival(WorkerId w, const Point& location, Timestamp t);
+
+  /// Marks worker `w` occupied (removed from every waiting list). Errors
+  /// with NotFound when the worker is not available.
+  Status MarkOccupied(WorkerId w);
+
+  /// True when the worker currently sits in the waiting lists.
+  bool IsAvailable(WorkerId w) const {
+    return available_[static_cast<size_t>(w)];
+  }
+
+  /// Current location (drop-off point after recycling). Valid whenever the
+  /// worker has arrived at least once.
+  Point CurrentLocation(WorkerId w) const {
+    return location_[static_cast<size_t>(w)];
+  }
+
+  /// Time the worker last became available.
+  Timestamp AvailableSince(WorkerId w) const {
+    return available_since_[static_cast<size_t>(w)];
+  }
+
+  /// Available workers that can serve `r` under the time + range
+  /// constraints, restricted to the given platform side: `inner` selects
+  /// workers of `platform`, otherwise workers of every other platform.
+  std::vector<WorkerId> FeasibleWorkers(const Request& r, PlatformId platform,
+                                        bool inner) const;
+
+  /// Like FeasibleWorkers but with the time constraint taken against an
+  /// explicit decision time instead of the request's arrival: a worker
+  /// qualifies when it became available by `as_of`. Used by batched
+  /// dispatch, which decides at window close rather than at arrival
+  /// (see sim/batch_simulator.h).
+  std::vector<WorkerId> FeasibleWorkersAt(const Request& r,
+                                          PlatformId platform, bool inner,
+                                          Timestamp as_of) const;
+
+  /// Number of currently available workers.
+  size_t available_count() const { return index_.size(); }
+
+  /// The metric realizing the range constraint.
+  const DistanceMetric& metric() const { return *metric_; }
+
+ private:
+  const Instance* instance_;
+  const DistanceMetric* metric_;
+  GridIndex index_;
+  std::vector<Point> location_;
+  std::vector<Timestamp> available_since_;
+  std::vector<bool> available_;
+  double max_radius_ = 0.0;
+};
+
+}  // namespace comx
+
+#endif  // COMX_SIM_WORKER_POOL_H_

@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr. The library itself logs nothing at
+// Info level on hot paths; benchmarks and examples use Info for progress.
+
+#ifndef COMX_UTIL_LOGGING_H_
+#define COMX_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace comx {
+
+/// Severity levels, in increasing order.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Current minimum level.
+LogLevel GetLogLevel();
+
+/// Emits one line to stderr: "[LEVEL] message".
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector that emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace comx
+
+#define COMX_LOG(level) \
+  ::comx::internal::LogLine(::comx::LogLevel::k##level)
+
+#endif  // COMX_UTIL_LOGGING_H_

@@ -1,0 +1,36 @@
+#include "util/memory_meter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace comx {
+
+int64_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  int64_t rss_kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      std::sscanf(line + 6, "%ld", &rss_kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return rss_kb * 1024;
+}
+
+void MemoryMeter::Allocate(int64_t bytes) {
+  live_ += bytes;
+  peak_ = std::max(peak_, live_);
+}
+
+void MemoryMeter::Release(int64_t bytes) { live_ -= bytes; }
+
+void MemoryMeter::Reset() {
+  live_ = 0;
+  peak_ = 0;
+}
+
+}  // namespace comx

@@ -1,0 +1,44 @@
+// Memory accounting for the efficiency experiments (Tables V and Fig. 5
+// memory panels). Two complementary measures:
+//   * process RSS from /proc/self/status (matches the paper's "Memory (MB)"),
+//   * a logical byte counter the simulator feeds with the sizes of live
+//     requests/workers, which is deterministic across machines.
+
+#ifndef COMX_UTIL_MEMORY_METER_H_
+#define COMX_UTIL_MEMORY_METER_H_
+
+#include <cstdint>
+
+namespace comx {
+
+/// Returns the current resident set size of this process in bytes, or 0 when
+/// the platform does not expose it (/proc not mounted).
+int64_t CurrentRssBytes();
+
+/// Deterministic logical memory accounting: components register the bytes
+/// they hold so experiments report identical numbers on every machine.
+class MemoryMeter {
+ public:
+  /// Records `bytes` more live logical bytes.
+  void Allocate(int64_t bytes);
+
+  /// Records `bytes` fewer live logical bytes.
+  void Release(int64_t bytes);
+
+  /// Currently live logical bytes.
+  int64_t live_bytes() const { return live_; }
+
+  /// Largest value live_bytes() ever reached.
+  int64_t peak_bytes() const { return peak_; }
+
+  /// Resets both counters.
+  void Reset();
+
+ private:
+  int64_t live_ = 0;
+  int64_t peak_ = 0;
+};
+
+}  // namespace comx
+
+#endif  // COMX_UTIL_MEMORY_METER_H_

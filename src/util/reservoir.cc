@@ -1,0 +1,35 @@
+#include "util/reservoir.h"
+
+#include <cassert>
+
+namespace comx {
+
+ReservoirSampler::ReservoirSampler(size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  assert(capacity > 0);
+  samples_.reserve(capacity);
+}
+
+void ReservoirSampler::Add(double x) {
+  ++count_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(x);
+    return;
+  }
+  // Algorithm R: keep with probability capacity / count.
+  const int64_t j = rng_.UniformInt(0, count_ - 1);
+  if (j < static_cast<int64_t>(capacity_)) {
+    samples_[static_cast<size_t>(j)] = x;
+  }
+}
+
+double ReservoirSampler::Quantile(double q) const {
+  return comx::Quantile(samples_, q);
+}
+
+void ReservoirSampler::Reset() {
+  samples_.clear();
+  count_ = 0;
+}
+
+}  // namespace comx

@@ -1,0 +1,47 @@
+// Fixed-memory reservoir sampler (Vitter's Algorithm R) for streaming
+// quantile estimates — used to report p50/p95/p99 response times without
+// storing every observation.
+
+#ifndef COMX_UTIL_RESERVOIR_H_
+#define COMX_UTIL_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace comx {
+
+/// Uniform sample of up to `capacity` observations from a stream.
+class ReservoirSampler {
+ public:
+  /// `capacity` > 0; `seed` drives the replacement draws.
+  explicit ReservoirSampler(size_t capacity = 1024, uint64_t seed = 99);
+
+  /// Offers one observation to the reservoir.
+  void Add(double x);
+
+  /// Estimated q-th quantile over the stream (exact while the stream fits
+  /// in the reservoir). Returns 0 for an empty stream.
+  double Quantile(double q) const;
+
+  /// Observations seen so far (not the reservoir size).
+  int64_t count() const { return count_; }
+
+  /// Current reservoir contents (unordered).
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Resets to empty (keeps capacity and RNG state).
+  void Reset();
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  std::vector<double> samples_;
+  int64_t count_ = 0;
+};
+
+}  // namespace comx
+
+#endif  // COMX_UTIL_RESERVOIR_H_

@@ -1,0 +1,78 @@
+// Result<T>: value-or-Status, the return type of fallible factory functions.
+
+#ifndef COMX_UTIL_RESULT_H_
+#define COMX_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace comx {
+
+/// Holds either a value of type T or an error Status.
+///
+/// Usage:
+///   Result<Dataset> r = Dataset::Load(path);
+///   if (!r.ok()) return r.status();
+///   Dataset d = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// True when a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// Accessors. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ has a value.
+  std::optional<T> value_;
+};
+
+}  // namespace comx
+
+/// Evaluates a Result expression, assigning the value to `lhs` or returning
+/// its error status from the enclosing function.
+#define COMX_CONCAT_INNER_(a, b) a##b
+#define COMX_CONCAT_(a, b) COMX_CONCAT_INNER_(a, b)
+#define COMX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+#define COMX_ASSIGN_OR_RETURN(lhs, rexpr) \
+  COMX_ASSIGN_OR_RETURN_IMPL_(COMX_CONCAT_(_comx_result_, __LINE__), lhs, \
+                              rexpr)
+
+#endif  // COMX_UTIL_RESULT_H_

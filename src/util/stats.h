@@ -1,0 +1,85 @@
+// Streaming and batch descriptive statistics used by the metrics collectors
+// and the benchmark harness.
+
+#ifndef COMX_UTIL_STATS_H_
+#define COMX_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace comx {
+
+/// Welford-style streaming accumulator: count, mean, variance, min, max.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel-combinable).
+  void Merge(const RunningStats& other);
+
+  /// Number of observations added.
+  int64_t count() const { return count_; }
+  /// Mean of the observations (0 when empty).
+  double mean() const { return mean_; }
+  /// Unbiased sample variance (0 when count < 2).
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  /// Smallest observation (+inf when empty).
+  double min() const { return min_; }
+  /// Largest observation (-inf when empty).
+  double max() const { return max_; }
+  /// Sum of all observations.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Resets to the empty state.
+  void Reset();
+
+  /// "n=..., mean=..., sd=..., min=..., max=..." for logging.
+  std::string ToString() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Returns the q-th quantile (q in [0,1]) of `values` using linear
+/// interpolation between order statistics. Copies and sorts internally.
+/// Returns 0 for an empty vector.
+double Quantile(std::vector<double> values, double q);
+
+/// Equal-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  /// Creates a histogram. Requires bins >= 1 and lo < hi.
+  Histogram(double lo, double hi, size_t bins);
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Count in bucket `i`.
+  int64_t BucketCount(size_t i) const { return counts_[i]; }
+  /// Inclusive lower edge of bucket `i`.
+  double BucketLow(size_t i) const;
+  /// Number of buckets.
+  size_t bins() const { return counts_.size(); }
+  /// Total observations.
+  int64_t total() const { return total_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace comx
+
+#endif  // COMX_UTIL_STATS_H_

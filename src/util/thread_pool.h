@@ -1,0 +1,60 @@
+// Minimal fixed-size thread pool plus a ParallelFor helper. The library's
+// simulators are single-threaded by design (determinism), but independent
+// runs (seed averaging, sweep points, CR permutations) are embarrassingly
+// parallel — the benchmark harness uses this to cut wall-clock time.
+
+#ifndef COMX_UTIL_THREAD_POOL_H_
+#define COMX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace comx {
+
+/// Fixed-size worker pool executing enqueued tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1; 0 selects hardware concurrency).
+  explicit ThreadPool(size_t threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not enqueue further tasks into the same
+  /// pool and then Wait() on them from within (deadlock).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across `threads` workers and waits.
+/// fn must be safe to call concurrently for distinct i.
+void ParallelFor(size_t count, size_t threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace comx
+
+#endif  // COMX_UTIL_THREAD_POOL_H_

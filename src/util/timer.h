@@ -1,0 +1,43 @@
+// Wall-clock timing helpers for the response-time metrics.
+
+#ifndef COMX_UTIL_TIMER_H_
+#define COMX_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace comx {
+
+/// Monotonic stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts from zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Nanoseconds since construction or the last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Microseconds since construction or the last Reset().
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+
+  /// Milliseconds since construction or the last Reset().
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace comx
+
+#endif  // COMX_UTIL_TIMER_H_

@@ -1,0 +1,155 @@
+#include "core/cost_aware.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dem_com.h"
+#include "datagen/synthetic.h"
+#include "sim/simulator.h"
+#include "testing/builders.h"
+#include "testing/fake_view.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::FakeView;
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+
+TEST(CostAwareTest, PrefersNetOverNearest) {
+  // Nearest worker is cheap to reach; with zero cost both candidates net
+  // the same revenue and nearest-by-net picks either — make the far worker
+  // *irrelevant*: with cost, nearest also maximizes net, so instead test
+  // the opposite: a high cost must NOT change the inner pick when one
+  // candidate dominates, but must refuse when all nets are negative.
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0.2, 0, 2.0));  // pickup 0.2 km
+  ins.AddWorker(MakeWorker(0, 1, 1.5, 0, 2.0));  // pickup 1.5 km
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  CostAwareConfig config;
+  config.cost_per_km = 2.0;
+  CostAwareDemCom matcher(config);
+  matcher.Reset(ins, 0, 1);
+  const Decision d = matcher.OnRequest(MakeRequest(0, 2, 0, 0, 5.0), view);
+  ASSERT_EQ(d.kind, Decision::Kind::kInner);
+  EXPECT_EQ(d.worker, 0);  // net 4.6 vs 2.0
+}
+
+TEST(CostAwareTest, RefusesUnprofitablePickup) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 1.9, 0, 2.0));  // pickup 1.9 km
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  CostAwareConfig config;
+  config.cost_per_km = 3.0;  // cost 5.7 > value 5.0
+  CostAwareDemCom matcher(config);
+  matcher.Reset(ins, 0, 1);
+  const Decision d = matcher.OnRequest(MakeRequest(0, 2, 0, 0, 5.0), view);
+  EXPECT_EQ(d.kind, Decision::Kind::kReject);
+}
+
+TEST(CostAwareTest, ZeroCostBehavesLikeValueMaximizer) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0.2, 0, 2.0));
+  ins.AddWorker(MakeWorker(0, 1, 1.5, 0, 2.0));
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  CostAwareConfig config;
+  config.cost_per_km = 0.0;
+  CostAwareDemCom matcher(config);
+  matcher.Reset(ins, 0, 1);
+  // Equal nets: the first strictly-positive candidate wins (id order).
+  const Decision d = matcher.OnRequest(MakeRequest(0, 2, 0, 0, 5.0), view);
+  EXPECT_EQ(d.kind, Decision::Kind::kInner);
+}
+
+TEST(CostAwareTest, BorrowsOnlyWhenNetPositive) {
+  Instance ins;
+  // Outer worker accepts anything; pickup 1.8 km.
+  ins.AddWorker(MakeWorker(1, 1, 1.8, 0, 2.0, {0.01}));
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  {
+    CostAwareConfig cheap;
+    cheap.cost_per_km = 0.1;
+    CostAwareDemCom matcher(cheap);
+    matcher.Reset(ins, 0, 3);
+    const Decision d = matcher.OnRequest(MakeRequest(0, 2, 0, 0, 10.0), view);
+    EXPECT_EQ(d.kind, Decision::Kind::kOuter);
+  }
+  {
+    CostAwareConfig pricey;
+    pricey.cost_per_km = 6.0;  // 10.8 travel cost > any net
+    CostAwareDemCom matcher(pricey);
+    matcher.Reset(ins, 0, 3);
+    const Decision d = matcher.OnRequest(MakeRequest(0, 2, 0, 0, 10.0), view);
+    EXPECT_EQ(d.kind, Decision::Kind::kReject);
+    EXPECT_TRUE(d.attempted_outer);
+  }
+}
+
+TEST(CostAwareTest, NetRevenueBeatsDemComUnderTravelCost) {
+  // End-to-end: on a city workload with a real per-km cost, the
+  // cost-aware variant earns at least as much *net* revenue as DemCOM.
+  SyntheticConfig config;
+  config.requests_per_platform = {400};
+  config.workers_per_platform = {80};
+  config.radius_km = 2.5;  // long pickups possible: travel cost bites
+  config.seed = 21;
+  auto ins = GenerateSynthetic(config);
+  ASSERT_TRUE(ins.ok());
+  SimConfig sim;
+  sim.measure_response_time = false;
+  const double kCost = 6.0;
+  double dem_net = 0.0, cost_net = 0.0, dem_km = 0.0, cost_km = 0.0;
+  for (uint64_t s = 1; s <= 3; ++s) {
+    {
+      DemCom m0, m1;
+      auto r = RunSimulation(*ins, {&m0, &m1}, sim, s);
+      ASSERT_TRUE(r.ok());
+      dem_net += r->metrics.Aggregate().NetRevenue(kCost);
+      dem_km += r->metrics.Aggregate().total_pickup_km;
+    }
+    {
+      CostAwareConfig cc;
+      cc.cost_per_km = kCost;
+      CostAwareDemCom m0(cc), m1(cc);
+      auto r = RunSimulation(*ins, {&m0, &m1}, sim, s);
+      ASSERT_TRUE(r.ok());
+      EXPECT_TRUE(AuditSimResult(*ins, sim, *r).ok());
+      cost_net += r->metrics.Aggregate().NetRevenue(kCost);
+      cost_km += r->metrics.Aggregate().total_pickup_km;
+    }
+  }
+  EXPECT_GE(cost_net, dem_net);
+  EXPECT_LT(cost_km, dem_km);  // the extension's whole point: less travel
+}
+
+TEST(CostAwareTest, PickupKmTracked) {
+  SyntheticConfig config;
+  config.requests_per_platform = {100};
+  config.workers_per_platform = {30};
+  config.seed = 22;
+  auto ins = GenerateSynthetic(config);
+  ASSERT_TRUE(ins.ok());
+  SimConfig sim;
+  sim.measure_response_time = false;
+  DemCom m0, m1;
+  auto r = RunSimulation(*ins, {&m0, &m1}, sim, 1);
+  ASSERT_TRUE(r.ok());
+  const auto agg = r->metrics.Aggregate();
+  if (agg.completed > 0) {
+    EXPECT_GT(agg.total_pickup_km, 0.0);
+    // Every pickup is within some worker's radius (1 km default).
+    EXPECT_LE(agg.total_pickup_km,
+              static_cast<double>(agg.completed) * 1.0 + 1e-9);
+    EXPECT_LT(agg.NetRevenue(1.0), agg.revenue);
+  }
+}
+
+TEST(CostAwareTest, NameIsStable) {
+  EXPECT_EQ(CostAwareDemCom().name(), "CostDemCOM");
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,174 @@
+#include "core/dem_com.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+#include "testing/fake_view.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::FakeView;
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+
+TEST(DemComTest, InnerWorkerHasAbsolutePriority) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0.3, 0, 2.0));               // inner
+  ins.AddWorker(MakeWorker(1, 1, 0.0, 0, 2.0, {0.01}));       // eager outer
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  DemCom dem;
+  dem.Reset(ins, 0, 1);
+  const Decision d = dem.OnRequest(MakeRequest(0, 2, 0, 0, 10.0), view);
+  EXPECT_EQ(d.kind, Decision::Kind::kInner);
+  EXPECT_EQ(d.worker, 0);
+  EXPECT_FALSE(d.attempted_outer);
+}
+
+TEST(DemComTest, NearestInnerWins) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 1.0, 0, 2.0));
+  ins.AddWorker(MakeWorker(0, 1, 0.2, 0, 2.0));
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  DemCom dem;
+  dem.Reset(ins, 0, 1);
+  const Decision d = dem.OnRequest(MakeRequest(0, 2, 0, 0, 10.0), view);
+  EXPECT_EQ(d.worker, 1);
+}
+
+TEST(DemComTest, RejectsWhenNoWorkerAtAll) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 50, 50, 1.0));  // out of range
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  DemCom dem;
+  dem.Reset(ins, 0, 1);
+  const Decision d = dem.OnRequest(MakeRequest(0, 2, 0, 0, 10.0), view);
+  EXPECT_EQ(d.kind, Decision::Kind::kReject);
+  EXPECT_FALSE(d.attempted_outer);
+}
+
+TEST(DemComTest, BorrowsEagerOuterWorker) {
+  Instance ins;
+  // Only an outer worker, which historically accepted ~0 payments: the
+  // Algorithm 2 quote is tiny and acceptance is (almost) sure.
+  ins.AddWorker(MakeWorker(1, 1, 0.0, 0, 2.0, {0.01}));
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  DemCom dem;
+  dem.Reset(ins, 0, 7);
+  const Decision d = dem.OnRequest(MakeRequest(0, 2, 0, 0, 10.0), view);
+  ASSERT_EQ(d.kind, Decision::Kind::kOuter);
+  EXPECT_EQ(d.worker, 0);
+  EXPECT_TRUE(d.attempted_outer);
+  EXPECT_GT(d.outer_payment, 0.0);
+  EXPECT_LE(d.outer_payment, 10.0);
+  EXPECT_EQ(dem.diagnostics().outer_offers, 1);
+  EXPECT_EQ(dem.diagnostics().outer_accepts, 1);
+}
+
+TEST(DemComTest, RejectsWhenOuterWorkersDemandMoreThanValue) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(1, 1, 0.0, 0, 2.0, {50.0}));  // wants >= 50
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  DemCom dem;
+  dem.Reset(ins, 0, 7);
+  const Decision d = dem.OnRequest(MakeRequest(0, 2, 0, 0, 10.0), view);
+  EXPECT_EQ(d.kind, Decision::Kind::kReject);
+  // Quote exceeded v_r, so no offer was even made (Alg. 1 lines 13-14).
+  EXPECT_FALSE(d.attempted_outer);
+  EXPECT_EQ(dem.diagnostics().outer_offers, 0);
+}
+
+TEST(DemComTest, OfferCanBeDeclinedByBernoulliDraws) {
+  // Worker with a wide history: the quoted min payment sits near the low
+  // end, so single-draw acceptance often fails. Across many seeds we must
+  // observe both accepted and declined offers.
+  Instance ins;
+  ins.AddWorker(MakeWorker(1, 1, 0.0, 0, 2.0,
+                           {1.0, 2.0, 4.0, 6.0, 8.0, 9.0, 9.5}));
+  ins.BuildEvents();
+  int accepted = 0, declined = 0;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    FakeView view(ins, 0);
+    DemCom dem;
+    dem.Reset(ins, 0, seed);
+    const Decision d = dem.OnRequest(MakeRequest(0, 2, 0, 0, 10.0), view);
+    if (d.kind == Decision::Kind::kOuter) {
+      ++accepted;
+    } else {
+      EXPECT_TRUE(d.attempted_outer);
+      ++declined;
+    }
+  }
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(declined, 0);
+}
+
+TEST(DemComTest, PaymentRateDiagnosticsAccumulate) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(1, 1, 0.0, 0, 2.0, {0.01}));
+  ins.AddWorker(MakeWorker(1, 1, 0.1, 0, 2.0, {0.01}));
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  DemCom dem;
+  dem.Reset(ins, 0, 5);
+  (void)dem.OnRequest(MakeRequest(0, 2, 0, 0, 10.0), view);
+  (void)dem.OnRequest(MakeRequest(0, 3, 0, 0, 20.0), view);
+  EXPECT_EQ(dem.diagnostics().outer_offers, 2);
+  EXPECT_GT(dem.diagnostics().payment_sum, 0.0);
+  EXPECT_GT(dem.diagnostics().payment_rate_sum, 0.0);
+  EXPECT_LE(dem.diagnostics().payment_rate_sum, 2.0);
+}
+
+TEST(DemComTest, ResetClearsDiagnostics) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(1, 1, 0.0, 0, 2.0, {0.01}));
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  DemCom dem;
+  dem.Reset(ins, 0, 5);
+  (void)dem.OnRequest(MakeRequest(0, 2, 0, 0, 10.0), view);
+  dem.Reset(ins, 0, 5);
+  EXPECT_EQ(dem.diagnostics().outer_offers, 0);
+  EXPECT_EQ(dem.diagnostics().payment_sum, 0.0);
+}
+
+TEST(DemComTest, DeterministicGivenSeed) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(1, 1, 0.0, 0, 2.0, {1.0, 5.0, 9.0}));
+  ins.BuildEvents();
+  auto run = [&](uint64_t seed) {
+    FakeView view(ins, 0);
+    DemCom dem;
+    dem.Reset(ins, 0, seed);
+    return dem.OnRequest(MakeRequest(0, 2, 0, 0, 10.0), view);
+  };
+  const Decision a = run(11);
+  const Decision b = run(11);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.worker, b.worker);
+  EXPECT_EQ(a.outer_payment, b.outer_payment);
+}
+
+TEST(DemComTest, NearestAcceptingOuterWins) {
+  Instance ins;
+  // Both always accept; the nearer one (id 1) must be chosen.
+  ins.AddWorker(MakeWorker(1, 1, 1.0, 0, 2.0, {0.01}));
+  ins.AddWorker(MakeWorker(1, 1, 0.2, 0, 2.0, {0.01}));
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  DemCom dem;
+  dem.Reset(ins, 0, 3);
+  const Decision d = dem.OnRequest(MakeRequest(0, 2, 0, 0, 10.0), view);
+  ASSERT_EQ(d.kind, Decision::Kind::kOuter);
+  EXPECT_EQ(d.worker, 1);
+}
+
+TEST(DemComTest, NameIsStable) { EXPECT_EQ(DemCom().name(), "DemCOM"); }
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,100 @@
+#include "core/greedy_rt.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+#include "testing/fake_view.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::FakeView;
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+using testing_fixtures::PaperExample;
+
+TEST(GreedyRtTest, ThresholdIsPowerOfEInRange) {
+  const Instance ins = PaperExample();  // max value 9, theta = ceil(ln 10) = 3
+  std::set<double> seen;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    GreedyRt rt;
+    rt.Reset(ins, 0, seed);
+    const double t = rt.threshold();
+    const double k = std::log(t);
+    EXPECT_NEAR(k, std::round(k), 1e-9);
+    EXPECT_GE(k, 0.0);
+    EXPECT_LE(k, 2.0);  // k in {0, 1, 2}
+    seen.insert(t);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three thresholds drawn across seeds
+}
+
+TEST(GreedyRtTest, RejectsBelowThreshold) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0, 0, 5.0));
+  ins.AddRequest(MakeRequest(0, 2, 0, 0, 100.0));  // forces theta >= 1
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  GreedyRt rt;
+  // Find a seed whose threshold is above 2.
+  for (uint64_t seed = 0;; ++seed) {
+    rt.Reset(ins, 0, seed);
+    if (rt.threshold() > 2.0) break;
+    ASSERT_LT(seed, 1000u);
+  }
+  const Decision d = rt.OnRequest(MakeRequest(0, 2, 0, 0, 1.5), view);
+  EXPECT_EQ(d.kind, Decision::Kind::kReject);
+}
+
+TEST(GreedyRtTest, ServesAboveThresholdWithInnerWorker) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0, 0, 5.0));
+  ins.AddRequest(MakeRequest(0, 2, 0, 0, 5.0));
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  GreedyRt rt;
+  for (uint64_t seed = 0;; ++seed) {
+    rt.Reset(ins, 0, seed);
+    if (rt.threshold() < 5.0) break;
+    ASSERT_LT(seed, 1000u);
+  }
+  const Decision d = rt.OnRequest(MakeRequest(0, 2, 0, 0, 5.0), view);
+  EXPECT_EQ(d.kind, Decision::Kind::kInner);
+  EXPECT_EQ(d.worker, 0);
+}
+
+TEST(GreedyRtTest, NeverBorrowsOuterWorkers) {
+  const Instance ins = PaperExample();
+  FakeView view(ins, 0);
+  GreedyRt rt;
+  rt.Reset(ins, 0, 3);
+  for (const Request& r : ins.requests()) {
+    const Decision d = rt.OnRequest(r, view);
+    EXPECT_NE(d.kind, Decision::Kind::kOuter);
+    if (d.kind == Decision::Kind::kInner) view.MarkOccupied(d.worker);
+  }
+}
+
+TEST(GreedyRtTest, DeterministicForSameSeed) {
+  const Instance ins = PaperExample();
+  GreedyRt a, b;
+  a.Reset(ins, 0, 9);
+  b.Reset(ins, 0, 9);
+  EXPECT_EQ(a.threshold(), b.threshold());
+}
+
+TEST(GreedyRtTest, TinyValuesStillGetAThreshold) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0, 0, 5.0));
+  ins.AddRequest(MakeRequest(0, 2, 0, 0, 0.5));  // theta = ceil(ln 1.5) = 1
+  ins.BuildEvents();
+  GreedyRt rt;
+  rt.Reset(ins, 0, 0);
+  EXPECT_DOUBLE_EQ(rt.threshold(), 1.0);  // e^0
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,160 @@
+#include "core/ram_com.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+#include "testing/fake_view.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::FakeView;
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+using testing_fixtures::PaperExample;
+
+TEST(RamComTest, ThresholdIsPowerOfEBelowTheta) {
+  // Max value 9 -> theta = ceil(ln 10) = 3; exponents drawn from {0, 1, 2}
+  // (Greedy-RT convention; see ram_com.cc for why not the literal
+  // {1..theta}).
+  const Instance ins = PaperExample();
+  std::set<double> seen;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    RamCom ram;
+    ram.Reset(ins, 0, seed);
+    const double k = std::log(ram.threshold());
+    EXPECT_NEAR(k, std::round(k), 1e-9);
+    EXPECT_GE(std::lround(k), 0);
+    EXPECT_LE(std::lround(k), 2);
+    seen.insert(ram.threshold());
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RamComTest, HighValueRequestGoesToInnerWorker) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0.0, 0, 2.0));
+  ins.AddWorker(MakeWorker(1, 1, 0.0, 0, 2.0, {0.01}));
+  ins.AddRequest(MakeRequest(0, 2, 0, 0, 100.0));  // pins theta
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  RamCom ram;
+  ram.Reset(ins, 0, 1);
+  // Any threshold e^k with k <= theta=5 is < 100: value 100 goes inner.
+  const Decision d = ram.OnRequest(MakeRequest(0, 2, 0, 0, 100.0), view);
+  EXPECT_EQ(d.kind, Decision::Kind::kInner);
+  EXPECT_EQ(d.worker, 0);
+}
+
+TEST(RamComTest, LowValueRequestPrefersOuterEvenWithInnerFree) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0.0, 0, 2.0));             // free inner
+  ins.AddWorker(MakeWorker(1, 1, 0.0, 0, 2.0, {0.01}));     // eager outer
+  ins.AddRequest(MakeRequest(0, 2, 0, 0, 1000.0));          // theta = 7
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  RamCom ram;
+  // Pick a seed with threshold > 2 so a value-2 request is "low".
+  for (uint64_t seed = 0;; ++seed) {
+    ram.Reset(ins, 0, seed);
+    if (ram.threshold() > 2.0) break;
+    ASSERT_LT(seed, 1000u);
+  }
+  const Decision d = ram.OnRequest(MakeRequest(0, 2, 0, 0, 2.0), view);
+  // The low-value request is offered to outer workers, never the inner one.
+  EXPECT_TRUE(d.attempted_outer || d.kind == Decision::Kind::kReject);
+  EXPECT_NE(d.kind, Decision::Kind::kInner);
+}
+
+TEST(RamComTest, HighValueFallsThroughToOuterWhenNoInnerFree) {
+  // Example 3 semantics: v > threshold but no inner worker -> cooperative.
+  Instance ins;
+  ins.AddWorker(MakeWorker(1, 1, 0.0, 0, 2.0, {0.01}));
+  ins.AddRequest(MakeRequest(0, 2, 0, 0, 50.0));
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  RamCom ram;
+  ram.Reset(ins, 0, 2);
+  const Decision d = ram.OnRequest(MakeRequest(0, 2, 0, 0, 50.0), view);
+  ASSERT_EQ(d.kind, Decision::Kind::kOuter);
+  EXPECT_GT(d.outer_payment, 0.0);
+}
+
+TEST(RamComTest, RandomInnerChoiceCoversAllCandidates) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0.1, 0, 2.0));
+  ins.AddWorker(MakeWorker(0, 1, 0.2, 0, 2.0));
+  ins.AddWorker(MakeWorker(0, 1, 0.3, 0, 2.0));
+  ins.AddRequest(MakeRequest(0, 2, 0, 0, 100.0));
+  ins.BuildEvents();
+  std::set<WorkerId> chosen;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    FakeView view(ins, 0);
+    RamCom ram;
+    ram.Reset(ins, 0, seed);
+    const Decision d = ram.OnRequest(MakeRequest(0, 2, 0, 0, 100.0), view);
+    ASSERT_EQ(d.kind, Decision::Kind::kInner);
+    chosen.insert(d.worker);
+  }
+  EXPECT_EQ(chosen.size(), 3u);  // all three inner workers get picked
+}
+
+TEST(RamComTest, UsesMerPaymentNotMinimum) {
+  // Outer worker accepts >= 4 surely. MER quotes exactly 4 (prob 1), so a
+  // successful borrow pays 4 and earns v - 4. A high-value dummy request
+  // pushes theta up so thresholds above 10 exist.
+  Instance ins;
+  ins.AddWorker(MakeWorker(1, 1, 0.0, 0, 2.0, {4.0}));
+  ins.AddRequest(MakeRequest(0, 2, 0, 0, 10.0));
+  ins.AddRequest(MakeRequest(0, 3, 50, 50, 1000.0));
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  RamCom ram;
+  for (uint64_t seed = 0;; ++seed) {
+    ram.Reset(ins, 0, seed);
+    if (ram.threshold() > 10.0) break;  // force the outer path
+    ASSERT_LT(seed, 1000u);
+  }
+  const Decision d = ram.OnRequest(MakeRequest(0, 2, 0, 0, 10.0), view);
+  ASSERT_EQ(d.kind, Decision::Kind::kOuter);
+  EXPECT_DOUBLE_EQ(d.outer_payment, 4.0);
+  EXPECT_EQ(ram.diagnostics().outer_accepts, 1);
+}
+
+TEST(RamComTest, RejectsWhenNoOuterCandidates) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 10, 0.0, 0, 2.0));  // inner, arrives too late
+  ins.AddRequest(MakeRequest(0, 2, 0, 0, 1.0));
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  RamCom ram;
+  ram.Reset(ins, 0, 1);
+  const Decision d = ram.OnRequest(MakeRequest(0, 2, 0, 0, 1.0), view);
+  EXPECT_EQ(d.kind, Decision::Kind::kReject);
+  EXPECT_FALSE(d.attempted_outer);
+}
+
+TEST(RamComTest, DeterministicGivenSeed) {
+  const Instance ins = PaperExample();
+  auto run = [&](uint64_t seed) {
+    FakeView view(ins, 0);
+    RamCom ram;
+    ram.Reset(ins, 0, seed);
+    std::vector<Decision::Kind> kinds;
+    for (const Request& r : ins.requests()) {
+      const Decision d = ram.OnRequest(r, view);
+      kinds.push_back(d.kind);
+      if (d.kind != Decision::Kind::kReject) view.MarkOccupied(d.worker);
+    }
+    return kinds;
+  };
+  EXPECT_EQ(run(4), run(4));
+}
+
+TEST(RamComTest, NameIsStable) { EXPECT_EQ(RamCom().name(), "RamCOM"); }
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,98 @@
+#include "core/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+#include "testing/fake_view.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::FakeView;
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+using testing_fixtures::PaperExample;
+
+Instance ThreeInner() {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0.1, 0, 2.0));
+  ins.AddWorker(MakeWorker(0, 1, 0.5, 0, 2.0));
+  ins.AddWorker(MakeWorker(0, 1, 0.9, 0, 2.0));
+  ins.BuildEvents();
+  return ins;
+}
+
+TEST(RankingTest, RanksAreInUnitInterval) {
+  const Instance ins = ThreeInner();
+  Ranking ranking;
+  ranking.Reset(ins, 0, 5);
+  for (WorkerId w = 0; w < 3; ++w) {
+    EXPECT_GE(ranking.RankOf(w), 0.0);
+    EXPECT_LT(ranking.RankOf(w), 1.0);
+  }
+}
+
+TEST(RankingTest, PicksSmallestRankedFeasibleWorker) {
+  const Instance ins = ThreeInner();
+  FakeView view(ins, 0);
+  Ranking ranking;
+  ranking.Reset(ins, 0, 5);
+  WorkerId expected = 0;
+  for (WorkerId w = 1; w < 3; ++w) {
+    if (ranking.RankOf(w) < ranking.RankOf(expected)) expected = w;
+  }
+  const Decision d = ranking.OnRequest(MakeRequest(0, 2, 0.5, 0, 5), view);
+  EXPECT_EQ(d.kind, Decision::Kind::kInner);
+  EXPECT_EQ(d.worker, expected);
+}
+
+TEST(RankingTest, RanksAreStableWithinARun) {
+  const Instance ins = ThreeInner();
+  FakeView view(ins, 0);
+  Ranking ranking;
+  ranking.Reset(ins, 0, 5);
+  const Decision first = ranking.OnRequest(MakeRequest(0, 2, 0.5, 0, 5), view);
+  // The chosen worker keeps winning until occupied.
+  const Decision second =
+      ranking.OnRequest(MakeRequest(0, 3, 0.5, 0, 7), view);
+  EXPECT_EQ(first.worker, second.worker);
+  view.MarkOccupied(first.worker);
+  const Decision third = ranking.OnRequest(MakeRequest(0, 4, 0.5, 0, 7), view);
+  EXPECT_NE(third.worker, first.worker);
+}
+
+TEST(RankingTest, DifferentSeedsPermuteRanks) {
+  const Instance ins = ThreeInner();
+  Ranking a, b;
+  a.Reset(ins, 0, 1);
+  b.Reset(ins, 0, 2);
+  bool differs = false;
+  for (WorkerId w = 0; w < 3; ++w) {
+    differs = differs || a.RankOf(w) != b.RankOf(w);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RankingTest, NeverUsesOuterWorkersAndRejectsWhenStarved) {
+  const Instance ins = PaperExample();
+  FakeView view(ins, 0);
+  Ranking ranking;
+  ranking.Reset(ins, 0, 9);
+  int rejects = 0;
+  for (const Request& r : ins.requests()) {
+    const Decision d = ranking.OnRequest(r, view);
+    EXPECT_NE(d.kind, Decision::Kind::kOuter);
+    if (d.kind == Decision::Kind::kInner) {
+      EXPECT_EQ(ins.worker(d.worker).platform, 0);
+      view.MarkOccupied(d.worker);
+    } else {
+      ++rejects;
+    }
+  }
+  EXPECT_GT(rejects, 0);  // r3/r5 are only coverable by outer workers
+}
+
+TEST(RankingTest, NameIsStable) { EXPECT_EQ(Ranking().name(), "RANKING"); }
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,96 @@
+#include "core/tota_greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+#include "testing/fake_view.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::FakeView;
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+using testing_fixtures::PaperExample;
+
+TEST(TotaGreedyTest, PicksNearestInnerWorker) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0.0, 0.0, 2.0));  // dist 1.0 to request
+  ins.AddWorker(MakeWorker(0, 1, 1.5, 0.0, 2.0));  // dist 0.5 (nearest)
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  TotaGreedy tota;
+  tota.Reset(ins, 0, 1);
+  const Request r = MakeRequest(0, 2.0, 1.0, 0.0, 5.0);
+  const Decision d = tota.OnRequest(r, view);
+  EXPECT_EQ(d.kind, Decision::Kind::kInner);
+  EXPECT_EQ(d.worker, 1);
+  EXPECT_FALSE(d.attempted_outer);
+}
+
+TEST(TotaGreedyTest, RejectsWhenNoInnerFeasible) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(1, 1, 0.0, 0.0, 5.0));  // outer only
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  TotaGreedy tota;
+  tota.Reset(ins, 0, 1);
+  const Decision d = tota.OnRequest(MakeRequest(0, 2, 0, 0, 5), view);
+  EXPECT_EQ(d.kind, Decision::Kind::kReject);
+}
+
+TEST(TotaGreedyTest, NeverUsesOuterWorkers) {
+  const Instance ins = PaperExample();
+  FakeView view(ins, 0);
+  TotaGreedy tota;
+  tota.Reset(ins, 0, 1);
+  for (const Request& r : ins.requests()) {
+    const Decision d = tota.OnRequest(r, view);
+    if (d.kind != Decision::Kind::kReject) {
+      EXPECT_EQ(d.kind, Decision::Kind::kInner);
+      EXPECT_EQ(ins.worker(d.worker).platform, 0);
+      view.MarkOccupied(d.worker);
+    }
+  }
+}
+
+TEST(TotaGreedyTest, RespectsTimeConstraint) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 10.0, 0.0, 0.0, 5.0));  // arrives later
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  TotaGreedy tota;
+  tota.Reset(ins, 0, 1);
+  const Decision d = tota.OnRequest(MakeRequest(0, 2.0, 0, 0, 5), view);
+  EXPECT_EQ(d.kind, Decision::Kind::kReject);
+}
+
+TEST(TotaGreedyTest, RespectsRangeConstraint) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1.0, 0.0, 0.0, 1.0));
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  TotaGreedy tota;
+  tota.Reset(ins, 0, 1);
+  const Decision d = tota.OnRequest(MakeRequest(0, 2.0, 3.0, 0.0, 5), view);
+  EXPECT_EQ(d.kind, Decision::Kind::kReject);
+}
+
+TEST(TotaGreedyTest, TieBrokenByLowerId) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 1.0, 0.0, 2.0));
+  ins.AddWorker(MakeWorker(0, 1, -1.0, 0.0, 2.0));  // same distance
+  ins.BuildEvents();
+  FakeView view(ins, 0);
+  TotaGreedy tota;
+  tota.Reset(ins, 0, 1);
+  const Decision d = tota.OnRequest(MakeRequest(0, 2, 0, 0, 5), view);
+  EXPECT_EQ(d.worker, 0);
+}
+
+TEST(TotaGreedyTest, NameIsStable) {
+  EXPECT_EQ(TotaGreedy().name(), "TOTA");
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,99 @@
+#include "datagen/city_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace comx {
+namespace {
+
+TEST(CityModelTest, PointsStayInSquare) {
+  const CityModel city(CityModel::ChengduLike());
+  Rng rng(1);
+  const double e = city.params().extent_km;
+  for (int i = 0; i < 10'000; ++i) {
+    const Point p = city.SamplePoint({}, &rng);
+    EXPECT_GE(p.x, -e);
+    EXPECT_LE(p.x, e);
+    EXPECT_GE(p.y, -e);
+    EXPECT_LE(p.y, e);
+  }
+}
+
+TEST(CityModelTest, TimesStayInHorizon) {
+  const CityModel city(CityModel::ChengduLike());
+  Rng rng(2);
+  for (int i = 0; i < 10'000; ++i) {
+    const double t = city.SampleTime(&rng);
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, city.params().horizon_seconds);
+  }
+}
+
+TEST(CityModelTest, RushHoursArePeaked) {
+  const CityModel city(CityModel::ChengduLike());
+  Rng rng(3);
+  int64_t rush = 0, night = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const double t = city.SampleTime(&rng);
+    const double hour = t / 3600.0;
+    if ((hour >= 7 && hour <= 9) || (hour >= 17 && hour <= 19)) ++rush;
+    if (hour >= 1 && hour <= 3) ++night;
+  }
+  // 4 rush hours hold far more than 4/24 of mass; 2 night hours far less
+  // than 2/24.
+  EXPECT_GT(static_cast<double>(rush) / n, 0.30);
+  EXPECT_LT(static_cast<double>(night) / n, 0.06);
+}
+
+TEST(CityModelTest, HotspotWeightsSkewSampling) {
+  CityModel::Params params = CityModel::ChengduLike();
+  params.background_weight = 0.0;
+  const CityModel city(params);
+  Rng rng(4);
+  // Weight only the first hotspot: samples concentrate near its centre.
+  std::vector<double> w(params.hotspots.size(), 0.0);
+  w[0] = 1.0;
+  const Point c = params.hotspots[0].center;
+  int near = 0;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) {
+    const Point p = city.SamplePoint(w, &rng);
+    const double d = std::hypot(p.x - c.x, p.y - c.y);
+    if (d < 3.0 * params.hotspots[0].sigma) ++near;
+  }
+  EXPECT_GT(static_cast<double>(near) / n, 0.95);
+}
+
+TEST(CityModelTest, UniformWhenNoHotspots) {
+  CityModel::Params params;
+  params.hotspots.clear();
+  const CityModel city(params);
+  Rng rng(5);
+  RunningStats xs;
+  for (int i = 0; i < 50'000; ++i) xs.Add(city.SamplePoint({}, &rng).x);
+  EXPECT_NEAR(xs.mean(), 0.0, 0.3);
+  // Uniform variance over [-e, e] is e^2/3.
+  const double e = params.extent_km;
+  EXPECT_NEAR(xs.variance(), e * e / 3.0, e * e / 30.0);
+}
+
+TEST(CityModelTest, CityPresetsDiffer) {
+  const auto chengdu = CityModel::ChengduLike();
+  const auto xian = CityModel::XianLike();
+  EXPECT_NE(chengdu.hotspots.size(), xian.hotspots.size());
+  EXPECT_GT(chengdu.extent_km, xian.extent_km);
+}
+
+TEST(CityModelTest, BoundsMatchExtent) {
+  const CityModel city(CityModel::XianLike());
+  const BBox b = city.Bounds();
+  EXPECT_DOUBLE_EQ(b.width(), 2 * city.params().extent_km);
+  EXPECT_TRUE(b.Contains(Point(0, 0)));
+}
+
+}  // namespace
+}  // namespace comx

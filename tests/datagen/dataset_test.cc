@@ -1,0 +1,137 @@
+#include "datagen/dataset.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "testing/builders.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::PaperExample;
+
+std::string TempPrefix(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void Cleanup(const std::string& prefix) {
+  std::remove((prefix + ".workers.csv").c_str());
+  std::remove((prefix + ".requests.csv").c_str());
+}
+
+TEST(DatasetTest, RoundTripPaperExample) {
+  const std::string prefix = TempPrefix("paper_example");
+  const Instance original = PaperExample();
+  ASSERT_TRUE(SaveInstance(original, prefix).ok());
+  auto loaded = LoadInstance(prefix);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->workers().size(), original.workers().size());
+  ASSERT_EQ(loaded->requests().size(), original.requests().size());
+  for (size_t i = 0; i < original.workers().size(); ++i) {
+    const Worker& a = original.workers()[i];
+    const Worker& b = loaded->workers()[i];
+    EXPECT_EQ(a.platform, b.platform);
+    EXPECT_DOUBLE_EQ(a.time, b.time);
+    EXPECT_EQ(a.location, b.location);
+    EXPECT_DOUBLE_EQ(a.radius, b.radius);
+    EXPECT_EQ(a.history, b.history);
+  }
+  for (size_t i = 0; i < original.requests().size(); ++i) {
+    EXPECT_DOUBLE_EQ(original.requests()[i].value,
+                     loaded->requests()[i].value);
+    EXPECT_EQ(original.requests()[i].location,
+              loaded->requests()[i].location);
+  }
+  EXPECT_EQ(loaded->events().size(), original.events().size());
+  Cleanup(prefix);
+}
+
+TEST(DatasetTest, RoundTripSyntheticBitExact) {
+  const std::string prefix = TempPrefix("synth_roundtrip");
+  SyntheticConfig c;
+  c.requests_per_platform = {50};
+  c.workers_per_platform = {10};
+  auto original = GenerateSynthetic(c);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(SaveInstance(*original, prefix).ok());
+  auto loaded = LoadInstance(prefix);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t i = 0; i < original->workers().size(); ++i) {
+    // %.17g round-trips doubles exactly.
+    EXPECT_EQ(original->workers()[i].time, loaded->workers()[i].time);
+    EXPECT_EQ(original->workers()[i].history, loaded->workers()[i].history);
+  }
+  Cleanup(prefix);
+}
+
+TEST(DatasetTest, LoadMissingFilesFails) {
+  auto loaded = LoadInstance("/nonexistent/prefix");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(DatasetTest, LoadRejectsBadHeader) {
+  const std::string prefix = TempPrefix("bad_header");
+  {
+    std::ofstream w(prefix + ".workers.csv");
+    w << "wrong,header\n";
+    std::ofstream r(prefix + ".requests.csv");
+    r << "id,platform,time,x,y,value\n";
+  }
+  EXPECT_FALSE(LoadInstance(prefix).ok());
+  Cleanup(prefix);
+}
+
+TEST(DatasetTest, LoadRejectsWrongFieldCount) {
+  const std::string prefix = TempPrefix("bad_fields");
+  {
+    std::ofstream w(prefix + ".workers.csv");
+    w << "id,platform,time,x,y,radius,history\n0,0,1.0,0,0\n";
+    std::ofstream r(prefix + ".requests.csv");
+    r << "id,platform,time,x,y,value\n";
+  }
+  EXPECT_FALSE(LoadInstance(prefix).ok());
+  Cleanup(prefix);
+}
+
+TEST(DatasetTest, LoadRejectsNonDenseIds) {
+  const std::string prefix = TempPrefix("bad_ids");
+  {
+    std::ofstream w(prefix + ".workers.csv");
+    w << "id,platform,time,x,y,radius,history\n5,0,1.0,0,0,1.0,2.0\n";
+    std::ofstream r(prefix + ".requests.csv");
+    r << "id,platform,time,x,y,value\n";
+  }
+  EXPECT_FALSE(LoadInstance(prefix).ok());
+  Cleanup(prefix);
+}
+
+TEST(DatasetTest, LoadRejectsGarbageNumbers) {
+  const std::string prefix = TempPrefix("bad_numbers");
+  {
+    std::ofstream w(prefix + ".workers.csv");
+    w << "id,platform,time,x,y,radius,history\n0,0,abc,0,0,1.0,2.0\n";
+    std::ofstream r(prefix + ".requests.csv");
+    r << "id,platform,time,x,y,value\n";
+  }
+  EXPECT_FALSE(LoadInstance(prefix).ok());
+  Cleanup(prefix);
+}
+
+TEST(DatasetTest, EmptyHistorySurvivesRoundTrip) {
+  const std::string prefix = TempPrefix("empty_history");
+  Instance ins;
+  ins.AddWorker(testing_fixtures::MakeWorker(0, 1, 0, 0, 1, {}));
+  ins.AddRequest(testing_fixtures::MakeRequest(0, 2, 0, 0, 5));
+  ins.BuildEvents();
+  ASSERT_TRUE(SaveInstance(ins, prefix).ok());
+  auto loaded = LoadInstance(prefix);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->workers()[0].history.empty());
+  Cleanup(prefix);
+}
+
+}  // namespace
+}  // namespace comx

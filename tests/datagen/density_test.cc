@@ -1,0 +1,106 @@
+#include "datagen/density.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "testing/builders.h"
+#include "util/csv.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+
+Instance CornerInstance() {
+  // Platform 0: workers bottom-left, requests top-right (max imbalance).
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, -9, -9, 1));
+  ins.AddWorker(MakeWorker(0, 1, -8, -8, 1));
+  ins.AddRequest(MakeRequest(0, 2, 9, 9, 5));
+  ins.AddRequest(MakeRequest(0, 2, 8, 8, 5));
+  ins.BuildEvents();
+  return ins;
+}
+
+TEST(DensityGridTest, CountsLandInRightCells) {
+  const Instance ins = CornerInstance();
+  const BBox bounds(Point(-10, -10), Point(10, 10));
+  const DensityGrid grid(ins, bounds, 2, 2);
+  EXPECT_EQ(grid.WorkerCount(0, 0, 0), 2);   // bottom-left
+  EXPECT_EQ(grid.WorkerCount(0, 1, 1), 0);
+  EXPECT_EQ(grid.RequestCount(0, 1, 1), 2);  // top-right
+  EXPECT_EQ(grid.RequestCount(0, 0, 0), 0);
+}
+
+TEST(DensityGridTest, OutOfBoundsClampsToEdge) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 100, 100, 1));
+  ins.AddRequest(MakeRequest(0, 2, -100, -100, 5));
+  ins.BuildEvents();
+  const DensityGrid grid(ins, BBox(Point(-1, -1), Point(1, 1)), 3, 3);
+  EXPECT_EQ(grid.WorkerCount(0, 2, 2), 1);
+  EXPECT_EQ(grid.RequestCount(0, 0, 0), 1);
+}
+
+TEST(DensityGridTest, ImbalanceScoreExtremes) {
+  // Fully separated supply and demand -> score 1.
+  const DensityGrid separated(CornerInstance(),
+                              BBox(Point(-10, -10), Point(10, 10)), 2, 2);
+  EXPECT_DOUBLE_EQ(separated.ImbalanceScore(), 1.0);
+  // Co-located -> score 0.
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 5, 5, 1));
+  ins.AddRequest(MakeRequest(0, 2, 5, 5, 5));
+  ins.BuildEvents();
+  const DensityGrid colocated(ins, BBox(Point(0, 0), Point(10, 10)), 4, 4);
+  EXPECT_DOUBLE_EQ(colocated.ImbalanceScore(), 0.0);
+}
+
+TEST(DensityGridTest, GeneratorImbalanceKnobMovesTheScore) {
+  auto score_at = [](double imbalance) {
+    SyntheticConfig config;
+    config.requests_per_platform = {2000};
+    config.workers_per_platform = {2000};
+    config.imbalance = imbalance;
+    config.seed = 5;
+    auto ins = GenerateSynthetic(config);
+    EXPECT_TRUE(ins.ok());
+    const CityModel city(config.city);
+    return DensityGrid(*ins, city.Bounds(), 10, 10).ImbalanceScore();
+  };
+  const double low = score_at(0.0);
+  const double high = score_at(1.0);
+  EXPECT_GT(high, low + 0.1);
+}
+
+TEST(DensityGridTest, AsciiHeatmapShape) {
+  const Instance ins = CornerInstance();
+  const DensityGrid grid(ins, BBox(Point(-10, -10), Point(10, 10)), 4, 3);
+  const std::string map = grid.AsciiHeatmap(0, /*workers=*/true);
+  // 3 lines of 4 chars (+ newlines).
+  EXPECT_EQ(map.size(), 3u * 5u);
+  // Workers are bottom-left: last line's first char is the densest mark.
+  const std::string last_line = map.substr(map.size() - 5, 4);
+  EXPECT_NE(last_line[0], ' ');
+  // Top-right of the worker map is empty.
+  EXPECT_EQ(map[3], ' ');
+}
+
+TEST(DensityGridTest, CsvRoundTripShape) {
+  const Instance ins = CornerInstance();
+  const DensityGrid grid(ins, BBox(Point(-10, -10), Point(10, 10)), 2, 2);
+  const std::string path = testing::TempDir() + "/density.csv";
+  ASSERT_TRUE(grid.WriteCsv(path).ok());
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  // Header + platforms(1) * roles(2) * cells(4).
+  EXPECT_EQ(rows->size(), 1u + 1u * 2u * 4u);
+  EXPECT_EQ((*rows)[0][0], "platform");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,156 @@
+#include "datagen/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig c;
+  c.requests_per_platform = {100};
+  c.workers_per_platform = {20};
+  c.seed = 99;
+  return c;
+}
+
+TEST(SyntheticConfigTest, ValidatesCounts) {
+  SyntheticConfig c = SmallConfig();
+  EXPECT_TRUE(c.Validate().ok());
+  c.requests_per_platform = {100, 100, 100};  // 3 entries for 2 platforms
+  EXPECT_FALSE(c.Validate().ok());
+  c = SmallConfig();
+  c.workers_per_platform = {-1};
+  EXPECT_FALSE(c.Validate().ok());
+  c = SmallConfig();
+  c.platforms = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SmallConfig();
+  c.radius_km = 0.0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SmallConfig();
+  c.imbalance = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SmallConfig();
+  c.min_history = 10;
+  c.max_history = 5;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(SyntheticTest, GeneratesRequestedCounts) {
+  auto ins = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->requests().size(), 200u);  // 100 x 2 platforms
+  EXPECT_EQ(ins->workers().size(), 40u);
+  EXPECT_EQ(ins->RequestCountOf(0), 100);
+  EXPECT_EQ(ins->RequestCountOf(1), 100);
+  EXPECT_EQ(ins->WorkerCountOf(0), 20);
+  EXPECT_EQ(ins->WorkerCountOf(1), 20);
+}
+
+TEST(SyntheticTest, PerPlatformCountsRespected) {
+  SyntheticConfig c = SmallConfig();
+  c.requests_per_platform = {50, 150};
+  c.workers_per_platform = {10, 30};
+  auto ins = GenerateSynthetic(c);
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->RequestCountOf(0), 50);
+  EXPECT_EQ(ins->RequestCountOf(1), 150);
+  EXPECT_EQ(ins->WorkerCountOf(0), 10);
+  EXPECT_EQ(ins->WorkerCountOf(1), 30);
+}
+
+TEST(SyntheticTest, InstanceIsValid) {
+  auto ins = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(ins.ok());
+  EXPECT_TRUE(ins->Validate().ok());
+}
+
+TEST(SyntheticTest, AllWorkersShareConfiguredRadius) {
+  SyntheticConfig c = SmallConfig();
+  c.radius_km = 2.5;
+  auto ins = GenerateSynthetic(c);
+  ASSERT_TRUE(ins.ok());
+  for (const Worker& w : ins->workers()) {
+    EXPECT_DOUBLE_EQ(w.radius, 2.5);
+  }
+}
+
+TEST(SyntheticTest, HistoriesWithinConfiguredLengths) {
+  SyntheticConfig c = SmallConfig();
+  c.min_history = 3;
+  c.max_history = 7;
+  auto ins = GenerateSynthetic(c);
+  ASSERT_TRUE(ins.ok());
+  for (const Worker& w : ins->workers()) {
+    EXPECT_GE(w.history.size(), 3u);
+    EXPECT_LE(w.history.size(), 7u);
+    for (double h : w.history) EXPECT_GT(h, 0.0);
+  }
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  auto a = GenerateSynthetic(SmallConfig());
+  auto b = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->workers().size(), b->workers().size());
+  for (size_t i = 0; i < a->workers().size(); ++i) {
+    EXPECT_EQ(a->workers()[i].location, b->workers()[i].location);
+    EXPECT_EQ(a->workers()[i].history, b->workers()[i].history);
+  }
+  for (size_t i = 0; i < a->requests().size(); ++i) {
+    EXPECT_EQ(a->requests()[i].value, b->requests()[i].value);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticConfig c1 = SmallConfig();
+  SyntheticConfig c2 = SmallConfig();
+  c2.seed = c1.seed + 1;
+  auto a = GenerateSynthetic(c1);
+  auto b = GenerateSynthetic(c2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->workers()[0].location, b->workers()[0].location);
+}
+
+TEST(HotspotWeightsTest, AntiAlignedAcrossRolesAndPlatforms) {
+  SyntheticConfig c = SmallConfig();
+  c.imbalance = 0.6;
+  const auto w0 = HotspotWeights(c, 0, /*worker=*/true);
+  const auto r0 = HotspotWeights(c, 0, /*worker=*/false);
+  const auto w1 = HotspotWeights(c, 1, /*worker=*/true);
+  ASSERT_EQ(w0.size(), c.city.hotspots.size());
+  for (size_t i = 0; i < w0.size(); ++i) {
+    // Workers and requests of the same platform anti-align.
+    EXPECT_NE(w0[i] > 1.0, r0[i] > 1.0) << i;
+    // Platform 1's workers sit where platform 0's requests are.
+    EXPECT_DOUBLE_EQ(w1[i], r0[i]);
+  }
+}
+
+TEST(HotspotWeightsTest, ZeroImbalanceIsUniform) {
+  SyntheticConfig c = SmallConfig();
+  c.imbalance = 0.0;
+  for (double w : HotspotWeights(c, 0, true)) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(SyntheticTest, SinglePlatformWorks) {
+  SyntheticConfig c = SmallConfig();
+  c.platforms = 1;
+  auto ins = GenerateSynthetic(c);
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->PlatformCount(), 1);
+}
+
+TEST(SyntheticTest, ZeroWorkersIsLegal) {
+  SyntheticConfig c = SmallConfig();
+  c.workers_per_platform = {0};
+  auto ins = GenerateSynthetic(c);
+  ASSERT_TRUE(ins.ok());
+  EXPECT_TRUE(ins->workers().empty());
+  EXPECT_EQ(ins->requests().size(), 200u);
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,81 @@
+#include "datagen/value_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace comx {
+namespace {
+
+TEST(ParseValueDistributionTest, TableFourNames) {
+  auto real = ParseValueDistribution("real");
+  ASSERT_TRUE(real.ok());
+  EXPECT_EQ(real.value(), ValueDistribution::kRealLike);
+  auto normal = ParseValueDistribution("normal");
+  ASSERT_TRUE(normal.ok());
+  EXPECT_EQ(normal.value(), ValueDistribution::kNormal);
+  EXPECT_FALSE(ParseValueDistribution("uniform").ok());
+  EXPECT_FALSE(ParseValueDistribution("Real").ok());
+}
+
+TEST(ValueModelTest, RealLikeStaysInBounds) {
+  ValueModel model;
+  Rng rng(1);
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = model.Draw(&rng);
+    EXPECT_GE(v, model.params().min_value);
+    EXPECT_LE(v, model.params().max_value);
+  }
+}
+
+TEST(ValueModelTest, RealLikeMeanNearNineteen) {
+  ValueModel model;
+  Rng rng(2);
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) s.Add(model.Draw(&rng));
+  EXPECT_NEAR(s.mean(), 19.0, 1.5);
+}
+
+TEST(ValueModelTest, RealLikeIsRightSkewed) {
+  ValueModel model;
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 50'000; ++i) xs.push_back(model.Draw(&rng));
+  const double median = Quantile(xs, 0.5);
+  RunningStats s;
+  for (double x : xs) s.Add(x);
+  EXPECT_GT(s.mean(), median);  // right skew: mean above median
+}
+
+TEST(ValueModelTest, NormalMeanAndSpread) {
+  ValueModel::Params p;
+  p.distribution = ValueDistribution::kNormal;
+  ValueModel model(p);
+  Rng rng(4);
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) s.Add(model.Draw(&rng));
+  EXPECT_NEAR(s.mean(), p.mean, 0.5);
+  EXPECT_NEAR(s.stddev(), p.stddev, 0.5);  // clamping trims little
+}
+
+TEST(ValueModelTest, NormalClampedToBounds) {
+  ValueModel::Params p;
+  p.distribution = ValueDistribution::kNormal;
+  p.mean = 1.0;  // pushes many draws below min_value
+  ValueModel model(p);
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GE(model.Draw(&rng), p.min_value);
+  }
+}
+
+TEST(ValueModelTest, DeterministicGivenSeed) {
+  ValueModel model;
+  Rng a(6), b(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(model.Draw(&a), model.Draw(&b));
+  }
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,76 @@
+#include "geo/distance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace {
+
+TEST(DistanceTest, EuclideanBasics) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance(Point(0, 0), Point(3, 4)), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(Point(1, 1), Point(1, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(Point(-1, 0), Point(1, 0)), 2.0);
+}
+
+TEST(DistanceTest, Symmetric) {
+  const Point a(2.5, -7.1), b(-3.3, 4.2);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), EuclideanDistance(b, a));
+}
+
+TEST(DistanceTest, SquaredMatchesSquare) {
+  const Point a(1, 2), b(4, 6);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(std::sqrt(SquaredDistance(a, b)),
+                   EuclideanDistance(a, b));
+}
+
+TEST(DistanceTest, TriangleInequality) {
+  const Point a(0, 0), b(5, 1), c(2, 8);
+  EXPECT_LE(EuclideanDistance(a, c),
+            EuclideanDistance(a, b) + EuclideanDistance(b, c) + 1e-12);
+}
+
+TEST(WithinRadiusTest, BoundaryInclusive) {
+  EXPECT_TRUE(WithinRadius(Point(0, 0), Point(3, 4), 5.0));
+  EXPECT_TRUE(WithinRadius(Point(0, 0), Point(3, 4), 5.0001));
+  EXPECT_FALSE(WithinRadius(Point(0, 0), Point(3, 4), 4.9999));
+}
+
+TEST(WithinRadiusTest, ZeroRadiusOnlySelf) {
+  EXPECT_TRUE(WithinRadius(Point(1, 1), Point(1, 1), 0.0));
+  EXPECT_FALSE(WithinRadius(Point(1, 1), Point(1, 1.001), 0.0));
+}
+
+TEST(HaversineTest, KnownCityPair) {
+  // Chengdu (30.5728N, 104.0668E) to Xi'an (34.3416N, 108.9398E):
+  // great-circle distance ~= 620 km.
+  const double d = HaversineKm(30.5728, 104.0668, 34.3416, 108.9398);
+  EXPECT_NEAR(d, 620.0, 10.0);
+}
+
+TEST(HaversineTest, ZeroForSamePoint) {
+  EXPECT_NEAR(HaversineKm(30.0, 104.0, 30.0, 104.0), 0.0, 1e-9);
+}
+
+TEST(HaversineTest, OneDegreeLatitudeIsAbout111Km) {
+  EXPECT_NEAR(HaversineKm(30.0, 104.0, 31.0, 104.0), 111.2, 0.5);
+}
+
+TEST(ProjectionTest, OriginMapsToZero) {
+  const Point p = ProjectEquirectangular(30.57, 104.07, 30.57, 104.07);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+}
+
+TEST(ProjectionTest, MatchesHaversineAtCityScale) {
+  const double lat0 = 30.5728, lon0 = 104.0668;
+  const double lat1 = 30.62, lon1 = 104.12;
+  const Point p = ProjectEquirectangular(lat1, lon1, lat0, lon0);
+  const double planar = std::sqrt(p.x * p.x + p.y * p.y);
+  const double sphere = HaversineKm(lat0, lon0, lat1, lon1);
+  EXPECT_NEAR(planar, sphere, 0.02);  // <1% error at ~7 km
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,116 @@
+#include "geo/kd_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geo/distance.h"
+#include "util/rng.h"
+
+namespace comx {
+namespace {
+
+std::vector<KdTree::Item> RandomItems(int64_t n, Rng* rng) {
+  std::vector<KdTree::Item> items;
+  for (int64_t i = 0; i < n; ++i) {
+    items.push_back({i, Point(rng->Uniform(-20, 20), rng->Uniform(-20, 20))});
+  }
+  return items;
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  KdTree tree({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.QueryRadius(Point(0, 0), 100.0).empty());
+  EXPECT_FALSE(tree.Nearest(Point(0, 0)).ok());
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  KdTree tree({{7, Point(1, 2)}});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.QueryRadius(Point(1, 2), 0.0).size(), 1u);
+  EXPECT_TRUE(tree.QueryRadius(Point(5, 5), 1.0).empty());
+  auto nearest = tree.Nearest(Point(100, 100));
+  ASSERT_TRUE(nearest.ok());
+  EXPECT_EQ(nearest->id, 7);
+}
+
+TEST(KdTreeTest, RadiusBoundaryInclusive) {
+  KdTree tree({{1, Point(3, 4)}});
+  EXPECT_EQ(tree.QueryRadius(Point(0, 0), 5.0).size(), 1u);
+  EXPECT_TRUE(tree.QueryRadius(Point(0, 0), 4.999).empty());
+  EXPECT_TRUE(tree.QueryRadius(Point(0, 0), -1.0).empty());
+}
+
+TEST(KdTreeTest, DuplicatePointsAllReturned) {
+  KdTree tree({{1, Point(0, 0)}, {2, Point(0, 0)}, {3, Point(0, 0)}});
+  EXPECT_EQ(tree.QueryRadius(Point(0, 0), 0.1).size(), 3u);
+}
+
+class KdTreeRandomTest : public testing::TestWithParam<int> {};
+
+TEST_P(KdTreeRandomTest, RadiusMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 39916801 + 5);
+  const auto items = RandomItems(400, &rng);
+  const KdTree tree(items);
+  for (int q = 0; q < 60; ++q) {
+    const Point c(rng.Uniform(-22, 22), rng.Uniform(-22, 22));
+    const double radius = rng.Uniform(0.0, 10.0);
+    std::set<int64_t> expected;
+    for (const auto& item : items) {
+      if (WithinRadius(c, item.location, radius)) expected.insert(item.id);
+    }
+    const auto got_vec = tree.QueryRadius(c, radius);
+    const std::set<int64_t> got(got_vec.begin(), got_vec.end());
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(got_vec.size(), got.size()) << "duplicates";
+  }
+}
+
+TEST_P(KdTreeRandomTest, NearestMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2750159 + 3);
+  const auto items = RandomItems(300, &rng);
+  const KdTree tree(items);
+  for (int q = 0; q < 60; ++q) {
+    const Point p(rng.Uniform(-25, 25), rng.Uniform(-25, 25));
+    double best = 1e18;
+    for (const auto& item : items) {
+      best = std::min(best, SquaredDistance(p, item.location));
+    }
+    auto nearest = tree.Nearest(p);
+    ASSERT_TRUE(nearest.ok());
+    EXPECT_NEAR(SquaredDistance(p, nearest->location), best, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KdTreeRandomTest, testing::Range(0, 6));
+
+TEST(KdTreeTest, ForEachReportsSquaredDistances) {
+  KdTree tree({{1, Point(3, 4)}, {2, Point(0, 1)}});
+  double sum_d2 = 0.0;
+  const size_t hits = tree.ForEachInRadius(
+      Point(0, 0), 10.0,
+      [&](const KdTree::Item& item, double d2) {
+        sum_d2 += d2;
+        EXPECT_TRUE(item.id == 1 || item.id == 2);
+      });
+  EXPECT_EQ(hits, 2u);
+  EXPECT_DOUBLE_EQ(sum_d2, 26.0);  // 25 + 1
+}
+
+TEST(KdTreeTest, CollinearPointsHandled) {
+  // Degenerate geometry: all on one axis (nth_element ties).
+  std::vector<KdTree::Item> items;
+  for (int64_t i = 0; i < 50; ++i) {
+    items.push_back({i, Point(static_cast<double>(i), 0.0)});
+  }
+  const KdTree tree(items);
+  EXPECT_EQ(tree.QueryRadius(Point(10, 0), 2.5).size(), 5u);
+  auto nearest = tree.Nearest(Point(30.4, 5.0));
+  ASSERT_TRUE(nearest.ok());
+  EXPECT_EQ(nearest->id, 30);
+}
+
+}  // namespace
+}  // namespace comx

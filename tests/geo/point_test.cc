@@ -1,0 +1,35 @@
+#include "geo/point.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace {
+
+TEST(PointTest, DefaultIsOrigin) {
+  constexpr Point p;
+  EXPECT_EQ(p.x, 0.0);
+  EXPECT_EQ(p.y, 0.0);
+}
+
+TEST(PointTest, Equality) {
+  EXPECT_EQ(Point(1, 2), Point(1, 2));
+  EXPECT_NE(Point(1, 2), Point(2, 1));
+}
+
+TEST(PointTest, Arithmetic) {
+  const Point a(1, 2), b(3, -1);
+  EXPECT_EQ(a + b, Point(4, 1));
+  EXPECT_EQ(a - b, Point(-2, 3));
+  EXPECT_EQ(a * 2.0, Point(2, 4));
+}
+
+TEST(PointTest, StreamFormat) {
+  std::ostringstream os;
+  os << Point(1.5, -2.0);
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,163 @@
+// Full-stack tests: generated city workloads through every algorithm, with
+// the paper's qualitative orderings asserted.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/dem_com.h"
+#include "core/offline_opt.h"
+#include "core/ram_com.h"
+#include "core/tota_greedy.h"
+#include "datagen/real_like.h"
+#include "datagen/synthetic.h"
+#include "sim/simulator.h"
+
+namespace comx {
+namespace {
+
+Instance MidInstance(uint64_t seed = 41) {
+  SyntheticConfig c;
+  c.requests_per_platform = {400};
+  c.workers_per_platform = {80};
+  c.seed = seed;
+  auto ins = GenerateSynthetic(c);
+  EXPECT_TRUE(ins.ok());
+  return std::move(ins).value();
+}
+
+SimConfig DayConfig() {
+  SimConfig c;
+  c.workers_recycle = true;
+  c.measure_response_time = false;
+  return c;
+}
+
+struct RunOutcome {
+  double revenue;
+  SimMetrics metrics;
+};
+
+template <typename Matcher>
+RunOutcome RunWith(const Instance& ins, const SimConfig& config,
+                   uint64_t seed) {
+  Matcher m0, m1;
+  auto r = RunSimulation(ins, {&m0, &m1}, config, seed);
+  EXPECT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(AuditSimResult(ins, config, *r).ok());
+  return {r->metrics.TotalRevenue(), r->metrics};
+}
+
+TEST(EndToEndTest, ComBeatsTotaOnImbalancedCity) {
+  const Instance ins = MidInstance();
+  const SimConfig config = DayConfig();
+  double tota = 0, dem = 0, ram = 0;
+  const int kSeeds = 3;
+  for (uint64_t s = 1; s <= kSeeds; ++s) {
+    tota += RunWith<TotaGreedy>(ins, config, s).revenue;
+    dem += RunWith<DemCom>(ins, config, s).revenue;
+    ram += RunWith<RamCom>(ins, config, s).revenue;
+  }
+  // Headline ordering of Tables V-VII: DemCOM and RamCOM above TOTA.
+  EXPECT_GT(dem, tota);
+  EXPECT_GT(ram, tota);
+}
+
+TEST(EndToEndTest, OfflineUpperBoundsOnlineWithoutRecycling) {
+  const Instance ins = MidInstance();
+  SimConfig strict;
+  strict.workers_recycle = false;
+  strict.measure_response_time = false;
+  double off = 0.0;
+  for (PlatformId p = 0; p < 2; ++p) {
+    auto sol = SolveOffline(ins, p, {});
+    ASSERT_TRUE(sol.ok());
+    off += sol->matching.total_revenue;
+  }
+  for (uint64_t s = 1; s <= 3; ++s) {
+    EXPECT_LE(RunWith<TotaGreedy>(ins, strict, s).revenue, off + 1e-6);
+    // DemCOM/RamCOM pay *online-estimated* prices, which can undercut the
+    // offline reservation draw on individual requests, but the offline
+    // optimum with full knowledge still dominates in aggregate here.
+    EXPECT_LE(RunWith<DemCom>(ins, strict, s).revenue, off * 1.05);
+    EXPECT_LE(RunWith<RamCom>(ins, strict, s).revenue, off * 1.05);
+  }
+}
+
+TEST(EndToEndTest, CooperativeRequestsOnlyFromComAlgorithms) {
+  const Instance ins = MidInstance();
+  const SimConfig config = DayConfig();
+  const auto tota = RunWith<TotaGreedy>(ins, config, 2);
+  EXPECT_EQ(tota.metrics.TotalCooperative(), 0);
+  const auto dem = RunWith<DemCom>(ins, config, 2);
+  const auto ram = RunWith<RamCom>(ins, config, 2);
+  EXPECT_GT(dem.metrics.TotalCooperative() +
+                ram.metrics.TotalCooperative(),
+            0);
+}
+
+TEST(EndToEndTest, RamComAcceptanceRatioAboveDemCom) {
+  // Section V-B4: RamCOM's MER pricing gets accepted far more often than
+  // DemCOM's minimum pricing. Averaged over seeds for stability.
+  const Instance ins = MidInstance();
+  const SimConfig config = DayConfig();
+  double dem_acc = 0, ram_acc = 0;
+  const int kSeeds = 3;
+  for (uint64_t s = 1; s <= kSeeds; ++s) {
+    dem_acc += RunWith<DemCom>(ins, config, s).metrics.Aggregate()
+                   .AcceptanceRatio();
+    ram_acc += RunWith<RamCom>(ins, config, s).metrics.Aggregate()
+                   .AcceptanceRatio();
+  }
+  EXPECT_GT(ram_acc, dem_acc);
+}
+
+TEST(EndToEndTest, RamComPaysMoreButCompletesMoreCooperative) {
+  // Section V-B5: RamCOM's payment rate exceeds DemCOM's, and it completes
+  // more cooperative requests.
+  const Instance ins = MidInstance();
+  const SimConfig config = DayConfig();
+  double dem_rate = 0, ram_rate = 0;
+  int64_t dem_cor = 0, ram_cor = 0;
+  for (uint64_t s = 1; s <= 3; ++s) {
+    const auto dem = RunWith<DemCom>(ins, config, s).metrics.Aggregate();
+    const auto ram = RunWith<RamCom>(ins, config, s).metrics.Aggregate();
+    dem_rate += dem.MeanPaymentRate();
+    ram_rate += ram.MeanPaymentRate();
+    dem_cor += dem.completed_outer;
+    ram_cor += ram.completed_outer;
+  }
+  EXPECT_GT(ram_cor, dem_cor);
+  if (dem_cor > 0) {
+    EXPECT_GT(ram_rate, dem_rate * 0.9);  // Ram pays at least comparably
+  }
+}
+
+TEST(EndToEndTest, RealLikeCloneRunsAllAlgorithms) {
+  auto ins = GenerateRealLike(Rdx11Ryx11(), 0.01, 11);
+  ASSERT_TRUE(ins.ok());
+  const SimConfig config = DayConfig();
+  const auto tota = RunWith<TotaGreedy>(*ins, config, 1);
+  const auto dem = RunWith<DemCom>(*ins, config, 1);
+  const auto ram = RunWith<RamCom>(*ins, config, 1);
+  EXPECT_GT(tota.revenue, 0.0);
+  EXPECT_GE(dem.revenue, tota.revenue * 0.9);
+  EXPECT_GE(ram.revenue, tota.revenue * 0.9);
+}
+
+TEST(EndToEndTest, MixedMatchersPerPlatform) {
+  // One platform runs DemCOM while the other runs TOTA — the simulator
+  // supports heterogeneous fleets and stays consistent.
+  const Instance ins = MidInstance();
+  DemCom dem;
+  TotaGreedy tota;
+  const SimConfig config = DayConfig();
+  auto r = RunSimulation(ins, {&dem, &tota}, config, 9);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(AuditSimResult(ins, config, *r).ok());
+  // Platform 1 (TOTA) must have no cooperative requests.
+  EXPECT_EQ(r->metrics.per_platform[1].completed_outer, 0);
+}
+
+}  // namespace
+}  // namespace comx

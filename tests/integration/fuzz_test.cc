@@ -1,0 +1,129 @@
+// Randomized-configuration fuzzing: draw workload configs, algorithms, and
+// simulation modes at random (deterministically seeded) and assert the
+// whole-system invariants on every combination. Complements the curated
+// InvariantSweep with breadth.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_aware.h"
+#include "core/dem_com.h"
+#include "core/greedy_rt.h"
+#include "core/ram_com.h"
+#include "core/ranking.h"
+#include "core/tota_greedy.h"
+#include "datagen/synthetic.h"
+#include "sim/batch_simulator.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace comx {
+namespace {
+
+std::unique_ptr<OnlineMatcher> RandomMatcher(Rng* rng) {
+  switch (rng->UniformInt(0, 5)) {
+    case 0:
+      return std::make_unique<TotaGreedy>(rng->Bernoulli(0.5));
+    case 1:
+      return std::make_unique<Ranking>();
+    case 2:
+      return std::make_unique<GreedyRt>();
+    case 3:
+      return std::make_unique<DemCom>();
+    case 4:
+      return std::make_unique<CostAwareDemCom>();
+    default:
+      return std::make_unique<RamCom>();
+  }
+}
+
+SyntheticConfig RandomConfig(Rng* rng) {
+  SyntheticConfig config;
+  config.platforms = static_cast<int32_t>(rng->UniformInt(1, 4));
+  config.requests_per_platform = {rng->UniformInt(0, 150)};
+  config.workers_per_platform = {rng->UniformInt(0, 60)};
+  config.radius_km = rng->Uniform(0.3, 3.0);
+  config.imbalance = rng->Uniform(0.0, 1.0);
+  config.min_history = static_cast<int32_t>(rng->UniformInt(1, 5));
+  config.max_history =
+      config.min_history + static_cast<int32_t>(rng->UniformInt(0, 20));
+  config.value.distribution = rng->Bernoulli(0.5)
+                                  ? ValueDistribution::kRealLike
+                                  : ValueDistribution::kNormal;
+  config.seed = rng->NextUint64();
+  return config;
+}
+
+SimConfig RandomSimConfig(Rng* rng) {
+  SimConfig sim;
+  sim.workers_recycle = rng->Bernoulli(0.5);
+  sim.measure_response_time = rng->Bernoulli(0.3);
+  sim.acceptance_mode = rng->Bernoulli(0.3) ? AcceptanceMode::kReservation
+                                            : AcceptanceMode::kBernoulli;
+  sim.reservation_seed = rng->NextUint64();
+  sim.speed_kmh = rng->Uniform(10.0, 60.0);
+  sim.base_service_seconds = rng->Uniform(0.0, 900.0);
+  sim.service_seconds_per_value = rng->Uniform(0.0, 120.0);
+  return sim;
+}
+
+class FuzzTest : public testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, RandomConfigsKeepAllInvariants) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 17);
+  for (int round = 0; round < 6; ++round) {
+    const SyntheticConfig config = RandomConfig(&rng);
+    auto instance = GenerateSynthetic(config);
+    ASSERT_TRUE(instance.ok()) << instance.status();
+    ASSERT_TRUE(instance->Validate().ok());
+
+    const SimConfig sim = RandomSimConfig(&rng);
+    std::vector<std::unique_ptr<OnlineMatcher>> owned;
+    std::vector<OnlineMatcher*> matchers;
+    for (int32_t p = 0; p < config.platforms; ++p) {
+      owned.push_back(RandomMatcher(&rng));
+      matchers.push_back(owned.back().get());
+    }
+    auto result = RunSimulation(*instance, matchers, sim, rng.NextUint64());
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_TRUE(AuditSimResult(*instance, sim, *result).ok())
+        << "round " << round;
+
+    const PlatformMetrics agg = result->metrics.Aggregate();
+    EXPECT_EQ(agg.completed + agg.rejected,
+              static_cast<int64_t>(instance->requests().size()));
+    EXPECT_EQ(agg.completed, agg.completed_inner + agg.completed_outer);
+    EXPECT_LE(agg.completed_outer, agg.outer_offers);
+    EXPECT_GE(agg.revenue, 0.0);
+    EXPECT_GE(agg.total_pickup_km, 0.0);
+    // Pickups are bounded by the configured radius per completion.
+    EXPECT_LE(agg.total_pickup_km,
+              static_cast<double>(agg.completed) * config.radius_km + 1e-6);
+    EXPECT_EQ(result->matching.assignments.size(),
+              static_cast<size_t>(agg.completed));
+
+    // Every other round also pushes the workload through the batch runner
+    // with a random window, checking the same identities.
+    if (round % 2 == 0) {
+      BatchConfig batch;
+      batch.window_seconds = rng.Uniform(5.0, 900.0);
+      batch.max_wait_windows = static_cast<int32_t>(rng.UniformInt(1, 6));
+      batch.sim = sim;
+      auto batched = RunBatchSimulation(*instance, batch, rng.NextUint64());
+      ASSERT_TRUE(batched.ok()) << batched.status();
+      const PlatformMetrics bagg = batched->metrics.Aggregate();
+      EXPECT_EQ(bagg.completed + bagg.rejected,
+                static_cast<int64_t>(instance->requests().size()));
+      EXPECT_EQ(bagg.completed, bagg.completed_inner + bagg.completed_outer);
+      EXPECT_GE(bagg.revenue, 0.0);
+      EXPECT_EQ(batched->matching.assignments.size(),
+                static_cast<size_t>(bagg.completed));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, FuzzTest, testing::Range(0, 10));
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,133 @@
+#include "matching/auction.h"
+
+#include <gtest/gtest.h>
+
+#include "matching/brute_force.h"
+#include "matching/hungarian.h"
+#include "util/rng.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::BruteForceMaxWeight;
+using testing_fixtures::RandomGraph;
+
+TEST(AuctionTest, EmptyGraph) {
+  BipartiteGraph g(0, 0);
+  auto m = AuctionMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size, 0);
+}
+
+TEST(AuctionTest, NoEdges) {
+  BipartiteGraph g(3, 3);
+  auto m = AuctionMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size, 0);
+}
+
+TEST(AuctionTest, SingleEdge) {
+  BipartiteGraph g(1, 1);
+  ASSERT_TRUE(g.AddEdge(0, 0, 5.0).ok());
+  auto m = AuctionMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size, 1);
+  EXPECT_DOUBLE_EQ(m->total_weight, 5.0);
+}
+
+TEST(AuctionTest, GreedyTrapSolvedNearOptimally) {
+  BipartiteGraph g(2, 2);
+  ASSERT_TRUE(g.AddEdge(0, 0, 10.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1, 9.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0, 9.0).ok());
+  auto m = AuctionMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->total_weight, 18.0, 1e-9);  // gap >> n*eps, so exact
+}
+
+TEST(AuctionTest, RejectsNegativeWeights) {
+  BipartiteGraph g(1, 1);
+  ASSERT_TRUE(g.AddEdge(0, 0, -1.0).ok());
+  EXPECT_FALSE(AuctionMaxWeight(g).ok());
+}
+
+TEST(AuctionTest, CompetitionRaisesPricesNotDeadlocks) {
+  // Many persons, one object: exactly one wins, others settle for null.
+  BipartiteGraph g(6, 1);
+  for (int32_t l = 0; l < 6; ++l) {
+    ASSERT_TRUE(g.AddEdge(l, 0, 1.0 + l).ok());
+  }
+  auto m = AuctionMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size, 1);
+  EXPECT_NEAR(m->total_weight, 6.0, 1e-9);  // value gaps >> n*eps
+  EXPECT_EQ(m->match_of_left[5], 0);  // highest value wins
+}
+
+TEST(AuctionTest, MatchingIsStructurallyValid) {
+  Rng rng(2024);
+  const BipartiteGraph g = RandomGraph(20, 15, 0.3, &rng);
+  auto m = AuctionMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  double validated = 0.0;
+  ASSERT_TRUE(g.ValidateMatching(m->match_of_left, &validated).ok());
+  EXPECT_NEAR(validated, m->total_weight, 1e-9);
+}
+
+class AuctionRandomTest : public testing::TestWithParam<int> {};
+
+TEST_P(AuctionRandomTest, WithinToleranceOfBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 15485863 + 11);
+  for (int iter = 0; iter < 15; ++iter) {
+    const int32_t left = static_cast<int32_t>(rng.UniformInt(1, 6));
+    const int32_t right = static_cast<int32_t>(rng.UniformInt(1, 6));
+    const BipartiteGraph g = RandomGraph(left, right, 0.5, &rng);
+    auto m = AuctionMaxWeight(g);
+    ASSERT_TRUE(m.ok());
+    const double brute = BruteForceMaxWeight(g);
+    double max_w = 0.0;
+    for (const auto& e : g.edges()) max_w = std::max(max_w, e.weight);
+    const double tol = static_cast<double>(left) * max_w * 1e-4 + 1e-9;
+    EXPECT_GE(m->total_weight, brute - tol) << g.Summary();
+    EXPECT_LE(m->total_weight, brute + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuctionRandomTest, testing::Range(0, 8));
+
+TEST(AuctionTest, AgreesWithHungarianOnLargerSparseGraph) {
+  Rng rng(4096);
+  const BipartiteGraph g = RandomGraph(80, 70, 0.08, &rng);
+  auto auction = AuctionMaxWeight(g);
+  auto hungarian = HungarianMaxWeight(g);
+  ASSERT_TRUE(auction.ok());
+  ASSERT_TRUE(hungarian.ok());
+  EXPECT_NEAR(auction->total_weight, hungarian->total_weight,
+              80 * 10.0 * 1e-4 + 1e-9);
+}
+
+TEST(AuctionTest, BidCapSurfacesAsError) {
+  BipartiteGraph g(3, 2);
+  for (int32_t l = 0; l < 3; ++l) {
+    ASSERT_TRUE(g.AddEdge(l, 0, 5.0).ok());
+    ASSERT_TRUE(g.AddEdge(l, 1, 5.0).ok());
+  }
+  AuctionConfig config;
+  config.max_bids = 2;  // absurdly low
+  auto m = AuctionMaxWeight(g, config);
+  EXPECT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kInternal);
+}
+
+TEST(AuctionTest, DeterministicResults) {
+  Rng rng(5);
+  const BipartiteGraph g = RandomGraph(12, 12, 0.4, &rng);
+  auto a = AuctionMaxWeight(g);
+  auto b = AuctionMaxWeight(g);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->match_of_left, b->match_of_left);
+}
+
+}  // namespace
+}  // namespace comx

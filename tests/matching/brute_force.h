@@ -1,0 +1,82 @@
+// Exponential-time reference solvers used to verify the real matchers on
+// small random graphs.
+
+#ifndef COMX_TESTS_MATCHING_BRUTE_FORCE_H_
+#define COMX_TESTS_MATCHING_BRUTE_FORCE_H_
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "matching/bipartite_graph.h"
+#include "util/rng.h"
+
+namespace comx {
+namespace testing_fixtures {
+
+// Max-weight matching by recursion over left vertices (each may stay
+// unmatched). Exact for any weights. O((R+1)^L).
+inline double BruteForceMaxWeight(const BipartiteGraph& g) {
+  const auto& adj = g.LeftAdjacency();
+  std::vector<char> right_used(static_cast<size_t>(g.right_count()), 0);
+  double best = 0.0;
+  std::function<void(int32_t, double)> rec = [&](int32_t l, double acc) {
+    if (l == g.left_count()) {
+      best = std::max(best, acc);
+      return;
+    }
+    rec(l + 1, acc);  // leave l unmatched
+    for (int32_t ei : adj[static_cast<size_t>(l)]) {
+      const BipartiteEdge& e = g.edges()[static_cast<size_t>(ei)];
+      if (right_used[static_cast<size_t>(e.right)]) continue;
+      right_used[static_cast<size_t>(e.right)] = 1;
+      rec(l + 1, acc + e.weight);
+      right_used[static_cast<size_t>(e.right)] = 0;
+    }
+  };
+  rec(0, 0.0);
+  return best;
+}
+
+// Max-cardinality matching by the same recursion.
+inline int32_t BruteForceMaxCardinality(const BipartiteGraph& g) {
+  const auto& adj = g.LeftAdjacency();
+  std::vector<char> right_used(static_cast<size_t>(g.right_count()), 0);
+  int32_t best = 0;
+  std::function<void(int32_t, int32_t)> rec = [&](int32_t l, int32_t acc) {
+    if (l == g.left_count()) {
+      best = std::max(best, acc);
+      return;
+    }
+    rec(l + 1, acc);
+    for (int32_t ei : adj[static_cast<size_t>(l)]) {
+      const BipartiteEdge& e = g.edges()[static_cast<size_t>(ei)];
+      if (right_used[static_cast<size_t>(e.right)]) continue;
+      right_used[static_cast<size_t>(e.right)] = 1;
+      rec(l + 1, acc + 1);
+      right_used[static_cast<size_t>(e.right)] = 0;
+    }
+  };
+  rec(0, 0);
+  return best;
+}
+
+// Random sparse bipartite graph with weights in (0, 10].
+inline BipartiteGraph RandomGraph(int32_t left, int32_t right,
+                                  double edge_prob, Rng* rng) {
+  BipartiteGraph g(left, right);
+  for (int32_t l = 0; l < left; ++l) {
+    for (int32_t r = 0; r < right; ++r) {
+      if (rng->Bernoulli(edge_prob)) {
+        const Status s = g.AddEdge(l, r, rng->Uniform(0.1, 10.0));
+        (void)s;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace testing_fixtures
+}  // namespace comx
+
+#endif  // COMX_TESTS_MATCHING_BRUTE_FORCE_H_

@@ -1,0 +1,75 @@
+#include "matching/hopcroft_karp.h"
+
+#include <gtest/gtest.h>
+
+#include "matching/brute_force.h"
+#include "util/rng.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::BruteForceMaxCardinality;
+using testing_fixtures::RandomGraph;
+
+TEST(HopcroftKarpTest, EmptyGraph) {
+  BipartiteGraph g(0, 0);
+  EXPECT_EQ(HopcroftKarpMaxCardinality(g).size, 0);
+}
+
+TEST(HopcroftKarpTest, PerfectMatchingOnDiagonal) {
+  BipartiteGraph g(4, 4);
+  for (int32_t i = 0; i < 4; ++i) ASSERT_TRUE(g.AddEdge(i, i, 1.0).ok());
+  const auto m = HopcroftKarpMaxCardinality(g);
+  EXPECT_EQ(m.size, 4);
+  for (int32_t l = 0; l < 4; ++l) EXPECT_EQ(m.match_of_left[l], l);
+}
+
+TEST(HopcroftKarpTest, AugmentingPathNeeded) {
+  // l0-{r0,r1}, l1-{r0}: greedy l0->r0 forces augmentation for l1.
+  BipartiteGraph g(2, 2);
+  ASSERT_TRUE(g.AddEdge(0, 0, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0, 1.0).ok());
+  EXPECT_EQ(HopcroftKarpMaxCardinality(g).size, 2);
+}
+
+TEST(HopcroftKarpTest, BottleneckRightVertex) {
+  BipartiteGraph g(3, 1);
+  for (int32_t l = 0; l < 3; ++l) ASSERT_TRUE(g.AddEdge(l, 0, 1.0).ok());
+  EXPECT_EQ(HopcroftKarpMaxCardinality(g).size, 1);
+}
+
+TEST(HopcroftKarpTest, DuplicateEdgesHarmless) {
+  BipartiteGraph g(1, 1);
+  ASSERT_TRUE(g.AddEdge(0, 0, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 0, 2.0).ok());
+  const auto m = HopcroftKarpMaxCardinality(g);
+  EXPECT_EQ(m.size, 1);
+  EXPECT_DOUBLE_EQ(m.total_weight, 2.0);  // reports max parallel weight
+}
+
+class HopcroftKarpRandomTest : public testing::TestWithParam<int> {};
+
+TEST_P(HopcroftKarpRandomTest, MatchesBruteForceCardinality) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int32_t left = static_cast<int32_t>(rng.UniformInt(1, 7));
+    const int32_t right = static_cast<int32_t>(rng.UniformInt(1, 7));
+    const BipartiteGraph g = RandomGraph(left, right, 0.4, &rng);
+    EXPECT_EQ(HopcroftKarpMaxCardinality(g).size,
+              BruteForceMaxCardinality(g))
+        << "iter " << iter << " " << g.Summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HopcroftKarpRandomTest, testing::Range(0, 8));
+
+TEST(HopcroftKarpTest, MatchingIsStructurallyValid) {
+  Rng rng(31337);
+  const BipartiteGraph g = RandomGraph(30, 25, 0.2, &rng);
+  const auto m = HopcroftKarpMaxCardinality(g);
+  EXPECT_TRUE(g.ValidateMatching(m.match_of_left, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace comx

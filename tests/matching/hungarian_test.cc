@@ -1,0 +1,127 @@
+#include "matching/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include "matching/brute_force.h"
+#include "util/rng.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::BruteForceMaxWeight;
+using testing_fixtures::RandomGraph;
+
+TEST(HungarianTest, EmptyGraph) {
+  BipartiteGraph g(0, 0);
+  auto m = HungarianMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size, 0);
+  EXPECT_EQ(m->total_weight, 0.0);
+}
+
+TEST(HungarianTest, NoEdgesMeansNoMatch) {
+  BipartiteGraph g(3, 3);
+  auto m = HungarianMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size, 0);
+  for (int32_t r : m->match_of_left) EXPECT_EQ(r, -1);
+}
+
+TEST(HungarianTest, SingleEdge) {
+  BipartiteGraph g(1, 1);
+  ASSERT_TRUE(g.AddEdge(0, 0, 5.0).ok());
+  auto m = HungarianMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size, 1);
+  EXPECT_DOUBLE_EQ(m->total_weight, 5.0);
+  EXPECT_EQ(m->match_of_left[0], 0);
+}
+
+TEST(HungarianTest, PrefersHeavierAssignmentOverGreedyTrap) {
+  // Greedy would take (0,0)=10 then leave l1 unmatched; optimal is
+  // (0,1)=9 + (1,0)=9 = 18.
+  BipartiteGraph g(2, 2);
+  ASSERT_TRUE(g.AddEdge(0, 0, 10.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1, 9.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0, 9.0).ok());
+  auto m = HungarianMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->total_weight, 18.0);
+  EXPECT_EQ(m->size, 2);
+}
+
+TEST(HungarianTest, LeavesUnprofitableVerticesUnmatched) {
+  BipartiteGraph g(2, 1);
+  ASSERT_TRUE(g.AddEdge(0, 0, 3.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0, 7.0).ok());
+  auto m = HungarianMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->total_weight, 7.0);
+  EXPECT_EQ(m->match_of_left[0], -1);
+  EXPECT_EQ(m->match_of_left[1], 0);
+}
+
+TEST(HungarianTest, RectangularMoreLeftThanRight) {
+  BipartiteGraph g(4, 2);
+  ASSERT_TRUE(g.AddEdge(0, 0, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0, 2.0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 1, 3.0).ok());
+  ASSERT_TRUE(g.AddEdge(3, 1, 4.0).ok());
+  auto m = HungarianMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->total_weight, 6.0);
+  EXPECT_EQ(m->size, 2);
+}
+
+TEST(HungarianTest, RejectsNegativeWeights) {
+  BipartiteGraph g(1, 1);
+  ASSERT_TRUE(g.AddEdge(0, 0, -1.0).ok());
+  EXPECT_EQ(HungarianMaxWeight(g).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HungarianTest, RejectsHugeDenseMatrix) {
+  BipartiteGraph g(200'000, 200'000);
+  EXPECT_EQ(HungarianMaxWeight(g).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(HungarianTest, ParallelEdgesCollapseToMax) {
+  BipartiteGraph g(1, 1);
+  ASSERT_TRUE(g.AddEdge(0, 0, 2.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 0, 8.0).ok());
+  auto m = HungarianMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->total_weight, 8.0);
+}
+
+TEST(HungarianTest, MatchingIsStructurallyValid) {
+  Rng rng(4242);
+  const BipartiteGraph g = RandomGraph(8, 6, 0.4, &rng);
+  auto m = HungarianMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  double validated = 0.0;
+  ASSERT_TRUE(g.ValidateMatching(m->match_of_left, &validated).ok());
+  EXPECT_NEAR(validated, m->total_weight, 1e-9);
+}
+
+// Exhaustive optimality cross-check on random small graphs.
+class HungarianRandomTest : public testing::TestWithParam<int> {};
+
+TEST_P(HungarianRandomTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int32_t left = static_cast<int32_t>(rng.UniformInt(1, 6));
+    const int32_t right = static_cast<int32_t>(rng.UniformInt(1, 6));
+    const BipartiteGraph g = RandomGraph(left, right, 0.5, &rng);
+    auto m = HungarianMaxWeight(g);
+    ASSERT_TRUE(m.ok());
+    const double brute = BruteForceMaxWeight(g);
+    EXPECT_NEAR(m->total_weight, brute, 1e-9)
+        << "iter " << iter << " " << g.Summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianRandomTest, testing::Range(0, 8));
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,117 @@
+#include "matching/min_cost_flow.h"
+
+#include <gtest/gtest.h>
+
+#include "matching/brute_force.h"
+#include "matching/hungarian.h"
+#include "util/rng.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::BruteForceMaxWeight;
+using testing_fixtures::RandomGraph;
+
+TEST(MinCostFlowTest, EmptyGraph) {
+  BipartiteGraph g(0, 0);
+  auto m = MinCostFlowMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size, 0);
+}
+
+TEST(MinCostFlowTest, SingleEdge) {
+  BipartiteGraph g(1, 1);
+  ASSERT_TRUE(g.AddEdge(0, 0, 4.0).ok());
+  auto m = MinCostFlowMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size, 1);
+  EXPECT_DOUBLE_EQ(m->total_weight, 4.0);
+}
+
+TEST(MinCostFlowTest, GreedyTrapSolvedOptimally) {
+  BipartiteGraph g(2, 2);
+  ASSERT_TRUE(g.AddEdge(0, 0, 10.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1, 9.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0, 9.0).ok());
+  auto m = MinCostFlowMaxWeight(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->total_weight, 18.0);
+}
+
+TEST(MinCostFlowTest, RejectsNegativeWeights) {
+  BipartiteGraph g(1, 1);
+  ASSERT_TRUE(g.AddEdge(0, 0, -2.0).ok());
+  EXPECT_FALSE(MinCostFlowMaxWeight(g).ok());
+}
+
+TEST(MinCostFlowTest, RightCapacityAllowsBMatching) {
+  BipartiteGraph g(3, 1);
+  ASSERT_TRUE(g.AddEdge(0, 0, 3.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0, 2.0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0, 1.0).ok());
+  auto m = MinCostFlowMaxWeight(g, {2});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size, 2);
+  EXPECT_DOUBLE_EQ(m->total_weight, 5.0);
+}
+
+TEST(MinCostFlowTest, CapacityZeroExcludesVertex) {
+  BipartiteGraph g(1, 2);
+  ASSERT_TRUE(g.AddEdge(0, 0, 9.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  auto m = MinCostFlowMaxWeight(g, {0, 1});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->match_of_left[0], 1);
+  EXPECT_DOUBLE_EQ(m->total_weight, 1.0);
+}
+
+class McmfVsHungarianTest : public testing::TestWithParam<int> {};
+
+TEST_P(McmfVsHungarianTest, AgreesWithHungarianAndBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1299709 + 17);
+  for (int iter = 0; iter < 20; ++iter) {
+    const BipartiteGraph g = RandomGraph(
+        static_cast<int32_t>(rng.UniformInt(1, 6)),
+        static_cast<int32_t>(rng.UniformInt(1, 6)), 0.5, &rng);
+    auto flow = MinCostFlowMaxWeight(g);
+    auto hung = HungarianMaxWeight(g);
+    ASSERT_TRUE(flow.ok());
+    ASSERT_TRUE(hung.ok());
+    const double brute = BruteForceMaxWeight(g);
+    EXPECT_NEAR(flow->total_weight, brute, 1e-6) << g.Summary();
+    EXPECT_NEAR(flow->total_weight, hung->total_weight, 1e-6);
+    EXPECT_TRUE(g.ValidateMatching(flow->match_of_left, nullptr).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McmfVsHungarianTest, testing::Range(0, 8));
+
+TEST(MinCostFlowTest, LargerSparseGraphAgreesWithHungarian) {
+  Rng rng(777);
+  const BipartiteGraph g = RandomGraph(60, 50, 0.1, &rng);
+  auto flow = MinCostFlowMaxWeight(g);
+  auto hung = HungarianMaxWeight(g);
+  ASSERT_TRUE(flow.ok());
+  ASSERT_TRUE(hung.ok());
+  EXPECT_NEAR(flow->total_weight, hung->total_weight, 1e-6);
+}
+
+TEST(MinCostFlowTest, CapacitatedMatchesReplicatedHungarian) {
+  // Capacity k on a right vertex == k replicas of that vertex.
+  Rng rng(888);
+  const BipartiteGraph g = RandomGraph(6, 3, 0.6, &rng);
+  auto flow = MinCostFlowMaxWeight(g, {2, 2, 2});
+  ASSERT_TRUE(flow.ok());
+
+  BipartiteGraph replicated(6, 6);
+  for (const BipartiteEdge& e : g.edges()) {
+    ASSERT_TRUE(replicated.AddEdge(e.left, e.right * 2, e.weight).ok());
+    ASSERT_TRUE(replicated.AddEdge(e.left, e.right * 2 + 1, e.weight).ok());
+  }
+  auto hung = HungarianMaxWeight(replicated);
+  ASSERT_TRUE(hung.ok());
+  EXPECT_NEAR(flow->total_weight, hung->total_weight, 1e-6);
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,77 @@
+#include "model/arrival_stream.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::PaperExample;
+
+TEST(EventsForPlatformTest, KeepsAllWorkersAndOwnRequests) {
+  const Instance ins = PaperExample();
+  const auto events = EventsForPlatform(ins, 0);
+  // Platform 0 owns all 5 requests; all 5 worker arrivals stay visible.
+  EXPECT_EQ(events.size(), 10u);
+  const auto events1 = EventsForPlatform(ins, 1);
+  // Platform 1 has no requests: only the 5 worker arrivals.
+  EXPECT_EQ(events1.size(), 5u);
+  for (const Event& e : events1) {
+    EXPECT_EQ(e.kind, EventKind::kWorkerArrival);
+  }
+}
+
+TEST(RandomOrderCopyTest, PreservesEntities) {
+  const Instance ins = PaperExample();
+  Rng rng(5);
+  const Instance shuffled = RandomOrderCopy(ins, &rng);
+  EXPECT_EQ(shuffled.workers().size(), ins.workers().size());
+  EXPECT_EQ(shuffled.requests().size(), ins.requests().size());
+  // Values/locations/platforms unchanged.
+  for (size_t i = 0; i < ins.requests().size(); ++i) {
+    EXPECT_EQ(shuffled.requests()[i].value, ins.requests()[i].value);
+    EXPECT_EQ(shuffled.requests()[i].location, ins.requests()[i].location);
+    EXPECT_EQ(shuffled.requests()[i].platform, ins.requests()[i].platform);
+  }
+}
+
+TEST(RandomOrderCopyTest, ProducesValidInstance) {
+  const Instance ins = PaperExample();
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const Instance shuffled = RandomOrderCopy(ins, &rng);
+    EXPECT_TRUE(shuffled.Validate().ok()) << "seed " << seed;
+  }
+}
+
+TEST(RandomOrderCopyTest, TimesAreMonotoneDense) {
+  const Instance ins = PaperExample();
+  Rng rng(11);
+  const Instance shuffled = RandomOrderCopy(ins, &rng);
+  for (size_t i = 0; i < shuffled.events().size(); ++i) {
+    EXPECT_EQ(shuffled.events()[i].time, static_cast<double>(i));
+  }
+}
+
+TEST(RandomOrderCopyTest, DifferentSeedsGiveDifferentOrders) {
+  const Instance ins = PaperExample();
+  std::set<std::string> orders;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    orders.insert(ArrivalOrderString(RandomOrderCopy(ins, &rng)));
+  }
+  EXPECT_GT(orders.size(), 5u);
+}
+
+TEST(ArrivalOrderStringTest, MatchesTableTwoForPaperExample) {
+  // Table II: w1 w2 r1 w3 r2 r3 w4 r4 w5 r5.
+  EXPECT_EQ(ArrivalOrderString(PaperExample()),
+            "w1, w2, r1, w3, r2, r3, w4, r4, w5, r5");
+}
+
+}  // namespace
+}  // namespace comx

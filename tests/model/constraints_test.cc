@@ -1,0 +1,63 @@
+#include "model/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+
+TEST(ConstraintsTest, FeasibleWhenInTimeAndRange) {
+  const Worker w = MakeWorker(0, 1.0, 0, 0, 2.0);
+  const Request r = MakeRequest(0, 5.0, 1.0, 1.0, 10.0);
+  EXPECT_EQ(CheckFeasibility(w, r), Feasibility::kFeasible);
+  EXPECT_TRUE(CanServe(w, r));
+}
+
+TEST(ConstraintsTest, WorkerArrivingAfterRequestIsInfeasible) {
+  const Worker w = MakeWorker(0, 6.0, 0, 0, 2.0);
+  const Request r = MakeRequest(0, 5.0, 0.0, 0.0, 10.0);
+  EXPECT_EQ(CheckFeasibility(w, r), Feasibility::kViolatesTime);
+  EXPECT_FALSE(CanServe(w, r));
+}
+
+TEST(ConstraintsTest, SimultaneousArrivalIsFeasible) {
+  // "arriving after them" — the waiting-list semantics let a worker whose
+  // arrival timestamp equals the request's serve it (the worker event is
+  // processed first; see Instance::BuildEvents tie-break).
+  const Worker w = MakeWorker(0, 5.0, 0, 0, 2.0);
+  const Request r = MakeRequest(0, 5.0, 0.0, 0.0, 10.0);
+  EXPECT_TRUE(CanServe(w, r));
+}
+
+TEST(ConstraintsTest, OutOfRangeIsInfeasible) {
+  const Worker w = MakeWorker(0, 1.0, 0, 0, 1.0);
+  const Request r = MakeRequest(0, 5.0, 2.0, 0.0, 10.0);
+  EXPECT_EQ(CheckFeasibility(w, r), Feasibility::kViolatesRange);
+}
+
+TEST(ConstraintsTest, RangeBoundaryInclusive) {
+  const Worker w = MakeWorker(0, 1.0, 0, 0, 1.0);
+  const Request r = MakeRequest(0, 5.0, 1.0, 0.0, 10.0);  // exactly 1 km
+  EXPECT_TRUE(CanServe(w, r));
+}
+
+TEST(ConstraintsTest, TimeCheckedBeforeRange) {
+  // Both violated: the time violation is reported (documents precedence).
+  const Worker w = MakeWorker(0, 9.0, 0, 0, 1.0);
+  const Request r = MakeRequest(0, 5.0, 5.0, 0.0, 10.0);
+  EXPECT_EQ(CheckFeasibility(w, r), Feasibility::kViolatesTime);
+}
+
+TEST(ConstraintsTest, CrossPlatformDoesNotAffectFeasibility) {
+  // Platform membership is a matching-side concern, not a feasibility one.
+  const Worker w = MakeWorker(3, 1.0, 0, 0, 2.0);
+  const Request r = MakeRequest(0, 5.0, 0.5, 0.0, 10.0);
+  EXPECT_TRUE(CanServe(w, r));
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,91 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "model/request.h"
+#include "model/worker.h"
+#include "testing/builders.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+
+TEST(RequestTest, ValidRequestPasses) {
+  Request r = MakeRequest(0, 1.0, 2.0, 3.0, 10.0);
+  r.id = 0;
+  EXPECT_TRUE(r.Validate().ok());
+}
+
+TEST(RequestTest, UnsetIdFails) {
+  Request r = MakeRequest(0, 1.0, 2.0, 3.0, 10.0);
+  EXPECT_EQ(r.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RequestTest, NonPositiveValueFails) {
+  Request r = MakeRequest(0, 1.0, 2.0, 3.0, 0.0);
+  r.id = 0;
+  EXPECT_FALSE(r.Validate().ok());
+  r.value = -5.0;
+  EXPECT_FALSE(r.Validate().ok());
+}
+
+TEST(RequestTest, NonFiniteFieldsFail) {
+  Request r = MakeRequest(0, 1.0, 2.0, 3.0, 10.0);
+  r.id = 0;
+  r.time = std::nan("");
+  EXPECT_FALSE(r.Validate().ok());
+  r.time = 1.0;
+  r.location.x = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(r.Validate().ok());
+}
+
+TEST(RequestTest, ToStringContainsFields) {
+  Request r = MakeRequest(2, 1.0, 2.0, 3.0, 10.0);
+  r.id = 7;
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("id=7"), std::string::npos);
+  EXPECT_NE(s.find("platform=2"), std::string::npos);
+}
+
+TEST(WorkerTest, ValidWorkerPasses) {
+  Worker w = MakeWorker(0, 1.0, 0.0, 0.0, 1.0);
+  w.id = 0;
+  EXPECT_TRUE(w.Validate().ok());
+}
+
+TEST(WorkerTest, UnsetIdFails) {
+  Worker w = MakeWorker(0, 1.0, 0.0, 0.0, 1.0);
+  EXPECT_FALSE(w.Validate().ok());
+}
+
+TEST(WorkerTest, NonPositiveRadiusFails) {
+  Worker w = MakeWorker(0, 1.0, 0.0, 0.0, 0.0);
+  w.id = 0;
+  EXPECT_FALSE(w.Validate().ok());
+  w.radius = -1.0;
+  EXPECT_FALSE(w.Validate().ok());
+}
+
+TEST(WorkerTest, NonPositiveHistoryValueFails) {
+  Worker w = MakeWorker(0, 1.0, 0.0, 0.0, 1.0, {5.0, 0.0});
+  w.id = 0;
+  EXPECT_FALSE(w.Validate().ok());
+}
+
+TEST(WorkerTest, EmptyHistoryIsLegal) {
+  Worker w = MakeWorker(0, 1.0, 0.0, 0.0, 1.0, {});
+  w.id = 0;
+  EXPECT_TRUE(w.Validate().ok());
+}
+
+TEST(WorkerTest, ToStringContainsHistorySize) {
+  Worker w = MakeWorker(0, 1.0, 0.0, 0.0, 1.0, {1.0, 2.0, 3.0});
+  w.id = 1;
+  EXPECT_NE(w.ToString().find("|hist|=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,120 @@
+#include "model/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+using testing_fixtures::PaperExample;
+
+TEST(InstanceTest, AddAssignsDenseIds) {
+  Instance ins;
+  EXPECT_EQ(ins.AddWorker(MakeWorker(0, 1, 0, 0, 1)), 0);
+  EXPECT_EQ(ins.AddWorker(MakeWorker(0, 2, 0, 0, 1)), 1);
+  EXPECT_EQ(ins.AddRequest(MakeRequest(0, 3, 0, 0, 5)), 0);
+  EXPECT_EQ(ins.workers()[1].id, 1);
+  EXPECT_EQ(ins.requests()[0].id, 0);
+}
+
+TEST(InstanceTest, BuildEventsSortsByTime) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 5.0, 0, 0, 1));
+  ins.AddRequest(MakeRequest(0, 2.0, 0, 0, 5));
+  ins.AddWorker(MakeWorker(0, 1.0, 0, 0, 1));
+  ins.BuildEvents();
+  ASSERT_EQ(ins.events().size(), 3u);
+  EXPECT_EQ(ins.events()[0].time, 1.0);
+  EXPECT_EQ(ins.events()[1].time, 2.0);
+  EXPECT_EQ(ins.events()[2].time, 5.0);
+  EXPECT_EQ(ins.events()[0].kind, EventKind::kWorkerArrival);
+  EXPECT_EQ(ins.events()[1].kind, EventKind::kRequestArrival);
+}
+
+TEST(InstanceTest, BuildEventsStableTieBreak) {
+  // Equal times: workers were added before requests, so the worker event
+  // precedes the request event (workers can then serve that request).
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1.0, 0, 0, 1));
+  ins.AddRequest(MakeRequest(0, 1.0, 0, 0, 5));
+  ins.BuildEvents();
+  EXPECT_EQ(ins.events()[0].kind, EventKind::kWorkerArrival);
+  EXPECT_EQ(ins.events()[1].kind, EventKind::kRequestArrival);
+}
+
+TEST(InstanceTest, EventsSequencesAreDense) {
+  const Instance ins = PaperExample();
+  for (size_t i = 0; i < ins.events().size(); ++i) {
+    EXPECT_EQ(ins.events()[i].sequence, static_cast<int64_t>(i));
+  }
+}
+
+TEST(InstanceTest, ValidatePassesOnPaperExample) {
+  EXPECT_TRUE(PaperExample().Validate().ok());
+}
+
+TEST(InstanceTest, ValidateCatchesMissingEvents) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0, 0, 1));
+  // No BuildEvents() call.
+  EXPECT_EQ(ins.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(InstanceTest, ValidateCatchesTimeMismatch) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0, 0, 1));
+  ins.BuildEvents();
+  ins.mutable_worker(0)->time = 99.0;  // now disagrees with the event
+  EXPECT_FALSE(ins.Validate().ok());
+}
+
+TEST(InstanceTest, ValidateCatchesDuplicateEntityInEvents) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0, 0, 1));
+  ins.AddWorker(MakeWorker(0, 1, 0, 0, 1));
+  std::vector<Event> events{{1.0, EventKind::kWorkerArrival, 0, 0},
+                            {1.0, EventKind::kWorkerArrival, 0, 1}};
+  ins.SetEvents(events);
+  EXPECT_FALSE(ins.Validate().ok());
+}
+
+TEST(InstanceTest, ValidateCatchesUnsortedEvents) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 5, 0, 0, 1));
+  ins.AddWorker(MakeWorker(0, 1, 0, 0, 1));
+  std::vector<Event> events{{5.0, EventKind::kWorkerArrival, 0, 0},
+                            {1.0, EventKind::kWorkerArrival, 1, 1}};
+  ins.SetEvents(events);
+  EXPECT_FALSE(ins.Validate().ok());
+}
+
+TEST(InstanceTest, PlatformCount) {
+  const Instance ins = PaperExample();
+  EXPECT_EQ(ins.PlatformCount(), 2);
+  EXPECT_EQ(Instance().PlatformCount(), 0);
+}
+
+TEST(InstanceTest, MaxRequestValue) {
+  EXPECT_DOUBLE_EQ(PaperExample().MaxRequestValue(), 9.0);
+  EXPECT_DOUBLE_EQ(Instance().MaxRequestValue(), 0.0);
+}
+
+TEST(InstanceTest, PerPlatformCounts) {
+  const Instance ins = PaperExample();
+  EXPECT_EQ(ins.WorkerCountOf(0), 3);
+  EXPECT_EQ(ins.WorkerCountOf(1), 2);
+  EXPECT_EQ(ins.RequestCountOf(0), 5);
+  EXPECT_EQ(ins.RequestCountOf(1), 0);
+}
+
+TEST(InstanceTest, SummaryMentionsCounts) {
+  const std::string s = PaperExample().Summary();
+  EXPECT_NE(s.find("|W|=5"), std::string::npos);
+  EXPECT_NE(s.find("|R|=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comx

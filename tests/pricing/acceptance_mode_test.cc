@@ -1,0 +1,104 @@
+// Tests of the two acceptance ground-truth modes (DESIGN.md §7.3): the
+// paper's per-offer Bernoulli and the reservation mode shared with OFF.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pricing/acceptance_model.h"
+#include "testing/builders.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::MakeWorker;
+
+Instance ThreeWorkers() {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0, 0, 1, {2.0, 4.0, 6.0}));
+  ins.AddWorker(MakeWorker(1, 1, 0, 0, 1, {10.0}));
+  ins.AddWorker(MakeWorker(1, 1, 0, 0, 1, {}));
+  ins.BuildEvents();
+  return ins;
+}
+
+TEST(DrawWorkerReservationsTest, DrawsFromHistory) {
+  const Instance ins = ThreeWorkers();
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const auto rho = DrawWorkerReservations(ins, seed);
+    ASSERT_EQ(rho.size(), 3u);
+    EXPECT_TRUE(rho[0] == 2.0 || rho[0] == 4.0 || rho[0] == 6.0);
+    EXPECT_EQ(rho[1], 10.0);
+    EXPECT_TRUE(std::isinf(rho[2]));  // empty history never accepts
+  }
+}
+
+TEST(DrawWorkerReservationsTest, DeterministicPerSeed) {
+  const Instance ins = ThreeWorkers();
+  EXPECT_EQ(DrawWorkerReservations(ins, 7), DrawWorkerReservations(ins, 7));
+}
+
+TEST(DrawWorkerReservationsTest, MatchesEcdfInDistribution) {
+  // P(rho <= p) must equal the ECDF pr(p, w) — the consistency that makes
+  // reservation mode a valid realization of Definition 3.1.
+  const Instance ins = ThreeWorkers();
+  int le4 = 0;
+  const int n = 20'000;
+  for (uint64_t seed = 0; seed < n; ++seed) {
+    le4 += DrawWorkerReservations(ins, seed)[0] <= 4.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(le4) / n, 2.0 / 3.0, 0.02);
+}
+
+TEST(AcceptanceModeTest, BernoulliModeIsStochastic) {
+  const Instance ins = ThreeWorkers();
+  const AcceptanceModel model(ins, AcceptanceMode::kBernoulli);
+  Rng rng(1);
+  int accepts = 0;
+  for (int i = 0; i < 1000; ++i) {
+    accepts += model.Accepts(0, 4.0, &rng) ? 1 : 0;  // pr = 2/3
+  }
+  EXPECT_GT(accepts, 550);
+  EXPECT_LT(accepts, 780);
+}
+
+TEST(AcceptanceModeTest, ReservationModeIsDeterministicThreshold) {
+  const Instance ins = ThreeWorkers();
+  const AcceptanceModel model(ins, AcceptanceMode::kReservation, 9);
+  const auto rho = DrawWorkerReservations(ins, 9);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(model.Accepts(0, rho[0], &rng));
+    EXPECT_FALSE(model.Accepts(0, rho[0] - 0.01, &rng));
+    EXPECT_TRUE(model.Accepts(0, 100.0, &rng));
+  }
+}
+
+TEST(AcceptanceModeTest, ReservationNeverAcceptsForEmptyHistory) {
+  const Instance ins = ThreeWorkers();
+  const AcceptanceModel model(ins, AcceptanceMode::kReservation, 9);
+  Rng rng(1);
+  EXPECT_FALSE(model.Accepts(2, 1e12, &rng));
+}
+
+TEST(AcceptanceModeTest, EstimatorDrawIsBernoulliInBothModes) {
+  // DrawAcceptance (Algorithm 2's sampling primitive) stays stochastic
+  // even in reservation mode.
+  const Instance ins = ThreeWorkers();
+  const AcceptanceModel model(ins, AcceptanceMode::kReservation, 9);
+  Rng rng(2);
+  int accepts = 0;
+  for (int i = 0; i < 3000; ++i) {
+    accepts += model.DrawAcceptance(0, 4.0, &rng) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(accepts) / 3000.0, 2.0 / 3.0, 0.04);
+}
+
+TEST(AcceptanceModeTest, ModeIsReported) {
+  const Instance ins = ThreeWorkers();
+  EXPECT_EQ(AcceptanceModel(ins).mode(), AcceptanceMode::kBernoulli);
+  EXPECT_EQ(AcceptanceModel(ins, AcceptanceMode::kReservation).mode(),
+            AcceptanceMode::kReservation);
+}
+
+}  // namespace
+}  // namespace comx

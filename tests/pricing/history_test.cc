@@ -1,0 +1,69 @@
+#include "pricing/history.h"
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace {
+
+TEST(ValueHistoryTest, SortsOnConstruction) {
+  const ValueHistory h({3.0, 1.0, 2.0});
+  EXPECT_EQ(h.values(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 3.0);
+}
+
+TEST(ValueHistoryTest, EmptyHistory) {
+  const ValueHistory h({});
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_EQ(h.Ecdf(100.0), 0.0);
+}
+
+TEST(ValueHistoryTest, EcdfStepSemantics) {
+  const ValueHistory h({2.0, 4.0, 6.0, 8.0});
+  EXPECT_DOUBLE_EQ(h.Ecdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Ecdf(2.0), 0.25);  // <= is inclusive (Definition 3.1)
+  EXPECT_DOUBLE_EQ(h.Ecdf(3.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.Ecdf(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.Ecdf(8.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Ecdf(100.0), 1.0);
+}
+
+TEST(ValueHistoryTest, EcdfWithDuplicates) {
+  const ValueHistory h({5.0, 5.0, 5.0, 10.0});
+  EXPECT_DOUBLE_EQ(h.Ecdf(5.0), 0.75);
+  EXPECT_DOUBLE_EQ(h.Ecdf(4.999), 0.0);
+}
+
+TEST(ValueHistoryTest, EcdfIsMonotone) {
+  const ValueHistory h({1.0, 3.0, 3.0, 7.0, 9.0});
+  double prev = -1.0;
+  for (double v = 0.0; v <= 10.0; v += 0.25) {
+    const double e = h.Ecdf(v);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(ValueHistoryTest, SingletonEcdfIsStepAtValue) {
+  const ValueHistory h({4.0});
+  EXPECT_EQ(h.Ecdf(3.999), 0.0);
+  EXPECT_EQ(h.Ecdf(4.0), 1.0);
+}
+
+TEST(ValueHistoryTest, QuantileInterpolates) {
+  const ValueHistory h({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 15.0);
+}
+
+TEST(ValueHistoryTest, QuantileClampsQ) {
+  const ValueHistory h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.5), 2.0);
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,123 @@
+#include "roadnet/road_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace {
+
+TEST(RoadGridConfigTest, ValidatesRanges) {
+  RoadGridConfig c;
+  EXPECT_TRUE(c.Validate().ok());
+  c.rows = 1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = RoadGridConfig{};
+  c.spacing_km = 0.0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = RoadGridConfig{};
+  c.jitter_km = c.spacing_km;  // > 0.4 * spacing
+  EXPECT_FALSE(c.Validate().ok());
+  c = RoadGridConfig{};
+  c.closure_fraction = 0.6;
+  EXPECT_FALSE(c.Validate().ok());
+  c = RoadGridConfig{};
+  c.detour_factor = 0.9;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(RoadGeneratorTest, NodeCountMatchesGrid) {
+  RoadGridConfig c;
+  c.rows = 5;
+  c.cols = 7;
+  auto g = GenerateGridCity(c);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->node_count(), 35);
+}
+
+TEST(RoadGeneratorTest, AlwaysConnected) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    RoadGridConfig c;
+    c.rows = 10;
+    c.cols = 10;
+    c.closure_fraction = 0.5;  // max closures
+    c.seed = seed;
+    auto g = GenerateGridCity(c);
+    ASSERT_TRUE(g.ok()) << "seed " << seed;
+    EXPECT_TRUE(g->IsConnected()) << "seed " << seed;
+  }
+}
+
+TEST(RoadGeneratorTest, CenteredGridStraddlesOrigin) {
+  RoadGridConfig c;
+  c.rows = 11;
+  c.cols = 11;
+  c.jitter_km = 0.0;
+  auto g = GenerateGridCity(c);
+  ASSERT_TRUE(g.ok());
+  // Middle node of an 11x11 unit grid sits at the origin.
+  const Point mid = g->NodeLocation(5 * 11 + 5);
+  EXPECT_NEAR(mid.x, 0.0, 1e-9);
+  EXPECT_NEAR(mid.y, 0.0, 1e-9);
+}
+
+TEST(RoadGeneratorTest, ClosuresReduceEdgeCount) {
+  RoadGridConfig open;
+  open.closure_fraction = 0.0;
+  open.diagonal_fraction = 0.0;
+  RoadGridConfig closed = open;
+  closed.closure_fraction = 0.4;
+  auto g_open = GenerateGridCity(open);
+  auto g_closed = GenerateGridCity(closed);
+  ASSERT_TRUE(g_open.ok());
+  ASSERT_TRUE(g_closed.ok());
+  EXPECT_LT(g_closed->edge_count(), g_open->edge_count());
+  // Full grid edge count: rows*(cols-1) + cols*(rows-1).
+  EXPECT_EQ(g_open->edge_count(),
+            open.rows * (open.cols - 1) + open.cols * (open.rows - 1));
+}
+
+TEST(RoadGeneratorTest, DiagonalsAddEdges) {
+  RoadGridConfig base;
+  base.closure_fraction = 0.0;
+  base.diagonal_fraction = 0.0;
+  RoadGridConfig diag = base;
+  diag.diagonal_fraction = 1.0;
+  auto g_base = GenerateGridCity(base);
+  auto g_diag = GenerateGridCity(diag);
+  ASSERT_TRUE(g_base.ok());
+  ASSERT_TRUE(g_diag.ok());
+  EXPECT_GT(g_diag->edge_count(), g_base->edge_count());
+}
+
+TEST(RoadGeneratorTest, DetourInflatesLengths) {
+  RoadGridConfig c;
+  c.jitter_km = 0.0;
+  c.closure_fraction = 0.0;
+  c.diagonal_fraction = 0.0;
+  c.detour_factor = 1.5;
+  c.rows = 3;
+  c.cols = 3;
+  auto g = GenerateGridCity(c);
+  ASSERT_TRUE(g.ok());
+  for (NodeId n = 0; n < g->node_count(); ++n) {
+    for (const RoadArc& arc : g->ArcsFrom(n)) {
+      EXPECT_NEAR(arc.length_km, 1.5, 1e-9);  // unit spacing * detour
+    }
+  }
+}
+
+TEST(RoadGeneratorTest, DeterministicPerSeed) {
+  RoadGridConfig c;
+  c.seed = 77;
+  auto a = GenerateGridCity(c);
+  auto b = GenerateGridCity(c);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->node_count(), b->node_count());
+  EXPECT_EQ(a->edge_count(), b->edge_count());
+  for (NodeId n = 0; n < a->node_count(); ++n) {
+    EXPECT_EQ(a->NodeLocation(n), b->NodeLocation(n));
+  }
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,101 @@
+#include "roadnet/road_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace {
+
+RoadGraph Square() {
+  // 0 -(1)- 1
+  // |       |
+  // 2 -(1)- 3   with unit spacing.
+  RoadGraph g;
+  g.AddNode(Point(0, 1));
+  g.AddNode(Point(1, 1));
+  g.AddNode(Point(0, 0));
+  g.AddNode(Point(1, 0));
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2).ok());
+  EXPECT_TRUE(g.AddEdge(1, 3).ok());
+  EXPECT_TRUE(g.AddEdge(2, 3).ok());
+  return g;
+}
+
+TEST(RoadGraphTest, AddNodeAssignsDenseIds) {
+  RoadGraph g;
+  EXPECT_EQ(g.AddNode(Point(0, 0)), 0);
+  EXPECT_EQ(g.AddNode(Point(1, 0)), 1);
+  EXPECT_EQ(g.node_count(), 2);
+  EXPECT_EQ(g.NodeLocation(1), Point(1, 0));
+}
+
+TEST(RoadGraphTest, DefaultEdgeLengthIsEuclidean) {
+  RoadGraph g;
+  g.AddNode(Point(0, 0));
+  g.AddNode(Point(3, 4));
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_DOUBLE_EQ(g.ArcsFrom(0)[0].length_km, 5.0);
+  EXPECT_DOUBLE_EQ(g.ArcsFrom(1)[0].length_km, 5.0);  // undirected
+}
+
+TEST(RoadGraphTest, RejectsSubEuclideanLength) {
+  RoadGraph g;
+  g.AddNode(Point(0, 0));
+  g.AddNode(Point(3, 4));
+  EXPECT_FALSE(g.AddEdge(0, 1, 4.0).ok());
+  EXPECT_TRUE(g.AddEdge(0, 1, 6.0).ok());
+}
+
+TEST(RoadGraphTest, RejectsSelfLoopAndBadIds) {
+  RoadGraph g;
+  g.AddNode(Point(0, 0));
+  EXPECT_EQ(g.AddEdge(0, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge(0, 1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.AddEdge(-1, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(RoadGraphTest, NearestNodeSnapsCorrectly) {
+  const RoadGraph g = Square();
+  auto n = g.NearestNode(Point(0.1, 0.9));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0);
+  n = g.NearestNode(Point(10, -10));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3);
+}
+
+TEST(RoadGraphTest, NearestNodeOnEmptyGraphFails) {
+  RoadGraph g;
+  EXPECT_FALSE(g.NearestNode(Point(0, 0)).ok());
+}
+
+TEST(RoadGraphTest, NearestNodeSeesLateAdditions) {
+  RoadGraph g;
+  g.AddNode(Point(0, 0));
+  ASSERT_TRUE(g.NearestNode(Point(5, 5)).ok());  // builds snap index
+  g.AddNode(Point(5, 5));                        // must invalidate it
+  auto n = g.NearestNode(Point(5.1, 5.0));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+}
+
+TEST(RoadGraphTest, ConnectivityDetection) {
+  RoadGraph g = Square();
+  EXPECT_TRUE(g.IsConnected());
+  g.AddNode(Point(50, 50));  // isolated
+  EXPECT_FALSE(g.IsConnected());
+  EXPECT_TRUE(RoadGraph().IsConnected());  // vacuous
+}
+
+TEST(RoadGraphTest, TotalRoadKmSumsOnce) {
+  const RoadGraph g = Square();
+  EXPECT_DOUBLE_EQ(g.TotalRoadKm(), 4.0);
+}
+
+TEST(RoadGraphTest, SummaryFormat) {
+  const RoadGraph g = Square();
+  EXPECT_EQ(g.Summary(), "RoadGraph{nodes=4, edges=4, road_km=4.0}");
+}
+
+}  // namespace
+}  // namespace comx

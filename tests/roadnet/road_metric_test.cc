@@ -1,0 +1,134 @@
+#include "roadnet/road_metric.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dem_com.h"
+#include "core/tota_greedy.h"
+#include "datagen/synthetic.h"
+#include "roadnet/road_generator.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace comx {
+namespace {
+
+RoadGraph TestCity(uint64_t seed = 5) {
+  RoadGridConfig config;
+  config.rows = 21;
+  config.cols = 21;
+  config.spacing_km = 1.5;
+  config.seed = seed;
+  return std::move(GenerateGridCity(config)).value();
+}
+
+TEST(EuclideanMetricTest, MatchesFreeFunctions) {
+  const EuclideanMetric metric;
+  EXPECT_DOUBLE_EQ(metric.Distance(Point(0, 0), Point(3, 4)), 5.0);
+  EXPECT_TRUE(metric.WithinRange(Point(0, 0), Point(3, 4), 5.0));
+  EXPECT_FALSE(metric.WithinRange(Point(0, 0), Point(3, 4), 4.9));
+  EXPECT_EQ(metric.name(), "euclidean");
+  EXPECT_EQ(DefaultMetric().name(), "euclidean");
+}
+
+TEST(RoadMetricTest, DominatesEuclidean) {
+  const RoadGraph city = TestCity();
+  const RoadNetworkMetric metric(&city);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Point a(rng.Uniform(-12, 12), rng.Uniform(-12, 12));
+    const Point b(rng.Uniform(-12, 12), rng.Uniform(-12, 12));
+    EXPECT_GE(metric.Distance(a, b) + 1e-9, EuclideanDistance(a, b));
+  }
+}
+
+TEST(RoadMetricTest, SymmetricAndReflexiveAtNodes) {
+  const RoadGraph city = TestCity();
+  const RoadNetworkMetric metric(&city);
+  const Point a = city.NodeLocation(10);
+  const Point b = city.NodeLocation(200);
+  EXPECT_NEAR(metric.Distance(a, b), metric.Distance(b, a), 1e-9);
+  EXPECT_NEAR(metric.Distance(a, a), 0.0, 1e-9);
+}
+
+TEST(RoadMetricTest, WithinRangeUsesEuclideanShortcut) {
+  const RoadGraph city = TestCity();
+  const RoadNetworkMetric metric(&city);
+  // Far beyond the Euclidean bound: rejected without touching the cache.
+  EXPECT_FALSE(metric.WithinRange(Point(-12, -12), Point(12, 12), 1.0));
+  EXPECT_EQ(metric.cache_size(), 0u);
+}
+
+TEST(RoadMetricTest, CachesNodePairs) {
+  const RoadGraph city = TestCity();
+  const RoadNetworkMetric metric(&city);
+  const Point a(-5, -5), b(5, 5);
+  const double d1 = metric.Distance(a, b);
+  const size_t cached = metric.cache_size();
+  EXPECT_GE(cached, 1u);
+  const double d2 = metric.Distance(a, b);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_EQ(metric.cache_size(), cached);  // no growth on repeat
+}
+
+TEST(RoadMetricTest, StreetClosureLengthensRoute) {
+  // A 1x2 corridor: 0 - 1 - 2 in a line, plus a detour arc 0 - 3 - 2.
+  RoadGraph g;
+  g.AddNode(Point(0, 0));   // 0
+  g.AddNode(Point(1, 0));   // 1
+  g.AddNode(Point(2, 0));   // 2
+  g.AddNode(Point(1, 2));   // 3 (detour)
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  ASSERT_TRUE(g.AddEdge(3, 2).ok());
+  // Without the direct street, 0 -> 2 must take the detour.
+  const RoadNetworkMetric metric(&g);
+  const double detour = metric.Distance(Point(0, 0), Point(2, 0));
+  EXPECT_GT(detour, 4.0);  // 2 * sqrt(5) ~= 4.47 vs straight-line 2
+}
+
+TEST(RoadMetricSimTest, SimulationRunsAndAuditsUnderRoadMetric) {
+  const RoadGraph city = TestCity(9);
+  const RoadNetworkMetric metric(&city);
+  SyntheticConfig config;
+  config.requests_per_platform = {150};
+  config.workers_per_platform = {40};
+  config.radius_km = 2.0;  // roads make 1 km ranges very tight
+  config.seed = 12;
+  auto instance = GenerateSynthetic(config);
+  ASSERT_TRUE(instance.ok());
+  SimConfig sim;
+  sim.metric = &metric;
+  sim.measure_response_time = false;
+  DemCom m0, m1;
+  auto result = RunSimulation(*instance, {&m0, &m1}, sim, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(AuditSimResult(*instance, sim, *result).ok());
+  EXPECT_GT(result->metrics.TotalRevenue(), 0.0);
+}
+
+TEST(RoadMetricSimTest, RoadConstraintServesFewerThanEuclidean) {
+  // The same workload under road distances can only serve a subset of the
+  // Euclidean-feasible pairs (network distance dominates Euclidean).
+  const RoadGraph city = TestCity(9);
+  const RoadNetworkMetric metric(&city);
+  SyntheticConfig config;
+  config.requests_per_platform = {200};
+  config.workers_per_platform = {50};
+  config.radius_km = 1.5;
+  config.seed = 13;
+  auto instance = GenerateSynthetic(config);
+  ASSERT_TRUE(instance.ok());
+  SimConfig euclid;
+  euclid.measure_response_time = false;
+  SimConfig road = euclid;
+  road.metric = &metric;
+  TotaGreedy e0, e1, r0, r1;
+  auto euclid_result = RunSimulation(*instance, {&e0, &e1}, euclid, 1);
+  auto road_result = RunSimulation(*instance, {&r0, &r1}, road, 1);
+  ASSERT_TRUE(euclid_result.ok());
+  ASSERT_TRUE(road_result.ok());
+  EXPECT_LE(road_result->metrics.Aggregate().completed,
+            euclid_result->metrics.Aggregate().completed);
+}
+
+}  // namespace
+}  // namespace comx

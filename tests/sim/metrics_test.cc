@@ -1,0 +1,83 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace {
+
+TEST(PlatformMetricsTest, AcceptanceRatio) {
+  PlatformMetrics m;
+  EXPECT_EQ(m.AcceptanceRatio(), 0.0);
+  m.outer_offers = 10;
+  m.completed_outer = 3;
+  EXPECT_DOUBLE_EQ(m.AcceptanceRatio(), 0.3);
+}
+
+TEST(PlatformMetricsTest, MeanPaymentRate) {
+  PlatformMetrics m;
+  EXPECT_EQ(m.MeanPaymentRate(), 0.0);
+  m.completed_outer = 4;
+  m.payment_rate_sum = 2.8;
+  EXPECT_DOUBLE_EQ(m.MeanPaymentRate(), 0.7);
+}
+
+TEST(PlatformMetricsTest, MeanResponseTimeMs) {
+  PlatformMetrics m;
+  m.response_time_us.Add(1000.0);
+  m.response_time_us.Add(3000.0);
+  EXPECT_DOUBLE_EQ(m.MeanResponseTimeMs(), 2.0);
+}
+
+TEST(PlatformMetricsTest, MergeAddsEverything) {
+  PlatformMetrics a, b;
+  a.revenue = 10;
+  a.completed = 2;
+  a.completed_inner = 1;
+  a.completed_outer = 1;
+  a.rejected = 1;
+  a.outer_offers = 3;
+  a.payment_rate_sum = 0.7;
+  b.revenue = 5;
+  b.completed = 1;
+  b.completed_inner = 1;
+  b.rejected = 2;
+  b.outer_offers = 1;
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.revenue, 15.0);
+  EXPECT_EQ(a.completed, 3);
+  EXPECT_EQ(a.completed_inner, 2);
+  EXPECT_EQ(a.completed_outer, 1);
+  EXPECT_EQ(a.rejected, 3);
+  EXPECT_EQ(a.outer_offers, 4);
+}
+
+TEST(PlatformMetricsTest, ToStringHasKeyFields) {
+  PlatformMetrics m;
+  m.revenue = 12.5;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("rev=12.50"), std::string::npos);
+  EXPECT_NE(s.find("acpRt"), std::string::npos);
+}
+
+TEST(SimMetricsTest, TotalsAcrossPlatforms) {
+  SimMetrics sm;
+  sm.per_platform.resize(2);
+  sm.per_platform[0].revenue = 7.0;
+  sm.per_platform[0].completed_outer = 2;
+  sm.per_platform[1].revenue = 3.0;
+  sm.per_platform[1].completed_outer = 1;
+  EXPECT_DOUBLE_EQ(sm.TotalRevenue(), 10.0);
+  EXPECT_EQ(sm.TotalCooperative(), 3);
+  const PlatformMetrics agg = sm.Aggregate();
+  EXPECT_DOUBLE_EQ(agg.revenue, 10.0);
+  EXPECT_EQ(agg.completed_outer, 3);
+}
+
+TEST(SimMetricsTest, EmptyTotals) {
+  SimMetrics sm;
+  EXPECT_EQ(sm.TotalRevenue(), 0.0);
+  EXPECT_EQ(sm.TotalCooperative(), 0);
+}
+
+}  // namespace
+}  // namespace comx

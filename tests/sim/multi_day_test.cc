@@ -1,0 +1,117 @@
+#include "sim/multi_day.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dem_com.h"
+#include "core/ram_com.h"
+#include "core/tota_greedy.h"
+
+namespace comx {
+namespace {
+
+MultiDayConfig SmallConfig() {
+  MultiDayConfig config;
+  config.days = 4;
+  config.day_template.requests_per_platform = {150};
+  config.day_template.workers_per_platform = {40};
+  config.sim.measure_response_time = false;
+  return config;
+}
+
+DayMatcherFactory DemFactory() {
+  return [] { return std::unique_ptr<OnlineMatcher>(new DemCom()); };
+}
+DayMatcherFactory RamFactory() {
+  return [] { return std::unique_ptr<OnlineMatcher>(new RamCom()); };
+}
+DayMatcherFactory TotaFactory() {
+  return [] { return std::unique_ptr<OnlineMatcher>(new TotaGreedy()); };
+}
+
+TEST(MultiDayTest, ValidatesConfig) {
+  MultiDayConfig bad = SmallConfig();
+  bad.days = 0;
+  EXPECT_FALSE(RunMultiDay(bad, DemFactory(), 1).ok());
+  bad = SmallConfig();
+  bad.max_history_length = 0;
+  EXPECT_FALSE(RunMultiDay(bad, DemFactory(), 1).ok());
+}
+
+TEST(MultiDayTest, ProducesOneOutcomePerDay) {
+  auto result = RunMultiDay(SmallConfig(), DemFactory(), 2);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->days.size(), 4u);
+  for (const DayOutcome& day : result->days) {
+    EXPECT_GE(day.revenue, 0.0);
+    EXPECT_GE(day.completed, day.cooperative);
+    EXPECT_GT(day.mean_history_value, 0.0);
+  }
+}
+
+TEST(MultiDayTest, DeterministicGivenSeed) {
+  auto a = RunMultiDay(SmallConfig(), RamFactory(), 5);
+  auto b = RunMultiDay(SmallConfig(), RamFactory(), 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t d = 0; d < a->days.size(); ++d) {
+    EXPECT_DOUBLE_EQ(a->days[d].revenue, b->days[d].revenue);
+    EXPECT_EQ(a->days[d].cooperative, b->days[d].cooperative);
+  }
+}
+
+TEST(MultiDayTest, HistoryFeedbackChangesLaterDays) {
+  MultiDayConfig with = SmallConfig();
+  MultiDayConfig without = SmallConfig();
+  without.update_histories = false;
+  auto a = RunMultiDay(with, DemFactory(), 7);
+  auto b = RunMultiDay(without, DemFactory(), 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Day 0 is identical (no feedback applied yet when matching).
+  EXPECT_DOUBLE_EQ(a->days[0].revenue, b->days[0].revenue);
+  // The mean history signal must diverge once feedback is on.
+  EXPECT_NE(a->days.back().mean_history_value,
+            b->days.back().mean_history_value);
+}
+
+TEST(MultiDayTest, FrozenHistoriesKeepMeanStable) {
+  MultiDayConfig config = SmallConfig();
+  config.update_histories = false;
+  auto result = RunMultiDay(config, TotaFactory(), 3);
+  ASSERT_TRUE(result.ok());
+  // Without updates the population's history statistic never moves.
+  EXPECT_DOUBLE_EQ(result->days.front().mean_history_value,
+                   result->days.back().mean_history_value);
+}
+
+TEST(MultiDayTest, HistoryCapBounds) {
+  MultiDayConfig config = SmallConfig();
+  config.days = 6;
+  config.max_history_length = 8;
+  config.day_template.min_history = 8;
+  config.day_template.max_history = 8;
+  // Run and rely on internal capping; the trajectory staying finite and
+  // the mean history staying positive demonstrates the FIFO cap works
+  // (without it, histories and the mean-history computation would grow
+  // unboundedly with served volume).
+  auto result = RunMultiDay(config, DemFactory(), 3);
+  ASSERT_TRUE(result.ok());
+  for (const DayOutcome& day : result->days) {
+    EXPECT_GT(day.mean_history_value, 0.0);
+  }
+}
+
+TEST(MultiDayTest, InnerServiceRaisesHistoriesTowardValues) {
+  // TOTA never borrows: every completed service appends the full request
+  // value, pulling the mean history towards the value scale (which sits
+  // above the initial frugality-discounted level).
+  MultiDayConfig config = SmallConfig();
+  config.days = 6;
+  auto result = RunMultiDay(config, TotaFactory(), 11);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->days.back().mean_history_value,
+            result->days.front().mean_history_value);
+}
+
+}  // namespace
+}  // namespace comx

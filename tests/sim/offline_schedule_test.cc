@@ -1,0 +1,177 @@
+#include "sim/offline_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dem_com.h"
+#include "core/offline_opt.h"
+#include "core/tota_greedy.h"
+#include "datagen/synthetic.h"
+#include "testing/builders.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+using testing_fixtures::PaperExample;
+
+ScheduleConfig StrictConfig() {
+  ScheduleConfig c;
+  c.sim.workers_recycle = false;
+  c.sim.measure_response_time = false;
+  return c;
+}
+
+TEST(OfflineScheduleTest, MatchesStrictMatchingOnPaperExample) {
+  // Without recycling, the exact schedule equals the bipartite optimum of
+  // Section II-B: 21 (Fig. 3(c)).
+  auto schedule = SolveOfflineSchedule(PaperExample(), 0, StrictConfig());
+  ASSERT_TRUE(schedule.ok()) << schedule.status();
+  EXPECT_DOUBLE_EQ(schedule->revenue, 21.0);
+  EXPECT_EQ(schedule->matching.size(), 5u);
+}
+
+TEST(OfflineScheduleTest, RecyclingBeatsStrictWhenTimingAllows) {
+  // One worker, two far-apart-in-time requests it can serve both of when
+  // recycling is allowed.
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1.0, 0, 0, 2.0));
+  ins.AddRequest(MakeRequest(0, 10.0, 0.3, 0, 5.0));
+  ins.AddRequest(MakeRequest(0, 100'000.0, 0.5, 0, 7.0));
+  ins.BuildEvents();
+  auto strict = SolveOfflineSchedule(ins, 0, StrictConfig());
+  ASSERT_TRUE(strict.ok());
+  EXPECT_DOUBLE_EQ(strict->revenue, 7.0);  // must pick the bigger one
+  ScheduleConfig recycle = StrictConfig();
+  recycle.sim.workers_recycle = true;
+  auto relaxed = SolveOfflineSchedule(ins, 0, recycle);
+  ASSERT_TRUE(relaxed.ok());
+  EXPECT_DOUBLE_EQ(relaxed->revenue, 12.0);  // serves both
+}
+
+TEST(OfflineScheduleTest, RecyclingRespectsServiceDuration) {
+  // Second request arrives 1 s after the first: the worker is still busy,
+  // so even with recycling only one can be served.
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1.0, 0, 0, 2.0));
+  ins.AddRequest(MakeRequest(0, 10.0, 0.3, 0, 5.0));
+  ins.AddRequest(MakeRequest(0, 11.0, 0.5, 0, 7.0));
+  ins.BuildEvents();
+  ScheduleConfig recycle = StrictConfig();
+  recycle.sim.workers_recycle = true;
+  auto sol = SolveOfflineSchedule(ins, 0, recycle);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->revenue, 7.0);
+}
+
+TEST(OfflineScheduleTest, AgreesWithHungarianOnRandomStrictInstances) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SyntheticConfig config;
+    config.requests_per_platform = {5};
+    config.workers_per_platform = {4};
+    config.seed = seed;
+    auto ins = GenerateSynthetic(config);
+    ASSERT_TRUE(ins.ok());
+    for (PlatformId p = 0; p < 2; ++p) {
+      auto schedule = SolveOfflineSchedule(*ins, p, StrictConfig());
+      OfflineConfig off;
+      off.seed = 42;  // both use the default reservation seed
+      auto matching = SolveOffline(*ins, p, off);
+      ASSERT_TRUE(schedule.ok());
+      ASSERT_TRUE(matching.ok());
+      EXPECT_NEAR(schedule->revenue, matching->matching.total_revenue, 1e-9)
+          << "seed " << seed << " platform " << p;
+    }
+  }
+}
+
+TEST(OfflineScheduleTest, CapacitatedRelaxationUpperBoundsExactSchedule) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SyntheticConfig config;
+    config.requests_per_platform = {6};
+    config.workers_per_platform = {3};
+    config.seed = seed * 11;
+    auto ins = GenerateSynthetic(config);
+    ASSERT_TRUE(ins.ok());
+    ScheduleConfig sched;
+    sched.sim.workers_recycle = true;
+    sched.sim.measure_response_time = false;
+    OfflineConfig relaxed;
+    relaxed.worker_capacity = 6;  // >= any feasible service count
+    for (PlatformId p = 0; p < 2; ++p) {
+      auto exact = SolveOfflineSchedule(*ins, p, sched);
+      auto upper = SolveOffline(*ins, p, relaxed);
+      ASSERT_TRUE(exact.ok());
+      ASSERT_TRUE(upper.ok());
+      EXPECT_LE(exact->revenue, upper->matching.total_revenue + 1e-9)
+          << "seed " << seed << " platform " << p;
+    }
+  }
+}
+
+TEST(OfflineScheduleTest, UpperBoundsOnlineUnderReservationAcceptance) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SyntheticConfig config;
+    config.requests_per_platform = {5};
+    config.workers_per_platform = {4};
+    config.seed = seed * 17;
+    auto ins = GenerateSynthetic(config);
+    ASSERT_TRUE(ins.ok());
+    ScheduleConfig sched;
+    sched.sim.workers_recycle = true;
+    sched.sim.measure_response_time = false;
+    sched.reservation_seed = 123;
+    double exact_total = 0.0;
+    for (PlatformId p = 0; p < 2; ++p) {
+      auto exact = SolveOfflineSchedule(*ins, p, sched);
+      ASSERT_TRUE(exact.ok());
+      exact_total += exact->revenue;
+    }
+    SimConfig sim = sched.sim;
+    sim.acceptance_mode = AcceptanceMode::kReservation;
+    sim.reservation_seed = 123;
+    DemCom m0, m1;
+    auto online = RunSimulation(*ins, {&m0, &m1}, sim, seed);
+    ASSERT_TRUE(online.ok());
+    EXPECT_LE(online->metrics.TotalRevenue(), exact_total + 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(OfflineScheduleTest, RefusesOversizedInstances) {
+  SyntheticConfig config;
+  config.requests_per_platform = {30};
+  config.workers_per_platform = {5};
+  config.seed = 1;
+  auto ins = GenerateSynthetic(config);
+  ASSERT_TRUE(ins.ok());
+  auto sol = SolveOfflineSchedule(*ins, 0, StrictConfig());
+  EXPECT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(OfflineScheduleTest, NodeBudgetSurfacesAsError) {
+  const Instance ins = PaperExample();
+  ScheduleConfig config = StrictConfig();
+  config.max_nodes = 3;
+  auto sol = SolveOfflineSchedule(ins, 0, config);
+  EXPECT_FALSE(sol.ok());
+}
+
+TEST(OfflineScheduleTest, RevenueAccountingConsistent) {
+  auto sol = SolveOfflineSchedule(PaperExample(), 0, StrictConfig());
+  ASSERT_TRUE(sol.ok());
+  double sum = 0.0;
+  for (const Assignment& a : sol->matching.assignments) {
+    sum += a.revenue;
+    if (a.is_outer) {
+      EXPECT_GT(a.outer_payment, 0.0);
+    } else {
+      EXPECT_EQ(a.outer_payment, 0.0);
+    }
+  }
+  EXPECT_NEAR(sum, sol->revenue, 1e-9);
+}
+
+}  // namespace
+}  // namespace comx

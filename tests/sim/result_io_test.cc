@@ -1,0 +1,107 @@
+#include "sim/result_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/dem_com.h"
+#include "sim/simulator.h"
+#include "testing/builders.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::PaperExample;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+Matching RunDem(const Instance& ins) {
+  SimConfig sim;
+  sim.workers_recycle = false;
+  sim.measure_response_time = false;
+  DemCom m0, m1;
+  auto r = RunSimulation(ins, {&m0, &m1}, sim, 7);
+  EXPECT_TRUE(r.ok());
+  return r->matching;
+}
+
+TEST(ResultIoTest, RoundTrip) {
+  const Instance ins = PaperExample();
+  const Matching original = RunDem(ins);
+  const std::string path = TempPath("matching_roundtrip.csv");
+  ASSERT_TRUE(SaveMatchingCsv(ins, original, path).ok());
+  auto loaded = LoadMatchingCsv(ins, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->assignments.size(), original.assignments.size());
+  for (size_t i = 0; i < original.assignments.size(); ++i) {
+    EXPECT_EQ(loaded->assignments[i], original.assignments[i]) << i;
+  }
+  EXPECT_NEAR(loaded->total_revenue, original.total_revenue, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(ResultIoTest, EmptyMatchingRoundTrips) {
+  const Instance ins = PaperExample();
+  const std::string path = TempPath("matching_empty.csv");
+  ASSERT_TRUE(SaveMatchingCsv(ins, Matching{}, path).ok());
+  auto loaded = LoadMatchingCsv(ins, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->assignments.empty());
+  std::remove(path.c_str());
+}
+
+TEST(ResultIoTest, SaveRejectsDanglingIds) {
+  const Instance ins = PaperExample();
+  Matching bad;
+  Assignment a;
+  a.request = 99;
+  a.worker = 0;
+  a.revenue = 1.0;
+  bad.Add(a);
+  EXPECT_FALSE(SaveMatchingCsv(ins, bad, TempPath("matching_bad.csv")).ok());
+}
+
+TEST(ResultIoTest, LoadRejectsBadHeader) {
+  const Instance ins = PaperExample();
+  const std::string path = TempPath("matching_badheader.csv");
+  {
+    std::ofstream out(path);
+    out << "nope\n";
+  }
+  EXPECT_FALSE(LoadMatchingCsv(ins, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ResultIoTest, LoadRejectsInconsistentRevenue) {
+  const Instance ins = PaperExample();
+  const std::string path = TempPath("matching_badrev.csv");
+  {
+    std::ofstream out(path);
+    out << "request,worker,request_platform,worker_platform,is_outer,"
+           "outer_payment,revenue,value,time\n";
+    out << "0,0,0,0,0,0,999,4,3\n";  // revenue 999 != value 4
+  }
+  auto loaded = LoadMatchingCsv(ins, path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(ResultIoTest, LoadRejectsUnknownEntities) {
+  const Instance ins = PaperExample();
+  const std::string path = TempPath("matching_unknown.csv");
+  {
+    std::ofstream out(path);
+    out << "request,worker,request_platform,worker_platform,is_outer,"
+           "outer_payment,revenue,value,time\n";
+    out << "42,0,0,0,0,0,4,4,3\n";
+  }
+  EXPECT_FALSE(LoadMatchingCsv(ins, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,193 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dem_com.h"
+#include "core/tota_greedy.h"
+#include "testing/builders.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+using testing_fixtures::PaperExample;
+
+SimConfig NoRecycle() {
+  SimConfig c;
+  c.workers_recycle = false;
+  c.measure_response_time = false;
+  return c;
+}
+
+TEST(SimulatorTest, RejectsWrongMatcherCount) {
+  const Instance ins = PaperExample();  // 2 platforms
+  TotaGreedy t;
+  auto r = RunSimulation(ins, {&t}, NoRecycle(), 1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimulatorTest, RejectsNullMatcher) {
+  const Instance ins = PaperExample();
+  TotaGreedy t;
+  auto r = RunSimulation(ins, {&t, nullptr}, NoRecycle(), 1);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SimulatorTest, EmptyInstanceRuns) {
+  Instance ins;
+  ins.BuildEvents();
+  auto r = RunSimulation(ins, {}, NoRecycle(), 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->matching.assignments.empty());
+}
+
+TEST(SimulatorTest, MetricsAddUpToRequestCount) {
+  const Instance ins = PaperExample();
+  TotaGreedy a, b;
+  auto r = RunSimulation(ins, {&a, &b}, NoRecycle(), 1);
+  ASSERT_TRUE(r.ok());
+  const auto& m = r->metrics.per_platform[0];
+  EXPECT_EQ(m.completed + m.rejected, 5);
+  EXPECT_EQ(m.completed, m.completed_inner + m.completed_outer);
+}
+
+TEST(SimulatorTest, RevenueMatchesAssignments) {
+  const Instance ins = PaperExample();
+  DemCom a, b;
+  auto r = RunSimulation(ins, {&a, &b}, NoRecycle(), 5);
+  ASSERT_TRUE(r.ok());
+  double total = 0.0;
+  for (const Assignment& asg : r->matching.assignments) total += asg.revenue;
+  EXPECT_NEAR(total, r->metrics.TotalRevenue(), 1e-9);
+  EXPECT_NEAR(total, r->matching.total_revenue, 1e-9);
+}
+
+TEST(SimulatorTest, NoRecycleMeansEachWorkerServesOnce) {
+  Instance ins;
+  // One worker, two sequential requests in range.
+  ins.AddWorker(MakeWorker(0, 1, 0, 0, 2.0));
+  ins.AddRequest(MakeRequest(0, 2, 0.1, 0, 5.0));
+  ins.AddRequest(MakeRequest(0, 3, 0.2, 0, 5.0));
+  ins.BuildEvents();
+  TotaGreedy t;
+  auto r = RunSimulation(ins, {&t}, NoRecycle(), 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->metrics.per_platform[0].completed, 1);
+  EXPECT_EQ(r->metrics.per_platform[0].rejected, 1);
+}
+
+TEST(SimulatorTest, RecyclingLetsWorkerServeAgain) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0, 0, 2.0));
+  ins.AddRequest(MakeRequest(0, 10.0, 0.1, 0, 1.0));
+  // Second request arrives well after the first service ends.
+  ins.AddRequest(MakeRequest(0, 100'000.0, 0.2, 0, 1.0));
+  ins.BuildEvents();
+  SimConfig recycle;
+  recycle.workers_recycle = true;
+  recycle.measure_response_time = false;
+  TotaGreedy t;
+  auto r = RunSimulation(ins, {&t}, recycle, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->metrics.per_platform[0].completed, 2);
+  EXPECT_TRUE(AuditSimResult(ins, recycle, *r).ok());
+}
+
+TEST(SimulatorTest, RecycledWorkerWaitsOutServiceDuration) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0, 0, 2.0));
+  ins.AddRequest(MakeRequest(0, 10.0, 0.1, 0, 1.0));
+  // Second request arrives 1 second after the first: worker still busy.
+  ins.AddRequest(MakeRequest(0, 11.0, 0.2, 0, 1.0));
+  ins.BuildEvents();
+  SimConfig recycle;
+  recycle.workers_recycle = true;
+  recycle.measure_response_time = false;
+  TotaGreedy t;
+  auto r = RunSimulation(ins, {&t}, recycle, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->metrics.per_platform[0].completed, 1);
+  EXPECT_EQ(r->metrics.per_platform[0].rejected, 1);
+}
+
+TEST(SimulatorTest, RecycledWorkerServesFromDropOffLocation) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0, 0, 1.0));
+  // First request drags the worker to (5, 0) — outside the original
+  // coverage. A later request near (5, 0) is only servable post-recycle.
+  Request far = MakeRequest(0, 10.0, 0.9, 0, 1.0);
+  far.location = Point(0.9, 0.0);
+  ins.AddRequest(far);
+  ins.AddRequest(MakeRequest(0, 100'000.0, 1.5, 0.0, 1.0));
+  ins.BuildEvents();
+  SimConfig recycle;
+  recycle.workers_recycle = true;
+  recycle.measure_response_time = false;
+  TotaGreedy t;
+  auto r = RunSimulation(ins, {&t}, recycle, 1);
+  ASSERT_TRUE(r.ok());
+  // Second request at (1.5, 0) is within 1 km of the drop-off (0.9, 0)
+  // but NOT within 1 km of the original (0, 0).
+  EXPECT_EQ(r->metrics.per_platform[0].completed, 2);
+}
+
+TEST(SimulatorTest, ResponseTimeMeasuredWhenEnabled) {
+  const Instance ins = PaperExample();
+  SimConfig c = NoRecycle();
+  c.measure_response_time = true;
+  TotaGreedy a, b;
+  auto r = RunSimulation(ins, {&a, &b}, c, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->metrics.per_platform[0].response_time_us.count(), 5);
+  EXPECT_GT(r->metrics.per_platform[0].response_time_us.mean(), 0.0);
+}
+
+TEST(SimulatorTest, MemoryAccountingPositive) {
+  const Instance ins = PaperExample();
+  TotaGreedy a, b;
+  auto r = RunSimulation(ins, {&a, &b}, NoRecycle(), 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->metrics.logical_bytes, 0);
+  EXPECT_GT(r->metrics.rss_bytes, 0);
+  EXPECT_GE(r->metrics.wall_seconds, 0.0);
+}
+
+TEST(SimulatorTest, AuditCatchesTamperedRevenue) {
+  const Instance ins = PaperExample();
+  TotaGreedy a, b;
+  auto r = RunSimulation(ins, {&a, &b}, NoRecycle(), 1);
+  ASSERT_TRUE(r.ok());
+  SimResult tampered = *r;
+  ASSERT_FALSE(tampered.matching.assignments.empty());
+  tampered.matching.assignments[0].revenue += 1.0;
+  EXPECT_FALSE(AuditSimResult(ins, NoRecycle(), tampered).ok());
+}
+
+TEST(SimulatorTest, AuditCatchesDoubleServedRequest) {
+  const Instance ins = PaperExample();
+  TotaGreedy a, b;
+  auto r = RunSimulation(ins, {&a, &b}, NoRecycle(), 1);
+  ASSERT_TRUE(r.ok());
+  SimResult tampered = *r;
+  ASSERT_GE(tampered.matching.assignments.size(), 2u);
+  tampered.matching.assignments[1].request =
+      tampered.matching.assignments[0].request;
+  EXPECT_FALSE(AuditSimResult(ins, NoRecycle(), tampered).ok());
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  const Instance ins = PaperExample();
+  auto run = [&] {
+    DemCom a, b;
+    SimConfig c = NoRecycle();
+    auto r = RunSimulation(ins, {&a, &b}, c, 77);
+    EXPECT_TRUE(r.ok());
+    return r->metrics.TotalRevenue();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace comx

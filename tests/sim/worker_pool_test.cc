@@ -1,0 +1,132 @@
+#include "sim/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+
+Instance PoolInstance() {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0.0, 0.0, 1.0));   // inner
+  ins.AddWorker(MakeWorker(0, 2, 0.5, 0.0, 1.0));   // inner
+  ins.AddWorker(MakeWorker(1, 1, 0.2, 0.0, 1.0));   // outer
+  ins.BuildEvents();
+  return ins;
+}
+
+TEST(WorkerPoolTest, StartsEmpty) {
+  const Instance ins = PoolInstance();
+  WorkerPool pool(ins);
+  EXPECT_EQ(pool.available_count(), 0u);
+  EXPECT_FALSE(pool.IsAvailable(0));
+}
+
+TEST(WorkerPoolTest, ArrivalMakesAvailable) {
+  const Instance ins = PoolInstance();
+  WorkerPool pool(ins);
+  ASSERT_TRUE(pool.OnArrival(0, ins.worker(0).location, 1.0).ok());
+  EXPECT_TRUE(pool.IsAvailable(0));
+  EXPECT_EQ(pool.available_count(), 1u);
+  EXPECT_EQ(pool.AvailableSince(0), 1.0);
+}
+
+TEST(WorkerPoolTest, DoubleArrivalFails) {
+  const Instance ins = PoolInstance();
+  WorkerPool pool(ins);
+  ASSERT_TRUE(pool.OnArrival(0, Point(0, 0), 1.0).ok());
+  EXPECT_EQ(pool.OnArrival(0, Point(0, 0), 2.0).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(WorkerPoolTest, OccupyRemovesEverywhere) {
+  const Instance ins = PoolInstance();
+  WorkerPool pool(ins);
+  ASSERT_TRUE(pool.OnArrival(2, Point(0.2, 0), 1.0).ok());
+  const Request r = MakeRequest(0, 2.0, 0.0, 0.0, 5.0);
+  EXPECT_EQ(pool.FeasibleWorkers(r, 0, /*inner=*/false).size(), 1u);
+  ASSERT_TRUE(pool.MarkOccupied(2).ok());
+  EXPECT_TRUE(pool.FeasibleWorkers(r, 0, false).empty());
+  EXPECT_TRUE(pool.FeasibleWorkers(r, 1, true).empty());
+}
+
+TEST(WorkerPoolTest, OccupyUnavailableFails) {
+  const Instance ins = PoolInstance();
+  WorkerPool pool(ins);
+  EXPECT_EQ(pool.MarkOccupied(0).code(), StatusCode::kNotFound);
+}
+
+TEST(WorkerPoolTest, FeasibleSplitsInnerAndOuter) {
+  const Instance ins = PoolInstance();
+  WorkerPool pool(ins);
+  for (const Worker& w : ins.workers()) {
+    ASSERT_TRUE(pool.OnArrival(w.id, w.location, w.time).ok());
+  }
+  const Request r = MakeRequest(0, 5.0, 0.1, 0.0, 5.0);
+  const auto inner = pool.FeasibleWorkers(r, 0, true);
+  const auto outer = pool.FeasibleWorkers(r, 0, false);
+  EXPECT_EQ(inner, (std::vector<WorkerId>{0, 1}));
+  EXPECT_EQ(outer, (std::vector<WorkerId>{2}));
+  // From platform 1's perspective the split flips.
+  EXPECT_EQ(pool.FeasibleWorkers(r, 1, true), (std::vector<WorkerId>{2}));
+  EXPECT_EQ(pool.FeasibleWorkers(r, 1, false),
+            (std::vector<WorkerId>{0, 1}));
+}
+
+TEST(WorkerPoolTest, TimeConstraintUsesAvailabilityEpisode) {
+  const Instance ins = PoolInstance();
+  WorkerPool pool(ins);
+  ASSERT_TRUE(pool.OnArrival(0, Point(0, 0), 10.0).ok());  // re-arrival late
+  const Request early = MakeRequest(0, 5.0, 0.0, 0.0, 5.0);
+  EXPECT_TRUE(pool.FeasibleWorkers(early, 0, true).empty());
+  const Request late = MakeRequest(0, 11.0, 0.0, 0.0, 5.0);
+  EXPECT_EQ(pool.FeasibleWorkers(late, 0, true).size(), 1u);
+}
+
+TEST(WorkerPoolTest, RangeUsesPerWorkerRadius) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0.0, 0.0, 0.5));  // small radius
+  ins.AddWorker(MakeWorker(0, 1, 0.0, 0.0, 3.0));  // big radius
+  ins.BuildEvents();
+  WorkerPool pool(ins);
+  for (const Worker& w : ins.workers()) {
+    ASSERT_TRUE(pool.OnArrival(w.id, w.location, w.time).ok());
+  }
+  const Request r = MakeRequest(0, 5.0, 1.0, 0.0, 5.0);
+  EXPECT_EQ(pool.FeasibleWorkers(r, 0, true), (std::vector<WorkerId>{1}));
+}
+
+TEST(WorkerPoolTest, RearrivalAtNewLocation) {
+  const Instance ins = PoolInstance();
+  WorkerPool pool(ins);
+  ASSERT_TRUE(pool.OnArrival(0, Point(0, 0), 1.0).ok());
+  ASSERT_TRUE(pool.MarkOccupied(0).ok());
+  ASSERT_TRUE(pool.OnArrival(0, Point(5, 5), 7.0).ok());
+  EXPECT_EQ(pool.CurrentLocation(0), Point(5, 5));
+  const Request near_new = MakeRequest(0, 8.0, 5.2, 5.0, 5.0);
+  EXPECT_EQ(pool.FeasibleWorkers(near_new, 0, true).size(), 1u);
+  const Request near_old = MakeRequest(0, 8.0, 0.0, 0.0, 5.0);
+  EXPECT_TRUE(pool.FeasibleWorkers(near_old, 0, true).empty());
+}
+
+TEST(WorkerPoolTest, ResultsAreSortedById) {
+  Instance ins;
+  for (int i = 0; i < 10; ++i) {
+    ins.AddWorker(MakeWorker(0, 1, 0.01 * i, 0.0, 2.0));
+  }
+  ins.BuildEvents();
+  WorkerPool pool(ins);
+  for (const Worker& w : ins.workers()) {
+    ASSERT_TRUE(pool.OnArrival(w.id, w.location, w.time).ok());
+  }
+  const auto ids = pool.FeasibleWorkers(MakeRequest(0, 5, 0, 0, 1), 0, true);
+  ASSERT_EQ(ids.size(), 10u);
+  for (size_t i = 1; i < ids.size(); ++i) EXPECT_LT(ids[i - 1], ids[i]);
+}
+
+}  // namespace
+}  // namespace comx

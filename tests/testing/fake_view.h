@@ -1,0 +1,62 @@
+// A hand-wired PlatformView for decision-level matcher tests: feasible
+// worker sets are specified explicitly instead of coming from a simulator.
+
+#ifndef COMX_TESTS_TESTING_FAKE_VIEW_H_
+#define COMX_TESTS_TESTING_FAKE_VIEW_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/online_matcher.h"
+#include "geo/distance.h"
+#include "model/constraints.h"
+
+namespace comx {
+namespace testing_fixtures {
+
+/// PlatformView whose feasible sets are computed directly from the instance
+/// (every worker unoccupied), optionally minus an explicit occupied set.
+class FakeView : public PlatformView {
+ public:
+  FakeView(const Instance& instance, PlatformId platform)
+      : instance_(&instance),
+        model_(std::make_unique<AcceptanceModel>(instance)),
+        platform_(platform),
+        occupied_(instance.workers().size(), false) {}
+
+  void MarkOccupied(WorkerId w) { occupied_[static_cast<size_t>(w)] = true; }
+
+  std::vector<WorkerId> FeasibleInnerWorkers(const Request& r) const override {
+    return Collect(r, /*inner=*/true);
+  }
+  std::vector<WorkerId> FeasibleOuterWorkers(const Request& r) const override {
+    return Collect(r, /*inner=*/false);
+  }
+  double DistanceTo(WorkerId w, const Request& r) const override {
+    return EuclideanDistance(instance_->worker(w).location, r.location);
+  }
+  const Instance& instance() const override { return *instance_; }
+  const AcceptanceModel& acceptance() const override { return *model_; }
+
+ private:
+  std::vector<WorkerId> Collect(const Request& r, bool inner) const {
+    std::vector<WorkerId> out;
+    for (const Worker& w : instance_->workers()) {
+      if (occupied_[static_cast<size_t>(w.id)]) continue;
+      if ((w.platform == platform_) != inner) continue;
+      if (!CanServe(w, r)) continue;
+      out.push_back(w.id);
+    }
+    return out;
+  }
+
+  const Instance* instance_;
+  std::unique_ptr<AcceptanceModel> model_;
+  PlatformId platform_;
+  std::vector<bool> occupied_;
+};
+
+}  // namespace testing_fixtures
+}  // namespace comx
+
+#endif  // COMX_TESTS_TESTING_FAKE_VIEW_H_

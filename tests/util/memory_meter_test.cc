@@ -1,0 +1,48 @@
+#include "util/memory_meter.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace {
+
+TEST(MemoryMeterTest, TracksLiveAndPeak) {
+  MemoryMeter m;
+  EXPECT_EQ(m.live_bytes(), 0);
+  EXPECT_EQ(m.peak_bytes(), 0);
+  m.Allocate(100);
+  m.Allocate(50);
+  EXPECT_EQ(m.live_bytes(), 150);
+  EXPECT_EQ(m.peak_bytes(), 150);
+  m.Release(120);
+  EXPECT_EQ(m.live_bytes(), 30);
+  EXPECT_EQ(m.peak_bytes(), 150);  // peak sticks
+  m.Allocate(10);
+  EXPECT_EQ(m.peak_bytes(), 150);
+}
+
+TEST(MemoryMeterTest, ResetClearsBoth) {
+  MemoryMeter m;
+  m.Allocate(7);
+  m.Reset();
+  EXPECT_EQ(m.live_bytes(), 0);
+  EXPECT_EQ(m.peak_bytes(), 0);
+}
+
+TEST(CurrentRssTest, ReportsPositiveOnLinux) {
+  // The build/test environment is Linux with /proc mounted.
+  EXPECT_GT(CurrentRssBytes(), 0);
+}
+
+TEST(CurrentRssTest, GrowsAfterLargeAllocation) {
+  const int64_t before = CurrentRssBytes();
+  // Touch 64 MB so the kernel actually maps it.
+  std::vector<char> big(64 << 20, 1);
+  const int64_t after = CurrentRssBytes();
+  EXPECT_GT(after, before);
+  EXPECT_GT(big[12345], 0);  // keep `big` alive
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,66 @@
+#include "util/reservoir.h"
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace {
+
+TEST(ReservoirTest, ExactWhileUnderCapacity) {
+  ReservoirSampler r(100);
+  for (int i = 1; i <= 9; ++i) r.Add(i);
+  EXPECT_EQ(r.count(), 9);
+  EXPECT_EQ(r.samples().size(), 9u);
+  EXPECT_DOUBLE_EQ(r.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(r.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.Quantile(1.0), 9.0);
+}
+
+TEST(ReservoirTest, EmptyQuantileIsZero) {
+  ReservoirSampler r(10);
+  EXPECT_EQ(r.Quantile(0.5), 0.0);
+}
+
+TEST(ReservoirTest, CapacityBoundsMemory) {
+  ReservoirSampler r(50);
+  for (int i = 0; i < 10'000; ++i) r.Add(i);
+  EXPECT_EQ(r.count(), 10'000);
+  EXPECT_EQ(r.samples().size(), 50u);
+}
+
+TEST(ReservoirTest, SampleIsApproximatelyUniform) {
+  // Stream 0..9999; the reservoir's mean should approximate the stream's.
+  ReservoirSampler r(512, 7);
+  for (int i = 0; i < 10'000; ++i) r.Add(i);
+  double sum = 0.0;
+  for (double x : r.samples()) sum += x;
+  EXPECT_NEAR(sum / 512.0, 4999.5, 400.0);
+  // Median estimate within 10%.
+  EXPECT_NEAR(r.Quantile(0.5), 5000.0, 500.0);
+}
+
+TEST(ReservoirTest, QuantileEstimatesTail) {
+  ReservoirSampler r(2048, 11);
+  for (int i = 0; i < 100'000; ++i) r.Add(i % 1000);  // uniform 0..999
+  EXPECT_NEAR(r.Quantile(0.95), 950.0, 30.0);
+  EXPECT_NEAR(r.Quantile(0.99), 990.0, 15.0);
+}
+
+TEST(ReservoirTest, ResetClears) {
+  ReservoirSampler r(10);
+  r.Add(5);
+  r.Reset();
+  EXPECT_EQ(r.count(), 0);
+  EXPECT_TRUE(r.samples().empty());
+}
+
+TEST(ReservoirTest, DeterministicGivenSeed) {
+  ReservoirSampler a(32, 3), b(32, 3);
+  for (int i = 0; i < 5000; ++i) {
+    a.Add(i);
+    b.Add(i);
+  }
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,191 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.Uniform(-3.5, 2.5);
+    EXPECT_GE(x, -3.5);
+    EXPECT_LT(x, 2.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const int64_t x = rng.UniformInt(3, 7);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 7);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all of {3,4,5,6,7} hit
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformIntApproximatelyUniform) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(rng.UniformInt(0, 9))];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, 500);  // ~5 sigma of binomial
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(21);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(33);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GT(rng.LogNormal(1.0, 0.8), 0.0);
+  }
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(33);
+  std::vector<double> xs;
+  for (int i = 0; i < 50'000; ++i) xs.push_back(rng.LogNormal(2.0, 0.5));
+  std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(2.0), 0.15);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(44);
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleChangesOrderEventually) {
+  Rng rng(8);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<size_t>(i)] = i;
+  const std::vector<int> original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);  // probability 1/50! of spurious failure
+}
+
+TEST(RngTest, ShuffleUniformOverSmallPermutations) {
+  // All 6 permutations of 3 elements should be roughly equally likely.
+  std::map<std::vector<int>, int> counts;
+  Rng rng(17);
+  const int n = 60'000;
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> v{0, 1, 2};
+    rng.Shuffle(&v);
+    ++counts[v];
+  }
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [perm, c] : counts) {
+    EXPECT_NEAR(c, n / 6, 400);
+  }
+}
+
+TEST(RngTest, PickIndexWithinBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.PickIndex(7), 7u);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(55);
+  Rng forked = a.Fork();
+  // Forked stream differs from the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == forked.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, CopyReproducesStream) {
+  Rng a(99);
+  a.NextUint64();
+  Rng b = a;  // copy mid-stream
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+}  // namespace
+}  // namespace comx

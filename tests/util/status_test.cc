@@ -1,0 +1,87 @@
+#include "util/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  const struct {
+    Status status;
+    StatusCode code;
+  } cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::OutOfRange("c"), StatusCode::kOutOfRange},
+      {Status::FailedPrecondition("d"), StatusCode::kFailedPrecondition},
+      {Status::AlreadyExists("e"), StatusCode::kAlreadyExists},
+      {Status::IoError("f"), StatusCode::kIoError},
+      {Status::Internal("g"), StatusCode::kInternal},
+      {Status::Unimplemented("h"), StatusCode::kUnimplemented},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status s = Status::NotFound("missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_NE(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_NE(Status::NotFound("x"), Status::Internal("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, StreamOperatorMatchesToString) {
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "Internal: boom");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "Ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+}
+
+Status FailsThenPropagates() {
+  COMX_RETURN_IF_ERROR(Status::InvalidArgument("inner"));
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  const Status s = FailsThenPropagates();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+Status SucceedsThrough() {
+  COMX_RETURN_IF_ERROR(Status::OK());
+  return Status::Internal("reached");
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOnOk) {
+  EXPECT_EQ(SucceedsThrough().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,0 +1,86 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace {
+
+TEST(SplitTest, Basic) {
+  const auto parts = Split("a:b:c", ':');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto parts = Split("::", ':');
+  ASSERT_EQ(parts.size(), 3u);
+  for (const auto& p : parts) EXPECT_TRUE(p.empty());
+}
+
+TEST(SplitTest, NoDelimiter) {
+  const auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("nowhitespace"), "nowhitespace");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s!", "hey"), "hey!");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(ParseDoubleTest, Valid) {
+  auto r = ParseDouble("3.25");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 3.25);
+}
+
+TEST(ParseDoubleTest, TrimsWhitespace) {
+  auto r = ParseDouble("  -1e3 ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), -1000.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("3.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(ParseInt64Test, Valid) {
+  auto r = ParseInt64("-42");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), -42);
+}
+
+TEST(ParseInt64Test, RejectsFloatAndGarbage) {
+  EXPECT_FALSE(ParseInt64("3.5").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12ab").ok());
+}
+
+TEST(ParseInt64Test, LargeValues) {
+  auto r = ParseInt64("9007199254740993");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 9007199254740993ll);
+}
+
+}  // namespace
+}  // namespace comx

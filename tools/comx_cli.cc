@@ -1,0 +1,390 @@
+// comx_cli — command-line front end for the library: generate datasets,
+// inspect them, run any algorithm, solve the offline optimum, and estimate
+// competitive ratios, all against the CSV dataset format of
+// datagen/dataset.h.
+//
+// Usage:
+//   comx_cli gen      --out PREFIX [--requests N] [--workers N]
+//                     [--platforms K] [--radius KM] [--imbalance X]
+//                     [--dist real|normal] [--seed S]
+//   comx_cli gen-real --out PREFIX --dataset rdc10|rdc11|rdx11
+//                     [--scale X] [--seed S]
+//   comx_cli info     --data PREFIX
+//   comx_cli run      --data PREFIX --algo ALGO [--seeds N] [--no-recycle]
+//                     [--save-matching OUT.csv]
+//                     (ALGO: tota, ranking, greedyrt, demcom, ramcom,
+//                      costdem)
+//   comx_cli offline  --data PREFIX [--capacity K] [--no-outer]
+//   comx_cli schedule --data PREFIX [--no-recycle]   (exact, tiny instances)
+//   comx_cli batch    --data PREFIX [--window SECONDS] [--seeds N]
+//   comx_cli cr       --data PREFIX --algo ALGO [--perms N]
+//   comx_cli density  --data PREFIX [--cols N] [--rows N] [--csv OUT.csv]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/cost_aware.h"
+#include "core/dem_com.h"
+#include "core/greedy_rt.h"
+#include "core/offline_opt.h"
+#include "core/ram_com.h"
+#include "core/ranking.h"
+#include "core/tota_greedy.h"
+#include "datagen/dataset.h"
+#include "datagen/density.h"
+#include "datagen/real_like.h"
+#include "datagen/synthetic.h"
+#include "sim/batch_simulator.h"
+#include "sim/competitive_ratio.h"
+#include "sim/offline_schedule.h"
+#include "sim/result_io.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace comx {
+namespace {
+
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+int64_t IntFlag(int argc, char** argv, const char* flag, int64_t fallback) {
+  const char* v = FlagValue(argc, argv, flag);
+  return v != nullptr ? std::atoll(v) : fallback;
+}
+
+double DoubleFlag(int argc, char** argv, const char* flag, double fallback) {
+  const char* v = FlagValue(argc, argv, flag);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+std::unique_ptr<OnlineMatcher> MakeMatcher(const std::string& algo) {
+  if (algo == "tota") return std::make_unique<TotaGreedy>();
+  if (algo == "ranking") return std::make_unique<Ranking>();
+  if (algo == "greedyrt") return std::make_unique<GreedyRt>();
+  if (algo == "demcom") return std::make_unique<DemCom>();
+  if (algo == "ramcom") return std::make_unique<RamCom>();
+  if (algo == "costdem") return std::make_unique<CostAwareDemCom>();
+  return nullptr;
+}
+
+int CmdGen(int argc, char** argv) {
+  const char* out = FlagValue(argc, argv, "--out");
+  if (out == nullptr) {
+    std::fprintf(stderr, "gen: --out PREFIX is required\n");
+    return 2;
+  }
+  SyntheticConfig config;
+  config.platforms = static_cast<int32_t>(IntFlag(argc, argv, "--platforms", 2));
+  config.requests_per_platform = {IntFlag(argc, argv, "--requests", 1250)};
+  config.workers_per_platform = {IntFlag(argc, argv, "--workers", 250)};
+  config.radius_km = DoubleFlag(argc, argv, "--radius", 1.0);
+  config.imbalance = DoubleFlag(argc, argv, "--imbalance", 0.7);
+  config.seed = static_cast<uint64_t>(IntFlag(argc, argv, "--seed", 2020));
+  if (const char* dist = FlagValue(argc, argv, "--dist"); dist != nullptr) {
+    auto parsed = ParseValueDistribution(dist);
+    if (!parsed.ok()) return Fail(parsed.status());
+    config.value.distribution = *parsed;
+  }
+  auto instance = GenerateSynthetic(config);
+  if (!instance.ok()) return Fail(instance.status());
+  if (Status s = SaveInstance(*instance, out); !s.ok()) return Fail(s);
+  std::printf("wrote %s.{workers,requests}.csv — %s\n", out,
+              instance->Summary().c_str());
+  return 0;
+}
+
+int CmdGenReal(int argc, char** argv) {
+  const char* out = FlagValue(argc, argv, "--out");
+  const char* name = FlagValue(argc, argv, "--dataset");
+  if (out == nullptr || name == nullptr) {
+    std::fprintf(stderr, "gen-real: --out and --dataset are required\n");
+    return 2;
+  }
+  RealDatasetSpec spec;
+  const std::string dataset = name;
+  if (dataset == "rdc10") {
+    spec = Rdc10Ryc10();
+  } else if (dataset == "rdc11") {
+    spec = Rdc11Ryc11();
+  } else if (dataset == "rdx11") {
+    spec = Rdx11Ryx11();
+  } else {
+    std::fprintf(stderr, "gen-real: unknown dataset '%s'\n", name);
+    return 2;
+  }
+  auto instance = GenerateRealLike(
+      spec, DoubleFlag(argc, argv, "--scale", 0.05),
+      static_cast<uint64_t>(IntFlag(argc, argv, "--seed", 2016)));
+  if (!instance.ok()) return Fail(instance.status());
+  if (Status s = SaveInstance(*instance, out); !s.ok()) return Fail(s);
+  std::printf("wrote %s.{workers,requests}.csv — %s clone: %s\n", out,
+              spec.name.c_str(), instance->Summary().c_str());
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  const char* data = FlagValue(argc, argv, "--data");
+  if (data == nullptr) {
+    std::fprintf(stderr, "info: --data PREFIX is required\n");
+    return 2;
+  }
+  auto instance = LoadInstance(data);
+  if (!instance.ok()) return Fail(instance.status());
+  std::printf("%s\n", instance->Summary().c_str());
+  RunningStats values, radii, history_len;
+  for (const Request& r : instance->requests()) values.Add(r.value);
+  for (const Worker& w : instance->workers()) {
+    radii.Add(w.radius);
+    history_len.Add(static_cast<double>(w.history.size()));
+  }
+  std::printf("values:    %s\n", values.ToString().c_str());
+  std::printf("radii:     %s\n", radii.ToString().c_str());
+  std::printf("histories: %s\n", history_len.ToString().c_str());
+  std::printf("max value: %.2f (RamCOM theta would be ceil(ln(max+1)))\n",
+              instance->MaxRequestValue());
+  return 0;
+}
+
+int CmdRun(int argc, char** argv) {
+  const char* data = FlagValue(argc, argv, "--data");
+  const char* algo = FlagValue(argc, argv, "--algo");
+  if (data == nullptr || algo == nullptr) {
+    std::fprintf(stderr, "run: --data and --algo are required\n");
+    return 2;
+  }
+  auto instance = LoadInstance(data);
+  if (!instance.ok()) return Fail(instance.status());
+  const int seeds = static_cast<int>(IntFlag(argc, argv, "--seeds", 3));
+  SimConfig sim;
+  sim.workers_recycle = !HasFlag(argc, argv, "--no-recycle");
+
+  const char* save_matching = FlagValue(argc, argv, "--save-matching");
+  PlatformMetrics agg;
+  std::vector<PlatformMetrics> per_platform(
+      static_cast<size_t>(instance->PlatformCount()));
+  for (int s = 1; s <= seeds; ++s) {
+    std::vector<std::unique_ptr<OnlineMatcher>> owned;
+    std::vector<OnlineMatcher*> matchers;
+    for (PlatformId p = 0; p < instance->PlatformCount(); ++p) {
+      owned.push_back(MakeMatcher(algo));
+      if (owned.back() == nullptr) {
+        std::fprintf(stderr, "run: unknown algorithm '%s'\n", algo);
+        return 2;
+      }
+      matchers.push_back(owned.back().get());
+    }
+    auto result = RunSimulation(*instance, matchers, sim,
+                                static_cast<uint64_t>(s));
+    if (!result.ok()) return Fail(result.status());
+    for (size_t p = 0; p < per_platform.size(); ++p) {
+      per_platform[p].Merge(result->metrics.per_platform[p]);
+    }
+    agg.Merge(result->metrics.Aggregate());
+    if (s == 1 && save_matching != nullptr) {
+      if (Status st = SaveMatchingCsv(*instance, result->matching,
+                                      save_matching);
+          !st.ok()) {
+        return Fail(st);
+      }
+      std::printf("wrote first-seed matching to %s\n", save_matching);
+    }
+  }
+  std::printf("%s over %d seed(s) (counts/revenues are TOTALS across "
+              "seeds), recycle=%s:\n",
+              algo, seeds, sim.workers_recycle ? "on" : "off");
+  for (size_t p = 0; p < per_platform.size(); ++p) {
+    std::printf("  platform %zu: %s\n", p, per_platform[p].ToString().c_str());
+  }
+  std::printf("  aggregate:  %s\n", agg.ToString().c_str());
+  std::printf("  pickup km:  %.1f (net revenue at 2/km: %.1f)\n",
+              agg.total_pickup_km, agg.NetRevenue(2.0));
+  return 0;
+}
+
+int CmdOffline(int argc, char** argv) {
+  const char* data = FlagValue(argc, argv, "--data");
+  if (data == nullptr) {
+    std::fprintf(stderr, "offline: --data PREFIX is required\n");
+    return 2;
+  }
+  auto instance = LoadInstance(data);
+  if (!instance.ok()) return Fail(instance.status());
+  OfflineConfig config;
+  config.worker_capacity =
+      static_cast<int32_t>(IntFlag(argc, argv, "--capacity", 1));
+  config.allow_outer = !HasFlag(argc, argv, "--no-outer");
+  double total = 0.0;
+  for (PlatformId p = 0; p < instance->PlatformCount(); ++p) {
+    auto sol = SolveOffline(*instance, p, config);
+    if (!sol.ok()) return Fail(sol.status());
+    int64_t outer = 0;
+    for (const Assignment& a : sol->matching.assignments) {
+      outer += a.is_outer ? 1 : 0;
+    }
+    std::printf("platform %d: OFF revenue %.1f, served %zu (borrowed %lld), "
+                "solver %s, %lld candidate edges\n",
+                p, sol->matching.total_revenue, sol->matching.size(),
+                static_cast<long long>(outer), sol->solver.c_str(),
+                static_cast<long long>(sol->edge_count));
+    total += sol->matching.total_revenue;
+  }
+  std::printf("total OFF revenue: %.1f\n", total);
+  return 0;
+}
+
+int CmdDensity(int argc, char** argv) {
+  const char* data = FlagValue(argc, argv, "--data");
+  if (data == nullptr) {
+    std::fprintf(stderr, "density: --data PREFIX is required\n");
+    return 2;
+  }
+  auto instance = LoadInstance(data);
+  if (!instance.ok()) return Fail(instance.status());
+  BBox bounds;
+  for (const Worker& w : instance->workers()) bounds.Extend(w.location);
+  for (const Request& r : instance->requests()) bounds.Extend(r.location);
+  if (bounds.empty()) {
+    std::fprintf(stderr, "density: empty instance\n");
+    return 1;
+  }
+  bounds.Inflate(0.1);
+  const int32_t cols = static_cast<int32_t>(IntFlag(argc, argv, "--cols", 36));
+  const int32_t rows = static_cast<int32_t>(IntFlag(argc, argv, "--rows", 14));
+  const DensityGrid grid(*instance, bounds, cols, rows);
+  for (PlatformId p = 0; p < instance->PlatformCount(); ++p) {
+    std::printf("platform %d workers:\n%s\n", p,
+                grid.AsciiHeatmap(p, true).c_str());
+    std::printf("platform %d requests:\n%s\n", p,
+                grid.AsciiHeatmap(p, false).c_str());
+  }
+  std::printf("platform-0 supply/demand imbalance (total variation): %.3f\n",
+              grid.ImbalanceScore());
+  if (const char* csv = FlagValue(argc, argv, "--csv"); csv != nullptr) {
+    if (Status st = grid.WriteCsv(csv); !st.ok()) return Fail(st);
+    std::printf("wrote %s\n", csv);
+  }
+  return 0;
+}
+
+int CmdSchedule(int argc, char** argv) {
+  const char* data = FlagValue(argc, argv, "--data");
+  if (data == nullptr) {
+    std::fprintf(stderr, "schedule: --data PREFIX is required\n");
+    return 2;
+  }
+  auto instance = LoadInstance(data);
+  if (!instance.ok()) return Fail(instance.status());
+  ScheduleConfig config;
+  config.sim.workers_recycle = !HasFlag(argc, argv, "--no-recycle");
+  double total = 0.0;
+  for (PlatformId p = 0; p < instance->PlatformCount(); ++p) {
+    auto sol = SolveOfflineSchedule(*instance, p, config);
+    if (!sol.ok()) return Fail(sol.status());
+    std::printf("platform %d: exact schedule revenue %.2f, served %zu, "
+                "%lld search nodes\n",
+                p, sol->revenue, sol->matching.size(),
+                static_cast<long long>(sol->nodes));
+    total += sol->revenue;
+  }
+  std::printf("total exact-schedule revenue: %.2f\n", total);
+  return 0;
+}
+
+int CmdBatch(int argc, char** argv) {
+  const char* data = FlagValue(argc, argv, "--data");
+  if (data == nullptr) {
+    std::fprintf(stderr, "batch: --data PREFIX is required\n");
+    return 2;
+  }
+  auto instance = LoadInstance(data);
+  if (!instance.ok()) return Fail(instance.status());
+  BatchConfig config;
+  config.window_seconds = DoubleFlag(argc, argv, "--window", 60.0);
+  config.sim.workers_recycle = !HasFlag(argc, argv, "--no-recycle");
+  const int seeds = static_cast<int>(IntFlag(argc, argv, "--seeds", 3));
+  PlatformMetrics agg;
+  for (int s = 1; s <= seeds; ++s) {
+    auto result =
+        RunBatchSimulation(*instance, config, static_cast<uint64_t>(s));
+    if (!result.ok()) return Fail(result.status());
+    agg.Merge(result->metrics.Aggregate());
+  }
+  std::printf("batched dispatch, %gs windows, %d seed(s) (totals):\n",
+              config.window_seconds, seeds);
+  std::printf("  %s\n  mean user wait: %.1f s (simulated)\n",
+              agg.ToString().c_str(),
+              agg.response_time_us.mean() / 1e6);
+  return 0;
+}
+
+int CmdCr(int argc, char** argv) {
+  const char* data = FlagValue(argc, argv, "--data");
+  const char* algo = FlagValue(argc, argv, "--algo");
+  if (data == nullptr || algo == nullptr) {
+    std::fprintf(stderr, "cr: --data and --algo are required\n");
+    return 2;
+  }
+  auto instance = LoadInstance(data);
+  if (!instance.ok()) return Fail(instance.status());
+  const std::string algo_name = algo;
+  if (MakeMatcher(algo_name) == nullptr) {
+    std::fprintf(stderr, "cr: unknown algorithm '%s'\n", algo);
+    return 2;
+  }
+  CrConfig config;
+  config.permutations = static_cast<int>(IntFlag(argc, argv, "--perms", 100));
+  auto estimate = EstimateCompetitiveRatio(
+      *instance, [&algo_name] { return MakeMatcher(algo_name); }, config);
+  if (!estimate.ok()) return Fail(estimate.status());
+  std::printf("%s on %s over %lld orders: CR_A(min) %.4f, CR_RO(mean) %.4f "
+              "(sd %.4f), skipped %d\n",
+              algo, data, static_cast<long long>(estimate->ratios.count()),
+              estimate->min_ratio, estimate->mean_ratio,
+              estimate->ratios.stddev(), estimate->skipped);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: comx_cli <gen|gen-real|info|run|offline|schedule|batch|cr|density> "
+                 "[flags]\n(see the file header for per-command flags)\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return CmdGen(argc, argv);
+  if (cmd == "gen-real") return CmdGenReal(argc, argv);
+  if (cmd == "info") return CmdInfo(argc, argv);
+  if (cmd == "run") return CmdRun(argc, argv);
+  if (cmd == "offline") return CmdOffline(argc, argv);
+  if (cmd == "density") return CmdDensity(argc, argv);
+  if (cmd == "schedule") return CmdSchedule(argc, argv);
+  if (cmd == "batch") return CmdBatch(argc, argv);
+  if (cmd == "cr") return CmdCr(argc, argv);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace comx
+
+int main(int argc, char** argv) { return comx::Main(argc, argv); }

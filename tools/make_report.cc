@@ -1,0 +1,92 @@
+// make_report — turns the CSV files the bench binaries append
+// (bench_tables.csv, bench_fig5_*.csv) into one Markdown report with
+// per-tag tables, suitable for pasting into an issue or a lab notebook.
+//
+//   ./build/tools/make_report [csv ...] > report.md
+// With no arguments, reads the default bench CSV names from the current
+// directory (missing files are skipped).
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace comx {
+namespace {
+
+struct ReportRow {
+  std::string algo;
+  std::vector<std::string> fields;
+};
+
+int ProcessFile(const std::string& path) {
+  auto rows = ReadCsvFile(path);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "skipping %s: %s\n", path.c_str(),
+                 rows.status().ToString().c_str());
+    return 0;
+  }
+  if (rows->size() < 2) return 0;
+  const std::vector<std::string>& header = (*rows)[0];
+  if (header.size() < 3 || header[0] != "tag" || header[1] != "algo") {
+    std::fprintf(stderr, "skipping %s: unexpected header\n", path.c_str());
+    return 0;
+  }
+
+  // Group by tag, preserving first-seen order.
+  std::vector<std::string> tag_order;
+  std::map<std::string, std::vector<ReportRow>> by_tag;
+  for (size_t i = 1; i < rows->size(); ++i) {
+    const auto& row = (*rows)[i];
+    if (row.size() != header.size()) continue;
+    if (by_tag.find(row[0]) == by_tag.end()) tag_order.push_back(row[0]);
+    ReportRow r;
+    r.algo = row[1];
+    r.fields.assign(row.begin() + 2, row.end());
+    by_tag[row[0]].push_back(std::move(r));
+  }
+
+  std::printf("## %s\n\n", path.c_str());
+  for (const std::string& tag : tag_order) {
+    std::printf("### %s\n\n", tag.c_str());
+    std::printf("| algo |");
+    for (size_t c = 2; c < header.size(); ++c) {
+      std::printf(" %s |", header[c].c_str());
+    }
+    std::printf("\n|---|");
+    for (size_t c = 2; c < header.size(); ++c) std::printf("---|");
+    std::printf("\n");
+    for (const ReportRow& r : by_tag[tag]) {
+      std::printf("| %s |", r.algo.c_str());
+      for (const std::string& f : r.fields) std::printf(" %s |", f.c_str());
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) paths.emplace_back(argv[i]);
+  if (paths.empty()) {
+    paths = {"bench_tables.csv", "bench_fig5_r.csv", "bench_fig5_w.csv",
+             "bench_fig5_rad.csv"};
+  }
+  std::printf("# comx benchmark report\n\n");
+  int emitted = 0;
+  for (const std::string& path : paths) emitted += ProcessFile(path);
+  if (emitted == 0) {
+    std::printf("*(no benchmark CSVs found — run the bench binaries "
+                "first)*\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace comx
+
+int main(int argc, char** argv) { return comx::Main(argc, argv); }
