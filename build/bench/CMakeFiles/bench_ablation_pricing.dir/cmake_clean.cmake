@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pricing.dir/bench_ablation_pricing.cc.o"
+  "CMakeFiles/bench_ablation_pricing.dir/bench_ablation_pricing.cc.o.d"
+  "bench_ablation_pricing"
+  "bench_ablation_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_roadnet.dir/bench_ablation_roadnet.cc.o"
+  "CMakeFiles/bench_ablation_roadnet.dir/bench_ablation_roadnet.cc.o.d"
+  "bench_ablation_roadnet"
+  "bench_ablation_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_cost.dir/bench_extension_cost.cc.o"
+  "CMakeFiles/bench_extension_cost.dir/bench_extension_cost.cc.o.d"
+  "bench_extension_cost"
+  "bench_extension_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

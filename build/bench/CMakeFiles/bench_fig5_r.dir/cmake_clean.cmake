@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_r.dir/bench_fig5_r.cc.o"
+  "CMakeFiles/bench_fig5_r.dir/bench_fig5_r.cc.o.d"
+  "bench_fig5_r"
+  "bench_fig5_r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_rad.dir/bench_fig5_rad.cc.o"
+  "CMakeFiles/bench_fig5_rad.dir/bench_fig5_rad.cc.o.d"
+  "bench_fig5_rad"
+  "bench_fig5_rad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_rad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

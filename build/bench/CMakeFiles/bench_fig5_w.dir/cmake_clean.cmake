@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_w.dir/bench_fig5_w.cc.o"
+  "CMakeFiles/bench_fig5_w.dir/bench_fig5_w.cc.o.d"
+  "bench_fig5_w"
+  "bench_fig5_w.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_w.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

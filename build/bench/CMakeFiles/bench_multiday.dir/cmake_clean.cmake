@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiday.dir/bench_multiday.cc.o"
+  "CMakeFiles/bench_multiday.dir/bench_multiday.cc.o.d"
+  "bench_multiday"
+  "bench_multiday.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiday.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

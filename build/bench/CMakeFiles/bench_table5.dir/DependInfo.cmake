@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5.cc" "bench/CMakeFiles/bench_table5.dir/bench_table5.cc.o" "gcc" "bench/CMakeFiles/bench_table5.dir/bench_table5.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/comx_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/comx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/comx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/comx_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/comx_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/comx_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/comx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/comx_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/comx_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/comx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_bench_common.dir/common.cc.o"
+  "CMakeFiles/comx_bench_common.dir/common.cc.o.d"
+  "libcomx_bench_common.a"
+  "libcomx_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_platform_study.dir/cross_platform_study.cpp.o"
+  "CMakeFiles/cross_platform_study.dir/cross_platform_study.cpp.o.d"
+  "cross_platform_study"
+  "cross_platform_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_platform_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

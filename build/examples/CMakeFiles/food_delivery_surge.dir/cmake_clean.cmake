@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/food_delivery_surge.dir/food_delivery_surge.cpp.o"
+  "CMakeFiles/food_delivery_surge.dir/food_delivery_surge.cpp.o.d"
+  "food_delivery_surge"
+  "food_delivery_surge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/food_delivery_surge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

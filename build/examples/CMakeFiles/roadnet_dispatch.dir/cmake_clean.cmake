@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_dispatch.dir/roadnet_dispatch.cpp.o"
+  "CMakeFiles/roadnet_dispatch.dir/roadnet_dispatch.cpp.o.d"
+  "roadnet_dispatch"
+  "roadnet_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

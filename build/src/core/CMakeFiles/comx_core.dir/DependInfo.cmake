@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_aware.cc" "src/core/CMakeFiles/comx_core.dir/cost_aware.cc.o" "gcc" "src/core/CMakeFiles/comx_core.dir/cost_aware.cc.o.d"
+  "/root/repo/src/core/dem_com.cc" "src/core/CMakeFiles/comx_core.dir/dem_com.cc.o" "gcc" "src/core/CMakeFiles/comx_core.dir/dem_com.cc.o.d"
+  "/root/repo/src/core/greedy_rt.cc" "src/core/CMakeFiles/comx_core.dir/greedy_rt.cc.o" "gcc" "src/core/CMakeFiles/comx_core.dir/greedy_rt.cc.o.d"
+  "/root/repo/src/core/offline_opt.cc" "src/core/CMakeFiles/comx_core.dir/offline_opt.cc.o" "gcc" "src/core/CMakeFiles/comx_core.dir/offline_opt.cc.o.d"
+  "/root/repo/src/core/online_matcher.cc" "src/core/CMakeFiles/comx_core.dir/online_matcher.cc.o" "gcc" "src/core/CMakeFiles/comx_core.dir/online_matcher.cc.o.d"
+  "/root/repo/src/core/ram_com.cc" "src/core/CMakeFiles/comx_core.dir/ram_com.cc.o" "gcc" "src/core/CMakeFiles/comx_core.dir/ram_com.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/core/CMakeFiles/comx_core.dir/ranking.cc.o" "gcc" "src/core/CMakeFiles/comx_core.dir/ranking.cc.o.d"
+  "/root/repo/src/core/tota_greedy.cc" "src/core/CMakeFiles/comx_core.dir/tota_greedy.cc.o" "gcc" "src/core/CMakeFiles/comx_core.dir/tota_greedy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/comx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/comx_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/comx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/comx_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/comx_pricing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

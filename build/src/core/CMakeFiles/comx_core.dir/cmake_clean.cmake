@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_core.dir/cost_aware.cc.o"
+  "CMakeFiles/comx_core.dir/cost_aware.cc.o.d"
+  "CMakeFiles/comx_core.dir/dem_com.cc.o"
+  "CMakeFiles/comx_core.dir/dem_com.cc.o.d"
+  "CMakeFiles/comx_core.dir/greedy_rt.cc.o"
+  "CMakeFiles/comx_core.dir/greedy_rt.cc.o.d"
+  "CMakeFiles/comx_core.dir/offline_opt.cc.o"
+  "CMakeFiles/comx_core.dir/offline_opt.cc.o.d"
+  "CMakeFiles/comx_core.dir/online_matcher.cc.o"
+  "CMakeFiles/comx_core.dir/online_matcher.cc.o.d"
+  "CMakeFiles/comx_core.dir/ram_com.cc.o"
+  "CMakeFiles/comx_core.dir/ram_com.cc.o.d"
+  "CMakeFiles/comx_core.dir/ranking.cc.o"
+  "CMakeFiles/comx_core.dir/ranking.cc.o.d"
+  "CMakeFiles/comx_core.dir/tota_greedy.cc.o"
+  "CMakeFiles/comx_core.dir/tota_greedy.cc.o.d"
+  "libcomx_core.a"
+  "libcomx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/arrival_process.cc" "src/datagen/CMakeFiles/comx_datagen.dir/arrival_process.cc.o" "gcc" "src/datagen/CMakeFiles/comx_datagen.dir/arrival_process.cc.o.d"
+  "/root/repo/src/datagen/city_model.cc" "src/datagen/CMakeFiles/comx_datagen.dir/city_model.cc.o" "gcc" "src/datagen/CMakeFiles/comx_datagen.dir/city_model.cc.o.d"
+  "/root/repo/src/datagen/dataset.cc" "src/datagen/CMakeFiles/comx_datagen.dir/dataset.cc.o" "gcc" "src/datagen/CMakeFiles/comx_datagen.dir/dataset.cc.o.d"
+  "/root/repo/src/datagen/density.cc" "src/datagen/CMakeFiles/comx_datagen.dir/density.cc.o" "gcc" "src/datagen/CMakeFiles/comx_datagen.dir/density.cc.o.d"
+  "/root/repo/src/datagen/real_like.cc" "src/datagen/CMakeFiles/comx_datagen.dir/real_like.cc.o" "gcc" "src/datagen/CMakeFiles/comx_datagen.dir/real_like.cc.o.d"
+  "/root/repo/src/datagen/synthetic.cc" "src/datagen/CMakeFiles/comx_datagen.dir/synthetic.cc.o" "gcc" "src/datagen/CMakeFiles/comx_datagen.dir/synthetic.cc.o.d"
+  "/root/repo/src/datagen/value_model.cc" "src/datagen/CMakeFiles/comx_datagen.dir/value_model.cc.o" "gcc" "src/datagen/CMakeFiles/comx_datagen.dir/value_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/comx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/comx_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/comx_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_datagen.dir/arrival_process.cc.o"
+  "CMakeFiles/comx_datagen.dir/arrival_process.cc.o.d"
+  "CMakeFiles/comx_datagen.dir/city_model.cc.o"
+  "CMakeFiles/comx_datagen.dir/city_model.cc.o.d"
+  "CMakeFiles/comx_datagen.dir/dataset.cc.o"
+  "CMakeFiles/comx_datagen.dir/dataset.cc.o.d"
+  "CMakeFiles/comx_datagen.dir/density.cc.o"
+  "CMakeFiles/comx_datagen.dir/density.cc.o.d"
+  "CMakeFiles/comx_datagen.dir/real_like.cc.o"
+  "CMakeFiles/comx_datagen.dir/real_like.cc.o.d"
+  "CMakeFiles/comx_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/comx_datagen.dir/synthetic.cc.o.d"
+  "CMakeFiles/comx_datagen.dir/value_model.cc.o"
+  "CMakeFiles/comx_datagen.dir/value_model.cc.o.d"
+  "libcomx_datagen.a"
+  "libcomx_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

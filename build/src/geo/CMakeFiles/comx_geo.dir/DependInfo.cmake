@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/bbox.cc" "src/geo/CMakeFiles/comx_geo.dir/bbox.cc.o" "gcc" "src/geo/CMakeFiles/comx_geo.dir/bbox.cc.o.d"
+  "/root/repo/src/geo/distance.cc" "src/geo/CMakeFiles/comx_geo.dir/distance.cc.o" "gcc" "src/geo/CMakeFiles/comx_geo.dir/distance.cc.o.d"
+  "/root/repo/src/geo/grid_index.cc" "src/geo/CMakeFiles/comx_geo.dir/grid_index.cc.o" "gcc" "src/geo/CMakeFiles/comx_geo.dir/grid_index.cc.o.d"
+  "/root/repo/src/geo/kd_tree.cc" "src/geo/CMakeFiles/comx_geo.dir/kd_tree.cc.o" "gcc" "src/geo/CMakeFiles/comx_geo.dir/kd_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/comx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_geo.dir/bbox.cc.o"
+  "CMakeFiles/comx_geo.dir/bbox.cc.o.d"
+  "CMakeFiles/comx_geo.dir/distance.cc.o"
+  "CMakeFiles/comx_geo.dir/distance.cc.o.d"
+  "CMakeFiles/comx_geo.dir/grid_index.cc.o"
+  "CMakeFiles/comx_geo.dir/grid_index.cc.o.d"
+  "CMakeFiles/comx_geo.dir/kd_tree.cc.o"
+  "CMakeFiles/comx_geo.dir/kd_tree.cc.o.d"
+  "libcomx_geo.a"
+  "libcomx_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

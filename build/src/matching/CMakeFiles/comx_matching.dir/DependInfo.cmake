@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/auction.cc" "src/matching/CMakeFiles/comx_matching.dir/auction.cc.o" "gcc" "src/matching/CMakeFiles/comx_matching.dir/auction.cc.o.d"
+  "/root/repo/src/matching/bipartite_graph.cc" "src/matching/CMakeFiles/comx_matching.dir/bipartite_graph.cc.o" "gcc" "src/matching/CMakeFiles/comx_matching.dir/bipartite_graph.cc.o.d"
+  "/root/repo/src/matching/greedy_offline.cc" "src/matching/CMakeFiles/comx_matching.dir/greedy_offline.cc.o" "gcc" "src/matching/CMakeFiles/comx_matching.dir/greedy_offline.cc.o.d"
+  "/root/repo/src/matching/hopcroft_karp.cc" "src/matching/CMakeFiles/comx_matching.dir/hopcroft_karp.cc.o" "gcc" "src/matching/CMakeFiles/comx_matching.dir/hopcroft_karp.cc.o.d"
+  "/root/repo/src/matching/hungarian.cc" "src/matching/CMakeFiles/comx_matching.dir/hungarian.cc.o" "gcc" "src/matching/CMakeFiles/comx_matching.dir/hungarian.cc.o.d"
+  "/root/repo/src/matching/min_cost_flow.cc" "src/matching/CMakeFiles/comx_matching.dir/min_cost_flow.cc.o" "gcc" "src/matching/CMakeFiles/comx_matching.dir/min_cost_flow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/comx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/comx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/comx_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_matching.dir/auction.cc.o"
+  "CMakeFiles/comx_matching.dir/auction.cc.o.d"
+  "CMakeFiles/comx_matching.dir/bipartite_graph.cc.o"
+  "CMakeFiles/comx_matching.dir/bipartite_graph.cc.o.d"
+  "CMakeFiles/comx_matching.dir/greedy_offline.cc.o"
+  "CMakeFiles/comx_matching.dir/greedy_offline.cc.o.d"
+  "CMakeFiles/comx_matching.dir/hopcroft_karp.cc.o"
+  "CMakeFiles/comx_matching.dir/hopcroft_karp.cc.o.d"
+  "CMakeFiles/comx_matching.dir/hungarian.cc.o"
+  "CMakeFiles/comx_matching.dir/hungarian.cc.o.d"
+  "CMakeFiles/comx_matching.dir/min_cost_flow.cc.o"
+  "CMakeFiles/comx_matching.dir/min_cost_flow.cc.o.d"
+  "libcomx_matching.a"
+  "libcomx_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcomx_matching.a"
+)

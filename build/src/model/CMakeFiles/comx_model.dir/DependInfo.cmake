@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/arrival_stream.cc" "src/model/CMakeFiles/comx_model.dir/arrival_stream.cc.o" "gcc" "src/model/CMakeFiles/comx_model.dir/arrival_stream.cc.o.d"
+  "/root/repo/src/model/constraints.cc" "src/model/CMakeFiles/comx_model.dir/constraints.cc.o" "gcc" "src/model/CMakeFiles/comx_model.dir/constraints.cc.o.d"
+  "/root/repo/src/model/event.cc" "src/model/CMakeFiles/comx_model.dir/event.cc.o" "gcc" "src/model/CMakeFiles/comx_model.dir/event.cc.o.d"
+  "/root/repo/src/model/instance.cc" "src/model/CMakeFiles/comx_model.dir/instance.cc.o" "gcc" "src/model/CMakeFiles/comx_model.dir/instance.cc.o.d"
+  "/root/repo/src/model/request.cc" "src/model/CMakeFiles/comx_model.dir/request.cc.o" "gcc" "src/model/CMakeFiles/comx_model.dir/request.cc.o.d"
+  "/root/repo/src/model/worker.cc" "src/model/CMakeFiles/comx_model.dir/worker.cc.o" "gcc" "src/model/CMakeFiles/comx_model.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/comx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/comx_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_model.dir/arrival_stream.cc.o"
+  "CMakeFiles/comx_model.dir/arrival_stream.cc.o.d"
+  "CMakeFiles/comx_model.dir/constraints.cc.o"
+  "CMakeFiles/comx_model.dir/constraints.cc.o.d"
+  "CMakeFiles/comx_model.dir/event.cc.o"
+  "CMakeFiles/comx_model.dir/event.cc.o.d"
+  "CMakeFiles/comx_model.dir/instance.cc.o"
+  "CMakeFiles/comx_model.dir/instance.cc.o.d"
+  "CMakeFiles/comx_model.dir/request.cc.o"
+  "CMakeFiles/comx_model.dir/request.cc.o.d"
+  "CMakeFiles/comx_model.dir/worker.cc.o"
+  "CMakeFiles/comx_model.dir/worker.cc.o.d"
+  "libcomx_model.a"
+  "libcomx_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pricing/acceptance_model.cc" "src/pricing/CMakeFiles/comx_pricing.dir/acceptance_model.cc.o" "gcc" "src/pricing/CMakeFiles/comx_pricing.dir/acceptance_model.cc.o.d"
+  "/root/repo/src/pricing/history.cc" "src/pricing/CMakeFiles/comx_pricing.dir/history.cc.o" "gcc" "src/pricing/CMakeFiles/comx_pricing.dir/history.cc.o.d"
+  "/root/repo/src/pricing/mer_pricer.cc" "src/pricing/CMakeFiles/comx_pricing.dir/mer_pricer.cc.o" "gcc" "src/pricing/CMakeFiles/comx_pricing.dir/mer_pricer.cc.o.d"
+  "/root/repo/src/pricing/min_payment_estimator.cc" "src/pricing/CMakeFiles/comx_pricing.dir/min_payment_estimator.cc.o" "gcc" "src/pricing/CMakeFiles/comx_pricing.dir/min_payment_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/comx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/comx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/comx_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

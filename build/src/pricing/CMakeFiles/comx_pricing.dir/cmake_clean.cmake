@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_pricing.dir/acceptance_model.cc.o"
+  "CMakeFiles/comx_pricing.dir/acceptance_model.cc.o.d"
+  "CMakeFiles/comx_pricing.dir/history.cc.o"
+  "CMakeFiles/comx_pricing.dir/history.cc.o.d"
+  "CMakeFiles/comx_pricing.dir/mer_pricer.cc.o"
+  "CMakeFiles/comx_pricing.dir/mer_pricer.cc.o.d"
+  "CMakeFiles/comx_pricing.dir/min_payment_estimator.cc.o"
+  "CMakeFiles/comx_pricing.dir/min_payment_estimator.cc.o.d"
+  "libcomx_pricing.a"
+  "libcomx_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/road_generator.cc" "src/roadnet/CMakeFiles/comx_roadnet.dir/road_generator.cc.o" "gcc" "src/roadnet/CMakeFiles/comx_roadnet.dir/road_generator.cc.o.d"
+  "/root/repo/src/roadnet/road_graph.cc" "src/roadnet/CMakeFiles/comx_roadnet.dir/road_graph.cc.o" "gcc" "src/roadnet/CMakeFiles/comx_roadnet.dir/road_graph.cc.o.d"
+  "/root/repo/src/roadnet/road_metric.cc" "src/roadnet/CMakeFiles/comx_roadnet.dir/road_metric.cc.o" "gcc" "src/roadnet/CMakeFiles/comx_roadnet.dir/road_metric.cc.o.d"
+  "/root/repo/src/roadnet/shortest_path.cc" "src/roadnet/CMakeFiles/comx_roadnet.dir/shortest_path.cc.o" "gcc" "src/roadnet/CMakeFiles/comx_roadnet.dir/shortest_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/comx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/comx_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_roadnet.dir/road_generator.cc.o"
+  "CMakeFiles/comx_roadnet.dir/road_generator.cc.o.d"
+  "CMakeFiles/comx_roadnet.dir/road_graph.cc.o"
+  "CMakeFiles/comx_roadnet.dir/road_graph.cc.o.d"
+  "CMakeFiles/comx_roadnet.dir/road_metric.cc.o"
+  "CMakeFiles/comx_roadnet.dir/road_metric.cc.o.d"
+  "CMakeFiles/comx_roadnet.dir/shortest_path.cc.o"
+  "CMakeFiles/comx_roadnet.dir/shortest_path.cc.o.d"
+  "libcomx_roadnet.a"
+  "libcomx_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/batch_simulator.cc" "src/sim/CMakeFiles/comx_sim.dir/batch_simulator.cc.o" "gcc" "src/sim/CMakeFiles/comx_sim.dir/batch_simulator.cc.o.d"
+  "/root/repo/src/sim/competitive_ratio.cc" "src/sim/CMakeFiles/comx_sim.dir/competitive_ratio.cc.o" "gcc" "src/sim/CMakeFiles/comx_sim.dir/competitive_ratio.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/comx_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/comx_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/multi_day.cc" "src/sim/CMakeFiles/comx_sim.dir/multi_day.cc.o" "gcc" "src/sim/CMakeFiles/comx_sim.dir/multi_day.cc.o.d"
+  "/root/repo/src/sim/offline_schedule.cc" "src/sim/CMakeFiles/comx_sim.dir/offline_schedule.cc.o" "gcc" "src/sim/CMakeFiles/comx_sim.dir/offline_schedule.cc.o.d"
+  "/root/repo/src/sim/platform_view.cc" "src/sim/CMakeFiles/comx_sim.dir/platform_view.cc.o" "gcc" "src/sim/CMakeFiles/comx_sim.dir/platform_view.cc.o.d"
+  "/root/repo/src/sim/result_io.cc" "src/sim/CMakeFiles/comx_sim.dir/result_io.cc.o" "gcc" "src/sim/CMakeFiles/comx_sim.dir/result_io.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/comx_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/comx_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/worker_pool.cc" "src/sim/CMakeFiles/comx_sim.dir/worker_pool.cc.o" "gcc" "src/sim/CMakeFiles/comx_sim.dir/worker_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/comx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/comx_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/comx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/comx_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/comx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/comx_matching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_sim.dir/batch_simulator.cc.o"
+  "CMakeFiles/comx_sim.dir/batch_simulator.cc.o.d"
+  "CMakeFiles/comx_sim.dir/competitive_ratio.cc.o"
+  "CMakeFiles/comx_sim.dir/competitive_ratio.cc.o.d"
+  "CMakeFiles/comx_sim.dir/metrics.cc.o"
+  "CMakeFiles/comx_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/comx_sim.dir/multi_day.cc.o"
+  "CMakeFiles/comx_sim.dir/multi_day.cc.o.d"
+  "CMakeFiles/comx_sim.dir/offline_schedule.cc.o"
+  "CMakeFiles/comx_sim.dir/offline_schedule.cc.o.d"
+  "CMakeFiles/comx_sim.dir/platform_view.cc.o"
+  "CMakeFiles/comx_sim.dir/platform_view.cc.o.d"
+  "CMakeFiles/comx_sim.dir/result_io.cc.o"
+  "CMakeFiles/comx_sim.dir/result_io.cc.o.d"
+  "CMakeFiles/comx_sim.dir/simulator.cc.o"
+  "CMakeFiles/comx_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/comx_sim.dir/worker_pool.cc.o"
+  "CMakeFiles/comx_sim.dir/worker_pool.cc.o.d"
+  "libcomx_sim.a"
+  "libcomx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_util.dir/csv.cc.o"
+  "CMakeFiles/comx_util.dir/csv.cc.o.d"
+  "CMakeFiles/comx_util.dir/logging.cc.o"
+  "CMakeFiles/comx_util.dir/logging.cc.o.d"
+  "CMakeFiles/comx_util.dir/memory_meter.cc.o"
+  "CMakeFiles/comx_util.dir/memory_meter.cc.o.d"
+  "CMakeFiles/comx_util.dir/reservoir.cc.o"
+  "CMakeFiles/comx_util.dir/reservoir.cc.o.d"
+  "CMakeFiles/comx_util.dir/rng.cc.o"
+  "CMakeFiles/comx_util.dir/rng.cc.o.d"
+  "CMakeFiles/comx_util.dir/stats.cc.o"
+  "CMakeFiles/comx_util.dir/stats.cc.o.d"
+  "CMakeFiles/comx_util.dir/status.cc.o"
+  "CMakeFiles/comx_util.dir/status.cc.o.d"
+  "CMakeFiles/comx_util.dir/string_util.cc.o"
+  "CMakeFiles/comx_util.dir/string_util.cc.o.d"
+  "CMakeFiles/comx_util.dir/thread_pool.cc.o"
+  "CMakeFiles/comx_util.dir/thread_pool.cc.o.d"
+  "libcomx_util.a"
+  "libcomx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/candidate_cap_test.cc" "tests/CMakeFiles/comx_core_test.dir/core/candidate_cap_test.cc.o" "gcc" "tests/CMakeFiles/comx_core_test.dir/core/candidate_cap_test.cc.o.d"
+  "/root/repo/tests/core/cost_aware_test.cc" "tests/CMakeFiles/comx_core_test.dir/core/cost_aware_test.cc.o" "gcc" "tests/CMakeFiles/comx_core_test.dir/core/cost_aware_test.cc.o.d"
+  "/root/repo/tests/core/dem_com_test.cc" "tests/CMakeFiles/comx_core_test.dir/core/dem_com_test.cc.o" "gcc" "tests/CMakeFiles/comx_core_test.dir/core/dem_com_test.cc.o.d"
+  "/root/repo/tests/core/greedy_rt_test.cc" "tests/CMakeFiles/comx_core_test.dir/core/greedy_rt_test.cc.o" "gcc" "tests/CMakeFiles/comx_core_test.dir/core/greedy_rt_test.cc.o.d"
+  "/root/repo/tests/core/matcher_variants_test.cc" "tests/CMakeFiles/comx_core_test.dir/core/matcher_variants_test.cc.o" "gcc" "tests/CMakeFiles/comx_core_test.dir/core/matcher_variants_test.cc.o.d"
+  "/root/repo/tests/core/offline_opt_test.cc" "tests/CMakeFiles/comx_core_test.dir/core/offline_opt_test.cc.o" "gcc" "tests/CMakeFiles/comx_core_test.dir/core/offline_opt_test.cc.o.d"
+  "/root/repo/tests/core/paper_example_test.cc" "tests/CMakeFiles/comx_core_test.dir/core/paper_example_test.cc.o" "gcc" "tests/CMakeFiles/comx_core_test.dir/core/paper_example_test.cc.o.d"
+  "/root/repo/tests/core/ram_com_test.cc" "tests/CMakeFiles/comx_core_test.dir/core/ram_com_test.cc.o" "gcc" "tests/CMakeFiles/comx_core_test.dir/core/ram_com_test.cc.o.d"
+  "/root/repo/tests/core/ranking_test.cc" "tests/CMakeFiles/comx_core_test.dir/core/ranking_test.cc.o" "gcc" "tests/CMakeFiles/comx_core_test.dir/core/ranking_test.cc.o.d"
+  "/root/repo/tests/core/tota_greedy_test.cc" "tests/CMakeFiles/comx_core_test.dir/core/tota_greedy_test.cc.o" "gcc" "tests/CMakeFiles/comx_core_test.dir/core/tota_greedy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/comx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/comx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/comx_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/comx_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/comx_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/comx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/comx_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/comx_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/comx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

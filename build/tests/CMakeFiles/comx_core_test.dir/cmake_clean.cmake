@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_core_test.dir/core/candidate_cap_test.cc.o"
+  "CMakeFiles/comx_core_test.dir/core/candidate_cap_test.cc.o.d"
+  "CMakeFiles/comx_core_test.dir/core/cost_aware_test.cc.o"
+  "CMakeFiles/comx_core_test.dir/core/cost_aware_test.cc.o.d"
+  "CMakeFiles/comx_core_test.dir/core/dem_com_test.cc.o"
+  "CMakeFiles/comx_core_test.dir/core/dem_com_test.cc.o.d"
+  "CMakeFiles/comx_core_test.dir/core/greedy_rt_test.cc.o"
+  "CMakeFiles/comx_core_test.dir/core/greedy_rt_test.cc.o.d"
+  "CMakeFiles/comx_core_test.dir/core/matcher_variants_test.cc.o"
+  "CMakeFiles/comx_core_test.dir/core/matcher_variants_test.cc.o.d"
+  "CMakeFiles/comx_core_test.dir/core/offline_opt_test.cc.o"
+  "CMakeFiles/comx_core_test.dir/core/offline_opt_test.cc.o.d"
+  "CMakeFiles/comx_core_test.dir/core/paper_example_test.cc.o"
+  "CMakeFiles/comx_core_test.dir/core/paper_example_test.cc.o.d"
+  "CMakeFiles/comx_core_test.dir/core/ram_com_test.cc.o"
+  "CMakeFiles/comx_core_test.dir/core/ram_com_test.cc.o.d"
+  "CMakeFiles/comx_core_test.dir/core/ranking_test.cc.o"
+  "CMakeFiles/comx_core_test.dir/core/ranking_test.cc.o.d"
+  "CMakeFiles/comx_core_test.dir/core/tota_greedy_test.cc.o"
+  "CMakeFiles/comx_core_test.dir/core/tota_greedy_test.cc.o.d"
+  "comx_core_test"
+  "comx_core_test.pdb"
+  "comx_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

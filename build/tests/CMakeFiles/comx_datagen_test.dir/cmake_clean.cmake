@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_datagen_test.dir/datagen/arrival_process_test.cc.o"
+  "CMakeFiles/comx_datagen_test.dir/datagen/arrival_process_test.cc.o.d"
+  "CMakeFiles/comx_datagen_test.dir/datagen/city_model_test.cc.o"
+  "CMakeFiles/comx_datagen_test.dir/datagen/city_model_test.cc.o.d"
+  "CMakeFiles/comx_datagen_test.dir/datagen/dataset_test.cc.o"
+  "CMakeFiles/comx_datagen_test.dir/datagen/dataset_test.cc.o.d"
+  "CMakeFiles/comx_datagen_test.dir/datagen/density_test.cc.o"
+  "CMakeFiles/comx_datagen_test.dir/datagen/density_test.cc.o.d"
+  "CMakeFiles/comx_datagen_test.dir/datagen/real_like_test.cc.o"
+  "CMakeFiles/comx_datagen_test.dir/datagen/real_like_test.cc.o.d"
+  "CMakeFiles/comx_datagen_test.dir/datagen/synthetic_test.cc.o"
+  "CMakeFiles/comx_datagen_test.dir/datagen/synthetic_test.cc.o.d"
+  "CMakeFiles/comx_datagen_test.dir/datagen/value_model_test.cc.o"
+  "CMakeFiles/comx_datagen_test.dir/datagen/value_model_test.cc.o.d"
+  "comx_datagen_test"
+  "comx_datagen_test.pdb"
+  "comx_datagen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_datagen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

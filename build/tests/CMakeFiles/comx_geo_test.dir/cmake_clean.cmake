@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_geo_test.dir/geo/bbox_test.cc.o"
+  "CMakeFiles/comx_geo_test.dir/geo/bbox_test.cc.o.d"
+  "CMakeFiles/comx_geo_test.dir/geo/distance_test.cc.o"
+  "CMakeFiles/comx_geo_test.dir/geo/distance_test.cc.o.d"
+  "CMakeFiles/comx_geo_test.dir/geo/grid_index_test.cc.o"
+  "CMakeFiles/comx_geo_test.dir/geo/grid_index_test.cc.o.d"
+  "CMakeFiles/comx_geo_test.dir/geo/kd_tree_test.cc.o"
+  "CMakeFiles/comx_geo_test.dir/geo/kd_tree_test.cc.o.d"
+  "CMakeFiles/comx_geo_test.dir/geo/point_test.cc.o"
+  "CMakeFiles/comx_geo_test.dir/geo/point_test.cc.o.d"
+  "comx_geo_test"
+  "comx_geo_test.pdb"
+  "comx_geo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_geo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

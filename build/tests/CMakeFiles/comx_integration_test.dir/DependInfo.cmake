@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/cross_solver_test.cc" "tests/CMakeFiles/comx_integration_test.dir/integration/cross_solver_test.cc.o" "gcc" "tests/CMakeFiles/comx_integration_test.dir/integration/cross_solver_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/comx_integration_test.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/comx_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/fuzz_test.cc" "tests/CMakeFiles/comx_integration_test.dir/integration/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/comx_integration_test.dir/integration/fuzz_test.cc.o.d"
+  "/root/repo/tests/integration/invariants_test.cc" "tests/CMakeFiles/comx_integration_test.dir/integration/invariants_test.cc.o" "gcc" "tests/CMakeFiles/comx_integration_test.dir/integration/invariants_test.cc.o.d"
+  "/root/repo/tests/integration/metamorphic_test.cc" "tests/CMakeFiles/comx_integration_test.dir/integration/metamorphic_test.cc.o" "gcc" "tests/CMakeFiles/comx_integration_test.dir/integration/metamorphic_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/comx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/comx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/comx_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/comx_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/comx_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/comx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/comx_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/comx_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/comx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_integration_test.dir/integration/cross_solver_test.cc.o"
+  "CMakeFiles/comx_integration_test.dir/integration/cross_solver_test.cc.o.d"
+  "CMakeFiles/comx_integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/comx_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/comx_integration_test.dir/integration/fuzz_test.cc.o"
+  "CMakeFiles/comx_integration_test.dir/integration/fuzz_test.cc.o.d"
+  "CMakeFiles/comx_integration_test.dir/integration/invariants_test.cc.o"
+  "CMakeFiles/comx_integration_test.dir/integration/invariants_test.cc.o.d"
+  "CMakeFiles/comx_integration_test.dir/integration/metamorphic_test.cc.o"
+  "CMakeFiles/comx_integration_test.dir/integration/metamorphic_test.cc.o.d"
+  "comx_integration_test"
+  "comx_integration_test.pdb"
+  "comx_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

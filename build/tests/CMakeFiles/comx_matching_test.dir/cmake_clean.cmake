@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_matching_test.dir/matching/auction_test.cc.o"
+  "CMakeFiles/comx_matching_test.dir/matching/auction_test.cc.o.d"
+  "CMakeFiles/comx_matching_test.dir/matching/bipartite_graph_test.cc.o"
+  "CMakeFiles/comx_matching_test.dir/matching/bipartite_graph_test.cc.o.d"
+  "CMakeFiles/comx_matching_test.dir/matching/greedy_offline_test.cc.o"
+  "CMakeFiles/comx_matching_test.dir/matching/greedy_offline_test.cc.o.d"
+  "CMakeFiles/comx_matching_test.dir/matching/hopcroft_karp_test.cc.o"
+  "CMakeFiles/comx_matching_test.dir/matching/hopcroft_karp_test.cc.o.d"
+  "CMakeFiles/comx_matching_test.dir/matching/hungarian_test.cc.o"
+  "CMakeFiles/comx_matching_test.dir/matching/hungarian_test.cc.o.d"
+  "CMakeFiles/comx_matching_test.dir/matching/matching_property_test.cc.o"
+  "CMakeFiles/comx_matching_test.dir/matching/matching_property_test.cc.o.d"
+  "CMakeFiles/comx_matching_test.dir/matching/min_cost_flow_test.cc.o"
+  "CMakeFiles/comx_matching_test.dir/matching/min_cost_flow_test.cc.o.d"
+  "comx_matching_test"
+  "comx_matching_test.pdb"
+  "comx_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

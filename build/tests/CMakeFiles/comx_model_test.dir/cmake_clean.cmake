@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_model_test.dir/model/arrival_stream_test.cc.o"
+  "CMakeFiles/comx_model_test.dir/model/arrival_stream_test.cc.o.d"
+  "CMakeFiles/comx_model_test.dir/model/constraints_test.cc.o"
+  "CMakeFiles/comx_model_test.dir/model/constraints_test.cc.o.d"
+  "CMakeFiles/comx_model_test.dir/model/entities_test.cc.o"
+  "CMakeFiles/comx_model_test.dir/model/entities_test.cc.o.d"
+  "CMakeFiles/comx_model_test.dir/model/instance_test.cc.o"
+  "CMakeFiles/comx_model_test.dir/model/instance_test.cc.o.d"
+  "comx_model_test"
+  "comx_model_test.pdb"
+  "comx_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_pricing_test.dir/pricing/acceptance_mode_test.cc.o"
+  "CMakeFiles/comx_pricing_test.dir/pricing/acceptance_mode_test.cc.o.d"
+  "CMakeFiles/comx_pricing_test.dir/pricing/acceptance_model_test.cc.o"
+  "CMakeFiles/comx_pricing_test.dir/pricing/acceptance_model_test.cc.o.d"
+  "CMakeFiles/comx_pricing_test.dir/pricing/history_test.cc.o"
+  "CMakeFiles/comx_pricing_test.dir/pricing/history_test.cc.o.d"
+  "CMakeFiles/comx_pricing_test.dir/pricing/mer_pricer_test.cc.o"
+  "CMakeFiles/comx_pricing_test.dir/pricing/mer_pricer_test.cc.o.d"
+  "CMakeFiles/comx_pricing_test.dir/pricing/min_payment_estimator_test.cc.o"
+  "CMakeFiles/comx_pricing_test.dir/pricing/min_payment_estimator_test.cc.o.d"
+  "comx_pricing_test"
+  "comx_pricing_test.pdb"
+  "comx_pricing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_pricing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

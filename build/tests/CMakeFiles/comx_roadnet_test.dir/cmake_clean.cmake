@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_roadnet_test.dir/roadnet/road_generator_test.cc.o"
+  "CMakeFiles/comx_roadnet_test.dir/roadnet/road_generator_test.cc.o.d"
+  "CMakeFiles/comx_roadnet_test.dir/roadnet/road_graph_test.cc.o"
+  "CMakeFiles/comx_roadnet_test.dir/roadnet/road_graph_test.cc.o.d"
+  "CMakeFiles/comx_roadnet_test.dir/roadnet/road_metric_test.cc.o"
+  "CMakeFiles/comx_roadnet_test.dir/roadnet/road_metric_test.cc.o.d"
+  "CMakeFiles/comx_roadnet_test.dir/roadnet/shortest_path_test.cc.o"
+  "CMakeFiles/comx_roadnet_test.dir/roadnet/shortest_path_test.cc.o.d"
+  "comx_roadnet_test"
+  "comx_roadnet_test.pdb"
+  "comx_roadnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_roadnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

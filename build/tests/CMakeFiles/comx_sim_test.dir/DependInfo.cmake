@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/batch_simulator_test.cc" "tests/CMakeFiles/comx_sim_test.dir/sim/batch_simulator_test.cc.o" "gcc" "tests/CMakeFiles/comx_sim_test.dir/sim/batch_simulator_test.cc.o.d"
+  "/root/repo/tests/sim/competitive_ratio_test.cc" "tests/CMakeFiles/comx_sim_test.dir/sim/competitive_ratio_test.cc.o" "gcc" "tests/CMakeFiles/comx_sim_test.dir/sim/competitive_ratio_test.cc.o.d"
+  "/root/repo/tests/sim/metrics_test.cc" "tests/CMakeFiles/comx_sim_test.dir/sim/metrics_test.cc.o" "gcc" "tests/CMakeFiles/comx_sim_test.dir/sim/metrics_test.cc.o.d"
+  "/root/repo/tests/sim/multi_day_test.cc" "tests/CMakeFiles/comx_sim_test.dir/sim/multi_day_test.cc.o" "gcc" "tests/CMakeFiles/comx_sim_test.dir/sim/multi_day_test.cc.o.d"
+  "/root/repo/tests/sim/offline_schedule_test.cc" "tests/CMakeFiles/comx_sim_test.dir/sim/offline_schedule_test.cc.o" "gcc" "tests/CMakeFiles/comx_sim_test.dir/sim/offline_schedule_test.cc.o.d"
+  "/root/repo/tests/sim/reservation_mode_test.cc" "tests/CMakeFiles/comx_sim_test.dir/sim/reservation_mode_test.cc.o" "gcc" "tests/CMakeFiles/comx_sim_test.dir/sim/reservation_mode_test.cc.o.d"
+  "/root/repo/tests/sim/result_io_test.cc" "tests/CMakeFiles/comx_sim_test.dir/sim/result_io_test.cc.o" "gcc" "tests/CMakeFiles/comx_sim_test.dir/sim/result_io_test.cc.o.d"
+  "/root/repo/tests/sim/simulator_test.cc" "tests/CMakeFiles/comx_sim_test.dir/sim/simulator_test.cc.o" "gcc" "tests/CMakeFiles/comx_sim_test.dir/sim/simulator_test.cc.o.d"
+  "/root/repo/tests/sim/worker_pool_test.cc" "tests/CMakeFiles/comx_sim_test.dir/sim/worker_pool_test.cc.o" "gcc" "tests/CMakeFiles/comx_sim_test.dir/sim/worker_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/comx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/comx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/comx_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/comx_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/comx_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/comx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/comx_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/comx_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/comx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

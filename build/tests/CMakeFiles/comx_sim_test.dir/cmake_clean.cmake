@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_sim_test.dir/sim/batch_simulator_test.cc.o"
+  "CMakeFiles/comx_sim_test.dir/sim/batch_simulator_test.cc.o.d"
+  "CMakeFiles/comx_sim_test.dir/sim/competitive_ratio_test.cc.o"
+  "CMakeFiles/comx_sim_test.dir/sim/competitive_ratio_test.cc.o.d"
+  "CMakeFiles/comx_sim_test.dir/sim/metrics_test.cc.o"
+  "CMakeFiles/comx_sim_test.dir/sim/metrics_test.cc.o.d"
+  "CMakeFiles/comx_sim_test.dir/sim/multi_day_test.cc.o"
+  "CMakeFiles/comx_sim_test.dir/sim/multi_day_test.cc.o.d"
+  "CMakeFiles/comx_sim_test.dir/sim/offline_schedule_test.cc.o"
+  "CMakeFiles/comx_sim_test.dir/sim/offline_schedule_test.cc.o.d"
+  "CMakeFiles/comx_sim_test.dir/sim/reservation_mode_test.cc.o"
+  "CMakeFiles/comx_sim_test.dir/sim/reservation_mode_test.cc.o.d"
+  "CMakeFiles/comx_sim_test.dir/sim/result_io_test.cc.o"
+  "CMakeFiles/comx_sim_test.dir/sim/result_io_test.cc.o.d"
+  "CMakeFiles/comx_sim_test.dir/sim/simulator_test.cc.o"
+  "CMakeFiles/comx_sim_test.dir/sim/simulator_test.cc.o.d"
+  "CMakeFiles/comx_sim_test.dir/sim/worker_pool_test.cc.o"
+  "CMakeFiles/comx_sim_test.dir/sim/worker_pool_test.cc.o.d"
+  "comx_sim_test"
+  "comx_sim_test.pdb"
+  "comx_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

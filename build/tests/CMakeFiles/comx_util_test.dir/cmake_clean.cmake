@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_util_test.dir/util/csv_test.cc.o"
+  "CMakeFiles/comx_util_test.dir/util/csv_test.cc.o.d"
+  "CMakeFiles/comx_util_test.dir/util/logging_timer_test.cc.o"
+  "CMakeFiles/comx_util_test.dir/util/logging_timer_test.cc.o.d"
+  "CMakeFiles/comx_util_test.dir/util/memory_meter_test.cc.o"
+  "CMakeFiles/comx_util_test.dir/util/memory_meter_test.cc.o.d"
+  "CMakeFiles/comx_util_test.dir/util/reservoir_test.cc.o"
+  "CMakeFiles/comx_util_test.dir/util/reservoir_test.cc.o.d"
+  "CMakeFiles/comx_util_test.dir/util/result_test.cc.o"
+  "CMakeFiles/comx_util_test.dir/util/result_test.cc.o.d"
+  "CMakeFiles/comx_util_test.dir/util/rng_test.cc.o"
+  "CMakeFiles/comx_util_test.dir/util/rng_test.cc.o.d"
+  "CMakeFiles/comx_util_test.dir/util/stats_test.cc.o"
+  "CMakeFiles/comx_util_test.dir/util/stats_test.cc.o.d"
+  "CMakeFiles/comx_util_test.dir/util/status_test.cc.o"
+  "CMakeFiles/comx_util_test.dir/util/status_test.cc.o.d"
+  "CMakeFiles/comx_util_test.dir/util/string_util_test.cc.o"
+  "CMakeFiles/comx_util_test.dir/util/string_util_test.cc.o.d"
+  "CMakeFiles/comx_util_test.dir/util/thread_pool_test.cc.o"
+  "CMakeFiles/comx_util_test.dir/util/thread_pool_test.cc.o.d"
+  "comx_util_test"
+  "comx_util_test.pdb"
+  "comx_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/comx_util_test[1]_include.cmake")
+include("/root/repo/build/tests/comx_geo_test[1]_include.cmake")
+include("/root/repo/build/tests/comx_model_test[1]_include.cmake")
+include("/root/repo/build/tests/comx_matching_test[1]_include.cmake")
+include("/root/repo/build/tests/comx_pricing_test[1]_include.cmake")
+include("/root/repo/build/tests/comx_core_test[1]_include.cmake")
+include("/root/repo/build/tests/comx_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/comx_datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/comx_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/comx_roadnet_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comx_cli.dir/comx_cli.cc.o"
+  "CMakeFiles/comx_cli.dir/comx_cli.cc.o.d"
+  "comx_cli"
+  "comx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
