@@ -1,5 +1,7 @@
 #include "core/dem_com.h"
 
+#include "obs/span.h"
+
 namespace comx {
 
 void DemCom::Reset(const Instance& /*instance*/, PlatformId /*platform*/,
@@ -9,25 +11,50 @@ void DemCom::Reset(const Instance& /*instance*/, PlatformId /*platform*/,
 }
 
 Decision DemCom::OnRequest(const Request& r, const PlatformView& view) {
+  DecisionStats stats;
   // Lines 3-6: inner workers take absolute priority; nearest one serves.
-  const std::vector<WorkerId> inner = view.FeasibleInnerWorkers(r);
+  std::vector<WorkerId> inner;
+  {
+    COMX_SPAN("candidate_lookup");
+    inner = view.FeasibleInnerWorkers(r);
+  }
+  stats.inner_candidates = static_cast<int32_t>(inner.size());
   if (const WorkerId w = NearestWorker(inner, r, view); w != kInvalidId) {
-    return Decision::Inner(w);
+    Decision d = Decision::Inner(w);
+    d.stats = stats;
+    return d;
   }
 
   // Lines 8-10: candidate outer workers; reject when none. An optional
   // nearest-K cap bounds the pricing cost (see constructor).
-  std::vector<WorkerId> outer = view.FeasibleOuterWorkers(r);
-  if (outer.empty()) return Decision::Reject();
+  std::vector<WorkerId> outer;
+  {
+    COMX_SPAN("candidate_lookup");
+    outer = view.FeasibleOuterWorkers(r);
+  }
+  stats.outer_candidates = static_cast<int32_t>(outer.size());
+  if (outer.empty()) {
+    Decision d = Decision::Reject();
+    d.stats = stats;
+    return d;
+  }
   KeepNearest(&outer, r, view, max_outer_candidates_);
+  stats.priced_candidates = static_cast<int32_t>(outer.size());
 
   // Line 12: estimate the minimum outer payment (Algorithm 2).
   const MinPaymentEstimate estimate = EstimateMinOuterPayment(
       view.acceptance(), outer, r.value, config_, &rng_);
   const double payment = estimate.payment;
+  stats.bisect_iterations = estimate.bisect_iterations;
+  stats.estimator_samples = estimate.samples;
+  stats.estimated_payment = payment;
 
   // Lines 13-14: serving would lose money; reject.
-  if (payment > r.value) return Decision::Reject();
+  if (payment > r.value) {
+    Decision d = Decision::Reject();
+    d.stats = stats;
+    return d;
+  }
 
   // Lines 15-20: each candidate draws its acceptance at the quoted payment.
   ++diag_.outer_offers;
@@ -35,21 +62,28 @@ Decision DemCom::OnRequest(const Request& r, const PlatformView& view) {
   diag_.payment_rate_sum += payment / r.value;
   std::vector<WorkerId> accepting;
   accepting.reserve(outer.size());
-  for (WorkerId w : outer) {
-    if (view.acceptance().Accepts(w, payment, &rng_)) {
-      accepting.push_back(w);
+  {
+    COMX_SPAN("acceptance_draw");
+    for (WorkerId w : outer) {
+      if (view.acceptance().Accepts(w, payment, &rng_)) {
+        accepting.push_back(w);
+      }
     }
   }
+  stats.accepting = static_cast<int32_t>(accepting.size());
 
   // Lines 21-26: nearest accepting worker serves at payment v'_r.
   if (accepting.empty()) {
     Decision d = Decision::Reject();
     d.attempted_outer = true;
+    d.stats = stats;
     return d;
   }
   ++diag_.outer_accepts;
   const WorkerId w = NearestWorker(accepting, r, view);
-  return Decision::Outer(w, payment);
+  Decision d = Decision::Outer(w, payment);
+  d.stats = stats;
+  return d;
 }
 
 }  // namespace comx

@@ -17,6 +17,27 @@
 
 namespace comx {
 
+/// Decision-level observability payload: what the matcher saw and spent
+/// while deciding. Filled by the matchers as a by-product (plain integer
+/// stores, no clocks or RNG), consumed by the simulator's decision trace
+/// (obs/trace.h). Counts are -1 when the corresponding stage did not run.
+struct DecisionStats {
+  /// Feasible inner / outer candidates returned by the index probes.
+  int32_t inner_candidates = -1;
+  int32_t outer_candidates = -1;
+  /// Outer candidates actually priced (after any nearest-K cap).
+  int32_t priced_candidates = -1;
+  /// Candidates accepting the quoted payment in the live Bernoulli /
+  /// reservation draw.
+  int32_t accepting = -1;
+  /// Algorithm 2 effort for this request (0 when pricing did not run).
+  int64_t bisect_iterations = 0;
+  int32_t estimator_samples = 0;
+  /// Quoted outer payment (Alg. 2 estimate or MER argmax); negative when
+  /// no quote was computed.
+  double estimated_payment = -1.0;
+};
+
 /// What the platform decided for one request.
 struct Decision {
   enum class Kind : int8_t { kReject = 0, kInner = 1, kOuter = 2 };
@@ -30,6 +51,8 @@ struct Decision {
   /// price (regardless of whether anyone accepted). Drives the paper's
   /// acceptance-ratio metric |AcpRt| = accepted / offered.
   bool attempted_outer = false;
+  /// Observability by-product; see DecisionStats.
+  DecisionStats stats;
 
   static Decision Reject() { return Decision{}; }
   static Decision Inner(WorkerId w) {

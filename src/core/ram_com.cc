@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/span.h"
+
 namespace comx {
 
 void RamCom::Reset(const Instance& instance, PlatformId /*platform*/,
@@ -25,13 +27,21 @@ void RamCom::Reset(const Instance& instance, PlatformId /*platform*/,
 }
 
 Decision RamCom::OnRequest(const Request& r, const PlatformView& view) {
+  DecisionStats stats;
   // Lines 4-7: high-value requests go to a *random* feasible inner worker,
   // keeping the inner fleet available for big-ticket arrivals.
   if (r.value > threshold_) {
-    const std::vector<WorkerId> inner = view.FeasibleInnerWorkers(r);
+    std::vector<WorkerId> inner;
+    {
+      COMX_SPAN("candidate_lookup");
+      inner = view.FeasibleInnerWorkers(r);
+    }
+    stats.inner_candidates = static_cast<int32_t>(inner.size());
     if (!inner.empty()) {
       const WorkerId w = inner[rng_.PickIndex(inner.size())];
-      return Decision::Inner(w);
+      Decision d = Decision::Inner(w);
+      d.stats = stats;
+      return d;
     }
     // Example 3: a high-value request with no free inner worker falls
     // through to the cooperative path rather than being rejected.
@@ -39,14 +49,32 @@ Decision RamCom::OnRequest(const Request& r, const PlatformView& view) {
 
   // Lines 9-11: price with the maximum-expected-revenue rule, then run
   // DemCOM's acceptance step (Algorithm 1 lines 13-26) at payment v_re.
-  std::vector<WorkerId> outer = view.FeasibleOuterWorkers(r);
-  if (outer.empty()) return Decision::Reject();
+  std::vector<WorkerId> outer;
+  {
+    COMX_SPAN("candidate_lookup");
+    outer = view.FeasibleOuterWorkers(r);
+  }
+  stats.outer_candidates = static_cast<int32_t>(outer.size());
+  if (outer.empty()) {
+    Decision d = Decision::Reject();
+    d.stats = stats;
+    return d;
+  }
   KeepNearest(&outer, r, view, max_outer_candidates_);
+  stats.priced_candidates = static_cast<int32_t>(outer.size());
 
-  const MerQuote quote =
-      ComputeMerQuote(view.acceptance(), outer, r.value, config_);
+  MerQuote quote;
+  {
+    COMX_SPAN("pricing_estimate");
+    quote = ComputeMerQuote(view.acceptance(), outer, r.value, config_);
+  }
   const double payment = quote.payment;
-  if (payment > r.value) return Decision::Reject();
+  stats.estimated_payment = payment;
+  if (payment > r.value) {
+    Decision d = Decision::Reject();
+    d.stats = stats;
+    return d;
+  }
 
   ++diag_.outer_offers;
   diag_.payment_sum += payment;
@@ -55,19 +83,26 @@ Decision RamCom::OnRequest(const Request& r, const PlatformView& view) {
 
   std::vector<WorkerId> accepting;
   accepting.reserve(outer.size());
-  for (WorkerId w : outer) {
-    if (view.acceptance().Accepts(w, payment, &rng_)) {
-      accepting.push_back(w);
+  {
+    COMX_SPAN("acceptance_draw");
+    for (WorkerId w : outer) {
+      if (view.acceptance().Accepts(w, payment, &rng_)) {
+        accepting.push_back(w);
+      }
     }
   }
+  stats.accepting = static_cast<int32_t>(accepting.size());
   if (accepting.empty()) {
     Decision d = Decision::Reject();
     d.attempted_outer = true;
+    d.stats = stats;
     return d;
   }
   ++diag_.outer_accepts;
   const WorkerId w = NearestWorker(accepting, r, view);
-  return Decision::Outer(w, payment);
+  Decision d = Decision::Outer(w, payment);
+  d.stats = stats;
+  return d;
 }
 
 }  // namespace comx

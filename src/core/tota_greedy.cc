@@ -1,5 +1,7 @@
 #include "core/tota_greedy.h"
 
+#include "obs/span.h"
+
 namespace comx {
 
 void TotaGreedy::Reset(const Instance& /*instance*/, PlatformId /*platform*/,
@@ -8,11 +10,23 @@ void TotaGreedy::Reset(const Instance& /*instance*/, PlatformId /*platform*/,
 }
 
 Decision TotaGreedy::OnRequest(const Request& r, const PlatformView& view) {
-  const std::vector<WorkerId> inner = view.FeasibleInnerWorkers(r);
-  if (inner.empty()) return Decision::Reject();
+  std::vector<WorkerId> inner;
+  {
+    COMX_SPAN("candidate_lookup");
+    inner = view.FeasibleInnerWorkers(r);
+  }
+  DecisionStats stats;
+  stats.inner_candidates = static_cast<int32_t>(inner.size());
+  if (inner.empty()) {
+    Decision d = Decision::Reject();
+    d.stats = stats;
+    return d;
+  }
   const WorkerId w = random_choice_ ? inner[rng_.PickIndex(inner.size())]
                                     : NearestWorker(inner, r, view);
-  return Decision::Inner(w);
+  Decision d = Decision::Inner(w);
+  d.stats = stats;
+  return d;
 }
 
 }  // namespace comx

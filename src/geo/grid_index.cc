@@ -8,6 +8,23 @@
 
 namespace comx {
 
+namespace internal {
+
+void RecordGridProbe(size_t hits) {
+  static obs::Counter* const queries =
+      obs::MetricsRegistry::Global().GetCounter(
+          "comx_geo_grid_queries_total",
+          "Radius probes answered by the grid index");
+  static obs::Counter* const hit_count =
+      obs::MetricsRegistry::Global().GetCounter(
+          "comx_geo_grid_hits_total",
+          "Points returned by grid-index radius probes");
+  queries->Inc();
+  hit_count->Inc(static_cast<int64_t>(hits));
+}
+
+}  // namespace internal
+
 GridIndex::GridIndex(double cell_size_km) : cell_size_(cell_size_km) {
   assert(cell_size_km > 0.0);
 }

@@ -15,9 +15,18 @@
 
 #include "geo/bbox.h"
 #include "geo/point.h"
+#include "obs/metrics_registry.h"
 #include "util/status.h"
 
 namespace comx {
+
+namespace internal {
+/// Books one grid radius probe and its hit count into the metrics registry
+/// (comx_geo_grid_queries_total / comx_geo_grid_hits_total). Out-of-line so
+/// the header does not pin the counter lookups; callers skip the call
+/// entirely while collection is disabled.
+void RecordGridProbe(size_t hits);
+}  // namespace internal
 
 /// Spatial hash grid over an unbounded plane (cells are hashed, so points
 /// outside any pre-declared area are fine).
@@ -80,7 +89,10 @@ class GridIndex {
 template <typename Fn>
 size_t GridIndex::ForEachInRadius(const Point& center, double radius,
                                   Fn&& fn) const {
-  if (radius < 0) return 0;
+  if (radius < 0) {
+    if (obs::CollectionEnabled()) [[unlikely]] internal::RecordGridProbe(0);
+    return 0;
+  }
   size_t hits = 0;
   const int32_t cx_lo = CellCoordX(center.x - radius);
   const int32_t cx_hi = CellCoordX(center.x + radius);
@@ -103,6 +115,7 @@ size_t GridIndex::ForEachInRadius(const Point& center, double radius,
       }
     }
   }
+  if (obs::CollectionEnabled()) [[unlikely]] internal::RecordGridProbe(hits);
   return hits;
 }
 

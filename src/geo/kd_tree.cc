@@ -6,6 +6,23 @@
 
 namespace comx {
 
+namespace internal {
+
+void RecordKdProbe(size_t hits) {
+  static obs::Counter* const queries =
+      obs::MetricsRegistry::Global().GetCounter(
+          "comx_geo_kdtree_queries_total",
+          "Radius probes answered by the kd-tree");
+  static obs::Counter* const hit_count =
+      obs::MetricsRegistry::Global().GetCounter(
+          "comx_geo_kdtree_hits_total",
+          "Points returned by kd-tree radius probes");
+  queries->Inc();
+  hit_count->Inc(static_cast<int64_t>(hits));
+}
+
+}  // namespace internal
+
 KdTree::KdTree(std::vector<Item> items) : items_(std::move(items)) {
   if (!items_.empty()) Build(0, items_.size(), 0);
 }

@@ -12,9 +12,16 @@
 #include <vector>
 
 #include "geo/point.h"
+#include "obs/metrics_registry.h"
 #include "util/result.h"
 
 namespace comx {
+
+namespace internal {
+/// Books one kd-tree radius probe into the metrics registry
+/// (comx_geo_kdtree_queries_total / comx_geo_kdtree_hits_total).
+void RecordKdProbe(size_t hits);
+}  // namespace internal
 
 /// Immutable balanced kd-tree.
 class KdTree {
@@ -57,13 +64,17 @@ class KdTree {
 template <typename Fn>
 size_t KdTree::ForEachInRadius(const Point& center, double radius,
                                Fn&& fn) const {
-  if (radius < 0.0 || items_.empty()) return 0;
+  if (radius < 0.0 || items_.empty()) {
+    if (obs::CollectionEnabled()) [[unlikely]] internal::RecordKdProbe(0);
+    return 0;
+  }
   size_t hits = 0;
   RadiusVisit(0, items_.size(), 0, center, radius * radius,
               [&](const Item& item, double d2) {
                 ++hits;
                 fn(item, d2);
               });
+  if (obs::CollectionEnabled()) [[unlikely]] internal::RecordKdProbe(hits);
   return hits;
 }
 

@@ -1,0 +1,155 @@
+#include "obs/exporters.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace comx {
+namespace obs {
+
+namespace {
+
+// Splits "base{labels}" into its parts; labels comes back empty for
+// unlabeled names.
+std::pair<std::string_view, std::string_view> SplitName(
+    std::string_view name) {
+  const size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  std::string_view labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.remove_suffix(1);
+  return {name.substr(0, brace), labels};
+}
+
+// "base_suffix{labels,extra}" with every part optional.
+std::string SeriesName(std::string_view base, std::string_view suffix,
+                       std::string_view labels, std::string_view extra) {
+  std::string out(base);
+  out += suffix;
+  if (labels.empty() && extra.empty()) return out;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
+std::string FormatBound(double bound) {
+  return StrFormat("%g", bound);
+}
+
+// Emits HELP/TYPE once per base name (samples arrive sorted by full name,
+// so label variants of one base are adjacent).
+void MaybeHeader(std::string* out, std::string_view base,
+                 std::string_view help, const char* type,
+                 std::string* last_base) {
+  if (*last_base == base) return;
+  *last_base = std::string(base);
+  if (!help.empty()) {
+    out->append("# HELP ").append(base).append(" ").append(help).append("\n");
+  }
+  out->append("# TYPE ").append(base).append(" ").append(type).append("\n");
+}
+
+}  // namespace
+
+Result<MetricsFormat> ParseMetricsFormat(std::string_view name) {
+  if (name == "prom" || name == "prometheus") {
+    return MetricsFormat::kPrometheus;
+  }
+  if (name == "json") return MetricsFormat::kJson;
+  return Status::InvalidArgument(
+      StrFormat("unknown metrics format '%.*s' (want prom|json)",
+                static_cast<int>(name.size()), name.data()));
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_base;
+  for (const CounterSample& c : snapshot.counters) {
+    const auto [base, labels] = SplitName(c.name);
+    MaybeHeader(&out, base, c.help, "counter", &last_base);
+    out += SeriesName(base, "", labels, "");
+    out += StrFormat(" %lld\n", static_cast<long long>(c.value));
+  }
+  last_base.clear();
+  for (const GaugeSample& g : snapshot.gauges) {
+    const auto [base, labels] = SplitName(g.name);
+    MaybeHeader(&out, base, g.help, "gauge", &last_base);
+    out += SeriesName(base, "", labels, "");
+    out += StrFormat(" %.17g\n", g.value);
+  }
+  last_base.clear();
+  for (const HistogramSample& h : snapshot.histograms) {
+    const auto [base, labels] = SplitName(h.name);
+    MaybeHeader(&out, base, h.help, "histogram", &last_base);
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      const std::string le =
+          i < h.bounds.size()
+              ? StrFormat("le=\"%s\"", FormatBound(h.bounds[i]).c_str())
+              : std::string("le=\"+Inf\"");
+      out += SeriesName(base, "_bucket", labels, le);
+      out += StrFormat(" %lld\n", static_cast<long long>(cumulative));
+    }
+    out += SeriesName(base, "_sum", labels, "");
+    out += StrFormat(" %.17g\n", h.sum);
+    out += SeriesName(base, "_count", labels, "");
+    out += StrFormat(" %lld\n", static_cast<long long>(h.count));
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const CounterSample& c : snapshot.counters) w.KV(c.name, c.value);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const GaugeSample& g : snapshot.gauges) w.KV(g.name, g.value);
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const HistogramSample& h : snapshot.histograms) {
+    w.Key(h.name).BeginObject();
+    w.KV("count", h.count).KV("sum", h.sum);
+    w.Key("bounds").BeginArray();
+    for (double b : h.bounds) w.Value(b);
+    w.EndArray();
+    w.Key("bucket_counts").BeginArray();
+    for (int64_t c : h.counts) w.Value(c);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+Status WriteMetricsFile(const MetricsRegistry& registry,
+                        const std::string& path, MetricsFormat format) {
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  std::string body = format == MetricsFormat::kPrometheus
+                         ? ToPrometheusText(snapshot)
+                         : ToJson(snapshot);
+  if (format == MetricsFormat::kJson) body += '\n';
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError(
+        StrFormat("cannot open metrics file '%s'", path.c_str()));
+  }
+  const size_t wrote = std::fwrite(body.data(), 1, body.size(), file);
+  const bool flush_failed = std::fflush(file) != 0;
+  std::fclose(file);
+  if (wrote != body.size() || flush_failed) {
+    return Status::IoError(
+        StrFormat("short write to metrics file '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace comx

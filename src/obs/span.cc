@@ -1,0 +1,13 @@
+#include "obs/span.h"
+
+namespace comx {
+namespace obs {
+
+SpanSite::SpanSite(const char* phase)
+    : histogram_(MetricsRegistry::Global().GetHistogram(
+          MetricName("comx_span_seconds", "phase", phase),
+          DefaultLatencyBoundsSeconds(),
+          "Wall time of one instrumented phase, seconds")) {}
+
+}  // namespace obs
+}  // namespace comx

@@ -1,0 +1,69 @@
+// Scoped timing spans feeding per-phase latency histograms.
+//
+//   void DemCom::OnRequest(...) {
+//     ...
+//     { COMX_SPAN("pricing_estimate"); estimate = ...; }
+//   }
+//
+// Each COMX_SPAN site interns one histogram named
+// comx_span_seconds{phase="<name>"} (DefaultLatencyBoundsSeconds buckets)
+// on first execution, then records the scope's wall time into it. When
+// collection is disabled, entering the scope is a relaxed load + branch:
+// no clock is read and nothing is recorded.
+
+#ifndef COMX_OBS_SPAN_H_
+#define COMX_OBS_SPAN_H_
+
+#include "obs/metrics_registry.h"
+#include "util/timer.h"
+
+namespace comx {
+namespace obs {
+
+/// One static span site: resolves the phase histogram once.
+class SpanSite {
+ public:
+  explicit SpanSite(const char* phase);
+  Histogram* histogram() const { return histogram_; }
+
+ private:
+  Histogram* histogram_;
+};
+
+/// RAII timer recording into a SpanSite's histogram on destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const SpanSite& site) {
+    if (CollectionEnabled()) {
+      histogram_ = site.histogram();
+      watch_.Reset();
+    }
+  }
+  ~ScopedSpan() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(static_cast<double>(watch_.ElapsedNanos()) / 1e9);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Histogram* histogram_ = nullptr;
+  Stopwatch watch_;
+};
+
+}  // namespace obs
+}  // namespace comx
+
+#define COMX_SPAN_CONCAT_INNER(a, b) a##b
+#define COMX_SPAN_CONCAT(a, b) COMX_SPAN_CONCAT_INNER(a, b)
+
+/// Times the rest of the enclosing scope as phase `phase` (string literal).
+#define COMX_SPAN(phase)                                       \
+  static const ::comx::obs::SpanSite COMX_SPAN_CONCAT(         \
+      comx_span_site_, __LINE__)(phase);                       \
+  const ::comx::obs::ScopedSpan COMX_SPAN_CONCAT(              \
+      comx_span_scope_, __LINE__)(COMX_SPAN_CONCAT(            \
+      comx_span_site_, __LINE__))
+
+#endif  // COMX_OBS_SPAN_H_

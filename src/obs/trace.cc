@@ -1,0 +1,333 @@
+#include "obs/trace.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace comx {
+namespace obs {
+
+namespace {
+
+// Field accessors over a parsed flat object.
+Result<double> NumberField(const std::map<std::string, JsonScalar>& obj,
+                           const std::string& key) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) {
+    return Status::NotFound(StrFormat("missing field '%s'", key.c_str()));
+  }
+  if (it->second.kind != JsonScalar::Kind::kNumber) {
+    return Status::InvalidArgument(
+        StrFormat("field '%s' is not a number", key.c_str()));
+  }
+  return it->second.number_value;
+}
+
+Result<std::string> StringField(const std::map<std::string, JsonScalar>& obj,
+                                const std::string& key) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) {
+    return Status::NotFound(StrFormat("missing field '%s'", key.c_str()));
+  }
+  if (it->second.kind != JsonScalar::Kind::kString) {
+    return Status::InvalidArgument(
+        StrFormat("field '%s' is not a string", key.c_str()));
+  }
+  return it->second.string_value;
+}
+
+#define COMX_ASSIGN_NUM(target, obj, key, cast)              \
+  do {                                                       \
+    auto comx_field = NumberField(obj, key);                 \
+    if (!comx_field.ok()) return comx_field.status();        \
+    (target) = static_cast<cast>(*comx_field);               \
+  } while (0)
+
+}  // namespace
+
+std::string TraceEventToJson(const TraceEvent& event) {
+  JsonWriter w;
+  w.BeginObject()
+      .KV("type", "decision")
+      .KV("seq", event.seq)
+      .KV("time", event.time)
+      .KV("platform", event.platform)
+      .KV("request", event.request)
+      .KV("value", event.value)
+      .KV("inner_candidates", event.inner_candidates)
+      .KV("outer_candidates", event.outer_candidates)
+      .KV("priced_candidates", event.priced_candidates)
+      .KV("accepting", event.accepting)
+      .KV("bisect_iterations", event.bisect_iterations)
+      .KV("estimator_samples", event.estimator_samples)
+      .KV("estimated_payment", event.estimated_payment)
+      .KV("outcome", event.outcome)
+      .KV("worker", event.worker)
+      .KV("payment", event.payment)
+      .KV("revenue", event.revenue)
+      .EndObject();
+  return w.TakeString();
+}
+
+std::string TraceSummaryToJson(const TraceSummary& summary) {
+  JsonWriter w;
+  w.BeginObject()
+      .KV("type", "summary")
+      .KV("events_written", summary.events_written)
+      .KV("events_dropped", summary.events_dropped)
+      .KV("assignments", summary.assignments)
+      .KV("platforms", static_cast<int64_t>(summary.platform_revenue.size()))
+      .KV("total_revenue", summary.total_revenue);
+  // Per-platform revenues as flat keys, keeping the line parseable by the
+  // non-nesting JSONL parser.
+  for (size_t p = 0; p < summary.platform_revenue.size(); ++p) {
+    w.KV(StrFormat("revenue_p%zu", p), summary.platform_revenue[p]);
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+Result<TraceEvent> ParseTraceEvent(const std::string& line) {
+  auto obj = ParseJsonFlatObject(line);
+  if (!obj.ok()) return obj.status();
+  auto type = StringField(*obj, "type");
+  if (!type.ok()) return type.status();
+  if (*type != "decision") {
+    return Status::InvalidArgument("not a decision line");
+  }
+  TraceEvent e;
+  COMX_ASSIGN_NUM(e.seq, *obj, "seq", int64_t);
+  COMX_ASSIGN_NUM(e.time, *obj, "time", double);
+  COMX_ASSIGN_NUM(e.platform, *obj, "platform", int32_t);
+  COMX_ASSIGN_NUM(e.request, *obj, "request", int64_t);
+  COMX_ASSIGN_NUM(e.value, *obj, "value", double);
+  COMX_ASSIGN_NUM(e.inner_candidates, *obj, "inner_candidates", int32_t);
+  COMX_ASSIGN_NUM(e.outer_candidates, *obj, "outer_candidates", int32_t);
+  COMX_ASSIGN_NUM(e.priced_candidates, *obj, "priced_candidates", int32_t);
+  COMX_ASSIGN_NUM(e.accepting, *obj, "accepting", int32_t);
+  COMX_ASSIGN_NUM(e.bisect_iterations, *obj, "bisect_iterations", int64_t);
+  COMX_ASSIGN_NUM(e.estimator_samples, *obj, "estimator_samples", int32_t);
+  COMX_ASSIGN_NUM(e.estimated_payment, *obj, "estimated_payment", double);
+  COMX_ASSIGN_NUM(e.worker, *obj, "worker", int64_t);
+  COMX_ASSIGN_NUM(e.payment, *obj, "payment", double);
+  COMX_ASSIGN_NUM(e.revenue, *obj, "revenue", double);
+  auto outcome = StringField(*obj, "outcome");
+  if (!outcome.ok()) return outcome.status();
+  e.outcome = *std::move(outcome);
+  if (e.outcome != "inner" && e.outcome != "outer" && e.outcome != "reject") {
+    return Status::InvalidArgument(
+        StrFormat("unknown outcome '%s'", e.outcome.c_str()));
+  }
+  return e;
+}
+
+Result<TraceSummary> ParseTraceSummary(const std::string& line) {
+  auto obj = ParseJsonFlatObject(line);
+  if (!obj.ok()) return obj.status();
+  auto type = StringField(*obj, "type");
+  if (!type.ok()) return type.status();
+  if (*type != "summary") {
+    return Status::InvalidArgument("not a summary line");
+  }
+  TraceSummary s;
+  COMX_ASSIGN_NUM(s.events_written, *obj, "events_written", int64_t);
+  COMX_ASSIGN_NUM(s.events_dropped, *obj, "events_dropped", int64_t);
+  COMX_ASSIGN_NUM(s.assignments, *obj, "assignments", int64_t);
+  COMX_ASSIGN_NUM(s.total_revenue, *obj, "total_revenue", double);
+  int64_t platforms = 0;
+  COMX_ASSIGN_NUM(platforms, *obj, "platforms", int64_t);
+  if (platforms < 0 || platforms > 1'000'000) {
+    return Status::InvalidArgument("implausible platform count");
+  }
+  s.platform_revenue.resize(static_cast<size_t>(platforms), 0.0);
+  for (size_t p = 0; p < s.platform_revenue.size(); ++p) {
+    COMX_ASSIGN_NUM(s.platform_revenue[p], *obj,
+                    StrFormat("revenue_p%zu", p), double);
+  }
+  return s;
+}
+
+Result<std::unique_ptr<JsonlTraceWriter>> JsonlTraceWriter::Open(
+    const std::string& path, const Options& options) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError(
+        StrFormat("cannot open trace file '%s': %s", path.c_str(),
+                  std::strerror(errno)));
+  }
+  return std::unique_ptr<JsonlTraceWriter>(
+      new JsonlTraceWriter(file, options));
+}
+
+Result<std::unique_ptr<JsonlTraceWriter>> JsonlTraceWriter::Open(
+    const std::string& path) {
+  return Open(path, Options());
+}
+
+JsonlTraceWriter::~JsonlTraceWriter() { (void)Close(); }
+
+void JsonlTraceWriter::WriteLine(const std::string& line) {
+  // Caller holds mu_. One fwrite per line keeps lines atomic in the file.
+  if (file_ == nullptr || failed_) return;
+  std::string buffer = line;
+  buffer += '\n';
+  if (std::fwrite(buffer.data(), 1, buffer.size(), file_) != buffer.size()) {
+    failed_ = true;
+  }
+}
+
+void JsonlTraceWriter::Record(const TraceEvent& event) {
+  const std::string line = TraceEventToJson(event);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_events > 0 && written_ >= options_.max_events) {
+    ++dropped_;
+    return;
+  }
+  WriteLine(line);
+  ++written_;
+}
+
+void JsonlTraceWriter::Summary(const TraceSummary& summary) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSummary patched = summary;
+  patched.events_written = written_;
+  patched.events_dropped += dropped_;
+  WriteLine(TraceSummaryToJson(patched));
+}
+
+Status JsonlTraceWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::OK();
+  const bool flush_failed = std::fflush(file_) != 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  if (failed_ || flush_failed) {
+    return Status::Internal("trace write failed");
+  }
+  return Status::OK();
+}
+
+int64_t JsonlTraceWriter::written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+int64_t JsonlTraceWriter::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+Result<TraceReplay> ReplayTraceFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::NotFound(
+        StrFormat("cannot open trace file '%s'", path.c_str()));
+  }
+  TraceReplay replay;
+  std::string line;
+  int ch;
+  int64_t line_number = 0;
+  bool eof = false;
+  while (!eof) {
+    line.clear();
+    while ((ch = std::fgetc(file)) != EOF && ch != '\n') {
+      line += static_cast<char>(ch);
+    }
+    if (ch == EOF) eof = true;
+    if (line.empty()) continue;
+    ++line_number;
+    if (replay.has_summary) {
+      std::fclose(file);
+      return Status::InvalidArgument(
+          StrFormat("line %lld: content after the summary line",
+                    static_cast<long long>(line_number)));
+    }
+    if (line.find("\"type\":\"summary\"") != std::string::npos) {
+      auto summary = ParseTraceSummary(line);
+      if (!summary.ok()) {
+        std::fclose(file);
+        return summary.status();
+      }
+      replay.summary = *std::move(summary);
+      replay.has_summary = true;
+      continue;
+    }
+    auto event = ParseTraceEvent(line);
+    if (!event.ok()) {
+      std::fclose(file);
+      return Status::InvalidArgument(
+          StrFormat("line %lld: %s", static_cast<long long>(line_number),
+                    event.status().ToString().c_str()));
+    }
+    ++replay.decision_events;
+    replay.bisect_iterations += event->bisect_iterations;
+    if (event->platform < 0) {
+      std::fclose(file);
+      return Status::InvalidArgument("negative platform id");
+    }
+    if (static_cast<size_t>(event->platform) >=
+        replay.platform_revenue.size()) {
+      replay.platform_revenue.resize(
+          static_cast<size_t>(event->platform) + 1, 0.0);
+    }
+    if (event->outcome != "reject") {
+      ++replay.assignments;
+      replay.platform_revenue[static_cast<size_t>(event->platform)] +=
+          event->revenue;
+    }
+  }
+  std::fclose(file);
+  // Total as the sum of per-platform sums, mirroring
+  // SimMetrics::TotalRevenue over per-platform accumulators.
+  for (double r : replay.platform_revenue) replay.total_revenue += r;
+  return replay;
+}
+
+Status CheckTraceReplay(const TraceReplay& replay) {
+  if (!replay.has_summary) {
+    return Status::InvalidArgument("trace has no summary line");
+  }
+  const TraceSummary& s = replay.summary;
+  if (s.events_dropped > 0) {
+    return Status::FailedPrecondition(
+        StrFormat("trace is truncated: %lld decisions dropped",
+                  static_cast<long long>(s.events_dropped)));
+  }
+  if (replay.decision_events != s.events_written) {
+    return Status::FailedPrecondition(
+        StrFormat("decision count mismatch: replayed %lld, summary %lld",
+                  static_cast<long long>(replay.decision_events),
+                  static_cast<long long>(s.events_written)));
+  }
+  if (replay.assignments != s.assignments) {
+    return Status::FailedPrecondition(
+        StrFormat("assignment count mismatch: replayed %lld, summary %lld",
+                  static_cast<long long>(replay.assignments),
+                  static_cast<long long>(s.assignments)));
+  }
+  if (replay.platform_revenue.size() > s.platform_revenue.size()) {
+    return Status::FailedPrecondition("platform count mismatch");
+  }
+  for (size_t p = 0; p < s.platform_revenue.size(); ++p) {
+    const double replayed = p < replay.platform_revenue.size()
+                                ? replay.platform_revenue[p]
+                                : 0.0;
+    if (replayed != s.platform_revenue[p]) {
+      return Status::FailedPrecondition(StrFormat(
+          "platform %zu revenue mismatch: replayed %.17g, summary %.17g", p,
+          replayed, s.platform_revenue[p]));
+    }
+  }
+  if (replay.total_revenue != s.total_revenue) {
+    return Status::FailedPrecondition(StrFormat(
+        "total revenue mismatch: replayed %.17g, summary %.17g",
+        replay.total_revenue, s.total_revenue));
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace comx

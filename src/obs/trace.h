@@ -1,0 +1,191 @@
+// Decision-level tracing: a bounded JSONL event sink recording, per
+// request, what the matcher saw (candidate counts from the spatial-index
+// probes), what pricing computed (Algorithm 2 bisection iterations and the
+// estimated minimum payment), how the acceptance draw went, and the final
+// assignment. One line per decision plus one trailing summary line with
+// the run totals, so a trace file is self-checking: ReplayTraceFile()
+// re-derives the per-platform revenue from the decision lines and
+// CheckTraceReplay() verifies it reproduces the recorded totals exactly
+// (doubles are serialized with round-trip precision).
+//
+// Deliberately decoupled from the simulator: sinks see plain ids, so the
+// obs library depends only on util.
+
+#ifndef COMX_OBS_TRACE_H_
+#define COMX_OBS_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace comx {
+namespace obs {
+
+/// Everything recorded about one request decision. Counts are -1 when the
+/// corresponding stage did not run (e.g. outer fields of an inner match).
+struct TraceEvent {
+  /// Running decision index within the run (0-based, chronological).
+  int64_t seq = 0;
+  /// Request arrival time (simulation seconds).
+  double time = 0.0;
+  int32_t platform = 0;
+  int64_t request = -1;
+  /// Request value v_r.
+  double value = 0.0;
+
+  /// Feasible inner / outer candidates the spatial index returned.
+  int32_t inner_candidates = -1;
+  int32_t outer_candidates = -1;
+  /// Outer candidates actually priced (after the nearest-K cap).
+  int32_t priced_candidates = -1;
+  /// Candidates that accepted the quoted payment in the live draw.
+  int32_t accepting = -1;
+
+  /// Algorithm 2 cost: total bisection iterations and Monte-Carlo sampling
+  /// instances burned for this request (0 when pricing did not run).
+  int64_t bisect_iterations = 0;
+  int32_t estimator_samples = 0;
+  /// Quoted outer payment estimate (Alg. 2 mean or MER argmax); negative
+  /// when no quote was computed.
+  double estimated_payment = -1.0;
+
+  /// "inner", "outer", or "reject".
+  std::string outcome;
+  /// Assigned worker (-1 on reject).
+  int64_t worker = -1;
+  /// Outer payment actually charged (0 for inner/reject).
+  double payment = 0.0;
+  /// Revenue booked for this decision (0 on reject).
+  double revenue = 0.0;
+};
+
+/// Run totals written as the trace's final line.
+struct TraceSummary {
+  /// Decision events written to the sink (after any drop).
+  int64_t events_written = 0;
+  /// Decisions dropped because the sink's bound was hit.
+  int64_t events_dropped = 0;
+  int64_t assignments = 0;
+  /// Revenue per platform, in platform-id order.
+  std::vector<double> platform_revenue;
+  double total_revenue = 0.0;
+};
+
+/// Where decision events go. Implementations must be safe to call from
+/// multiple threads.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// Records one decision. May drop when bounded.
+  virtual void Record(const TraceEvent& event) = 0;
+  /// Records the run totals; called once at end of run.
+  virtual void Summary(const TraceSummary& summary) = 0;
+};
+
+/// In-memory sink for tests.
+class VectorTraceSink : public TraceSink {
+ public:
+  void Record(const TraceEvent& event) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+  }
+  void Summary(const TraceSummary& summary) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    summary_ = summary;
+    has_summary_ = true;
+  }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool has_summary() const { return has_summary_; }
+  const TraceSummary& summary() const { return summary_; }
+
+ private:
+  std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  TraceSummary summary_;
+  bool has_summary_ = false;
+};
+
+/// Serializes one event / summary to its JSONL line (no trailing newline).
+std::string TraceEventToJson(const TraceEvent& event);
+std::string TraceSummaryToJson(const TraceSummary& summary);
+
+/// Parses one JSONL line. Lines are distinguished by their "type" field
+/// ("decision" / "summary").
+Result<TraceEvent> ParseTraceEvent(const std::string& line);
+Result<TraceSummary> ParseTraceSummary(const std::string& line);
+
+/// Bounded JSONL file writer. Thread-safe; keeps at most `max_events`
+/// decision lines and counts the overflow, which the summary line reports
+/// (the sink folds its own drop count into the summary it writes).
+class JsonlTraceWriter : public TraceSink {
+ public:
+  struct Options {
+    /// Maximum decision lines kept; <= 0 means unbounded.
+    int64_t max_events = 4'000'000;
+  };
+
+  /// Opens (truncates) `path` for writing.
+  static Result<std::unique_ptr<JsonlTraceWriter>> Open(
+      const std::string& path, const Options& options);
+  static Result<std::unique_ptr<JsonlTraceWriter>> Open(
+      const std::string& path);
+
+  ~JsonlTraceWriter() override;
+
+  void Record(const TraceEvent& event) override;
+  void Summary(const TraceSummary& summary) override;
+
+  /// Flushes and closes the file; further Records are dropped. Called by
+  /// the destructor when omitted. Returns the first write error, if any.
+  Status Close();
+
+  int64_t written() const;
+  int64_t dropped() const;
+
+ private:
+  JsonlTraceWriter(std::FILE* file, const Options& options)
+      : file_(file), options_(options) {}
+  void WriteLine(const std::string& line);
+
+  mutable std::mutex mu_;
+  std::FILE* file_;
+  Options options_;
+  int64_t written_ = 0;
+  int64_t dropped_ = 0;
+  bool failed_ = false;
+};
+
+/// Outcome of re-reading a trace file.
+struct TraceReplay {
+  /// Decision events found, in file order.
+  int64_t decision_events = 0;
+  int64_t assignments = 0;
+  /// Revenue per platform re-accumulated from the decision lines in file
+  /// order (matching the simulator's own accumulation order, so equal
+  /// inputs sum to the bit-identical total).
+  std::vector<double> platform_revenue;
+  double total_revenue = 0.0;
+  /// Aggregate pricing effort seen in the events.
+  int64_t bisect_iterations = 0;
+  /// The trailing summary line, when present.
+  bool has_summary = false;
+  TraceSummary summary;
+};
+
+/// Reads a JSONL trace file and re-derives the run totals.
+Result<TraceReplay> ReplayTraceFile(const std::string& path);
+
+/// Verifies the replayed totals reproduce the recorded summary exactly
+/// (event counts and bit-exact revenue). FailedPrecondition on mismatch,
+/// InvalidArgument when the trace has no summary line.
+Status CheckTraceReplay(const TraceReplay& replay);
+
+}  // namespace obs
+}  // namespace comx
+
+#endif  // COMX_OBS_TRACE_H_

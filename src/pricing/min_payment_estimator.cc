@@ -2,8 +2,34 @@
 
 #include <cmath>
 
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
+
 namespace comx {
 namespace {
+
+// Books one finished estimate into the registry. Resolved lazily; no-ops
+// while collection is disabled.
+void RecordEstimate(const MinPaymentEstimate& estimate) {
+  if (!obs::CollectionEnabled()) return;
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const estimates = registry.GetCounter(
+      "comx_pricing_estimates_total", "Algorithm 2 payment estimates run");
+  static obs::Counter* const iterations = registry.GetCounter(
+      "comx_pricing_bisect_iterations_total",
+      "Bisection iterations burned by Algorithm 2");
+  static obs::Counter* const samples = registry.GetCounter(
+      "comx_pricing_mc_samples_total",
+      "Monte-Carlo sampling instances run by Algorithm 2");
+  static obs::Histogram* const per_estimate = registry.GetHistogram(
+      "comx_pricing_bisect_iterations_per_estimate",
+      {0.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0},
+      "Distribution of bisection iterations per estimate");
+  estimates->Inc();
+  iterations->Inc(estimate.bisect_iterations);
+  samples->Inc(estimate.samples);
+  per_estimate->Observe(static_cast<double>(estimate.bisect_iterations));
+}
 
 // One Bernoulli sweep: does any candidate accept `payment`?
 bool AnyoneAccepts(const AcceptanceModel& model,
@@ -28,14 +54,17 @@ int MinPaymentConfig::SampleCount() const {
 MinPaymentEstimate EstimateMinOuterPayment(
     const AcceptanceModel& model, const std::vector<WorkerId>& candidates,
     double request_value, const MinPaymentConfig& config, Rng* rng) {
+  COMX_SPAN("pricing_estimate");
   MinPaymentEstimate out;
   const int n_s = config.SampleCount();
   if (candidates.empty()) {
     out.payment = request_value + config.epsilon;
     out.reject_fraction = 1.0;
+    RecordEstimate(out);
     return out;
   }
 
+  out.samples = n_s;
   double sum = 0.0;
   int rejects = 0;
   for (int s = 0; s < n_s; ++s) {
@@ -52,6 +81,7 @@ MinPaymentEstimate EstimateMinOuterPayment(
     double v_h = request_value;
     double v_m = 0.5 * v_h;
     while (v_m - v_l > config.xi * request_value) {
+      ++out.bisect_iterations;
       if (AnyoneAccepts(model, candidates, v_m, rng)) {
         v_h = v_m;
       } else {
@@ -64,6 +94,7 @@ MinPaymentEstimate EstimateMinOuterPayment(
   out.payment = sum / static_cast<double>(n_s);
   out.reject_fraction = static_cast<double>(rejects) /
                         static_cast<double>(n_s);
+  RecordEstimate(out);
   return out;
 }
 

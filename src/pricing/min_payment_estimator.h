@@ -37,6 +37,13 @@ struct MinPaymentEstimate {
   /// Fraction of sampling instances in which nobody accepted at v_r — a
   /// diagnostic for "the request is effectively unservable at any price".
   double reject_fraction = 0.0;
+  /// Total bisection iterations burned across all sampling instances — the
+  /// dominant cost driver (each iteration sweeps every candidate). Fed to
+  /// the decision trace and the comx_pricing_* metrics.
+  int64_t bisect_iterations = 0;
+  /// Monte-Carlo sampling instances run (= config.SampleCount(), or 0 for
+  /// an empty candidate set).
+  int32_t samples = 0;
 };
 
 /// Runs Algorithm 2 for request value `request_value` against the candidate

@@ -1,5 +1,6 @@
 #include "sim/metrics.h"
 
+#include "util/json.h"
 #include "util/string_util.h"
 
 namespace comx {
@@ -43,6 +44,26 @@ std::string PlatformMetrics::ToString() const {
       MeanResponseTimeMs());
 }
 
+std::string PlatformMetrics::ToJson() const {
+  JsonWriter w;
+  w.BeginObject()
+      .KV("revenue", revenue)
+      .KV("completed", completed)
+      .KV("completed_inner", completed_inner)
+      .KV("completed_outer", completed_outer)
+      .KV("rejected", rejected)
+      .KV("outer_offers", outer_offers)
+      .KV("outer_payment_sum", outer_payment_sum)
+      .KV("payment_rate_sum", payment_rate_sum)
+      .KV("total_pickup_km", total_pickup_km)
+      .KV("acceptance_ratio", AcceptanceRatio())
+      .KV("mean_payment_rate", MeanPaymentRate())
+      .KV("mean_response_time_ms", MeanResponseTimeMs())
+      .KV("response_time_samples", response_time_us.count())
+      .EndObject();
+  return w.TakeString();
+}
+
 double SimMetrics::TotalRevenue() const {
   double total = 0.0;
   for (const auto& m : per_platform) total += m.revenue;
@@ -59,6 +80,23 @@ PlatformMetrics SimMetrics::Aggregate() const {
   PlatformMetrics agg;
   for (const auto& m : per_platform) agg.Merge(m);
   return agg;
+}
+
+std::string SimMetrics::ToJson() const {
+  JsonWriter w;
+  w.BeginObject().Key("platforms").BeginArray();
+  for (const PlatformMetrics& m : per_platform) {
+    // Platform blocks are pre-rendered objects; splice them in verbatim.
+    w.Raw(m.ToJson());
+  }
+  w.EndArray()
+      .KV("total_revenue", TotalRevenue())
+      .KV("total_cooperative", TotalCooperative())
+      .KV("logical_bytes", logical_bytes)
+      .KV("rss_bytes", rss_bytes)
+      .KV("wall_seconds", wall_seconds)
+      .EndObject();
+  return w.TakeString();
 }
 
 }  // namespace comx

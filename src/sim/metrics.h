@@ -57,6 +57,10 @@ struct PlatformMetrics {
 
   /// One-line summary for logs.
   std::string ToString() const;
+
+  /// JSON object with every raw field plus the derived ratios. Doubles are
+  /// serialized with round-trip precision (util/json.h).
+  std::string ToJson() const;
 };
 
 /// Whole-run result: per-platform metrics plus global resource usage.
@@ -75,6 +79,9 @@ struct SimMetrics {
   int64_t TotalCooperative() const;
   /// Aggregate of every per-platform block.
   PlatformMetrics Aggregate() const;
+
+  /// Whole-run JSON: {"platforms": [...], "total_revenue": ..., ...}.
+  std::string ToJson() const;
 };
 
 }  // namespace comx

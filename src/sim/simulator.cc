@@ -7,6 +7,9 @@
 #include <vector>
 
 #include "geo/distance.h"
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 #include "pricing/acceptance_model.h"
 #include "sim/platform_view.h"
 #include "sim/worker_pool.h"
@@ -41,6 +44,58 @@ struct QueuedEvent {
   Event event;
   bool operator>(const QueuedEvent& o) const { return o.event < event; }
 };
+
+// Per-platform registry counters, resolved once per run (labels are part
+// of the interned metric name).
+struct PlatformCounters {
+  obs::Counter* requests;
+  obs::Counter* inner;
+  obs::Counter* outer;
+  obs::Counter* rejects;
+};
+
+std::vector<PlatformCounters> MakePlatformCounters(int32_t platform_count) {
+  auto& registry = obs::MetricsRegistry::Global();
+  std::vector<PlatformCounters> out;
+  out.reserve(static_cast<size_t>(platform_count));
+  for (int32_t p = 0; p < platform_count; ++p) {
+    out.push_back(PlatformCounters{
+        registry.GetCounter(
+            obs::MetricName("comx_sim_requests_total", "platform", p),
+            "Requests fed to the platform's matcher"),
+        registry.GetCounter(
+            obs::MetricName("comx_sim_inner_assignments_total", "platform",
+                            p),
+            "Requests served by inner workers"),
+        registry.GetCounter(
+            obs::MetricName("comx_sim_outer_assignments_total", "platform",
+                            p),
+            "Requests served by borrowed outer workers"),
+        registry.GetCounter(
+            obs::MetricName("comx_sim_rejections_total", "platform", p),
+            "Requests the matcher rejected")});
+  }
+  return out;
+}
+
+// Stamps the request-side and matcher-stats fields of a trace event.
+obs::TraceEvent MakeTraceEvent(int64_t seq, const Request& r,
+                               const Decision& decision) {
+  obs::TraceEvent ev;
+  ev.seq = seq;
+  ev.time = r.time;
+  ev.platform = r.platform;
+  ev.request = r.id;
+  ev.value = r.value;
+  ev.inner_candidates = decision.stats.inner_candidates;
+  ev.outer_candidates = decision.stats.outer_candidates;
+  ev.priced_candidates = decision.stats.priced_candidates;
+  ev.accepting = decision.stats.accepting;
+  ev.bisect_iterations = decision.stats.bisect_iterations;
+  ev.estimator_samples = decision.stats.estimator_samples;
+  ev.estimated_payment = decision.stats.estimated_payment;
+  return ev;
+}
 
 }  // namespace
 
@@ -81,6 +136,27 @@ Result<SimResult> RunSimulation(const Instance& instance,
   result.metrics.per_platform.assign(static_cast<size_t>(platform_count),
                                      PlatformMetrics{});
 
+  // Observability: counters/gauges are resolved once per run (registration
+  // takes a mutex); tracing is independent of the metrics switch. Neither
+  // consumes RNG draws, so results are bit-identical either way.
+  const bool collect = obs::CollectionEnabled();
+  std::vector<PlatformCounters> counters;
+  obs::Gauge* pool_gauge = nullptr;
+  obs::Histogram* decide_hist = nullptr;
+  if (collect) {
+    counters = MakePlatformCounters(platform_count);
+    auto& registry = obs::MetricsRegistry::Global();
+    pool_gauge = registry.GetGauge(
+        "comx_sim_pool_available",
+        "Workers currently available in the shared pool");
+    decide_hist = registry.GetHistogram(
+        obs::MetricName("comx_span_seconds", "phase", "decide"),
+        obs::DefaultLatencyBoundsSeconds(),
+        "End-to-end matcher decision latency");
+  }
+  int64_t available_workers = 0;
+  int64_t decision_seq = 0;
+
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>>
       queue;
   for (const Event& e : instance.events()) queue.push(QueuedEvent{e});
@@ -104,6 +180,10 @@ Result<SimResult> RunSimulation(const Instance& instance,
                               : drop_off[static_cast<size_t>(e.entity_id)];
       COMX_RETURN_IF_ERROR(pool.OnArrival(e.entity_id, where, e.time));
       pool_meter.Allocate(kPoolEntryBytes);
+      ++available_workers;
+      if (pool_gauge != nullptr) {
+        pool_gauge->Set(static_cast<double>(available_workers));
+      }
       continue;
     }
 
@@ -113,16 +193,29 @@ Result<SimResult> RunSimulation(const Instance& instance,
     OnlineMatcher* matcher = matchers[static_cast<size_t>(r.platform)];
     const PoolPlatformView& view = views[static_cast<size_t>(r.platform)];
 
+    if (collect) {
+      counters[static_cast<size_t>(r.platform)].requests->Inc();
+    }
     if (config.measure_response_time) request_clock.Reset();
     const Decision decision = matcher->OnRequest(r, view);
     if (config.measure_response_time) {
-      pm.response_time_us.Add(request_clock.ElapsedMicros());
+      const double micros = request_clock.ElapsedMicros();
+      pm.response_time_us.Add(micros);
+      if (decide_hist != nullptr) decide_hist->Observe(micros * 1e-6);
     }
 
     if (decision.attempted_outer) ++pm.outer_offers;
 
     if (decision.kind == Decision::Kind::kReject) {
       ++pm.rejected;
+      if (collect) {
+        counters[static_cast<size_t>(r.platform)].rejects->Inc();
+      }
+      if (config.trace != nullptr) {
+        obs::TraceEvent ev = MakeTraceEvent(decision_seq++, r, decision);
+        ev.outcome = "reject";
+        config.trace->Record(ev);
+      }
       continue;
     }
 
@@ -182,19 +275,40 @@ Result<SimResult> RunSimulation(const Instance& instance,
     pm.total_pickup_km += pickup_km;
     result.matching.Add(a);
 
-    COMX_RETURN_IF_ERROR(pool.MarkOccupied(wid));
-    pool_meter.Release(kPoolEntryBytes);
+    if (collect) {
+      const PlatformCounters& pc =
+          counters[static_cast<size_t>(r.platform)];
+      (is_outer ? pc.outer : pc.inner)->Inc();
+    }
+    if (config.trace != nullptr) {
+      obs::TraceEvent ev = MakeTraceEvent(decision_seq++, r, decision);
+      ev.outcome = is_outer ? "outer" : "inner";
+      ev.worker = wid;
+      ev.payment = a.outer_payment;
+      ev.revenue = a.revenue;
+      config.trace->Record(ev);
+    }
 
-    if (config.workers_recycle) {
-      const double duration =
-          ServiceDurationSeconds(config, pickup_km, r.value);
-      Event rearrival;
-      rearrival.time = r.time + duration;
-      rearrival.kind = EventKind::kWorkerArrival;
-      rearrival.entity_id = wid;
-      rearrival.sequence = dynamic_sequence++;
-      drop_off[static_cast<size_t>(wid)] = r.location;
-      queue.push(QueuedEvent{rearrival});
+    {
+      COMX_SPAN("pool_commit");
+      COMX_RETURN_IF_ERROR(pool.MarkOccupied(wid));
+      pool_meter.Release(kPoolEntryBytes);
+      --available_workers;
+      if (pool_gauge != nullptr) {
+        pool_gauge->Set(static_cast<double>(available_workers));
+      }
+
+      if (config.workers_recycle) {
+        const double duration =
+            ServiceDurationSeconds(config, pickup_km, r.value);
+        Event rearrival;
+        rearrival.time = r.time + duration;
+        rearrival.kind = EventKind::kWorkerArrival;
+        rearrival.entity_id = wid;
+        rearrival.sequence = dynamic_sequence++;
+        drop_off[static_cast<size_t>(wid)] = r.location;
+        queue.push(QueuedEvent{rearrival});
+      }
     }
   }
 
@@ -202,6 +316,24 @@ Result<SimResult> RunSimulation(const Instance& instance,
       InstanceLogicalBytes(instance) + pool_meter.peak_bytes();
   result.metrics.rss_bytes = CurrentRssBytes();
   result.metrics.wall_seconds = wall.ElapsedNanos() / 1e9;
+
+  if (config.trace != nullptr) {
+    obs::TraceSummary summary;
+    summary.events_written = decision_seq;
+    summary.assignments =
+        static_cast<int64_t>(result.matching.assignments.size());
+    summary.platform_revenue.reserve(result.metrics.per_platform.size());
+    // Accumulate the grand total in platform order, matching both
+    // SimMetrics::TotalRevenue() and the replay in obs/trace.cc, so the
+    // recorded and re-derived totals are bit-identical.
+    double total = 0.0;
+    for (const PlatformMetrics& p : result.metrics.per_platform) {
+      summary.platform_revenue.push_back(p.revenue);
+      total += p.revenue;
+    }
+    summary.total_revenue = total;
+    config.trace->Summary(summary);
+  }
   return result;
 }
 

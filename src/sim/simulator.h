@@ -23,6 +23,10 @@
 
 namespace comx {
 
+namespace obs {
+class TraceSink;
+}  // namespace obs
+
 /// Physical model + run knobs for the simulation.
 struct SimConfig {
   /// Whether workers re-enter the waiting lists after completing a request.
@@ -49,6 +53,12 @@ struct SimConfig {
   /// nullptr = Euclidean. Use roadnet::RoadNetworkMetric for the paper's
   /// road-network variant. Must outlive the simulation.
   const DistanceMetric* metric = nullptr;
+  /// Optional decision trace: every request decision (candidate counts,
+  /// pricing effort, acceptance outcome, final assignment) is recorded
+  /// here, plus a run-totals summary at the end. Tracing never consumes
+  /// RNG draws, so results are bit-identical with or without it. Must
+  /// outlive the simulation. See obs/trace.h.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Outcome of one simulation run.

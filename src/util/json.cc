@@ -1,0 +1,307 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace comx {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  // 17 significant digits round-trip any IEEE-754 double exactly; the
+  // trace replay check (obs/trace.h) depends on this.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (has_element_.back()) out_ += ',';
+  has_element_.back() = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  has_element_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += '[';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  has_element_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  MaybeComma();
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view v) {
+  MaybeComma();
+  out_ += '"';
+  out_ += JsonEscape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  MaybeComma();
+  out_ += JsonDouble(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  MaybeComma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  MaybeComma();
+  out_ += json;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  MaybeComma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+  return *this;
+}
+
+namespace {
+
+void SkipSpace(std::string_view s, size_t* i) {
+  while (*i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[*i])) != 0) {
+    ++*i;
+  }
+}
+
+// Parses a JSON string literal starting at s[*i] == '"'.
+Result<std::string> ParseString(std::string_view s, size_t* i) {
+  if (*i >= s.size() || s[*i] != '"') {
+    return Status::InvalidArgument("expected '\"'");
+  }
+  ++*i;
+  std::string out;
+  while (*i < s.size() && s[*i] != '"') {
+    char c = s[*i];
+    if (c == '\\') {
+      ++*i;
+      if (*i >= s.size()) return Status::InvalidArgument("dangling escape");
+      switch (s[*i]) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (*i + 4 >= s.size()) {
+            return Status::InvalidArgument("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int k = 1; k <= 4; ++k) {
+            const char h = s[*i + static_cast<size_t>(k)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Status::InvalidArgument("bad \\u escape");
+            }
+          }
+          if (code > 0x7f) {
+            return Status::Unimplemented("non-ASCII \\u escape");
+          }
+          out += static_cast<char>(code);
+          *i += 4;
+          break;
+        }
+        default:
+          return Status::InvalidArgument("unknown escape");
+      }
+      ++*i;
+    } else {
+      out += c;
+      ++*i;
+    }
+  }
+  if (*i >= s.size()) return Status::InvalidArgument("unterminated string");
+  ++*i;  // closing quote
+  return out;
+}
+
+Result<JsonScalar> ParseScalar(std::string_view s, size_t* i) {
+  SkipSpace(s, i);
+  if (*i >= s.size()) return Status::InvalidArgument("missing value");
+  JsonScalar v;
+  const char c = s[*i];
+  if (c == '"') {
+    auto str = ParseString(s, i);
+    if (!str.ok()) return str.status();
+    v.kind = JsonScalar::Kind::kString;
+    v.string_value = *std::move(str);
+    return v;
+  }
+  if (c == '{' || c == '[') {
+    return Status::Unimplemented("nested values are not supported");
+  }
+  // Bare token: number, true, false, null.
+  size_t end = *i;
+  while (end < s.size() && s[end] != ',' && s[end] != '}' &&
+         std::isspace(static_cast<unsigned char>(s[end])) == 0) {
+    ++end;
+  }
+  const std::string_view token = s.substr(*i, end - *i);
+  *i = end;
+  if (token == "true" || token == "false") {
+    v.kind = JsonScalar::Kind::kBool;
+    v.bool_value = token == "true";
+    return v;
+  }
+  if (token == "null") {
+    v.kind = JsonScalar::Kind::kNull;
+    return v;
+  }
+  auto num = ParseDouble(token);
+  if (!num.ok()) {
+    return Status::InvalidArgument(
+        StrFormat("bad scalar '%.*s'", static_cast<int>(token.size()),
+                  token.data()));
+  }
+  v.kind = JsonScalar::Kind::kNumber;
+  v.number_value = *num;
+  return v;
+}
+
+}  // namespace
+
+Result<std::map<std::string, JsonScalar>> ParseJsonFlatObject(
+    std::string_view line) {
+  std::map<std::string, JsonScalar> out;
+  size_t i = 0;
+  SkipSpace(line, &i);
+  if (i >= line.size() || line[i] != '{') {
+    return Status::InvalidArgument("expected '{'");
+  }
+  ++i;
+  SkipSpace(line, &i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      SkipSpace(line, &i);
+      auto key = ParseString(line, &i);
+      if (!key.ok()) return key.status();
+      SkipSpace(line, &i);
+      if (i >= line.size() || line[i] != ':') {
+        return Status::InvalidArgument("expected ':'");
+      }
+      ++i;
+      auto value = ParseScalar(line, &i);
+      if (!value.ok()) return value.status();
+      if (!out.emplace(*std::move(key), *std::move(value)).second) {
+        return Status::InvalidArgument("duplicate key");
+      }
+      SkipSpace(line, &i);
+      if (i >= line.size()) return Status::InvalidArgument("unterminated {");
+      if (line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (line[i] == '}') {
+        ++i;
+        break;
+      }
+      return Status::InvalidArgument("expected ',' or '}'");
+    }
+  }
+  SkipSpace(line, &i);
+  if (i != line.size()) {
+    return Status::InvalidArgument("trailing characters after object");
+  }
+  return out;
+}
+
+}  // namespace comx

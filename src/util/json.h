@@ -1,0 +1,87 @@
+// Minimal JSON support for the observability layer and machine-readable
+// result output: a streaming writer (objects, arrays, scalars, escaping)
+// and a strict parser for *flat* objects of scalars — exactly the shape of
+// our JSONL trace records and metric snapshots. Not a general JSON library.
+
+#ifndef COMX_UTIL_JSON_H_
+#define COMX_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace comx {
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+/// Formats a double so it round-trips exactly through ParseDouble
+/// (shortest-exact via %.17g, with inf/nan mapped to null).
+std::string JsonDouble(double v);
+
+/// Append-only JSON builder. The caller drives structure via Begin/End
+/// calls; commas are inserted automatically. No validation beyond balanced
+/// nesting is attempted — this is a formatting helper, not a DOM.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Starts a "key": inside an object; follow with a value or Begin*.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(int32_t v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(bool v);
+  JsonWriter& Null();
+
+  /// Splices pre-rendered JSON in as one value (no quoting or escaping).
+  /// The caller is responsible for `json` being well-formed.
+  JsonWriter& Raw(std::string_view json);
+
+  /// Key + scalar in one call.
+  template <typename T>
+  JsonWriter& KV(std::string_view key, const T& v) {
+    Key(key);
+    return Value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // Whether the current nesting level already holds an element.
+  std::vector<bool> has_element_{false};
+  bool pending_key_ = false;
+};
+
+/// One scalar field of a flat JSON object.
+struct JsonScalar {
+  enum class Kind { kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::string string_value;
+  double number_value = 0.0;
+  bool bool_value = false;
+};
+
+/// Parses a single-line, non-nested JSON object such as
+/// {"a": 1, "b": "x", "c": true}. Errors on nested objects/arrays,
+/// duplicate keys, or malformed syntax.
+Result<std::map<std::string, JsonScalar>> ParseJsonFlatObject(
+    std::string_view line);
+
+}  // namespace comx
+
+#endif  // COMX_UTIL_JSON_H_

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <string>
 
 namespace comx {
 namespace {
@@ -37,7 +39,20 @@ void LogMessage(LogLevel level, const std::string& message) {
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  // Assemble the whole line first and emit it with one guarded fwrite so
+  // concurrent loggers (ThreadPool workers, traced simulations) never
+  // interleave fragments of their lines.
+  std::string line;
+  const char* name = LevelName(level);
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += name;
+  line += "] ";
+  line += message;
+  line += '\n';
+  static std::mutex* mu = new std::mutex;  // leaked: usable during shutdown
+  std::lock_guard<std::mutex> lock(*mu);
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace comx

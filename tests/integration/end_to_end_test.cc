@@ -1,7 +1,9 @@
 // Full-stack tests: generated city workloads through every algorithm, with
 // the paper's qualitative orderings asserted.
 
+#include <cstdio>
 #include <memory>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -11,6 +13,8 @@
 #include "core/tota_greedy.h"
 #include "datagen/real_like.h"
 #include "datagen/synthetic.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace comx {
@@ -143,6 +147,73 @@ TEST(EndToEndTest, RealLikeCloneRunsAllAlgorithms) {
   EXPECT_GT(tota.revenue, 0.0);
   EXPECT_GE(dem.revenue, tota.revenue * 0.9);
   EXPECT_GE(ram.revenue, tota.revenue * 0.9);
+}
+
+TEST(EndToEndTest, ObservabilityChangesNoResult) {
+  // The determinism guard for the tracing/metrics layer: running with the
+  // trace sink attached and metric collection on must yield assignment-for-
+  // assignment identical results — instrumentation never consumes RNG
+  // draws.
+  const Instance ins = MidInstance();
+  const SimConfig plain = DayConfig();
+
+  DemCom d0, d1;
+  auto bare = RunSimulation(ins, {&d0, &d1}, plain, 5);
+  ASSERT_TRUE(bare.ok());
+
+  obs::VectorTraceSink sink;
+  SimConfig traced = plain;
+  traced.trace = &sink;
+  obs::SetCollectionEnabled(true);
+  DemCom t0, t1;
+  auto observed = RunSimulation(ins, {&t0, &t1}, traced, 5);
+  obs::SetCollectionEnabled(false);
+  ASSERT_TRUE(observed.ok());
+
+  ASSERT_EQ(bare->matching.assignments.size(),
+            observed->matching.assignments.size());
+  for (size_t i = 0; i < bare->matching.assignments.size(); ++i) {
+    const Assignment& a = bare->matching.assignments[i];
+    const Assignment& b = observed->matching.assignments[i];
+    EXPECT_EQ(a.request, b.request);
+    EXPECT_EQ(a.worker, b.worker);
+    EXPECT_EQ(a.is_outer, b.is_outer);
+    EXPECT_EQ(a.outer_payment, b.outer_payment);  // bit-exact
+    EXPECT_EQ(a.revenue, b.revenue);
+  }
+  EXPECT_EQ(bare->metrics.TotalRevenue(), observed->metrics.TotalRevenue());
+}
+
+TEST(EndToEndTest, TraceReplayReproducesRunRevenue) {
+  // Write a real simulation trace through the JSONL writer, then replay it
+  // from disk: the acceptance criterion is bit-exact revenue reproduction.
+  const Instance ins = MidInstance();
+  const SimConfig base = DayConfig();
+  const std::string path = ::testing::TempDir() + "e2e_trace.jsonl";
+  auto writer = obs::JsonlTraceWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+
+  SimConfig traced = base;
+  traced.trace = writer->get();
+  DemCom m0, m1;
+  auto result = RunSimulation(ins, {&m0, &m1}, traced, 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto replay = obs::ReplayTraceFile(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(obs::CheckTraceReplay(*replay).ok());
+  ASSERT_EQ(replay->platform_revenue.size(), 2u);
+  EXPECT_EQ(replay->platform_revenue[0],
+            result->metrics.per_platform[0].revenue);
+  EXPECT_EQ(replay->platform_revenue[1],
+            result->metrics.per_platform[1].revenue);
+  EXPECT_EQ(replay->total_revenue, result->metrics.TotalRevenue());
+  EXPECT_EQ(replay->assignments,
+            static_cast<int64_t>(result->matching.assignments.size()));
+  EXPECT_EQ(replay->decision_events,
+            static_cast<int64_t>(ins.requests().size()));
+  std::remove(path.c_str());
 }
 
 TEST(EndToEndTest, MixedMatchersPerPlatform) {

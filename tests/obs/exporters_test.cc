@@ -1,0 +1,119 @@
+#include "obs/exporters.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.h"
+
+namespace comx {
+namespace obs {
+namespace {
+
+// Builds a private registry with one of everything (the global registry's
+// contents depend on which tests ran before).
+class ExportersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetCollectionEnabled(true);
+    registry_.GetCounter("comx_test_ops_total", "operations")->Inc(5);
+    registry_.GetCounter(MetricName("comx_test_labeled_total", "platform",
+                                    int64_t{0}),
+                        "labeled")->Inc(2);
+    registry_.GetGauge("comx_test_depth", "queue depth")->Set(3.5);
+    Histogram* h =
+        registry_.GetHistogram("comx_test_latency", {1.0, 2.0}, "latency");
+    h->Observe(0.5);
+    h->Observe(1.5);
+    h->Observe(9.0);
+  }
+  void TearDown() override { SetCollectionEnabled(false); }
+
+  MetricsRegistry registry_;
+};
+
+TEST_F(ExportersTest, PrometheusTextHasHeadersAndSeries) {
+  const std::string text = ToPrometheusText(registry_.Snapshot());
+  EXPECT_NE(text.find("# HELP comx_test_ops_total operations"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE comx_test_ops_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("comx_test_ops_total 5\n"), std::string::npos);
+  EXPECT_NE(text.find("comx_test_labeled_total{platform=\"0\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE comx_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("comx_test_depth 3.5\n"), std::string::npos);
+}
+
+TEST_F(ExportersTest, PrometheusHistogramBucketsAreCumulative) {
+  const std::string text = ToPrometheusText(registry_.Snapshot());
+  EXPECT_NE(text.find("# TYPE comx_test_latency histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("comx_test_latency_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("comx_test_latency_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("comx_test_latency_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("comx_test_latency_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("comx_test_latency_sum 11\n"), std::string::npos);
+}
+
+TEST_F(ExportersTest, HelpHeaderEmittedOncePerLabeledFamily) {
+  registry_.GetCounter(MetricName("comx_test_labeled_total", "platform",
+                                  int64_t{1}),
+                      "labeled")->Inc(4);
+  const std::string text = ToPrometheusText(registry_.Snapshot());
+  size_t first = text.find("# TYPE comx_test_labeled_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE comx_test_labeled_total counter", first + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("comx_test_labeled_total{platform=\"1\"} 4\n"),
+            std::string::npos);
+}
+
+TEST_F(ExportersTest, JsonSnapshotListsEveryMetric) {
+  const std::string json = ToJson(registry_.Snapshot());
+  EXPECT_NE(json.find("\"comx_test_ops_total\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"comx_test_depth\":3.5"), std::string::npos);
+  EXPECT_NE(json.find("\"comx_test_latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+  // Balanced braces as a cheap well-formedness check.
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ExportersTest, ParseMetricsFormatAcceptsKnownNames) {
+  ASSERT_TRUE(ParseMetricsFormat("prom").ok());
+  EXPECT_EQ(*ParseMetricsFormat("prom"), MetricsFormat::kPrometheus);
+  EXPECT_EQ(*ParseMetricsFormat("prometheus"), MetricsFormat::kPrometheus);
+  EXPECT_EQ(*ParseMetricsFormat("json"), MetricsFormat::kJson);
+  EXPECT_FALSE(ParseMetricsFormat("xml").ok());
+}
+
+TEST_F(ExportersTest, WriteMetricsFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "metrics_export.prom";
+  ASSERT_TRUE(
+      WriteMetricsFile(registry_, path, MetricsFormat::kPrometheus).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), ToPrometheusText(registry_.Snapshot()));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace comx

@@ -1,0 +1,69 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.h"
+
+namespace comx {
+namespace obs {
+namespace {
+
+Histogram* PhaseHistogram(const char* phase) {
+  return MetricsRegistry::Global().GetHistogram(
+      MetricName("comx_span_seconds", "phase", phase),
+      DefaultLatencyBoundsSeconds());
+}
+
+TEST(SpanTest, RecordsOneObservationPerScope) {
+  SetCollectionEnabled(true);
+  Histogram* h = PhaseHistogram("span_test_phase");
+  const int64_t before = h->Count();
+  for (int i = 0; i < 3; ++i) {
+    COMX_SPAN("span_test_phase");
+  }
+  SetCollectionEnabled(false);
+  EXPECT_EQ(h->Count(), before + 3);
+  EXPECT_GE(h->Sum(), 0.0);
+}
+
+TEST(SpanTest, DisabledCollectionRecordsNothing) {
+  SetCollectionEnabled(false);
+  Histogram* h = PhaseHistogram("span_test_disabled");
+  const int64_t before = h->Count();
+  {
+    COMX_SPAN("span_test_disabled");
+  }
+  EXPECT_EQ(h->Count(), before);
+}
+
+TEST(SpanTest, EnableStateIsSampledAtScopeEntry) {
+  // A span opened while disabled must not record even if collection is
+  // turned on before the scope closes (it never started its clock).
+  SetCollectionEnabled(false);
+  Histogram* h = PhaseHistogram("span_test_toggle");
+  const int64_t before = h->Count();
+  {
+    COMX_SPAN("span_test_toggle");
+    SetCollectionEnabled(true);
+  }
+  SetCollectionEnabled(false);
+  EXPECT_EQ(h->Count(), before);
+}
+
+TEST(SpanTest, TwoSitesSamePhaseShareOneHistogram) {
+  SetCollectionEnabled(true);
+  Histogram* h = PhaseHistogram("span_test_shared");
+  const int64_t before = h->Count();
+  {
+    COMX_SPAN("span_test_shared");
+  }
+  {
+    COMX_SPAN("span_test_shared");
+  }
+  SetCollectionEnabled(false);
+  EXPECT_EQ(h->Count(), before + 2);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace comx

@@ -1,0 +1,199 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace obs {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TraceEvent SampleEvent() {
+  TraceEvent ev;
+  ev.seq = 7;
+  ev.time = 1234.5678901234567;
+  ev.platform = 1;
+  ev.request = 42;
+  ev.value = 10.0 / 3.0;  // not exactly representable in decimal
+  ev.inner_candidates = 0;
+  ev.outer_candidates = 5;
+  ev.priced_candidates = 3;
+  ev.accepting = 2;
+  ev.bisect_iterations = 64;
+  ev.estimator_samples = 48;
+  ev.estimated_payment = 0.1 + 0.2;  // classic round-trip hazard
+  ev.outcome = "outer";
+  ev.worker = 17;
+  ev.payment = 0.30000000000000004;
+  ev.revenue = ev.value - ev.payment;
+  return ev;
+}
+
+TEST(TraceJsonTest, EventRoundTripsExactly) {
+  const TraceEvent ev = SampleEvent();
+  auto parsed = ParseTraceEvent(TraceEventToJson(ev));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->seq, ev.seq);
+  EXPECT_EQ(parsed->time, ev.time);  // bit-exact, not approximate
+  EXPECT_EQ(parsed->platform, ev.platform);
+  EXPECT_EQ(parsed->request, ev.request);
+  EXPECT_EQ(parsed->value, ev.value);
+  EXPECT_EQ(parsed->inner_candidates, ev.inner_candidates);
+  EXPECT_EQ(parsed->outer_candidates, ev.outer_candidates);
+  EXPECT_EQ(parsed->priced_candidates, ev.priced_candidates);
+  EXPECT_EQ(parsed->accepting, ev.accepting);
+  EXPECT_EQ(parsed->bisect_iterations, ev.bisect_iterations);
+  EXPECT_EQ(parsed->estimator_samples, ev.estimator_samples);
+  EXPECT_EQ(parsed->estimated_payment, ev.estimated_payment);
+  EXPECT_EQ(parsed->outcome, ev.outcome);
+  EXPECT_EQ(parsed->worker, ev.worker);
+  EXPECT_EQ(parsed->payment, ev.payment);
+  EXPECT_EQ(parsed->revenue, ev.revenue);
+}
+
+TEST(TraceJsonTest, SummaryRoundTripsExactly) {
+  TraceSummary s;
+  s.events_written = 100;
+  s.events_dropped = 3;
+  s.assignments = 55;
+  s.platform_revenue = {123.45600000000002, 0.0, 7.0 / 9.0};
+  s.total_revenue =
+      s.platform_revenue[0] + s.platform_revenue[1] + s.platform_revenue[2];
+  auto parsed = ParseTraceSummary(TraceSummaryToJson(s));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->events_written, s.events_written);
+  EXPECT_EQ(parsed->events_dropped, s.events_dropped);
+  EXPECT_EQ(parsed->assignments, s.assignments);
+  ASSERT_EQ(parsed->platform_revenue.size(), s.platform_revenue.size());
+  for (size_t i = 0; i < s.platform_revenue.size(); ++i) {
+    EXPECT_EQ(parsed->platform_revenue[i], s.platform_revenue[i]);
+  }
+  EXPECT_EQ(parsed->total_revenue, s.total_revenue);
+}
+
+TEST(TraceJsonTest, EventParserRejectsSummaryLineAndGarbage) {
+  TraceSummary s;
+  EXPECT_FALSE(ParseTraceEvent(TraceSummaryToJson(s)).ok());
+  EXPECT_FALSE(ParseTraceEvent("not json").ok());
+  EXPECT_FALSE(ParseTraceSummary(TraceEventToJson(SampleEvent())).ok());
+}
+
+TEST(JsonlTraceWriterTest, WritesReplayableFile) {
+  const std::string path = TempPath("trace_writer_ok.jsonl");
+  auto writer = JsonlTraceWriter::Open(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+
+  TraceSummary summary;
+  double p0 = 0.0, p1 = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent ev = SampleEvent();
+    ev.seq = i;
+    ev.platform = i % 2;
+    ev.outcome = (i % 3 == 0) ? "reject" : "inner";
+    ev.revenue = (ev.outcome == "reject") ? 0.0 : 1.0 / (i + 1);
+    if (ev.outcome != "reject") {
+      ++summary.assignments;
+      (ev.platform == 0 ? p0 : p1) += ev.revenue;
+    }
+    (*writer)->Record(ev);
+  }
+  summary.platform_revenue = {p0, p1};
+  summary.total_revenue = p0 + p1;
+  (*writer)->Summary(summary);
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_EQ((*writer)->written(), 10);
+  EXPECT_EQ((*writer)->dropped(), 0);
+
+  auto replay = ReplayTraceFile(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->decision_events, 10);
+  EXPECT_EQ(replay->assignments, summary.assignments);
+  EXPECT_TRUE(replay->has_summary);
+  EXPECT_TRUE(CheckTraceReplay(*replay).ok());
+  std::remove(path.c_str());
+}
+
+TEST(JsonlTraceWriterTest, BoundDropsAndSummaryReportsIt) {
+  const std::string path = TempPath("trace_writer_bounded.jsonl");
+  JsonlTraceWriter::Options options;
+  options.max_events = 3;
+  auto writer = JsonlTraceWriter::Open(path, options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (int i = 0; i < 8; ++i) {
+    TraceEvent ev = SampleEvent();
+    ev.seq = i;
+    (*writer)->Record(ev);
+  }
+  TraceSummary summary;  // the writer patches written/dropped on its own
+  (*writer)->Summary(summary);
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_EQ((*writer)->written(), 3);
+  EXPECT_EQ((*writer)->dropped(), 5);
+
+  auto replay = ReplayTraceFile(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->decision_events, 3);
+  EXPECT_EQ(replay->summary.events_dropped, 5);
+  // A lossy trace can't vouch for the totals: the check must refuse.
+  EXPECT_FALSE(CheckTraceReplay(*replay).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplayTest, DetectsTamperedRevenue) {
+  const std::string path = TempPath("trace_tampered.jsonl");
+  auto writer = JsonlTraceWriter::Open(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  TraceEvent ev = SampleEvent();
+  ev.platform = 0;
+  ev.outcome = "inner";
+  ev.revenue = 5.0;
+  (*writer)->Record(ev);
+  TraceSummary summary;
+  summary.assignments = 1;
+  summary.platform_revenue = {5.000000001};  // off by 1e-9: must be caught
+  summary.total_revenue = 5.000000001;
+  (*writer)->Summary(summary);
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto replay = ReplayTraceFile(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(CheckTraceReplay(*replay).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplayTest, MissingSummaryIsAnError) {
+  const std::string path = TempPath("trace_no_summary.jsonl");
+  auto writer = JsonlTraceWriter::Open(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  (*writer)->Record(SampleEvent());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto replay = ReplayTraceFile(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(replay->has_summary);
+  EXPECT_FALSE(CheckTraceReplay(*replay).ok());
+  std::remove(path.c_str());
+}
+
+TEST(VectorTraceSinkTest, KeepsEventsAndSummary) {
+  VectorTraceSink sink;
+  sink.Record(SampleEvent());
+  sink.Record(SampleEvent());
+  EXPECT_EQ(sink.events().size(), 2u);
+  EXPECT_FALSE(sink.has_summary());
+  TraceSummary s;
+  s.assignments = 2;
+  sink.Summary(s);
+  EXPECT_TRUE(sink.has_summary());
+  EXPECT_EQ(sink.summary().assignments, 2);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace comx

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/json.h"
+
 namespace comx {
 namespace {
 
@@ -77,6 +79,47 @@ TEST(SimMetricsTest, EmptyTotals) {
   SimMetrics sm;
   EXPECT_EQ(sm.TotalRevenue(), 0.0);
   EXPECT_EQ(sm.TotalCooperative(), 0);
+}
+
+TEST(PlatformMetricsTest, ToJsonIsFlatAndRoundTrips) {
+  PlatformMetrics m;
+  m.revenue = 123.456;
+  m.completed = 10;
+  m.completed_inner = 6;
+  m.completed_outer = 4;
+  m.rejected = 3;
+  m.outer_offers = 8;
+  m.outer_payment_sum = 20.5;
+  m.payment_rate_sum = 2.4;
+  m.total_pickup_km = 31.25;
+  m.response_time_us.Add(1000.0);
+  // Platform blocks are flat scalar objects, so the strict flat parser can
+  // read them back — the same guarantee the trace lines rely on.
+  auto parsed = ParseJsonFlatObject(m.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ((*parsed)["revenue"].number_value, 123.456);
+  EXPECT_EQ((*parsed)["completed"].number_value, 10.0);
+  EXPECT_EQ((*parsed)["completed_outer"].number_value, 4.0);
+  EXPECT_EQ((*parsed)["acceptance_ratio"].number_value, 0.5);
+  EXPECT_EQ((*parsed)["mean_payment_rate"].number_value, 0.6);
+  EXPECT_EQ((*parsed)["mean_response_time_ms"].number_value, 1.0);
+  EXPECT_EQ((*parsed)["response_time_samples"].number_value, 1.0);
+}
+
+TEST(SimMetricsTest, ToJsonEmbedsEveryPlatform) {
+  SimMetrics sm;
+  sm.per_platform.resize(2);
+  sm.per_platform[0].revenue = 7.0;
+  sm.per_platform[1].revenue = 3.5;
+  sm.logical_bytes = 4096;
+  sm.wall_seconds = 0.25;
+  const std::string json = sm.ToJson();
+  EXPECT_NE(json.find("\"platforms\":["), std::string::npos);
+  EXPECT_NE(json.find("\"revenue\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"revenue\":3.5"), std::string::npos);
+  EXPECT_NE(json.find("\"total_revenue\":10.5"), std::string::npos);
+  EXPECT_NE(json.find("\"logical_bytes\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\":0.25"), std::string::npos);
 }
 
 }  // namespace

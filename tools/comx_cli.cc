@@ -12,8 +12,13 @@
 //   comx_cli info     --data PREFIX
 //   comx_cli run      --data PREFIX --algo ALGO [--seeds N] [--no-recycle]
 //                     [--save-matching OUT.csv]
+//                     [--trace-out TRACE.jsonl] [--metrics-out FILE]
+//                     [--metrics-format prom|json]
 //                     (ALGO: tota, ranking, greedyrt, demcom, ramcom,
 //                      costdem)
+//                     --trace-out records every first-seed decision as one
+//                     JSONL line (verify with trace_inspect); --metrics-out
+//                     dumps the metrics registry after the run.
 //   comx_cli offline  --data PREFIX [--capacity K] [--no-outer]
 //   comx_cli schedule --data PREFIX [--no-recycle]   (exact, tiny instances)
 //   comx_cli batch    --data PREFIX [--window SECONDS] [--seeds N]
@@ -37,6 +42,9 @@
 #include "datagen/density.h"
 #include "datagen/real_like.h"
 #include "datagen/synthetic.h"
+#include "obs/exporters.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "sim/batch_simulator.h"
 #include "sim/competitive_ratio.h"
 #include "sim/offline_schedule.h"
@@ -178,6 +186,26 @@ int CmdRun(int argc, char** argv) {
   sim.workers_recycle = !HasFlag(argc, argv, "--no-recycle");
 
   const char* save_matching = FlagValue(argc, argv, "--save-matching");
+  const char* trace_out = FlagValue(argc, argv, "--trace-out");
+  const char* metrics_out = FlagValue(argc, argv, "--metrics-out");
+  obs::MetricsFormat metrics_format = obs::MetricsFormat::kPrometheus;
+  if (const char* fmt = FlagValue(argc, argv, "--metrics-format");
+      fmt != nullptr) {
+    auto parsed = obs::ParseMetricsFormat(fmt);
+    if (!parsed.ok()) return Fail(parsed.status());
+    metrics_format = *parsed;
+  }
+  // Metric collection is off (and free) unless observability was asked for.
+  if (trace_out != nullptr || metrics_out != nullptr) {
+    obs::SetCollectionEnabled(true);
+  }
+  std::unique_ptr<obs::JsonlTraceWriter> trace;
+  if (trace_out != nullptr) {
+    auto opened = obs::JsonlTraceWriter::Open(trace_out);
+    if (!opened.ok()) return Fail(opened.status());
+    trace = std::move(*opened);
+  }
+
   PlatformMetrics agg;
   std::vector<PlatformMetrics> per_platform(
       static_cast<size_t>(instance->PlatformCount()));
@@ -192,6 +220,8 @@ int CmdRun(int argc, char** argv) {
       }
       matchers.push_back(owned.back().get());
     }
+    // Like --save-matching, the decision trace covers the first seed only.
+    sim.trace = (s == 1) ? trace.get() : nullptr;
     auto result = RunSimulation(*instance, matchers, sim,
                                 static_cast<uint64_t>(s));
     if (!result.ok()) return Fail(result.status());
@@ -217,6 +247,23 @@ int CmdRun(int argc, char** argv) {
   std::printf("  aggregate:  %s\n", agg.ToString().c_str());
   std::printf("  pickup km:  %.1f (net revenue at 2/km: %.1f)\n",
               agg.total_pickup_km, agg.NetRevenue(2.0));
+  if (trace != nullptr) {
+    if (Status st = trace->Close(); !st.ok()) return Fail(st);
+    std::printf("wrote first-seed decision trace to %s (%lld events, %lld "
+                "dropped); verify with: trace_inspect %s\n",
+                trace_out, static_cast<long long>(trace->written()),
+                static_cast<long long>(trace->dropped()), trace_out);
+  }
+  if (metrics_out != nullptr) {
+    if (Status st = obs::WriteMetricsFile(obs::MetricsRegistry::Global(),
+                                          metrics_out, metrics_format);
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote metrics (%s) to %s\n",
+                metrics_format == obs::MetricsFormat::kJson ? "json" : "prom",
+                metrics_out);
+  }
   return 0;
 }
 

@@ -1,0 +1,73 @@
+// trace_inspect — replays a decision trace written by `comx_cli run
+// --trace-out` (or any obs::JsonlTraceWriter) and cross-checks it against
+// its own summary line: event counts must match and the per-platform /
+// total revenue re-accumulated from the decision lines must reproduce the
+// recorded totals bit-exactly. Exit 0 when the trace checks out, 1 on any
+// mismatch or parse error.
+//
+// Usage:
+//   trace_inspect TRACE.jsonl [--quiet]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace comx {
+namespace {
+
+int Main(int argc, char** argv) {
+  const char* path = nullptr;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: trace_inspect TRACE.jsonl [--quiet]\n");
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: trace_inspect TRACE.jsonl [--quiet]\n");
+    return 2;
+  }
+
+  auto replay = obs::ReplayTraceFile(path);
+  if (!replay.ok()) {
+    std::fprintf(stderr, "error: %s\n", replay.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!quiet) {
+    std::printf("%s: %lld decision events, %lld assignments, %lld rejects\n",
+                path, static_cast<long long>(replay->decision_events),
+                static_cast<long long>(replay->assignments),
+                static_cast<long long>(replay->decision_events -
+                                       replay->assignments));
+    for (size_t p = 0; p < replay->platform_revenue.size(); ++p) {
+      std::printf("  platform %zu revenue: %.2f\n", p,
+                  replay->platform_revenue[p]);
+    }
+    std::printf("  total revenue: %.2f\n", replay->total_revenue);
+    std::printf("  Alg. 2 bisection iterations: %lld\n",
+                static_cast<long long>(replay->bisect_iterations));
+  }
+
+  if (Status st = obs::CheckTraceReplay(*replay); !st.ok()) {
+    std::fprintf(stderr, "trace check FAILED: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("summary check OK: replayed totals reproduce the recorded "
+                "revenue exactly\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace comx
+
+int main(int argc, char** argv) { return comx::Main(argc, argv); }
