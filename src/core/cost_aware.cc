@@ -1,5 +1,8 @@
 #include "core/cost_aware.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace comx {
 
 void CostAwareDemCom::Reset(const Instance& /*instance*/,
@@ -65,7 +68,18 @@ Decision CostAwareDemCom::OnRequest(const Request& r,
     d.attempted_outer = true;
     return d;
   }
-  return Decision::Outer(w, payment);
+  Decision d = Decision::Outer(w, payment);
+  // Fallbacks: remaining profitable accepting workers, best net first
+  // (ties by lower id), matching BestByNet's preference order.
+  std::vector<std::pair<double, WorkerId>> ranked;
+  for (WorkerId c : accepting) {
+    const double net =
+        r.value - payment - config_.cost_per_km * view.DistanceTo(c, r);
+    if (c != w && net > 0.0) ranked.emplace_back(-net, c);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (const auto& [neg_net, c] : ranked) d.fallback_workers.push_back(c);
+  return d;
 }
 
 }  // namespace comx

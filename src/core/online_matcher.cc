@@ -19,6 +19,19 @@ WorkerId NearestWorker(const std::vector<WorkerId>& candidates,
   return best;
 }
 
+std::vector<WorkerId> RankByDistance(std::vector<WorkerId> candidates,
+                                     const Request& r,
+                                     const PlatformView& view) {
+  std::vector<std::pair<double, WorkerId>> ranked;
+  ranked.reserve(candidates.size());
+  for (WorkerId w : candidates) {
+    ranked.emplace_back(view.DistanceTo(w, r), w);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (size_t i = 0; i < ranked.size(); ++i) candidates[i] = ranked[i].second;
+  return candidates;
+}
+
 void KeepNearest(std::vector<WorkerId>* candidates, const Request& r,
                  const PlatformView& view, int cap) {
   if (cap <= 0 || static_cast<int>(candidates->size()) <= cap) return;

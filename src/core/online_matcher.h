@@ -51,6 +51,13 @@ struct Decision {
   /// price (regardless of whether anyone accepted). Drives the paper's
   /// acceptance-ratio metric |AcpRt| = accepted / offered.
   bool attempted_outer = false;
+  /// For kOuter: the remaining accepting workers in the matcher's own
+  /// preference order (best first), excluding `worker`. The simulator's
+  /// two-phase outer commit falls back to these, in order, when the
+  /// reserve step finds `worker` already taken by another platform
+  /// (fault injection); empty means no fallback and the request degrades
+  /// to a reject. Unused (and left empty) outside fault-plan runs.
+  std::vector<WorkerId> fallback_workers;
   /// Observability by-product; see DecisionStats.
   DecisionStats stats;
 
@@ -117,6 +124,13 @@ class OnlineMatcher {
 /// by lower id for determinism). Returns kInvalidId on empty input.
 WorkerId NearestWorker(const std::vector<WorkerId>& candidates,
                        const Request& r, const PlatformView& view);
+
+/// Shared helper: `candidates` sorted by (distance to `r`, id) ascending.
+/// The front element equals NearestWorker's pick; the rest is the fallback
+/// order for the two-phase outer commit.
+std::vector<WorkerId> RankByDistance(std::vector<WorkerId> candidates,
+                                     const Request& r,
+                                     const PlatformView& view);
 
 /// Shared helper: truncates `candidates` in place to the `cap` nearest
 /// workers (stable: distance, then id). No-op when cap <= 0 or the set is

@@ -99,8 +99,10 @@ Decision RamCom::OnRequest(const Request& r, const PlatformView& view) {
     return d;
   }
   ++diag_.outer_accepts;
-  const WorkerId w = NearestWorker(accepting, r, view);
-  Decision d = Decision::Outer(w, payment);
+  const std::vector<WorkerId> ranked =
+      RankByDistance(std::move(accepting), r, view);
+  Decision d = Decision::Outer(ranked.front(), payment);
+  d.fallback_workers.assign(ranked.begin() + 1, ranked.end());
   d.stats = stats;
   return d;
 }

@@ -1,5 +1,6 @@
 #include "datagen/dataset.h"
 
+#include <cmath>
 #include <fstream>
 
 #include "util/csv.h"
@@ -23,9 +24,38 @@ Result<std::vector<double>> ParseHistory(const std::string& field) {
   if (field.empty()) return out;
   for (const std::string& part : Split(field, ';')) {
     COMX_ASSIGN_OR_RETURN(double v, ParseDouble(part));
+    if (!std::isfinite(v) || v <= 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("history value %g is not a positive finite fare", v));
+    }
     out.push_back(v);
   }
   return out;
+}
+
+// Datasets are city-scale: any coordinate beyond this is a corrupted or
+// mis-scaled file, not a real location (the Earth is ~2e4 km around).
+constexpr double kMaxCoordinateKm = 1e6;
+
+// Semantic checks shared by worker and request rows, with the failing row
+// identified by kind + 1-based CSV line. The model's own Validate() would
+// catch most of these too, but only after the whole file was ingested and
+// without pointing at the offending line.
+Status CheckRowSemantics(const char* kind, size_t row, Timestamp time,
+                         const Point& location) {
+  if (!std::isfinite(time) || time < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("%s row %zu: arrival time %g is negative or not finite",
+                  kind, row, time));
+  }
+  if (!std::isfinite(location.x) || !std::isfinite(location.y) ||
+      std::abs(location.x) > kMaxCoordinateKm ||
+      std::abs(location.y) > kMaxCoordinateKm) {
+    return Status::InvalidArgument(StrFormat(
+        "%s row %zu: location (%g, %g) outside +/-%g km or not finite",
+        kind, row, location.x, location.y, kMaxCoordinateKm));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -86,7 +116,24 @@ Result<Instance> LoadInstance(const std::string& prefix) {
       COMX_ASSIGN_OR_RETURN(w.location.x, ParseDouble(row[3]));
       COMX_ASSIGN_OR_RETURN(w.location.y, ParseDouble(row[4]));
       COMX_ASSIGN_OR_RETURN(w.radius, ParseDouble(row[5]));
-      COMX_ASSIGN_OR_RETURN(w.history, ParseHistory(row[6]));
+      auto history = ParseHistory(row[6]);
+      if (!history.ok()) {
+        return Status::InvalidArgument(StrFormat(
+            "worker row %zu: %s", i, history.status().message().c_str()));
+      }
+      w.history = *std::move(history);
+      if (platform < 0) {
+        return Status::InvalidArgument(
+            StrFormat("worker row %zu: negative platform id %lld", i,
+                      static_cast<long long>(platform)));
+      }
+      COMX_RETURN_IF_ERROR(
+          CheckRowSemantics("worker", i, w.time, w.location));
+      if (!std::isfinite(w.radius) || w.radius <= 0.0) {
+        return Status::InvalidArgument(StrFormat(
+            "worker row %zu: radius %g is not a positive finite range", i,
+            w.radius));
+      }
       w.platform = static_cast<PlatformId>(platform);
       const WorkerId assigned = instance.AddWorker(std::move(w));
       if (assigned != id) {
@@ -114,6 +161,18 @@ Result<Instance> LoadInstance(const std::string& prefix) {
       COMX_ASSIGN_OR_RETURN(r.location.x, ParseDouble(row[3]));
       COMX_ASSIGN_OR_RETURN(r.location.y, ParseDouble(row[4]));
       COMX_ASSIGN_OR_RETURN(r.value, ParseDouble(row[5]));
+      if (platform < 0) {
+        return Status::InvalidArgument(
+            StrFormat("request row %zu: negative platform id %lld", i,
+                      static_cast<long long>(platform)));
+      }
+      COMX_RETURN_IF_ERROR(
+          CheckRowSemantics("request", i, r.time, r.location));
+      if (!std::isfinite(r.value) || r.value <= 0.0) {
+        return Status::InvalidArgument(StrFormat(
+            "request row %zu: value %g is not a positive finite fare", i,
+            r.value));
+      }
       r.platform = static_cast<PlatformId>(platform);
       const RequestId assigned = instance.AddRequest(std::move(r));
       if (assigned != id) {

@@ -1,0 +1,78 @@
+#include "fault/circuit_breaker.h"
+
+namespace comx {
+namespace fault {
+
+bool CircuitBreaker::AllowRequest(Timestamp now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ >= config_.open_seconds) {
+        MoveTo(State::kHalfOpen);
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(Timestamp /*now*/) {
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kOpen:
+      // A success can only follow an AllowRequest, which would have moved
+      // us to half-open first; tolerate the call anyway.
+      break;
+    case State::kHalfOpen:
+      if (++half_open_successes_ >= config_.half_open_successes) {
+        MoveTo(State::kClosed);
+      }
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure(Timestamp now) {
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        opened_at_ = now;
+        MoveTo(State::kOpen);
+      }
+      break;
+    case State::kOpen:
+      break;
+    case State::kHalfOpen:
+      // One failed probe reopens and restarts the cooldown.
+      opened_at_ = now;
+      MoveTo(State::kOpen);
+      break;
+  }
+}
+
+void CircuitBreaker::MoveTo(State next) {
+  if (state_ == next) return;
+  state_ = next;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  ++transitions_;
+}
+
+const char* CircuitBreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+}  // namespace fault
+}  // namespace comx

@@ -1,0 +1,62 @@
+// Per-partner circuit breaker over simulated time.
+//
+// Classic three-state machine: kClosed passes calls through and counts
+// consecutive failures; hitting CircuitBreakerConfig::failure_threshold
+// trips it to kOpen, which rejects calls without touching the partner
+// until open_seconds of simulated time elapse. The first allowed call
+// after the cooldown runs as a kHalfOpen probe: half_open_successes
+// consecutive probe successes close the breaker, a single probe failure
+// reopens it (restarting the cooldown). All time is the simulation clock
+// passed by the caller — the breaker never reads a wall clock, so runs
+// stay deterministic.
+
+#ifndef COMX_FAULT_CIRCUIT_BREAKER_H_
+#define COMX_FAULT_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+
+#include "fault/fault_plan.h"
+#include "model/ids.h"
+
+namespace comx {
+namespace fault {
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const CircuitBreakerConfig& config)
+      : config_(config) {}
+
+  /// Whether a call may go through at simulated time `now`. Moves kOpen to
+  /// kHalfOpen once the cooldown has elapsed.
+  bool AllowRequest(Timestamp now);
+
+  /// Reports the outcome of a call previously allowed by AllowRequest.
+  void RecordSuccess(Timestamp now);
+  void RecordFailure(Timestamp now);
+
+  State state() const { return state_; }
+
+  /// Total state changes so far — lets tests assert exact transition
+  /// sequences and the session export a monotone transitions counter.
+  int64_t transitions() const { return transitions_; }
+
+ private:
+  void MoveTo(State next);
+
+  CircuitBreakerConfig config_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  Timestamp opened_at_ = 0.0;
+  int64_t transitions_ = 0;
+};
+
+/// Stable lowercase name for metrics/trace output.
+const char* CircuitBreakerStateName(CircuitBreaker::State state);
+
+}  // namespace fault
+}  // namespace comx
+
+#endif  // COMX_FAULT_CIRCUIT_BREAKER_H_

@@ -1,0 +1,63 @@
+#include "fault/fault_injector.h"
+
+namespace comx {
+namespace fault {
+namespace {
+
+// splitmix64 step — mixes the plan seed into the run seed so that
+// (plan, run_seed) pairs land on unrelated streams.
+uint64_t MixSeeds(uint64_t a, uint64_t b) {
+  uint64_t z = a + 0x9e3779b97f4a7c15ull + (b << 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* AttemptOutcomeName(AttemptOutcome outcome) {
+  switch (outcome) {
+    case AttemptOutcome::kOk:
+      return "ok";
+    case AttemptOutcome::kTimeout:
+      return "timeout";
+    case AttemptOutcome::kUnavailable:
+      return "unavailable";
+    case AttemptOutcome::kOutage:
+      return "outage";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t run_seed)
+    : plan_(&plan), rng_(MixSeeds(plan.seed, run_seed)) {}
+
+AttemptResult FaultInjector::QueryAttempt(PlatformId partner, Timestamp now) {
+  AttemptResult result;
+  const PartnerFaultSpec* spec = plan_->SpecFor(partner);
+  if (spec == nullptr || spec->Trivial()) return result;
+  if (spec->DownAt(now)) {
+    result.outcome = AttemptOutcome::kOutage;
+    return result;
+  }
+  if (spec->availability < 1.0 && !rng_.Bernoulli(spec->availability)) {
+    result.outcome = AttemptOutcome::kUnavailable;
+    return result;
+  }
+  if (spec->latency_ms_mean > 0.0) {
+    result.latency_ms = rng_.Exponential(1.0 / spec->latency_ms_mean);
+    if (spec->timeout_ms > 0.0 && result.latency_ms > spec->timeout_ms) {
+      result.outcome = AttemptOutcome::kTimeout;
+    }
+  }
+  return result;
+}
+
+bool FaultInjector::ReserveConflict(PlatformId partner) {
+  const PartnerFaultSpec* spec = plan_->SpecFor(partner);
+  if (spec == nullptr || spec->stale_probability <= 0.0) return false;
+  return rng_.Bernoulli(spec->stale_probability);
+}
+
+}  // namespace fault
+}  // namespace comx

@@ -1,0 +1,71 @@
+// Deterministic fault source. Turns a FaultPlan into per-attempt outcomes
+// using a dedicated seeded Rng, so enabling fault injection never perturbs
+// the matchers' own random streams. A trivial partner spec (or no spec)
+// short-circuits to success without consuming a draw, which is what makes
+// an availability-1.0 plan bit-identical to running with no plan at all.
+
+#ifndef COMX_FAULT_FAULT_INJECTOR_H_
+#define COMX_FAULT_FAULT_INJECTOR_H_
+
+#include "fault/fault_plan.h"
+#include "model/ids.h"
+#include "util/rng.h"
+
+namespace comx {
+namespace fault {
+
+/// Outcome of one injected RPC attempt against a partner.
+enum class AttemptOutcome {
+  kOk,           // attempt succeeded (latency, if any, within budget)
+  kTimeout,      // injected latency exceeded the partner's timeout budget
+  kUnavailable,  // per-attempt availability draw failed
+  kOutage,       // inside a scheduled outage window (no draw consumed)
+};
+
+struct AttemptResult {
+  AttemptOutcome outcome = AttemptOutcome::kOk;
+  /// Injected latency for this attempt, ms (0 when the spec injects none).
+  double latency_ms = 0.0;
+
+  bool ok() const { return outcome == AttemptOutcome::kOk; }
+};
+
+const char* AttemptOutcomeName(AttemptOutcome outcome);
+
+class FaultInjector {
+ public:
+  /// `run_seed` is the simulation seed; the plan's own seed is folded in so
+  /// one plan replays deterministically across many run seeds. The plan is
+  /// borrowed and must outlive the injector — temporaries are rejected.
+  FaultInjector(const FaultPlan& plan, uint64_t run_seed);
+  FaultInjector(FaultPlan&&, uint64_t) = delete;
+
+  /// True when queries against `partner` can ever fail — the single-branch
+  /// fast path callers test before doing any resilience work.
+  bool PartnerFaulty(PlatformId partner) const {
+    const PartnerFaultSpec* spec = plan_->SpecFor(partner);
+    return spec != nullptr && !spec->Trivial();
+  }
+
+  /// Draws the outcome of one query attempt at simulated time `now`.
+  AttemptResult QueryAttempt(PlatformId partner, Timestamp now);
+
+  /// Draws whether the reserve step of an outer commit finds the worker
+  /// already taken (stale waiting-list view). Distinct from QueryAttempt:
+  /// a conflict is a *valid* partner response, not a partner failure.
+  bool ReserveConflict(PlatformId partner);
+
+  /// Deterministic jitter draw in [0, 1) for retry backoff.
+  double JitterUnit() { return rng_.NextDouble(); }
+
+  const FaultPlan& plan() const { return *plan_; }
+
+ private:
+  const FaultPlan* plan_;
+  Rng rng_;
+};
+
+}  // namespace fault
+}  // namespace comx
+
+#endif  // COMX_FAULT_FAULT_INJECTOR_H_

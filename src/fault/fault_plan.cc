@@ -1,0 +1,308 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace comx {
+namespace fault {
+namespace {
+
+// Pulls an optional numeric field out of a parsed flat object.
+Status TakeNumber(std::map<std::string, JsonScalar>* obj,
+                  const std::string& key, double* out) {
+  const auto it = obj->find(key);
+  if (it == obj->end()) return Status::OK();
+  if (it->second.kind != JsonScalar::Kind::kNumber) {
+    return Status::InvalidArgument(
+        StrFormat("field '%s' is not a number", key.c_str()));
+  }
+  *out = it->second.number_value;
+  obj->erase(it);
+  return Status::OK();
+}
+
+Status TakeInt(std::map<std::string, JsonScalar>* obj, const std::string& key,
+               int* out) {
+  double v = static_cast<double>(*out);
+  COMX_RETURN_IF_ERROR(TakeNumber(obj, key, &v));
+  *out = static_cast<int>(v);
+  return Status::OK();
+}
+
+// Parses "start-end;start-end;..." into outage windows.
+Result<std::vector<OutageWindow>> ParseOutages(const std::string& field) {
+  std::vector<OutageWindow> out;
+  if (field.empty()) return out;
+  for (const std::string& part : Split(field, ';')) {
+    const std::vector<std::string> bounds = Split(part, '-');
+    if (bounds.size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("bad outage window '%s', want 'start-end'",
+                    part.c_str()));
+    }
+    OutageWindow w;
+    COMX_ASSIGN_OR_RETURN(w.start, ParseDouble(bounds[0]));
+    COMX_ASSIGN_OR_RETURN(w.end, ParseDouble(bounds[1]));
+    out.push_back(w);
+  }
+  return out;
+}
+
+Status CheckProbability(const char* name, double v) {
+  if (!(v >= 0.0 && v <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("%s must be in [0, 1], got %g", name, v));
+  }
+  return Status::OK();
+}
+
+Status CheckNonNegative(const char* name, double v) {
+  if (!(v >= 0.0) || !std::isfinite(v)) {
+    return Status::InvalidArgument(
+        StrFormat("%s must be finite and >= 0, got %g", name, v));
+  }
+  return Status::OK();
+}
+
+// Range checks for one partner spec, shared by Validate() and the parser
+// (the parser runs it per line so errors carry the line number).
+Status ValidateSpec(const PartnerFaultSpec& spec) {
+  if (spec.partner < 0) {
+    return Status::InvalidArgument("partner id must be >= 0");
+  }
+  COMX_RETURN_IF_ERROR(CheckProbability("availability", spec.availability));
+  COMX_RETURN_IF_ERROR(CheckProbability("stale_probability",
+                                        spec.stale_probability));
+  COMX_RETURN_IF_ERROR(CheckNonNegative("latency_ms_mean",
+                                        spec.latency_ms_mean));
+  COMX_RETURN_IF_ERROR(CheckNonNegative("timeout_ms", spec.timeout_ms));
+  for (const OutageWindow& w : spec.outages) {
+    if (!(w.start <= w.end) || !std::isfinite(w.start) ||
+        !std::isfinite(w.end)) {
+      return Status::InvalidArgument(
+          StrFormat("outage window [%g, %g] is not ordered", w.start, w.end));
+    }
+  }
+  return Status::OK();
+}
+
+// After the known fields were consumed, anything left (except "type") is a
+// typo the user should hear about.
+Status CheckNoLeftovers(const std::map<std::string, JsonScalar>& obj,
+                        const char* line_type) {
+  for (const auto& [key, value] : obj) {
+    if (key == "type") continue;
+    return Status::InvalidArgument(
+        StrFormat("unknown field '%s' on a '%s' line", key.c_str(),
+                  line_type));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool PartnerFaultSpec::Trivial() const {
+  return availability >= 1.0 && stale_probability <= 0.0 && outages.empty() &&
+         (timeout_ms <= 0.0 || latency_ms_mean <= 0.0);
+}
+
+bool PartnerFaultSpec::DownAt(Timestamp t) const {
+  for (const OutageWindow& w : outages) {
+    if (t >= w.start && t <= w.end) return true;
+  }
+  return false;
+}
+
+double RetryPolicy::BackoffMs(int retry, double jitter_unit) const {
+  double backoff = base_backoff_ms;
+  for (int i = 1; i < retry; ++i) backoff *= backoff_multiplier;
+  backoff = std::min(backoff, max_backoff_ms);
+  return backoff * (1.0 + jitter_fraction * jitter_unit);
+}
+
+const PartnerFaultSpec* FaultPlan::SpecFor(PlatformId partner) const {
+  for (const PartnerFaultSpec& spec : partners) {
+    if (spec.partner == partner) return &spec;
+  }
+  return nullptr;
+}
+
+bool FaultPlan::Trivial() const {
+  return std::all_of(partners.begin(), partners.end(),
+                     [](const PartnerFaultSpec& s) { return s.Trivial(); });
+}
+
+Status FaultPlan::Validate() const {
+  if (retry.max_attempts < 1) {
+    return Status::InvalidArgument("retry.max_attempts must be >= 1");
+  }
+  COMX_RETURN_IF_ERROR(CheckNonNegative("retry.base_backoff_ms",
+                                        retry.base_backoff_ms));
+  COMX_RETURN_IF_ERROR(CheckNonNegative("retry.max_backoff_ms",
+                                        retry.max_backoff_ms));
+  COMX_RETURN_IF_ERROR(CheckNonNegative("retry.jitter_fraction",
+                                        retry.jitter_fraction));
+  if (!(retry.backoff_multiplier >= 1.0)) {
+    return Status::InvalidArgument("retry.backoff_multiplier must be >= 1");
+  }
+  if (breaker.failure_threshold < 1) {
+    return Status::InvalidArgument("breaker.failure_threshold must be >= 1");
+  }
+  if (breaker.half_open_successes < 1) {
+    return Status::InvalidArgument("breaker.half_open_successes must be >= 1");
+  }
+  COMX_RETURN_IF_ERROR(CheckNonNegative("breaker.open_seconds",
+                                        breaker.open_seconds));
+  for (const PartnerFaultSpec& spec : partners) {
+    if (SpecFor(spec.partner) != &spec) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate spec for partner %d", spec.partner));
+    }
+    COMX_RETURN_IF_ERROR(ValidateSpec(spec));
+  }
+  return Status::OK();
+}
+
+Result<FaultPlan> ParseFaultPlan(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  int64_t line_number = 0;
+  bool saw_retry = false, saw_breaker = false, saw_plan = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto parsed = ParseJsonFlatObject(trimmed);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: %s", static_cast<long long>(line_number),
+                    parsed.status().ToString().c_str()));
+    }
+    auto& obj = *parsed;
+    const auto type_it = obj.find("type");
+    if (type_it == obj.end() ||
+        type_it->second.kind != JsonScalar::Kind::kString) {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: missing string field 'type'",
+                    static_cast<long long>(line_number)));
+    }
+    const std::string type = type_it->second.string_value;
+    Status status = Status::OK();
+    if (type == "partner") {
+      PartnerFaultSpec spec;
+      double partner = -1.0;
+      status = TakeNumber(&obj, "partner", &partner);
+      spec.partner = static_cast<PlatformId>(partner);
+      if (status.ok()) {
+        status = TakeNumber(&obj, "availability", &spec.availability);
+      }
+      if (status.ok()) {
+        status = TakeNumber(&obj, "latency_ms_mean", &spec.latency_ms_mean);
+      }
+      if (status.ok()) status = TakeNumber(&obj, "timeout_ms", &spec.timeout_ms);
+      if (status.ok()) {
+        status = TakeNumber(&obj, "stale_probability",
+                            &spec.stale_probability);
+      }
+      if (status.ok()) {
+        const auto outages = obj.find("outages");
+        if (outages != obj.end()) {
+          if (outages->second.kind != JsonScalar::Kind::kString) {
+            status = Status::InvalidArgument("'outages' must be a string");
+          } else {
+            auto windows = ParseOutages(outages->second.string_value);
+            if (!windows.ok()) {
+              status = windows.status();
+            } else {
+              spec.outages = *std::move(windows);
+              obj.erase("outages");
+            }
+          }
+        }
+      }
+      if (status.ok()) status = CheckNoLeftovers(obj, "partner");
+      if (status.ok()) status = ValidateSpec(spec);
+      if (status.ok()) plan.partners.push_back(std::move(spec));
+    } else if (type == "retry") {
+      if (saw_retry) {
+        status = Status::InvalidArgument("duplicate 'retry' line");
+      }
+      saw_retry = true;
+      if (status.ok()) {
+        status = TakeInt(&obj, "max_attempts", &plan.retry.max_attempts);
+      }
+      if (status.ok()) {
+        status = TakeNumber(&obj, "base_backoff_ms",
+                            &plan.retry.base_backoff_ms);
+      }
+      if (status.ok()) {
+        status = TakeNumber(&obj, "backoff_multiplier",
+                            &plan.retry.backoff_multiplier);
+      }
+      if (status.ok()) {
+        status = TakeNumber(&obj, "max_backoff_ms",
+                            &plan.retry.max_backoff_ms);
+      }
+      if (status.ok()) {
+        status = TakeNumber(&obj, "jitter_fraction",
+                            &plan.retry.jitter_fraction);
+      }
+      if (status.ok()) status = CheckNoLeftovers(obj, "retry");
+    } else if (type == "breaker") {
+      if (saw_breaker) {
+        status = Status::InvalidArgument("duplicate 'breaker' line");
+      }
+      saw_breaker = true;
+      if (status.ok()) {
+        status = TakeInt(&obj, "failure_threshold",
+                         &plan.breaker.failure_threshold);
+      }
+      if (status.ok()) {
+        status = TakeNumber(&obj, "open_seconds",
+                            &plan.breaker.open_seconds);
+      }
+      if (status.ok()) {
+        status = TakeInt(&obj, "half_open_successes",
+                         &plan.breaker.half_open_successes);
+      }
+      if (status.ok()) status = CheckNoLeftovers(obj, "breaker");
+    } else if (type == "plan") {
+      if (saw_plan) status = Status::InvalidArgument("duplicate 'plan' line");
+      saw_plan = true;
+      if (status.ok()) {
+        double seed = 0.0;
+        status = TakeNumber(&obj, "seed", &seed);
+        plan.seed = static_cast<uint64_t>(seed);
+      }
+      if (status.ok()) status = CheckNoLeftovers(obj, "plan");
+    } else {
+      status = Status::InvalidArgument(
+          StrFormat("unknown line type '%s'", type.c_str()));
+    }
+    if (!status.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: %s", static_cast<long long>(line_number),
+                    status.ToString().c_str()));
+    }
+  }
+  COMX_RETURN_IF_ERROR(plan.Validate());
+  return plan;
+}
+
+Result<FaultPlan> LoadFaultPlan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open fault plan: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseFaultPlan(text.str());
+}
+
+}  // namespace fault
+}  // namespace comx

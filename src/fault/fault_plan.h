@@ -1,0 +1,123 @@
+// Declarative description of partner-platform failure behaviour. A
+// FaultPlan lists, per cooperative platform, how its remote API misbehaves
+// (per-attempt failure probability, injected latency vs. a timeout budget,
+// scheduled outage windows, stale-view probability on the reserve step) plus
+// the resilience policies — retry/backoff and circuit breaking — the target
+// platform answers with. Plans are plain data: the seeded FaultInjector
+// (fault/fault_injector.h) turns them into deterministic fault sequences.
+//
+// Plans load from JSONL files of flat objects, one per line, distinguished
+// by their "type" field ("partner" / "retry" / "breaker" / "plan"):
+//
+//   {"type":"plan","seed":7}
+//   {"type":"partner","partner":1,"availability":0.9,"latency_ms_mean":40,
+//    "timeout_ms":150,"stale_probability":0.05,"outages":"3600-7200"}
+//   {"type":"retry","max_attempts":3,"base_backoff_ms":25}
+//   {"type":"breaker","failure_threshold":5,"open_seconds":60}
+
+#ifndef COMX_FAULT_FAULT_PLAN_H_
+#define COMX_FAULT_FAULT_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "model/ids.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace comx {
+namespace fault {
+
+/// Closed interval of simulation seconds during which a partner is fully
+/// unreachable (deterministic, no draw involved).
+struct OutageWindow {
+  Timestamp start = 0.0;
+  Timestamp end = 0.0;
+};
+
+/// How one cooperative platform's remote API misbehaves.
+struct PartnerFaultSpec {
+  /// Platform id of the partner this spec describes.
+  PlatformId partner = -1;
+  /// Probability that one RPC attempt succeeds (outside outage windows).
+  double availability = 1.0;
+  /// Mean of the exponential latency injected per attempt, ms. 0 = none.
+  double latency_ms_mean = 0.0;
+  /// Attempts whose injected latency exceeds this budget count as timeouts.
+  /// 0 = no timeout budget (latency is recorded but never fatal).
+  double timeout_ms = 0.0;
+  /// Probability that the reserve step of an outer commit finds the worker
+  /// already assigned elsewhere (stale waiting-list view).
+  double stale_probability = 0.0;
+  /// Scheduled full-downtime windows.
+  std::vector<OutageWindow> outages;
+
+  /// True when this spec can never produce a fault — the injector then
+  /// short-circuits to success without consuming a single RNG draw, so a
+  /// trivial spec is bit-identical to no spec at all.
+  bool Trivial() const;
+
+  /// True when `t` falls inside a scheduled outage window.
+  bool DownAt(Timestamp t) const;
+};
+
+/// Retry with exponential backoff and deterministic jitter.
+struct RetryPolicy {
+  /// Attempts per logical call, including the first (>= 1).
+  int max_attempts = 3;
+  /// Backoff before the first retry, ms.
+  double base_backoff_ms = 25.0;
+  /// Growth factor per further retry.
+  double backoff_multiplier = 2.0;
+  /// Upper bound on a single backoff, ms.
+  double max_backoff_ms = 1000.0;
+  /// Jitter added on top of each backoff, as a fraction of it (>= 0).
+  double jitter_fraction = 0.2;
+
+  /// Backoff before retry number `retry` (1-based), with deterministic
+  /// jitter derived from `jitter_unit` in [0, 1).
+  double BackoffMs(int retry, double jitter_unit) const;
+};
+
+/// Per-partner circuit breaker tuning (fault/circuit_breaker.h).
+struct CircuitBreakerConfig {
+  /// Consecutive call failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// Simulated seconds the breaker stays open before probing (half-open).
+  double open_seconds = 60.0;
+  /// Consecutive half-open probe successes required to close again.
+  int half_open_successes = 2;
+};
+
+/// The whole declarative plan.
+struct FaultPlan {
+  /// Folded into the run seed when seeding the injector, so one plan can be
+  /// replayed against many simulation seeds deterministically.
+  uint64_t seed = 0;
+  RetryPolicy retry;
+  CircuitBreakerConfig breaker;
+  std::vector<PartnerFaultSpec> partners;
+
+  /// Spec for `partner`, or nullptr when the plan does not mention it
+  /// (unmentioned partners are perfectly reliable).
+  const PartnerFaultSpec* SpecFor(PlatformId partner) const;
+
+  /// True when no spec can produce a fault.
+  bool Trivial() const;
+
+  /// Structural check: probabilities in [0, 1], non-negative durations,
+  /// ordered outage windows, no duplicate partner entries.
+  Status Validate() const;
+};
+
+/// Parses the JSONL plan text (see file header). Unknown line types and
+/// fields are errors; every field has the default above when omitted.
+Result<FaultPlan> ParseFaultPlan(const std::string& text);
+
+/// Reads and parses a plan file.
+Result<FaultPlan> LoadFaultPlan(const std::string& path);
+
+}  // namespace fault
+}  // namespace comx
+
+#endif  // COMX_FAULT_FAULT_PLAN_H_

@@ -1,0 +1,122 @@
+// Run-scoped resilience state: one FaultSession lives for the duration of
+// one simulation and owns the seeded FaultInjector, a circuit breaker per
+// (observer platform, partner platform) pair, the retry/backoff policy,
+// and all fault accounting. The simulator consults it at two points:
+//
+//   * PartnerVisible() — before (inside FaultyPlatformView) an outer-worker
+//     query touches a partner's waiting list. Runs the full retry loop
+//     against injected attempt outcomes and feeds the breaker; a false
+//     return means the partner's workers are invisible for this request,
+//     which is exactly inner-only degradation for that partner.
+//   * TryReserve() — the reserve step of the two-phase outer commit. A
+//     conflict models a stale waiting-list view (the worker was assigned
+//     elsewhere between query and commit); it is a valid partner response
+//     and does NOT feed the breaker.
+//
+// Backoff time is virtual: the simulator runs on event time, so backoff is
+// accounted (stats + histograms), never slept. All randomness comes from
+// the injector's dedicated Rng; matcher streams are untouched.
+
+#ifndef COMX_FAULT_FAULT_SESSION_H_
+#define COMX_FAULT_FAULT_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "fault/circuit_breaker.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "model/ids.h"
+
+namespace comx {
+namespace fault {
+
+/// Whole-run fault accounting. Plain integers, always collected (cheap and
+/// deterministic) and surfaced on SimResult so tests can assert exact
+/// counts; the obs registry gets the same numbers via PublishMetrics().
+struct FaultSessionStats {
+  int64_t attempts = 0;              // injected RPC attempts drawn
+  int64_t attempt_timeouts = 0;      // failed: latency over budget
+  int64_t attempt_unavailable = 0;   // failed: availability draw
+  int64_t attempt_outages = 0;       // failed: scheduled outage window
+  int64_t retries = 0;               // attempts beyond the first
+  int64_t partner_unreachable = 0;   // logical calls failed after retries
+  int64_t breaker_open_skips = 0;    // calls rejected by an open breaker
+  int64_t breaker_transitions = 0;   // state changes across all breakers
+  int64_t reserve_conflicts = 0;     // stale-view conflicts on reserve
+  int64_t degraded_requests = 0;     // requests served/decided inner-only
+  double backoff_ms_total = 0.0;     // virtual backoff accounted
+  double injected_latency_ms_total = 0.0;
+
+  bool operator==(const FaultSessionStats&) const = default;
+
+  /// Adds another run's counters into this one (multi-seed aggregation).
+  void Merge(const FaultSessionStats& other);
+};
+
+/// Fault footprint of the request currently being decided; the simulator
+/// drains it into the decision trace after each request.
+struct RequestFaultInfo {
+  int32_t retries = 0;
+  int32_t failed_partners = 0;  // partners invisible (unreachable or open)
+  int32_t reserve_conflicts = 0;
+  bool degraded = false;
+
+  bool Any() const {
+    return retries > 0 || failed_partners > 0 || reserve_conflicts > 0 ||
+           degraded;
+  }
+};
+
+class FaultSession {
+ public:
+  /// The plan is borrowed and must outlive the session — temporaries are
+  /// rejected at compile time.
+  FaultSession(const FaultPlan& plan, uint64_t run_seed);
+  FaultSession(FaultPlan&&, uint64_t) = delete;
+
+  /// Single-branch fast path: true when `partner` can ever fail.
+  bool PartnerFaulty(PlatformId partner) const {
+    return injector_.PartnerFaulty(partner);
+  }
+
+  /// Whether `observer`'s query may see `partner`'s waiting list at
+  /// simulated time `now`. Runs breaker + retry/backoff.
+  bool PartnerVisible(PlatformId observer, PlatformId partner, Timestamp now);
+
+  /// Reserve step of the two-phase outer commit: false when the partner
+  /// reports the worker already taken (stale view).
+  bool TryReserve(PlatformId observer, PlatformId partner, Timestamp now);
+
+  /// Marks the in-flight request as degraded (decided without some or all
+  /// outer candidates, or after exhausting reserve fallbacks).
+  void NoteDegraded();
+
+  /// Returns and clears the in-flight request's fault footprint.
+  RequestFaultInfo TakeRequestInfo();
+
+  /// Breaker for an (observer, partner) pair, created closed on first use.
+  CircuitBreaker& BreakerFor(PlatformId observer, PlatformId partner);
+
+  /// Whole-run stats; breaker_transitions is folded in here.
+  FaultSessionStats stats() const;
+
+  /// Flushes stats into the global metrics registry (comx_fault_* counters
+  /// plus per-pair breaker-state gauges). No-op unless collection is on.
+  void PublishMetrics() const;
+
+  const FaultPlan& plan() const { return injector_.plan(); }
+
+ private:
+  FaultInjector injector_;
+  std::map<std::pair<PlatformId, PlatformId>, CircuitBreaker> breakers_;
+  FaultSessionStats stats_;
+  RequestFaultInfo request_info_;
+};
+
+}  // namespace fault
+}  // namespace comx
+
+#endif  // COMX_FAULT_FAULT_SESSION_H_

@@ -1,0 +1,45 @@
+#include "fault/faulty_platform_view.h"
+
+#include <algorithm>
+
+namespace comx {
+namespace fault {
+
+std::vector<WorkerId> FaultyPlatformView::FeasibleOuterWorkers(
+    const Request& r) const {
+  // Resolve partner visibility first so the pool probe can be skipped when
+  // nothing would survive. Partners are consulted in id order, so the
+  // injector's draw sequence is deterministic.
+  bool any_visible = false;
+  bool any_blocked = false;
+  std::vector<bool> visible(static_cast<size_t>(platform_count_), false);
+  for (PlatformId p = 0; p < platform_count_; ++p) {
+    if (p == owner_) continue;
+    if (!session_->PartnerFaulty(p) ||
+        session_->PartnerVisible(owner_, p, r.time)) {
+      visible[static_cast<size_t>(p)] = true;
+      any_visible = true;
+    } else {
+      any_blocked = true;
+    }
+  }
+  if (!any_visible) {
+    if (any_blocked) session_->NoteDegraded();
+    return {};
+  }
+  std::vector<WorkerId> workers = base_->FeasibleOuterWorkers(r);
+  if (!any_blocked) return workers;
+  const auto& all = instance().workers();
+  const auto end = std::remove_if(
+      workers.begin(), workers.end(), [&](WorkerId w) {
+        return !visible[static_cast<size_t>(all[w].platform)];
+      });
+  if (end != workers.end()) {
+    workers.erase(end, workers.end());
+    session_->NoteDegraded();
+  }
+  return workers;
+}
+
+}  // namespace fault
+}  // namespace comx

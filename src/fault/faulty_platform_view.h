@@ -1,0 +1,68 @@
+// PlatformView decorator that injects partner faults into the outer-worker
+// query path (the simulator wraps each PoolPlatformView with one). Inner
+// queries and distance lookups pass straight through — faults only ever
+// hit the cross-platform surface.
+//
+// FeasibleOuterWorkers first resolves, per partner platform, whether the
+// partner is visible right now (FaultSession::PartnerVisible — breaker +
+// retry against injected attempt outcomes). Partners without a fault spec
+// cost exactly one predicted branch. If no faulty partner blocks anything,
+// the underlying pool probe is returned untouched; otherwise the probe's
+// result is filtered to workers of visible platforms, preserving the
+// pool's sorted-by-id order so downstream nearest-worker selection stays
+// bit-identical for the surviving candidates. When every partner is
+// invisible the pool probe is skipped entirely and the matcher sees an
+// empty outer set — which is precisely inner-only (TOTA-equivalent)
+// degradation for that request.
+
+#ifndef COMX_FAULT_FAULTY_PLATFORM_VIEW_H_
+#define COMX_FAULT_FAULTY_PLATFORM_VIEW_H_
+
+#include <vector>
+
+#include "core/online_matcher.h"
+#include "fault/fault_session.h"
+
+namespace comx {
+namespace fault {
+
+class FaultyPlatformView : public PlatformView {
+ public:
+  /// `base` and `session` must outlive the view. `owner` is the platform
+  /// the decorated view belongs to; `platform_count` bounds the partner
+  /// ids consulted (0 .. platform_count-1, minus the owner).
+  FaultyPlatformView(const PlatformView& base, PlatformId owner,
+                     FaultSession& session, int32_t platform_count)
+      : base_(&base),
+        owner_(owner),
+        session_(&session),
+        platform_count_(platform_count) {}
+
+  std::vector<WorkerId> FeasibleInnerWorkers(const Request& r) const override {
+    return base_->FeasibleInnerWorkers(r);
+  }
+
+  std::vector<WorkerId> FeasibleOuterWorkers(const Request& r) const override;
+
+  double DistanceTo(WorkerId w, const Request& r) const override {
+    return base_->DistanceTo(w, r);
+  }
+
+  const Instance& instance() const override { return base_->instance(); }
+  const AcceptanceModel& acceptance() const override {
+    return base_->acceptance();
+  }
+
+  PlatformId platform() const { return owner_; }
+
+ private:
+  const PlatformView* base_;
+  PlatformId owner_;
+  FaultSession* session_;  // mutable: queries advance breakers and stats
+  int32_t platform_count_;
+};
+
+}  // namespace fault
+}  // namespace comx
+
+#endif  // COMX_FAULT_FAULTY_PLATFORM_VIEW_H_

@@ -46,6 +46,26 @@ Result<std::string> StringField(const std::map<std::string, JsonScalar>& obj,
     (target) = static_cast<cast>(*comx_field);               \
   } while (0)
 
+// Lenient accessors for fields added after the first trace generation:
+// missing (or mistyped) fields fall back to the default.
+double OptionalNumber(const std::map<std::string, JsonScalar>& obj,
+                      const std::string& key, double fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != JsonScalar::Kind::kNumber) {
+    return fallback;
+  }
+  return it->second.number_value;
+}
+
+bool OptionalBool(const std::map<std::string, JsonScalar>& obj,
+                  const std::string& key, bool fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != JsonScalar::Kind::kBool) {
+    return fallback;
+  }
+  return it->second.bool_value;
+}
+
 }  // namespace
 
 std::string TraceEventToJson(const TraceEvent& event) {
@@ -68,6 +88,10 @@ std::string TraceEventToJson(const TraceEvent& event) {
       .KV("worker", event.worker)
       .KV("payment", event.payment)
       .KV("revenue", event.revenue)
+      .KV("fault_retries", event.fault_retries)
+      .KV("fault_failed_partners", event.fault_failed_partners)
+      .KV("fault_reserve_conflicts", event.fault_reserve_conflicts)
+      .KV("degraded", event.degraded)
       .EndObject();
   return w.TakeString();
 }
@@ -114,6 +138,13 @@ Result<TraceEvent> ParseTraceEvent(const std::string& line) {
   COMX_ASSIGN_NUM(e.worker, *obj, "worker", int64_t);
   COMX_ASSIGN_NUM(e.payment, *obj, "payment", double);
   COMX_ASSIGN_NUM(e.revenue, *obj, "revenue", double);
+  e.fault_retries =
+      static_cast<int32_t>(OptionalNumber(*obj, "fault_retries", 0.0));
+  e.fault_failed_partners = static_cast<int32_t>(
+      OptionalNumber(*obj, "fault_failed_partners", 0.0));
+  e.fault_reserve_conflicts = static_cast<int32_t>(
+      OptionalNumber(*obj, "fault_reserve_conflicts", 0.0));
+  e.degraded = OptionalBool(*obj, "degraded", false);
   auto outcome = StringField(*obj, "outcome");
   if (!outcome.ok()) return outcome.status();
   e.outcome = *std::move(outcome);

@@ -62,6 +62,19 @@ struct TraceEvent {
   double payment = 0.0;
   /// Revenue booked for this decision (0 on reject).
   double revenue = 0.0;
+
+  /// Fault-injection footprint of the decision (all zero outside fault-plan
+  /// runs; see fault/fault_session.h). Older traces without these fields
+  /// parse with the defaults, so trace_inspect handles both generations.
+  int32_t fault_retries = 0;
+  /// Partner platforms invisible for this request (unreachable after
+  /// retries, or skipped by an open circuit breaker).
+  int32_t fault_failed_partners = 0;
+  /// Reserve-step conflicts hit by the two-phase outer commit.
+  int32_t fault_reserve_conflicts = 0;
+  /// True when the decision was made with degraded (inner-only or reduced)
+  /// outer visibility, or after exhausting reserve fallbacks.
+  bool degraded = false;
 };
 
 /// Run totals written as the trace's final line.

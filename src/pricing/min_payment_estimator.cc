@@ -4,6 +4,7 @@
 
 #include "obs/metrics_registry.h"
 #include "obs/span.h"
+#include "util/timer.h"
 
 namespace comx {
 namespace {
@@ -25,10 +26,14 @@ void RecordEstimate(const MinPaymentEstimate& estimate) {
       "comx_pricing_bisect_iterations_per_estimate",
       {0.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0},
       "Distribution of bisection iterations per estimate");
+  static obs::Counter* const exhausted = registry.GetCounter(
+      "comx_pricing_budget_exhausted_total",
+      "Estimates cut short by the iteration or wall-clock budget");
   estimates->Inc();
   iterations->Inc(estimate.bisect_iterations);
   samples->Inc(estimate.samples);
   per_estimate->Observe(static_cast<double>(estimate.bisect_iterations));
+  if (estimate.budget_exhausted) exhausted->Inc();
 }
 
 // One Bernoulli sweep: does any candidate accept `payment`?
@@ -64,10 +69,18 @@ MinPaymentEstimate EstimateMinOuterPayment(
     return out;
   }
 
-  out.samples = n_s;
   double sum = 0.0;
   int rejects = 0;
+  Stopwatch budget_clock;  // consulted only when max_seconds > 0
   for (int s = 0; s < n_s; ++s) {
+    // Wall-clock budget: always complete at least one instance so the
+    // estimate is meaningful, then stop the moment the budget is spent.
+    if (config.max_seconds > 0.0 && s > 0 &&
+        budget_clock.ElapsedNanos() * 1e-9 > config.max_seconds) {
+      out.budget_exhausted = true;
+      break;
+    }
+    ++out.samples;
     // Paper Algorithm 2 lines 4-6: if nobody accepts the full value, this
     // instance contributes v_r + epsilon.
     if (!AnyoneAccepts(model, candidates, request_value, rng)) {
@@ -81,6 +94,13 @@ MinPaymentEstimate EstimateMinOuterPayment(
     double v_h = request_value;
     double v_m = 0.5 * v_h;
     while (v_m - v_l > config.xi * request_value) {
+      // Iteration budget: the estimate-wide cap keeps a pathological
+      // tolerance from spinning; the current midpoint is good enough.
+      if (config.max_bisect_iterations > 0 &&
+          out.bisect_iterations >= config.max_bisect_iterations) {
+        out.budget_exhausted = true;
+        break;
+      }
       ++out.bisect_iterations;
       if (AnyoneAccepts(model, candidates, v_m, rng)) {
         v_h = v_m;
@@ -90,10 +110,11 @@ MinPaymentEstimate EstimateMinOuterPayment(
       v_m = 0.5 * (v_h - v_l) + v_l;
     }
     sum += v_m;
+    if (out.budget_exhausted) break;
   }
-  out.payment = sum / static_cast<double>(n_s);
+  out.payment = sum / static_cast<double>(out.samples);
   out.reject_fraction = static_cast<double>(rejects) /
-                        static_cast<double>(n_s);
+                        static_cast<double>(out.samples);
   RecordEstimate(out);
   return out;
 }

@@ -25,6 +25,16 @@ struct MinPaymentConfig {
   /// Additive bump returned when no worker accepts even the full value v_r
   /// in a sampling instance (paper: "sets this instance as v_r + epsilon").
   double epsilon = 1e-3;
+  /// Hard cap on total bisection iterations per estimate, so pricing can
+  /// never stall a request on a pathological tolerance. The default is far
+  /// above what the paper's accuracy knobs ever burn (~200 with the
+  /// defaults above), so it never binds — and therefore never perturbs —
+  /// a normally-configured run. <= 0 disables the cap.
+  int64_t max_bisect_iterations = 4096;
+  /// Optional wall-clock budget per estimate, seconds. 0 (the default)
+  /// disables it. Unlike the iteration cap this consults a real clock, so
+  /// enabling it trades bit-reproducibility for a hard latency bound.
+  double max_seconds = 0.0;
 
   /// n_s = ceil(4 ln(2/xi) / eta^2).
   int SampleCount() const;
@@ -41,9 +51,14 @@ struct MinPaymentEstimate {
   /// dominant cost driver (each iteration sweeps every candidate). Fed to
   /// the decision trace and the comx_pricing_* metrics.
   int64_t bisect_iterations = 0;
-  /// Monte-Carlo sampling instances run (= config.SampleCount(), or 0 for
-  /// an empty candidate set).
+  /// Monte-Carlo sampling instances run (= config.SampleCount() normally;
+  /// fewer when a budget cut the estimate short; 0 for an empty candidate
+  /// set).
   int32_t samples = 0;
+  /// True when the iteration or wall-clock budget stopped the estimate
+  /// early; the payment is then the mean over the instances that ran.
+  /// Mirrored by the comx_pricing_budget_exhausted_total counter.
+  bool budget_exhausted = false;
 };
 
 /// Runs Algorithm 2 for request value `request_value` against the candidate

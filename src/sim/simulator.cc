@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "fault/faulty_platform_view.h"
 #include "geo/distance.h"
 #include "obs/metrics_registry.h"
 #include "obs/span.h"
@@ -124,10 +127,26 @@ Result<SimResult> RunSimulation(const Instance& instance,
       static_cast<int64_t>(sizeof(int64_t) + sizeof(Point) +
                            sizeof(Timestamp) + 1);
 
+  // Fault injection: one session per run owns the injector RNG, the
+  // per-(platform, partner) circuit breakers, and all fault accounting.
+  // Matchers then see FaultyPlatformView decorators instead of the bare
+  // pool views; their own RNG streams are untouched either way.
+  std::optional<fault::FaultSession> fault_session;
+  if (config.fault_plan != nullptr) {
+    COMX_RETURN_IF_ERROR(config.fault_plan->Validate());
+    fault_session.emplace(*config.fault_plan, seed);
+  }
+
   std::vector<PoolPlatformView> views;
   views.reserve(static_cast<size_t>(platform_count));
+  std::vector<fault::FaultyPlatformView> faulty_views;
+  faulty_views.reserve(static_cast<size_t>(platform_count));
   for (PlatformId p = 0; p < platform_count; ++p) {
     views.emplace_back(instance, acceptance, pool, p);
+    if (fault_session.has_value()) {
+      faulty_views.emplace_back(views.back(), p, *fault_session,
+                                platform_count);
+    }
     matchers[static_cast<size_t>(p)]->Reset(instance, p,
                                             seed + static_cast<uint64_t>(p));
   }
@@ -191,17 +210,54 @@ Result<SimResult> RunSimulation(const Instance& instance,
     PlatformMetrics& pm =
         result.metrics.per_platform[static_cast<size_t>(r.platform)];
     OnlineMatcher* matcher = matchers[static_cast<size_t>(r.platform)];
-    const PoolPlatformView& view = views[static_cast<size_t>(r.platform)];
+    const PlatformView& view =
+        fault_session.has_value()
+            ? static_cast<const PlatformView&>(
+                  faulty_views[static_cast<size_t>(r.platform)])
+            : views[static_cast<size_t>(r.platform)];
 
     if (collect) {
       counters[static_cast<size_t>(r.platform)].requests->Inc();
     }
     if (config.measure_response_time) request_clock.Reset();
-    const Decision decision = matcher->OnRequest(r, view);
+    Decision decision = matcher->OnRequest(r, view);
     if (config.measure_response_time) {
       const double micros = request_clock.ElapsedMicros();
       pm.response_time_us.Add(micros);
       if (decide_hist != nullptr) decide_hist->Observe(micros * 1e-6);
+    }
+
+    // Two-phase outer commit under fault injection: reserve the chosen
+    // worker with its partner before booking. A stale-view conflict (the
+    // worker was assigned elsewhere between query and commit) falls back
+    // to the matcher's next accepting candidate; exhausting all of them
+    // degrades the request to a reject — never a violated invariable
+    // constraint, never a failed run.
+    if (fault_session.has_value() &&
+        decision.kind == Decision::Kind::kOuter) {
+      WorkerId reserved = kInvalidId;
+      const PlatformId first_partner =
+          instance.worker(decision.worker).platform;
+      if (fault_session->TryReserve(r.platform, first_partner, r.time)) {
+        reserved = decision.worker;
+      } else {
+        for (WorkerId c : decision.fallback_workers) {
+          const PlatformId partner = instance.worker(c).platform;
+          if (fault_session->TryReserve(r.platform, partner, r.time)) {
+            reserved = c;
+            break;
+          }
+        }
+      }
+      if (reserved == kInvalidId) {
+        fault_session->NoteDegraded();
+        Decision rejected = Decision::Reject();
+        rejected.attempted_outer = decision.attempted_outer;
+        rejected.stats = decision.stats;
+        decision = std::move(rejected);
+      } else {
+        decision.worker = reserved;
+      }
     }
 
     if (decision.attempted_outer) ++pm.outer_offers;
@@ -211,9 +267,16 @@ Result<SimResult> RunSimulation(const Instance& instance,
       if (collect) {
         counters[static_cast<size_t>(r.platform)].rejects->Inc();
       }
+      const fault::RequestFaultInfo finfo =
+          fault_session.has_value() ? fault_session->TakeRequestInfo()
+                                    : fault::RequestFaultInfo{};
       if (config.trace != nullptr) {
         obs::TraceEvent ev = MakeTraceEvent(decision_seq++, r, decision);
         ev.outcome = "reject";
+        ev.fault_retries = finfo.retries;
+        ev.fault_failed_partners = finfo.failed_partners;
+        ev.fault_reserve_conflicts = finfo.reserve_conflicts;
+        ev.degraded = finfo.degraded;
         config.trace->Record(ev);
       }
       continue;
@@ -280,12 +343,19 @@ Result<SimResult> RunSimulation(const Instance& instance,
           counters[static_cast<size_t>(r.platform)];
       (is_outer ? pc.outer : pc.inner)->Inc();
     }
+    const fault::RequestFaultInfo finfo =
+        fault_session.has_value() ? fault_session->TakeRequestInfo()
+                                  : fault::RequestFaultInfo{};
     if (config.trace != nullptr) {
       obs::TraceEvent ev = MakeTraceEvent(decision_seq++, r, decision);
       ev.outcome = is_outer ? "outer" : "inner";
       ev.worker = wid;
       ev.payment = a.outer_payment;
       ev.revenue = a.revenue;
+      ev.fault_retries = finfo.retries;
+      ev.fault_failed_partners = finfo.failed_partners;
+      ev.fault_reserve_conflicts = finfo.reserve_conflicts;
+      ev.degraded = finfo.degraded;
       config.trace->Record(ev);
     }
 
@@ -310,6 +380,11 @@ Result<SimResult> RunSimulation(const Instance& instance,
         queue.push(QueuedEvent{rearrival});
       }
     }
+  }
+
+  if (fault_session.has_value()) {
+    result.fault_stats = fault_session->stats();
+    fault_session->PublishMetrics();
   }
 
   result.metrics.logical_bytes =

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/online_matcher.h"
+#include "fault/fault_session.h"
 #include "geo/distance_metric.h"
 #include "model/assignment.h"
 #include "model/instance.h"
@@ -59,6 +60,12 @@ struct SimConfig {
   /// RNG draws, so results are bit-identical with or without it. Must
   /// outlive the simulation. See obs/trace.h.
   obs::TraceSink* trace = nullptr;
+  /// Optional partner fault injection (fault/fault_plan.h). nullptr (the
+  /// default) or a plan whose specs are all trivial leaves every matcher's
+  /// result bit-identical to a plain run: the injector draws from its own
+  /// RNG, and a trivial partner costs one predicted branch per outer
+  /// query. Must outlive the simulation.
+  const fault::FaultPlan* fault_plan = nullptr;
 };
 
 /// Outcome of one simulation run.
@@ -66,6 +73,10 @@ struct SimResult {
   SimMetrics metrics;
   /// Every assignment made, across all platforms.
   Matching matching;
+  /// Whole-run fault accounting (all zero unless SimConfig::fault_plan was
+  /// set): attempts, retries, breaker activity, reserve conflicts, and
+  /// degraded-request counts. Deterministic for a fixed (seed, plan).
+  fault::FaultSessionStats fault_stats;
 };
 
 /// Travel time to the pickup plus the service itself, in seconds — the

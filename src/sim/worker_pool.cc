@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geo/distance.h"
+#include "util/string_util.h"
 
 namespace comx {
 
@@ -20,6 +21,11 @@ WorkerPool::WorkerPool(const Instance& instance, const DistanceMetric* metric)
 }
 
 Status WorkerPool::OnArrival(WorkerId w, const Point& location, Timestamp t) {
+  if (!InRange(w)) {
+    return Status::OutOfRange(
+        StrFormat("worker id %lld outside [0, %zu)",
+                  static_cast<long long>(w), available_.size()));
+  }
   if (available_[static_cast<size_t>(w)]) {
     return Status::AlreadyExists("worker already in waiting list");
   }
@@ -31,6 +37,11 @@ Status WorkerPool::OnArrival(WorkerId w, const Point& location, Timestamp t) {
 }
 
 Status WorkerPool::MarkOccupied(WorkerId w) {
+  if (!InRange(w)) {
+    return Status::OutOfRange(
+        StrFormat("worker id %lld outside [0, %zu)",
+                  static_cast<long long>(w), available_.size()));
+  }
   if (!available_[static_cast<size_t>(w)]) {
     return Status::NotFound("worker not in waiting list");
   }

@@ -27,16 +27,20 @@ class WorkerPool {
                       const DistanceMetric* metric = nullptr);
 
   /// Makes worker `w` available at `location` from time `t` on. Errors with
-  /// AlreadyExists when the worker is already available.
+  /// OutOfRange when `w` is not a worker of the instance and AlreadyExists
+  /// when the worker is already available.
   Status OnArrival(WorkerId w, const Point& location, Timestamp t);
 
   /// Marks worker `w` occupied (removed from every waiting list). Errors
-  /// with NotFound when the worker is not available.
+  /// with OutOfRange when `w` is not a worker of the instance and NotFound
+  /// when the worker is not available — a double assignment therefore
+  /// surfaces as NotFound, never as silent corruption.
   Status MarkOccupied(WorkerId w);
 
-  /// True when the worker currently sits in the waiting lists.
+  /// True when the worker currently sits in the waiting lists. Out-of-range
+  /// ids are simply not available.
   bool IsAvailable(WorkerId w) const {
-    return available_[static_cast<size_t>(w)];
+    return InRange(w) && available_[static_cast<size_t>(w)];
   }
 
   /// Current location (drop-off point after recycling). Valid whenever the
@@ -72,6 +76,10 @@ class WorkerPool {
   const DistanceMetric& metric() const { return *metric_; }
 
  private:
+  bool InRange(WorkerId w) const {
+    return w >= 0 && static_cast<size_t>(w) < available_.size();
+  }
+
   const Instance* instance_;
   const DistanceMetric* metric_;
   GridIndex index_;

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "util/string_util.h"
+
 namespace comx {
 namespace {
 
@@ -46,7 +48,12 @@ void CsvWriter::WriteNumericRow(const std::vector<double>& values) {
   *out_ << '\n';
 }
 
-std::vector<std::string> ParseCsvLine(std::string_view line) {
+namespace {
+
+// Shared scanner behind the lenient and strict entry points; reports
+// whether the line ended with a quote still open.
+std::vector<std::string> ScanCsvLine(std::string_view line,
+                                     bool* unterminated) {
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;
@@ -75,6 +82,23 @@ std::vector<std::string> ParseCsvLine(std::string_view line) {
     }
   }
   fields.push_back(std::move(current));
+  *unterminated = in_quotes;
+  return fields;
+}
+
+}  // namespace
+
+std::vector<std::string> ParseCsvLine(std::string_view line) {
+  bool unterminated = false;
+  return ScanCsvLine(line, &unterminated);
+}
+
+Result<std::vector<std::string>> ParseCsvLineStrict(std::string_view line) {
+  bool unterminated = false;
+  std::vector<std::string> fields = ScanCsvLine(line, &unterminated);
+  if (unterminated) {
+    return Status::InvalidArgument("unterminated quote in CSV line");
+  }
   return fields;
 }
 
@@ -84,9 +108,18 @@ Result<std::vector<std::vector<std::string>>> ReadCsvFile(
   if (!in) return Status::IoError("cannot open for read: " + path);
   std::vector<std::vector<std::string>> rows;
   std::string line;
+  int64_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty()) continue;
-    rows.push_back(ParseCsvLine(line));
+    auto fields = ParseCsvLineStrict(line);
+    if (!fields.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "%s line %lld: %s", path.c_str(),
+          static_cast<long long>(line_number),
+          fields.status().message().c_str()));
+    }
+    rows.push_back(*std::move(fields));
   }
   return rows;
 }

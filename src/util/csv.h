@@ -33,10 +33,17 @@ class CsvWriter {
   std::ostream* out_;
 };
 
-/// Parses one CSV line into fields, honoring double quotes.
+/// Parses one CSV line into fields, honoring double quotes. Lenient: an
+/// unterminated quote is silently treated as running to end of line.
 std::vector<std::string> ParseCsvLine(std::string_view line);
 
-/// Reads a whole CSV file into rows of fields. Skips empty lines.
+/// Strict variant: errors on a quote left open at end of line instead of
+/// silently swallowing the rest of the record. Use for untrusted input.
+Result<std::vector<std::string>> ParseCsvLineStrict(std::string_view line);
+
+/// Reads a whole CSV file into rows of fields. Skips empty lines. Rows are
+/// parsed strictly — a malformed line fails the whole read with its
+/// 1-based line number rather than producing a garbage row.
 Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path);
 

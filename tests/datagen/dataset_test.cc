@@ -120,6 +120,90 @@ TEST(DatasetTest, LoadRejectsGarbageNumbers) {
   Cleanup(prefix);
 }
 
+// Writes a one-worker / one-request pair of CSVs with the given data rows
+// and returns LoadInstance's status (testing the hardened input path).
+Status LoadWith(const std::string& prefix, const std::string& worker_row,
+                const std::string& request_row) {
+  {
+    std::ofstream w(prefix + ".workers.csv");
+    w << "id,platform,time,x,y,radius,history\n" << worker_row << "\n";
+    std::ofstream r(prefix + ".requests.csv");
+    r << "id,platform,time,x,y,value\n" << request_row << "\n";
+  }
+  const Status status = LoadInstance(prefix).status();
+  Cleanup(prefix);
+  return status;
+}
+
+constexpr char kGoodWorker[] = "0,0,1.0,0,0,1.0,2.0";
+constexpr char kGoodRequest[] = "0,0,2.0,0,0,5.0";
+
+TEST(DatasetTest, RejectsNanValueWithRowNumber) {
+  const Status s =
+      LoadWith(TempPrefix("nan_value"), kGoodWorker, "0,0,2.0,0,0,nan");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("request row 1"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(DatasetTest, RejectsNegativeValue) {
+  EXPECT_FALSE(LoadWith(TempPrefix("neg_value"), kGoodWorker,
+                        "0,0,2.0,0,0,-5.0")
+                   .ok());
+}
+
+TEST(DatasetTest, RejectsNegativeArrivalTime) {
+  EXPECT_FALSE(
+      LoadWith(TempPrefix("neg_time"), "0,0,-1.0,0,0,1.0,2.0", kGoodRequest)
+          .ok());
+  EXPECT_FALSE(LoadWith(TempPrefix("neg_time_r"), kGoodWorker,
+                        "0,0,-2.0,0,0,5.0")
+                   .ok());
+}
+
+TEST(DatasetTest, RejectsAbsurdCoordinates) {
+  const Status s = LoadWith(TempPrefix("far_away"), "0,0,1.0,1e9,0,1.0,2.0",
+                            kGoodRequest);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("worker row 1"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(DatasetTest, RejectsNonPositiveRadius) {
+  EXPECT_FALSE(
+      LoadWith(TempPrefix("zero_radius"), "0,0,1.0,0,0,0,2.0", kGoodRequest)
+          .ok());
+  EXPECT_FALSE(
+      LoadWith(TempPrefix("inf_radius"), "0,0,1.0,0,0,inf,2.0", kGoodRequest)
+          .ok());
+}
+
+TEST(DatasetTest, RejectsNegativePlatform) {
+  EXPECT_FALSE(
+      LoadWith(TempPrefix("neg_plat_w"), "0,-1,1.0,0,0,1.0,2.0", kGoodRequest)
+          .ok());
+  EXPECT_FALSE(LoadWith(TempPrefix("neg_plat_r"), kGoodWorker,
+                        "0,-2,2.0,0,0,5.0")
+                   .ok());
+}
+
+TEST(DatasetTest, RejectsNegativeHistoryFare) {
+  const Status s = LoadWith(TempPrefix("neg_hist"), "0,0,1.0,0,0,1.0,-2.0",
+                            kGoodRequest);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("worker row 1"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(DatasetTest, RejectsUnterminatedQuoteWithLineNumber) {
+  const Status s = LoadWith(TempPrefix("bad_quote"),
+                            "0,0,1.0,0,0,1.0,\"2.0", kGoodRequest);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("unterminated"), std::string::npos)
+      << s.ToString();
+}
+
 TEST(DatasetTest, EmptyHistorySurvivesRoundTrip) {
   const std::string prefix = TempPrefix("empty_history");
   Instance ins;

@@ -1,0 +1,86 @@
+#include "fault/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace fault {
+namespace {
+
+CircuitBreakerConfig SmallConfig() {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  config.open_seconds = 60.0;
+  config.half_open_successes = 2;
+  return config;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllows) {
+  CircuitBreaker breaker(SmallConfig());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(0.0));
+  EXPECT_EQ(breaker.transitions(), 0);
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreaker breaker(SmallConfig());
+  breaker.RecordFailure(1.0);
+  breaker.RecordFailure(2.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(3.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest(3.0));
+  EXPECT_EQ(breaker.transitions(), 1);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveCount) {
+  CircuitBreaker breaker(SmallConfig());
+  breaker.RecordFailure(1.0);
+  breaker.RecordFailure(2.0);
+  breaker.RecordSuccess(3.0);  // streak broken
+  breaker.RecordFailure(4.0);
+  breaker.RecordFailure(5.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, FullCycleClosedOpenHalfOpenClosed) {
+  CircuitBreaker breaker(SmallConfig());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(10.0);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // Still inside the cooldown: rejected without probing.
+  EXPECT_FALSE(breaker.AllowRequest(69.9));
+  // Cooldown elapsed: the next allowed call is a half-open probe.
+  EXPECT_TRUE(breaker.AllowRequest(70.0));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess(70.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.AllowRequest(71.0));
+  breaker.RecordSuccess(71.0);  // second probe success closes it
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  // closed -> open -> half-open -> closed.
+  EXPECT_EQ(breaker.transitions(), 3);
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensAndRestartsCooldown) {
+  CircuitBreaker breaker(SmallConfig());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(10.0);
+  ASSERT_TRUE(breaker.AllowRequest(70.0));  // half-open probe
+  breaker.RecordFailure(70.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // The cooldown restarted at t=70: what would have been past the original
+  // window is still inside the new one.
+  EXPECT_FALSE(breaker.AllowRequest(100.0));
+  EXPECT_TRUE(breaker.AllowRequest(130.0));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable) {
+  EXPECT_STREQ(CircuitBreakerStateName(CircuitBreaker::State::kClosed),
+               "closed");
+  EXPECT_STREQ(CircuitBreakerStateName(CircuitBreaker::State::kOpen), "open");
+  EXPECT_STREQ(CircuitBreakerStateName(CircuitBreaker::State::kHalfOpen),
+               "half_open");
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace comx

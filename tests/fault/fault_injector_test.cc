@@ -1,0 +1,140 @@
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.h"
+
+namespace comx {
+namespace fault {
+namespace {
+
+FaultPlan PlanWith(PartnerFaultSpec spec) {
+  FaultPlan plan;
+  plan.partners.push_back(spec);
+  return plan;
+}
+
+TEST(FaultInjectorTest, UnmentionedPartnerIsNotFaulty) {
+  const FaultPlan plan;
+  FaultInjector injector(plan, 1);
+  EXPECT_FALSE(injector.PartnerFaulty(0));
+  EXPECT_TRUE(injector.QueryAttempt(0, 0.0).ok());
+  EXPECT_FALSE(injector.ReserveConflict(0));
+}
+
+TEST(FaultInjectorTest, TrivialSpecConsumesNoDraws) {
+  PartnerFaultSpec spec;
+  spec.partner = 0;  // all defaults: can never fail
+  const FaultPlan plan = PlanWith(spec);
+  // Two injectors with identical seeds; one hammers the trivial partner
+  // first. If trivial queries consumed RNG draws the jitter streams below
+  // would diverge.
+  FaultInjector busy(plan, 42);
+  FaultInjector idle(plan, 42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(busy.QueryAttempt(0, static_cast<Timestamp>(i)).ok());
+    EXPECT_FALSE(busy.ReserveConflict(0));
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(busy.JitterUnit(), idle.JitterUnit());
+  }
+}
+
+TEST(FaultInjectorTest, ZeroAvailabilityAlwaysFails) {
+  PartnerFaultSpec spec;
+  spec.partner = 0;
+  spec.availability = 0.0;
+  const FaultPlan plan = PlanWith(spec);
+  FaultInjector injector(plan, 3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(injector.QueryAttempt(0, 0.0).outcome,
+              AttemptOutcome::kUnavailable);
+  }
+}
+
+TEST(FaultInjectorTest, OutageWindowBeatsEverythingAndConsumesNoDraw) {
+  PartnerFaultSpec spec;
+  spec.partner = 0;
+  spec.availability = 0.5;
+  spec.outages.push_back({100.0, 200.0});
+  const FaultPlan plan = PlanWith(spec);
+  FaultInjector a(plan, 9);
+  FaultInjector b(plan, 9);
+  // `a` queries inside the outage (deterministic, no draw), then outside;
+  // `b` only queries outside. The outside streams must be identical.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.QueryAttempt(0, 150.0).outcome, AttemptOutcome::kOutage);
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.QueryAttempt(0, 250.0).outcome,
+              b.QueryAttempt(0, 250.0).outcome);
+  }
+}
+
+TEST(FaultInjectorTest, LatencyOverBudgetTimesOut) {
+  PartnerFaultSpec spec;
+  spec.partner = 0;
+  spec.latency_ms_mean = 1000.0;
+  spec.timeout_ms = 1.0;  // nearly every exponential draw exceeds this
+  const FaultPlan plan = PlanWith(spec);
+  FaultInjector injector(plan, 5);
+  int timeouts = 0;
+  for (int i = 0; i < 200; ++i) {
+    const AttemptResult result = injector.QueryAttempt(0, 0.0);
+    if (result.outcome == AttemptOutcome::kTimeout) {
+      ++timeouts;
+      EXPECT_GT(result.latency_ms, 1.0);
+    }
+  }
+  EXPECT_GT(timeouts, 150);
+}
+
+TEST(FaultInjectorTest, StaleProbabilityOneAlwaysConflicts) {
+  PartnerFaultSpec spec;
+  spec.partner = 0;
+  spec.stale_probability = 1.0;
+  const FaultPlan plan = PlanWith(spec);
+  FaultInjector injector(plan, 11);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(injector.ReserveConflict(0));
+}
+
+TEST(FaultInjectorTest, SameSeedsSameOutcomeSequence) {
+  PartnerFaultSpec spec;
+  spec.partner = 1;
+  spec.availability = 0.7;
+  spec.latency_ms_mean = 10.0;
+  spec.timeout_ms = 25.0;
+  spec.stale_probability = 0.3;
+  FaultPlan plan = PlanWith(spec);
+  plan.seed = 123;
+  FaultInjector a(plan, 77);
+  FaultInjector b(plan, 77);
+  for (int i = 0; i < 200; ++i) {
+    const AttemptResult ra = a.QueryAttempt(1, static_cast<Timestamp>(i));
+    const AttemptResult rb = b.QueryAttempt(1, static_cast<Timestamp>(i));
+    EXPECT_EQ(ra.outcome, rb.outcome);
+    EXPECT_DOUBLE_EQ(ra.latency_ms, rb.latency_ms);
+    EXPECT_EQ(a.ReserveConflict(1), b.ReserveConflict(1));
+  }
+}
+
+TEST(FaultInjectorTest, DifferentPlanSeedsDiverge) {
+  PartnerFaultSpec spec;
+  spec.partner = 0;
+  spec.availability = 0.5;
+  FaultPlan plan_a = PlanWith(spec);
+  FaultPlan plan_b = PlanWith(spec);
+  plan_a.seed = 1;
+  plan_b.seed = 2;
+  FaultInjector a(plan_a, 7);
+  FaultInjector b(plan_b, 7);
+  bool diverged = false;
+  for (int i = 0; i < 64 && !diverged; ++i) {
+    diverged = a.QueryAttempt(0, 0.0).outcome != b.QueryAttempt(0, 0.0).outcome;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace comx

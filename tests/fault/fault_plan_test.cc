@@ -1,0 +1,151 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace fault {
+namespace {
+
+TEST(FaultPlanTest, EmptyTextIsTrivialPlan) {
+  auto plan = ParseFaultPlan("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->Trivial());
+  EXPECT_TRUE(plan->partners.empty());
+  EXPECT_EQ(plan->SpecFor(0), nullptr);
+}
+
+TEST(FaultPlanTest, ParsesAllLineTypes) {
+  const std::string text =
+      "# comment line\n"
+      "{\"type\":\"plan\",\"seed\":7}\n"
+      "\n"
+      "{\"type\":\"partner\",\"partner\":1,\"availability\":0.9,"
+      "\"latency_ms_mean\":40,\"timeout_ms\":150,"
+      "\"stale_probability\":0.05,\"outages\":\"3600-7200;9000-9500\"}\n"
+      "{\"type\":\"retry\",\"max_attempts\":4,\"base_backoff_ms\":10,"
+      "\"backoff_multiplier\":3,\"max_backoff_ms\":500,"
+      "\"jitter_fraction\":0}\n"
+      "{\"type\":\"breaker\",\"failure_threshold\":2,\"open_seconds\":30,"
+      "\"half_open_successes\":1}\n";
+  auto plan = ParseFaultPlan(text);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->seed, 7u);
+  ASSERT_EQ(plan->partners.size(), 1u);
+  const PartnerFaultSpec& spec = plan->partners[0];
+  EXPECT_EQ(spec.partner, 1);
+  EXPECT_DOUBLE_EQ(spec.availability, 0.9);
+  EXPECT_DOUBLE_EQ(spec.latency_ms_mean, 40.0);
+  EXPECT_DOUBLE_EQ(spec.timeout_ms, 150.0);
+  EXPECT_DOUBLE_EQ(spec.stale_probability, 0.05);
+  ASSERT_EQ(spec.outages.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.outages[0].start, 3600.0);
+  EXPECT_DOUBLE_EQ(spec.outages[0].end, 7200.0);
+  EXPECT_EQ(plan->retry.max_attempts, 4);
+  EXPECT_DOUBLE_EQ(plan->retry.base_backoff_ms, 10.0);
+  EXPECT_EQ(plan->breaker.failure_threshold, 2);
+  EXPECT_DOUBLE_EQ(plan->breaker.open_seconds, 30.0);
+  EXPECT_EQ(plan->breaker.half_open_successes, 1);
+  EXPECT_FALSE(plan->Trivial());
+  EXPECT_NE(plan->SpecFor(1), nullptr);
+  EXPECT_EQ(plan->SpecFor(0), nullptr);
+}
+
+TEST(FaultPlanTest, OmittedFieldsKeepDefaults) {
+  auto plan = ParseFaultPlan("{\"type\":\"partner\",\"partner\":0}\n");
+  ASSERT_TRUE(plan.ok());
+  const PartnerFaultSpec& spec = plan->partners[0];
+  EXPECT_DOUBLE_EQ(spec.availability, 1.0);
+  EXPECT_DOUBLE_EQ(spec.stale_probability, 0.0);
+  EXPECT_TRUE(spec.outages.empty());
+  EXPECT_TRUE(spec.Trivial());
+  EXPECT_EQ(plan->retry.max_attempts, 3);
+  EXPECT_EQ(plan->breaker.failure_threshold, 5);
+}
+
+TEST(FaultPlanTest, ErrorsNameTheLine) {
+  auto plan = ParseFaultPlan(
+      "{\"type\":\"plan\",\"seed\":1}\n"
+      "{\"type\":\"partner\",\"partner\":0,\"availability\":1.5}\n");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("line 2"), std::string::npos)
+      << plan.status().ToString();
+}
+
+TEST(FaultPlanTest, RejectsUnknownTypeAndUnknownField) {
+  EXPECT_FALSE(ParseFaultPlan("{\"type\":\"gremlin\"}\n").ok());
+  EXPECT_FALSE(
+      ParseFaultPlan("{\"type\":\"partner\",\"partner\":0,\"typo\":1}\n")
+          .ok());
+}
+
+TEST(FaultPlanTest, RejectsDuplicateSingletonLines) {
+  EXPECT_FALSE(ParseFaultPlan(
+                   "{\"type\":\"retry\",\"max_attempts\":2}\n"
+                   "{\"type\":\"retry\",\"max_attempts\":3}\n")
+                   .ok());
+}
+
+TEST(FaultPlanTest, ValidateRejectsDuplicatePartners) {
+  FaultPlan plan;
+  PartnerFaultSpec spec;
+  spec.partner = 2;
+  plan.partners.push_back(spec);
+  plan.partners.push_back(spec);
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(FaultPlanTest, ValidateRejectsUnorderedOutage) {
+  FaultPlan plan;
+  PartnerFaultSpec spec;
+  spec.partner = 0;
+  spec.outages.push_back({100.0, 50.0});
+  plan.partners.push_back(spec);
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(FaultPlanTest, DownAtCoversClosedWindow) {
+  PartnerFaultSpec spec;
+  spec.outages.push_back({10.0, 20.0});
+  EXPECT_FALSE(spec.DownAt(9.99));
+  EXPECT_TRUE(spec.DownAt(10.0));
+  EXPECT_TRUE(spec.DownAt(20.0));
+  EXPECT_FALSE(spec.DownAt(20.01));
+  EXPECT_FALSE(spec.Trivial());
+}
+
+TEST(FaultPlanTest, LatencyWithoutTimeoutBudgetIsTrivial) {
+  // Injected latency that can never become a timeout cannot fail a call.
+  PartnerFaultSpec spec;
+  spec.latency_ms_mean = 100.0;
+  EXPECT_TRUE(spec.Trivial());
+  spec.timeout_ms = 50.0;
+  EXPECT_FALSE(spec.Trivial());
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy retry;
+  retry.base_backoff_ms = 10.0;
+  retry.backoff_multiplier = 2.0;
+  retry.max_backoff_ms = 35.0;
+  retry.jitter_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(retry.BackoffMs(1, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(retry.BackoffMs(2, 0.0), 20.0);
+  EXPECT_DOUBLE_EQ(retry.BackoffMs(3, 0.0), 35.0);  // capped, not 40
+  EXPECT_DOUBLE_EQ(retry.BackoffMs(10, 0.0), 35.0);
+}
+
+TEST(RetryPolicyTest, JitterScalesWithUnit) {
+  RetryPolicy retry;
+  retry.base_backoff_ms = 100.0;
+  retry.jitter_fraction = 0.5;
+  EXPECT_DOUBLE_EQ(retry.BackoffMs(1, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(retry.BackoffMs(1, 1.0), 150.0);
+}
+
+TEST(FaultPlanTest, LoadFaultPlanMissingFileFails) {
+  EXPECT_FALSE(LoadFaultPlan("/nonexistent/plan.jsonl").ok());
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace comx

@@ -57,6 +57,43 @@ TEST(TraceJsonTest, EventRoundTripsExactly) {
   EXPECT_EQ(parsed->revenue, ev.revenue);
 }
 
+TEST(TraceJsonTest, FaultFieldsRoundTrip) {
+  TraceEvent ev = SampleEvent();
+  ev.fault_retries = 2;
+  ev.fault_failed_partners = 1;
+  ev.fault_reserve_conflicts = 3;
+  ev.degraded = true;
+  auto parsed = ParseTraceEvent(TraceEventToJson(ev));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->fault_retries, 2);
+  EXPECT_EQ(parsed->fault_failed_partners, 1);
+  EXPECT_EQ(parsed->fault_reserve_conflicts, 3);
+  EXPECT_TRUE(parsed->degraded);
+}
+
+TEST(TraceJsonTest, PreFaultTracesParseWithDefaults) {
+  // A trace line written before the fault fields existed must still parse,
+  // with the fault annotations defaulting to "nothing happened".
+  std::string json = TraceEventToJson(SampleEvent());
+  for (const char* key : {"\"fault_retries\"", "\"fault_failed_partners\"",
+                          "\"fault_reserve_conflicts\"", "\"degraded\""}) {
+    const size_t start = json.find(key);
+    ASSERT_NE(start, std::string::npos) << key;
+    // Strip ",key:value" (the fault fields are never first in the object);
+    // the last field runs to the closing brace instead of a comma.
+    const size_t comma = json.rfind(',', start);
+    size_t end = json.find(',', start);
+    if (end == std::string::npos) end = json.find('}', start);
+    json.erase(comma, end - comma);
+  }
+  auto parsed = ParseTraceEvent(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << json;
+  EXPECT_EQ(parsed->fault_retries, 0);
+  EXPECT_EQ(parsed->fault_failed_partners, 0);
+  EXPECT_EQ(parsed->fault_reserve_conflicts, 0);
+  EXPECT_FALSE(parsed->degraded);
+}
+
 TEST(TraceJsonTest, SummaryRoundTripsExactly) {
   TraceSummary s;
   s.events_written = 100;

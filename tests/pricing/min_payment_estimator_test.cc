@@ -111,6 +111,43 @@ TEST(MinPaymentTest, DeterministicGivenSeed) {
   EXPECT_DOUBLE_EQ(ea.reject_fraction, eb.reject_fraction);
 }
 
+TEST(MinPaymentTest, DefaultBudgetNeverBinds) {
+  const Instance ins = WorkersWithHistories({{3.0, 6.0, 9.0}});
+  const AcceptanceModel model(ins);
+  Rng rng(8);
+  const auto est = EstimateMinOuterPayment(model, {0}, 10.0, {}, &rng);
+  EXPECT_FALSE(est.budget_exhausted);
+  EXPECT_EQ(est.samples, MinPaymentConfig{}.SampleCount());
+}
+
+TEST(MinPaymentTest, TinyIterationBudgetCutsTheEstimateShort) {
+  const Instance ins = WorkersWithHistories({{3.0, 6.0, 9.0}});
+  const AcceptanceModel model(ins);
+  MinPaymentConfig config;
+  config.max_bisect_iterations = 2;
+  Rng rng(9);
+  const auto est = EstimateMinOuterPayment(model, {0}, 10.0, config, &rng);
+  EXPECT_TRUE(est.budget_exhausted);
+  EXPECT_LE(est.bisect_iterations, 2);
+  EXPECT_LE(est.samples, config.SampleCount());
+  // The truncated estimate still averages over the samples actually run.
+  EXPECT_GT(est.payment, 0.0);
+  EXPECT_LE(est.payment, 10.0 + config.epsilon + 1e-12);
+}
+
+TEST(MinPaymentTest, DisabledIterationBudgetMatchesDefault) {
+  const Instance ins = WorkersWithHistories({{3.0, 6.0, 9.0}});
+  const AcceptanceModel model(ins);
+  MinPaymentConfig unbounded;
+  unbounded.max_bisect_iterations = 0;  // explicit "no cap"
+  Rng a(10), b(10);
+  const auto ea = EstimateMinOuterPayment(model, {0}, 10.0, {}, &a);
+  const auto eb = EstimateMinOuterPayment(model, {0}, 10.0, unbounded, &b);
+  EXPECT_DOUBLE_EQ(ea.payment, eb.payment);
+  EXPECT_EQ(ea.bisect_iterations, eb.bisect_iterations);
+  EXPECT_FALSE(eb.budget_exhausted);
+}
+
 TEST(MinPaymentTest, TighterXiNarrowsSpread) {
   // With smaller xi the estimator's spread across seeds shrinks.
   const Instance ins = WorkersWithHistories({{4.0}});

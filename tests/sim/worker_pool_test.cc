@@ -113,6 +113,30 @@ TEST(WorkerPoolTest, RearrivalAtNewLocation) {
   EXPECT_TRUE(pool.FeasibleWorkers(near_old, 0, true).empty());
 }
 
+TEST(WorkerPoolTest, OutOfRangeWorkerIdsAreErrorsNotUb) {
+  const Instance ins = PoolInstance();  // workers 0..2
+  WorkerPool pool(ins);
+  EXPECT_EQ(pool.OnArrival(-1, Point(0, 0), 1.0).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(pool.OnArrival(3, Point(0, 0), 1.0).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(pool.MarkOccupied(-1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(pool.MarkOccupied(99).code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(pool.IsAvailable(-1));
+  EXPECT_FALSE(pool.IsAvailable(99));
+}
+
+TEST(WorkerPoolTest, DoubleAssignmentIsAnError) {
+  const Instance ins = PoolInstance();
+  WorkerPool pool(ins);
+  ASSERT_TRUE(pool.OnArrival(0, Point(0, 0), 1.0).ok());
+  ASSERT_TRUE(pool.MarkOccupied(0).ok());
+  // The worker is already serving: a second assignment must surface as a
+  // Status, never silently corrupt the pool.
+  EXPECT_EQ(pool.MarkOccupied(0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(pool.available_count(), 0u);
+}
+
 TEST(WorkerPoolTest, ResultsAreSortedById) {
   Instance ins;
   for (int i = 0; i < 10; ++i) {

@@ -68,6 +68,37 @@ TEST(ParseCsvLineTest, RoundTripThroughWriter) {
   EXPECT_EQ(ParseCsvLine(line), original);
 }
 
+TEST(ParseCsvLineTest, LenientSwallowsUnterminatedQuote) {
+  const auto fields = ParseCsvLine("a,\"runs,to,end");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "runs,to,end");
+}
+
+TEST(ParseCsvLineStrictTest, AcceptsWellFormedLines) {
+  auto fields = ParseCsvLineStrict("\"a,b\",\"c\"\"d\"");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields.value(), (std::vector<std::string>{"a,b", "c\"d"}));
+}
+
+TEST(ParseCsvLineStrictTest, RejectsUnterminatedQuote) {
+  auto fields = ParseCsvLineStrict("a,\"runs,to,end");
+  ASSERT_FALSE(fields.ok());
+  EXPECT_EQ(fields.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvFileTest, MalformedLineFailsReadWithLineNumber) {
+  const std::string path = testing::TempDir() + "/comx_csv_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\nok,row\nbad,\"open\n";
+  }
+  auto read = ReadCsvFile(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find("line 3"), std::string::npos)
+      << read.status().ToString();
+  std::remove(path.c_str());
+}
+
 TEST(CsvFileTest, WriteThenRead) {
   const std::string path = testing::TempDir() + "/comx_csv_test.csv";
   const std::vector<std::vector<std::string>> rows{{"h1", "h2"},

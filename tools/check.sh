@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate under sanitizers: configures the asan-ubsan preset, builds,
+# and runs the full test suite with AddressSanitizer + UBSan enabled.
+# Usage: tools/check.sh [extra ctest args...]
+#   tools/check.sh              # everything
+#   tools/check.sh -L fault     # just the fault-injection suite
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "${JOBS}"
+ctest --preset asan-ubsan -j "${JOBS}" "$@"

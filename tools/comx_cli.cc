@@ -11,14 +11,21 @@
 //                     [--scale X] [--seed S]
 //   comx_cli info     --data PREFIX
 //   comx_cli run      --data PREFIX --algo ALGO [--seeds N] [--no-recycle]
-//                     [--save-matching OUT.csv]
+//                     [--save-matching OUT.csv] [--fault-plan PLAN.jsonl]
 //                     [--trace-out TRACE.jsonl] [--metrics-out FILE]
 //                     [--metrics-format prom|json]
 //                     (ALGO: tota, ranking, greedyrt, demcom, ramcom,
 //                      costdem)
 //                     --trace-out records every first-seed decision as one
 //                     JSONL line (verify with trace_inspect); --metrics-out
-//                     dumps the metrics registry after the run.
+//                     dumps the metrics registry after the run;
+//                     --fault-plan injects partner faults per the JSONL plan
+//                     (format in fault/fault_plan.h) and prints the
+//                     retry/breaker/degradation tallies.
+//   comx_cli degrade  --data PREFIX [--algo ALGO] [--steps N] [--seeds N]
+//                     [--no-recycle] [--csv OUT.csv]
+//                     sweeps every partner's availability 0..1 and charts
+//                     ALGO's revenue against the inner-only TOTA baseline.
 //   comx_cli offline  --data PREFIX [--capacity K] [--no-outer]
 //   comx_cli schedule --data PREFIX [--no-recycle]   (exact, tiny instances)
 //   comx_cli batch    --data PREFIX [--window SECONDS] [--seeds N]
@@ -30,6 +37,8 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/cost_aware.h"
 #include "core/dem_com.h"
@@ -42,6 +51,8 @@
 #include "datagen/density.h"
 #include "datagen/real_like.h"
 #include "datagen/synthetic.h"
+#include "fault/fault_plan.h"
+#include "fault/fault_session.h"
 #include "obs/exporters.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
@@ -50,14 +61,24 @@
 #include "sim/offline_schedule.h"
 #include "sim/result_io.h"
 #include "sim/simulator.h"
+#include "util/csv.h"
 #include "util/stats.h"
+#include "util/string_util.h"
 
 namespace comx {
 namespace {
 
+// Accepts both "--flag value" and "--flag=value".
 const char* FlagValue(int argc, char** argv, const char* flag) {
-  for (int i = 2; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  const size_t flag_len = std::strlen(flag);
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return i + 1 < argc ? argv[i + 1] : nullptr;
+    }
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=') {
+      return argv[i] + flag_len + 1;
+    }
   }
   return nullptr;
 }
@@ -184,6 +205,15 @@ int CmdRun(int argc, char** argv) {
   const int seeds = static_cast<int>(IntFlag(argc, argv, "--seeds", 3));
   SimConfig sim;
   sim.workers_recycle = !HasFlag(argc, argv, "--no-recycle");
+  // The plan must outlive every RunSimulation call; SimConfig only borrows.
+  fault::FaultPlan fault_plan;
+  if (const char* plan_path = FlagValue(argc, argv, "--fault-plan");
+      plan_path != nullptr) {
+    auto loaded = fault::LoadFaultPlan(plan_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    fault_plan = *std::move(loaded);
+    sim.fault_plan = &fault_plan;
+  }
 
   const char* save_matching = FlagValue(argc, argv, "--save-matching");
   const char* trace_out = FlagValue(argc, argv, "--trace-out");
@@ -207,6 +237,7 @@ int CmdRun(int argc, char** argv) {
   }
 
   PlatformMetrics agg;
+  fault::FaultSessionStats fault_totals;
   std::vector<PlatformMetrics> per_platform(
       static_cast<size_t>(instance->PlatformCount()));
   for (int s = 1; s <= seeds; ++s) {
@@ -229,6 +260,7 @@ int CmdRun(int argc, char** argv) {
       per_platform[p].Merge(result->metrics.per_platform[p]);
     }
     agg.Merge(result->metrics.Aggregate());
+    fault_totals.Merge(result->fault_stats);
     if (s == 1 && save_matching != nullptr) {
       if (Status st = SaveMatchingCsv(*instance, result->matching,
                                       save_matching);
@@ -247,6 +279,25 @@ int CmdRun(int argc, char** argv) {
   std::printf("  aggregate:  %s\n", agg.ToString().c_str());
   std::printf("  pickup km:  %.1f (net revenue at 2/km: %.1f)\n",
               agg.total_pickup_km, agg.NetRevenue(2.0));
+  if (sim.fault_plan != nullptr) {
+    std::printf(
+        "  faults:     %lld attempts (%lld timeout, %lld unavailable, "
+        "%lld outage), %lld retries, %lld unreachable\n"
+        "  resilience: %lld breaker skips, %lld breaker transitions, "
+        "%lld reserve conflicts, %lld degraded requests, "
+        "%.0f ms virtual backoff\n",
+        static_cast<long long>(fault_totals.attempts),
+        static_cast<long long>(fault_totals.attempt_timeouts),
+        static_cast<long long>(fault_totals.attempt_unavailable),
+        static_cast<long long>(fault_totals.attempt_outages),
+        static_cast<long long>(fault_totals.retries),
+        static_cast<long long>(fault_totals.partner_unreachable),
+        static_cast<long long>(fault_totals.breaker_open_skips),
+        static_cast<long long>(fault_totals.breaker_transitions),
+        static_cast<long long>(fault_totals.reserve_conflicts),
+        static_cast<long long>(fault_totals.degraded_requests),
+        fault_totals.backoff_ms_total);
+  }
   if (trace != nullptr) {
     if (Status st = trace->Close(); !st.ok()) return Fail(st);
     std::printf("wrote first-seed decision trace to %s (%lld events, %lld "
@@ -410,10 +461,114 @@ int CmdCr(int argc, char** argv) {
   return 0;
 }
 
+// Runs `algo` on `instance` for seeds 1..seeds under an optional fault plan
+// and returns (total revenue across seeds, total degraded requests).
+Result<std::pair<double, int64_t>> SweepPoint(
+    const Instance& instance, const std::string& algo,
+    const fault::FaultPlan* plan, bool recycle, int seeds) {
+  SimConfig sim;
+  sim.workers_recycle = recycle;
+  sim.fault_plan = plan;
+  double revenue = 0.0;
+  int64_t degraded = 0;
+  for (int s = 1; s <= seeds; ++s) {
+    std::vector<std::unique_ptr<OnlineMatcher>> owned;
+    std::vector<OnlineMatcher*> matchers;
+    for (PlatformId p = 0; p < instance.PlatformCount(); ++p) {
+      owned.push_back(MakeMatcher(algo));
+      matchers.push_back(owned.back().get());
+    }
+    COMX_ASSIGN_OR_RETURN(
+        SimResult result,
+        RunSimulation(instance, matchers, sim, static_cast<uint64_t>(s)));
+    revenue += result.metrics.TotalRevenue();
+    degraded += result.fault_stats.degraded_requests;
+  }
+  return std::make_pair(revenue, degraded);
+}
+
+// Graceful-degradation sweep: every partner's availability walks 0 -> 1 and
+// the cooperative algorithm's revenue is charted against the inner-only
+// TOTA baseline. At availability 0 a well-behaved matcher must not fall
+// below TOTA (it degrades to inner-only matching); at 1 it must reproduce
+// the fault-free cooperative revenue bit for bit.
+int CmdDegrade(int argc, char** argv) {
+  const char* data = FlagValue(argc, argv, "--data");
+  if (data == nullptr) {
+    std::fprintf(stderr, "degrade: --data PREFIX is required\n");
+    return 2;
+  }
+  const char* algo_flag = FlagValue(argc, argv, "--algo");
+  const std::string algo = algo_flag != nullptr ? algo_flag : "demcom";
+  if (MakeMatcher(algo) == nullptr) {
+    std::fprintf(stderr, "degrade: unknown algorithm '%s'\n", algo.c_str());
+    return 2;
+  }
+  auto instance = LoadInstance(data);
+  if (!instance.ok()) return Fail(instance.status());
+  const int steps = static_cast<int>(IntFlag(argc, argv, "--steps", 10));
+  const int seeds = static_cast<int>(IntFlag(argc, argv, "--seeds", 3));
+  const bool recycle = !HasFlag(argc, argv, "--no-recycle");
+  if (steps < 1) {
+    std::fprintf(stderr, "degrade: --steps must be >= 1\n");
+    return 2;
+  }
+
+  auto baseline = SweepPoint(*instance, "tota", nullptr, recycle, seeds);
+  if (!baseline.ok()) return Fail(baseline.status());
+  const double tota_revenue = baseline->first;
+  auto ceiling = SweepPoint(*instance, algo, nullptr, recycle, seeds);
+  if (!ceiling.ok()) return Fail(ceiling.status());
+  const double fault_free = ceiling->first;
+
+  std::printf("%s revenue vs partner availability on %s "
+              "(%d seed(s), totals; TOTA inner-only baseline %.1f, "
+              "fault-free %s %.1f):\n",
+              algo.c_str(), data, seeds, tota_revenue, algo.c_str(),
+              fault_free);
+  std::printf("  avail   revenue   vs TOTA   vs fault-free   degraded\n");
+  std::vector<std::vector<std::string>> csv_rows;
+  csv_rows.push_back(
+      {"availability", "revenue", "tota_revenue", "degraded_requests"});
+  const double top = fault_free > 0.0 ? fault_free : 1.0;
+  for (int k = 0; k <= steps; ++k) {
+    const double avail = static_cast<double>(k) / steps;
+    fault::FaultPlan plan;
+    for (PlatformId p = 0; p < instance->PlatformCount(); ++p) {
+      fault::PartnerFaultSpec spec;
+      spec.partner = p;
+      spec.availability = avail;
+      plan.partners.push_back(spec);
+    }
+    auto point = SweepPoint(*instance, algo, &plan, recycle, seeds);
+    if (!point.ok()) return Fail(point.status());
+    const int bar = static_cast<int>(40.0 * point->first / top + 0.5);
+    std::printf("  %5.2f %9.1f   %+6.1f%%        %6.1f%%   %8lld  |%.*s\n",
+                avail, point->first,
+                tota_revenue > 0.0
+                    ? 100.0 * (point->first - tota_revenue) / tota_revenue
+                    : 0.0,
+                100.0 * point->first / top,
+                static_cast<long long>(point->second), bar,
+                "========================================");
+    csv_rows.push_back({StrFormat("%.17g", avail),
+                        StrFormat("%.17g", point->first),
+                        StrFormat("%.17g", tota_revenue),
+                        StrFormat("%lld",
+                                  static_cast<long long>(point->second))});
+  }
+  if (const char* csv = FlagValue(argc, argv, "--csv"); csv != nullptr) {
+    if (Status st = WriteCsvFile(csv, csv_rows); !st.ok()) return Fail(st);
+    std::printf("wrote %s\n", csv);
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: comx_cli <gen|gen-real|info|run|offline|schedule|batch|cr|density> "
+                 "usage: comx_cli <gen|gen-real|info|run|offline|schedule|"
+                 "batch|cr|density|degrade> "
                  "[flags]\n(see the file header for per-command flags)\n");
     return 2;
   }
@@ -427,6 +582,7 @@ int Main(int argc, char** argv) {
   if (cmd == "schedule") return CmdSchedule(argc, argv);
   if (cmd == "batch") return CmdBatch(argc, argv);
   if (cmd == "cr") return CmdCr(argc, argv);
+  if (cmd == "degrade") return CmdDegrade(argc, argv);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }
