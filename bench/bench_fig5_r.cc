@@ -7,6 +7,8 @@ int main(int argc, char** argv) {
   using comx::bench::SweepPoint;
   const int seeds =
       static_cast<int>(comx::bench::ArgInt(argc, argv, "--seeds", 6));
+  const int jobs =
+      static_cast<int>(comx::bench::ArgInt(argc, argv, "--jobs", 1));
   const int64_t max_r = comx::bench::ArgInt(argc, argv, "--max-r", 20'000);
   std::vector<SweepPoint> points;
   for (int64_t r : {500, 1000, 2500, 5000, 10'000, 20'000, 50'000, 100'000}) {
@@ -14,7 +16,7 @@ int main(int argc, char** argv) {
     points.push_back(SweepPoint{"R=" + std::to_string(r), r, 500, 1.0});
   }
   comx::bench::RunSweep("Fig. 5(a)-(d)", "|R|", points, seeds,
-                        "bench_fig5_r.csv");
+                        "bench_fig5_r.csv", jobs);
   std::printf("\nexpected shapes (paper): revenue grows with |R|, RamCOM "
               "steepest, TOTA flattest; response time grows ~linearly; "
               "memory grows with |R|; acceptance ratios rise until ~20k "

@@ -7,6 +7,8 @@ int main(int argc, char** argv) {
   using comx::bench::SweepPoint;
   const int seeds =
       static_cast<int>(comx::bench::ArgInt(argc, argv, "--seeds", 6));
+  const int jobs =
+      static_cast<int>(comx::bench::ArgInt(argc, argv, "--jobs", 1));
   std::vector<SweepPoint> points;
   for (double rad : {0.5, 1.0, 1.5, 2.0, 2.5}) {
     char label[32];
@@ -14,7 +16,7 @@ int main(int argc, char** argv) {
     points.push_back(SweepPoint{label, 2500, 500, rad});
   }
   comx::bench::RunSweep("Fig. 5(i)-(l)", "rad", points, seeds,
-                        "bench_fig5_rad.csv");
+                        "bench_fig5_rad.csv", jobs);
   std::printf("\nexpected shapes (paper): revenue rises slightly with rad "
               "(RamCOM highest, DemCOM just above TOTA); response time "
               "roughly flat (RamCOM creeping up); memory flat; RamCOM "

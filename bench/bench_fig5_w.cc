@@ -7,6 +7,8 @@ int main(int argc, char** argv) {
   using comx::bench::SweepPoint;
   const int seeds =
       static_cast<int>(comx::bench::ArgInt(argc, argv, "--seeds", 6));
+  const int jobs =
+      static_cast<int>(comx::bench::ArgInt(argc, argv, "--jobs", 1));
   const int64_t max_w = comx::bench::ArgInt(argc, argv, "--max-w", 20'000);
   std::vector<SweepPoint> points;
   for (int64_t w : {100, 200, 500, 1000, 2500, 5000, 10'000, 20'000}) {
@@ -14,7 +16,7 @@ int main(int argc, char** argv) {
     points.push_back(SweepPoint{"W=" + std::to_string(w), 2500, w, 1.0});
   }
   comx::bench::RunSweep("Fig. 5(e)-(h)", "|W|", points, seeds,
-                        "bench_fig5_w.csv");
+                        "bench_fig5_w.csv", jobs);
   std::printf("\nexpected shapes (paper): revenue rises until |W| ~ 1000 "
               "then saturates (all requests servable by inner workers); "
               "response time grows with |W|; memory grows with |W|; "

@@ -1,0 +1,127 @@
+// Canonical deterministic sweep backing the committed BENCH baseline
+// (BENCH_sweep.json at the repo root). Runs a small fixed parameter grid
+// (two synthetic workloads x {TOTA, DemCOM, RamCOM} x seeds) on the sweep
+// engine and writes one flat JSON record per (workload, algorithm) plus a
+// timing summary. Deterministic fields (revenue, completed, cooperative,
+// acceptance, payment rate, logical memory) are identical at any --jobs
+// value; tools/bench_check diffs a fresh run against the baseline.
+//
+//   bench_sweep [--jobs N] [--seeds N] [--out PATH]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "datagen/synthetic.h"
+#include "exp/bench_record.h"
+#include "util/memory_meter.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+const char* ArgString(int argc, char** argv, const std::string& flag,
+                      const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+struct Workload {
+  const char* label;
+  int64_t requests_per_platform;
+  int64_t workers_per_platform;
+  double radius_km;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace comx;
+
+  const int jobs = static_cast<int>(bench::ArgInt(argc, argv, "--jobs", 1));
+  const int seeds = static_cast<int>(bench::ArgInt(argc, argv, "--seeds", 3));
+  const std::string out =
+      ArgString(argc, argv, "--out", "BENCH_sweep.json");
+
+  // Sized so the default sweep finishes in seconds serially (the baseline
+  // gate runs on every check) while still giving a multicore runner
+  // parallel headroom. Workload totals are per-platform counts x 2
+  // platforms; R2500_W500 is the Table IV default.
+  const std::vector<Workload> workloads = {
+      {"R1000_W200", 500, 100, 1.5},
+      {"R2500_W500", 1250, 250, 1.0},
+  };
+  const std::vector<bench::Algo> algos = {
+      bench::Algo::kTota, bench::Algo::kDemCom, bench::Algo::kRamCom};
+
+  Stopwatch wall;
+  ThreadPool shared_pool(jobs > 1 ? static_cast<size_t>(jobs) : 1);
+  std::vector<exp::BenchRecord> records;
+  for (const Workload& w : workloads) {
+    SyntheticConfig gen;
+    gen.requests_per_platform = {w.requests_per_platform};
+    gen.workers_per_platform = {w.workers_per_platform};
+    gen.radius_km = w.radius_km;
+    gen.seed = 2020;
+    auto instance = GenerateSynthetic(gen);
+    if (!instance.ok()) {
+      std::fprintf(stderr, "generate %s: %s\n", w.label,
+                   instance.status().ToString().c_str());
+      return 1;
+    }
+    bench::TableRunConfig run;
+    run.seeds = seeds;
+    run.algos = algos;
+    if (jobs > 1) run.pool = &shared_pool;
+    run.sim.workers_recycle = true;
+    // Response time is a wall-clock measurement (host- and load-
+    // dependent); the baseline only records deterministic fields.
+    run.sim.measure_response_time = false;
+    const std::vector<bench::Row> rows = bench::RunTable(*instance, run);
+    for (const bench::Row& row : rows) {
+      exp::BenchRecord record;
+      record.name = std::string(w.label) + "." + bench::AlgoName(row.algo);
+      double revenue = 0.0;
+      int64_t completed = 0;
+      for (double r : row.revenue) revenue += r;
+      for (int64_t c : row.completed) completed += c;
+      record.numbers["revenue"] = revenue;
+      record.numbers["completed"] = static_cast<double>(completed);
+      record.numbers["cooperative"] = static_cast<double>(row.cooperative);
+      record.numbers["acceptance"] = row.acceptance;
+      record.numbers["payment_rate"] = row.payment_rate;
+      record.numbers["memory_mb"] = row.memory_mb;
+      record.numbers["seeds"] = static_cast<double>(seeds);
+      records.push_back(std::move(record));
+    }
+    std::printf("%-12s done (%d seeds x %zu algos)\n", w.label, seeds,
+                algos.size());
+  }
+
+  const double wall_seconds = wall.ElapsedNanos() / 1e9;
+  const double runs = static_cast<double>(workloads.size() * algos.size()) *
+                      static_cast<double>(seeds);
+  exp::BenchRecord summary;
+  summary.name = "summary";
+  summary.numbers["jobs"] = static_cast<double>(jobs);
+  summary.numbers["runs"] = runs;
+  summary.numbers["wall_seconds"] = wall_seconds;
+  summary.numbers["runs_per_sec"] =
+      wall_seconds > 0.0 ? runs / wall_seconds : 0.0;
+  summary.numbers["rss_mb"] =
+      static_cast<double>(CurrentRssBytes()) / 1e6;
+  records.push_back(std::move(summary));
+
+  if (Status st = exp::WriteBenchRecords(out, records); !st.ok()) {
+    std::fprintf(stderr, "write %s: %s\n", out.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %.0f runs in %.2fs (%.1f runs/s, jobs=%d)\n",
+              out.c_str(), runs, wall_seconds,
+              wall_seconds > 0.0 ? runs / wall_seconds : 0.0, jobs);
+  return 0;
+}

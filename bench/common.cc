@@ -2,216 +2,31 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <memory>
-
-#include "core/dem_com.h"
-#include "core/greedy_rt.h"
-#include "core/ram_com.h"
-#include "core/tota_greedy.h"
-#include "util/string_util.h"
-#include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace comx {
 namespace bench {
-namespace {
-
-std::unique_ptr<OnlineMatcher> MakeMatcher(Algo algo) {
-  switch (algo) {
-    case Algo::kTota:
-      return std::make_unique<TotaGreedy>();
-    case Algo::kGreedyRt:
-      return std::make_unique<GreedyRt>();
-    case Algo::kDemCom:
-      return std::make_unique<DemCom>();
-    case Algo::kRamCom:
-      return std::make_unique<RamCom>();
-    case Algo::kOff:
-      break;
-  }
-  std::fprintf(stderr, "OFF is not an online matcher\n");
-  std::exit(1);
-}
-
-Row RunOffline(const Instance& instance, const TableRunConfig& config) {
-  Row row;
-  row.algo = Algo::kOff;
-  const int32_t platforms = instance.PlatformCount();
-  row.revenue.assign(static_cast<size_t>(platforms), 0.0);
-  row.completed.assign(static_cast<size_t>(platforms), 0);
-  Stopwatch clock;
-  int64_t requests = 0;
-  for (PlatformId p = 0; p < platforms; ++p) {
-    OfflineConfig off;
-    off.worker_capacity =
-        config.sim.workers_recycle ? config.off_capacity : 1;
-    auto sol = SolveOffline(instance, p, off);
-    if (!sol.ok()) {
-      std::fprintf(stderr, "OFF failed: %s\n",
-                   sol.status().ToString().c_str());
-      std::exit(1);
-    }
-    row.revenue[static_cast<size_t>(p)] = sol->matching.total_revenue;
-    row.completed[static_cast<size_t>(p)] =
-        static_cast<int64_t>(sol->matching.size());
-    requests += instance.RequestCountOf(p);
-  }
-  // OFF "response time": total solve time amortized per request.
-  row.response_ms =
-      requests > 0 ? clock.ElapsedMillis() / static_cast<double>(requests)
-                   : 0.0;
-  return row;
-}
-
-Row RunOnline(const Instance& instance, Algo algo,
-              const TableRunConfig& config) {
-  Row row;
-  row.algo = algo;
-  const int32_t platforms = instance.PlatformCount();
-  row.revenue.assign(static_cast<size_t>(platforms), 0.0);
-  row.completed.assign(static_cast<size_t>(platforms), 0);
-  double acceptance = 0.0, rate = 0.0, response = 0.0, memory = 0.0;
-  int64_t cooperative = 0;
-  // Seeds are independent runs and *could* execute in parallel
-  // (util/thread_pool.h), but the paper's response-time metric is a
-  // wall-clock measurement that CPU contention would inflate, so the
-  // harness keeps them serial.
-  std::vector<SimMetrics> per_seed(static_cast<size_t>(config.seeds));
-  std::vector<Status> seed_status(static_cast<size_t>(config.seeds));
-  ParallelFor(static_cast<size_t>(config.seeds), 1, [&](size_t s) {
-    std::vector<std::unique_ptr<OnlineMatcher>> owned;
-    std::vector<OnlineMatcher*> matchers;
-    for (PlatformId p = 0; p < platforms; ++p) {
-      owned.push_back(MakeMatcher(algo));
-      matchers.push_back(owned.back().get());
-    }
-    auto result = RunSimulation(instance, matchers, config.sim,
-                                static_cast<uint64_t>(s) * 7919 + 1);
-    if (!result.ok()) {
-      seed_status[s] = result.status();
-      return;
-    }
-    per_seed[s] = std::move(result->metrics);
-  });
-  for (int s = 0; s < config.seeds; ++s) {
-    if (!seed_status[static_cast<size_t>(s)].ok()) {
-      std::fprintf(stderr, "%s failed: %s\n", AlgoName(algo),
-                   seed_status[static_cast<size_t>(s)].ToString().c_str());
-      std::exit(1);
-    }
-    const SimMetrics& metrics = per_seed[static_cast<size_t>(s)];
-    for (PlatformId p = 0; p < platforms; ++p) {
-      row.revenue[static_cast<size_t>(p)] +=
-          metrics.per_platform[static_cast<size_t>(p)].revenue;
-      row.completed[static_cast<size_t>(p)] +=
-          metrics.per_platform[static_cast<size_t>(p)].completed;
-    }
-    const PlatformMetrics agg = metrics.Aggregate();
-    cooperative += agg.completed_outer;
-    acceptance += agg.AcceptanceRatio();
-    rate += agg.MeanPaymentRate();
-    response += agg.MeanResponseTimeMs();
-    memory += static_cast<double>(metrics.logical_bytes) / 1e6;
-  }
-  const double n = static_cast<double>(config.seeds);
-  for (double& r : row.revenue) r /= n;
-  for (int64_t& c : row.completed) {
-    c = static_cast<int64_t>(static_cast<double>(c) / n);
-  }
-  row.cooperative = static_cast<int64_t>(static_cast<double>(cooperative) / n);
-  row.acceptance = acceptance / n;
-  row.payment_rate = rate / n;
-  row.response_ms = response / n;
-  row.memory_mb = memory / n;
-  return row;
-}
-
-}  // namespace
-
-const char* AlgoName(Algo algo) {
-  switch (algo) {
-    case Algo::kOff:
-      return "OFF";
-    case Algo::kTota:
-      return "TOTA";
-    case Algo::kGreedyRt:
-      return "Greedy-RT";
-    case Algo::kDemCom:
-      return "DemCOM";
-    case Algo::kRamCom:
-      return "RamCOM";
-  }
-  return "?";
-}
 
 std::vector<Row> RunTable(const Instance& instance,
                           const TableRunConfig& config) {
-  std::vector<Row> rows;
-  for (Algo algo : config.algos) {
-    rows.push_back(algo == Algo::kOff ? RunOffline(instance, config)
-                                      : RunOnline(instance, algo, config));
+  auto rows = exp::RunAlgoGrid(instance, config);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "bench run failed: %s\n",
+                 rows.status().ToString().c_str());
+    std::exit(1);
   }
-  return rows;
+  return std::move(*rows);
 }
 
 void PrintTable(const std::string& title, const std::vector<Row>& rows,
                 int32_t platform_count) {
-  std::printf("\n=== %s ===\n", title.c_str());
-  std::printf("%-10s", "Method");
-  for (int32_t p = 0; p < platform_count; ++p) {
-    std::printf(" %11s", StrFormat("Rev_p%d", p).c_str());
-  }
-  std::printf(" %9s", "Resp(ms)");
-  std::printf(" %9s", "Mem(MB)");
-  for (int32_t p = 0; p < platform_count; ++p) {
-    std::printf(" %9s", StrFormat("CpR(p%d)", p).c_str());
-  }
-  std::printf(" %8s %7s %8s\n", "CoR", "AcpRt", "v'/v");
-  for (const Row& row : rows) {
-    std::printf("%-10s", AlgoName(row.algo));
-    for (double r : row.revenue) std::printf(" %11.1f", r);
-    std::printf(" %9.4f", row.response_ms);
-    std::printf(" %9.2f", row.memory_mb);
-    for (int64_t c : row.completed) {
-      std::printf(" %9lld", static_cast<long long>(c));
-    }
-    if (row.algo == Algo::kOff || row.algo == Algo::kTota ||
-        row.algo == Algo::kGreedyRt) {
-      std::printf(" %8s %7s %8s\n", "-", "-", "-");
-    } else {
-      std::printf(" %8lld %7.2f %8.2f\n",
-                  static_cast<long long>(row.cooperative), row.acceptance,
-                  row.payment_rate);
-    }
-  }
+  std::fputs(exp::RenderTable(title, rows, platform_count).c_str(), stdout);
 }
 
 void AppendCsv(const std::string& path, const std::string& tag,
                const std::vector<Row>& rows) {
-  const bool exists = [&] {
-    std::ifstream probe(path);
-    return probe.good();
-  }();
-  std::ofstream out(path, std::ios::app);
-  if (!out) return;
-  if (!exists) {
-    out << "tag,algo,total_revenue,total_completed,response_ms,memory_mb,"
-           "cooperative,acceptance,payment_rate\n";
-  }
-  for (const Row& row : rows) {
-    double rev = 0.0;
-    int64_t completed = 0;
-    for (double r : row.revenue) rev += r;
-    for (int64_t c : row.completed) completed += c;
-    out << tag << ',' << AlgoName(row.algo) << ','
-        << StrFormat("%.2f", rev) << ',' << completed << ','
-        << StrFormat("%.5f", row.response_ms) << ','
-        << StrFormat("%.3f", row.memory_mb) << ',' << row.cooperative << ','
-        << StrFormat("%.4f", row.acceptance) << ','
-        << StrFormat("%.4f", row.payment_rate) << '\n';
-  }
+  // Best-effort, matching the old behavior: a CSV that cannot be opened is
+  // skipped silently (the table already went to stdout).
+  (void)exp::AppendCsvFile(path, tag, rows).ok();
 }
 
 double ArgDouble(int argc, char** argv, const std::string& flag,

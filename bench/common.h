@@ -1,6 +1,8 @@
-// Shared harness for the table/figure benchmark binaries: runs each
-// algorithm over an instance for several matcher seeds, averages the
-// paper's metrics, and renders aligned tables / CSV series.
+// Shared harness for the table/figure benchmark binaries. The heavy
+// lifting (algorithm grid, table/CSV rendering, parallel seed execution)
+// lives in the library at exp/algo_grid.h so tests can verify it; this
+// header re-exports it under the historical bench:: names and keeps the
+// leaf-program conveniences (die on error, argv parsing).
 
 #ifndef COMX_BENCH_COMMON_H_
 #define COMX_BENCH_COMMON_H_
@@ -8,45 +10,19 @@
 #include <string>
 #include <vector>
 
-#include "core/offline_opt.h"
+#include "exp/algo_grid.h"
 #include "model/instance.h"
-#include "sim/metrics.h"
-#include "sim/simulator.h"
 
 namespace comx {
 namespace bench {
 
-/// Which algorithm a row reports.
-enum class Algo { kOff, kTota, kGreedyRt, kDemCom, kRamCom };
+using exp::Algo;
+using exp::AlgoName;
+using exp::Row;
 
-/// Display name ("OFF", "TOTA", ...).
-const char* AlgoName(Algo algo);
-
-/// One averaged result row (the columns of Tables V-VII).
-struct Row {
-  Algo algo = Algo::kTota;
-  /// Per-platform revenue (index = platform id).
-  std::vector<double> revenue;
-  /// Per-platform completed requests.
-  std::vector<int64_t> completed;
-  double response_ms = 0.0;
-  double memory_mb = 0.0;
-  int64_t cooperative = 0;   // |CoR| summed over platforms
-  double acceptance = 0.0;   // |AcpRt|
-  double payment_rate = 0.0; // mean v'_r / v_r
-};
-
-/// Run configuration for one table.
-struct TableRunConfig {
-  SimConfig sim;
-  /// Matcher seeds averaged per algorithm.
-  int seeds = 3;
-  /// OFF worker capacity (recycled service slots per worker).
-  int32_t off_capacity = 64;
-  /// Which algorithms to run, in display order.
-  std::vector<Algo> algos = {Algo::kOff, Algo::kTota, Algo::kDemCom,
-                             Algo::kRamCom};
-};
+/// Run configuration for one table (exp::AlgoGridConfig: sim, seeds,
+/// off_capacity, algos, jobs, pool).
+using TableRunConfig = exp::AlgoGridConfig;
 
 /// Runs every configured algorithm over `instance`; returns one row each.
 /// Dies (exit 1) on internal errors — bench binaries are leaf programs.

@@ -12,6 +12,7 @@
 
 #include "common.h"
 #include "datagen/synthetic.h"
+#include "util/thread_pool.h"
 
 namespace comx {
 namespace bench {
@@ -24,9 +25,14 @@ struct SweepPoint {
   double radius_km = 1.0;
 };
 
+/// Sweeps the given points. `jobs` > 1 runs each point's (algo x seed)
+/// grid on one shared pool (constructed once, reused across points);
+/// everything except the wall-clock ms columns is bit-identical to
+/// jobs == 1.
 inline void RunSweep(const char* figure, const char* factor,
                      const std::vector<SweepPoint>& points, int seeds,
-                     const std::string& csv_path) {
+                     const std::string& csv_path, int jobs = 1) {
+  ThreadPool shared_pool(jobs > 1 ? static_cast<size_t>(jobs) : 1);
   std::printf("%s — sweep over %s (Table IV defaults elsewhere: |R|=2500, "
               "|W|=500, rad=1, 2 platforms)\n",
               figure, factor);
@@ -49,6 +55,7 @@ inline void RunSweep(const char* figure, const char* factor,
     }
     TableRunConfig run;
     run.seeds = seeds;
+    if (jobs > 1) run.pool = &shared_pool;
     run.sim.workers_recycle = true;
     run.algos = {Algo::kTota, Algo::kDemCom, Algo::kRamCom};
     const std::vector<Row> rows = RunTable(*instance, run);

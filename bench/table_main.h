@@ -23,9 +23,12 @@ struct PaperReference {
 inline int TableMain(int argc, char** argv, const RealDatasetSpec& spec,
                      const char* table_name, const char* paper_rows) {
   // Defaults keep the default `for b in build/bench/*` sweep fast; pass
-  // --scale 1.0 for the full Table III sizes.
+  // --scale 1.0 for the full Table III sizes. --jobs N parallelizes the
+  // (algo x seed) grid; results are bit-identical to --jobs 1 except the
+  // wall-clock Resp(ms) column, which CPU contention inflates.
   const double scale = ArgDouble(argc, argv, "--scale", 0.05);
   const int seeds = static_cast<int>(ArgInt(argc, argv, "--seeds", 5));
+  const int jobs = static_cast<int>(ArgInt(argc, argv, "--jobs", 1));
 
   auto instance = GenerateRealLike(spec, scale, /*seed=*/2016);
   if (!instance.ok()) {
@@ -39,6 +42,7 @@ inline int TableMain(int argc, char** argv, const RealDatasetSpec& spec,
 
   TableRunConfig config;
   config.seeds = seeds;
+  config.jobs = jobs;
   config.sim.workers_recycle = true;
   const std::vector<Row> rows = RunTable(*instance, config);
   PrintTable(table_name, rows, instance->PlatformCount());

@@ -1,0 +1,267 @@
+#include "exp/algo_grid.h"
+
+#include <fstream>
+#include <memory>
+#include <utility>
+
+#include "core/dem_com.h"
+#include "core/greedy_rt.h"
+#include "core/offline_opt.h"
+#include "core/ram_com.h"
+#include "core/tota_greedy.h"
+#include "sim/metrics.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace comx {
+namespace exp {
+namespace {
+
+Result<std::unique_ptr<OnlineMatcher>> MakeMatcher(Algo algo) {
+  switch (algo) {
+    case Algo::kTota:
+      return std::unique_ptr<OnlineMatcher>(std::make_unique<TotaGreedy>());
+    case Algo::kGreedyRt:
+      return std::unique_ptr<OnlineMatcher>(std::make_unique<GreedyRt>());
+    case Algo::kDemCom:
+      return std::unique_ptr<OnlineMatcher>(std::make_unique<DemCom>());
+    case Algo::kRamCom:
+      return std::unique_ptr<OnlineMatcher>(std::make_unique<RamCom>());
+    case Algo::kOff:
+      break;
+  }
+  return Status::InvalidArgument("OFF is not an online matcher");
+}
+
+Result<Row> RunOffline(const Instance& instance,
+                       const AlgoGridConfig& config) {
+  Row row;
+  row.algo = Algo::kOff;
+  const int32_t platforms = instance.PlatformCount();
+  row.revenue.assign(static_cast<size_t>(platforms), 0.0);
+  row.completed.assign(static_cast<size_t>(platforms), 0);
+  Stopwatch clock;
+  int64_t requests = 0;
+  for (PlatformId p = 0; p < platforms; ++p) {
+    OfflineConfig off;
+    off.worker_capacity =
+        config.sim.workers_recycle ? config.off_capacity : 1;
+    COMX_ASSIGN_OR_RETURN(auto sol, SolveOffline(instance, p, off));
+    row.revenue[static_cast<size_t>(p)] = sol.matching.total_revenue;
+    row.completed[static_cast<size_t>(p)] =
+        static_cast<int64_t>(sol.matching.size());
+    requests += instance.RequestCountOf(p);
+  }
+  // OFF "response time": total solve time amortized per request.
+  row.response_ms =
+      requests > 0 ? clock.ElapsedMillis() / static_cast<double>(requests)
+                   : 0.0;
+  return row;
+}
+
+// Averages the per-seed metrics of one algorithm into a Row, accumulating
+// in seed order (fixed floating-point association — identical at any job
+// count).
+Row MergeSeeds(Algo algo, int32_t platforms,
+               const std::vector<SimMetrics>& per_seed) {
+  Row row;
+  row.algo = algo;
+  row.revenue.assign(static_cast<size_t>(platforms), 0.0);
+  row.completed.assign(static_cast<size_t>(platforms), 0);
+  double acceptance = 0.0, rate = 0.0, response = 0.0, memory = 0.0;
+  int64_t cooperative = 0;
+  for (const SimMetrics& metrics : per_seed) {
+    for (PlatformId p = 0; p < platforms; ++p) {
+      row.revenue[static_cast<size_t>(p)] +=
+          metrics.per_platform[static_cast<size_t>(p)].revenue;
+      row.completed[static_cast<size_t>(p)] +=
+          metrics.per_platform[static_cast<size_t>(p)].completed;
+    }
+    const PlatformMetrics agg = metrics.Aggregate();
+    cooperative += agg.completed_outer;
+    acceptance += agg.AcceptanceRatio();
+    rate += agg.MeanPaymentRate();
+    response += agg.MeanResponseTimeMs();
+    memory += static_cast<double>(metrics.logical_bytes) / 1e6;
+  }
+  const double n = static_cast<double>(per_seed.size());
+  for (double& r : row.revenue) r /= n;
+  for (int64_t& c : row.completed) {
+    c = static_cast<int64_t>(static_cast<double>(c) / n);
+  }
+  row.cooperative =
+      static_cast<int64_t>(static_cast<double>(cooperative) / n);
+  row.acceptance = acceptance / n;
+  row.payment_rate = rate / n;
+  row.response_ms = response / n;
+  row.memory_mb = memory / n;
+  return row;
+}
+
+}  // namespace
+
+const char* AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kOff:
+      return "OFF";
+    case Algo::kTota:
+      return "TOTA";
+    case Algo::kGreedyRt:
+      return "Greedy-RT";
+    case Algo::kDemCom:
+      return "DemCOM";
+    case Algo::kRamCom:
+      return "RamCOM";
+  }
+  return "?";
+}
+
+Result<std::vector<Row>> RunAlgoGrid(const Instance& instance,
+                                     const AlgoGridConfig& config) {
+  if (config.seeds < 1) {
+    return Status::InvalidArgument("algo grid needs seeds >= 1");
+  }
+  const int32_t platforms = instance.PlatformCount();
+  // The online algorithms form the grid's config axis; OFF is a single
+  // deterministic solve handled outside the sweep (its "response time" is
+  // a wall-clock measurement of the whole solve, meaningless per seed).
+  std::vector<Algo> online;
+  for (Algo algo : config.algos) {
+    if (algo != Algo::kOff) online.push_back(algo);
+  }
+  const size_t seed_count = static_cast<size_t>(config.seeds);
+  // slots[config_index * seeds + seed_index]: each job writes only its own
+  // cell, so merge order below is independent of scheduling.
+  std::vector<SimMetrics> slots(online.size() * seed_count);
+
+  SweepOptions options;
+  options.jobs = config.jobs;
+  options.pool = config.pool;
+  SweepRunner runner(options);
+  COMX_RETURN_IF_ERROR(runner.Run(
+      online.size(), seed_count, [&](const SweepJob& job) -> Status {
+        std::vector<std::unique_ptr<OnlineMatcher>> owned;
+        std::vector<OnlineMatcher*> matchers;
+        for (PlatformId p = 0; p < platforms; ++p) {
+          COMX_ASSIGN_OR_RETURN(auto matcher,
+                                MakeMatcher(online[job.config_index]));
+          owned.push_back(std::move(matcher));
+          matchers.push_back(owned.back().get());
+        }
+        // Historic seed schedule (seed_index * 7919 + 1): recorded tables
+        // and BENCH baselines depend on it.
+        COMX_ASSIGN_OR_RETURN(
+            auto result,
+            RunSimulation(instance, matchers, config.sim,
+                          static_cast<uint64_t>(job.seed_index) * 7919 + 1));
+        slots[job.job_index] = std::move(result.metrics);
+        return Status::OK();
+      }));
+
+  std::vector<Row> rows;
+  size_t online_index = 0;
+  for (Algo algo : config.algos) {
+    if (algo == Algo::kOff) {
+      COMX_ASSIGN_OR_RETURN(auto row, RunOffline(instance, config));
+      rows.push_back(std::move(row));
+      continue;
+    }
+    const auto first = slots.begin() +
+                       static_cast<ptrdiff_t>(online_index * seed_count);
+    rows.push_back(MergeSeeds(
+        algo, platforms,
+        std::vector<SimMetrics>(first,
+                                first + static_cast<ptrdiff_t>(seed_count))));
+    ++online_index;
+  }
+  return rows;
+}
+
+std::string RenderTable(const std::string& title,
+                        const std::vector<Row>& rows,
+                        int32_t platform_count) {
+  std::string out;
+  out += StrFormat("\n=== %s ===\n", title.c_str());
+  out += StrFormat("%-10s", "Method");
+  for (int32_t p = 0; p < platform_count; ++p) {
+    out += StrFormat(" %11s", StrFormat("Rev_p%d", p).c_str());
+  }
+  out += StrFormat(" %9s", "Resp(ms)");
+  out += StrFormat(" %9s", "Mem(MB)");
+  for (int32_t p = 0; p < platform_count; ++p) {
+    out += StrFormat(" %9s", StrFormat("CpR(p%d)", p).c_str());
+  }
+  out += StrFormat(" %8s %7s %8s\n", "CoR", "AcpRt", "v'/v");
+  for (const Row& row : rows) {
+    out += StrFormat("%-10s", AlgoName(row.algo));
+    for (double r : row.revenue) out += StrFormat(" %11.1f", r);
+    out += StrFormat(" %9.4f", row.response_ms);
+    out += StrFormat(" %9.2f", row.memory_mb);
+    for (int64_t c : row.completed) {
+      out += StrFormat(" %9lld", static_cast<long long>(c));
+    }
+    if (row.algo == Algo::kOff || row.algo == Algo::kTota ||
+        row.algo == Algo::kGreedyRt) {
+      out += StrFormat(" %8s %7s %8s\n", "-", "-", "-");
+    } else {
+      out += StrFormat(" %8lld %7.2f %8.2f\n",
+                       static_cast<long long>(row.cooperative),
+                       row.acceptance, row.payment_rate);
+    }
+  }
+  return out;
+}
+
+std::string CsvHeader() {
+  return "tag,algo,total_revenue,total_completed,response_ms,memory_mb,"
+         "cooperative,acceptance,payment_rate\n";
+}
+
+std::string RenderCsvRows(const std::string& tag,
+                          const std::vector<Row>& rows) {
+  std::string out;
+  for (const Row& row : rows) {
+    double rev = 0.0;
+    int64_t completed = 0;
+    for (double r : row.revenue) rev += r;
+    for (int64_t c : row.completed) completed += c;
+    out += tag;
+    out += ',';
+    out += AlgoName(row.algo);
+    out += ',';
+    out += StrFormat("%.2f", rev);
+    out += ',';
+    out += StrFormat("%lld", static_cast<long long>(completed));
+    out += ',';
+    out += StrFormat("%.5f", row.response_ms);
+    out += ',';
+    out += StrFormat("%.3f", row.memory_mb);
+    out += ',';
+    out += StrFormat("%lld", static_cast<long long>(row.cooperative));
+    out += ',';
+    out += StrFormat("%.4f", row.acceptance);
+    out += ',';
+    out += StrFormat("%.4f", row.payment_rate);
+    out += '\n';
+  }
+  return out;
+}
+
+Status AppendCsvFile(const std::string& path, const std::string& tag,
+                     const std::vector<Row>& rows) {
+  const bool exists = [&] {
+    std::ifstream probe(path);
+    return probe.good();
+  }();
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return Status::Internal(
+        StrFormat("cannot open %s for append", path.c_str()));
+  }
+  if (!exists) out << CsvHeader();
+  out << RenderCsvRows(tag, rows);
+  return Status::OK();
+}
+
+}  // namespace exp
+}  // namespace comx

@@ -1,0 +1,94 @@
+// Algorithm-grid experiment: run each configured algorithm over an
+// instance for several matcher seeds, average the paper's metrics, and
+// render aligned tables / CSV series (the columns of Tables V-VII).
+//
+// This is the library home of what the bench binaries print: bench/common.h
+// re-exports it so the table/figure programs stay thin, and the renderers
+// return strings so tests can assert byte-identical output across job
+// counts. The (algo x seed) cells are independent simulations and run on
+// the sweep engine (exp/sweep_runner.h): results land in per-cell slots and
+// are merged in seed order, so any `jobs` setting reproduces the serial
+// output bit for bit.
+
+#ifndef COMX_EXP_ALGO_GRID_H_
+#define COMX_EXP_ALGO_GRID_H_
+
+#include <string>
+#include <vector>
+
+#include "exp/sweep_runner.h"
+#include "model/instance.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+
+namespace comx {
+namespace exp {
+
+/// Which algorithm a row reports.
+enum class Algo { kOff, kTota, kGreedyRt, kDemCom, kRamCom };
+
+/// Display name ("OFF", "TOTA", ...).
+const char* AlgoName(Algo algo);
+
+/// One averaged result row (the columns of Tables V-VII).
+struct Row {
+  Algo algo = Algo::kTota;
+  /// Per-platform revenue (index = platform id).
+  std::vector<double> revenue;
+  /// Per-platform completed requests.
+  std::vector<int64_t> completed;
+  double response_ms = 0.0;
+  double memory_mb = 0.0;
+  int64_t cooperative = 0;    // |CoR| summed over platforms
+  double acceptance = 0.0;    // |AcpRt|
+  double payment_rate = 0.0;  // mean v'_r / v_r
+};
+
+/// Run configuration for one table.
+struct AlgoGridConfig {
+  SimConfig sim;
+  /// Matcher seeds averaged per algorithm. Seed s runs with simulation
+  /// seed s * 7919 + 1 — fixed: recorded tables and BENCH baselines
+  /// depend on it.
+  int seeds = 3;
+  /// OFF worker capacity (recycled service slots per worker).
+  int32_t off_capacity = 64;
+  /// Which algorithms to run, in display order.
+  std::vector<Algo> algos = {Algo::kOff, Algo::kTota, Algo::kDemCom,
+                             Algo::kRamCom};
+  /// Worker threads for the (online algo x seed) grid; 1 = serial
+  /// reference path, 0 = hardware concurrency. Parallel runs inflate the
+  /// wall-clock response-time column (CPU contention) but change nothing
+  /// else.
+  int jobs = 1;
+  /// Optional caller-owned pool shared across sweep points (overrides
+  /// `jobs`).
+  ThreadPool* pool = nullptr;
+};
+
+/// Runs every configured algorithm over `instance`; returns one row each,
+/// in config.algos order.
+Result<std::vector<Row>> RunAlgoGrid(const Instance& instance,
+                                     const AlgoGridConfig& config);
+
+/// Renders rows in the Tables V-VII layout (the bench binaries' stdout
+/// format).
+std::string RenderTable(const std::string& title,
+                        const std::vector<Row>& rows,
+                        int32_t platform_count);
+
+/// CSV header line (with trailing newline) for RenderCsvRows output.
+std::string CsvHeader();
+
+/// Renders one CSV line per row, tagged with the sweep-point label.
+std::string RenderCsvRows(const std::string& tag,
+                          const std::vector<Row>& rows);
+
+/// Appends rows to a CSV file, writing the header when creating it.
+Status AppendCsvFile(const std::string& path, const std::string& tag,
+                     const std::vector<Row>& rows);
+
+}  // namespace exp
+}  // namespace comx
+
+#endif  // COMX_EXP_ALGO_GRID_H_

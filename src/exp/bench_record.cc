@@ -1,0 +1,194 @@
+#include "exp/bench_record.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace comx {
+namespace exp {
+namespace {
+
+bool IsInformational(const std::string& field,
+                     const BenchCompareOptions& options) {
+  for (const std::string& prefix : options.informational_prefixes) {
+    if (field.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+bool WithinTolerance(double a, double b, double rel_tol) {
+  if (a == b) return true;  // covers exact integers and both-zero
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= rel_tol * scale;
+}
+
+}  // namespace
+
+std::string SerializeBenchRecord(const BenchRecord& record) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", kBenchSchema);
+  w.KV("name", record.name);
+  for (const auto& [key, value] : record.strings) {
+    w.KV(key, value);
+  }
+  for (const auto& [key, value] : record.numbers) {
+    w.KV(key, value);
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+Status WriteBenchRecords(const std::string& path,
+                         const std::vector<BenchRecord>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::Internal(
+        StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  for (const BenchRecord& record : records) {
+    out << SerializeBenchRecord(record) << '\n';
+  }
+  if (!out.good()) {
+    return Status::Internal(StrFormat("write to %s failed", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<BenchRecord>> ReadBenchRecords(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::vector<BenchRecord> records;
+  std::set<std::string> seen;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    COMX_ASSIGN_OR_RETURN(auto fields, ParseJsonFlatObject(line));
+    BenchRecord record;
+    for (const auto& [key, scalar] : fields) {
+      if (key == "schema") {
+        if (scalar.kind != JsonScalar::Kind::kString ||
+            scalar.string_value != kBenchSchema) {
+          return Status::InvalidArgument(
+              StrFormat("%s:%d: unsupported schema", path.c_str(),
+                        line_number));
+        }
+        continue;
+      }
+      if (key == "name") {
+        if (scalar.kind != JsonScalar::Kind::kString) {
+          return Status::InvalidArgument(StrFormat(
+              "%s:%d: name must be a string", path.c_str(), line_number));
+        }
+        record.name = scalar.string_value;
+        continue;
+      }
+      switch (scalar.kind) {
+        case JsonScalar::Kind::kNumber:
+          record.numbers[key] = scalar.number_value;
+          break;
+        case JsonScalar::Kind::kString:
+          record.strings[key] = scalar.string_value;
+          break;
+        case JsonScalar::Kind::kBool:
+          record.numbers[key] = scalar.bool_value ? 1.0 : 0.0;
+          break;
+        case JsonScalar::Kind::kNull:
+          break;  // absent
+      }
+    }
+    if (fields.count("schema") == 0) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: missing schema field", path.c_str(),
+                    line_number));
+    }
+    if (record.name.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: missing record name", path.c_str(),
+                    line_number));
+    }
+    if (!seen.insert(record.name).second) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: duplicate record '%s'", path.c_str(),
+                    line_number, record.name.c_str()));
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+BenchCompareResult CompareBenchRecords(
+    const std::vector<BenchRecord>& baseline,
+    const std::vector<BenchRecord>& current,
+    const BenchCompareOptions& options) {
+  BenchCompareResult result;
+  std::map<std::string, const BenchRecord*> current_by_name;
+  for (const BenchRecord& record : current) {
+    current_by_name[record.name] = &record;
+  }
+  std::set<std::string> baseline_names;
+  for (const BenchRecord& base : baseline) {
+    baseline_names.insert(base.name);
+    const auto it = current_by_name.find(base.name);
+    if (it == current_by_name.end()) {
+      result.mismatches.push_back(
+          StrFormat("record '%s' missing from current run",
+                    base.name.c_str()));
+      continue;
+    }
+    const BenchRecord& cur = *it->second;
+    for (const auto& [field, base_value] : base.numbers) {
+      const auto cur_it = cur.numbers.find(field);
+      if (cur_it == cur.numbers.end()) {
+        if (!IsInformational(field, options)) {
+          result.mismatches.push_back(
+              StrFormat("%s.%s missing from current run",
+                        base.name.c_str(), field.c_str()));
+        }
+        continue;
+      }
+      if (IsInformational(field, options)) {
+        result.notes.push_back(StrFormat(
+            "info: %s.%s baseline %.6g current %.6g", base.name.c_str(),
+            field.c_str(), base_value, cur_it->second));
+        continue;
+      }
+      if (!WithinTolerance(base_value, cur_it->second, options.rel_tol)) {
+        result.mismatches.push_back(StrFormat(
+            "%s.%s: baseline %.17g current %.17g (rel tol %.1e)",
+            base.name.c_str(), field.c_str(), base_value, cur_it->second,
+            options.rel_tol));
+      }
+    }
+    for (const auto& [field, base_value] : base.strings) {
+      const auto cur_it = cur.strings.find(field);
+      if (cur_it == cur.strings.end() || cur_it->second != base_value) {
+        result.mismatches.push_back(StrFormat(
+            "%s.%s: baseline '%s' current '%s'", base.name.c_str(),
+            field.c_str(), base_value.c_str(),
+            cur_it == cur.strings.end() ? "<missing>"
+                                        : cur_it->second.c_str()));
+      }
+    }
+  }
+  for (const BenchRecord& record : current) {
+    if (baseline_names.count(record.name) == 0) {
+      result.notes.push_back(StrFormat(
+          "info: record '%s' is new (not in baseline)",
+          record.name.c_str()));
+    }
+  }
+  return result;
+}
+
+}  // namespace exp
+}  // namespace comx

@@ -1,0 +1,74 @@
+// BENCH baseline records: flat JSONL result files written by the bench
+// sweep binary and diffed by tools/bench_check.
+//
+// A file holds one flat JSON object per line ("comx-bench-sweep-v1"), each
+// identified by a unique "name" field. Deterministic fields (revenues,
+// completion counts) must reproduce across machines and job counts and are
+// compared against a committed baseline with a relative tolerance; timing
+// and footprint fields (wall_seconds, runs_per_sec, rss_mb, jobs) vary by
+// host and are informational only. The flat shape is deliberate: it is
+// exactly what util/json.h's ParseJsonFlatObject handles, and line-oriented
+// diffs stay readable in review.
+
+#ifndef COMX_EXP_BENCH_RECORD_H_
+#define COMX_EXP_BENCH_RECORD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace comx {
+namespace exp {
+
+/// Schema tag written into (and required of) every record line.
+inline constexpr const char* kBenchSchema = "comx-bench-sweep-v1";
+
+/// One baseline record: a named bag of scalar fields. Field order in the
+/// serialized line is map order (sorted), so re-running a sweep yields a
+/// byte-stable file.
+struct BenchRecord {
+  std::string name;
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::string> strings;
+};
+
+/// Serializes one record to a single JSON line (no trailing newline).
+std::string SerializeBenchRecord(const BenchRecord& record);
+
+/// Writes records as JSONL (schema line order = input order).
+Status WriteBenchRecords(const std::string& path,
+                         const std::vector<BenchRecord>& records);
+
+/// Parses a JSONL baseline file. Errors on schema mismatch, duplicate
+/// names, or malformed lines; blank lines are skipped.
+Result<std::vector<BenchRecord>> ReadBenchRecords(const std::string& path);
+
+struct BenchCompareOptions {
+  /// Allowed relative error |a - b| / max(|a|, |b|, 1) on checked fields.
+  double rel_tol = 1e-9;
+  /// Field-name prefixes that never fail a comparison (host-dependent
+  /// timing/footprint measurements); they are still reported.
+  std::vector<std::string> informational_prefixes = {
+      "wall_", "runs_per_sec", "rss_", "jobs"};
+};
+
+/// Diffs `current` against `baseline`. Returns one human-readable line per
+/// mismatch (missing record, missing field, value out of tolerance); empty
+/// means the run reproduces the baseline. Informational fields are listed
+/// with an "info:" prefix and do not count as mismatches.
+struct BenchCompareResult {
+  std::vector<std::string> mismatches;
+  std::vector<std::string> notes;
+  bool ok() const { return mismatches.empty(); }
+};
+BenchCompareResult CompareBenchRecords(
+    const std::vector<BenchRecord>& baseline,
+    const std::vector<BenchRecord>& current,
+    const BenchCompareOptions& options = {});
+
+}  // namespace exp
+}  // namespace comx
+
+#endif  // COMX_EXP_BENCH_RECORD_H_

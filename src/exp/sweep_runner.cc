@@ -1,0 +1,96 @@
+#include "exp/sweep_runner.h"
+
+#include <algorithm>
+
+namespace comx {
+namespace exp {
+namespace {
+
+// splitmix64 finalizer (Vigna): bijective 64-bit mix, so distinct job
+// indices can never collide for a fixed base seed.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t JobSeed(uint64_t base_seed, uint64_t job_index) {
+  return Mix64(base_seed ^ (0x9e3779b97f4a7c15ull * (job_index + 1)));
+}
+
+Rng JobRng(uint64_t base_seed, uint64_t job_index) {
+  return Rng(JobSeed(base_seed, job_index));
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
+
+Status SweepRunner::Run(size_t config_count, size_t seed_count,
+                        const SweepJobFn& fn) {
+  const size_t count = config_count * seed_count;
+  report_ = SweepReport{};
+  report_.job_count = count;
+
+  auto job_at = [seed_count](size_t i) {
+    SweepJob job;
+    job.job_index = i;
+    job.config_index = seed_count > 0 ? i / seed_count : 0;
+    job.seed_index = seed_count > 0 ? i % seed_count : 0;
+    return job;
+  };
+
+  obs::MetricsSnapshot before_sweep;
+  if (options_.capture_metrics) {
+    before_sweep = obs::MetricsRegistry::Global().Snapshot();
+  }
+
+  // One Status slot per job: errors are merged in job order below, so the
+  // reported failure does not depend on scheduling.
+  std::vector<Status> status(count);
+  const bool use_pool =
+      count > 1 && (options_.pool != nullptr || options_.jobs != 1);
+  if (!use_pool) {
+    for (size_t i = 0; i < count; ++i) {
+      obs::MetricsSnapshot before_job;
+      if (options_.capture_metrics) {
+        before_job = obs::MetricsRegistry::Global().Snapshot();
+      }
+      status[i] = fn(job_at(i));
+      if (options_.capture_metrics) {
+        report_.per_job_metrics.push_back(obs::DiffSnapshots(
+            before_job, obs::MetricsRegistry::Global().Snapshot()));
+      }
+    }
+  } else {
+    report_.parallel = true;
+    auto run_all = [&](ThreadPool& pool) {
+      ParallelFor(pool, count,
+                  [&](size_t i) { status[i] = fn(job_at(i)); });
+    };
+    if (options_.pool != nullptr) {
+      run_all(*options_.pool);
+    } else {
+      const size_t threads =
+          options_.jobs > 0
+              ? std::min(static_cast<size_t>(options_.jobs), count)
+              : 0;  // 0 = hardware concurrency
+      ThreadPool pool(threads);
+      run_all(pool);
+    }
+  }
+
+  if (options_.capture_metrics) {
+    report_.sweep_metrics = obs::DiffSnapshots(
+        before_sweep, obs::MetricsRegistry::Global().Snapshot());
+  }
+
+  for (const Status& s : status) {
+    COMX_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+}  // namespace exp
+}  // namespace comx

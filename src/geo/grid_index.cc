@@ -63,12 +63,26 @@ Status GridIndex::Remove(int64_t id) {
     return Status::NotFound(
         StrFormat("grid index has no id %lld", static_cast<long long>(id)));
   }
+  // The two lookups below are internal-consistency checks: a located id
+  // must sit in exactly the bucket its point hashes to. They used to be
+  // assert-only, so an NDEBUG build would dereference end() / pop from the
+  // wrong bucket and silently corrupt the index — fail loudly instead.
   const CellKey key = KeyFor(it->second);
   auto cell_it = cells_.find(key);
-  assert(cell_it != cells_.end());
+  if (cell_it == cells_.end()) {
+    return Status::Internal(
+        StrFormat("grid index corrupt: id %lld located but its cell is "
+                  "missing",
+                  static_cast<long long>(id)));
+  }
   auto& bucket = cell_it->second;
   const auto pos = std::find(bucket.begin(), bucket.end(), id);
-  assert(pos != bucket.end());
+  if (pos == bucket.end()) {
+    return Status::Internal(
+        StrFormat("grid index corrupt: id %lld located but absent from its "
+                  "bucket",
+                  static_cast<long long>(id)));
+  }
   // Swap-and-pop: bucket order is unspecified.
   *pos = bucket.back();
   bucket.pop_back();
@@ -79,9 +93,12 @@ Status GridIndex::Remove(int64_t id) {
 
 bool GridIndex::Contains(int64_t id) const { return locations_.count(id) > 0; }
 
-Point GridIndex::LocationOf(int64_t id) const {
+Result<Point> GridIndex::LocationOf(int64_t id) const {
   const auto it = locations_.find(id);
-  assert(it != locations_.end());
+  if (it == locations_.end()) {
+    return Status::NotFound(
+        StrFormat("grid index has no id %lld", static_cast<long long>(id)));
+  }
   return it->second;
 }
 

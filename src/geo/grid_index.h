@@ -16,6 +16,7 @@
 #include "geo/bbox.h"
 #include "geo/point.h"
 #include "obs/metrics_registry.h"
+#include "util/result.h"
 #include "util/status.h"
 
 namespace comx {
@@ -39,14 +40,18 @@ class GridIndex {
   /// is present.
   Status Insert(int64_t id, const Point& location);
 
-  /// Removes an id. Errors with NotFound when absent.
+  /// Removes an id. Errors with NotFound when absent and Internal when the
+  /// index detects bucket corruption (checked in every build, not
+  /// assert-only — a corrupt spatial index must never fail silently).
   Status Remove(int64_t id);
 
   /// True when the id is currently indexed.
   bool Contains(int64_t id) const;
 
-  /// Location of an id. Precondition: Contains(id).
-  Point LocationOf(int64_t id) const;
+  /// Location of an id. Errors with NotFound when the id is absent (this
+  /// used to be an assert-only precondition that returned garbage under
+  /// NDEBUG).
+  Result<Point> LocationOf(int64_t id) const;
 
   /// All ids whose point lies within `radius` of `center` (inclusive).
   /// Order is unspecified.

@@ -214,5 +214,42 @@ void MetricsRegistry::ResetValues() {
   for (auto& [name, hist] : histograms_) hist->Reset();
 }
 
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after) {
+  // Snapshot vectors are sorted by name (std::map iteration order), and
+  // names are only ever added, so `before` is a subsequence of `after` —
+  // a single merge pass suffices.
+  MetricsSnapshot diff;
+  diff.counters.reserve(after.counters.size());
+  size_t bi = 0;
+  for (const CounterSample& a : after.counters) {
+    CounterSample d = a;
+    if (bi < before.counters.size() && before.counters[bi].name == a.name) {
+      d.value -= before.counters[bi].value;
+      ++bi;
+    }
+    diff.counters.push_back(std::move(d));
+  }
+  // Gauges are last-write-wins: report the after value as-is.
+  diff.gauges = after.gauges;
+  size_t hi = 0;
+  diff.histograms.reserve(after.histograms.size());
+  for (const HistogramSample& a : after.histograms) {
+    HistogramSample d = a;
+    if (hi < before.histograms.size() &&
+        before.histograms[hi].name == a.name) {
+      const HistogramSample& b = before.histograms[hi];
+      for (size_t i = 0; i < d.counts.size() && i < b.counts.size(); ++i) {
+        d.counts[i] -= b.counts[i];
+      }
+      d.count -= b.count;
+      d.sum -= b.sum;
+      ++hi;
+    }
+    diff.histograms.push_back(std::move(d));
+  }
+  return diff;
+}
+
 }  // namespace obs
 }  // namespace comx

@@ -174,6 +174,15 @@ struct MetricsSnapshot {
   std::vector<HistogramSample> histograms;
 };
 
+/// What happened between two snapshots of the same registry: counters and
+/// histograms are subtracted (metrics absent from `before` count from
+/// zero); gauges are last-write-wins, so the diff carries `after`'s value
+/// unchanged. Used by the sweep engine to attribute registry activity to a
+/// job (serial runs) or to a whole sweep (parallel runs, where concurrent
+/// jobs share the global registry and per-job attribution is impossible).
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after);
+
 /// Owner of every metric. Get* interns by full name (including the label
 /// suffix) and returns a stable pointer; repeated calls with the same name
 /// return the same object. Registration takes a mutex — call sites on hot

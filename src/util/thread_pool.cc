@@ -3,6 +3,32 @@
 #include <algorithm>
 
 namespace comx {
+namespace {
+
+/// Decrements `pool->in_flight_` when the enclosing scope exits — on the
+/// normal path and when the task throws — so Wait() can never deadlock on
+/// a lost decrement.
+class InFlightGuard {
+ public:
+  InFlightGuard(std::mutex* mutex, size_t* in_flight,
+                std::condition_variable* all_done)
+      : mutex_(mutex), in_flight_(in_flight), all_done_(all_done) {}
+
+  ~InFlightGuard() {
+    std::unique_lock<std::mutex> lock(*mutex_);
+    if (--*in_flight_ == 0) all_done_->notify_all();
+  }
+
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+
+ private:
+  std::mutex* mutex_;
+  size_t* in_flight_;
+  std::condition_variable* all_done_;
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) {
@@ -35,6 +61,12 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr e = nullptr;
+    std::swap(e, first_exception_);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -50,12 +82,26 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      InFlightGuard guard(&mutex_, &in_flight_, &all_done_);
+      try {
+        task();
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (first_exception_ == nullptr) {
+          first_exception_ = std::current_exception();
+        }
+      }
     }
   }
+}
+
+void ParallelFor(ThreadPool& pool, size_t count,
+                 const std::function<void(size_t)>& fn) {
+  for (size_t i = 0; i < count; ++i) {
+    pool.Submit([&fn, i] { fn(i); });
+  }
+  pool.Wait();
 }
 
 void ParallelFor(size_t count, size_t threads,
@@ -66,10 +112,7 @@ void ParallelFor(size_t count, size_t threads,
     return;
   }
   ThreadPool pool(std::min(threads, count));
-  for (size_t i = 0; i < count; ++i) {
-    pool.Submit([&fn, i] { fn(i); });
-  }
-  pool.Wait();
+  ParallelFor(pool, count, fn);
 }
 
 }  // namespace comx

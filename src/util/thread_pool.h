@@ -1,13 +1,15 @@
 // Minimal fixed-size thread pool plus a ParallelFor helper. The library's
 // simulators are single-threaded by design (determinism), but independent
 // runs (seed averaging, sweep points, CR permutations) are embarrassingly
-// parallel — the benchmark harness uses this to cut wall-clock time.
+// parallel — the benchmark harness and the sweep engine (exp/sweep_runner.h)
+// use this to cut wall-clock time.
 
 #ifndef COMX_UTIL_THREAD_POOL_H_
 #define COMX_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -17,12 +19,22 @@
 namespace comx {
 
 /// Fixed-size worker pool executing enqueued tasks FIFO.
+///
+/// Exception safety: a task that throws does not kill its worker thread.
+/// The first exception is captured and rethrown from the next Wait() (or
+/// swallowed by the destructor when Wait() is never called); later
+/// exceptions from the same batch are dropped. Tasks written against the
+/// library convention (Status returns, no throwing) never trigger this
+/// path, but std::bad_alloc and third-party callbacks must not terminate
+/// the process.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (>= 1; 0 selects hardware concurrency).
   explicit ThreadPool(size_t threads = 0);
 
-  /// Drains outstanding tasks, then joins the workers.
+  /// Drains outstanding tasks, then joins the workers. Never throws:
+  /// a captured task exception that was not observed via Wait() is
+  /// discarded.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -32,7 +44,10 @@ class ThreadPool {
   /// pool and then Wait() on them from within (deadlock).
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. If any task threw
+  /// since the last Wait(), rethrows the first captured exception (the
+  /// batch still ran to completion — in_flight_ reaches zero on all
+  /// paths).
   void Wait();
 
   /// Number of worker threads.
@@ -48,10 +63,21 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr first_exception_;
 };
 
-/// Runs fn(i) for i in [0, count) across `threads` workers and waits.
-/// fn must be safe to call concurrently for distinct i.
+/// Runs fn(i) for i in [0, count) on a caller-owned pool and waits.
+/// fn must be safe to call concurrently for distinct i. Wait() semantics
+/// apply, so a pool shared with other concurrently submitted work waits
+/// for that work too. Rethrows the first exception any fn(i) threw (every
+/// index still runs).
+void ParallelFor(ThreadPool& pool, size_t count,
+                 const std::function<void(size_t)>& fn);
+
+/// Convenience wrapper constructing a transient pool of `threads` workers
+/// (serial fallback when threads <= 1 or count <= 1). Prefer the
+/// pool-reusing overload inside loops — constructing and joining a pool
+/// per call costs thread spawns.
 void ParallelFor(size_t count, size_t threads,
                  const std::function<void(size_t)>& fn);
 

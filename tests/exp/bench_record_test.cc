@@ -1,0 +1,129 @@
+#include "exp/bench_record.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace exp {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+BenchRecord MakeRecord(const std::string& name, double revenue) {
+  BenchRecord record;
+  record.name = name;
+  record.numbers["revenue"] = revenue;
+  record.numbers["completed"] = 42.0;
+  record.numbers["wall_seconds"] = 1.25;
+  record.strings["dataset"] = "synthetic";
+  return record;
+}
+
+TEST(BenchRecordTest, SerializeIsFlatAndTagged) {
+  const std::string line = SerializeBenchRecord(MakeRecord("a", 10.5));
+  EXPECT_NE(line.find("\"schema\":\"comx-bench-sweep-v1\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"name\":\"a\""), std::string::npos);
+  EXPECT_NE(line.find("\"revenue\":10.5"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(BenchRecordTest, WriteReadRoundTrip) {
+  const std::string path = TempPath("bench_record_roundtrip.json");
+  const std::vector<BenchRecord> records = {MakeRecord("a", 10.5),
+                                            MakeRecord("b", -3.25)};
+  ASSERT_TRUE(WriteBenchRecords(path, records).ok());
+  auto loaded = ReadBenchRecords(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].name, "a");
+  EXPECT_EQ((*loaded)[0].numbers.at("revenue"), 10.5);
+  EXPECT_EQ((*loaded)[0].strings.at("dataset"), "synthetic");
+  EXPECT_EQ((*loaded)[1].numbers.at("revenue"), -3.25);
+  std::remove(path.c_str());
+}
+
+TEST(BenchRecordTest, ReadRejectsDuplicateNamesAndBadSchema) {
+  const std::string path = TempPath("bench_record_bad.json");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "{\"schema\":\"comx-bench-sweep-v1\",\"name\":\"a\",\"x\":1}\n"
+        "{\"schema\":\"comx-bench-sweep-v1\",\"name\":\"a\",\"x\":2}\n",
+        f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadBenchRecords(path).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"schema\":\"other-v9\",\"name\":\"a\",\"x\":1}\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadBenchRecords(path).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"name\":\"a\",\"x\":1}\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadBenchRecords(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BenchRecordTest, CompareAcceptsIdenticalAndTinyDrift) {
+  const std::vector<BenchRecord> baseline = {MakeRecord("a", 100.0)};
+  std::vector<BenchRecord> current = {MakeRecord("a", 100.0)};
+  EXPECT_TRUE(CompareBenchRecords(baseline, current).ok());
+  current[0].numbers["revenue"] = 100.0 * (1.0 + 1e-12);
+  EXPECT_TRUE(CompareBenchRecords(baseline, current).ok());
+}
+
+TEST(BenchRecordTest, CompareFlagsRealDrift) {
+  const std::vector<BenchRecord> baseline = {MakeRecord("a", 100.0)};
+  std::vector<BenchRecord> current = {MakeRecord("a", 100.1)};
+  const BenchCompareResult result =
+      CompareBenchRecords(baseline, current);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.mismatches[0].find("a.revenue"), std::string::npos);
+}
+
+TEST(BenchRecordTest, TimingFieldsAreInformationalOnly) {
+  const std::vector<BenchRecord> baseline = {MakeRecord("a", 100.0)};
+  std::vector<BenchRecord> current = {MakeRecord("a", 100.0)};
+  current[0].numbers["wall_seconds"] = 99.0;  // wildly different timing
+  const BenchCompareResult result =
+      CompareBenchRecords(baseline, current);
+  EXPECT_TRUE(result.ok());
+  bool noted = false;
+  for (const std::string& note : result.notes) {
+    if (note.find("wall_seconds") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(BenchRecordTest, CompareFlagsMissingRecordsAndNotesNewOnes) {
+  const std::vector<BenchRecord> baseline = {MakeRecord("a", 1.0),
+                                             MakeRecord("b", 2.0)};
+  const std::vector<BenchRecord> current = {MakeRecord("a", 1.0),
+                                            MakeRecord("c", 3.0)};
+  const BenchCompareResult result =
+      CompareBenchRecords(baseline, current);
+  ASSERT_EQ(result.mismatches.size(), 1u);
+  EXPECT_NE(result.mismatches[0].find("'b'"), std::string::npos);
+  bool new_noted = false;
+  for (const std::string& note : result.notes) {
+    if (note.find("'c'") != std::string::npos) new_noted = true;
+  }
+  EXPECT_TRUE(new_noted);
+}
+
+}  // namespace
+}  // namespace exp
+}  // namespace comx

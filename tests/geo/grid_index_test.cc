@@ -38,7 +38,19 @@ TEST(GridIndexTest, RemoveMissingFails) {
 TEST(GridIndexTest, LocationOf) {
   GridIndex idx(2.0);
   ASSERT_TRUE(idx.Insert(9, Point(3.25, -1.5)).ok());
-  EXPECT_EQ(idx.LocationOf(9), Point(3.25, -1.5));
+  const auto loc = idx.LocationOf(9);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(*loc, Point(3.25, -1.5));
+}
+
+TEST(GridIndexTest, LocationOfMissingIdFailsLoudly) {
+  // Regression: this used to be an assert-only precondition — an NDEBUG
+  // build dereferenced end() instead of reporting the miss.
+  GridIndex idx(2.0);
+  ASSERT_TRUE(idx.Insert(9, Point(3.25, -1.5)).ok());
+  EXPECT_EQ(idx.LocationOf(10).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(idx.Remove(9).ok());
+  EXPECT_EQ(idx.LocationOf(9).status().code(), StatusCode::kNotFound);
 }
 
 TEST(GridIndexTest, RadiusQueryInclusiveBoundary) {
@@ -53,6 +65,50 @@ TEST(GridIndexTest, NegativeCoordinates) {
   ASSERT_TRUE(idx.Insert(1, Point(-2.5, -3.5)).ok());
   ASSERT_TRUE(idx.Insert(2, Point(-2.4, -3.4)).ok());
   EXPECT_EQ(idx.QueryRadius(Point(-2.45, -3.45), 0.2).size(), 2u);
+}
+
+TEST(GridIndexTest, FourQuadrantsThroughPackCell) {
+  // Negative cell coordinates exercise PackCell's int32 -> uint32 packing:
+  // a sign-extension bug would alias cells across quadrants, so place one
+  // point per quadrant in distinct cells and check insert/lookup/remove
+  // round-trips per quadrant.
+  GridIndex idx(1.0);
+  const std::vector<Point> quadrants = {
+      Point(2.5, 3.5), Point(-2.5, 3.5), Point(-2.5, -3.5), Point(2.5, -3.5)};
+  for (size_t i = 0; i < quadrants.size(); ++i) {
+    ASSERT_TRUE(idx.Insert(static_cast<int64_t>(i), quadrants[i]).ok());
+  }
+  for (size_t i = 0; i < quadrants.size(); ++i) {
+    const auto hits =
+        idx.QueryRadius(quadrants[i], 0.1);  // well inside one cell
+    ASSERT_EQ(hits.size(), 1u) << "quadrant " << i;
+    EXPECT_EQ(hits[0], static_cast<int64_t>(i));
+    const auto loc = idx.LocationOf(static_cast<int64_t>(i));
+    ASSERT_TRUE(loc.ok());
+    EXPECT_EQ(*loc, quadrants[i]);
+  }
+  // Remove from each quadrant; each removal must only affect its own cell.
+  for (size_t i = 0; i < quadrants.size(); ++i) {
+    ASSERT_TRUE(idx.Remove(static_cast<int64_t>(i)).ok());
+    for (size_t j = i + 1; j < quadrants.size(); ++j) {
+      EXPECT_TRUE(idx.Contains(static_cast<int64_t>(j)));
+    }
+  }
+  EXPECT_TRUE(idx.empty());
+}
+
+TEST(GridIndexTest, RadiusQuerySpanningOrigin) {
+  // A probe circle crossing all four quadrants walks cells with mixed-sign
+  // coordinates; every in-range point must be found exactly once.
+  GridIndex idx(1.0);
+  ASSERT_TRUE(idx.Insert(1, Point(0.4, 0.4)).ok());
+  ASSERT_TRUE(idx.Insert(2, Point(-0.4, 0.4)).ok());
+  ASSERT_TRUE(idx.Insert(3, Point(-0.4, -0.4)).ok());
+  ASSERT_TRUE(idx.Insert(4, Point(0.4, -0.4)).ok());
+  ASSERT_TRUE(idx.Insert(5, Point(3.0, 3.0)).ok());  // out of range
+  auto hits = idx.QueryRadius(Point(0, 0), 1.0);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<int64_t>{1, 2, 3, 4}));
 }
 
 TEST(GridIndexTest, ZeroRadiusFindsExactPoint) {

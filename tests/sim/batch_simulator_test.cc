@@ -1,5 +1,6 @@
 #include "sim/batch_simulator.h"
 
+#include <cmath>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -158,6 +159,81 @@ TEST(BatchSimulatorTest, NoOuterFlagDisablesBorrowing) {
   // except batching lets w1/w2/w4 be reassigned optimally per window; the
   // strict (no-recycle) cap is the offline TOTA optimum.
   EXPECT_LE(r->metrics.Aggregate().revenue, 18.0 + 1e-9);
+}
+
+// PaperExample with every event time shifted by `offset` seconds.
+Instance ShiftedPaperExample(double offset) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1.0 + offset, 0.0, 0.0, 1.5));         // w1
+  ins.AddWorker(MakeWorker(0, 2.0 + offset, 2.0, 0.0, 1.5));         // w2
+  ins.AddWorker(MakeWorker(1, 4.0 + offset, 3.2, 0.0, 1.0, {3.0}));  // w3
+  ins.AddWorker(MakeWorker(0, 7.0 + offset, 6.0, 0.0, 0.6));         // w4
+  ins.AddWorker(MakeWorker(1, 9.0 + offset, 7.2, 0.0, 1.0, {2.0}));  // w5
+  ins.AddRequest(MakeRequest(0, 3.0 + offset, 0.5, 0.0, 4.0));       // r1
+  ins.AddRequest(MakeRequest(0, 5.0 + offset, 1.0, 0.0, 9.0));       // r2
+  ins.AddRequest(MakeRequest(0, 6.0 + offset, 3.0, 0.0, 6.0));       // r3
+  ins.AddRequest(MakeRequest(0, 8.0 + offset, 6.5, 0.0, 3.0));       // r4
+  ins.AddRequest(MakeRequest(0, 10.0 + offset, 7.0, 0.0, 4.0));      // r5
+  ins.BuildEvents();
+  return ins;
+}
+
+TEST(BatchSimulatorTest, LateStartFastForwardsIdleWindowsIdentically) {
+  // Regression: with the first event far beyond flush_time the loop used
+  // to iterate one empty 2-second window at a time — a start 2e9 seconds
+  // in would spin a billion no-op windows. The fast-forward must skip them
+  // without changing any metric: the offset is a multiple of the window,
+  // so window alignment and simulated arrival-to-close latencies are
+  // preserved exactly.
+  const BatchConfig batch = SmallWindows();
+  const double offset = 2.0e9;  // one billion 2-second idle windows
+  ASSERT_EQ(std::fmod(offset, batch.window_seconds), 0.0);
+  auto base = RunBatchSimulation(ShiftedPaperExample(0.0), batch, 1);
+  auto late = RunBatchSimulation(ShiftedPaperExample(offset), batch, 1);
+  ASSERT_TRUE(base.ok()) << base.status();
+  ASSERT_TRUE(late.ok()) << late.status();
+  const auto a = base->metrics.Aggregate();
+  const auto b = late->metrics.Aggregate();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.completed_inner, b.completed_inner);
+  EXPECT_EQ(a.completed_outer, b.completed_outer);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.outer_offers, b.outer_offers);
+  EXPECT_DOUBLE_EQ(a.revenue, b.revenue);
+  EXPECT_DOUBLE_EQ(a.outer_payment_sum, b.outer_payment_sum);
+  EXPECT_DOUBLE_EQ(a.total_pickup_km, b.total_pickup_km);
+  EXPECT_EQ(a.response_time_us.count(), b.response_time_us.count());
+  EXPECT_DOUBLE_EQ(a.response_time_us.mean(), b.response_time_us.mean());
+  EXPECT_EQ(base->matching.assignments.size(),
+            late->matching.assignments.size());
+}
+
+TEST(BatchSimulatorTest, MidRunIdleGapFastForwardsIdentically) {
+  // Same property for a gap in the middle of the stream: a second
+  // worker/request cluster arrives a billion windows after the first; the
+  // run must finish instantly and match the same cluster placed nearby
+  // (both gaps are multiples of the window).
+  auto make = [](double second_cluster_offset) {
+    Instance ins;
+    ins.AddWorker(MakeWorker(0, 1.0, 0.0, 0.0, 1.5));
+    ins.AddRequest(MakeRequest(0, 3.0, 0.5, 0.0, 4.0));
+    ins.AddWorker(MakeWorker(0, 1.0 + second_cluster_offset, 6.0, 0.0, 0.6));
+    ins.AddRequest(
+        MakeRequest(0, 3.0 + second_cluster_offset, 6.5, 0.0, 3.0));
+    ins.BuildEvents();
+    return ins;
+  };
+  BatchConfig batch = SmallWindows();
+  auto near = RunBatchSimulation(make(40.0), batch, 1);
+  auto far = RunBatchSimulation(make(2.0e9), batch, 1);
+  ASSERT_TRUE(near.ok()) << near.status();
+  ASSERT_TRUE(far.ok()) << far.status();
+  const auto a = near->metrics.Aggregate();
+  const auto b = far->metrics.Aggregate();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_DOUBLE_EQ(a.revenue, b.revenue);
+  EXPECT_DOUBLE_EQ(a.response_time_us.mean(), b.response_time_us.mean());
 }
 
 TEST(BatchSimulatorTest, DeterministicGivenSeed) {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -54,6 +55,47 @@ TEST(ThreadPoolTest, ZeroSelectsHardwareConcurrency) {
   EXPECT_GE(pool.thread_count(), 1u);
 }
 
+TEST(ThreadPoolTest, ThrowingTaskDoesNotDeadlockWait) {
+  // Regression: a throwing task used to escape WorkerLoop() (std::terminate)
+  // and leak its in_flight_ increment, deadlocking every later Wait().
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&ran, i] {
+      ran.fetch_add(1);
+      if (i == 3) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 10);  // the batch still ran to completion
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstExceptionOnceThenPoolIsReusable) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The exception was consumed; the pool keeps working.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();  // must neither hang nor rethrow again
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, DestructorSurvivesUnobservedException) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    pool.Submit([] { throw std::runtime_error("never waited on"); });
+    for (int i = 0; i < 5; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must drain and discard the exception.
+  }
+  EXPECT_EQ(counter.load(), 5);
+}
+
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(500);
   ParallelFor(500, 8, [&hits](size_t i) { hits[i].fetch_add(1); });
@@ -72,6 +114,33 @@ TEST(ParallelForTest, SingleThreadFallback) {
 
 TEST(ParallelForTest, ZeroCountIsNoop) {
   ParallelFor(0, 4, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, ReusesCallerOwnedPool) {
+  // Regression: ParallelFor used to construct and join a fresh pool per
+  // call; the overload taking a pool must reuse it across calls.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  for (int round = 0; round < 4; ++round) {
+    ParallelFor(pool, hits.size(), [&hits](size_t i) {
+      hits[i].fetch_add(1);
+    });
+  }
+  EXPECT_EQ(pool.thread_count(), 3u);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 4);
+}
+
+TEST(ParallelForTest, PoolOverloadPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ParallelFor(pool, 8,
+                           [](size_t i) {
+                             if (i == 2) throw std::runtime_error("bad index");
+                           }),
+               std::runtime_error);
+  // Pool stays usable afterwards.
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 8, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 8);
 }
 
 TEST(ParallelForTest, ParallelResultsMatchSequential) {

@@ -1,15 +1,50 @@
 #!/usr/bin/env bash
-# Tier-1 gate under sanitizers: configures the asan-ubsan preset, builds,
-# and runs the full test suite with AddressSanitizer + UBSan enabled.
+# Tier-1 gate: three stages, strictest first.
+#
+#   1. asan-ubsan — full test suite under AddressSanitizer + UBSan.
+#   2. tsan       — the concurrency surface (thread pool, sweep engine)
+#                   under ThreadSanitizer.
+#   3. bench      — release bench_sweep reproduced against the committed
+#                   BENCH_sweep.json baseline via bench_check.
+#
 # Usage: tools/check.sh [extra ctest args...]
 #   tools/check.sh              # everything
-#   tools/check.sh -L fault     # just the fault-injection suite
+#   tools/check.sh -L fault     # pass-through filter for the asan stage
+# Set COMX_CHECK_SKIP_TSAN=1 / COMX_CHECK_SKIP_BENCH=1 to skip a stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+echo "== stage 1/3: asan-ubsan test suite =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${JOBS}"
 ctest --preset asan-ubsan -j "${JOBS}" "$@"
+
+if [[ "${COMX_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== stage 2/3: thread pool + sweep engine under TSan =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${JOBS}" \
+    --target comx_util_test comx_exp_test
+  ./build-tsan/tests/comx_util_test \
+    --gtest_filter='ThreadPoolTest.*:ParallelForTest.*'
+  ./build-tsan/tests/comx_exp_test
+else
+  echo "== stage 2/3: skipped (COMX_CHECK_SKIP_TSAN=1) =="
+fi
+
+if [[ "${COMX_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
+  echo "== stage 3/3: BENCH baseline reproduction =="
+  cmake --preset release
+  cmake --build --preset release -j "${JOBS}" --target bench_sweep bench_check
+  SWEEP_OUT="$(mktemp /tmp/comx_bench_sweep.XXXXXX.json)"
+  trap 'rm -f "${SWEEP_OUT}"' EXIT
+  ./build/bench/bench_sweep --jobs "${JOBS}" --out "${SWEEP_OUT}"
+  ./build/tools/bench_check --baseline BENCH_sweep.json \
+    --current "${SWEEP_OUT}"
+else
+  echo "== stage 3/3: skipped (COMX_CHECK_SKIP_BENCH=1) =="
+fi
+
+echo "check.sh: all stages passed"

@@ -23,9 +23,11 @@
 //                     (format in fault/fault_plan.h) and prints the
 //                     retry/breaker/degradation tallies.
 //   comx_cli degrade  --data PREFIX [--algo ALGO] [--steps N] [--seeds N]
-//                     [--no-recycle] [--csv OUT.csv]
+//                     [--jobs N] [--no-recycle] [--csv OUT.csv]
 //                     sweeps every partner's availability 0..1 and charts
-//                     ALGO's revenue against the inner-only TOTA baseline.
+//                     ALGO's revenue against the inner-only TOTA baseline;
+//                     --jobs parallelizes the per-seed runs (bit-identical
+//                     output).
 //   comx_cli offline  --data PREFIX [--capacity K] [--no-outer]
 //   comx_cli schedule --data PREFIX [--no-recycle]   (exact, tiny instances)
 //   comx_cli batch    --data PREFIX [--window SECONDS] [--seeds N]
@@ -57,6 +59,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "sim/batch_simulator.h"
+#include "exp/sweep_runner.h"
 #include "sim/competitive_ratio.h"
 #include "sim/offline_schedule.h"
 #include "sim/result_io.h"
@@ -64,6 +67,7 @@
 #include "util/csv.h"
 #include "util/stats.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace comx {
 namespace {
@@ -462,27 +466,43 @@ int CmdCr(int argc, char** argv) {
 }
 
 // Runs `algo` on `instance` for seeds 1..seeds under an optional fault plan
-// and returns (total revenue across seeds, total degraded requests).
+// and returns (total revenue across seeds, total degraded requests). With a
+// pool, seeds run as parallel jobs; each writes its own slot and the totals
+// accumulate in seed order, so the result is bit-identical to the serial
+// path.
 Result<std::pair<double, int64_t>> SweepPoint(
     const Instance& instance, const std::string& algo,
-    const fault::FaultPlan* plan, bool recycle, int seeds) {
+    const fault::FaultPlan* plan, bool recycle, int seeds,
+    ThreadPool* pool = nullptr) {
   SimConfig sim;
   sim.workers_recycle = recycle;
   sim.fault_plan = plan;
+  std::vector<double> revenue_of(static_cast<size_t>(seeds), 0.0);
+  std::vector<int64_t> degraded_of(static_cast<size_t>(seeds), 0);
+  exp::SweepOptions options;
+  options.pool = pool;
+  exp::SweepRunner runner(options);
+  COMX_RETURN_IF_ERROR(runner.Run(
+      1, static_cast<size_t>(seeds), [&](const exp::SweepJob& job) -> Status {
+        std::vector<std::unique_ptr<OnlineMatcher>> owned;
+        std::vector<OnlineMatcher*> matchers;
+        for (PlatformId p = 0; p < instance.PlatformCount(); ++p) {
+          owned.push_back(MakeMatcher(algo));
+          matchers.push_back(owned.back().get());
+        }
+        COMX_ASSIGN_OR_RETURN(
+            SimResult result,
+            RunSimulation(instance, matchers, sim,
+                          static_cast<uint64_t>(job.seed_index) + 1));
+        revenue_of[job.seed_index] = result.metrics.TotalRevenue();
+        degraded_of[job.seed_index] = result.fault_stats.degraded_requests;
+        return Status::OK();
+      }));
   double revenue = 0.0;
   int64_t degraded = 0;
-  for (int s = 1; s <= seeds; ++s) {
-    std::vector<std::unique_ptr<OnlineMatcher>> owned;
-    std::vector<OnlineMatcher*> matchers;
-    for (PlatformId p = 0; p < instance.PlatformCount(); ++p) {
-      owned.push_back(MakeMatcher(algo));
-      matchers.push_back(owned.back().get());
-    }
-    COMX_ASSIGN_OR_RETURN(
-        SimResult result,
-        RunSimulation(instance, matchers, sim, static_cast<uint64_t>(s)));
-    revenue += result.metrics.TotalRevenue();
-    degraded += result.fault_stats.degraded_requests;
+  for (int s = 0; s < seeds; ++s) {
+    revenue += revenue_of[static_cast<size_t>(s)];
+    degraded += degraded_of[static_cast<size_t>(s)];
   }
   return std::make_pair(revenue, degraded);
 }
@@ -508,16 +528,25 @@ int CmdDegrade(int argc, char** argv) {
   if (!instance.ok()) return Fail(instance.status());
   const int steps = static_cast<int>(IntFlag(argc, argv, "--steps", 10));
   const int seeds = static_cast<int>(IntFlag(argc, argv, "--seeds", 3));
+  const int jobs = static_cast<int>(IntFlag(argc, argv, "--jobs", 1));
   const bool recycle = !HasFlag(argc, argv, "--no-recycle");
   if (steps < 1) {
     std::fprintf(stderr, "degrade: --steps must be >= 1\n");
     return 2;
   }
+  // One pool shared by every sweep point; results are bit-identical to
+  // --jobs 1 (per-seed slots merged in seed order).
+  std::unique_ptr<ThreadPool> pool;
+  if (jobs > 1) {
+    pool = std::make_unique<ThreadPool>(static_cast<size_t>(jobs));
+  }
 
-  auto baseline = SweepPoint(*instance, "tota", nullptr, recycle, seeds);
+  auto baseline =
+      SweepPoint(*instance, "tota", nullptr, recycle, seeds, pool.get());
   if (!baseline.ok()) return Fail(baseline.status());
   const double tota_revenue = baseline->first;
-  auto ceiling = SweepPoint(*instance, algo, nullptr, recycle, seeds);
+  auto ceiling =
+      SweepPoint(*instance, algo, nullptr, recycle, seeds, pool.get());
   if (!ceiling.ok()) return Fail(ceiling.status());
   const double fault_free = ceiling->first;
 
@@ -540,7 +569,8 @@ int CmdDegrade(int argc, char** argv) {
       spec.availability = avail;
       plan.partners.push_back(spec);
     }
-    auto point = SweepPoint(*instance, algo, &plan, recycle, seeds);
+    auto point =
+        SweepPoint(*instance, algo, &plan, recycle, seeds, pool.get());
     if (!point.ok()) return Fail(point.status());
     const int bar = static_cast<int>(40.0 * point->first / top + 0.5);
     std::printf("  %5.2f %9.1f   %+6.1f%%        %6.1f%%   %8lld  |%.*s\n",
