@@ -1,0 +1,249 @@
+#include "check/fuzz_driver.h"
+
+#include <chrono>
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "core/ram_com.h"
+#include "datagen/dataset.h"
+#include "util/string_util.h"
+
+namespace comx {
+namespace check {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+Result<MatcherRunOutput> RunMatcherOnInstance(MatcherKind kind,
+                                              const Scenario& scenario,
+                                              const Instance& instance,
+                                              const MatcherWrapper& wrap) {
+  MatcherRunOutput out;
+  obs::VectorTraceSink sink;
+  const SimConfig sim = scenario.MakeSimConfig(&sink);
+  const int32_t platforms = instance.PlatformCount();
+  std::vector<std::unique_ptr<OnlineMatcher>> owned;
+  std::vector<OnlineMatcher*> matchers;
+  // Raw handles onto the RamCom objects so the drawn thresholds survive
+  // wrapping; a wrapper must keep the wrapped matcher alive (decoration,
+  // not replacement) for these to stay valid.
+  std::vector<RamCom*> rams;
+  for (PlatformId p = 0; p < platforms; ++p) {
+    std::unique_ptr<OnlineMatcher> m = MakeMatcher(kind);
+    if (kind == MatcherKind::kRamCom) {
+      rams.push_back(static_cast<RamCom*>(m.get()));
+    }
+    if (wrap) m = wrap(kind, std::move(m));
+    owned.push_back(std::move(m));
+    matchers.push_back(owned.back().get());
+  }
+  COMX_ASSIGN_OR_RETURN(
+      out.result, RunSimulation(instance, matchers, sim, scenario.sim_seed));
+  for (RamCom* ram : rams) out.ram_thresholds.push_back(ram->threshold());
+  out.trace = sink.events();
+  out.has_summary = sink.has_summary();
+  if (out.has_summary) out.trace_summary = sink.summary();
+  return out;
+}
+
+std::vector<OracleViolation> CheckMatcherRun(
+    MatcherKind kind, const Scenario& scenario, const Instance& instance,
+    const OracleOptions& options, DifferentialCounts* counted,
+    const MatcherWrapper& wrap) {
+  auto run = RunMatcherOnInstance(kind, scenario, instance, wrap);
+  if (!run.ok()) {
+    // The simulator's own runtime guards (occupied worker, range, payment)
+    // refuse infeasible decisions with an error status — for the harness
+    // that is a first-class constraint violation, not a crash.
+    return {OracleViolation{"simulator-status",
+                            run.status().ToString()}};
+  }
+  MatcherRunRecord record;
+  record.kind = kind;
+  record.instance = &instance;
+  record.scenario = &scenario;
+  record.result = &run->result;
+  record.trace = &run->trace;
+  record.trace_summary = run->has_summary ? &run->trace_summary : nullptr;
+  record.ram_thresholds = run->ram_thresholds;
+  return CheckAllOracles(record, options, counted);
+}
+
+std::string ReplayCommand(const Scenario& scenario, MatcherKind kind,
+                          const std::string& repro_prefix) {
+  std::string cmd = StrFormat(
+      "comx_cli run --data %s --algo %s --sim-seed %llu --acceptance %s "
+      "--reservation-seed %llu --speed-kmh %.17g --base-service-s %.17g "
+      "--service-s-per-value %.17g",
+      repro_prefix.c_str(), MatcherKindName(kind),
+      static_cast<unsigned long long>(scenario.sim_seed),
+      scenario.acceptance_mode == AcceptanceMode::kReservation
+          ? "reservation"
+          : "bernoulli",
+      static_cast<unsigned long long>(scenario.reservation_seed),
+      scenario.speed_kmh, scenario.base_service_seconds,
+      scenario.service_seconds_per_value);
+  if (!scenario.workers_recycle) cmd += " --no-recycle";
+  if (scenario.with_fault_plan) {
+    cmd += StrFormat(" --fault-plan %s.faultplan.jsonl",
+                     repro_prefix.c_str());
+  }
+  return cmd;
+}
+
+namespace {
+
+Status WriteReproText(const FuzzFailure& failure, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot write repro: " + path);
+  out << "# comx_fuzz repro\n";
+  out << failure.scenario.Describe() << "\n";
+  out << StrFormat("matcher=%s scenario_index=%llu entities=%lld->%lld\n",
+                   MatcherKindName(failure.kind),
+                   static_cast<unsigned long long>(failure.scenario_index),
+                   static_cast<long long>(failure.entities_before),
+                   static_cast<long long>(failure.entities_after));
+  out << "violations (original instance):\n";
+  for (const OracleViolation& v : failure.violations) {
+    out << "  [" << v.oracle << "] " << v.detail << "\n";
+  }
+  out << "violations (shrunk instance):\n";
+  for (const OracleViolation& v : failure.shrunk_violations) {
+    out << "  [" << v.oracle << "] " << v.detail << "\n";
+  }
+  out << "replay:\n  " << failure.replay_command << "\n";
+  out.close();
+  if (!out) return Status::IoError("error writing repro: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FuzzReport> RunFuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  const Clock::time_point start = Clock::now();
+  const auto out_of_time = [&] {
+    if (options.time_budget_seconds <= 0.0) return false;
+    return std::chrono::duration<double>(Clock::now() - start).count() >=
+           options.time_budget_seconds;
+  };
+
+  for (int64_t i = 0; i < options.runs; ++i) {
+    if (out_of_time()) {
+      report.time_budget_exhausted = true;
+      break;
+    }
+    const Scenario scenario =
+        DrawScenario(options.base_seed, static_cast<uint64_t>(i));
+    COMX_ASSIGN_OR_RETURN(const Instance instance,
+                          BuildScenarioInstance(scenario));
+    ++report.scenarios_run;
+
+    for (MatcherKind kind : kAllMatcherKinds) {
+      std::vector<OracleViolation> violations =
+          CheckMatcherRun(kind, scenario, instance, options.oracle_options,
+                          &report.differential, options.wrap_matcher);
+      ++report.matcher_runs;
+      if (violations.empty()) continue;
+
+      if (options.log != nullptr) {
+        std::fprintf(options.log,
+                     "fuzz: VIOLATION scenario %lld matcher %s: [%s] %s\n",
+                     static_cast<long long>(i), MatcherKindName(kind),
+                     violations.front().oracle.c_str(),
+                     violations.front().detail.c_str());
+      }
+
+      FuzzFailure failure;
+      failure.scenario_index = static_cast<uint64_t>(i);
+      failure.scenario = scenario;
+      failure.kind = kind;
+      failure.violations = violations;
+      failure.entities_before =
+          static_cast<int64_t>(instance.workers().size()) +
+          static_cast<int64_t>(instance.requests().size());
+
+      // Shrink towards *the same* oracles firing, so an unrelated flake on
+      // a sub-instance cannot hijack the minimization.
+      std::set<std::string> target_slugs;
+      for (const OracleViolation& v : violations) {
+        target_slugs.insert(v.oracle);
+      }
+      const FailurePredicate reproduces = [&](const Instance& candidate) {
+        const std::vector<OracleViolation> found =
+            CheckMatcherRun(kind, scenario, candidate,
+                            options.oracle_options, nullptr,
+                            options.wrap_matcher);
+        for (const OracleViolation& v : found) {
+          if (target_slugs.count(v.oracle) != 0) return true;
+        }
+        return false;
+      };
+      if (options.shrink) {
+        ShrinkResult shrunk =
+            ShrinkInstance(instance, reproduces, options.shrink_options);
+        failure.shrunk_instance = std::move(shrunk.instance);
+        failure.entities_after = shrunk.entities_after;
+      } else {
+        failure.shrunk_instance = instance;
+        failure.entities_after = failure.entities_before;
+      }
+      failure.shrunk_violations =
+          CheckMatcherRun(kind, scenario, failure.shrunk_instance,
+                          options.oracle_options, nullptr,
+                          options.wrap_matcher);
+
+      if (!options.repro_dir.empty()) {
+        failure.repro_prefix = StrFormat(
+            "%s/comx_repro_%llu_%llu_%s", options.repro_dir.c_str(),
+            static_cast<unsigned long long>(options.base_seed),
+            static_cast<unsigned long long>(i), MatcherKindName(kind));
+        COMX_RETURN_IF_ERROR(
+            SaveInstance(failure.shrunk_instance, failure.repro_prefix));
+        if (scenario.with_fault_plan) {
+          COMX_RETURN_IF_ERROR(SaveFaultPlan(
+              scenario.fault_plan,
+              failure.repro_prefix + ".faultplan.jsonl"));
+        }
+        failure.replay_command =
+            ReplayCommand(scenario, kind, failure.repro_prefix);
+        COMX_RETURN_IF_ERROR(
+            WriteReproText(failure, failure.repro_prefix + ".repro.txt"));
+        if (options.log != nullptr) {
+          std::fprintf(options.log,
+                       "fuzz: shrunk %lld -> %lld entities; wrote %s.*\n",
+                       static_cast<long long>(failure.entities_before),
+                       static_cast<long long>(failure.entities_after),
+                       failure.repro_prefix.c_str());
+        }
+      } else {
+        failure.replay_command = ReplayCommand(scenario, kind, "<prefix>");
+      }
+
+      report.failures.push_back(std::move(failure));
+      if (static_cast<int64_t>(report.failures.size()) >=
+          options.max_failures) {
+        return report;
+      }
+    }
+
+    if (options.log != nullptr && (i + 1) % 50 == 0) {
+      std::fprintf(
+          options.log,
+          "fuzz: %lld/%lld scenarios, %lld matcher runs, %lld OFF bounds, "
+          "%lld brute-force checks, %zu failures\n",
+          static_cast<long long>(i + 1),
+          static_cast<long long>(options.runs),
+          static_cast<long long>(report.matcher_runs),
+          static_cast<long long>(report.differential.off_bounds),
+          static_cast<long long>(report.differential.brute_force),
+          report.failures.size());
+    }
+  }
+  return report;
+}
+
+}  // namespace check
+}  // namespace comx

@@ -1,0 +1,114 @@
+// The fuzz loop: draw scenarios from a seeded stream, run every online
+// matcher over each, feed the results to the oracles, and — on a violation
+// — shrink the instance to a minimal repro and emit it as a CSV dataset
+// plus a `.repro.txt` with the exact comx_cli command that replays the
+// failing run bit for bit.
+
+#ifndef COMX_CHECK_FUZZ_DRIVER_H_
+#define COMX_CHECK_FUZZ_DRIVER_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/oracles.h"
+#include "check/scenario_gen.h"
+#include "check/shrinker.h"
+
+namespace comx {
+namespace check {
+
+/// Test hook: decorates (or replaces) each matcher the driver builds.
+/// Wrappers must forward Reset(); this is how the harness's own tests
+/// inject a known constraint bug and assert the oracles catch it.
+using MatcherWrapper = std::function<std::unique_ptr<OnlineMatcher>(
+    MatcherKind, std::unique_ptr<OnlineMatcher>)>;
+
+/// Everything one (scenario, matcher) simulation produced, owned — the
+/// oracles' MatcherRunRecord borrows from this.
+struct MatcherRunOutput {
+  SimResult result;
+  std::vector<obs::TraceEvent> trace;
+  obs::TraceSummary trace_summary;
+  bool has_summary = false;
+  std::vector<double> ram_thresholds;
+};
+
+/// Runs `kind` over `instance` with the scenario's SimConfig + sim seed.
+Result<MatcherRunOutput> RunMatcherOnInstance(
+    MatcherKind kind, const Scenario& scenario, const Instance& instance,
+    const MatcherWrapper& wrap = nullptr);
+
+/// One-shot: simulate + all oracles. A simulation error (e.g. the
+/// simulator's own feasibility guards tripping on a buggy matcher) folds
+/// into a violation with oracle slug "simulator-status".
+std::vector<OracleViolation> CheckMatcherRun(
+    MatcherKind kind, const Scenario& scenario, const Instance& instance,
+    const OracleOptions& options, DifferentialCounts* counted,
+    const MatcherWrapper& wrap = nullptr);
+
+struct FuzzOptions {
+  uint64_t base_seed = 2020;
+  /// Scenarios to draw (each runs every matcher kind).
+  int64_t runs = 200;
+  /// Wall-clock cap for the whole fuzz loop; <= 0 = no cap.
+  double time_budget_seconds = 0.0;
+  /// Stop after this many failing (scenario, matcher) pairs.
+  int64_t max_failures = 5;
+  bool shrink = true;
+  ShrinkOptions shrink_options;
+  OracleOptions oracle_options;
+  /// When non-empty, each failure writes `<dir>/comx_repro_<seed>_<index>_
+  /// <matcher>.{workers,requests}.csv` (+ `.faultplan.jsonl` when the
+  /// scenario had one) and a `.repro.txt` describing the violation and the
+  /// replay command.
+  std::string repro_dir;
+  MatcherWrapper wrap_matcher;
+  /// Progress log (e.g. stderr); nullptr = silent.
+  std::FILE* log = nullptr;
+};
+
+struct FuzzFailure {
+  uint64_t scenario_index = 0;
+  Scenario scenario;
+  MatcherKind kind = MatcherKind::kTota;
+  /// Violations on the original (unshrunk) instance.
+  std::vector<OracleViolation> violations;
+  int64_t entities_before = 0;
+  int64_t entities_after = 0;
+  /// The minimized instance (equals the original when shrinking is off).
+  Instance shrunk_instance;
+  /// Violations reproduced on the shrunk instance.
+  std::vector<OracleViolation> shrunk_violations;
+  /// Dataset prefix of the written repro ("" when repro_dir was unset).
+  std::string repro_prefix;
+  std::string replay_command;
+};
+
+struct FuzzReport {
+  int64_t scenarios_run = 0;
+  int64_t matcher_runs = 0;
+  /// How many differential comparisons actually executed (the OFF bound
+  /// and the exhaustive cross-check are regime- and size-gated; a healthy
+  /// fuzz session must show both counters well above zero).
+  DifferentialCounts differential;
+  std::vector<FuzzFailure> failures;
+  bool time_budget_exhausted = false;
+  bool ok() const { return failures.empty(); }
+};
+
+/// The fuzz loop. Returns an error only on harness-level failures (scenario
+/// instance generation failing, repro files unwritable); oracle violations
+/// land in the report.
+Result<FuzzReport> RunFuzz(const FuzzOptions& options);
+
+/// The comx_cli invocation that replays a written repro bit for bit.
+std::string ReplayCommand(const Scenario& scenario, MatcherKind kind,
+                          const std::string& repro_prefix);
+
+}  // namespace check
+}  // namespace comx
+
+#endif  // COMX_CHECK_FUZZ_DRIVER_H_

@@ -1,0 +1,122 @@
+#include "check/shrinker.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace comx {
+namespace check {
+
+Instance RemoveEntities(const Instance& instance,
+                        const std::vector<char>& keep_worker,
+                        const std::vector<char>& keep_request) {
+  Instance out;
+  for (size_t i = 0; i < instance.workers().size(); ++i) {
+    if (keep_worker[i]) out.AddWorker(instance.workers()[i]);
+  }
+  for (size_t j = 0; j < instance.requests().size(); ++j) {
+    if (keep_request[j]) out.AddRequest(instance.requests()[j]);
+  }
+  out.BuildEvents();
+  return out;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One entity index into the combined (workers ++ requests) list.
+struct EntityMask {
+  std::vector<char> worker;
+  std::vector<char> request;
+  size_t Size() const { return worker.size() + request.size(); }
+  char& At(size_t i) {
+    return i < worker.size() ? worker[i] : request[i - worker.size()];
+  }
+};
+
+}  // namespace
+
+ShrinkResult ShrinkInstance(const Instance& instance,
+                            const FailurePredicate& fails,
+                            const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.entities_before = static_cast<int64_t>(instance.workers().size() +
+                                                instance.requests().size());
+
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             options.time_budget_seconds > 0.0
+                                 ? options.time_budget_seconds
+                                 : 1e9));
+  const auto out_of_budget = [&] {
+    return (options.time_budget_seconds > 0.0 && Clock::now() >= deadline) ||
+           result.probes >= options.max_probes;
+  };
+
+  EntityMask kept;
+  kept.worker.assign(instance.workers().size(), 1);
+  kept.request.assign(instance.requests().size(), 1);
+
+  const auto probe = [&](const EntityMask& mask) {
+    ++result.probes;
+    return fails(RemoveEntities(instance, mask.worker, mask.request));
+  };
+
+  // The caller promises the full instance fails; verify so a flaky
+  // predicate cannot make us "shrink" a healthy instance to nothing.
+  if (kept.Size() == 0 || !probe(kept)) {
+    result.instance = instance;
+    result.entities_after = result.entities_before;
+    return result;
+  }
+
+  // ddmin-style greedy deletion: try dropping windows of `chunk` surviving
+  // entities; a successful drop restarts the pass at the same granularity,
+  // a fruitless full pass halves it.
+  size_t alive = kept.Size();
+  size_t chunk = std::max<size_t>(1, alive / 2);
+  while (true) {
+    if (out_of_budget()) {
+      result.budget_exhausted = true;
+      break;
+    }
+    bool removed_any = false;
+    // Walk over *surviving* entity positions so windows stay contiguous in
+    // what is left rather than in the original numbering.
+    std::vector<size_t> live;
+    live.reserve(alive);
+    for (size_t i = 0; i < kept.Size(); ++i) {
+      if (kept.At(i)) live.push_back(i);
+    }
+    for (size_t start = 0; start < live.size(); start += chunk) {
+      if (out_of_budget()) {
+        result.budget_exhausted = true;
+        break;
+      }
+      const size_t end = std::min(live.size(), start + chunk);
+      EntityMask candidate = kept;
+      for (size_t i = start; i < end; ++i) candidate.At(live[i]) = 0;
+      if (probe(candidate)) {
+        kept = std::move(candidate);
+        alive -= end - start;
+        removed_any = true;
+      }
+    }
+    if (result.budget_exhausted) break;
+    if (!removed_any) {
+      if (chunk == 1) break;  // 1-minimal: no single deletion reproduces
+      chunk = std::max<size_t>(1, chunk / 2);
+    } else {
+      chunk = std::min(chunk, std::max<size_t>(1, alive / 2));
+    }
+    if (alive == 0) break;
+  }
+
+  result.instance = RemoveEntities(instance, kept.worker, kept.request);
+  result.entities_after = static_cast<int64_t>(alive);
+  return result;
+}
+
+}  // namespace check
+}  // namespace comx

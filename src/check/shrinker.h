@@ -1,0 +1,61 @@
+// Minimizing shrinker: given an instance on which some failure predicate
+// holds (an oracle violation reproduces), greedily delete workers and
+// requests while the failure keeps reproducing, ddmin-style — large chunks
+// first, halving on a fruitless pass — until no single entity can be
+// removed or the time budget runs out. The result is a (locally) 1-minimal
+// repro: tiny instances make oracle violations readable.
+
+#ifndef COMX_CHECK_SHRINKER_H_
+#define COMX_CHECK_SHRINKER_H_
+
+#include <functional>
+#include <vector>
+
+#include "model/instance.h"
+#include "util/result.h"
+
+namespace comx {
+namespace check {
+
+/// Must return true iff the candidate instance still exhibits the failure
+/// being minimized. Called many times; re-runs the full simulation +
+/// oracles, so keep instances small-ish before shrinking huge ones.
+using FailurePredicate = std::function<bool(const Instance&)>;
+
+struct ShrinkOptions {
+  /// Wall-clock cap for the whole shrink. <= 0 disables the cap.
+  double time_budget_seconds = 30.0;
+  /// Safety cap on predicate evaluations.
+  int64_t max_probes = 10'000;
+};
+
+struct ShrinkResult {
+  /// The minimized instance (still failing). Equal to the input when
+  /// nothing could be removed.
+  Instance instance;
+  int64_t entities_before = 0;
+  int64_t entities_after = 0;
+  /// Predicate evaluations performed.
+  int64_t probes = 0;
+  /// True when the shrink stopped on budget rather than at a fixed point.
+  bool budget_exhausted = false;
+};
+
+/// Rebuilds `instance` keeping only the flagged entities, with dense ids
+/// re-assigned in the surviving order and the event stream rebuilt
+/// (BuildEvents). `keep_worker` / `keep_request` must match the entity
+/// counts.
+Instance RemoveEntities(const Instance& instance,
+                        const std::vector<char>& keep_worker,
+                        const std::vector<char>& keep_request);
+
+/// Minimizes `instance` under `fails`. Precondition: fails(instance) is
+/// true (the shrinker re-checks and returns the input unchanged if not).
+ShrinkResult ShrinkInstance(const Instance& instance,
+                            const FailurePredicate& fails,
+                            const ShrinkOptions& options);
+
+}  // namespace check
+}  // namespace comx
+
+#endif  // COMX_CHECK_SHRINKER_H_

@@ -1,0 +1,148 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace comx {
+
+namespace {
+
+// Depth-first search over left vertices. `match` is the best completion of
+// the prefix [0, li) already fixed in `current`; the caller owns both.
+struct SearchState {
+  const BipartiteGraph* graph;
+  std::vector<int32_t> current;
+  std::vector<int32_t> best;
+  double best_weight = -1.0;
+  uint64_t used_right = 0;  // bitmask over right vertices (right <= 20)
+
+  void Search(int32_t li, double weight) {
+    if (li == graph->left_count()) {
+      if (weight > best_weight) {
+        best_weight = weight;
+        best = current;
+      }
+      return;
+    }
+    // Option 1: leave li unmatched.
+    current[static_cast<size_t>(li)] = -1;
+    Search(li + 1, weight);
+    // Option 2: match li along each of its edges.
+    for (int32_t ei : graph->LeftAdjacency()[static_cast<size_t>(li)]) {
+      const BipartiteEdge& e = graph->edges()[static_cast<size_t>(ei)];
+      const uint64_t bit = 1ull << e.right;
+      if (used_right & bit) continue;
+      used_right |= bit;
+      current[static_cast<size_t>(li)] = e.right;
+      Search(li + 1, weight + e.weight);
+      used_right &= ~bit;
+    }
+    current[static_cast<size_t>(li)] = -1;
+  }
+};
+
+}  // namespace
+
+Result<BipartiteMatching> BruteForceMaxWeight(const BipartiteGraph& graph,
+                                              const BruteForceLimits& limits) {
+  if (graph.left_count() > limits.max_left ||
+      graph.right_count() > limits.max_right) {
+    return Status::OutOfRange(StrFormat(
+        "brute force refuses %dx%d graph (limits %dx%d)", graph.left_count(),
+        graph.right_count(), limits.max_left, limits.max_right));
+  }
+  if (graph.right_count() > 63) {
+    return Status::OutOfRange("brute force right mask limited to 63 bits");
+  }
+  for (const BipartiteEdge& e : graph.edges()) {
+    if (e.weight < 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("negative edge weight %g", e.weight));
+    }
+  }
+
+  SearchState state;
+  state.graph = &graph;
+  state.current.assign(static_cast<size_t>(graph.left_count()), -1);
+  state.best = state.current;
+  state.best_weight = 0.0;
+  // Seed `best` with the empty matching so a zero-edge graph returns the
+  // all-unmatched solution rather than garbage.
+  state.Search(0, 0.0);
+
+  BipartiteMatching out;
+  out.match_of_left = std::move(state.best);
+  out.total_weight = 0.0;
+  out.size = 0;
+  // Re-derive the weight from the chosen edges (max per pair, matching how
+  // Hungarian collapses parallel edges) instead of trusting the running sum.
+  for (int32_t li = 0; li < graph.left_count(); ++li) {
+    const int32_t ri = out.match_of_left[static_cast<size_t>(li)];
+    if (ri < 0) continue;
+    double w = 0.0;
+    bool found = false;
+    for (int32_t ei : graph.LeftAdjacency()[static_cast<size_t>(li)]) {
+      const BipartiteEdge& e = graph.edges()[static_cast<size_t>(ei)];
+      if (e.right == ri) {
+        w = found ? std::max(w, e.weight) : e.weight;
+        found = true;
+      }
+    }
+    out.total_weight += w;
+    ++out.size;
+  }
+  return out;
+}
+
+Result<OfflineSolution> SolveOfflineBruteForce(const Instance& instance,
+                                               PlatformId target,
+                                               const OfflineConfig& config,
+                                               const BruteForceLimits& limits) {
+  if (config.worker_capacity != 1) {
+    return Status::InvalidArgument(
+        "brute-force OFF only supports worker_capacity == 1");
+  }
+  std::vector<RequestId> request_ids;
+  std::vector<double> edge_payments;
+  COMX_ASSIGN_OR_RETURN(
+      BipartiteGraph graph,
+      BuildOfflineGraph(instance, target, config, &request_ids,
+                        &edge_payments));
+  COMX_ASSIGN_OR_RETURN(BipartiteMatching matching,
+                        BruteForceMaxWeight(graph, limits));
+
+  OfflineSolution solution;
+  solution.solver = "brute_force";
+  solution.edge_count = static_cast<int64_t>(graph.edges().size());
+  for (int32_t li = 0; li < graph.left_count(); ++li) {
+    const int32_t ri = matching.match_of_left[static_cast<size_t>(li)];
+    if (ri < 0) continue;
+    // Recover the max-weight edge for the chosen pair (parallel edges are
+    // collapsed to the max, as in the production solvers).
+    double weight = 0.0;
+    double payment = 0.0;
+    bool found = false;
+    for (int32_t ei : graph.LeftAdjacency()[static_cast<size_t>(li)]) {
+      const BipartiteEdge& e = graph.edges()[static_cast<size_t>(ei)];
+      if (e.right != ri) continue;
+      if (!found || e.weight > weight) {
+        weight = e.weight;
+        payment = edge_payments[static_cast<size_t>(ei)];
+        found = true;
+      }
+    }
+    Assignment a;
+    a.request = request_ids[static_cast<size_t>(li)];
+    a.worker = static_cast<WorkerId>(ri);
+    a.is_outer = instance.worker(a.worker).platform != target;
+    a.outer_payment = a.is_outer ? payment : 0.0;
+    a.revenue = weight;
+    solution.matching.Add(a);
+  }
+  return solution;
+}
+
+}  // namespace comx

@@ -17,13 +17,15 @@ void RamCom::Reset(const Instance& instance, PlatformId /*platform*/,
   // *every* request away from inner workers, which contradicts the paper's
   // own Table V-VII results (RamCOM's completed-request counts track
   // TOTA's). Example 3 (k = 1, threshold e) is unaffected.
-  const double max_v = instance.MaxRequestValue();
-  const int64_t theta =
-      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(
-                               std::log(max_v + 1.0))));
+  const int64_t theta = ThetaFor(instance.MaxRequestValue());
   const int64_t k = fixed_exponent_ >= 0 ? fixed_exponent_
                                          : rng_.UniformInt(0, theta - 1);
   threshold_ = std::exp(static_cast<double>(k));
+}
+
+int64_t RamCom::ThetaFor(double max_value) {
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(std::log(max_value + 1.0))));
 }
 
 Decision RamCom::OnRequest(const Request& r, const PlatformView& view) {

@@ -40,6 +40,12 @@ class RamCom : public OnlineMatcher {
   /// The drawn inner-worker value threshold e^k (for tests/diagnostics).
   double threshold() const { return threshold_; }
 
+  /// theta = max(1, ceil(ln(max_value + 1))) — the number of threshold
+  /// arms of Algorithm 3. Exposed so the correctness oracles and the
+  /// edge-case tests (max v = 0, v = 1, all-equal values) share the exact
+  /// computation Reset() uses.
+  static int64_t ThetaFor(double max_value);
+
   /// Diagnostics accumulated since the last Reset.
   struct Diagnostics {
     int64_t outer_offers = 0;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
 
 #include "util/csv.h"
 #include "util/string_util.h"
@@ -36,6 +37,18 @@ Result<std::vector<double>> ParseHistory(const std::string& field) {
 // Datasets are city-scale: any coordinate beyond this is a corrupted or
 // mis-scaled file, not a real location (the Earth is ~2e4 km around).
 constexpr double kMaxCoordinateKm = 1e6;
+
+// Platform ids travel through the file as int64 but live as PlatformId
+// (int32): reject anything the cast would silently wrap instead.
+Status CheckPlatformRange(const char* kind, size_t row, int64_t platform) {
+  if (platform < 0 ||
+      platform > std::numeric_limits<PlatformId>::max()) {
+    return Status::InvalidArgument(
+        StrFormat("%s row %zu: platform id %lld out of range", kind, row,
+                  static_cast<long long>(platform)));
+  }
+  return Status::OK();
+}
 
 // Semantic checks shared by worker and request rows, with the failing row
 // identified by kind + 1-based CSV line. The model's own Validate() would
@@ -122,11 +135,7 @@ Result<Instance> LoadInstance(const std::string& prefix) {
             "worker row %zu: %s", i, history.status().message().c_str()));
       }
       w.history = *std::move(history);
-      if (platform < 0) {
-        return Status::InvalidArgument(
-            StrFormat("worker row %zu: negative platform id %lld", i,
-                      static_cast<long long>(platform)));
-      }
+      COMX_RETURN_IF_ERROR(CheckPlatformRange("worker", i, platform));
       COMX_RETURN_IF_ERROR(
           CheckRowSemantics("worker", i, w.time, w.location));
       if (!std::isfinite(w.radius) || w.radius <= 0.0) {
@@ -161,11 +170,7 @@ Result<Instance> LoadInstance(const std::string& prefix) {
       COMX_ASSIGN_OR_RETURN(r.location.x, ParseDouble(row[3]));
       COMX_ASSIGN_OR_RETURN(r.location.y, ParseDouble(row[4]));
       COMX_ASSIGN_OR_RETURN(r.value, ParseDouble(row[5]));
-      if (platform < 0) {
-        return Status::InvalidArgument(
-            StrFormat("request row %zu: negative platform id %lld", i,
-                      static_cast<long long>(platform)));
-      }
+      COMX_RETURN_IF_ERROR(CheckPlatformRange("request", i, platform));
       COMX_RETURN_IF_ERROR(
           CheckRowSemantics("request", i, r.time, r.location));
       if (!std::isfinite(r.value) || r.value <= 0.0) {

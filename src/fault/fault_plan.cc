@@ -304,5 +304,50 @@ Result<FaultPlan> LoadFaultPlan(const std::string& path) {
   return ParseFaultPlan(text.str());
 }
 
+std::string FaultPlanToJsonl(const FaultPlan& plan) {
+  std::string out;
+  out += StrFormat("{\"type\":\"plan\",\"seed\":%.17g}\n",
+                   static_cast<double>(plan.seed));
+  out += StrFormat(
+      "{\"type\":\"retry\",\"max_attempts\":%d,\"base_backoff_ms\":%.17g,"
+      "\"backoff_multiplier\":%.17g,\"max_backoff_ms\":%.17g,"
+      "\"jitter_fraction\":%.17g}\n",
+      plan.retry.max_attempts, plan.retry.base_backoff_ms,
+      plan.retry.backoff_multiplier, plan.retry.max_backoff_ms,
+      plan.retry.jitter_fraction);
+  out += StrFormat(
+      "{\"type\":\"breaker\",\"failure_threshold\":%d,\"open_seconds\":"
+      "%.17g,\"half_open_successes\":%d}\n",
+      plan.breaker.failure_threshold, plan.breaker.open_seconds,
+      plan.breaker.half_open_successes);
+  for (const PartnerFaultSpec& spec : plan.partners) {
+    std::vector<std::string> windows;
+    windows.reserve(spec.outages.size());
+    for (const OutageWindow& w : spec.outages) {
+      windows.push_back(StrFormat("%.17g-%.17g", w.start, w.end));
+    }
+    out += StrFormat(
+        "{\"type\":\"partner\",\"partner\":%d,\"availability\":%.17g,"
+        "\"latency_ms_mean\":%.17g,\"timeout_ms\":%.17g,"
+        "\"stale_probability\":%.17g",
+        spec.partner, spec.availability, spec.latency_ms_mean,
+        spec.timeout_ms, spec.stale_probability);
+    if (!windows.empty()) {
+      out += StrFormat(",\"outages\":\"%s\"", Join(windows, ";").c_str());
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+Status SaveFaultPlan(const FaultPlan& plan, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot write fault plan: " + path);
+  out << FaultPlanToJsonl(plan);
+  out.close();
+  if (!out) return Status::IoError("error writing fault plan: " + path);
+  return Status::OK();
+}
+
 }  // namespace fault
 }  // namespace comx

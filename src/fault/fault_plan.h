@@ -117,6 +117,15 @@ Result<FaultPlan> ParseFaultPlan(const std::string& text);
 /// Reads and parses a plan file.
 Result<FaultPlan> LoadFaultPlan(const std::string& path);
 
+/// Serializes a plan to the JSONL format ParseFaultPlan reads. Numbers are
+/// written with round-trip precision, so parse(serialize(p)) reproduces p
+/// exactly — except `seed`, which travels through a JSON double: keep plan
+/// seeds below 2^53 (the fuzzer does) for bit-exact replay.
+std::string FaultPlanToJsonl(const FaultPlan& plan);
+
+/// Writes FaultPlanToJsonl(plan) to `path`.
+Status SaveFaultPlan(const FaultPlan& plan, const std::string& path);
+
 }  // namespace fault
 }  // namespace comx
 

@@ -1,0 +1,120 @@
+#include "check/fuzz_driver.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace check {
+namespace {
+
+TEST(FuzzDriverTest, CleanStreamReportsNoViolations) {
+  FuzzOptions options;
+  options.base_seed = 2020;
+  options.runs = 40;
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+  EXPECT_EQ(report->scenarios_run, 40);
+  EXPECT_EQ(report->matcher_runs, 40 * 3);
+  // The differential oracles must actually engage on the stream.
+  EXPECT_GT(report->differential.off_bounds, 0);
+  EXPECT_GT(report->differential.brute_force, 0);
+}
+
+TEST(FuzzDriverTest, TimeBudgetStopsTheLoop) {
+  FuzzOptions options;
+  options.runs = 1'000'000;
+  options.time_budget_seconds = 0.2;
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->time_budget_exhausted);
+  EXPECT_LT(report->scenarios_run, 1'000'000);
+}
+
+// The deliberately injected constraint bug of the acceptance criteria: a
+// DemCOM decorator that throws away inner matches, violating Algorithm 1's
+// inner-first rule. Simulation-feasible (a reject is always legal), so
+// only the trace oracle can see it.
+class DropInnerMatches : public OnlineMatcher {
+ public:
+  explicit DropInnerMatches(std::unique_ptr<OnlineMatcher> inner)
+      : inner_(std::move(inner)) {}
+  void Reset(const Instance& instance, PlatformId platform,
+             uint64_t seed) override {
+    inner_->Reset(instance, platform, seed);
+  }
+  Decision OnRequest(const Request& r, const PlatformView& view) override {
+    Decision d = inner_->OnRequest(r, view);
+    if (d.kind == Decision::Kind::kInner) {
+      Decision reject = Decision::Reject();
+      reject.stats = d.stats;  // the trace still shows the inner candidates
+      return reject;
+    }
+    return d;
+  }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  std::unique_ptr<OnlineMatcher> inner_;
+};
+
+TEST(FuzzDriverTest, InjectedBugIsCaughtAndShrunkToTinyRepro) {
+  FuzzOptions options;
+  options.base_seed = 2020;
+  options.runs = 100;
+  options.max_failures = 1;
+  options.repro_dir = testing::TempDir();
+  options.wrap_matcher = [](MatcherKind kind,
+                            std::unique_ptr<OnlineMatcher> m)
+      -> std::unique_ptr<OnlineMatcher> {
+    if (kind != MatcherKind::kDemCom) return m;
+    return std::make_unique<DropInnerMatches>(std::move(m));
+  };
+
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->failures.size(), 1u);
+  const FuzzFailure& f = report->failures[0];
+  EXPECT_EQ(f.kind, MatcherKind::kDemCom);
+
+  bool inner_first_fired = false;
+  for (const OracleViolation& v : f.violations) {
+    inner_first_fired |= v.oracle == "dem-inner-first";
+  }
+  EXPECT_TRUE(inner_first_fired);
+
+  // Acceptance bar: the shrunk repro is at most 10 events. The minimal
+  // inner-first violation is one worker + one request = 2 events.
+  EXPECT_LE(static_cast<int64_t>(f.shrunk_instance.events().size()), 10);
+  EXPECT_LE(f.entities_after, 10);
+  EXPECT_LT(f.entities_after, f.entities_before);
+  EXPECT_FALSE(f.shrunk_violations.empty());
+
+  // The repro files exist and name a replayable command.
+  ASSERT_FALSE(f.repro_prefix.empty());
+  EXPECT_NE(f.replay_command.find("--algo demcom"), std::string::npos);
+  EXPECT_NE(f.replay_command.find("--sim-seed"), std::string::npos);
+  std::FILE* repro = std::fopen((f.repro_prefix + ".repro.txt").c_str(), "r");
+  ASSERT_NE(repro, nullptr);
+  std::fclose(repro);
+  std::FILE* workers =
+      std::fopen((f.repro_prefix + ".workers.csv").c_str(), "r");
+  ASSERT_NE(workers, nullptr);
+  std::fclose(workers);
+}
+
+TEST(FuzzDriverTest, ReplayCommandCarriesEveryKnob) {
+  const Scenario s = DrawScenario(3, 1);
+  const std::string cmd = ReplayCommand(s, MatcherKind::kRamCom, "/tmp/x");
+  EXPECT_NE(cmd.find("comx_cli run --data /tmp/x"), std::string::npos);
+  EXPECT_NE(cmd.find("--algo ramcom"), std::string::npos);
+  EXPECT_NE(cmd.find("--sim-seed"), std::string::npos);
+  EXPECT_NE(cmd.find("--reservation-seed"), std::string::npos);
+  EXPECT_NE(cmd.find("--speed-kmh"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace comx

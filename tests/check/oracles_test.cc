@@ -1,0 +1,161 @@
+#include "check/oracles.h"
+
+#include <gtest/gtest.h>
+
+#include "check/fuzz_driver.h"
+
+namespace comx {
+namespace check {
+namespace {
+
+bool HasOracle(const std::vector<OracleViolation>& violations,
+               const std::string& slug) {
+  for (const OracleViolation& v : violations) {
+    if (v.oracle == slug) return true;
+  }
+  return false;
+}
+
+std::string Dump(const std::vector<OracleViolation>& violations) {
+  std::string out;
+  for (const OracleViolation& v : violations) {
+    out += "[" + v.oracle + "] " + v.detail + "\n";
+  }
+  return out;
+}
+
+MatcherRunRecord MakeRecord(MatcherKind kind, const Scenario& scenario,
+                            const Instance& instance,
+                            const MatcherRunOutput& run) {
+  MatcherRunRecord record;
+  record.kind = kind;
+  record.instance = &instance;
+  record.scenario = &scenario;
+  record.result = &run.result;
+  record.trace = &run.trace;
+  record.trace_summary = run.has_summary ? &run.trace_summary : nullptr;
+  record.ram_thresholds = run.ram_thresholds;
+  return record;
+}
+
+TEST(OraclesTest, CleanRunsPassEveryOracle) {
+  DifferentialCounts counted;
+  for (uint64_t i = 0; i < 30; ++i) {
+    const Scenario s = DrawScenario(101, i);
+    auto instance = BuildScenarioInstance(s);
+    ASSERT_TRUE(instance.ok());
+    for (MatcherKind kind : kAllMatcherKinds) {
+      const auto violations =
+          CheckMatcherRun(kind, s, *instance, OracleOptions{}, &counted);
+      EXPECT_TRUE(violations.empty())
+          << MatcherKindName(kind) << " on " << s.Describe() << "\n"
+          << Dump(violations);
+    }
+  }
+  // The stream must actually exercise the differential oracles, or this
+  // test proves nothing about them.
+  EXPECT_GT(counted.off_bounds, 0);
+  EXPECT_GT(counted.brute_force, 0);
+}
+
+// Finds a (scenario, run) pair with at least `min_assignments` assignments
+// for tamper-detection tests.
+struct TamperFixture {
+  Scenario scenario;
+  Instance instance;
+  MatcherRunOutput run;
+};
+
+TamperFixture FindRunWithAssignments(MatcherKind kind, bool want_outer) {
+  for (uint64_t i = 0; i < 400; ++i) {
+    Scenario s = DrawScenario(202, i);
+    auto instance = BuildScenarioInstance(s);
+    if (!instance.ok()) continue;
+    auto run = RunMatcherOnInstance(kind, s, *instance);
+    if (!run.ok()) continue;
+    bool has_outer = false;
+    for (const Assignment& a : run->result.matching.assignments) {
+      has_outer |= a.is_outer;
+    }
+    if (run->result.matching.assignments.empty()) continue;
+    if (want_outer && !has_outer) continue;
+    return TamperFixture{s, *std::move(instance), *std::move(run)};
+  }
+  ADD_FAILURE() << "no suitable run found in 400 scenarios";
+  return {};
+}
+
+TEST(OraclesTest, TamperedRevenueIsCaughtBitExactly) {
+  TamperFixture fx = FindRunWithAssignments(MatcherKind::kDemCom, false);
+  ASSERT_FALSE(fx.run.result.matching.assignments.empty());
+  // One ulp-scale nudge: the Eq. 1 oracle compares exactly, not with a
+  // tolerance, so even this must fire.
+  fx.run.result.matching.assignments[0].revenue +=
+      1e-9 * (1.0 + fx.run.result.matching.assignments[0].revenue);
+  const auto violations = CheckConstraintOracles(
+      MakeRecord(MatcherKind::kDemCom, fx.scenario, fx.instance, fx.run),
+      OracleOptions{});
+  EXPECT_TRUE(HasOracle(violations, "revenue-eq1")) << Dump(violations);
+}
+
+TEST(OraclesTest, TamperedOuterPaymentIsCaught) {
+  TamperFixture fx = FindRunWithAssignments(MatcherKind::kDemCom, true);
+  for (Assignment& a : fx.run.result.matching.assignments) {
+    if (!a.is_outer) continue;
+    const Request& r = fx.instance.request(a.request);
+    a.outer_payment = r.value * 2.0;  // outside (0, v_r]
+    break;
+  }
+  const auto violations = CheckConstraintOracles(
+      MakeRecord(MatcherKind::kDemCom, fx.scenario, fx.instance, fx.run),
+      OracleOptions{});
+  EXPECT_TRUE(HasOracle(violations, "outer-payment-range"))
+      << Dump(violations);
+}
+
+TEST(OraclesTest, DuplicateServiceIsCaught) {
+  TamperFixture fx = FindRunWithAssignments(MatcherKind::kTota, false);
+  ASSERT_FALSE(fx.run.result.matching.assignments.empty());
+  // Serve the last request a second time: the invariable constraint
+  // (assignments are final) must fire.
+  fx.run.result.matching.assignments.push_back(
+      fx.run.result.matching.assignments.back());
+  const auto violations = CheckConstraintOracles(
+      MakeRecord(MatcherKind::kTota, fx.scenario, fx.instance, fx.run),
+      OracleOptions{});
+  EXPECT_TRUE(HasOracle(violations, "invariable-constraint"))
+      << Dump(violations);
+}
+
+TEST(OraclesTest, ForgedTotaOuterAssignmentIsCaught) {
+  TamperFixture fx = FindRunWithAssignments(MatcherKind::kTota, false);
+  ASSERT_FALSE(fx.run.trace.empty());
+  // Flip a trace outcome to "outer": TOTA never borrows, so the policy
+  // oracle must fire.
+  for (obs::TraceEvent& ev : fx.run.trace) {
+    if (ev.outcome == "reject") {
+      ev.outcome = "outer";
+      break;
+    }
+  }
+  const auto violations = CheckConstraintOracles(
+      MakeRecord(MatcherKind::kTota, fx.scenario, fx.instance, fx.run),
+      OracleOptions{});
+  EXPECT_TRUE(HasOracle(violations, "tota-no-outer")) << Dump(violations);
+}
+
+TEST(OraclesTest, ForgedRamThresholdIsCaught) {
+  TamperFixture fx = FindRunWithAssignments(MatcherKind::kRamCom, false);
+  ASSERT_FALSE(fx.run.ram_thresholds.empty());
+  // A threshold that is not e^k for any valid arm.
+  fx.run.ram_thresholds[0] = 1.5;
+  const auto violations = CheckConstraintOracles(
+      MakeRecord(MatcherKind::kRamCom, fx.scenario, fx.instance, fx.run),
+      OracleOptions{});
+  EXPECT_TRUE(HasOracle(violations, "ram-threshold-set"))
+      << Dump(violations);
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace comx

@@ -1,0 +1,109 @@
+#include "check/scenario_gen.h"
+
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "check/fuzz_driver.h"
+#include "datagen/dataset.h"
+
+namespace comx {
+namespace check {
+namespace {
+
+TEST(ScenarioGenTest, DrawIsDeterministicInSeedAndIndex) {
+  const Scenario a = DrawScenario(7, 3);
+  const Scenario b = DrawScenario(7, 3);
+  EXPECT_EQ(a.Describe(), b.Describe());
+  EXPECT_EQ(a.sim_seed, b.sim_seed);
+  EXPECT_EQ(a.reservation_seed, b.reservation_seed);
+  EXPECT_EQ(a.gen.seed, b.gen.seed);
+}
+
+TEST(ScenarioGenTest, DistinctIndicesDrawDistinctScenarios) {
+  // splitmix64-forked streams: consecutive indices must not correlate.
+  std::set<uint64_t> sim_seeds;
+  for (uint64_t i = 0; i < 32; ++i) {
+    sim_seeds.insert(DrawScenario(7, i).sim_seed);
+  }
+  EXPECT_EQ(sim_seeds.size(), 32u);
+}
+
+TEST(ScenarioGenTest, InstancesValidateAcrossTheStream) {
+  for (uint64_t i = 0; i < 40; ++i) {
+    const Scenario s = DrawScenario(11, i);
+    auto instance = BuildScenarioInstance(s);
+    ASSERT_TRUE(instance.ok()) << s.Describe();
+    EXPECT_TRUE(instance->Validate().ok()) << s.Describe();
+    if (s.with_fault_plan) {
+      EXPECT_TRUE(s.fault_plan.Validate().ok()) << s.Describe();
+    }
+  }
+}
+
+TEST(ScenarioGenTest, StreamCoversBothRegimesAndFaultPlans) {
+  int differential = 0, bernoulli = 0, with_plan = 0, trivial_plan = 0;
+  for (uint64_t i = 0; i < 200; ++i) {
+    const Scenario s = DrawScenario(13, i);
+    if (s.DifferentialEligible()) ++differential;
+    if (s.acceptance_mode == AcceptanceMode::kBernoulli) ++bernoulli;
+    if (s.with_fault_plan) {
+      ++with_plan;
+      if (s.fault_plan.Trivial()) ++trivial_plan;
+    }
+  }
+  EXPECT_GT(differential, 20);
+  EXPECT_GT(bernoulli, 20);
+  EXPECT_GT(with_plan, 5);
+  EXPECT_GT(trivial_plan, 0);
+}
+
+TEST(ScenarioGenTest, TrivialPlanIsTrivialAndValid) {
+  Rng rng(5);
+  const fault::FaultPlan plan = DrawTrivialFaultPlan(&rng, 3);
+  EXPECT_TRUE(plan.Trivial());
+  EXPECT_TRUE(plan.Validate().ok());
+  // Repro files carry the seed through a JSON double; it must fit in 53
+  // bits so parse(serialize(plan)) reproduces it exactly.
+  EXPECT_LT(plan.seed, uint64_t{1} << 53);
+}
+
+// The property the shrinker's repro emission stands on: a scenario
+// instance, saved and re-loaded through the CSV dataset path, replays the
+// exact same simulation bit for bit.
+TEST(ScenarioGenTest, DatasetRoundTripReplaysBitExact) {
+  for (uint64_t i = 0; i < 10; ++i) {
+    const Scenario s = DrawScenario(17, i);
+    auto instance = BuildScenarioInstance(s);
+    ASSERT_TRUE(instance.ok());
+    const std::string prefix =
+        testing::TempDir() + "/scenario_roundtrip_" + std::to_string(i);
+    ASSERT_TRUE(SaveInstance(*instance, prefix).ok());
+    auto loaded = LoadInstance(prefix);
+    ASSERT_TRUE(loaded.ok()) << s.Describe();
+
+    for (MatcherKind kind : kAllMatcherKinds) {
+      auto a = RunMatcherOnInstance(kind, s, *instance);
+      auto b = RunMatcherOnInstance(kind, s, *loaded);
+      ASSERT_TRUE(a.ok() && b.ok()) << s.Describe();
+      EXPECT_EQ(a->result.matching.total_revenue,
+                b->result.matching.total_revenue)
+          << MatcherKindName(kind) << " " << s.Describe();
+      ASSERT_EQ(a->result.matching.assignments.size(),
+                b->result.matching.assignments.size());
+      for (size_t k = 0; k < a->result.matching.assignments.size(); ++k) {
+        EXPECT_EQ(a->result.matching.assignments[k].worker,
+                  b->result.matching.assignments[k].worker);
+        EXPECT_EQ(a->result.matching.assignments[k].revenue,
+                  b->result.matching.assignments[k].revenue);
+      }
+    }
+    std::remove((prefix + ".workers.csv").c_str());
+    std::remove((prefix + ".requests.csv").c_str());
+  }
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace comx

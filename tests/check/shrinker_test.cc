@@ -1,0 +1,100 @@
+#include "check/shrinker.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace comx {
+namespace check {
+namespace {
+
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+
+Instance NoisyInstance(int extra_pairs) {
+  Instance ins;
+  for (int i = 0; i < extra_pairs; ++i) {
+    ins.AddWorker(MakeWorker(0, 1.0 + i, i * 0.1, 0.0, 1.0));
+    ins.AddRequest(MakeRequest(0, 2.0 + i, i * 0.1, 0.0, 5.0));
+  }
+  // The one entity the predicate cares about.
+  ins.AddRequest(MakeRequest(0, 50.0, 0.0, 0.0, 999.0));
+  ins.BuildEvents();
+  return ins;
+}
+
+bool HasExpensiveRequest(const Instance& ins) {
+  for (const Request& r : ins.requests()) {
+    if (r.value > 500.0) return true;
+  }
+  return false;
+}
+
+TEST(ShrinkerTest, ShrinksToTheSingleCulprit) {
+  const Instance ins = NoisyInstance(12);
+  const ShrinkResult result =
+      ShrinkInstance(ins, HasExpensiveRequest, ShrinkOptions{});
+  EXPECT_EQ(result.entities_before, 25);
+  EXPECT_EQ(result.entities_after, 1);
+  EXPECT_FALSE(result.budget_exhausted);
+  ASSERT_EQ(result.instance.requests().size(), 1u);
+  EXPECT_EQ(result.instance.workers().size(), 0u);
+  EXPECT_EQ(result.instance.requests()[0].value, 999.0);
+  // Dense renumbering + rebuilt events.
+  EXPECT_EQ(result.instance.requests()[0].id, 0);
+  EXPECT_EQ(result.instance.events().size(), 1u);
+  EXPECT_TRUE(result.instance.Validate().ok());
+  EXPECT_GT(result.probes, 1);
+}
+
+TEST(ShrinkerTest, NonFailingInputReturnsUnchanged) {
+  const Instance ins = NoisyInstance(3);
+  const ShrinkResult result = ShrinkInstance(
+      ins, [](const Instance&) { return false; }, ShrinkOptions{});
+  EXPECT_EQ(result.entities_after, result.entities_before);
+  EXPECT_EQ(result.instance.workers().size(), ins.workers().size());
+  EXPECT_EQ(result.instance.requests().size(), ins.requests().size());
+  EXPECT_EQ(result.probes, 1);  // the verification probe only
+}
+
+TEST(ShrinkerTest, ProbeBudgetStopsTheSearch) {
+  const Instance ins = NoisyInstance(12);
+  ShrinkOptions options;
+  options.max_probes = 2;  // verification + one attempt
+  const ShrinkResult result =
+      ShrinkInstance(ins, HasExpensiveRequest, options);
+  EXPECT_TRUE(result.budget_exhausted);
+  // Whatever was kept must still fail.
+  EXPECT_TRUE(HasExpensiveRequest(result.instance));
+}
+
+TEST(ShrinkerTest, ResultAlwaysReproducesTheFailure) {
+  for (int pairs : {1, 5, 9}) {
+    const Instance ins = NoisyInstance(pairs);
+    const ShrinkResult result =
+        ShrinkInstance(ins, HasExpensiveRequest, ShrinkOptions{});
+    EXPECT_TRUE(HasExpensiveRequest(result.instance)) << pairs;
+    EXPECT_TRUE(result.instance.Validate().ok()) << pairs;
+  }
+}
+
+TEST(ShrinkerTest, RemoveEntitiesRenumbersDensely) {
+  const Instance ins = NoisyInstance(3);  // 3 workers, 4 requests
+  std::vector<char> keep_w = {1, 0, 1};
+  std::vector<char> keep_r = {0, 1, 0, 1};
+  const Instance out = RemoveEntities(ins, keep_w, keep_r);
+  ASSERT_EQ(out.workers().size(), 2u);
+  ASSERT_EQ(out.requests().size(), 2u);
+  EXPECT_EQ(out.workers()[0].id, 0);
+  EXPECT_EQ(out.workers()[1].id, 1);
+  EXPECT_EQ(out.requests()[1].id, 1);
+  // Survivors keep their payloads: worker 1 here was worker 2 before.
+  EXPECT_EQ(out.workers()[1].time, 3.0);
+  EXPECT_EQ(out.requests()[1].value, 999.0);
+  EXPECT_EQ(out.events().size(), 4u);
+  EXPECT_TRUE(out.Validate().ok());
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace comx

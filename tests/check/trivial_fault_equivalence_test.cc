@@ -1,0 +1,76 @@
+// Satellite property: a FaultInjector driven by a *trivial* plan (nothing
+// can ever fire) must be bit-identical to running with no plan at all, for
+// every matcher, across 100 fuzz-generated seeds. This pins the
+// fault/fault_injector.h contract that trivial specs consume zero RNG
+// draws — any accidental draw would desynchronize the matcher RNG streams
+// and show up here as a revenue diff.
+
+#include <gtest/gtest.h>
+
+#include "check/fuzz_driver.h"
+#include "check/scenario_gen.h"
+#include "exp/sweep_runner.h"
+
+namespace comx {
+namespace check {
+namespace {
+
+void ExpectBitIdentical(const MatcherRunOutput& a, const MatcherRunOutput& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.result.matching.assignments.size(),
+            b.result.matching.assignments.size())
+      << context;
+  for (size_t i = 0; i < a.result.matching.assignments.size(); ++i) {
+    const Assignment& x = a.result.matching.assignments[i];
+    const Assignment& y = b.result.matching.assignments[i];
+    EXPECT_EQ(x.request, y.request) << context;
+    EXPECT_EQ(x.worker, y.worker) << context;
+    EXPECT_EQ(x.is_outer, y.is_outer) << context;
+    EXPECT_EQ(x.outer_payment, y.outer_payment) << context;
+    EXPECT_EQ(x.revenue, y.revenue) << context;
+  }
+  EXPECT_EQ(a.result.matching.total_revenue,
+            b.result.matching.total_revenue)
+      << context;
+  ASSERT_EQ(a.trace.size(), b.trace.size()) << context;
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].outcome, b.trace[i].outcome) << context;
+    EXPECT_EQ(a.trace[i].payment, b.trace[i].payment) << context;
+    EXPECT_EQ(a.trace[i].revenue, b.trace[i].revenue) << context;
+  }
+}
+
+TEST(TrivialFaultEquivalenceTest, HundredSeedsBitExact) {
+  for (uint64_t i = 0; i < 100; ++i) {
+    Scenario scenario = DrawScenario(404, i);
+    // Force a cooperative setting so outer queries (the only path that
+    // even consults the injector) actually happen.
+    if (scenario.gen.platforms < 2) scenario.gen.platforms = 2;
+
+    Scenario with_plan = scenario;
+    Rng plan_rng = exp::JobRng(505, i);
+    with_plan.with_fault_plan = true;
+    with_plan.fault_plan =
+        DrawTrivialFaultPlan(&plan_rng, scenario.gen.platforms);
+    ASSERT_TRUE(with_plan.fault_plan.Trivial());
+
+    Scenario without_plan = scenario;
+    without_plan.with_fault_plan = false;
+
+    auto instance = BuildScenarioInstance(scenario);
+    ASSERT_TRUE(instance.ok()) << scenario.Describe();
+
+    for (MatcherKind kind : kAllMatcherKinds) {
+      auto a = RunMatcherOnInstance(kind, with_plan, *instance);
+      auto b = RunMatcherOnInstance(kind, without_plan, *instance);
+      ASSERT_TRUE(a.ok() && b.ok()) << scenario.Describe();
+      ExpectBitIdentical(*a, *b,
+                         std::string(MatcherKindName(kind)) + " seed " +
+                             std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace comx

@@ -1,0 +1,153 @@
+#include "core/brute_force.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "matching/hungarian.h"
+#include "testing/builders.h"
+#include "util/rng.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+using testing_fixtures::PaperExample;
+
+TEST(BruteForceTest, MatchesHungarianOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    Rng rng(seed);
+    const int32_t left = static_cast<int32_t>(rng.UniformInt(0, 6));
+    const int32_t right = static_cast<int32_t>(rng.UniformInt(0, 6));
+    BipartiteGraph graph(left, right);
+    for (int32_t l = 0; l < left; ++l) {
+      for (int32_t r = 0; r < right; ++r) {
+        if (rng.Bernoulli(0.5)) {
+          ASSERT_TRUE(graph.AddEdge(l, r, rng.Uniform(0.0, 10.0)).ok());
+        }
+      }
+    }
+    auto brute = BruteForceMaxWeight(graph);
+    auto hungarian = HungarianMaxWeight(graph);
+    ASSERT_TRUE(brute.ok() && hungarian.ok()) << "seed " << seed;
+    EXPECT_NEAR(brute->total_weight, hungarian->total_weight, 1e-9)
+        << "seed " << seed << " " << left << "x" << right;
+    EXPECT_EQ(brute->size, hungarian->size) << "seed " << seed;
+  }
+}
+
+TEST(BruteForceTest, EmptyGraphYieldsEmptyMatching) {
+  const BipartiteGraph graph(3, 2);  // vertices, no edges
+  auto brute = BruteForceMaxWeight(graph);
+  ASSERT_TRUE(brute.ok());
+  EXPECT_EQ(brute->size, 0);
+  EXPECT_EQ(brute->total_weight, 0.0);
+}
+
+TEST(BruteForceTest, RefusesOversizeGraphs) {
+  EXPECT_FALSE(BruteForceMaxWeight(BipartiteGraph(11, 2)).ok());
+  EXPECT_FALSE(BruteForceMaxWeight(BipartiteGraph(2, 21)).ok());
+  BruteForceLimits wide;
+  wide.max_left = 2;
+  wide.max_right = 2;
+  EXPECT_FALSE(BruteForceMaxWeight(BipartiteGraph(3, 2), wide).ok());
+}
+
+TEST(BruteForceTest, RefusesNegativeWeights) {
+  BipartiteGraph graph(1, 1);
+  ASSERT_TRUE(graph.AddEdge(0, 0, -1.0).ok());
+  EXPECT_FALSE(BruteForceMaxWeight(graph).ok());
+}
+
+TEST(BruteForceOfflineTest, MatchesProductionOffOnPaperExample) {
+  const Instance ins = PaperExample();
+  auto off = SolveOffline(ins, 0);
+  auto brute = SolveOfflineBruteForce(ins, 0);
+  ASSERT_TRUE(off.ok() && brute.ok());
+  EXPECT_EQ(brute->solver, "brute_force");
+  // Same graph, same reservation draws, both exact: equality, not a
+  // tolerance band (the paper example's OFF revenue is 21).
+  EXPECT_NEAR(brute->matching.total_revenue, off->matching.total_revenue,
+              1e-9);
+  EXPECT_NEAR(brute->matching.total_revenue, 21.0, 1e-9);
+}
+
+TEST(BruteForceOfflineTest, MatchesProductionOffOnRandomTinyInstances) {
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(1000 + seed);
+    Instance ins;
+    const int workers = static_cast<int>(rng.UniformInt(0, 8));
+    const int requests = static_cast<int>(rng.UniformInt(0, 8));
+    for (int i = 0; i < workers; ++i) {
+      ins.AddWorker(MakeWorker(static_cast<PlatformId>(rng.UniformInt(0, 2)),
+                               rng.Uniform(0.0, 100.0),
+                               rng.Uniform(0.0, 3.0), rng.Uniform(0.0, 3.0),
+                               rng.Uniform(0.5, 3.0),
+                               {rng.Uniform(1.0, 8.0)}));
+    }
+    for (int i = 0; i < requests; ++i) {
+      ins.AddRequest(MakeRequest(0, rng.Uniform(0.0, 100.0),
+                                 rng.Uniform(0.0, 3.0),
+                                 rng.Uniform(0.0, 3.0),
+                                 rng.Uniform(1.0, 10.0)));
+    }
+    ins.BuildEvents();
+    OfflineConfig config;
+    config.seed = seed * 31 + 7;
+    auto off = SolveOffline(ins, 0, config);
+    auto brute = SolveOfflineBruteForce(ins, 0, config);
+    ASSERT_TRUE(off.ok() && brute.ok()) << "seed " << seed;
+    EXPECT_NEAR(brute->matching.total_revenue, off->matching.total_revenue,
+                1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(BruteForceOfflineTest, ArrivalOrderFeasibilityEdges) {
+  // A worker arriving strictly after the request cannot serve it, even in
+  // hindsight (Section II-B keeps the time constraint): both exact solvers
+  // must agree the instance is worth zero.
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 5.0, 0.0, 0.0, 2.0));
+  ins.AddRequest(MakeRequest(0, 3.0, 0.1, 0.0, 7.0));
+  ins.BuildEvents();
+  auto off = SolveOffline(ins, 0);
+  auto brute = SolveOfflineBruteForce(ins, 0);
+  ASSERT_TRUE(off.ok() && brute.ok());
+  EXPECT_EQ(brute->matching.total_revenue, 0.0);
+  EXPECT_EQ(off->matching.total_revenue, 0.0);
+  EXPECT_EQ(brute->edge_count, 0);
+
+  // Flip the arrival order and the edge appears for both.
+  Instance flipped;
+  flipped.AddWorker(MakeWorker(0, 1.0, 0.0, 0.0, 2.0));
+  flipped.AddRequest(MakeRequest(0, 3.0, 0.1, 0.0, 7.0));
+  flipped.BuildEvents();
+  auto off2 = SolveOffline(flipped, 0);
+  auto brute2 = SolveOfflineBruteForce(flipped, 0);
+  ASSERT_TRUE(off2.ok() && brute2.ok());
+  EXPECT_NEAR(brute2->matching.total_revenue, 7.0, 1e-12);
+  EXPECT_NEAR(off2->matching.total_revenue, 7.0, 1e-12);
+}
+
+TEST(BruteForceOfflineTest, RefusesCapacityAboveOne) {
+  OfflineConfig config;
+  config.worker_capacity = 2;
+  EXPECT_FALSE(SolveOfflineBruteForce(PaperExample(), 0, config).ok());
+}
+
+TEST(BruteForceOfflineTest, RefusesOversizeInstances) {
+  Instance ins;
+  for (int i = 0; i < 12; ++i) {
+    ins.AddWorker(MakeWorker(0, 1.0, 0.0, 0.0, 1.0));
+  }
+  ins.AddRequest(MakeRequest(0, 2.0, 0.0, 0.0, 5.0));
+  ins.BuildEvents();
+  BruteForceLimits limits;
+  limits.max_right = 10;
+  EXPECT_FALSE(SolveOfflineBruteForce(ins, 0, {}, limits).ok());
+}
+
+}  // namespace
+}  // namespace comx

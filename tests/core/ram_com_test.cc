@@ -1,6 +1,7 @@
 #include "core/ram_com.h"
 
 #include <cmath>
+#include <iterator>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -32,6 +33,49 @@ TEST(RamComTest, ThresholdIsPowerOfEBelowTheta) {
     seen.insert(ram.threshold());
   }
   EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RamComTest, ThetaForEdgeCases) {
+  // theta = max(1, ceil(ln(max_value + 1))), so degenerate value
+  // distributions still get a valid one-arm lottery.
+  EXPECT_EQ(RamCom::ThetaFor(0.0), 1);
+  EXPECT_EQ(RamCom::ThetaFor(1.0), 1);  // ceil(ln 2) = 1
+  EXPECT_EQ(RamCom::ThetaFor(100.0), 5);  // ceil(ln 101) = 5
+}
+
+TEST(RamComTest, ZeroValueInstancePinsThresholdToOne) {
+  // All request values 0 -> theta = 1 -> the only arm is k = 0, so the
+  // threshold is e^0 = 1 for every seed.
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0.0, 0, 2.0));
+  ins.AddRequest(MakeRequest(0, 2, 0, 0, 0.0));
+  ins.AddRequest(MakeRequest(0, 3, 0, 0, 0.0));
+  ins.BuildEvents();
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    RamCom ram;
+    ram.Reset(ins, 0, seed);
+    EXPECT_DOUBLE_EQ(ram.threshold(), 1.0) << "seed " << seed;
+  }
+}
+
+TEST(RamComTest, AllEqualValuesDrawBothArms) {
+  // Uniform value 5 -> theta = ceil(ln 6) = 2: the lottery has exactly the
+  // arms {e^0, e^1} and a fair sample of seeds must hit both.
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0.0, 0, 2.0));
+  for (int i = 0; i < 4; ++i) {
+    ins.AddRequest(MakeRequest(0, 2.0 + i, 0, 0, 5.0));
+  }
+  ins.BuildEvents();
+  std::set<double> seen;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    RamCom ram;
+    ram.Reset(ins, 0, seed);
+    seen.insert(ram.threshold());
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(*seen.begin(), 1.0);
+  EXPECT_DOUBLE_EQ(*std::next(seen.begin()), std::exp(1.0));
 }
 
 TEST(RamComTest, HighValueRequestGoesToInnerWorker) {

@@ -204,6 +204,74 @@ TEST(DatasetTest, RejectsUnterminatedQuoteWithLineNumber) {
       << s.ToString();
 }
 
+// A corpus of malformed rows in the spirit of a fuzzer's crash directory:
+// every one must be rejected with an error, never crash or silently load.
+// New repro files from comx_fuzz travel through this same loader, so this
+// is the safety net for hand-edited repros too.
+TEST(DatasetTest, FuzzCorpusOfMalformedWorkerRowsAllRejected) {
+  const std::vector<std::string> corpus = {
+      "0,0,inf,0,0,1.0,2.0",            // non-finite arrival time
+      "0,0,nan,0,0,1.0,2.0",            // NaN arrival time
+      "0,0,1.0,nan,0,1.0,2.0",          // NaN coordinate
+      "0,0,1.0,0,-inf,1.0,2.0",         // -inf coordinate
+      "0,99999999999,1.0,0,0,1.0,2.0",  // platform id overflows int32
+      "0,-1,1.0,0,0,1.0,2.0",           // negative platform id
+      "0,0,1.0,0,0,-1.0,2.0",           // negative radius
+      "0,0,1.0,0,0,nan,2.0",            // NaN radius
+      "0,0,1.0,0,0,1.0,0.0",            // non-positive history fare
+      "0,0,1.0,0,0,1.0,2.0;nan",        // NaN inside the history list
+      "0,0,1.0,0,0,1.0,2.0;",           // trailing empty history entry
+      "0,0,1.0,0,0,1.0,2.0,extra",      // eight fields
+      "\"0,0,1.0,0,0,1.0,2.0",          // unterminated quote
+      ",0,1.0,0,0,1.0,2.0",             // empty id field
+      "1,0,1.0,0,0,1.0,2.0",            // non-dense id
+  };
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const Status s = LoadWith(TempPrefix("worker_corpus_" + std::to_string(i)),
+                              corpus[i], kGoodRequest);
+    EXPECT_FALSE(s.ok()) << "corpus[" << i << "] = " << corpus[i];
+  }
+}
+
+TEST(DatasetTest, FuzzCorpusOfMalformedRequestRowsAllRejected) {
+  const std::vector<std::string> corpus = {
+      "0,0,inf,0,0,5.0",            // non-finite arrival time
+      "0,0,2.0,1e300,0,5.0",        // coordinate beyond the sanity bound
+      "0,99999999999,2.0,0,0,5.0",  // platform id overflows int32
+      "0,0,2.0,0,0,0.0",            // zero value
+      "0,0,2.0,0,0,inf",            // infinite value
+      "0,0,2.0,0,0",                // five fields
+      "0,0,2.0,0,0,5.0,extra",      // seven fields
+      "0,0,2.0,0,0,\"5.0",          // unterminated quote
+      "2,0,2.0,0,0,5.0",            // non-dense id
+  };
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const Status s =
+        LoadWith(TempPrefix("request_corpus_" + std::to_string(i)),
+                 kGoodWorker, corpus[i]);
+    EXPECT_FALSE(s.ok()) << "corpus[" << i << "] = " << corpus[i];
+  }
+}
+
+TEST(DatasetTest, QuotedFieldsAreUnwrappedNotRejected) {
+  // RFC-style quoting is legal: a repro edited in a spreadsheet that quotes
+  // every cell must still load, with values parsed from inside the quotes.
+  const std::string prefix = TempPrefix("quoted_ok");
+  {
+    std::ofstream w(prefix + ".workers.csv");
+    w << "id,platform,time,x,y,radius,history\n"
+      << "\"0\",\"0\",\"1.0\",\"0\",\"0\",\"1.5\",\"2.0;3.0\"\n";
+    std::ofstream r(prefix + ".requests.csv");
+    r << "id,platform,time,x,y,value\n\"0\",\"0\",\"2.0\",\"0\",\"0\",\"5.0\"\n";
+  }
+  auto loaded = LoadInstance(prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_DOUBLE_EQ(loaded->workers()[0].radius, 1.5);
+  ASSERT_EQ(loaded->workers()[0].history.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->requests()[0].value, 5.0);
+  Cleanup(prefix);
+}
+
 TEST(DatasetTest, EmptyHistorySurvivesRoundTrip) {
   const std::string prefix = TempPrefix("empty_history");
   Instance ins;

@@ -92,6 +92,36 @@ TEST(MinPaymentTest, MoreCandidatesLowerTheQuote) {
   EXPECT_LT(q_many.payment, q_one.payment);
 }
 
+TEST(MinPaymentTest, QuoteIsMonotoneNonIncreasingInCandidateCount) {
+  // Algorithm 2 property: adding candidates can only make the cheapest
+  // acceptable payment easier to find. Step acceptance histories (one entry
+  // per worker) make each worker's accept/reject deterministic in the probed
+  // payment, so the bisection outcome depends only on the candidate set and
+  // the quotes across growing prefixes must be non-increasing up to the
+  // xi * v discretization band.
+  const Instance ins = WorkersWithHistories({{8.0}, {6.0}, {4.0}, {2.0}});
+  const AcceptanceModel model(ins);
+  MinPaymentConfig config;
+  config.xi = 0.02;  // band = 0.2 on v = 10
+  const double band = config.xi * 10.0;
+  double previous = 1e18;
+  for (size_t count = 1; count <= 4; ++count) {
+    std::vector<WorkerId> candidates;
+    for (size_t i = 0; i < count; ++i) {
+      candidates.push_back(static_cast<WorkerId>(i));
+    }
+    Rng rng(11);  // fresh stream per estimate: same draws, larger pool
+    const auto est =
+        EstimateMinOuterPayment(model, candidates, 10.0, config, &rng);
+    EXPECT_LE(est.payment, previous + band)
+        << "quote rose when candidate " << count - 1 << " joined";
+    // The cheapest worker in the prefix bounds the quote from below.
+    const double cheapest = 8.0 - 2.0 * (count - 1);
+    EXPECT_GE(est.payment, cheapest - band - 1e-9);
+    previous = est.payment;
+  }
+}
+
 TEST(MinPaymentTest, QuoteWithinValueBandWhenSomeoneAccepts) {
   const Instance ins = WorkersWithHistories({{3.0, 6.0, 9.0}});
   const AcceptanceModel model(ins);

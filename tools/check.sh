@@ -1,29 +1,33 @@
 #!/usr/bin/env bash
-# Tier-1 gate: three stages, strictest first.
+# Tier-1 gate: four stages, strictest first.
 #
 #   1. asan-ubsan — full test suite under AddressSanitizer + UBSan.
 #   2. tsan       — the concurrency surface (thread pool, sweep engine)
 #                   under ThreadSanitizer.
 #   3. bench      — release bench_sweep reproduced against the committed
 #                   BENCH_sweep.json baseline via bench_check.
+#   4. fuzz       — comx_fuzz --smoke: 200 seeded scenarios through every
+#                   matcher with the constraint/differential oracles on
+#                   (see TESTING.md).
 #
 # Usage: tools/check.sh [extra ctest args...]
 #   tools/check.sh              # everything
 #   tools/check.sh -L fault     # pass-through filter for the asan stage
-# Set COMX_CHECK_SKIP_TSAN=1 / COMX_CHECK_SKIP_BENCH=1 to skip a stage.
+# Set COMX_CHECK_SKIP_TSAN=1 / COMX_CHECK_SKIP_BENCH=1 /
+# COMX_CHECK_SKIP_FUZZ=1 to skip a stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== stage 1/3: asan-ubsan test suite =="
+echo "== stage 1/4: asan-ubsan test suite =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${JOBS}"
 ctest --preset asan-ubsan -j "${JOBS}" "$@"
 
 if [[ "${COMX_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "== stage 2/3: thread pool + sweep engine under TSan =="
+  echo "== stage 2/4: thread pool + sweep engine under TSan =="
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}" \
     --target comx_util_test comx_exp_test
@@ -31,11 +35,11 @@ if [[ "${COMX_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
     --gtest_filter='ThreadPoolTest.*:ParallelForTest.*'
   ./build-tsan/tests/comx_exp_test
 else
-  echo "== stage 2/3: skipped (COMX_CHECK_SKIP_TSAN=1) =="
+  echo "== stage 2/4: skipped (COMX_CHECK_SKIP_TSAN=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
-  echo "== stage 3/3: BENCH baseline reproduction =="
+  echo "== stage 3/4: BENCH baseline reproduction =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target bench_sweep bench_check
   SWEEP_OUT="$(mktemp /tmp/comx_bench_sweep.XXXXXX.json)"
@@ -44,7 +48,16 @@ if [[ "${COMX_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
   ./build/tools/bench_check --baseline BENCH_sweep.json \
     --current "${SWEEP_OUT}"
 else
-  echo "== stage 3/3: skipped (COMX_CHECK_SKIP_BENCH=1) =="
+  echo "== stage 3/4: skipped (COMX_CHECK_SKIP_BENCH=1) =="
+fi
+
+if [[ "${COMX_CHECK_SKIP_FUZZ:-0}" != "1" ]]; then
+  echo "== stage 4/4: comx_fuzz smoke (200 scenarios, all matchers) =="
+  cmake --preset release
+  cmake --build --preset release -j "${JOBS}" --target comx_fuzz
+  ./build/tools/comx_fuzz --smoke
+else
+  echo "== stage 4/4: skipped (COMX_CHECK_SKIP_FUZZ=1) =="
 fi
 
 echo "check.sh: all stages passed"

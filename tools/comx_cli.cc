@@ -11,9 +11,15 @@
 //                     [--scale X] [--seed S]
 //   comx_cli info     --data PREFIX
 //   comx_cli run      --data PREFIX --algo ALGO [--seeds N] [--no-recycle]
+//                     [--sim-seed S] [--acceptance bernoulli|reservation]
+//                     [--reservation-seed S] [--speed-kmh V]
+//                     [--base-service-s V] [--service-s-per-value V]
 //                     [--save-matching OUT.csv] [--fault-plan PLAN.jsonl]
 //                     [--trace-out TRACE.jsonl] [--metrics-out FILE]
 //                     [--metrics-format prom|json]
+//                     --sim-seed runs one simulation with exactly that seed
+//                     (the comx_fuzz repro replay path); the physics /
+//                     acceptance flags mirror SimConfig.
 //                     (ALGO: tota, ranking, greedyrt, demcom, ramcom,
 //                      costdem)
 //                     --trace-out records every first-seed decision as one
@@ -207,8 +213,35 @@ int CmdRun(int argc, char** argv) {
   auto instance = LoadInstance(data);
   if (!instance.ok()) return Fail(instance.status());
   const int seeds = static_cast<int>(IntFlag(argc, argv, "--seeds", 3));
+  // --sim-seed S runs exactly one simulation with that seed (instead of the
+  // 1..--seeds sweep) — how comx_fuzz repro commands replay a failing run
+  // bit for bit.
+  const char* sim_seed_flag = FlagValue(argc, argv, "--sim-seed");
   SimConfig sim;
   sim.workers_recycle = !HasFlag(argc, argv, "--no-recycle");
+  sim.speed_kmh = DoubleFlag(argc, argv, "--speed-kmh", sim.speed_kmh);
+  sim.base_service_seconds =
+      DoubleFlag(argc, argv, "--base-service-s", sim.base_service_seconds);
+  sim.service_seconds_per_value = DoubleFlag(
+      argc, argv, "--service-s-per-value", sim.service_seconds_per_value);
+  if (const char* acceptance = FlagValue(argc, argv, "--acceptance");
+      acceptance != nullptr) {
+    const std::string mode = acceptance;
+    if (mode == "bernoulli") {
+      sim.acceptance_mode = AcceptanceMode::kBernoulli;
+    } else if (mode == "reservation") {
+      sim.acceptance_mode = AcceptanceMode::kReservation;
+    } else {
+      std::fprintf(stderr,
+                   "run: --acceptance must be bernoulli|reservation\n");
+      return 2;
+    }
+  }
+  // Seeds are full-range uint64 (strtoull, not atoll).
+  if (const char* rs = FlagValue(argc, argv, "--reservation-seed");
+      rs != nullptr) {
+    sim.reservation_seed = std::strtoull(rs, nullptr, 10);
+  }
   // The plan must outlive every RunSimulation call; SimConfig only borrows.
   fault::FaultPlan fault_plan;
   if (const char* plan_path = FlagValue(argc, argv, "--fault-plan");
@@ -244,7 +277,8 @@ int CmdRun(int argc, char** argv) {
   fault::FaultSessionStats fault_totals;
   std::vector<PlatformMetrics> per_platform(
       static_cast<size_t>(instance->PlatformCount()));
-  for (int s = 1; s <= seeds; ++s) {
+  const int run_count = sim_seed_flag != nullptr ? 1 : seeds;
+  for (int s = 1; s <= run_count; ++s) {
     std::vector<std::unique_ptr<OnlineMatcher>> owned;
     std::vector<OnlineMatcher*> matchers;
     for (PlatformId p = 0; p < instance->PlatformCount(); ++p) {
@@ -257,8 +291,10 @@ int CmdRun(int argc, char** argv) {
     }
     // Like --save-matching, the decision trace covers the first seed only.
     sim.trace = (s == 1) ? trace.get() : nullptr;
-    auto result = RunSimulation(*instance, matchers, sim,
-                                static_cast<uint64_t>(s));
+    const uint64_t run_seed =
+        sim_seed_flag != nullptr ? std::strtoull(sim_seed_flag, nullptr, 10)
+                                 : static_cast<uint64_t>(s);
+    auto result = RunSimulation(*instance, matchers, sim, run_seed);
     if (!result.ok()) return Fail(result.status());
     for (size_t p = 0; p < per_platform.size(); ++p) {
       per_platform[p].Merge(result->metrics.per_platform[p]);
@@ -276,7 +312,7 @@ int CmdRun(int argc, char** argv) {
   }
   std::printf("%s over %d seed(s) (counts/revenues are TOTALS across "
               "seeds), recycle=%s:\n",
-              algo, seeds, sim.workers_recycle ? "on" : "off");
+              algo, run_count, sim.workers_recycle ? "on" : "off");
   for (size_t p = 0; p < per_platform.size(); ++p) {
     std::printf("  platform %zu: %s\n", p, per_platform[p].ToString().c_str());
   }
