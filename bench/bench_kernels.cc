@@ -1,0 +1,311 @@
+// Microbenchmark of the kernel layer (src/kernels/) backing the committed
+// BENCH_kernels.json baseline. For each batch size (1k / 10k / 100k points)
+// it times the batched kernels on the scalar backend and on the dispatched
+// (cpuid-selected) backend, next to the historical per-call paths they
+// replaced, and emits one flat JSON record per (op, path, size).
+//
+// Deterministic fields — "checksum" (fixed-order sum over seeded inputs),
+// "n", "survivors" — are identical on every host and backend (the kernel
+// layer's bit-identity contract), so tools/bench_check gates them exactly
+// like the sweep baseline. Timing fields (wall_, runs_per_sec, speedup_)
+// are informational.
+//
+//   bench_kernels [--smoke] [--out PATH]
+//
+// --smoke shrinks the timing repetitions (the checksums are unaffected) so
+// the tier-1 gate stays fast.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common.h"
+#include "exp/bench_record.h"
+#include "geo/distance.h"
+#include "kernels/dispatch.h"
+#include "kernels/ecdf_batch.h"
+#include "kernels/geo_kernels.h"
+#include "pricing/history.h"
+#include "util/memory_meter.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace comx;
+
+const char* ArgString(int argc, char** argv, const std::string& flag,
+                      const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+// Defeats dead-code elimination of the timed kernel outputs.
+volatile double g_sink = 0.0;
+
+// Seconds per pass over the batch: runs `f` in groups sized so one
+// measurement covers ~`target_elems` elements, repeated `reps` times, and
+// keeps the fastest group (standard best-of-N to shed scheduler noise).
+template <typename F>
+double BestSecondsPerPass(F&& f, size_t n, size_t target_elems, int reps) {
+  const int iters =
+      static_cast<int>(std::max<size_t>(1, target_elems / std::max<size_t>(n, 1)));
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch clock;
+    for (int i = 0; i < iters; ++i) f();
+    const double secs =
+        static_cast<double>(clock.ElapsedNanos()) / 1e9 / iters;
+    if (r == 0 || secs < best) best = secs;
+  }
+  return best;
+}
+
+// Deterministic per-size inputs, all drawn from one fixed-seed stream.
+struct Inputs {
+  // Geodetic batch (Chengdu-like bounding box) + query point.
+  kernels::GeoTrigBatch trig;
+  std::vector<double> lat, lon;
+  double q_lat = 30.66, q_lon = 104.06;
+  // Planar points + per-point service radius² around a probe center.
+  std::vector<double> xs, ys, radius2;
+  double cx = 0.3, cy = -0.2, range2 = 36.0;
+  // ECDF candidate ids + offered payment over a shared worker table.
+  std::vector<int64_t> ids;
+  double payment = 27.5;
+};
+
+Inputs MakeInputs(size_t n, size_t worker_count) {
+  Inputs in;
+  Rng rng(2020 + static_cast<uint64_t>(n));
+  in.trig.Reserve(n);
+  in.lat.reserve(n);
+  in.lon.reserve(n);
+  in.xs.reserve(n);
+  in.ys.reserve(n);
+  in.radius2.reserve(n);
+  in.ids.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double lat = rng.Uniform(30.0, 31.5);
+    const double lon = rng.Uniform(104.0, 105.5);
+    in.lat.push_back(lat);
+    in.lon.push_back(lon);
+    in.trig.Add(lat, lon);
+    in.xs.push_back(rng.Uniform(-15.0, 15.0));
+    in.ys.push_back(rng.Uniform(-15.0, 15.0));
+    const double radius = rng.Uniform(1.0, 8.0);
+    in.radius2.push_back(radius * radius);
+    in.ids.push_back(static_cast<int64_t>(i % worker_count));
+  }
+  return in;
+}
+
+struct Row {
+  exp::BenchRecord record;
+  double secs_per_pass = 0.0;
+};
+
+// One timed row: checksum from a single untimed pass (deterministic gate
+// value), then the timing loop.
+template <typename F>
+Row TimeRow(const std::string& name, size_t n, double checksum, F&& pass,
+            size_t target_elems, int reps) {
+  Row row;
+  pass();  // warm-up (and page in the output buffers)
+  row.secs_per_pass = BestSecondsPerPass(pass, n, target_elems, reps);
+  row.record.name = name;
+  row.record.numbers["n"] = static_cast<double>(n);
+  row.record.numbers["checksum"] = checksum;
+  row.record.numbers["wall_seconds_per_pass"] = row.secs_per_pass;
+  row.record.numbers["runs_per_sec"] =
+      row.secs_per_pass > 0.0
+          ? static_cast<double>(n) / row.secs_per_pass
+          : 0.0;
+  return row;
+}
+
+double Sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace comx;
+
+  const bool smoke = HasFlag(argc, argv, "--smoke");
+  const std::string out = ArgString(argc, argv, "--out", "BENCH_kernels.json");
+  const size_t target_elems = smoke ? 20'000 : 4'000'000;
+  const int reps = smoke ? 1 : 3;
+  constexpr size_t kWorkers = 512;
+
+  // Shared worker value-history table: the per-call path keeps one
+  // ValueHistory per worker (pointer-chased vectors), the batch path the
+  // flat EcdfIndex mirror — both built from identical draws.
+  Rng hist_rng(7);
+  std::vector<ValueHistory> histories;
+  kernels::EcdfIndex ecdf;
+  histories.reserve(kWorkers);
+  for (size_t w = 0; w < kWorkers; ++w) {
+    const int64_t len = hist_rng.UniformInt(0, 64);
+    std::vector<double> values;
+    values.reserve(static_cast<size_t>(len));
+    for (int64_t i = 0; i < len; ++i) {
+      values.push_back(hist_rng.Uniform(5.0, 60.0));
+    }
+    histories.emplace_back(std::move(values));
+    ecdf.AddWorker(histories.back().values().data(),
+                   histories.back().values().size());
+  }
+
+  Stopwatch wall;
+  std::vector<exp::BenchRecord> records;
+  const std::vector<size_t> sizes = {1000, 10000, 100000};
+  // Captured before any ForceBackendForTesting call so the "dispatch" rows
+  // always use the backend cpuid would pick, not whatever a previous row
+  // pinned.
+  const kernels::Backend auto_backend = kernels::ActiveBackend();
+  const std::vector<std::pair<const char*, kernels::Backend>> backends = {
+      {"scalar", kernels::Backend::kScalar}, {"dispatch", auto_backend}};
+  std::printf("bench_kernels: dispatched backend = %s%s\n",
+              kernels::BackendName(auto_backend), smoke ? " (smoke)" : "");
+
+  for (size_t n : sizes) {
+    const Inputs in = MakeInputs(n, kWorkers);
+    std::vector<double> buf(n);
+    std::vector<int32_t> idx(n);
+    std::vector<double> d2(n);
+
+    // -- haversine: per-call reference vs batched kernel per backend --
+    const auto haversine_percall = [&] {
+      for (size_t i = 0; i < n; ++i) {
+        buf[i] = HaversineKm(in.q_lat, in.q_lon, in.lat[i], in.lon[i]);
+      }
+      g_sink += buf[0] + buf[n - 1];
+    };
+    haversine_percall();
+    const double haversine_ref_checksum = Sum(buf);
+    Row percall =
+        TimeRow("kernels.haversine_percall.n" + std::to_string(n), n,
+                haversine_ref_checksum, haversine_percall, target_elems, reps);
+    const double percall_secs = percall.secs_per_pass;
+    records.push_back(std::move(percall.record));
+
+    const auto haversine_batch = [&] {
+      kernels::BatchHaversineKm(in.trig, in.q_lat, in.q_lon, buf.data());
+      g_sink += buf[0] + buf[n - 1];
+    };
+    for (const auto& [path, backend] : backends) {
+      kernels::ForceBackendForTesting(backend);
+      haversine_batch();
+      const double checksum = Sum(buf);
+      Row row = TimeRow("kernels.haversine_batch." + std::string(path) +
+                            ".n" + std::to_string(n),
+                        n, checksum, haversine_batch, target_elems, reps);
+      row.record.numbers["speedup_vs_percall"] =
+          row.secs_per_pass > 0.0 ? percall_secs / row.secs_per_pass : 0.0;
+      records.push_back(std::move(row.record));
+    }
+
+    // -- squared distance + fused filter per backend --
+    for (const auto& [path, backend] : backends) {
+      kernels::ForceBackendForTesting(backend);
+
+      const auto sqdist = [&] {
+        kernels::BatchSquaredDistance(in.xs.data(), in.ys.data(), n, in.cx,
+                                      in.cy, buf.data());
+        g_sink += buf[0] + buf[n - 1];
+      };
+      sqdist();
+      records.push_back(TimeRow("kernels.sqdist_batch." + std::string(path) +
+                                    ".n" + std::to_string(n),
+                                n, Sum(buf), sqdist, target_elems, reps)
+                            .record);
+
+      size_t survivors = 0;
+      const auto filter = [&] {
+        survivors = kernels::FilterInRange(in.xs.data(), in.ys.data(),
+                                           in.radius2.data(), n, in.cx, in.cy,
+                                           in.range2, idx.data(), d2.data());
+        g_sink += survivors > 0 ? d2[0] : 0.0;
+      };
+      filter();
+      double checksum = static_cast<double>(survivors);
+      for (size_t i = 0; i < survivors; ++i) {
+        checksum += static_cast<double>(idx[i]) + d2[i];
+      }
+      Row row = TimeRow("kernels.filter_range." + std::string(path) + ".n" +
+                            std::to_string(n),
+                        n, checksum, filter, target_elems, reps);
+      row.record.numbers["survivors"] = static_cast<double>(survivors);
+      records.push_back(std::move(row.record));
+    }
+    kernels::ResetDispatchForTesting();
+
+    // -- ECDF: per-call ValueHistory::Ecdf vs flat batched index --
+    const auto ecdf_percall = [&] {
+      for (size_t i = 0; i < n; ++i) {
+        buf[i] =
+            histories[static_cast<size_t>(in.ids[i])].Ecdf(in.payment);
+      }
+      g_sink += buf[0] + buf[n - 1];
+    };
+    ecdf_percall();
+    const double ecdf_checksum = Sum(buf);
+    Row ecdf_ref = TimeRow("kernels.ecdf_percall.n" + std::to_string(n), n,
+                           ecdf_checksum, ecdf_percall, target_elems, reps);
+    const double ecdf_percall_secs = ecdf_ref.secs_per_pass;
+    records.push_back(std::move(ecdf_ref.record));
+
+    const auto ecdf_batch = [&] {
+      ecdf.BatchEvaluate(in.ids.data(), n, in.payment, buf.data());
+      g_sink += buf[0] + buf[n - 1];
+    };
+    ecdf_batch();
+    Row ecdf_row = TimeRow("kernels.ecdf_batch.n" + std::to_string(n), n,
+                           Sum(buf), ecdf_batch, target_elems, reps);
+    ecdf_row.record.numbers["speedup_vs_percall"] =
+        ecdf_row.secs_per_pass > 0.0
+            ? ecdf_percall_secs / ecdf_row.secs_per_pass
+            : 0.0;
+    records.push_back(std::move(ecdf_row.record));
+
+    std::printf("n=%-7zu done\n", n);
+  }
+
+  exp::BenchRecord summary;
+  summary.name = "summary";
+  summary.numbers["rows"] = static_cast<double>(records.size());
+  summary.numbers["wall_seconds"] = wall.ElapsedNanos() / 1e9;
+  summary.numbers["rss_mb"] = static_cast<double>(CurrentRssBytes()) / 1e6;
+  records.push_back(std::move(summary));
+
+  if (Status st = exp::WriteBenchRecords(out, records); !st.ok()) {
+    std::fprintf(stderr, "write %s: %s\n", out.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  for (const exp::BenchRecord& r : records) {
+    const auto speedup = r.numbers.find("speedup_vs_percall");
+    if (speedup != r.numbers.end()) {
+      std::printf("  %-40s %8.2fx vs per-call\n", r.name.c_str(),
+                  speedup->second);
+    }
+  }
+  std::printf("wrote %s: %zu records in %.2fs\n", out.c_str(), records.size(),
+              wall.ElapsedNanos() / 1e9);
+  return 0;
+}

@@ -1,10 +1,13 @@
 // Canonical deterministic sweep backing the committed BENCH baseline
 // (BENCH_sweep.json at the repo root). Runs a small fixed parameter grid
-// (two synthetic workloads x {TOTA, DemCOM, RamCOM} x seeds) on the sweep
-// engine and writes one flat JSON record per (workload, algorithm) plus a
-// timing summary. Deterministic fields (revenue, completed, cooperative,
+// (two small synthetic workloads at --seeds seeds plus the single-seed
+// R100000_W20000 kernel-stress workload, each x {TOTA, DemCOM, RamCOM}) on
+// the sweep engine and writes one flat JSON record per (workload,
+// algorithm), a per-workload .timing record, and a summary over the two
+// small workloads. Deterministic fields (revenue, completed, cooperative,
 // acceptance, payment rate, logical memory) are identical at any --jobs
-// value; tools/bench_check diffs a fresh run against the baseline.
+// value; tools/bench_check diffs a fresh run against the baseline and
+// reports per-row runs_per_sec deltas.
 //
 //   bench_sweep [--jobs N] [--seeds N] [--out PATH]
 
@@ -34,6 +37,13 @@ struct Workload {
   int64_t requests_per_platform;
   int64_t workers_per_platform;
   double radius_km;
+  /// Seeds for this workload (the large stress row runs one seed; the
+  /// small rows keep the historical default unless --seeds overrides).
+  int seeds;
+  /// Whether the workload counts toward the "summary" record. The summary
+  /// covers exactly the two original small workloads so its runs_per_sec
+  /// stays comparable across baselines that predate the stress row.
+  bool in_summary;
 };
 
 }  // namespace
@@ -49,10 +59,13 @@ int main(int argc, char** argv) {
   // Sized so the default sweep finishes in seconds serially (the baseline
   // gate runs on every check) while still giving a multicore runner
   // parallel headroom. Workload totals are per-platform counts x 2
-  // platforms; R2500_W500 is the Table IV default.
+  // platforms; R2500_W500 is the Table IV default. R100000_W20000 is the
+  // kernel-layer stress row: large enough for the batched scans to matter,
+  // run at one seed to bound gate time.
   const std::vector<Workload> workloads = {
-      {"R1000_W200", 500, 100, 1.5},
-      {"R2500_W500", 1250, 250, 1.0},
+      {"R1000_W200", 500, 100, 1.5, seeds, true},
+      {"R2500_W500", 1250, 250, 1.0, seeds, true},
+      {"R100000_W20000", 50000, 10000, 1.0, 1, false},
   };
   const std::vector<bench::Algo> algos = {
       bench::Algo::kTota, bench::Algo::kDemCom, bench::Algo::kRamCom};
@@ -60,6 +73,8 @@ int main(int argc, char** argv) {
   Stopwatch wall;
   ThreadPool shared_pool(jobs > 1 ? static_cast<size_t>(jobs) : 1);
   std::vector<exp::BenchRecord> records;
+  double summary_seconds = 0.0;
+  double summary_runs = 0.0;
   for (const Workload& w : workloads) {
     SyntheticConfig gen;
     gen.requests_per_platform = {w.requests_per_platform};
@@ -73,14 +88,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     bench::TableRunConfig run;
-    run.seeds = seeds;
+    run.seeds = w.seeds;
     run.algos = algos;
     if (jobs > 1) run.pool = &shared_pool;
     run.sim.workers_recycle = true;
     // Response time is a wall-clock measurement (host- and load-
     // dependent); the baseline only records deterministic fields.
     run.sim.measure_response_time = false;
+    Stopwatch workload_wall;
     const std::vector<bench::Row> rows = bench::RunTable(*instance, run);
+    const double workload_seconds = workload_wall.ElapsedNanos() / 1e9;
     for (const bench::Row& row : rows) {
       exp::BenchRecord record;
       record.name = std::string(w.label) + "." + bench::AlgoName(row.algo);
@@ -94,16 +111,33 @@ int main(int argc, char** argv) {
       record.numbers["acceptance"] = row.acceptance;
       record.numbers["payment_rate"] = row.payment_rate;
       record.numbers["memory_mb"] = row.memory_mb;
-      record.numbers["seeds"] = static_cast<double>(seeds);
+      record.numbers["seeds"] = static_cast<double>(w.seeds);
       records.push_back(std::move(record));
     }
-    std::printf("%-12s done (%d seeds x %zu algos)\n", w.label, seeds,
-                algos.size());
+    // Per-workload timing row: bench_check reports the runs_per_sec delta
+    // per workload, so a regression localized to one size is visible even
+    // when the summary average hides it.
+    const double workload_runs =
+        static_cast<double>(algos.size()) * static_cast<double>(w.seeds);
+    exp::BenchRecord timing;
+    timing.name = std::string(w.label) + ".timing";
+    timing.numbers["runs"] = workload_runs;
+    timing.numbers["wall_seconds"] = workload_seconds;
+    timing.numbers["runs_per_sec"] =
+        workload_seconds > 0.0 ? workload_runs / workload_seconds : 0.0;
+    records.push_back(std::move(timing));
+    if (w.in_summary) {
+      summary_seconds += workload_seconds;
+      summary_runs += workload_runs;
+    }
+    std::printf("%-15s done (%d seeds x %zu algos, %.2fs)\n", w.label,
+                w.seeds, algos.size(), workload_seconds);
   }
 
-  const double wall_seconds = wall.ElapsedNanos() / 1e9;
-  const double runs = static_cast<double>(workloads.size() * algos.size()) *
-                      static_cast<double>(seeds);
+  const double wall_seconds = summary_seconds;
+  const double runs = summary_runs;
+  // The summary covers only the in_summary workloads (see Workload);
+  // whole-process wall time lives in the per-workload .timing rows.
   exp::BenchRecord summary;
   summary.name = "summary";
   summary.numbers["jobs"] = static_cast<double>(jobs);
@@ -120,8 +154,11 @@ int main(int argc, char** argv) {
                  st.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %s: %.0f runs in %.2fs (%.1f runs/s, jobs=%d)\n",
-              out.c_str(), runs, wall_seconds,
-              wall_seconds > 0.0 ? runs / wall_seconds : 0.0, jobs);
+  std::printf(
+      "wrote %s: summary %.0f runs in %.2fs (%.1f runs/s), total %.2fs, "
+      "jobs=%d\n",
+      out.c_str(), runs, wall_seconds,
+      wall_seconds > 0.0 ? runs / wall_seconds : 0.0,
+      wall.ElapsedNanos() / 1e9, jobs);
   return 0;
 }

@@ -16,9 +16,11 @@ WorkerId CostAwareDemCom::BestByNet(const std::vector<WorkerId>& candidates,
                                     double gross_revenue) const {
   WorkerId best = kInvalidId;
   double best_net = 0.0;  // only accept strictly positive nets
-  for (WorkerId w : candidates) {
-    const double net =
-        gross_revenue - config_.cost_per_km * view.DistanceTo(w, r);
+  std::vector<double> dist;
+  view.BatchDistanceTo(candidates, r, &dist);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const WorkerId w = candidates[i];
+    const double net = gross_revenue - config_.cost_per_km * dist[i];
     if (net > best_net || (net == best_net && best != kInvalidId && w < best)) {
       if (net > 0.0) {
         best = w;
@@ -72,9 +74,11 @@ Decision CostAwareDemCom::OnRequest(const Request& r,
   // Fallbacks: remaining profitable accepting workers, best net first
   // (ties by lower id), matching BestByNet's preference order.
   std::vector<std::pair<double, WorkerId>> ranked;
-  for (WorkerId c : accepting) {
-    const double net =
-        r.value - payment - config_.cost_per_km * view.DistanceTo(c, r);
+  std::vector<double> dist;
+  view.BatchDistanceTo(accepting, r, &dist);
+  for (size_t i = 0; i < accepting.size(); ++i) {
+    const WorkerId c = accepting[i];
+    const double net = r.value - payment - config_.cost_per_km * dist[i];
     if (c != w && net > 0.0) ranked.emplace_back(-net, c);
   }
   std::sort(ranked.begin(), ranked.end());

@@ -4,12 +4,27 @@
 
 namespace comx {
 
+namespace {
+
+// Per-thread scratch for the candidate-distance batches. The helpers never
+// nest, and the sweep engine runs one matcher per thread, so one buffer per
+// thread keeps the hot path allocation-free after warm-up.
+std::vector<double>& DistanceScratch() {
+  thread_local std::vector<double> scratch;
+  return scratch;
+}
+
+}  // namespace
+
 WorkerId NearestWorker(const std::vector<WorkerId>& candidates,
                        const Request& r, const PlatformView& view) {
+  std::vector<double>& dist = DistanceScratch();
+  view.BatchDistanceTo(candidates, r, &dist);
   WorkerId best = kInvalidId;
   double best_dist = 0.0;
-  for (WorkerId w : candidates) {
-    const double d = view.DistanceTo(w, r);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const WorkerId w = candidates[i];
+    const double d = dist[i];
     if (best == kInvalidId || d < best_dist ||
         (d == best_dist && w < best)) {
       best = w;
@@ -22,10 +37,12 @@ WorkerId NearestWorker(const std::vector<WorkerId>& candidates,
 std::vector<WorkerId> RankByDistance(std::vector<WorkerId> candidates,
                                      const Request& r,
                                      const PlatformView& view) {
+  std::vector<double>& dist = DistanceScratch();
+  view.BatchDistanceTo(candidates, r, &dist);
   std::vector<std::pair<double, WorkerId>> ranked;
   ranked.reserve(candidates.size());
-  for (WorkerId w : candidates) {
-    ranked.emplace_back(view.DistanceTo(w, r), w);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    ranked.emplace_back(dist[i], candidates[i]);
   }
   std::sort(ranked.begin(), ranked.end());
   for (size_t i = 0; i < ranked.size(); ++i) candidates[i] = ranked[i].second;
@@ -35,17 +52,19 @@ std::vector<WorkerId> RankByDistance(std::vector<WorkerId> candidates,
 void KeepNearest(std::vector<WorkerId>* candidates, const Request& r,
                  const PlatformView& view, int cap) {
   if (cap <= 0 || static_cast<int>(candidates->size()) <= cap) return;
+  std::vector<double>& dist = DistanceScratch();
+  view.BatchDistanceTo(*candidates, r, &dist);
   std::vector<std::pair<double, WorkerId>> ranked;
   ranked.reserve(candidates->size());
-  for (WorkerId w : *candidates) {
-    ranked.emplace_back(view.DistanceTo(w, r), w);
+  for (size_t i = 0; i < candidates->size(); ++i) {
+    ranked.emplace_back(dist[i], (*candidates)[i]);
   }
   std::nth_element(ranked.begin(), ranked.begin() + cap, ranked.end());
   ranked.resize(static_cast<size_t>(cap));
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) { return a.second < b.second; });
   candidates->clear();
-  for (const auto& [dist, w] : ranked) candidates->push_back(w);
+  for (const auto& [dist_km, w] : ranked) candidates->push_back(w);
 }
 
 }  // namespace comx

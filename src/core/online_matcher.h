@@ -96,6 +96,18 @@ class PlatformView {
   /// Euclidean km distance from worker `w`'s current location to `r`.
   virtual double DistanceTo(WorkerId w, const Request& r) const = 0;
 
+  /// Distances from each worker in `ids` to `r`, in order. Pool-backed
+  /// views override this with the batched kernel path (values bit-identical
+  /// to per-call DistanceTo); the default is the per-call loop.
+  virtual void BatchDistanceTo(const std::vector<WorkerId>& ids,
+                               const Request& r,
+                               std::vector<double>* out) const {
+    out->resize(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      (*out)[i] = DistanceTo(ids[i], r);
+    }
+  }
+
   /// The instance being simulated.
   virtual const Instance& instance() const = 0;
 

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "core/dem_com.h"
@@ -9,6 +10,7 @@
 #include "core/offline_opt.h"
 #include "core/ram_com.h"
 #include "core/tota_greedy.h"
+#include "pricing/acceptance_model.h"
 #include "sim/metrics.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -134,6 +136,18 @@ Result<std::vector<Row>> RunAlgoGrid(const Instance& instance,
   // cell, so merge order below is independent of scheduling.
   std::vector<SimMetrics> slots(online.size() * seed_count);
 
+  // One acceptance model serves every (algo, seed) cell: it depends only
+  // on (instance, mode, reservation_seed) — all grid-constant — and is
+  // immutable after construction, so concurrent jobs share it safely and
+  // each run skips re-sorting every worker history.
+  std::optional<AcceptanceModel> shared_acceptance;
+  SimConfig sim = config.sim;
+  if (sim.acceptance == nullptr) {
+    shared_acceptance.emplace(instance, sim.acceptance_mode,
+                              sim.reservation_seed);
+    sim.acceptance = &*shared_acceptance;
+  }
+
   SweepOptions options;
   options.jobs = config.jobs;
   options.pool = config.pool;
@@ -152,7 +166,7 @@ Result<std::vector<Row>> RunAlgoGrid(const Instance& instance,
         // and BENCH baselines depend on it.
         COMX_ASSIGN_OR_RETURN(
             auto result,
-            RunSimulation(instance, matchers, config.sim,
+            RunSimulation(instance, matchers, sim,
                           static_cast<uint64_t>(job.seed_index) * 7919 + 1));
         slots[job.job_index] = std::move(result.metrics);
         return Status::OK();

@@ -157,9 +157,21 @@ BenchCompareResult CompareBenchRecords(
         continue;
       }
       if (IsInformational(field, options)) {
-        result.notes.push_back(StrFormat(
-            "info: %s.%s baseline %.6g current %.6g", base.name.c_str(),
-            field.c_str(), base_value, cur_it->second));
+        // Per-row delta so a run over many records (e.g. per-workload
+        // timing rows) shows where throughput moved, not just that the
+        // summary did.
+        if (base_value != 0.0) {
+          const double delta_pct =
+              (cur_it->second - base_value) / std::fabs(base_value) * 100.0;
+          result.notes.push_back(StrFormat(
+              "info: %s.%s baseline %.6g current %.6g (%+.1f%%)",
+              base.name.c_str(), field.c_str(), base_value, cur_it->second,
+              delta_pct));
+        } else {
+          result.notes.push_back(StrFormat(
+              "info: %s.%s baseline %.6g current %.6g", base.name.c_str(),
+              field.c_str(), base_value, cur_it->second));
+        }
         continue;
       }
       if (!WithinTolerance(base_value, cur_it->second, options.rel_tol)) {

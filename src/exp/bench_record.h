@@ -49,9 +49,10 @@ struct BenchCompareOptions {
   /// Allowed relative error |a - b| / max(|a|, |b|, 1) on checked fields.
   double rel_tol = 1e-9;
   /// Field-name prefixes that never fail a comparison (host-dependent
-  /// timing/footprint measurements); they are still reported.
+  /// timing/footprint measurements); they are still reported, with the
+  /// relative delta against the baseline per row.
   std::vector<std::string> informational_prefixes = {
-      "wall_", "runs_per_sec", "rss_", "jobs"};
+      "wall_", "runs_per_sec", "rss_", "jobs", "speedup_"};
 };
 
 /// Diffs `current` against `baseline`. Returns one human-readable line per

@@ -48,6 +48,11 @@ class FaultyPlatformView : public PlatformView {
     return base_->DistanceTo(w, r);
   }
 
+  void BatchDistanceTo(const std::vector<WorkerId>& ids, const Request& r,
+                       std::vector<double>* out) const override {
+    base_->BatchDistanceTo(ids, r, out);
+  }
+
   const Instance& instance() const override { return base_->instance(); }
   const AcceptanceModel& acceptance() const override {
     return base_->acceptance();

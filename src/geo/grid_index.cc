@@ -46,6 +46,11 @@ GridIndex::CellKey GridIndex::KeyFor(const Point& p) const {
   return PackCell(CellCoordX(p.x), CellCoordY(p.y));
 }
 
+GridIndex::CellSpan GridIndex::SpanFor(const Point& lo, const Point& hi) const {
+  return CellSpan{CellCoordX(lo.x), CellCoordX(hi.x), CellCoordY(lo.y),
+                  CellCoordY(hi.y)};
+}
+
 Status GridIndex::Insert(int64_t id, const Point& location) {
   auto [it, inserted] = locations_.try_emplace(id, location);
   if (!inserted) {
@@ -53,7 +58,10 @@ Status GridIndex::Insert(int64_t id, const Point& location) {
         StrFormat("grid index already holds id %lld",
                   static_cast<long long>(id)));
   }
-  cells_[KeyFor(location)].push_back(id);
+  Cell& cell = cells_[KeyFor(location)];
+  cell.ids.push_back(id);
+  cell.xs.push_back(location.x);
+  cell.ys.push_back(location.y);
   return Status::OK();
 }
 
@@ -75,18 +83,23 @@ Status GridIndex::Remove(int64_t id) {
                   "missing",
                   static_cast<long long>(id)));
   }
-  auto& bucket = cell_it->second;
-  const auto pos = std::find(bucket.begin(), bucket.end(), id);
-  if (pos == bucket.end()) {
+  Cell& cell = cell_it->second;
+  const auto pos = std::find(cell.ids.begin(), cell.ids.end(), id);
+  if (pos == cell.ids.end()) {
     return Status::Internal(
         StrFormat("grid index corrupt: id %lld located but absent from its "
                   "bucket",
                   static_cast<long long>(id)));
   }
-  // Swap-and-pop: bucket order is unspecified.
-  *pos = bucket.back();
-  bucket.pop_back();
-  if (bucket.empty()) cells_.erase(cell_it);
+  // Swap-and-pop on all three parallel arrays: bucket order is unspecified.
+  const size_t i = static_cast<size_t>(pos - cell.ids.begin());
+  cell.ids[i] = cell.ids.back();
+  cell.xs[i] = cell.xs.back();
+  cell.ys[i] = cell.ys.back();
+  cell.ids.pop_back();
+  cell.xs.pop_back();
+  cell.ys.pop_back();
+  if (cell.ids.empty()) cells_.erase(cell_it);
   locations_.erase(it);
   return Status::OK();
 }
@@ -105,24 +118,47 @@ Result<Point> GridIndex::LocationOf(int64_t id) const {
 std::vector<int64_t> GridIndex::QueryRadius(const Point& center,
                                             double radius) const {
   std::vector<int64_t> out;
-  ForEachInRadius(center, radius,
-                  [&out](int64_t id, double /*d2*/) { out.push_back(id); });
+  if (radius < 0) {
+    if (obs::CollectionEnabled()) [[unlikely]] internal::RecordGridProbe(0);
+    return out;
+  }
+  const CellSpan span = SpanFor(Point(center.x - radius, center.y - radius),
+                                Point(center.x + radius, center.y + radius));
+  size_t candidates = 0;
+  for (int32_t cx = span.cx_lo; cx <= span.cx_hi; ++cx) {
+    for (int32_t cy = span.cy_lo; cy <= span.cy_hi; ++cy) {
+      const auto it = cells_.find(PackCell(cx, cy));
+      if (it != cells_.end()) candidates += it->second.ids.size();
+    }
+  }
+  out.reserve(candidates);
+  const double r2 = radius * radius;
+  size_t hits = 0;
+  for (int32_t cx = span.cx_lo; cx <= span.cx_hi; ++cx) {
+    for (int32_t cy = span.cy_lo; cy <= span.cy_hi; ++cy) {
+      const auto it = cells_.find(PackCell(cx, cy));
+      if (it == cells_.end()) continue;
+      hits += ScanCell(it->second, center, r2,
+                       [&out](int64_t id, double /*d2*/) { out.push_back(id); });
+    }
+  }
+  if (obs::CollectionEnabled()) [[unlikely]] internal::RecordGridProbe(hits);
   return out;
 }
 
 std::vector<int64_t> GridIndex::QueryRect(const BBox& box) const {
   std::vector<int64_t> out;
   if (box.empty()) return out;
-  const int32_t cx_lo = CellCoordX(box.min_corner().x);
-  const int32_t cx_hi = CellCoordX(box.max_corner().x);
-  const int32_t cy_lo = CellCoordY(box.min_corner().y);
-  const int32_t cy_hi = CellCoordY(box.max_corner().y);
-  for (int32_t cx = cx_lo; cx <= cx_hi; ++cx) {
-    for (int32_t cy = cy_lo; cy <= cy_hi; ++cy) {
+  const CellSpan span = SpanFor(box.min_corner(), box.max_corner());
+  for (int32_t cx = span.cx_lo; cx <= span.cx_hi; ++cx) {
+    for (int32_t cy = span.cy_lo; cy <= span.cy_hi; ++cy) {
       const auto it = cells_.find(PackCell(cx, cy));
       if (it == cells_.end()) continue;
-      for (int64_t id : it->second) {
-        if (box.Contains(locations_.at(id))) out.push_back(id);
+      const Cell& cell = it->second;
+      for (size_t i = 0; i < cell.ids.size(); ++i) {
+        if (box.Contains(Point(cell.xs[i], cell.ys[i]))) {
+          out.push_back(cell.ids[i]);
+        }
       }
     }
   }

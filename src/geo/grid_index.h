@@ -5,6 +5,13 @@
 // of worker service circles. A uniform grid with cell size close to the
 // typical radius answers these in near-constant time on city-scale data and
 // supports O(1) insert/remove as workers arrive and get matched.
+//
+// Cell buckets are stored SoA (parallel id / x / y arrays), so a radius
+// probe scores a whole bucket with one batched kernel call
+// (kernels::FilterInRange — AVX2 or scalar behind runtime dispatch) instead
+// of a per-point map lookup. Survivor order is ascending bucket position in
+// every backend, keeping probe results bit-identical to the historical
+// scalar loop.
 
 #ifndef COMX_GEO_GRID_INDEX_H_
 #define COMX_GEO_GRID_INDEX_H_
@@ -15,6 +22,7 @@
 
 #include "geo/bbox.h"
 #include "geo/point.h"
+#include "kernels/geo_kernels.h"
 #include "obs/metrics_registry.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -54,11 +62,13 @@ class GridIndex {
   Result<Point> LocationOf(int64_t id) const;
 
   /// All ids whose point lies within `radius` of `center` (inclusive).
-  /// Order is unspecified.
+  /// Order is unspecified. The result vector is reserved up front from the
+  /// candidate cells' population counts (dense cells used to realloc
+  /// several times per probe).
   std::vector<int64_t> QueryRadius(const Point& center, double radius) const;
 
-  /// Like QueryRadius but invokes `fn(id, distance_km)` per hit; returns the
-  /// number of hits. Avoids allocation on hot paths.
+  /// Like QueryRadius but invokes `fn(id, distance_km_squared)` per hit;
+  /// returns the number of hits. Avoids allocation on hot paths.
   template <typename Fn>
   size_t ForEachInRadius(const Point& center, double radius, Fn&& fn) const;
 
@@ -80,16 +90,60 @@ class GridIndex {
  private:
   using CellKey = uint64_t;
 
+  /// One bucket, SoA: ids[i] sits at (xs[i], ys[i]). The parallel
+  /// coordinate arrays are the per-cell snapshot the batched kernels scan.
+  struct Cell {
+    std::vector<int64_t> ids;
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+
+  /// Inclusive cell-coordinate span covered by a query rectangle. Shared
+  /// by the radius and rect queries (the span math used to be duplicated).
+  struct CellSpan {
+    int32_t cx_lo, cx_hi, cy_lo, cy_hi;
+  };
+  CellSpan SpanFor(const Point& lo, const Point& hi) const;
+
   CellKey KeyFor(const Point& p) const;
   static CellKey PackCell(int32_t cx, int32_t cy);
 
   int32_t CellCoordX(double x) const;
   int32_t CellCoordY(double y) const;
 
+  /// Batched scan of one bucket: kernel-filters positions against r2 in
+  /// fixed-size chunks (stack scratch — queries stay allocation-free and
+  /// shareable across sweep threads), invoking fn(id, d2) per survivor in
+  /// ascending bucket order.
+  template <typename Fn>
+  static size_t ScanCell(const Cell& cell, const Point& center, double r2,
+                         Fn&& fn);
+
   double cell_size_;
-  std::unordered_map<CellKey, std::vector<int64_t>> cells_;
+  std::unordered_map<CellKey, Cell> cells_;
   std::unordered_map<int64_t, Point> locations_;
 };
+
+template <typename Fn>
+size_t GridIndex::ScanCell(const Cell& cell, const Point& center, double r2,
+                           Fn&& fn) {
+  constexpr size_t kChunk = 256;
+  int32_t idx[kChunk];
+  double d2[kChunk];
+  size_t hits = 0;
+  const size_t total = cell.ids.size();
+  for (size_t base = 0; base < total; base += kChunk) {
+    const size_t n = std::min(kChunk, total - base);
+    const size_t m = kernels::FilterInRange(
+        cell.xs.data() + base, cell.ys.data() + base, /*radius2=*/nullptr, n,
+        center.x, center.y, r2, idx, d2);
+    for (size_t j = 0; j < m; ++j) {
+      fn(cell.ids[base + static_cast<size_t>(idx[j])], d2[j]);
+    }
+    hits += m;
+  }
+  return hits;
+}
 
 template <typename Fn>
 size_t GridIndex::ForEachInRadius(const Point& center, double radius,
@@ -99,25 +153,14 @@ size_t GridIndex::ForEachInRadius(const Point& center, double radius,
     return 0;
   }
   size_t hits = 0;
-  const int32_t cx_lo = CellCoordX(center.x - radius);
-  const int32_t cx_hi = CellCoordX(center.x + radius);
-  const int32_t cy_lo = CellCoordY(center.y - radius);
-  const int32_t cy_hi = CellCoordY(center.y + radius);
+  const CellSpan span = SpanFor(Point(center.x - radius, center.y - radius),
+                                Point(center.x + radius, center.y + radius));
   const double r2 = radius * radius;
-  for (int32_t cx = cx_lo; cx <= cx_hi; ++cx) {
-    for (int32_t cy = cy_lo; cy <= cy_hi; ++cy) {
+  for (int32_t cx = span.cx_lo; cx <= span.cx_hi; ++cx) {
+    for (int32_t cy = span.cy_lo; cy <= span.cy_hi; ++cy) {
       const auto it = cells_.find(PackCell(cx, cy));
       if (it == cells_.end()) continue;
-      for (int64_t id : it->second) {
-        const Point& p = locations_.at(id);
-        const double dx = p.x - center.x;
-        const double dy = p.y - center.y;
-        const double d2 = dx * dx + dy * dy;
-        if (d2 <= r2) {
-          ++hits;
-          fn(id, d2);
-        }
-      }
+      hits += ScanCell(it->second, center, r2, fn);
     }
   }
   if (obs::CollectionEnabled()) [[unlikely]] internal::RecordGridProbe(hits);

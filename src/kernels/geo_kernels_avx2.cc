@@ -1,0 +1,111 @@
+// AVX2 backend. Compiled with -mavx2 only (no -mfma): every arithmetic
+// node of the scalar reference in kernel_table_inl.h maps to exactly one
+// vmulpd/vaddpd/vsubpd, so each lane evaluates the identical IEEE
+// expression tree and results are bit-identical to the scalar backend.
+// Tails (< 4 elements) run the scalar reference loops directly.
+
+#if defined(COMX_KERNELS_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "kernels/backends.h"
+
+namespace comx {
+namespace kernels {
+namespace internal {
+
+namespace {
+constexpr size_t kLanes = 4;  // doubles per __m256d
+}  // namespace
+
+void Avx2BatchSquaredDistance(const double* xs, const double* ys, size_t n,
+                              double cx, double cy, double* d2_out) {
+  const __m256d vcx = _mm256_set1_pd(cx);
+  const __m256d vcy = _mm256_set1_pd(cy);
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(xs + i), vcx);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(ys + i), vcy);
+    const __m256d d2 =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    _mm256_storeu_pd(d2_out + i, d2);
+  }
+  ScalarBatchSquaredDistance(xs + i, ys + i, n - i, cx, cy, d2_out + i);
+}
+
+size_t Avx2FilterInRange(const double* xs, const double* ys,
+                         const double* radius2, size_t n, double cx,
+                         double cy, double range2, int32_t* idx_out,
+                         double* d2_out) {
+  const __m256d vcx = _mm256_set1_pd(cx);
+  const __m256d vcy = _mm256_set1_pd(cy);
+  const __m256d vr2 = _mm256_set1_pd(range2);
+  size_t out = 0;
+  size_t i = 0;
+  alignas(32) double d2_lane[kLanes];
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(xs + i), vcx);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(ys + i), vcy);
+    const __m256d d2 =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    __m256d keep = _mm256_cmp_pd(d2, vr2, _CMP_LE_OQ);
+    if (radius2 != nullptr) {
+      keep = _mm256_and_pd(
+          keep, _mm256_cmp_pd(d2, _mm256_loadu_pd(radius2 + i), _CMP_LE_OQ));
+    }
+    int mask = _mm256_movemask_pd(keep);
+    if (mask == 0) continue;
+    _mm256_store_pd(d2_lane, d2);
+    // Append survivors in ascending lane order (determinism contract).
+    while (mask != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+      idx_out[out] = static_cast<int32_t>(i + static_cast<size_t>(lane));
+      d2_out[out] = d2_lane[lane];
+      ++out;
+      mask &= mask - 1;
+    }
+  }
+  if (i < n) {
+    const size_t tail = ScalarFilterInRange(
+        xs + i, ys + i, radius2 == nullptr ? nullptr : radius2 + i, n - i,
+        cx, cy, range2, idx_out + out, d2_out + out);
+    for (size_t t = 0; t < tail; ++t) {
+      idx_out[out + t] += static_cast<int32_t>(i);
+    }
+    out += tail;
+  }
+  return out;
+}
+
+void Avx2BatchHaversineA(const double* sin_lat, const double* cos_lat,
+                         const double* sin_lon, const double* cos_lon,
+                         size_t n, double q_sin_lat, double q_cos_lat,
+                         double q_sin_lon, double q_cos_lon, double* a_out) {
+  const __m256d qslat = _mm256_set1_pd(q_sin_lat);
+  const __m256d qclat = _mm256_set1_pd(q_cos_lat);
+  const __m256d qslon = _mm256_set1_pd(q_sin_lon);
+  const __m256d qclon = _mm256_set1_pd(q_cos_lon);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d half = _mm256_set1_pd(0.5);
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d cc = _mm256_mul_pd(_mm256_loadu_pd(cos_lat + i), qclat);
+    const __m256d cos_dphi = _mm256_add_pd(
+        cc, _mm256_mul_pd(_mm256_loadu_pd(sin_lat + i), qslat));
+    const __m256d cos_dlam = _mm256_add_pd(
+        _mm256_mul_pd(_mm256_loadu_pd(cos_lon + i), qclon),
+        _mm256_mul_pd(_mm256_loadu_pd(sin_lon + i), qslon));
+    const __m256d t1 = _mm256_mul_pd(half, _mm256_sub_pd(one, cos_dphi));
+    const __m256d t2 = _mm256_mul_pd(half, _mm256_sub_pd(one, cos_dlam));
+    _mm256_storeu_pd(a_out + i, _mm256_add_pd(t1, _mm256_mul_pd(cc, t2)));
+  }
+  ScalarBatchHaversineA(sin_lat + i, cos_lat + i, sin_lon + i, cos_lon + i,
+                        n - i, q_sin_lat, q_cos_lat, q_sin_lon, q_cos_lon,
+                        a_out + i);
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace comx
+
+#endif  // COMX_KERNELS_HAVE_AVX2

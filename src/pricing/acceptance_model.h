@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "kernels/ecdf_batch.h"
 #include "model/instance.h"
 #include "pricing/history.h"
 #include "util/rng.h"
@@ -66,6 +67,11 @@ class AcceptanceModel {
     return histories_[static_cast<size_t>(w)];
   }
 
+  /// Flat ECDF mirror of every history — the batched evaluation path used
+  /// by Algorithm 2's Monte-Carlo sweeps (kernels/ecdf_batch.h). Values are
+  /// bit-identical to AcceptProbability.
+  const kernels::EcdfIndex& ecdf() const { return ecdf_; }
+
   /// Number of workers covered.
   size_t worker_count() const { return histories_.size(); }
 
@@ -74,6 +80,7 @@ class AcceptanceModel {
 
  private:
   std::vector<ValueHistory> histories_;
+  kernels::EcdfIndex ecdf_;  // flat mirror of histories_, built once
   AcceptanceMode mode_;
   std::vector<double> reservations_;  // only filled in kReservation mode
 };

@@ -43,8 +43,26 @@ MerQuote ComputeMerQuote(const AcceptanceModel& model,
   std::sort(grid.begin(), grid.end());
   grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
 
-  for (double p : grid) {
-    const double pr = model.GroupAcceptProbability(candidates, p);
+  // Group acceptance across the whole (sorted, unique) grid in one pass
+  // per candidate: EvaluateAscending merge-walks the worker's history over
+  // every grid point at once, and the per-point "nobody accepts" products
+  // accumulate in candidate order — the same factors in the same order as
+  // GroupAcceptProbability per point, so each pr is bit-identical (a
+  // product that hits exactly 0.0 stays 0.0, matching the early exit).
+  thread_local std::vector<double> none;
+  thread_local std::vector<double> probs;
+  none.assign(grid.size(), 1.0);
+  probs.resize(grid.size());
+  const kernels::EcdfIndex& ecdf = model.ecdf();
+  for (WorkerId w : candidates) {
+    ecdf.EvaluateAscending(w, grid.data(), grid.size(), probs.data());
+    for (size_t g = 0; g < grid.size(); ++g) {
+      none[g] *= 1.0 - probs[g];
+    }
+  }
+  for (size_t g = 0; g < grid.size(); ++g) {
+    const double p = grid[g];
+    const double pr = none[g] == 0.0 ? 1.0 : 1.0 - none[g];
     const double expected = (request_value - p) * pr;
     if (expected > best.expected_revenue) {
       best.expected_revenue = expected;

@@ -36,16 +36,25 @@ void RecordEstimate(const MinPaymentEstimate& estimate) {
   if (estimate.budget_exhausted) exhausted->Inc();
 }
 
-// One Bernoulli sweep: does any candidate accept `payment`?
-bool AnyoneAccepts(const AcceptanceModel& model,
-                   const std::vector<WorkerId>& candidates, double payment,
-                   Rng* rng) {
+// One Bernoulli sweep over pre-evaluated acceptance probabilities: does any
+// candidate accept? The probabilities come from one EcdfIndex batch pass
+// (bit-identical to AcceptProbability), and the draw loop replicates
+// Rng::Bernoulli exactly — p <= 0 is false and p >= 1 is true, neither
+// consuming a draw — so the RNG stream matches the historical per-worker
+// DrawAcceptance loop bit for bit.
+bool AnyoneAccepts(const double* probs, size_t n, Rng* rng) {
   bool any = false;
   // Every candidate is drawn (not short-circuited) so the RNG stream
   // consumption is independent of the outcome order, keeping runs
   // reproducible under candidate reordering.
-  for (WorkerId w : candidates) {
-    any = model.DrawAcceptance(w, payment, rng) || any;
+  for (size_t i = 0; i < n; ++i) {
+    const double p = probs[i];
+    if (p <= 0.0) continue;
+    if (p >= 1.0) {
+      any = true;
+      continue;
+    }
+    any = (rng->NextDouble() < p) || any;
   }
   return any;
 }
@@ -69,6 +78,20 @@ MinPaymentEstimate EstimateMinOuterPayment(
     return out;
   }
 
+  // Vectorized Algorithm-2 path: the acceptance probabilities at the full
+  // request value are the same for every Monte-Carlo instance, so evaluate
+  // them once up front (one flat ECDF batch pass instead of n_s * |C|
+  // binary searches); each bisection midpoint gets its own batch pass,
+  // shared by the whole candidate sweep of that step.
+  const size_t n_c = candidates.size();
+  const kernels::EcdfIndex& ecdf = model.ecdf();
+  thread_local std::vector<double> probs_value;
+  thread_local std::vector<double> probs_mid;
+  probs_value.resize(n_c);
+  probs_mid.resize(n_c);
+  ecdf.BatchEvaluate(candidates.data(), n_c, request_value,
+                     probs_value.data());
+
   double sum = 0.0;
   int rejects = 0;
   Stopwatch budget_clock;  // consulted only when max_seconds > 0
@@ -83,7 +106,7 @@ MinPaymentEstimate EstimateMinOuterPayment(
     ++out.samples;
     // Paper Algorithm 2 lines 4-6: if nobody accepts the full value, this
     // instance contributes v_r + epsilon.
-    if (!AnyoneAccepts(model, candidates, request_value, rng)) {
+    if (!AnyoneAccepts(probs_value.data(), n_c, rng)) {
       sum += request_value + config.epsilon;
       ++rejects;
       continue;
@@ -102,7 +125,8 @@ MinPaymentEstimate EstimateMinOuterPayment(
         break;
       }
       ++out.bisect_iterations;
-      if (AnyoneAccepts(model, candidates, v_m, rng)) {
+      ecdf.BatchEvaluate(candidates.data(), n_c, v_m, probs_mid.data());
+      if (AnyoneAccepts(probs_mid.data(), n_c, rng)) {
         v_h = v_m;
       } else {
         v_l = v_m;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -43,8 +44,12 @@ Result<SimResult> RunBatchSimulation(const Instance& instance,
   Stopwatch wall;
   const DistanceMetric& metric =
       config.sim.metric != nullptr ? *config.sim.metric : DefaultMetric();
-  const AcceptanceModel acceptance(instance, config.sim.acceptance_mode,
-                                   config.sim.reservation_seed);
+  std::optional<AcceptanceModel> local_acceptance;
+  const AcceptanceModel& acceptance =
+      config.sim.acceptance != nullptr
+          ? *config.sim.acceptance
+          : local_acceptance.emplace(instance, config.sim.acceptance_mode,
+                                     config.sim.reservation_seed);
   WorkerPool pool(instance, &metric);
   Rng rng(seed);
 

@@ -31,6 +31,11 @@ class PoolPlatformView : public PlatformView {
 
   double DistanceTo(WorkerId w, const Request& r) const override;
 
+  void BatchDistanceTo(const std::vector<WorkerId>& ids, const Request& r,
+                       std::vector<double>* out) const override {
+    pool_->BatchDistances(ids, r.location, out);
+  }
+
   const Instance& instance() const override { return *instance_; }
   const AcceptanceModel& acceptance() const override { return *model_; }
 

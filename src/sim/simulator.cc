@@ -118,8 +118,14 @@ Result<SimResult> RunSimulation(const Instance& instance,
   Stopwatch wall;
   const DistanceMetric& metric =
       config.metric != nullptr ? *config.metric : DefaultMetric();
-  const AcceptanceModel acceptance(instance, config.acceptance_mode,
-                                   config.reservation_seed);
+  // A prebuilt shared model (seed grids) skips the per-run history
+  // sort/flatten; both paths yield the identical immutable model.
+  std::optional<AcceptanceModel> local_acceptance;
+  const AcceptanceModel& acceptance =
+      config.acceptance != nullptr
+          ? *config.acceptance
+          : local_acceptance.emplace(instance, config.acceptance_mode,
+                                     config.reservation_seed);
   WorkerPool pool(instance, &metric);
   MemoryMeter pool_meter;
   // Per-available-worker footprint: grid bucket slot + location + flags.

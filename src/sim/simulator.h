@@ -28,6 +28,8 @@ namespace obs {
 class TraceSink;
 }  // namespace obs
 
+class AcceptanceModel;
+
 /// Physical model + run knobs for the simulation.
 struct SimConfig {
   /// Whether workers re-enter the waiting lists after completing a request.
@@ -66,6 +68,13 @@ struct SimConfig {
   /// RNG, and a trivial partner costs one predicted branch per outer
   /// query. Must outlive the simulation.
   const fault::FaultPlan* fault_plan = nullptr;
+  /// Optional prebuilt acceptance model. The model is a pure function of
+  /// (instance, acceptance_mode, reservation_seed), so a seed grid over one
+  /// instance can build it once and share it across runs (it is immutable
+  /// after construction and safe for concurrent reads) instead of
+  /// re-sorting every worker history per run. nullptr = build internally.
+  /// Must match this config's instance/mode/seed and outlive the run.
+  const AcceptanceModel* acceptance = nullptr;
 };
 
 /// Outcome of one simulation run.

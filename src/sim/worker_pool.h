@@ -3,6 +3,12 @@
 // is removed everywhere at once (the paper: "an outer crowd worker being
 // assigned to any request would be deleted from all its waiting lists over
 // all platforms"). Workers that recycle re-enter at their drop-off point.
+//
+// Per-worker state lives in a kernels::WorkerSoA mirror (contiguous
+// coordinate / radius² / platform / availability arrays) maintained
+// incrementally on arrival / occupation events, so the feasibility scan and
+// the batched distance path read dense arrays instead of chasing AoS
+// Worker records.
 
 #ifndef COMX_SIM_WORKER_POOL_H_
 #define COMX_SIM_WORKER_POOL_H_
@@ -11,6 +17,7 @@
 
 #include "geo/distance_metric.h"
 #include "geo/grid_index.h"
+#include "kernels/worker_soa.h"
 #include "model/instance.h"
 #include "model/request.h"
 #include "util/status.h"
@@ -40,18 +47,19 @@ class WorkerPool {
   /// True when the worker currently sits in the waiting lists. Out-of-range
   /// ids are simply not available.
   bool IsAvailable(WorkerId w) const {
-    return InRange(w) && available_[static_cast<size_t>(w)];
+    return InRange(w) && soa_.available()[static_cast<size_t>(w)] != 0;
   }
 
   /// Current location (drop-off point after recycling). Valid whenever the
   /// worker has arrived at least once.
   Point CurrentLocation(WorkerId w) const {
-    return location_[static_cast<size_t>(w)];
+    return Point(soa_.x()[static_cast<size_t>(w)],
+                 soa_.y()[static_cast<size_t>(w)]);
   }
 
   /// Time the worker last became available.
   Timestamp AvailableSince(WorkerId w) const {
-    return available_since_[static_cast<size_t>(w)];
+    return soa_.available_since()[static_cast<size_t>(w)];
   }
 
   /// Available workers that can serve `r` under the time + range
@@ -69,24 +77,34 @@ class WorkerPool {
                                           PlatformId platform, bool inner,
                                           Timestamp as_of) const;
 
+  /// Travel distances from each worker in `ids` to `target`, in order.
+  /// Under the Euclidean metric the coordinates are gathered from the SoA
+  /// mirror and scored by the batched squared-distance kernel (sqrt applied
+  /// per element afterwards, so each value is bit-identical to
+  /// EuclideanDistance); other metrics fall back to a per-worker loop.
+  void BatchDistances(const std::vector<WorkerId>& ids, const Point& target,
+                      std::vector<double>* out) const;
+
   /// Number of currently available workers.
   size_t available_count() const { return index_.size(); }
 
   /// The metric realizing the range constraint.
   const DistanceMetric& metric() const { return *metric_; }
 
+  /// The SoA mirror (read-only; batch staging for kernels).
+  const kernels::WorkerSoA& soa() const { return soa_; }
+
  private:
   bool InRange(WorkerId w) const {
-    return w >= 0 && static_cast<size_t>(w) < available_.size();
+    return w >= 0 && static_cast<size_t>(w) < soa_.size();
   }
 
   const Instance* instance_;
   const DistanceMetric* metric_;
   GridIndex index_;
-  std::vector<Point> location_;
-  std::vector<Timestamp> available_since_;
-  std::vector<bool> available_;
+  kernels::WorkerSoA soa_;
   double max_radius_ = 0.0;
+  bool euclidean_ = false;
 };
 
 }  // namespace comx

@@ -1,0 +1,73 @@
+#include "kernels/dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace comx {
+namespace kernels {
+namespace {
+
+using internal::ResolveBackend;
+using internal::TableFor;
+
+// Every test that pins the backend restores the environment-resolved
+// dispatch on exit so test order never leaks between cases.
+class DispatchTest : public ::testing::Test {
+ protected:
+  ~DispatchTest() override { ResetDispatchForTesting(); }
+};
+
+TEST_F(DispatchTest, BackendNames) {
+  EXPECT_STREQ(BackendName(Backend::kScalar), "scalar");
+  EXPECT_STREQ(BackendName(Backend::kAvx2), "avx2");
+}
+
+TEST_F(DispatchTest, ResolveBackendEnvContract) {
+  // Unset, empty, and "0" all mean "auto": best supported backend.
+  const Backend best = Avx2Supported() ? Backend::kAvx2 : Backend::kScalar;
+  EXPECT_EQ(ResolveBackend(nullptr), best);
+  EXPECT_EQ(ResolveBackend(""), best);
+  EXPECT_EQ(ResolveBackend("0"), best);
+  // Any other value forces scalar.
+  EXPECT_EQ(ResolveBackend("1"), Backend::kScalar);
+  EXPECT_EQ(ResolveBackend("true"), Backend::kScalar);
+  EXPECT_EQ(ResolveBackend("yes"), Backend::kScalar);
+}
+
+TEST_F(DispatchTest, TableAvailability) {
+  EXPECT_NE(TableFor(Backend::kScalar), nullptr);
+  if (Avx2Supported()) {
+    EXPECT_NE(TableFor(Backend::kAvx2), nullptr);
+  } else {
+    EXPECT_EQ(TableFor(Backend::kAvx2), nullptr);
+  }
+}
+
+TEST_F(DispatchTest, ForceAndReset) {
+  ASSERT_TRUE(ForceBackendForTesting(Backend::kScalar));
+  EXPECT_EQ(ActiveBackend(), Backend::kScalar);
+  if (Avx2Supported()) {
+    ASSERT_TRUE(ForceBackendForTesting(Backend::kAvx2));
+    EXPECT_EQ(ActiveBackend(), Backend::kAvx2);
+  } else {
+    EXPECT_FALSE(ForceBackendForTesting(Backend::kAvx2));
+  }
+  ResetDispatchForTesting();
+  // After reset the active backend matches the environment resolution.
+  EXPECT_EQ(ActiveBackend(),
+            ResolveBackend(std::getenv("COMX_FORCE_SCALAR")));
+}
+
+TEST_F(DispatchTest, ActiveTableMatchesActiveBackend) {
+  ASSERT_TRUE(ForceBackendForTesting(Backend::kScalar));
+  EXPECT_EQ(&internal::Active(), TableFor(Backend::kScalar));
+  if (Avx2Supported()) {
+    ASSERT_TRUE(ForceBackendForTesting(Backend::kAvx2));
+    EXPECT_EQ(&internal::Active(), TableFor(Backend::kAvx2));
+  }
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace comx

@@ -1,0 +1,109 @@
+#include "kernels/ecdf_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "pricing/history.h"
+#include "util/rng.h"
+
+namespace comx {
+namespace kernels {
+namespace {
+
+// Randomized histories including empty and single-value ones; returns the
+// reference ValueHistory objects next to the flat index built from them.
+struct Fixture {
+  std::vector<ValueHistory> histories;
+  EcdfIndex index;
+};
+
+Fixture MakeFixture(uint64_t seed, size_t workers) {
+  Rng rng(seed);
+  Fixture f;
+  f.histories.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    const int64_t len = w == 0 ? 0 : rng.UniformInt(0, 64);
+    std::vector<double> values;
+    values.reserve(static_cast<size_t>(len));
+    for (int64_t i = 0; i < len; ++i) {
+      values.push_back(rng.Uniform(5.0, 60.0));
+    }
+    f.histories.emplace_back(std::move(values));
+  }
+  for (const ValueHistory& h : f.histories) {
+    f.index.AddWorker(h.values().data(), h.values().size());
+  }
+  return f;
+}
+
+TEST(EcdfBatchTest, EvaluateBitIdenticalToValueHistory) {
+  const Fixture f = MakeFixture(2020, 128);
+  Rng rng(1);
+  for (size_t w = 0; w < f.histories.size(); ++w) {
+    const auto& values = f.histories[w].values();
+    std::vector<double> probes = {0.0, 4.999, 60.001, 27.5,
+                                  std::numeric_limits<double>::infinity()};
+    // Exact history values hit the upper_bound boundary; probe them all.
+    probes.insert(probes.end(), values.begin(), values.end());
+    for (int i = 0; i < 16; ++i) probes.push_back(rng.Uniform(0.0, 70.0));
+    for (double p : probes) {
+      const double expect = f.histories[w].Ecdf(p);
+      const double got = f.index.Evaluate(static_cast<int64_t>(w), p);
+      EXPECT_EQ(expect, got) << "worker " << w << " payment " << p;
+    }
+  }
+}
+
+TEST(EcdfBatchTest, BatchEvaluateMatchesEvaluate) {
+  const Fixture f = MakeFixture(7, 64);
+  std::vector<int64_t> ids;
+  for (size_t w = 0; w < 64; ++w) ids.push_back(static_cast<int64_t>(w));
+  std::vector<double> probs(ids.size());
+  f.index.BatchEvaluate(ids.data(), ids.size(), 27.5, probs.data());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(probs[i], f.index.Evaluate(ids[i], 27.5));
+  }
+}
+
+TEST(EcdfBatchTest, EvaluateAscendingMatchesEvaluate) {
+  const Fixture f = MakeFixture(99, 64);
+  Rng rng(3);
+  for (size_t w = 0; w < f.histories.size(); ++w) {
+    // Ascending payment grid mixing random points with exact history
+    // values (the MER grid contains both).
+    std::vector<double> grid = {0.0};
+    for (int i = 0; i < 40; ++i) grid.push_back(rng.Uniform(0.0, 70.0));
+    const auto& values = f.histories[w].values();
+    grid.insert(grid.end(), values.begin(), values.end());
+    std::sort(grid.begin(), grid.end());
+    grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+    std::vector<double> probs(grid.size());
+    f.index.EvaluateAscending(static_cast<int64_t>(w), grid.data(),
+                              grid.size(), probs.data());
+    for (size_t g = 0; g < grid.size(); ++g) {
+      EXPECT_EQ(probs[g],
+                f.index.Evaluate(static_cast<int64_t>(w), grid[g]))
+          << "worker " << w << " grid point " << grid[g];
+    }
+  }
+}
+
+TEST(EcdfBatchTest, EmptyHistoryIsZeroEverywhere) {
+  const Fixture f = MakeFixture(5, 4);  // worker 0 has an empty history
+  EXPECT_EQ(f.index.Evaluate(0, 0.0), 0.0);
+  EXPECT_EQ(f.index.Evaluate(0, std::numeric_limits<double>::infinity()),
+            0.0);
+  const double grid[3] = {1.0, 2.0, 3.0};
+  double probs[3] = {-1.0, -1.0, -1.0};
+  f.index.EvaluateAscending(0, grid, 3, probs);
+  EXPECT_EQ(probs[0], 0.0);
+  EXPECT_EQ(probs[1], 0.0);
+  EXPECT_EQ(probs[2], 0.0);
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace comx

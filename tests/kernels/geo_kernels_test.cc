@@ -1,0 +1,174 @@
+#include "kernels/geo_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "geo/distance.h"
+#include "kernels/dispatch.h"
+#include "util/rng.h"
+
+namespace comx {
+namespace kernels {
+namespace {
+
+using internal::KernelTable;
+using internal::TableFor;
+
+constexpr size_t kPoints = 10000;
+
+struct PlanarInputs {
+  std::vector<double> xs, ys, radius2;
+};
+
+// Randomized planar coordinates (city-scale km offsets) with per-point
+// service radii, the shape the grid-index scan feeds the kernels.
+PlanarInputs MakePlanar(uint64_t seed) {
+  Rng rng(seed);
+  PlanarInputs in;
+  in.xs.reserve(kPoints);
+  in.ys.reserve(kPoints);
+  in.radius2.reserve(kPoints);
+  for (size_t i = 0; i < kPoints; ++i) {
+    in.xs.push_back(rng.Uniform(-15.0, 15.0));
+    in.ys.push_back(rng.Uniform(-15.0, 15.0));
+    const double r = rng.Uniform(0.5, 8.0);
+    in.radius2.push_back(r * r);
+  }
+  return in;
+}
+
+// Geodetic batch stressing the antimeridian, both poles, the equator, and
+// random city-scale points: the cases where haversine identities differ
+// most across rearrangements.
+GeoTrigBatch MakeGeodetic(uint64_t seed) {
+  GeoTrigBatch batch;
+  batch.Add(0.0, 179.9999);
+  batch.Add(0.0, -179.9999);
+  batch.Add(0.5, 180.0);
+  batch.Add(-0.5, -180.0);
+  batch.Add(89.9999, 45.0);
+  batch.Add(-89.9999, -45.0);
+  batch.Add(90.0, 0.0);
+  batch.Add(-90.0, 0.0);
+  batch.Add(0.0, 0.0);
+  Rng rng(seed);
+  while (batch.size() < kPoints) {
+    batch.Add(rng.Uniform(-90.0, 90.0), rng.Uniform(-180.0, 180.0));
+  }
+  return batch;
+}
+
+TEST(GeoKernelsTest, BatchSquaredDistanceBitIdenticalAcrossBackends) {
+  const KernelTable* avx2 = TableFor(Backend::kAvx2);
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 unavailable on this host";
+  const KernelTable* scalar = TableFor(Backend::kScalar);
+  const PlanarInputs in = MakePlanar(2020);
+  std::vector<double> a(kPoints), b(kPoints);
+  scalar->batch_squared_distance(in.xs.data(), in.ys.data(), kPoints, 0.3,
+                                 -0.2, a.data());
+  avx2->batch_squared_distance(in.xs.data(), in.ys.data(), kPoints, 0.3,
+                               -0.2, b.data());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), kPoints * sizeof(double)), 0);
+}
+
+TEST(GeoKernelsTest, FilterInRangeBitIdenticalAcrossBackends) {
+  const KernelTable* avx2 = TableFor(Backend::kAvx2);
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 unavailable on this host";
+  const KernelTable* scalar = TableFor(Backend::kScalar);
+  const PlanarInputs in = MakePlanar(7);
+  std::vector<int32_t> idx_a(kPoints), idx_b(kPoints);
+  std::vector<double> d2_a(kPoints), d2_b(kPoints);
+  for (const double* radius2 : {in.radius2.data(),
+                                static_cast<const double*>(nullptr)}) {
+    const size_t na =
+        scalar->filter_in_range(in.xs.data(), in.ys.data(), radius2,
+                                kPoints, 0.3, -0.2, 36.0, idx_a.data(),
+                                d2_a.data());
+    const size_t nb =
+        avx2->filter_in_range(in.xs.data(), in.ys.data(), radius2, kPoints,
+                              0.3, -0.2, 36.0, idx_b.data(), d2_b.data());
+    ASSERT_EQ(na, nb);
+    ASSERT_GT(na, 0u);
+    EXPECT_EQ(std::memcmp(idx_a.data(), idx_b.data(), na * sizeof(int32_t)),
+              0);
+    EXPECT_EQ(std::memcmp(d2_a.data(), d2_b.data(), na * sizeof(double)),
+              0);
+  }
+}
+
+TEST(GeoKernelsTest, FilterInRangeMatchesNaiveReference) {
+  const PlanarInputs in = MakePlanar(99);
+  std::vector<int32_t> idx(kPoints);
+  std::vector<double> d2(kPoints);
+  const double cx = 1.0, cy = -2.0, range2 = 25.0;
+  const size_t n = FilterInRange(in.xs.data(), in.ys.data(),
+                                 in.radius2.data(), kPoints, cx, cy, range2,
+                                 idx.data(), d2.data());
+  size_t k = 0;
+  int32_t last = -1;
+  for (size_t i = 0; i < kPoints; ++i) {
+    const double dx = in.xs[i] - cx;
+    const double dy = in.ys[i] - cy;
+    const double dd = dx * dx + dy * dy;
+    if (dd <= range2 && dd <= in.radius2[i]) {
+      ASSERT_LT(k, n);
+      EXPECT_EQ(idx[k], static_cast<int32_t>(i));
+      EXPECT_GT(idx[k], last);  // ascending index order
+      last = idx[k];
+      EXPECT_EQ(d2[k], dd);  // exact, not approximate
+      ++k;
+    }
+  }
+  EXPECT_EQ(k, n);
+}
+
+TEST(GeoKernelsTest, BatchHaversineBitIdenticalAcrossBackends) {
+  const KernelTable* avx2 = TableFor(Backend::kAvx2);
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 unavailable on this host";
+  const GeoTrigBatch batch = MakeGeodetic(11);
+  // Compare the dispatched half (the `a` products) bitwise; the epilogue
+  // is shared scalar code, so the final km agree bitwise iff `a` does.
+  const double q_lat = 30.6586 * M_PI / 180.0;
+  const double q_lon = 104.0647 * M_PI / 180.0;
+  const double qsl = std::sin(q_lat), qcl = std::cos(q_lat);
+  const double qso = std::sin(q_lon), qco = std::cos(q_lon);
+  std::vector<double> a(batch.size()), b(batch.size());
+  TableFor(Backend::kScalar)
+      ->batch_haversine_a(batch.sin_lat(), batch.cos_lat(), batch.sin_lon(),
+                          batch.cos_lon(), batch.size(), qsl, qcl, qso, qco,
+                          a.data());
+  avx2->batch_haversine_a(batch.sin_lat(), batch.cos_lat(), batch.sin_lon(),
+                          batch.cos_lon(), batch.size(), qsl, qcl, qso, qco,
+                          b.data());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), batch.size() * sizeof(double)),
+            0);
+}
+
+TEST(GeoKernelsTest, BatchHaversineMatchesReferenceDistance) {
+  const GeoTrigBatch batch = MakeGeodetic(42);
+  const double q_lat = 30.6586, q_lon = 104.0647;
+  std::vector<double> km(batch.size());
+  BatchHaversineKm(batch, q_lat, q_lon, km.data());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const double ref =
+        HaversineKm(q_lat, q_lon, batch.lat_deg()[i],
+                         batch.lon_deg()[i]);
+    // Different but equivalent identity: agree to well under a metre.
+    EXPECT_NEAR(km[i], ref, 1e-3) << "point " << i;
+  }
+}
+
+TEST(GeoKernelsTest, SinglePairMatchesBatch) {
+  GeoTrigBatch batch;
+  batch.Add(30.70, 104.10);
+  double km = 0.0;
+  BatchHaversineKm(batch, 30.6586, 104.0647, &km);
+  EXPECT_EQ(HaversineViaTrigKm(30.6586, 104.0647, 30.70, 104.10), km);
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace comx

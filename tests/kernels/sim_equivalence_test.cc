@@ -1,0 +1,107 @@
+// Sim-level backend equivalence: the dispatch contract says which kernel
+// backend ran is unobservable in any simulation output. This suite replays
+// 50 seeded runs per algorithm under the forced-scalar table and under the
+// auto (cpuid-resolved) table and requires every assignment and every
+// revenue double to match bitwise.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dem_com.h"
+#include "core/ram_com.h"
+#include "core/tota_greedy.h"
+#include "datagen/synthetic.h"
+#include "kernels/dispatch.h"
+#include "sim/simulator.h"
+
+namespace comx {
+namespace {
+
+constexpr int kSeeds = 50;
+
+Instance SmallInstance() {
+  SyntheticConfig gen;
+  gen.requests_per_platform = {120};
+  gen.workers_per_platform = {25};
+  gen.radius_km = 1.5;
+  gen.seed = 2020;
+  auto instance = GenerateSynthetic(gen);
+  EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+  return std::move(*instance);
+}
+
+// One run's full observable output, compared with exact double equality.
+struct RunRecord {
+  std::vector<Assignment> assignments;
+  double revenue = 0.0;
+
+  bool operator==(const RunRecord& o) const {
+    if (revenue != o.revenue) return false;
+    if (assignments.size() != o.assignments.size()) return false;
+    for (size_t i = 0; i < assignments.size(); ++i) {
+      const Assignment& a = assignments[i];
+      const Assignment& b = o.assignments[i];
+      if (a.request != b.request || a.worker != b.worker ||
+          a.is_outer != b.is_outer || a.outer_payment != b.outer_payment ||
+          a.revenue != b.revenue) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+template <typename Matcher>
+std::vector<RunRecord> RunAllSeeds(const Instance& instance) {
+  SimConfig config;
+  config.measure_response_time = false;
+  std::vector<RunRecord> records;
+  records.reserve(kSeeds);
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    Matcher m0, m1;
+    auto result = RunSimulation(instance, {&m0, &m1}, config,
+                                static_cast<uint64_t>(seed) * 7919 + 1);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    RunRecord record;
+    record.assignments = result->matching.assignments;
+    record.revenue = result->metrics.TotalRevenue();
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+template <typename Matcher>
+void ExpectBackendEquivalence(const char* name) {
+  if (!kernels::Avx2Supported()) {
+    GTEST_SKIP() << "AVX2 unavailable: auto already resolves to scalar";
+  }
+  const Instance instance = SmallInstance();
+  ASSERT_TRUE(
+      kernels::ForceBackendForTesting(kernels::Backend::kScalar));
+  const auto scalar = RunAllSeeds<Matcher>(instance);
+  ASSERT_TRUE(kernels::ForceBackendForTesting(kernels::Backend::kAvx2));
+  const auto avx2 = RunAllSeeds<Matcher>(instance);
+  kernels::ResetDispatchForTesting();
+  ASSERT_EQ(scalar.size(), avx2.size());
+  for (size_t s = 0; s < scalar.size(); ++s) {
+    EXPECT_TRUE(scalar[s] == avx2[s])
+        << name << " seed index " << s
+        << ": scalar and AVX2 runs diverged";
+  }
+}
+
+TEST(SimEquivalenceTest, TotaGreedyBitIdenticalAcrossBackends) {
+  ExpectBackendEquivalence<TotaGreedy>("TOTA");
+}
+
+TEST(SimEquivalenceTest, DemComBitIdenticalAcrossBackends) {
+  ExpectBackendEquivalence<DemCom>("DemCOM");
+}
+
+TEST(SimEquivalenceTest, RamComBitIdenticalAcrossBackends) {
+  ExpectBackendEquivalence<RamCom>("RamCOM");
+}
+
+}  // namespace
+}  // namespace comx

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate: four stages, strictest first.
+# Tier-1 gate: five stages, strictest first.
 #
-#   1. asan-ubsan — full test suite under AddressSanitizer + UBSan.
+#   1. asan-ubsan — full test suite under AddressSanitizer + UBSan
+#                   (includes the `kernels` backend-equivalence suite).
 #   2. tsan       — the concurrency surface (thread pool, sweep engine)
 #                   under ThreadSanitizer.
 #   3. bench      — release bench_sweep reproduced against the committed
@@ -9,25 +10,28 @@
 #   4. fuzz       — comx_fuzz --smoke: 200 seeded scenarios through every
 #                   matcher with the constraint/differential oracles on
 #                   (see TESTING.md).
+#   5. kernels    — release bench_kernels --smoke reproduced against the
+#                   committed BENCH_kernels.json baseline (the kernel
+#                   layer's cross-backend checksums) via bench_check.
 #
 # Usage: tools/check.sh [extra ctest args...]
 #   tools/check.sh              # everything
 #   tools/check.sh -L fault     # pass-through filter for the asan stage
 # Set COMX_CHECK_SKIP_TSAN=1 / COMX_CHECK_SKIP_BENCH=1 /
-# COMX_CHECK_SKIP_FUZZ=1 to skip a stage.
+# COMX_CHECK_SKIP_FUZZ=1 / COMX_CHECK_SKIP_KERNELS=1 to skip a stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== stage 1/4: asan-ubsan test suite =="
+echo "== stage 1/5: asan-ubsan test suite =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${JOBS}"
 ctest --preset asan-ubsan -j "${JOBS}" "$@"
 
 if [[ "${COMX_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "== stage 2/4: thread pool + sweep engine under TSan =="
+  echo "== stage 2/5: thread pool + sweep engine under TSan =="
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}" \
     --target comx_util_test comx_exp_test
@@ -35,11 +39,11 @@ if [[ "${COMX_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
     --gtest_filter='ThreadPoolTest.*:ParallelForTest.*'
   ./build-tsan/tests/comx_exp_test
 else
-  echo "== stage 2/4: skipped (COMX_CHECK_SKIP_TSAN=1) =="
+  echo "== stage 2/5: skipped (COMX_CHECK_SKIP_TSAN=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
-  echo "== stage 3/4: BENCH baseline reproduction =="
+  echo "== stage 3/5: BENCH baseline reproduction =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target bench_sweep bench_check
   SWEEP_OUT="$(mktemp /tmp/comx_bench_sweep.XXXXXX.json)"
@@ -48,16 +52,29 @@ if [[ "${COMX_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
   ./build/tools/bench_check --baseline BENCH_sweep.json \
     --current "${SWEEP_OUT}"
 else
-  echo "== stage 3/4: skipped (COMX_CHECK_SKIP_BENCH=1) =="
+  echo "== stage 3/5: skipped (COMX_CHECK_SKIP_BENCH=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_FUZZ:-0}" != "1" ]]; then
-  echo "== stage 4/4: comx_fuzz smoke (200 scenarios, all matchers) =="
+  echo "== stage 4/5: comx_fuzz smoke (200 scenarios, all matchers) =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target comx_fuzz
   ./build/tools/comx_fuzz --smoke
 else
-  echo "== stage 4/4: skipped (COMX_CHECK_SKIP_FUZZ=1) =="
+  echo "== stage 4/5: skipped (COMX_CHECK_SKIP_FUZZ=1) =="
+fi
+
+if [[ "${COMX_CHECK_SKIP_KERNELS:-0}" != "1" ]]; then
+  echo "== stage 5/5: kernel checksum baseline reproduction =="
+  cmake --preset release
+  cmake --build --preset release -j "${JOBS}" --target bench_kernels bench_check
+  KERNELS_OUT="$(mktemp /tmp/comx_bench_kernels.XXXXXX.json)"
+  trap 'rm -f "${SWEEP_OUT:-}" "${KERNELS_OUT}"' EXIT
+  ./build/bench/bench_kernels --smoke --out "${KERNELS_OUT}"
+  ./build/tools/bench_check --baseline BENCH_kernels.json \
+    --current "${KERNELS_OUT}"
+else
+  echo "== stage 5/5: skipped (COMX_CHECK_SKIP_KERNELS=1) =="
 fi
 
 echo "check.sh: all stages passed"
