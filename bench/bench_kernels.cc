@@ -27,6 +27,7 @@
 #include "kernels/dispatch.h"
 #include "kernels/ecdf_batch.h"
 #include "kernels/geo_kernels.h"
+#include "obs/span.h"
 #include "pricing/history.h"
 #include "util/memory_meter.h"
 #include "util/rng.h"
@@ -284,6 +285,47 @@ int main(int argc, char** argv) {
     records.push_back(std::move(ecdf_row.record));
 
     std::printf("n=%-7zu done\n", n);
+  }
+
+  // -- observability: ScopedSpan record cost (budget: < 50 ns/record on the
+  // enabled path; the disabled path is two relaxed loads and a branch). The
+  // deterministic gate field is the histogram count delta of one untimed
+  // pass (== n); wall_ns_per_record is informational like all timing. --
+  {
+    const size_t n = 100'000;
+    const bool was_enabled = obs::CollectionEnabled();
+    obs::SetCollectionEnabled(true);
+    static const obs::SpanSite site("bench_span");
+    const auto span_pass = [&] {
+      for (size_t i = 0; i < n; ++i) {
+        obs::ScopedSpan span(site);
+      }
+    };
+    const int64_t before = site.histogram()->Count();
+    span_pass();
+    const double recorded =
+        static_cast<double>(site.histogram()->Count() - before);
+    Row on = TimeRow("obs.span_record.enabled.n" + std::to_string(n), n,
+                     recorded, span_pass, target_elems, reps);
+    on.record.numbers["wall_ns_per_record"] =
+        on.secs_per_pass / static_cast<double>(n) * 1e9;
+    std::printf("  %-40s %8.1f ns/record (budget 50)\n",
+                on.record.name.c_str(),
+                on.record.numbers["wall_ns_per_record"]);
+    records.push_back(std::move(on.record));
+
+    obs::SetSpansDisabled(true);
+    const int64_t off_before = site.histogram()->Count();
+    span_pass();
+    const double off_recorded =
+        static_cast<double>(site.histogram()->Count() - off_before);
+    Row off = TimeRow("obs.span_record.disabled.n" + std::to_string(n), n,
+                      off_recorded, span_pass, target_elems, reps);
+    off.record.numbers["wall_ns_per_record"] =
+        off.secs_per_pass / static_cast<double>(n) * 1e9;
+    records.push_back(std::move(off.record));
+    obs::SetSpansDisabled(false);
+    obs::SetCollectionEnabled(was_enabled);
   }
 
   exp::BenchRecord summary;

@@ -5,11 +5,22 @@
 // the sweep engine and writes one flat JSON record per (workload,
 // algorithm), a per-workload .timing record, and a summary over the two
 // small workloads. Deterministic fields (revenue, completed, cooperative,
-// acceptance, payment rate, logical memory) are identical at any --jobs
-// value; tools/bench_check diffs a fresh run against the baseline and
-// reports per-row runs_per_sec deltas.
+// acceptance, payment rate, logical memory, decision counts) are identical
+// at any --jobs value; tools/bench_check diffs a fresh run against the
+// baseline and reports per-row runs_per_sec and latency-percentile deltas
+// (wall-clock fields are informational, never gating).
+//
+// Each (workload, algorithm) row carries a decision-latency block
+// (latency_p50_us / p99 / p999 / max over the pooled per-seed histograms)
+// from the simulator's per-decision measurement.
 //
 //   bench_sweep [--jobs N] [--seeds N] [--out PATH]
+//               [--quick] [--perf-out PATH]
+//
+// --quick drops the R100000_W20000 stress row (for the perf-report CI
+// stage). --perf-out enables metrics collection + spans for the run and
+// dumps the hierarchical span profile (flat JSONL, see obs/profiler.h) to
+// PATH for tools/perf_report; expect lower runs_per_sec in that mode.
 
 #include <cstdio>
 #include <string>
@@ -18,6 +29,8 @@
 #include "common.h"
 #include "datagen/synthetic.h"
 #include "exp/bench_record.h"
+#include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "util/memory_meter.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -30,6 +43,13 @@ const char* ArgString(int argc, char** argv, const std::string& flag,
     if (flag == argv[i]) return argv[i + 1];
   }
   return fallback;
+}
+
+bool ArgFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
 }
 
 struct Workload {
@@ -55,6 +75,9 @@ int main(int argc, char** argv) {
   const int seeds = static_cast<int>(bench::ArgInt(argc, argv, "--seeds", 3));
   const std::string out =
       ArgString(argc, argv, "--out", "BENCH_sweep.json");
+  const bool quick = ArgFlag(argc, argv, "--quick");
+  const std::string perf_out = ArgString(argc, argv, "--perf-out", "");
+  if (!perf_out.empty()) obs::SetCollectionEnabled(true);
 
   // Sized so the default sweep finishes in seconds serially (the baseline
   // gate runs on every check) while still giving a multicore runner
@@ -76,6 +99,7 @@ int main(int argc, char** argv) {
   double summary_seconds = 0.0;
   double summary_runs = 0.0;
   for (const Workload& w : workloads) {
+    if (quick && !w.in_summary) continue;
     SyntheticConfig gen;
     gen.requests_per_platform = {w.requests_per_platform};
     gen.workers_per_platform = {w.workers_per_platform};
@@ -92,9 +116,10 @@ int main(int argc, char** argv) {
     run.algos = algos;
     if (jobs > 1) run.pool = &shared_pool;
     run.sim.workers_recycle = true;
-    // Response time is a wall-clock measurement (host- and load-
-    // dependent); the baseline only records deterministic fields.
-    run.sim.measure_response_time = false;
+    // Per-decision latency measurement: the clock reads never consume RNG,
+    // so every deterministic (gating) field is unchanged by it. The
+    // latency_* percentiles themselves are wall-clock and informational.
+    run.sim.measure_response_time = true;
     Stopwatch workload_wall;
     const std::vector<bench::Row> rows = bench::RunTable(*instance, run);
     const double workload_seconds = workload_wall.ElapsedNanos() / 1e9;
@@ -112,6 +137,17 @@ int main(int argc, char** argv) {
       record.numbers["payment_rate"] = row.payment_rate;
       record.numbers["memory_mb"] = row.memory_mb;
       record.numbers["seeds"] = static_cast<double>(w.seeds);
+      // Latency block: the decision count is deterministic (one decision
+      // per request per seed) and gates; the percentiles are wall-clock
+      // and carry the informational latency_ prefix.
+      record.numbers["decisions"] =
+          static_cast<double>(row.latency.count);
+      record.numbers["latency_p50_us"] = row.latency.QuantileMicros(0.50);
+      record.numbers["latency_p99_us"] = row.latency.QuantileMicros(0.99);
+      record.numbers["latency_p999_us"] =
+          row.latency.QuantileMicros(0.999);
+      record.numbers["latency_max_us"] =
+          static_cast<double>(row.latency.max_nanos) / 1e3;
       records.push_back(std::move(record));
     }
     // Per-workload timing row: bench_check reports the runs_per_sec delta
@@ -153,6 +189,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "write %s: %s\n", out.c_str(),
                  st.ToString().c_str());
     return 1;
+  }
+  if (!perf_out.empty()) {
+    if (Status st = obs::SpanProfiler::Global().WriteProfile(perf_out);
+        !st.ok()) {
+      std::fprintf(stderr, "write %s: %s\n", perf_out.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote span profile to %s\n", perf_out.c_str());
   }
   std::printf(
       "wrote %s: summary %.0f runs in %.2fs (%.1f runs/s), total %.2fs, "

@@ -73,6 +73,7 @@ Row MergeSeeds(Algo algo, int32_t platforms,
   double acceptance = 0.0, rate = 0.0, response = 0.0, memory = 0.0;
   int64_t cooperative = 0;
   for (const SimMetrics& metrics : per_seed) {
+    row.latency.Merge(metrics.decision_latency);
     for (PlatformId p = 0; p < platforms; ++p) {
       row.revenue[static_cast<size_t>(p)] +=
           metrics.per_platform[static_cast<size_t>(p)].revenue;

@@ -42,6 +42,10 @@ struct Row {
   int64_t cooperative = 0;    // |CoR| summed over platforms
   double acceptance = 0.0;    // |AcpRt|
   double payment_rate = 0.0;  // mean v'_r / v_r
+  /// Decision-latency histogram merged over the row's seeds, in seed
+  /// order (empty unless sim.measure_response_time was set). Counts are
+  /// summed, not averaged: quantiles of the pooled distribution.
+  obs::LatencySnapshot latency;
 };
 
 /// Run configuration for one table.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/timer.h"
+
 namespace comx {
 namespace exp {
 namespace {
@@ -47,8 +49,15 @@ Status SweepRunner::Run(size_t config_count, size_t seed_count,
   }
 
   // One Status slot per job: errors are merged in job order below, so the
-  // reported failure does not depend on scheduling.
+  // reported failure does not depend on scheduling. Wall-time slots work
+  // the same way — each job times its own body into its own cell.
   std::vector<Status> status(count);
+  std::vector<int64_t> job_nanos(count, 0);
+  auto timed = [&](size_t i) {
+    Stopwatch watch;
+    status[i] = fn(job_at(i));
+    job_nanos[i] = watch.ElapsedNanos();
+  };
   const bool use_pool =
       count > 1 && (options_.pool != nullptr || options_.jobs != 1);
   if (!use_pool) {
@@ -57,7 +66,7 @@ Status SweepRunner::Run(size_t config_count, size_t seed_count,
       if (options_.capture_metrics) {
         before_job = obs::MetricsRegistry::Global().Snapshot();
       }
-      status[i] = fn(job_at(i));
+      timed(i);
       if (options_.capture_metrics) {
         report_.per_job_metrics.push_back(obs::DiffSnapshots(
             before_job, obs::MetricsRegistry::Global().Snapshot()));
@@ -66,8 +75,7 @@ Status SweepRunner::Run(size_t config_count, size_t seed_count,
   } else {
     report_.parallel = true;
     auto run_all = [&](ThreadPool& pool) {
-      ParallelFor(pool, count,
-                  [&](size_t i) { status[i] = fn(job_at(i)); });
+      ParallelFor(pool, count, timed);
     };
     if (options_.pool != nullptr) {
       run_all(*options_.pool);
@@ -79,6 +87,12 @@ Status SweepRunner::Run(size_t config_count, size_t seed_count,
       ThreadPool pool(threads);
       run_all(pool);
     }
+  }
+
+  report_.job_wall_seconds.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    report_.job_wall_seconds[i] = static_cast<double>(job_nanos[i]) / 1e9;
+    report_.job_latency.Observe(job_nanos[i]);
   }
 
   if (options_.capture_metrics) {

@@ -65,6 +65,13 @@ struct SweepReport {
   size_t job_count = 0;
   /// True when jobs actually ran on a pool (not the inline serial path).
   bool parallel = false;
+  /// Wall-clock seconds of each job body, indexed by job_index. Always
+  /// filled: each job writes only its own slot, so placement (though not
+  /// the measured values) is deterministic at any job count.
+  std::vector<double> job_wall_seconds;
+  /// Log-linear histogram over the per-job wall times, built by merging
+  /// the slots in job order after the sweep completes.
+  obs::LatencySnapshot job_latency;
   /// Registry activity across the whole sweep (capture_metrics only).
   obs::MetricsSnapshot sweep_metrics;
   /// Per-job registry activity. Only filled on the serial path: in a

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/span.h"
+
 namespace comx {
 namespace kernels {
 namespace {
@@ -62,6 +64,7 @@ double EcdfIndex::Evaluate(int64_t w, double payment) const {
 
 void EcdfIndex::BatchEvaluate(const int64_t* ids, size_t n, double payment,
                               double* probs_out) const {
+  COMX_SPAN("ecdf_eval");
   for (size_t i = 0; i < n; ++i) {
     probs_out[i] = Evaluate(ids[i], payment);
   }
@@ -69,6 +72,7 @@ void EcdfIndex::BatchEvaluate(const int64_t* ids, size_t n, double payment,
 
 void EcdfIndex::EvaluateAscending(int64_t w, const double* payments, size_t n,
                                   double* probs_out) const {
+  COMX_SPAN("ecdf_scan");
   const size_t i = static_cast<size_t>(w);
   const double size = size_[i];
   if (size == 0.0) {

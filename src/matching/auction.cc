@@ -4,12 +4,14 @@
 #include <deque>
 #include <vector>
 
+#include "obs/span.h"
 #include "util/string_util.h"
 
 namespace comx {
 
 Result<BipartiteMatching> AuctionMaxWeight(const BipartiteGraph& graph,
                                            const AuctionConfig& config) {
+  COMX_SPAN("auction_solve");
   const int32_t n_left = graph.left_count();
   const int32_t n_right = graph.right_count();
   double max_weight = 0.0;

@@ -5,11 +5,13 @@
 #include <limits>
 #include <vector>
 
+#include "obs/span.h"
 #include "util/string_util.h"
 
 namespace comx {
 
 Result<BipartiteMatching> HungarianMaxWeight(const BipartiteGraph& graph) {
+  COMX_SPAN("hungarian_solve");
   const int64_t n = graph.left_count();
   // Dummy columns let every row stay effectively unmatched at weight 0.
   const int64_t m = std::max<int64_t>(graph.right_count(), n);

@@ -82,6 +82,27 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
     out += StrFormat(" %.17g\n", g.value);
   }
   last_base.clear();
+  // Latency histograms export as Prometheus summaries (quantile label),
+  // converted from nanoseconds to the seconds their base names promise.
+  for (const LatencySample& l : snapshot.latencies) {
+    const auto [base, labels] = SplitName(l.name);
+    MaybeHeader(&out, base, l.help, "summary", &last_base);
+    static constexpr std::pair<const char*, double> kQuantiles[] = {
+        {"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}, {"0.999", 0.999}};
+    for (const auto& [label, q] : kQuantiles) {
+      out += SeriesName(base, "", labels,
+                        StrFormat("quantile=\"%s\"", label));
+      out += StrFormat(
+          " %.17g\n",
+          static_cast<double>(l.latency.ValueAtQuantileNanos(q)) / 1e9);
+    }
+    out += SeriesName(base, "_sum", labels, "");
+    out += StrFormat(" %.17g\n",
+                     static_cast<double>(l.latency.sum_nanos) / 1e9);
+    out += SeriesName(base, "_count", labels, "");
+    out += StrFormat(" %lld\n", static_cast<long long>(l.latency.count));
+  }
+  last_base.clear();
   for (const HistogramSample& h : snapshot.histograms) {
     const auto [base, labels] = SplitName(h.name);
     MaybeHeader(&out, base, h.help, "histogram", &last_base);
@@ -121,6 +142,26 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
     w.EndArray();
     w.Key("bucket_counts").BeginArray();
     for (int64_t c : h.counts) w.Value(c);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("latencies").BeginObject();
+  for (const LatencySample& l : snapshot.latencies) {
+    w.Key(l.name).BeginObject();
+    w.KV("count", l.latency.count)
+        .KV("sum_ns", l.latency.sum_nanos)
+        .KV("max_ns", l.latency.max_nanos)
+        .KV("p50_ns", l.latency.ValueAtQuantileNanos(0.50))
+        .KV("p90_ns", l.latency.ValueAtQuantileNanos(0.90))
+        .KV("p99_ns", l.latency.ValueAtQuantileNanos(0.99))
+        .KV("p999_ns", l.latency.ValueAtQuantileNanos(0.999));
+    // Sparse [index, count] pairs of the log-linear buckets (see
+    // latency_histogram.h for the index -> bound mapping).
+    w.Key("buckets").BeginArray();
+    for (const auto& [index, count] : l.latency.NonZeroBuckets()) {
+      w.BeginArray().Value(index).Value(count).EndArray();
+    }
     w.EndArray();
     w.EndObject();
   }

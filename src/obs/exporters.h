@@ -21,12 +21,15 @@ Result<MetricsFormat> ParseMetricsFormat(std::string_view name);
 
 /// Prometheus text exposition: # HELP / # TYPE comments, cumulative
 /// histogram buckets with the synthetic le label, _sum and _count series.
+/// Latency histograms export as summaries (quantile label, seconds).
 /// Labeled metric names registered via MetricName() are merged with the
 /// synthetic labels correctly.
 std::string ToPrometheusText(const MetricsSnapshot& snapshot);
 
 /// JSON snapshot: {"counters": {name: value, ...}, "gauges": {...},
-/// "histograms": {name: {"count": n, "sum": s, "buckets": [...]}}}.
+/// "histograms": {name: {"count": n, "sum": s, "buckets": [...]}},
+/// "latencies": {name: {"count": n, ..., "p50_ns": v, "buckets":
+/// [[index, count], ...]}}}.
 std::string ToJson(const MetricsSnapshot& snapshot);
 
 /// Scrapes `registry` and writes it to `path` in `format`.

@@ -1,0 +1,167 @@
+#include "obs/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics_registry.h"
+
+namespace comx {
+namespace obs {
+
+void LatencySnapshot::Observe(int64_t nanos) {
+  if (counts.empty()) counts.assign(kLatencyBucketCount, 0);
+  const int64_t clamped =
+      std::clamp<int64_t>(nanos, 0, kLatencyMaxTrackableNanos);
+  counts[static_cast<size_t>(LatencyBucketIndex(clamped))] += 1;
+  count += 1;
+  sum_nanos += clamped;
+  max_nanos = std::max(max_nanos, clamped);
+}
+
+void LatencySnapshot::Merge(const LatencySnapshot& other) {
+  if (other.empty()) return;
+  if (counts.empty()) counts.assign(kLatencyBucketCount, 0);
+  for (size_t i = 0; i < other.counts.size(); ++i) {
+    counts[i] += other.counts[i];
+  }
+  count += other.count;
+  sum_nanos += other.sum_nanos;
+  max_nanos = std::max(max_nanos, other.max_nanos);
+}
+
+int64_t LatencySnapshot::ValueAtQuantileNanos(double q) const {
+  if (count <= 0 || counts.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  int64_t rank = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  rank = std::clamp<int64_t>(rank, 1, count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      return std::min(LatencyBucketUpperNanos(static_cast<int>(i)),
+                      max_nanos);
+    }
+  }
+  return max_nanos;
+}
+
+std::vector<std::pair<int32_t, int64_t>> LatencySnapshot::NonZeroBuckets()
+    const {
+  std::vector<std::pair<int32_t, int64_t>> out;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] != 0) {
+      out.emplace_back(static_cast<int32_t>(i), counts[i]);
+    }
+  }
+  return out;
+}
+
+LatencySnapshot LatencySnapshotFromSparse(
+    const std::vector<std::pair<int32_t, int64_t>>& buckets, int64_t count,
+    int64_t sum_nanos, int64_t max_nanos) {
+  LatencySnapshot snap;
+  snap.count = count;
+  snap.sum_nanos = sum_nanos;
+  snap.max_nanos = max_nanos;
+  if (count > 0 || !buckets.empty()) {
+    snap.counts.assign(kLatencyBucketCount, 0);
+  }
+  for (const auto& [index, bucket_count] : buckets) {
+    if (index < 0 || index >= kLatencyBucketCount || bucket_count < 0) {
+      snap = LatencySnapshot();
+      snap.count = -1;
+      return snap;
+    }
+    snap.counts[static_cast<size_t>(index)] = bucket_count;
+  }
+  return snap;
+}
+
+LatencyHistogram::~LatencyHistogram() {
+  for (Shard& shard : shards_) {
+    delete[] shard.counts.load(std::memory_order_acquire);
+  }
+}
+
+std::atomic<int64_t>* LatencyHistogram::ShardCounts(Shard& shard) {
+  std::atomic<int64_t>* counts =
+      shard.counts.load(std::memory_order_acquire);
+  if (counts != nullptr) return counts;
+  auto* fresh = new std::atomic<int64_t>[kLatencyBucketCount];
+  for (int i = 0; i < kLatencyBucketCount; ++i) {
+    fresh[i].store(0, std::memory_order_relaxed);
+  }
+  // Threads hashing to the same shard may race the first allocation; the
+  // CAS loser frees its copy and adopts the winner's array.
+  if (shard.counts.compare_exchange_strong(counts, fresh,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+    return fresh;
+  }
+  delete[] fresh;
+  return counts;
+}
+
+void LatencyHistogram::ObserveNanos(int64_t nanos) {
+  const int64_t clamped =
+      std::clamp<int64_t>(nanos, 0, kLatencyMaxTrackableNanos);
+  Shard& shard = shards_[internal::ThisThreadShard()];
+  std::atomic<int64_t>* counts = ShardCounts(shard);
+  counts[LatencyBucketIndex(clamped)].fetch_add(1,
+                                                std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(clamped, std::memory_order_relaxed);
+  int64_t seen = shard.max.load(std::memory_order_relaxed);
+  while (clamped > seen &&
+         !shard.max.compare_exchange_weak(seen, clamped,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+LatencySnapshot LatencyHistogram::Snapshot() const {
+  LatencySnapshot snap;
+  for (const Shard& shard : shards_) {
+    const int64_t shard_count = shard.count.load(std::memory_order_relaxed);
+    if (shard_count == 0) continue;
+    if (snap.counts.empty()) snap.counts.assign(kLatencyBucketCount, 0);
+    snap.count += shard_count;
+    snap.sum_nanos += shard.sum.load(std::memory_order_relaxed);
+    snap.max_nanos = std::max(snap.max_nanos,
+                              shard.max.load(std::memory_order_relaxed));
+    const std::atomic<int64_t>* counts =
+        shard.counts.load(std::memory_order_acquire);
+    if (counts == nullptr) continue;
+    for (int i = 0; i < kLatencyBucketCount; ++i) {
+      snap.counts[static_cast<size_t>(i)] +=
+          counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+int64_t LatencyHistogram::Count() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void LatencyHistogram::Reset() {
+  for (Shard& shard : shards_) {
+    std::atomic<int64_t>* counts =
+        shard.counts.load(std::memory_order_acquire);
+    if (counts != nullptr) {
+      for (int i = 0; i < kLatencyBucketCount; ++i) {
+        counts[i].store(0, std::memory_order_relaxed);
+      }
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs
+}  // namespace comx

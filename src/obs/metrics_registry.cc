@@ -187,6 +187,20 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
   return it->second.get();
 }
 
+LatencyHistogram* MetricsRegistry::GetLatencyHistogram(
+    std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latencies_.find(name);
+  if (it == latencies_.end()) {
+    it = latencies_
+             .emplace(std::string(name),
+                      std::make_unique<LatencyHistogram>(std::string(name),
+                                                         std::string(help)))
+             .first;
+  }
+  return it->second.get();
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
@@ -204,6 +218,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
                                hist->BucketCounts(), hist->Count(),
                                hist->Sum()});
   }
+  snap.latencies.reserve(latencies_.size());
+  for (const auto& [name, hist] : latencies_) {
+    snap.latencies.push_back({name, hist->help(), hist->Snapshot()});
+  }
   return snap;
 }
 
@@ -212,6 +230,7 @@ void MetricsRegistry::ResetValues() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
+  for (auto& [name, hist] : latencies_) hist->Reset();
 }
 
 MetricsSnapshot DiffSnapshots(const MetricsSnapshot& before,
@@ -247,6 +266,26 @@ MetricsSnapshot DiffSnapshots(const MetricsSnapshot& before,
       ++hi;
     }
     diff.histograms.push_back(std::move(d));
+  }
+  // Latency samples subtract like histograms; max is not diffable (only
+  // the larger of the two windows is known), so the diff keeps `after`'s
+  // max, which upper-bounds the interval's true max.
+  size_t li = 0;
+  diff.latencies.reserve(after.latencies.size());
+  for (const LatencySample& a : after.latencies) {
+    LatencySample d = a;
+    if (li < before.latencies.size() &&
+        before.latencies[li].name == a.name) {
+      const LatencySnapshot& b = before.latencies[li].latency;
+      for (size_t i = 0;
+           i < d.latency.counts.size() && i < b.counts.size(); ++i) {
+        d.latency.counts[i] -= b.counts[i];
+      }
+      d.latency.count -= b.count;
+      d.latency.sum_nanos -= b.sum_nanos;
+      ++li;
+    }
+    diff.latencies.push_back(std::move(d));
   }
   return diff;
 }

@@ -24,6 +24,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/latency_histogram.h"
+
 namespace comx {
 namespace obs {
 
@@ -168,10 +170,15 @@ struct HistogramSample {
   int64_t count = 0;
   double sum = 0.0;
 };
+struct LatencySample {
+  std::string name, help;
+  LatencySnapshot latency;
+};
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  std::vector<LatencySample> latencies;
 };
 
 /// What happened between two snapshots of the same registry: counters and
@@ -202,6 +209,12 @@ class MetricsRegistry {
   /// name ignores `bounds` and returns the existing histogram.
   Histogram* GetHistogram(std::string_view name, std::vector<double> bounds,
                           std::string_view help = "");
+  /// Log-linear nanosecond histogram (see latency_histogram.h). Unlike
+  /// Histogram::Observe, LatencyHistogram::ObserveNanos is NOT gated on
+  /// CollectionEnabled() — call sites gate (ScopedSpan samples the switch
+  /// on scope entry).
+  LatencyHistogram* GetLatencyHistogram(std::string_view name,
+                                        std::string_view help = "");
 
   /// Merged values of everything registered so far.
   MetricsSnapshot Snapshot() const;
@@ -215,6 +228,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      latencies_;
 };
 
 }  // namespace obs

@@ -1,0 +1,234 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "obs/metrics_registry.h"
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace comx {
+namespace obs {
+
+namespace internal {
+namespace {
+thread_local int32_t tl_current_node = kProfilerRootNode;
+thread_local int64_t* tl_child_nanos = nullptr;
+}  // namespace
+
+int32_t CurrentThreadNode() { return tl_current_node; }
+void SetCurrentThreadNode(int32_t node) { tl_current_node = node; }
+int64_t** ThreadChildNanosSlot() { return &tl_child_nanos; }
+
+}  // namespace internal
+
+struct SpanProfiler::ChildLink {
+  int site;
+  int32_t node;
+  ChildLink* next;  // immutable after publication
+};
+
+struct SpanProfiler::Node {
+  int site;
+  int32_t parent;
+  int32_t depth;
+  std::atomic<ChildLink*> children{nullptr};
+  struct alignas(64) Cell {
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> total{0};
+    std::atomic<int64_t> self{0};
+  };
+  std::array<Cell, kShardCount> cells;
+  LatencyHistogram hist;
+
+  Node(int site_in, int32_t parent_in, int32_t depth_in)
+      : site(site_in), parent(parent_in), depth(depth_in) {}
+};
+
+SpanProfiler& SpanProfiler::Global() {
+  static SpanProfiler* profiler = new SpanProfiler();
+  return *profiler;
+}
+
+SpanProfiler::SpanProfiler()
+    : nodes_(kProfilerMaxNodes), site_names_(kProfilerMaxSites) {
+  for (auto& slot : nodes_) slot.store(nullptr, std::memory_order_relaxed);
+  for (auto& name : site_names_) {
+    name.store(nullptr, std::memory_order_relaxed);
+  }
+  // Root: synthetic node every thread starts at. Never freed (nor is any
+  // other node): lock-free readers may hold a Node* indefinitely and the
+  // profiler is a process-lifetime singleton.
+  nodes_[kProfilerRootNode].store(
+      new Node(/*site=*/-1, kProfilerInvalidNode, /*depth=*/0),
+      std::memory_order_release);
+  node_count_.store(1, std::memory_order_release);
+}
+
+int SpanProfiler::RegisterSite(const char* phase) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int n = site_count_.load(std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    const char* existing = site_names_[static_cast<size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (std::strcmp(existing, phase) == 0) return i;
+  }
+  if (n >= kProfilerMaxSites) return -1;
+  site_names_[static_cast<size_t>(n)].store(phase,
+                                            std::memory_order_release);
+  site_count_.store(n + 1, std::memory_order_release);
+  return n;
+}
+
+std::string SpanProfiler::SiteName(int site) const {
+  if (site < 0 || site >= site_count_.load(std::memory_order_acquire)) {
+    return "";
+  }
+  const char* name =
+      site_names_[static_cast<size_t>(site)].load(std::memory_order_acquire);
+  return name == nullptr ? "" : std::string(name);
+}
+
+int32_t SpanProfiler::EnterChild(int32_t parent, int site) {
+  if (parent == kProfilerInvalidNode || site < 0) {
+    return kProfilerInvalidNode;
+  }
+  Node* parent_node = NodeAt(parent);
+  if (parent_node->depth >= kProfilerMaxDepth) return kProfilerInvalidNode;
+  for (ChildLink* link =
+           parent_node->children.load(std::memory_order_acquire);
+       link != nullptr; link = link->next) {
+    if (link->site == site) return link->node;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-check under the lock: another thread may have created it.
+  ChildLink* head = parent_node->children.load(std::memory_order_acquire);
+  for (ChildLink* link = head; link != nullptr; link = link->next) {
+    if (link->site == site) return link->node;
+  }
+  const int32_t id = node_count_.load(std::memory_order_relaxed);
+  if (id >= kProfilerMaxNodes) return kProfilerInvalidNode;
+  nodes_[static_cast<size_t>(id)].store(
+      new Node(site, parent, parent_node->depth + 1),
+      std::memory_order_release);
+  node_count_.store(id + 1, std::memory_order_release);
+  parent_node->children.store(new ChildLink{site, id, head},
+                              std::memory_order_release);
+  return id;
+}
+
+void SpanProfiler::RecordSpan(int32_t node, int64_t total_nanos,
+                              int64_t self_nanos) {
+  if (node == kProfilerInvalidNode) return;
+  Node* n = NodeAt(node);
+  Node::Cell& cell = n->cells[internal::ThisThreadShard()];
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.total.fetch_add(total_nanos, std::memory_order_relaxed);
+  cell.self.fetch_add(self_nanos, std::memory_order_relaxed);
+  n->hist.ObserveNanos(total_nanos);
+}
+
+std::vector<ProfileNode> SpanProfiler::Snapshot() const {
+  const int32_t n = node_count_.load(std::memory_order_acquire);
+  std::vector<ProfileNode> out(static_cast<size_t>(n));
+  for (int32_t id = 0; id < n; ++id) {
+    const Node* node = NodeAt(id);
+    ProfileNode& p = out[static_cast<size_t>(id)];
+    p.node = id;
+    p.parent = node->parent;
+    p.depth = node->depth;
+    p.phase = SiteName(node->site);
+    // parent < id by creation order, so its path is already resolved.
+    if (node->parent != kProfilerInvalidNode) {
+      const std::string& parent_path =
+          out[static_cast<size_t>(node->parent)].path;
+      p.path = parent_path.empty() ? p.phase : parent_path + ";" + p.phase;
+    }
+    for (const Node::Cell& cell : node->cells) {
+      p.count += cell.count.load(std::memory_order_relaxed);
+      p.total_nanos += cell.total.load(std::memory_order_relaxed);
+      p.self_nanos += cell.self.load(std::memory_order_relaxed);
+    }
+    p.latency = node->hist.Snapshot();
+  }
+  return out;
+}
+
+std::string SpanProfiler::CollapsedStacks() const {
+  std::string out;
+  for (const ProfileNode& node : Snapshot()) {
+    if (node.node == kProfilerRootNode || node.count <= 0) continue;
+    out += node.path;
+    out += ' ';
+    out += std::to_string(std::max<int64_t>(node.self_nanos, 0));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string SpanProfiler::ProfileJsonl() const {
+  const std::vector<ProfileNode> nodes = Snapshot();
+  std::string out;
+  {
+    JsonWriter header;
+    header.BeginObject()
+        .KV("schema", kProfileSchema)
+        .KV("nodes", static_cast<int64_t>(nodes.size()))
+        .EndObject();
+    out += header.str();
+    out += '\n';
+  }
+  for (const ProfileNode& node : nodes) {
+    if (node.node == kProfilerRootNode || node.count <= 0) continue;
+    JsonWriter w;
+    w.BeginObject()
+        .KV("node", node.node)
+        .KV("parent", node.parent)
+        .KV("depth", node.depth)
+        .KV("phase", node.phase)
+        .KV("path", node.path)
+        .KV("count", node.count)
+        .KV("total_ns", node.total_nanos)
+        .KV("self_ns", node.self_nanos)
+        .KV("p50_ns", node.latency.ValueAtQuantileNanos(0.50))
+        .KV("p90_ns", node.latency.ValueAtQuantileNanos(0.90))
+        .KV("p99_ns", node.latency.ValueAtQuantileNanos(0.99))
+        .KV("p999_ns", node.latency.ValueAtQuantileNanos(0.999))
+        .KV("max_ns", node.latency.max_nanos)
+        .EndObject();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+Status SpanProfiler::WriteProfile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError(
+        StrFormat("cannot open %s for write", path.c_str()));
+  }
+  out << ProfileJsonl();
+  out.flush();
+  if (!out) {
+    return Status::IoError(StrFormat("write to %s failed", path.c_str()));
+  }
+  return Status::OK();
+}
+
+void SpanProfiler::ResetStats() {
+  const int32_t n = node_count_.load(std::memory_order_acquire);
+  for (int32_t id = 0; id < n; ++id) {
+    Node* node = NodeAt(id);
+    for (Node::Cell& cell : node->cells) {
+      cell.count.store(0, std::memory_order_relaxed);
+      cell.total.store(0, std::memory_order_relaxed);
+      cell.self.store(0, std::memory_order_relaxed);
+    }
+    node->hist.Reset();
+  }
+}
+
+}  // namespace obs
+}  // namespace comx

@@ -1,54 +1,91 @@
-// Scoped timing spans feeding per-phase latency histograms.
+// Scoped timing spans feeding per-phase latency histograms and the
+// hierarchical span profiler.
 //
 //   void DemCom::OnRequest(...) {
 //     ...
 //     { COMX_SPAN("pricing_estimate"); estimate = ...; }
 //   }
 //
-// Each COMX_SPAN site interns one histogram named
-// comx_span_seconds{phase="<name>"} (DefaultLatencyBoundsSeconds buckets)
-// on first execution, then records the scope's wall time into it. When
-// collection is disabled, entering the scope is a relaxed load + branch:
-// no clock is read and nothing is recorded.
+// Each COMX_SPAN site interns one log-linear LatencyHistogram named
+// comx_span_seconds{phase="<name>"} plus one profiler site id on first
+// execution. A live span then records, on scope exit:
+//   - total wall nanoseconds into the flat per-phase histogram, and
+//   - (count, total, self) into the profiler node for its call *path* —
+//     nested spans move a thread-local cursor through the call tree, and
+//     self time is total minus the sum of direct children's totals
+//     (measured with the same clock reads, so the decomposition is exact).
+//
+// Gating: entering a scope samples SpansEnabled() once — a relaxed load +
+// branch when disabled, with no clock read. Spans are off unless
+// obs::SetCollectionEnabled(true) is active AND they are not disabled via
+// the COMX_OBS_DISABLE_SPANS environment variable (set to "1") or the
+// COMX_OBS_DISABLE_SPANS compile-time macro (which compiles COMX_SPAN to
+// nothing for zero-overhead builds).
+//
+// ScopedSpan::Stop() is idempotent: the destructor after an explicit
+// Stop(), or a second Stop(), is a no-op, so a span can never double-
+// record or corrupt the thread's span stack.
 
 #ifndef COMX_OBS_SPAN_H_
 #define COMX_OBS_SPAN_H_
 
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "util/timer.h"
 
 namespace comx {
 namespace obs {
 
-/// One static span site: resolves the phase histogram once.
+namespace internal {
+extern std::atomic<bool> g_spans_disabled;
+}  // namespace internal
+
+/// True when span recording is active: global collection on and spans not
+/// disabled via COMX_OBS_DISABLE_SPANS. Two relaxed loads.
+inline bool SpansEnabled() {
+  return CollectionEnabled() &&
+         !internal::g_spans_disabled.load(std::memory_order_relaxed);
+}
+
+/// Overrides the COMX_OBS_DISABLE_SPANS environment setting (tests and
+/// the span-overhead microbench).
+void SetSpansDisabled(bool disabled);
+
+/// One static span site: resolves the phase histogram and profiler site
+/// id once.
 class SpanSite {
  public:
   explicit SpanSite(const char* phase);
-  Histogram* histogram() const { return histogram_; }
+  LatencyHistogram* histogram() const { return histogram_; }
+  int site() const { return site_; }
 
  private:
-  Histogram* histogram_;
+  LatencyHistogram* histogram_;
+  int site_;
 };
 
-/// RAII timer recording into a SpanSite's histogram on destruction.
+/// RAII timer recording into a SpanSite's histogram and profiler node.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const SpanSite& site) {
-    if (CollectionEnabled()) {
-      histogram_ = site.histogram();
-      watch_.Reset();
-    }
+    if (SpansEnabled()) Begin(site);
   }
-  ~ScopedSpan() {
-    if (histogram_ != nullptr) {
-      histogram_->Observe(static_cast<double>(watch_.ElapsedNanos()) / 1e9);
-    }
-  }
+  ~ScopedSpan() { Stop(); }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
+  /// Ends the span early. Idempotent: later calls (including the
+  /// destructor) are no-ops.
+  void Stop();
+
  private:
-  Histogram* histogram_ = nullptr;
+  void Begin(const SpanSite& site);
+
+  LatencyHistogram* histogram_ = nullptr;  // null <=> inactive
+  int32_t node_ = kProfilerInvalidNode;
+  int32_t prev_node_ = kProfilerRootNode;
+  int64_t child_nanos_ = 0;       // sum of direct children's totals
+  int64_t* parent_child_acc_ = nullptr;
   Stopwatch watch_;
 };
 
@@ -58,12 +95,19 @@ class ScopedSpan {
 #define COMX_SPAN_CONCAT_INNER(a, b) a##b
 #define COMX_SPAN_CONCAT(a, b) COMX_SPAN_CONCAT_INNER(a, b)
 
+#ifdef COMX_OBS_DISABLE_SPANS
+/// Compile-time kill switch: sites and scopes vanish entirely.
+#define COMX_SPAN(phase) \
+  do {                   \
+  } while (false)
+#else
 /// Times the rest of the enclosing scope as phase `phase` (string literal).
 #define COMX_SPAN(phase)                                       \
   static const ::comx::obs::SpanSite COMX_SPAN_CONCAT(         \
       comx_span_site_, __LINE__)(phase);                       \
-  const ::comx::obs::ScopedSpan COMX_SPAN_CONCAT(              \
+  ::comx::obs::ScopedSpan COMX_SPAN_CONCAT(                    \
       comx_span_scope_, __LINE__)(COMX_SPAN_CONCAT(            \
       comx_span_site_, __LINE__))
+#endif
 
 #endif  // COMX_OBS_SPAN_H_

@@ -1,7 +1,9 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #include "util/json.h"
@@ -92,6 +94,7 @@ std::string TraceEventToJson(const TraceEvent& event) {
       .KV("fault_failed_partners", event.fault_failed_partners)
       .KV("fault_reserve_conflicts", event.fault_reserve_conflicts)
       .KV("degraded", event.degraded)
+      .KV("latency_ns", event.latency_ns)
       .EndObject();
   return w.TakeString();
 }
@@ -109,6 +112,17 @@ std::string TraceSummaryToJson(const TraceSummary& summary) {
   // non-nesting JSONL parser.
   for (size_t p = 0; p < summary.platform_revenue.size(); ++p) {
     w.KV(StrFormat("revenue_p%zu", p), summary.platform_revenue[p]);
+  }
+  // The latency block follows the same flat-key convention; absent
+  // entirely when the run measured no latencies, so old consumers and old
+  // traces interoperate.
+  if (summary.latency_count > 0) {
+    w.KV("latency_count", summary.latency_count)
+        .KV("latency_sum_ns", summary.latency_sum_ns)
+        .KV("latency_max_ns", summary.latency_max_ns);
+    for (const auto& [index, count] : summary.latency_buckets) {
+      w.KV(StrFormat("lat_b%d", index), count);
+    }
   }
   w.EndObject();
   return w.TakeString();
@@ -145,6 +159,8 @@ Result<TraceEvent> ParseTraceEvent(const std::string& line) {
   e.fault_reserve_conflicts = static_cast<int32_t>(
       OptionalNumber(*obj, "fault_reserve_conflicts", 0.0));
   e.degraded = OptionalBool(*obj, "degraded", false);
+  e.latency_ns =
+      static_cast<int64_t>(OptionalNumber(*obj, "latency_ns", -1.0));
   auto outcome = StringField(*obj, "outcome");
   if (!outcome.ok()) return outcome.status();
   e.outcome = *std::move(outcome);
@@ -177,6 +193,35 @@ Result<TraceSummary> ParseTraceSummary(const std::string& line) {
   for (size_t p = 0; p < s.platform_revenue.size(); ++p) {
     COMX_ASSIGN_NUM(s.platform_revenue[p], *obj,
                     StrFormat("revenue_p%zu", p), double);
+  }
+  // Latency block: optional (older traces and runs without response-time
+  // measurement omit it).
+  s.latency_count =
+      static_cast<int64_t>(OptionalNumber(*obj, "latency_count", 0.0));
+  if (s.latency_count > 0) {
+    s.latency_sum_ns =
+        static_cast<int64_t>(OptionalNumber(*obj, "latency_sum_ns", 0.0));
+    s.latency_max_ns =
+        static_cast<int64_t>(OptionalNumber(*obj, "latency_max_ns", 0.0));
+    for (const auto& [key, scalar] : *obj) {
+      if (key.rfind("lat_b", 0) != 0 ||
+          scalar.kind != JsonScalar::Kind::kNumber) {
+        continue;
+      }
+      char* end = nullptr;
+      const long index = std::strtol(key.c_str() + 5, &end, 10);
+      if (end == nullptr || *end != '\0' || index < 0 ||
+          index >= kLatencyBucketCount) {
+        return Status::InvalidArgument(
+            StrFormat("bad latency bucket key '%s'", key.c_str()));
+      }
+      s.latency_buckets.emplace_back(
+          static_cast<int32_t>(index),
+          static_cast<int64_t>(scalar.number_value));
+    }
+    // std::map iteration gives lat_b10 < lat_b2 (lexicographic); restore
+    // numeric order for deterministic round-trips.
+    std::sort(s.latency_buckets.begin(), s.latency_buckets.end());
   }
   return s;
 }
@@ -295,6 +340,7 @@ Result<TraceReplay> ReplayTraceFile(const std::string& path) {
     }
     ++replay.decision_events;
     replay.bisect_iterations += event->bisect_iterations;
+    if (event->latency_ns >= 0) replay.latency.Observe(event->latency_ns);
     if (event->platform < 0) {
       std::fclose(file);
       return Status::InvalidArgument("negative platform id");
@@ -356,6 +402,56 @@ Status CheckTraceReplay(const TraceReplay& replay) {
     return Status::FailedPrecondition(StrFormat(
         "total revenue mismatch: replayed %.17g, summary %.17g",
         replay.total_revenue, s.total_revenue));
+  }
+  return Status::OK();
+}
+
+Status CheckTraceLatency(const TraceReplay& replay) {
+  if (!replay.has_summary) {
+    return Status::InvalidArgument("trace has no summary line");
+  }
+  const TraceSummary& s = replay.summary;
+  if (s.latency_count <= 0) {
+    return Status::InvalidArgument("summary has no latency block");
+  }
+  const LatencySnapshot recorded = LatencySnapshotFromSparse(
+      s.latency_buckets, s.latency_count, s.latency_sum_ns,
+      s.latency_max_ns);
+  if (recorded.count < 0) {
+    return Status::InvalidArgument("summary latency block is malformed");
+  }
+  if (replay.latency.count != recorded.count) {
+    return Status::FailedPrecondition(
+        StrFormat("latency count mismatch: replayed %lld, summary %lld",
+                  static_cast<long long>(replay.latency.count),
+                  static_cast<long long>(recorded.count)));
+  }
+  if (replay.latency.sum_nanos != recorded.sum_nanos) {
+    return Status::FailedPrecondition(
+        StrFormat("latency sum mismatch: replayed %lld, summary %lld",
+                  static_cast<long long>(replay.latency.sum_nanos),
+                  static_cast<long long>(recorded.sum_nanos)));
+  }
+  if (replay.latency.max_nanos != recorded.max_nanos) {
+    return Status::FailedPrecondition(
+        StrFormat("latency max mismatch: replayed %lld, summary %lld",
+                  static_cast<long long>(replay.latency.max_nanos),
+                  static_cast<long long>(recorded.max_nanos)));
+  }
+  for (int i = 0; i < kLatencyBucketCount; ++i) {
+    const int64_t replayed =
+        replay.latency.counts.empty()
+            ? 0
+            : replay.latency.counts[static_cast<size_t>(i)];
+    const int64_t expected =
+        recorded.counts.empty() ? 0
+                                : recorded.counts[static_cast<size_t>(i)];
+    if (replayed != expected) {
+      return Status::FailedPrecondition(StrFormat(
+          "latency bucket %d mismatch: replayed %lld, summary %lld", i,
+          static_cast<long long>(replayed),
+          static_cast<long long>(expected)));
+    }
   }
   return Status::OK();
 }

@@ -19,8 +19,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/latency_histogram.h"
 #include "util/result.h"
 
 namespace comx {
@@ -75,6 +77,10 @@ struct TraceEvent {
   /// True when the decision was made with degraded (inner-only or reduced)
   /// outer visibility, or after exhausting reserve fallbacks.
   bool degraded = false;
+
+  /// Wall-clock nanoseconds the matcher spent on this decision; -1 when
+  /// the run did not measure response time (and in older traces).
+  int64_t latency_ns = -1;
 };
 
 /// Run totals written as the trace's final line.
@@ -87,6 +93,18 @@ struct TraceSummary {
   /// Revenue per platform, in platform-id order.
   std::vector<double> platform_revenue;
   double total_revenue = 0.0;
+
+  /// Decision-latency histogram of the run (log-linear buckets, see
+  /// latency_histogram.h), absent — latency_count == 0 — unless the run
+  /// measured response time. Serialized as flat keys (lat_b<index>) so the
+  /// summary line stays parseable by the non-nesting JSONL parser, and
+  /// bit-exact against the per-event latency_ns values, which
+  /// CheckTraceLatency() verifies.
+  int64_t latency_count = 0;
+  int64_t latency_sum_ns = 0;
+  int64_t latency_max_ns = 0;
+  /// Sparse (bucket index, count) pairs, ascending by index.
+  std::vector<std::pair<int32_t, int64_t>> latency_buckets;
 };
 
 /// Where decision events go. Implementations must be safe to call from
@@ -185,6 +203,9 @@ struct TraceReplay {
   double total_revenue = 0.0;
   /// Aggregate pricing effort seen in the events.
   int64_t bisect_iterations = 0;
+  /// Decision-latency histogram rebuilt from events with latency_ns >= 0
+  /// (empty when the trace carries no latencies).
+  LatencySnapshot latency;
   /// The trailing summary line, when present.
   bool has_summary = false;
   TraceSummary summary;
@@ -197,6 +218,12 @@ Result<TraceReplay> ReplayTraceFile(const std::string& path);
 /// (event counts and bit-exact revenue). FailedPrecondition on mismatch,
 /// InvalidArgument when the trace has no summary line.
 Status CheckTraceReplay(const TraceReplay& replay);
+
+/// Verifies the latency histogram rebuilt from the per-event latency_ns
+/// values reproduces the summary's latency block bit-exactly (per-bucket
+/// counts, count, sum, max). InvalidArgument when the trace has no
+/// summary or the summary carries no latency block.
+Status CheckTraceLatency(const TraceReplay& replay);
 
 }  // namespace obs
 }  // namespace comx

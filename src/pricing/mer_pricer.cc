@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/span.h"
+
 namespace comx {
 
 MerQuote ComputeMerQuote(const AcceptanceModel& model,
                          const std::vector<WorkerId>& candidates,
                          double request_value, const MerConfig& config) {
+  COMX_SPAN("mer_price");
   MerQuote best;
   if (candidates.empty() || request_value <= 0.0) return best;
 

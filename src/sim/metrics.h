@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/latency_histogram.h"
 #include "util/stats.h"
 
 namespace comx {
@@ -72,6 +73,11 @@ struct SimMetrics {
   int64_t rss_bytes = 0;
   /// Wall-clock seconds of the whole simulation.
   double wall_seconds = 0.0;
+  /// Decision-latency histogram of the run (one observation per matcher
+  /// decision, log-linear nanosecond buckets). Empty unless
+  /// SimConfig::measure_response_time was set — determinism suites leave
+  /// it off. Mergeable across seeds/jobs via LatencySnapshot::Merge.
+  obs::LatencySnapshot decision_latency;
 
   /// Sum of revenues over all platforms.
   double TotalRevenue() const;

@@ -167,18 +167,19 @@ Result<SimResult> RunSimulation(const Instance& instance,
   const bool collect = obs::CollectionEnabled();
   std::vector<PlatformCounters> counters;
   obs::Gauge* pool_gauge = nullptr;
-  obs::Histogram* decide_hist = nullptr;
   if (collect) {
     counters = MakePlatformCounters(platform_count);
     auto& registry = obs::MetricsRegistry::Global();
     pool_gauge = registry.GetGauge(
         "comx_sim_pool_available",
         "Workers currently available in the shared pool");
-    decide_hist = registry.GetHistogram(
-        obs::MetricName("comx_span_seconds", "phase", "decide"),
-        obs::DefaultLatencyBoundsSeconds(),
-        "End-to-end matcher decision latency");
   }
+  // Local (non-registry) decision-latency histogram: recorded whenever the
+  // run measures response time, independent of the global metrics switch,
+  // and returned in SimMetrics so sweeps can merge it across seeds. The
+  // "decide" span below separately feeds the registry/profiler when spans
+  // are enabled.
+  obs::LatencyHistogram decision_latency;
   int64_t available_workers = 0;
   int64_t decision_seq = 0;
 
@@ -226,11 +227,16 @@ Result<SimResult> RunSimulation(const Instance& instance,
       counters[static_cast<size_t>(r.platform)].requests->Inc();
     }
     if (config.measure_response_time) request_clock.Reset();
-    Decision decision = matcher->OnRequest(r, view);
+    Decision decision;
+    {
+      COMX_SPAN("decide");
+      decision = matcher->OnRequest(r, view);
+    }
+    int64_t decide_nanos = -1;
     if (config.measure_response_time) {
-      const double micros = request_clock.ElapsedMicros();
-      pm.response_time_us.Add(micros);
-      if (decide_hist != nullptr) decide_hist->Observe(micros * 1e-6);
+      decide_nanos = request_clock.ElapsedNanos();
+      pm.response_time_us.Add(static_cast<double>(decide_nanos) / 1e3);
+      decision_latency.ObserveNanos(decide_nanos);
     }
 
     // Two-phase outer commit under fault injection: reserve the chosen
@@ -279,6 +285,7 @@ Result<SimResult> RunSimulation(const Instance& instance,
       if (config.trace != nullptr) {
         obs::TraceEvent ev = MakeTraceEvent(decision_seq++, r, decision);
         ev.outcome = "reject";
+        ev.latency_ns = decide_nanos;
         ev.fault_retries = finfo.retries;
         ev.fault_failed_partners = finfo.failed_partners;
         ev.fault_reserve_conflicts = finfo.reserve_conflicts;
@@ -358,6 +365,7 @@ Result<SimResult> RunSimulation(const Instance& instance,
       ev.worker = wid;
       ev.payment = a.outer_payment;
       ev.revenue = a.revenue;
+      ev.latency_ns = decide_nanos;
       ev.fault_retries = finfo.retries;
       ev.fault_failed_partners = finfo.failed_partners;
       ev.fault_reserve_conflicts = finfo.reserve_conflicts;
@@ -397,6 +405,9 @@ Result<SimResult> RunSimulation(const Instance& instance,
       InstanceLogicalBytes(instance) + pool_meter.peak_bytes();
   result.metrics.rss_bytes = CurrentRssBytes();
   result.metrics.wall_seconds = wall.ElapsedNanos() / 1e9;
+  if (config.measure_response_time) {
+    result.metrics.decision_latency = decision_latency.Snapshot();
+  }
 
   if (config.trace != nullptr) {
     obs::TraceSummary summary;
@@ -413,6 +424,15 @@ Result<SimResult> RunSimulation(const Instance& instance,
       total += p.revenue;
     }
     summary.total_revenue = total;
+    // Latency block: mirrors the per-event latency_ns values exactly (same
+    // observations, same bucketing), which CheckTraceLatency() verifies.
+    const obs::LatencySnapshot& lat = result.metrics.decision_latency;
+    if (lat.count > 0) {
+      summary.latency_count = lat.count;
+      summary.latency_sum_ns = lat.sum_nanos;
+      summary.latency_max_ns = lat.max_nanos;
+      summary.latency_buckets = lat.NonZeroBuckets();
+    }
     config.trace->Summary(summary);
   }
   return result;

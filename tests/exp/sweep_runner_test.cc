@@ -91,6 +91,27 @@ TEST(SweepRunnerTest, EveryJobRunsExactlyOnceInParallel) {
   EXPECT_TRUE(runner.report().parallel);
 }
 
+TEST(SweepRunnerTest, RecordsPerJobWallTimeAndLatency) {
+  for (int jobs : {1, 4}) {
+    SweepOptions options;
+    options.jobs = jobs;
+    SweepRunner runner(options);
+    ASSERT_TRUE(
+        runner.Run(3, 2, [](const SweepJob&) { return Status::OK(); }).ok());
+    const SweepReport& report = runner.report();
+    // One wall-clock slot per job, every one filled (non-negative; zero is
+    // possible only if the clock doesn't tick inside the job).
+    ASSERT_EQ(report.job_wall_seconds.size(), 6u);
+    for (double secs : report.job_wall_seconds) {
+      EXPECT_GE(secs, 0.0);
+    }
+    // The pooled latency snapshot counts exactly one entry per job,
+    // regardless of parallelism.
+    EXPECT_EQ(report.job_latency.count, 6);
+    EXPECT_GE(report.job_latency.max_nanos, 0);
+  }
+}
+
 TEST(SweepRunnerTest, ReportsFirstErrorInJobOrderAtAnyJobCount) {
   for (int jobs : {1, 8}) {
     SweepOptions options;

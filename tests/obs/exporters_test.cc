@@ -29,6 +29,11 @@ class ExportersTest : public ::testing::Test {
     h->Observe(0.5);
     h->Observe(1.5);
     h->Observe(9.0);
+    LatencyHistogram* lat = registry_.GetLatencyHistogram(
+        MetricName("comx_test_span_seconds", "phase", "decide"), "spans");
+    lat->ObserveNanos(100);              // exact linear-region bucket
+    lat->ObserveNanos(100);
+    lat->ObserveNanos(2'000'000'000);    // 2 s
   }
   void TearDown() override { SetCollectionEnabled(false); }
 
@@ -60,6 +65,45 @@ TEST_F(ExportersTest, PrometheusHistogramBucketsAreCumulative) {
             std::string::npos);
   EXPECT_NE(text.find("comx_test_latency_count 3\n"), std::string::npos);
   EXPECT_NE(text.find("comx_test_latency_sum 11\n"), std::string::npos);
+}
+
+TEST_F(ExportersTest, PrometheusLatencyExportsAsSummaryInSeconds) {
+  const std::string text = ToPrometheusText(registry_.Snapshot());
+  EXPECT_NE(text.find("# TYPE comx_test_span_seconds summary"),
+            std::string::npos);
+  // p50 of {100ns, 100ns, 2s} is the exact 100-ns linear bucket, and
+  // nanoseconds convert to the seconds the base name promises (100/1e9,
+  // %.17g-rendered). p90 lands on the exact 2-s max.
+  EXPECT_NE(text.find("comx_test_span_seconds{phase=\"decide\","
+                      "quantile=\"0.5\"} 9.9999999999999995e-08"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("comx_test_span_seconds{phase=\"decide\","
+                      "quantile=\"0.9\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("comx_test_span_seconds_count{phase=\"decide\"} 3\n"),
+            std::string::npos);
+  // quantile=1 is never emitted; the four fixed quantiles are.
+  for (const char* q : {"\"0.5\"", "\"0.9\"", "\"0.99\"", "\"0.999\""}) {
+    EXPECT_NE(text.find("quantile=" + std::string(q)), std::string::npos)
+        << q;
+  }
+}
+
+TEST_F(ExportersTest, JsonLatencyBlockHasQuantilesAndSparseBuckets) {
+  const std::string json = ToJson(registry_.Snapshot());
+  const size_t block = json.find("\"latencies\"");
+  ASSERT_NE(block, std::string::npos);
+  EXPECT_NE(json.find("\"comx_test_span_seconds{phase=\\\"decide\\\"}\"",
+                      block),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"sum_ns\":2000000200", block), std::string::npos);
+  EXPECT_NE(json.find("\"max_ns\":2000000000", block), std::string::npos);
+  EXPECT_NE(json.find("\"p50_ns\":100,", block), std::string::npos);
+  // Sparse buckets: the exact-region 100-ns bucket is index 100 with
+  // count 2.
+  EXPECT_NE(json.find("\"buckets\":[[100,2],", block), std::string::npos);
 }
 
 TEST_F(ExportersTest, HelpHeaderEmittedOncePerLabeledFamily) {

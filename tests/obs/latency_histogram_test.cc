@@ -1,0 +1,196 @@
+#include "obs/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace comx {
+namespace obs {
+namespace {
+
+TEST(LatencyBucketTest, LinearRegionIsExact) {
+  // Every value below 2^(P+1) = 256 ns has its own 1-ns bucket.
+  for (int64_t v = 0; v < 256; ++v) {
+    const int index = LatencyBucketIndex(v);
+    EXPECT_EQ(index, static_cast<int>(v));
+    EXPECT_EQ(LatencyBucketLowerNanos(index), v);
+    EXPECT_EQ(LatencyBucketUpperNanos(index), v);
+  }
+}
+
+TEST(LatencyBucketTest, BoundariesCoverAndPartition) {
+  // Across the linear/log seam (255 -> 256) and every later octave edge,
+  // buckets must tile the value axis: lower(i) = upper(i-1) + 1, and the
+  // index function must be consistent with its own bounds.
+  const std::vector<int64_t> probes = {
+      255, 256, 257, 511, 512, 513, 1023, 1024, 65535, 65536,
+      (int64_t{1} << 41) - 1, int64_t{1} << 41, kLatencyMaxTrackableNanos};
+  for (int64_t v : probes) {
+    const int index = LatencyBucketIndex(v);
+    EXPECT_GE(v, LatencyBucketLowerNanos(index)) << v;
+    EXPECT_LE(v, LatencyBucketUpperNanos(index)) << v;
+    if (index > 0) {
+      EXPECT_EQ(LatencyBucketLowerNanos(index),
+                LatencyBucketUpperNanos(index - 1) + 1)
+          << v;
+    }
+  }
+  EXPECT_EQ(LatencyBucketIndex(kLatencyMaxTrackableNanos),
+            kLatencyBucketCount - 1);
+  // Clamps: negatives to bucket 0, overlarge to the last bucket.
+  EXPECT_EQ(LatencyBucketIndex(-5), 0);
+  EXPECT_EQ(LatencyBucketIndex(kLatencyMaxTrackableNanos + 1000),
+            kLatencyBucketCount - 1);
+}
+
+TEST(LatencyBucketTest, RelativeWidthBounded) {
+  // Outside the exact region the bucket width is <= lower / 128.
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(256, kLatencyMaxTrackableNanos);
+    const int index = LatencyBucketIndex(v);
+    const int64_t lower = LatencyBucketLowerNanos(index);
+    const int64_t width =
+        LatencyBucketUpperNanos(index) - lower + 1;
+    EXPECT_LE(width, std::max<int64_t>(1, lower / kLatencySubBuckets)) << v;
+  }
+}
+
+TEST(LatencyHistogramTest, CountSumMaxAreExact) {
+  LatencyHistogram h("test");
+  h.ObserveNanos(10);
+  h.ObserveNanos(300);
+  h.ObserveNanos(1'000'000);
+  const LatencySnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 3);
+  EXPECT_EQ(snap.sum_nanos, 10 + 300 + 1'000'000);
+  EXPECT_EQ(snap.max_nanos, 1'000'000);
+  EXPECT_EQ(h.Count(), 3);
+}
+
+TEST(LatencyHistogramTest, QuantileErrorBoundVsSortedOracle) {
+  // 1M log-uniform samples: every reported quantile must sit within one
+  // bucket width (<= 2^-7 relative) of the exact order statistic.
+  constexpr int kN = 1'000'000;
+  LatencyHistogram h("test");
+  std::vector<int64_t> values;
+  values.reserve(kN);
+  Rng rng(2020);
+  for (int i = 0; i < kN; ++i) {
+    // log-uniform over [1, ~1s] so every octave gets traffic.
+    const double log_v = rng.Uniform(0.0, std::log(1e9));
+    const int64_t v = static_cast<int64_t>(std::exp(log_v));
+    values.push_back(v);
+    h.ObserveNanos(v);
+  }
+  std::sort(values.begin(), values.end());
+  const LatencySnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.count, kN);
+  for (double q : {0.01, 0.10, 0.50, 0.90, 0.99, 0.999, 0.9999, 1.0}) {
+    const int64_t rank =
+        std::clamp<int64_t>(static_cast<int64_t>(std::ceil(q * kN)), 1, kN);
+    const int64_t exact = values[static_cast<size_t>(rank - 1)];
+    const int64_t approx = snap.ValueAtQuantileNanos(q);
+    // The reported value is the inclusive upper bound of the exact
+    // value's bucket (clamped to max): never below, within 1% above.
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(static_cast<double>(approx - exact),
+              std::max(1.0, static_cast<double>(exact) / 100.0))
+        << "q=" << q;
+  }
+  EXPECT_EQ(snap.ValueAtQuantileNanos(1.0), snap.max_nanos);
+}
+
+TEST(LatencyHistogramTest, MergeIsAssociativeAndCommutative) {
+  Rng rng(7);
+  std::vector<LatencySnapshot> parts(3);
+  for (LatencySnapshot& part : parts) {
+    for (int i = 0; i < 1000; ++i) {
+      part.Observe(rng.UniformInt(0, 10'000'000));
+    }
+  }
+  // ((a + b) + c) vs (a + (b + c)) vs (c + b) + a.
+  LatencySnapshot left = parts[0];
+  left.Merge(parts[1]);
+  left.Merge(parts[2]);
+  LatencySnapshot bc = parts[1];
+  bc.Merge(parts[2]);
+  LatencySnapshot right = parts[0];
+  right.Merge(bc);
+  LatencySnapshot rev = parts[2];
+  rev.Merge(parts[1]);
+  rev.Merge(parts[0]);
+  for (const LatencySnapshot* other : {&right, &rev}) {
+    EXPECT_EQ(left.count, other->count);
+    EXPECT_EQ(left.sum_nanos, other->sum_nanos);
+    EXPECT_EQ(left.max_nanos, other->max_nanos);
+    EXPECT_EQ(left.counts, other->counts);
+  }
+}
+
+TEST(LatencyHistogramTest, SparseRoundTrip) {
+  LatencySnapshot snap;
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    snap.Observe(rng.UniformInt(0, 1'000'000'000));
+  }
+  const auto sparse = snap.NonZeroBuckets();
+  const LatencySnapshot rebuilt = LatencySnapshotFromSparse(
+      sparse, snap.count, snap.sum_nanos, snap.max_nanos);
+  ASSERT_GE(rebuilt.count, 0);
+  EXPECT_EQ(rebuilt.count, snap.count);
+  EXPECT_EQ(rebuilt.sum_nanos, snap.sum_nanos);
+  EXPECT_EQ(rebuilt.max_nanos, snap.max_nanos);
+  EXPECT_EQ(rebuilt.counts, snap.counts);
+
+  // Out-of-range bucket index is rejected with count -1.
+  const LatencySnapshot bad = LatencySnapshotFromSparse(
+      {{kLatencyBucketCount, 1}}, 1, 10, 10);
+  EXPECT_EQ(bad.count, -1);
+}
+
+TEST(LatencyHistogramTest, ResetZeroesEverything) {
+  LatencyHistogram h("test");
+  h.ObserveNanos(123);
+  h.Reset();
+  const LatencySnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_TRUE(snap.empty());
+  h.ObserveNanos(7);
+  EXPECT_EQ(h.Count(), 1);
+}
+
+TEST(LatencyHistogramTest, ConcurrentObserveLosesNothing) {
+  // 8 threads x 50k observations; the merged snapshot must account for
+  // every single one (also the TSan target for stage 2 of check.sh).
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  LatencyHistogram h("test");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        h.ObserveNanos(rng.UniformInt(0, 100'000'000));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const LatencySnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, int64_t{kThreads} * kPerThread);
+  int64_t bucket_total = 0;
+  for (int64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_GT(snap.max_nanos, 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace comx

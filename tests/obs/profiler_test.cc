@@ -1,0 +1,231 @@
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
+#include "util/json.h"
+
+namespace comx {
+namespace obs {
+namespace {
+
+// The profiler is a process-lifetime singleton shared across the test
+// binary, so every test uses its own phase names and looks nodes up by
+// path instead of assuming ids.
+std::map<std::string, ProfileNode> NodesByPath() {
+  std::map<std::string, ProfileNode> by_path;
+  for (const ProfileNode& node : SpanProfiler::Global().Snapshot()) {
+    if (!node.path.empty()) by_path[node.path] = node;
+  }
+  return by_path;
+}
+
+TEST(ProfilerTest, NestedSpansDecomposeExactly) {
+  SetCollectionEnabled(true);
+  static const SpanSite outer("prof_outer");
+  static const SpanSite mid("prof_mid");
+  static const SpanSite leaf("prof_leaf");
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan a(outer);
+    {
+      ScopedSpan b(mid);
+      { ScopedSpan c(leaf); }
+      { ScopedSpan c(leaf); }
+    }
+  }
+  SetCollectionEnabled(false);
+
+  const auto by_path = NodesByPath();
+  ASSERT_TRUE(by_path.count("prof_outer"));
+  ASSERT_TRUE(by_path.count("prof_outer;prof_mid"));
+  ASSERT_TRUE(by_path.count("prof_outer;prof_mid;prof_leaf"));
+  const ProfileNode& a = by_path.at("prof_outer");
+  const ProfileNode& b = by_path.at("prof_outer;prof_mid");
+  const ProfileNode& c = by_path.at("prof_outer;prof_mid;prof_leaf");
+
+  EXPECT_EQ(a.count, 5);
+  EXPECT_EQ(b.count, 5);
+  EXPECT_EQ(c.count, 10);
+  EXPECT_EQ(a.depth, 1);
+  EXPECT_EQ(b.depth, 2);
+  EXPECT_EQ(c.depth, 3);
+  EXPECT_EQ(b.parent, a.node);
+  EXPECT_EQ(c.parent, b.node);
+
+  // Self time is exact by construction: the same clock reads produce the
+  // child's total and the parent's subtraction, so the per-level
+  // decomposition holds with no epsilon.
+  EXPECT_EQ(a.self_nanos + b.total_nanos, a.total_nanos);
+  EXPECT_EQ(b.self_nanos + c.total_nanos, b.total_nanos);
+  EXPECT_EQ(c.self_nanos, c.total_nanos);  // leaf has no children
+  // Per-node latency histogram counts one entry per span.
+  EXPECT_EQ(a.latency.count, 5);
+  EXPECT_EQ(c.latency.count, 10);
+}
+
+TEST(ProfilerTest, SameSiteUnderTwoParentsIsTwoNodes) {
+  SetCollectionEnabled(true);
+  static const SpanSite p1("prof_parent1");
+  static const SpanSite p2("prof_parent2");
+  static const SpanSite shared("prof_shared_leaf");
+  {
+    ScopedSpan a(p1);
+    ScopedSpan s(shared);
+  }
+  {
+    ScopedSpan a(p2);
+    ScopedSpan s(shared);
+  }
+  SetCollectionEnabled(false);
+  const auto by_path = NodesByPath();
+  ASSERT_TRUE(by_path.count("prof_parent1;prof_shared_leaf"));
+  ASSERT_TRUE(by_path.count("prof_parent2;prof_shared_leaf"));
+  EXPECT_NE(by_path.at("prof_parent1;prof_shared_leaf").node,
+            by_path.at("prof_parent2;prof_shared_leaf").node);
+  EXPECT_EQ(by_path.at("prof_parent1;prof_shared_leaf").count, 1);
+}
+
+TEST(ProfilerTest, CollapsedStacksMatchSnapshot) {
+  SetCollectionEnabled(true);
+  static const SpanSite outer("prof_collapse_outer");
+  static const SpanSite inner("prof_collapse_inner");
+  {
+    ScopedSpan a(outer);
+    ScopedSpan b(inner);
+  }
+  SetCollectionEnabled(false);
+
+  const auto by_path = NodesByPath();
+  const std::string collapsed = SpanProfiler::Global().CollapsedStacks();
+  std::istringstream lines(collapsed);
+  std::string line;
+  int matched = 0;
+  while (std::getline(lines, line)) {
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string path = line.substr(0, space);
+    const int64_t self = std::stoll(line.substr(space + 1));
+    ASSERT_TRUE(by_path.count(path)) << path;
+    EXPECT_EQ(self, by_path.at(path).self_nanos) << path;
+    EXPECT_GE(self, 0) << path;
+    if (path == "prof_collapse_outer" ||
+        path == "prof_collapse_outer;prof_collapse_inner") {
+      ++matched;
+    }
+  }
+  EXPECT_EQ(matched, 2);
+}
+
+TEST(ProfilerTest, ProfileJsonlIsFlatParseable) {
+  SetCollectionEnabled(true);
+  static const SpanSite site("prof_jsonl_phase");
+  {
+    ScopedSpan a(site);
+  }
+  SetCollectionEnabled(false);
+
+  const std::string dump = SpanProfiler::Global().ProfileJsonl();
+  std::istringstream lines(dump);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  auto header = ParseJsonFlatObject(line);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  ASSERT_TRUE(header->count("schema"));
+  EXPECT_EQ(header->at("schema").string_value, kProfileSchema);
+  bool saw_phase = false;
+  while (std::getline(lines, line)) {
+    auto obj = ParseJsonFlatObject(line);
+    ASSERT_TRUE(obj.ok()) << obj.status().ToString() << "\n" << line;
+    for (const char* key :
+         {"node", "parent", "depth", "count", "total_ns", "self_ns",
+          "p50_ns", "p90_ns", "p99_ns", "p999_ns", "max_ns"}) {
+      ASSERT_TRUE(obj->count(key)) << key << " missing in " << line;
+      EXPECT_EQ(obj->at(key).kind, JsonScalar::Kind::kNumber) << key;
+    }
+    EXPECT_LT(obj->at("parent").number_value, obj->at("node").number_value);
+    EXPECT_LE(obj->at("self_ns").number_value,
+              obj->at("total_ns").number_value);
+    if (obj->at("phase").string_value == "prof_jsonl_phase") {
+      saw_phase = true;
+    }
+  }
+  EXPECT_TRUE(saw_phase);
+}
+
+TEST(ProfilerTest, InvalidNodeAndSiteAreRejected) {
+  SpanProfiler& prof = SpanProfiler::Global();
+  EXPECT_EQ(prof.EnterChild(kProfilerInvalidNode, 0), kProfilerInvalidNode);
+  EXPECT_EQ(prof.EnterChild(kProfilerRootNode, -1), kProfilerInvalidNode);
+  prof.RecordSpan(kProfilerInvalidNode, 100, 100);  // must not crash
+  EXPECT_EQ(prof.SiteName(-1), "");
+  EXPECT_EQ(prof.SiteName(kProfilerMaxSites + 5), "");
+}
+
+TEST(ProfilerTest, ConcurrentNestedSpansFromManyThreads) {
+  // Every thread drives its own cursor through the same two sites; counts
+  // must add up with no lost updates (also the TSan target in check.sh).
+  SetCollectionEnabled(true);
+  static const SpanSite outer("prof_mt_outer");
+  static const SpanSite inner("prof_mt_inner");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        ScopedSpan a(outer);
+        ScopedSpan b(inner);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  SetCollectionEnabled(false);
+
+  const auto by_path = NodesByPath();
+  ASSERT_TRUE(by_path.count("prof_mt_outer"));
+  ASSERT_TRUE(by_path.count("prof_mt_outer;prof_mt_inner"));
+  const ProfileNode& a = by_path.at("prof_mt_outer");
+  const ProfileNode& b = by_path.at("prof_mt_outer;prof_mt_inner");
+  EXPECT_EQ(a.count, int64_t{kThreads} * kIters);
+  EXPECT_EQ(b.count, int64_t{kThreads} * kIters);
+  EXPECT_EQ(a.self_nanos + b.total_nanos, a.total_nanos);
+  EXPECT_EQ(a.latency.count, a.count);
+}
+
+TEST(ProfilerTest, DepthCapSkipsTreeButKeepsFlatHistogram) {
+  SetCollectionEnabled(true);
+  static const SpanSite deep("prof_deep");
+  LatencyHistogram* flat = MetricsRegistry::Global().GetLatencyHistogram(
+      MetricName("comx_span_seconds", "phase", "prof_deep"));
+  const int64_t flat_before = flat->Count();
+  constexpr int kDepth = kProfilerMaxDepth + 8;
+  {
+    std::vector<std::unique_ptr<ScopedSpan>> spans;
+    for (int i = 0; i < kDepth; ++i) {
+      spans.push_back(std::make_unique<ScopedSpan>(deep));
+    }
+    for (auto it = spans.rbegin(); it != spans.rend(); ++it) (*it)->Stop();
+  }
+  SetCollectionEnabled(false);
+  // Every span recorded into the flat per-phase histogram even though the
+  // ones past the depth cap skipped tree accounting.
+  EXPECT_EQ(flat->Count(), flat_before + kDepth);
+  int64_t tree_count = 0;
+  for (const auto& [path, node] : NodesByPath()) {
+    if (node.phase == "prof_deep") tree_count += node.count;
+  }
+  EXPECT_EQ(tree_count, kProfilerMaxDepth);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace comx

@@ -3,32 +3,32 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 
 namespace comx {
 namespace obs {
 namespace {
 
-Histogram* PhaseHistogram(const char* phase) {
-  return MetricsRegistry::Global().GetHistogram(
-      MetricName("comx_span_seconds", "phase", phase),
-      DefaultLatencyBoundsSeconds());
+LatencyHistogram* PhaseHistogram(const char* phase) {
+  return MetricsRegistry::Global().GetLatencyHistogram(
+      MetricName("comx_span_seconds", "phase", phase));
 }
 
 TEST(SpanTest, RecordsOneObservationPerScope) {
   SetCollectionEnabled(true);
-  Histogram* h = PhaseHistogram("span_test_phase");
+  LatencyHistogram* h = PhaseHistogram("span_test_phase");
   const int64_t before = h->Count();
   for (int i = 0; i < 3; ++i) {
     COMX_SPAN("span_test_phase");
   }
   SetCollectionEnabled(false);
   EXPECT_EQ(h->Count(), before + 3);
-  EXPECT_GE(h->Sum(), 0.0);
+  EXPECT_GE(h->Snapshot().sum_nanos, 0);
 }
 
 TEST(SpanTest, DisabledCollectionRecordsNothing) {
   SetCollectionEnabled(false);
-  Histogram* h = PhaseHistogram("span_test_disabled");
+  LatencyHistogram* h = PhaseHistogram("span_test_disabled");
   const int64_t before = h->Count();
   {
     COMX_SPAN("span_test_disabled");
@@ -40,7 +40,7 @@ TEST(SpanTest, EnableStateIsSampledAtScopeEntry) {
   // A span opened while disabled must not record even if collection is
   // turned on before the scope closes (it never started its clock).
   SetCollectionEnabled(false);
-  Histogram* h = PhaseHistogram("span_test_toggle");
+  LatencyHistogram* h = PhaseHistogram("span_test_toggle");
   const int64_t before = h->Count();
   {
     COMX_SPAN("span_test_toggle");
@@ -52,7 +52,7 @@ TEST(SpanTest, EnableStateIsSampledAtScopeEntry) {
 
 TEST(SpanTest, TwoSitesSamePhaseShareOneHistogram) {
   SetCollectionEnabled(true);
-  Histogram* h = PhaseHistogram("span_test_shared");
+  LatencyHistogram* h = PhaseHistogram("span_test_shared");
   const int64_t before = h->Count();
   {
     COMX_SPAN("span_test_shared");
@@ -62,6 +62,66 @@ TEST(SpanTest, TwoSitesSamePhaseShareOneHistogram) {
   }
   SetCollectionEnabled(false);
   EXPECT_EQ(h->Count(), before + 2);
+}
+
+TEST(SpanTest, ExplicitStopIsIdempotent) {
+  SetCollectionEnabled(true);
+  static const SpanSite site("span_test_stop");
+  LatencyHistogram* h = PhaseHistogram("span_test_stop");
+  const int64_t before = h->Count();
+  {
+    ScopedSpan span(site);
+    span.Stop();
+    span.Stop();  // second explicit Stop: no-op
+  }               // destructor after Stop: no-op
+  SetCollectionEnabled(false);
+  EXPECT_EQ(h->Count(), before + 1);
+}
+
+TEST(SpanTest, StopRestoresThreadCursorForSiblings) {
+  // An early Stop() must pop the span off the thread's stack so a sibling
+  // opened afterwards attaches to the same parent, not to the stopped span.
+  SetCollectionEnabled(true);
+  static const SpanSite outer("span_test_cursor_outer");
+  static const SpanSite a("span_test_cursor_a");
+  static const SpanSite b("span_test_cursor_b");
+  {
+    ScopedSpan outer_span(outer);
+    ScopedSpan first(a);
+    first.Stop();
+    ScopedSpan second(b);  // sibling of `a`, child of `outer`
+  }
+  SetCollectionEnabled(false);
+  bool saw_b_under_outer = false;
+  for (const ProfileNode& node : SpanProfiler::Global().Snapshot()) {
+    if (node.path == "span_test_cursor_outer;span_test_cursor_b") {
+      saw_b_under_outer = true;
+    }
+    // `b` must never appear nested under the already-stopped `a`.
+    EXPECT_EQ(node.path.find("span_test_cursor_a;span_test_cursor_b"),
+              std::string::npos)
+        << node.path;
+  }
+  EXPECT_TRUE(saw_b_under_outer);
+}
+
+TEST(SpanTest, SetSpansDisabledSuppressesRecording) {
+  SetCollectionEnabled(true);
+  SetSpansDisabled(true);
+  EXPECT_FALSE(SpansEnabled());
+  LatencyHistogram* h = PhaseHistogram("span_test_kill");
+  const int64_t before = h->Count();
+  {
+    COMX_SPAN("span_test_kill");
+  }
+  EXPECT_EQ(h->Count(), before);
+  SetSpansDisabled(false);
+  EXPECT_TRUE(SpansEnabled());
+  {
+    COMX_SPAN("span_test_kill");
+  }
+  SetCollectionEnabled(false);
+  EXPECT_EQ(h->Count(), before + 1);
 }
 
 }  // namespace

@@ -114,6 +114,57 @@ TEST(TraceJsonTest, SummaryRoundTripsExactly) {
   EXPECT_EQ(parsed->total_revenue, s.total_revenue);
 }
 
+TEST(TraceJsonTest, LatencyNsRoundTripsAndDefaultsToMinusOne) {
+  TraceEvent ev = SampleEvent();
+  ev.latency_ns = 48'213;
+  auto parsed = ParseTraceEvent(TraceEventToJson(ev));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->latency_ns, 48'213);
+
+  // A line written before the field existed parses with the "not
+  // measured" default.
+  std::string json = TraceEventToJson(SampleEvent());
+  const size_t start = json.find("\"latency_ns\"");
+  ASSERT_NE(start, std::string::npos);
+  const size_t comma = json.rfind(',', start);
+  size_t end = json.find(',', start);
+  if (end == std::string::npos) end = json.find('}', start);
+  json.erase(comma, end - comma);
+  auto old = ParseTraceEvent(json);
+  ASSERT_TRUE(old.ok()) << old.status().ToString() << "\n" << json;
+  EXPECT_EQ(old->latency_ns, -1);
+}
+
+TEST(TraceJsonTest, SummaryLatencyBlockRoundTripsExactly) {
+  LatencySnapshot lat;
+  lat.Observe(100);
+  lat.Observe(100);
+  lat.Observe(5'000'000);
+  TraceSummary s;
+  s.events_written = 3;
+  s.latency_count = lat.count;
+  s.latency_sum_ns = lat.sum_nanos;
+  s.latency_max_ns = lat.max_nanos;
+  s.latency_buckets = lat.NonZeroBuckets();
+  auto parsed = ParseTraceSummary(TraceSummaryToJson(s));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->latency_count, 3);
+  EXPECT_EQ(parsed->latency_sum_ns, 100 + 100 + 5'000'000);
+  EXPECT_EQ(parsed->latency_max_ns, 5'000'000);
+  EXPECT_EQ(parsed->latency_buckets, s.latency_buckets);
+
+  // A bucket key outside the dense range is malformed, not ignored.
+  TraceSummary bad = s;
+  bad.latency_buckets.push_back({kLatencyBucketCount, 1});
+  EXPECT_FALSE(ParseTraceSummary(TraceSummaryToJson(bad)).ok());
+
+  // No measurement -> no latency keys in the serialized line.
+  TraceSummary none;
+  EXPECT_EQ(TraceSummaryToJson(none).find("lat_b"), std::string::npos);
+  EXPECT_EQ(TraceSummaryToJson(none).find("latency_count"),
+            std::string::npos);
+}
+
 TEST(TraceJsonTest, EventParserRejectsSummaryLineAndGarbage) {
   TraceSummary s;
   EXPECT_FALSE(ParseTraceEvent(TraceSummaryToJson(s)).ok());
@@ -179,6 +230,90 @@ TEST(JsonlTraceWriterTest, BoundDropsAndSummaryReportsIt) {
   EXPECT_EQ(replay->summary.events_dropped, 5);
   // A lossy trace can't vouch for the totals: the check must refuse.
   EXPECT_FALSE(CheckTraceReplay(*replay).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplayTest, LatencyHistogramRebuildsBitExactly) {
+  const std::string path = TempPath("trace_latency_ok.jsonl");
+  auto writer = JsonlTraceWriter::Open(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  LatencySnapshot recorded;
+  double p0 = 0.0;
+  TraceSummary summary;
+  for (int i = 0; i < 20; ++i) {
+    TraceEvent ev = SampleEvent();
+    ev.seq = i;
+    ev.platform = 0;
+    ev.outcome = "inner";
+    ev.revenue = 1.0;
+    ev.latency_ns = 500 + i * 37'000;
+    recorded.Observe(ev.latency_ns);
+    ++summary.assignments;
+    p0 += ev.revenue;
+    (*writer)->Record(ev);
+  }
+  summary.platform_revenue = {p0};
+  summary.total_revenue = p0;
+  summary.latency_count = recorded.count;
+  summary.latency_sum_ns = recorded.sum_nanos;
+  summary.latency_max_ns = recorded.max_nanos;
+  summary.latency_buckets = recorded.NonZeroBuckets();
+  (*writer)->Summary(summary);
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto replay = ReplayTraceFile(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->latency.count, 20);
+  EXPECT_TRUE(CheckTraceReplay(*replay).ok());
+  Status lat = CheckTraceLatency(*replay);
+  EXPECT_TRUE(lat.ok()) << lat.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplayTest, DetectsTamperedLatencyBucket) {
+  const std::string path = TempPath("trace_latency_tampered.jsonl");
+  auto writer = JsonlTraceWriter::Open(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  TraceEvent ev = SampleEvent();
+  ev.outcome = "reject";
+  ev.revenue = 0.0;
+  ev.latency_ns = 1'000;
+  (*writer)->Record(ev);
+  LatencySnapshot wrong;
+  wrong.Observe(2'000);  // summary claims a different bucket
+  TraceSummary summary;
+  summary.platform_revenue = {0.0, 0.0};
+  summary.latency_count = wrong.count;
+  summary.latency_sum_ns = wrong.sum_nanos;
+  summary.latency_max_ns = wrong.max_nanos;
+  summary.latency_buckets = wrong.NonZeroBuckets();
+  (*writer)->Summary(summary);
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto replay = ReplayTraceFile(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(CheckTraceLatency(*replay).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceReplayTest, LatencyCheckRequiresASummaryBlock) {
+  // Events carry latency but the summary has no latency block: the check
+  // must refuse rather than vacuously pass.
+  const std::string path = TempPath("trace_latency_missing.jsonl");
+  auto writer = JsonlTraceWriter::Open(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  TraceEvent ev = SampleEvent();
+  ev.outcome = "reject";
+  ev.revenue = 0.0;
+  ev.latency_ns = 1'000;
+  (*writer)->Record(ev);
+  TraceSummary summary;
+  summary.platform_revenue = {0.0, 0.0};
+  (*writer)->Summary(summary);
+  ASSERT_TRUE((*writer)->Close().ok());
+  auto replay = ReplayTraceFile(path);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(CheckTraceLatency(*replay).ok());
   std::remove(path.c_str());
 }
 

@@ -4,8 +4,9 @@
 //               [--rel-tol 1e-9] [--quiet]
 //
 // Deterministic fields must match within the relative tolerance; timing/
-// footprint fields (wall_*, runs_per_sec, rss_*, jobs) are printed for
-// context but never fail the check. Exit 0 = reproduces baseline, 1 =
+// footprint/latency fields (wall_*, runs_per_sec, rss_*, jobs, latency_*)
+// are printed for context — per-row deltas such as latency_p99_us
+// (+/-%) — but never fail the check. Exit 0 = reproduces baseline, 1 =
 // mismatch, 2 = usage/IO error.
 
 #include <cstdio>

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 gate: five stages, strictest first.
+# Tier-1 gate: six stages, strictest first.
 #
 #   1. asan-ubsan — full test suite under AddressSanitizer + UBSan
 #                   (includes the `kernels` backend-equivalence suite).
-#   2. tsan       — the concurrency surface (thread pool, sweep engine)
-#                   under ThreadSanitizer.
+#   2. tsan       — the concurrency surface (thread pool, sweep engine,
+#                   latency histograms + span profiler) under
+#                   ThreadSanitizer.
 #   3. bench      — release bench_sweep reproduced against the committed
 #                   BENCH_sweep.json baseline via bench_check.
 #   4. fuzz       — comx_fuzz --smoke: 200 seeded scenarios through every
@@ -13,37 +14,44 @@
 #   5. kernels    — release bench_kernels --smoke reproduced against the
 #                   committed BENCH_kernels.json baseline (the kernel
 #                   layer's cross-backend checksums) via bench_check.
+#   6. perf       — the perf-report pipeline end to end: bench_sweep --quick
+#                   with --perf-out, then perf_report renders the span
+#                   profile, emits collapsed stacks, and --check validates
+#                   both outputs against the profile schema.
 #
 # Usage: tools/check.sh [extra ctest args...]
 #   tools/check.sh              # everything
 #   tools/check.sh -L fault     # pass-through filter for the asan stage
 # Set COMX_CHECK_SKIP_TSAN=1 / COMX_CHECK_SKIP_BENCH=1 /
-# COMX_CHECK_SKIP_FUZZ=1 / COMX_CHECK_SKIP_KERNELS=1 to skip a stage.
+# COMX_CHECK_SKIP_FUZZ=1 / COMX_CHECK_SKIP_KERNELS=1 /
+# COMX_CHECK_SKIP_PERF=1 to skip a stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== stage 1/5: asan-ubsan test suite =="
+echo "== stage 1/6: asan-ubsan test suite =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${JOBS}"
 ctest --preset asan-ubsan -j "${JOBS}" "$@"
 
 if [[ "${COMX_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "== stage 2/5: thread pool + sweep engine under TSan =="
+  echo "== stage 2/6: thread pool + sweep engine + obs under TSan =="
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}" \
-    --target comx_util_test comx_exp_test
+    --target comx_util_test comx_exp_test comx_obs_test
   ./build-tsan/tests/comx_util_test \
     --gtest_filter='ThreadPoolTest.*:ParallelForTest.*'
   ./build-tsan/tests/comx_exp_test
+  ./build-tsan/tests/comx_obs_test \
+    --gtest_filter='*Concurrent*:*Threads*'
 else
-  echo "== stage 2/5: skipped (COMX_CHECK_SKIP_TSAN=1) =="
+  echo "== stage 2/6: skipped (COMX_CHECK_SKIP_TSAN=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
-  echo "== stage 3/5: BENCH baseline reproduction =="
+  echo "== stage 3/6: BENCH baseline reproduction =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target bench_sweep bench_check
   SWEEP_OUT="$(mktemp /tmp/comx_bench_sweep.XXXXXX.json)"
@@ -52,20 +60,20 @@ if [[ "${COMX_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
   ./build/tools/bench_check --baseline BENCH_sweep.json \
     --current "${SWEEP_OUT}"
 else
-  echo "== stage 3/5: skipped (COMX_CHECK_SKIP_BENCH=1) =="
+  echo "== stage 3/6: skipped (COMX_CHECK_SKIP_BENCH=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_FUZZ:-0}" != "1" ]]; then
-  echo "== stage 4/5: comx_fuzz smoke (200 scenarios, all matchers) =="
+  echo "== stage 4/6: comx_fuzz smoke (200 scenarios, all matchers) =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target comx_fuzz
   ./build/tools/comx_fuzz --smoke
 else
-  echo "== stage 4/5: skipped (COMX_CHECK_SKIP_FUZZ=1) =="
+  echo "== stage 4/6: skipped (COMX_CHECK_SKIP_FUZZ=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_KERNELS:-0}" != "1" ]]; then
-  echo "== stage 5/5: kernel checksum baseline reproduction =="
+  echo "== stage 5/6: kernel checksum baseline reproduction =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target bench_kernels bench_check
   KERNELS_OUT="$(mktemp /tmp/comx_bench_kernels.XXXXXX.json)"
@@ -74,7 +82,25 @@ if [[ "${COMX_CHECK_SKIP_KERNELS:-0}" != "1" ]]; then
   ./build/tools/bench_check --baseline BENCH_kernels.json \
     --current "${KERNELS_OUT}"
 else
-  echo "== stage 5/5: skipped (COMX_CHECK_SKIP_KERNELS=1) =="
+  echo "== stage 5/6: skipped (COMX_CHECK_SKIP_KERNELS=1) =="
+fi
+
+if [[ "${COMX_CHECK_SKIP_PERF:-0}" != "1" ]]; then
+  echo "== stage 6/6: perf-report pipeline (span profile schema) =="
+  cmake --preset release
+  cmake --build --preset release -j "${JOBS}" --target bench_sweep perf_report
+  PERF_OUT="$(mktemp /tmp/comx_perf_profile.XXXXXX.jsonl)"
+  COLLAPSED_OUT="$(mktemp /tmp/comx_perf_collapsed.XXXXXX.txt)"
+  PERF_SWEEP_OUT="$(mktemp /tmp/comx_perf_sweep.XXXXXX.json)"
+  trap 'rm -f "${SWEEP_OUT:-}" "${KERNELS_OUT:-}" "${PERF_OUT}" \
+    "${COLLAPSED_OUT}" "${PERF_SWEEP_OUT}"' EXIT
+  ./build/bench/bench_sweep --quick --seeds 1 --jobs "${JOBS}" \
+    --out "${PERF_SWEEP_OUT}" --perf-out "${PERF_OUT}"
+  ./build/tools/perf_report "${PERF_OUT}" --collapsed-out "${COLLAPSED_OUT}"
+  ./build/tools/perf_report --check "${PERF_OUT}" \
+    --collapsed "${COLLAPSED_OUT}"
+else
+  echo "== stage 6/6: skipped (COMX_CHECK_SKIP_PERF=1) =="
 fi
 
 echo "check.sh: all stages passed"

@@ -1,0 +1,401 @@
+// perf_report — renders the flat-JSONL span-profiler dump written by
+// `bench_sweep --perf-out` (or obs::SpanProfiler::WriteProfile) as a nested
+// per-phase latency table: one row per call-tree node, indented by depth,
+// with count, p50/p99/p999 in microseconds, self% and cum% relative to the
+// total time under the root.
+//
+// Usage:
+//   perf_report PROFILE.jsonl                   render the table
+//   perf_report PROFILE.jsonl --collapsed-out C also write flamegraph-style
+//                                               collapsed stacks ("a;b N")
+//   perf_report --check PROFILE.jsonl [--collapsed C]
+//                                               validate schema only: header,
+//                                               required fields, tree
+//                                               invariants, quantile
+//                                               monotonicity, and (optionally)
+//                                               the collapsed-stack format.
+//
+// Exit 0 on success, 1 on parse/validation failure, 2 on usage error.
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.h"
+#include "util/json.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace comx {
+namespace {
+
+// One parsed profile line. Field names mirror the JSONL schema.
+struct ProfileRow {
+  int64_t node = -1;
+  int64_t parent = -1;
+  int64_t depth = 0;
+  std::string phase;
+  std::string path;
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  int64_t self_ns = 0;
+  int64_t p50_ns = 0;
+  int64_t p90_ns = 0;
+  int64_t p99_ns = 0;
+  int64_t p999_ns = 0;
+  int64_t max_ns = 0;
+};
+
+struct Profile {
+  int64_t declared_nodes = 0;  // header "nodes" field (total tree size)
+  std::vector<ProfileRow> rows;
+};
+
+Result<int64_t> RequiredInt(const std::map<std::string, JsonScalar>& obj,
+                            const char* key, int line_no) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != JsonScalar::Kind::kNumber) {
+    return Status::InvalidArgument(StrFormat(
+        "line %d: missing or non-numeric field \"%s\"", line_no, key));
+  }
+  return static_cast<int64_t>(it->second.number_value);
+}
+
+Result<std::string> RequiredString(
+    const std::map<std::string, JsonScalar>& obj, const char* key,
+    int line_no) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != JsonScalar::Kind::kString) {
+    return Status::InvalidArgument(StrFormat(
+        "line %d: missing or non-string field \"%s\"", line_no, key));
+  }
+  return it->second.string_value;
+}
+
+Result<Profile> LoadProfile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open %s", path));
+  }
+  Profile profile;
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto obj = ParseJsonFlatObject(line);
+    if (!obj.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: %s", line_no, obj.status().ToString().c_str()));
+    }
+    if (!saw_header) {
+      auto schema = RequiredString(*obj, "schema", line_no);
+      if (!schema.ok()) return schema.status();
+      if (*schema != obs::kProfileSchema) {
+        return Status::InvalidArgument(StrFormat(
+            "line %d: schema \"%s\", want \"%s\"", line_no, schema->c_str(),
+            obs::kProfileSchema));
+      }
+      auto nodes = RequiredInt(*obj, "nodes", line_no);
+      if (!nodes.ok()) return nodes.status();
+      profile.declared_nodes = *nodes;
+      saw_header = true;
+      continue;
+    }
+    ProfileRow row;
+    auto phase = RequiredString(*obj, "phase", line_no);
+    if (!phase.ok()) return phase.status();
+    row.phase = *phase;
+    auto p = RequiredString(*obj, "path", line_no);
+    if (!p.ok()) return p.status();
+    row.path = *p;
+    struct Field {
+      const char* key;
+      int64_t* dst;
+    };
+    const Field fields[] = {
+        {"node", &row.node},       {"parent", &row.parent},
+        {"depth", &row.depth},     {"count", &row.count},
+        {"total_ns", &row.total_ns}, {"self_ns", &row.self_ns},
+        {"p50_ns", &row.p50_ns},   {"p90_ns", &row.p90_ns},
+        {"p99_ns", &row.p99_ns},   {"p999_ns", &row.p999_ns},
+        {"max_ns", &row.max_ns},
+    };
+    for (const Field& f : fields) {
+      auto v = RequiredInt(*obj, f.key, line_no);
+      if (!v.ok()) return v.status();
+      *f.dst = *v;
+    }
+    profile.rows.push_back(std::move(row));
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument(
+        StrFormat("%s: empty profile (no header line)", path));
+  }
+  return profile;
+}
+
+// Tree-invariant and field-sanity checks shared by --check and (implicitly)
+// the renderer. The dump omits the root and zero-count nodes, so a row's
+// parent may be absent; when it is present we check the exact path
+// composition, otherwise only the suffix.
+Status ValidateProfile(const Profile& profile) {
+  std::map<int64_t, const ProfileRow*> by_node;
+  for (const ProfileRow& row : profile.rows) {
+    if (row.node <= obs::kProfilerRootNode) {
+      return Status::FailedPrecondition(StrFormat(
+          "node %lld: id must be > root (%d)",
+          static_cast<long long>(row.node), obs::kProfilerRootNode));
+    }
+    if (!by_node.emplace(row.node, &row).second) {
+      return Status::FailedPrecondition(
+          StrFormat("node %lld: duplicate id", static_cast<long long>(row.node)));
+    }
+  }
+  if (static_cast<int64_t>(profile.rows.size()) + 1 > profile.declared_nodes) {
+    return Status::FailedPrecondition(StrFormat(
+        "header declares %lld nodes but file has %zu rows (plus root)",
+        static_cast<long long>(profile.declared_nodes), profile.rows.size()));
+  }
+  for (const ProfileRow& row : profile.rows) {
+    const long long id = static_cast<long long>(row.node);
+    if (row.parent >= row.node) {
+      return Status::FailedPrecondition(StrFormat(
+          "node %lld: parent %lld not < node (creation-order invariant)", id,
+          static_cast<long long>(row.parent)));
+    }
+    if (row.depth < 1) {
+      return Status::FailedPrecondition(
+          StrFormat("node %lld: depth %lld < 1", id,
+                    static_cast<long long>(row.depth)));
+    }
+    if (row.count <= 0) {
+      return Status::FailedPrecondition(StrFormat(
+          "node %lld: count %lld (zero-count nodes must be omitted)", id,
+          static_cast<long long>(row.count)));
+    }
+    if (row.self_ns < 0 || row.total_ns < 0 || row.self_ns > row.total_ns) {
+      return Status::FailedPrecondition(StrFormat(
+          "node %lld: self_ns %lld outside [0, total_ns %lld]", id,
+          static_cast<long long>(row.self_ns),
+          static_cast<long long>(row.total_ns)));
+    }
+    if (!(row.p50_ns <= row.p90_ns && row.p90_ns <= row.p99_ns &&
+          row.p99_ns <= row.p999_ns && row.p999_ns <= row.max_ns)) {
+      return Status::FailedPrecondition(StrFormat(
+          "node %lld: quantiles not monotone "
+          "(p50 %lld, p90 %lld, p99 %lld, p999 %lld, max %lld)",
+          id, static_cast<long long>(row.p50_ns),
+          static_cast<long long>(row.p90_ns),
+          static_cast<long long>(row.p99_ns),
+          static_cast<long long>(row.p999_ns),
+          static_cast<long long>(row.max_ns)));
+    }
+    if (row.phase.empty() || row.path.empty()) {
+      return Status::FailedPrecondition(
+          StrFormat("node %lld: empty phase or path", id));
+    }
+    if (row.parent == obs::kProfilerRootNode) {
+      if (row.depth != 1 || row.path != row.phase) {
+        return Status::FailedPrecondition(StrFormat(
+            "node %lld: top-level path \"%s\" != phase \"%s\"", id,
+            row.path.c_str(), row.phase.c_str()));
+      }
+      continue;
+    }
+    auto parent_it = by_node.find(row.parent);
+    if (parent_it != by_node.end()) {
+      const ProfileRow& par = *parent_it->second;
+      if (row.depth != par.depth + 1 ||
+          row.path != par.path + ";" + row.phase) {
+        return Status::FailedPrecondition(StrFormat(
+            "node %lld: path \"%s\" != parent path \"%s\" + \";%s\"", id,
+            row.path.c_str(), par.path.c_str(), row.phase.c_str()));
+      }
+    } else {
+      // Parent had zero recorded spans (e.g. dump taken mid-span); the path
+      // must still end in this node's phase.
+      const std::string suffix = ";" + row.phase;
+      if (row.path.size() <= suffix.size() ||
+          row.path.compare(row.path.size() - suffix.size(), suffix.size(),
+                           suffix) != 0) {
+        return Status::FailedPrecondition(StrFormat(
+            "node %lld: path \"%s\" does not end in \";%s\"", id,
+            row.path.c_str(), row.phase.c_str()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Collapsed-stack lines derived from the profile rows: "a;b;c <self_ns>".
+std::string CollapsedFromProfile(const Profile& profile) {
+  std::string out;
+  for (const ProfileRow& row : profile.rows) {
+    out += row.path;
+    out += ' ';
+    out += StrFormat("%lld", static_cast<long long>(row.self_ns));
+    out += '\n';
+  }
+  return out;
+}
+
+// Validates "path self_ns" collapsed-stack format: a non-empty frame list
+// (no spaces) then a single space and a non-negative integer.
+Status ValidateCollapsed(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open %s", path));
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size()) {
+      return Status::FailedPrecondition(StrFormat(
+          "%s:%d: want \"frames <self_ns>\", got \"%s\"", path, line_no,
+          line.c_str()));
+    }
+    for (size_t i = space + 1; i < line.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(line[i]))) {
+        return Status::FailedPrecondition(StrFormat(
+            "%s:%d: non-integer self_ns in \"%s\"", path, line_no,
+            line.c_str()));
+      }
+    }
+    if (line.find(' ', space + 1) != std::string::npos) {
+      return Status::FailedPrecondition(StrFormat(
+          "%s:%d: more than one space in \"%s\"", path, line_no,
+          line.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+void RenderTable(const Profile& profile) {
+  // Children in node-id (creation) order, grouped under each parent so the
+  // printed table reads as a tree.
+  std::map<int64_t, std::vector<const ProfileRow*>> children;
+  for (const ProfileRow& row : profile.rows) {
+    children[row.parent].push_back(&row);
+  }
+  int64_t root_total = 0;
+  for (const ProfileRow* row : children[obs::kProfilerRootNode]) {
+    root_total += row->total_ns;
+  }
+  const double denom = root_total > 0 ? static_cast<double>(root_total) : 1.0;
+
+  std::printf("%-40s %10s %12s %12s %12s %7s %7s\n", "phase", "count",
+              "p50_us", "p99_us", "p999_us", "self%", "cum%");
+  std::vector<const ProfileRow*> stack(
+      children[obs::kProfilerRootNode].rbegin(),
+      children[obs::kProfilerRootNode].rend());
+  while (!stack.empty()) {
+    const ProfileRow* row = stack.back();
+    stack.pop_back();
+    std::string label(static_cast<size_t>(2 * (row->depth - 1)), ' ');
+    label += row->phase;
+    if (label.size() > 40) label.resize(40);
+    std::printf("%-40s %10lld %12.1f %12.1f %12.1f %6.1f%% %6.1f%%\n",
+                label.c_str(), static_cast<long long>(row->count),
+                static_cast<double>(row->p50_ns) / 1e3,
+                static_cast<double>(row->p99_ns) / 1e3,
+                static_cast<double>(row->p999_ns) / 1e3,
+                100.0 * static_cast<double>(row->self_ns) / denom,
+                100.0 * static_cast<double>(row->total_ns) / denom);
+    auto it = children.find(row->node);
+    if (it != children.end()) {
+      for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+        stack.push_back(*rit);
+      }
+    }
+  }
+  std::printf("root total: %.3f ms over %zu phase nodes\n",
+              static_cast<double>(root_total) / 1e6, profile.rows.size());
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: perf_report PROFILE.jsonl [--collapsed-out PATH]\n"
+               "       perf_report --check PROFILE.jsonl [--collapsed PATH]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  const char* profile_path = nullptr;
+  const char* collapsed_out = nullptr;
+  const char* collapsed_in = nullptr;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--collapsed-out") == 0 && i + 1 < argc) {
+      collapsed_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--collapsed") == 0 && i + 1 < argc) {
+      collapsed_in = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else if (profile_path == nullptr) {
+      profile_path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (profile_path == nullptr) return Usage();
+
+  auto profile = LoadProfile(profile_path);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 profile.status().ToString().c_str());
+    return 1;
+  }
+  if (Status st = ValidateProfile(*profile); !st.ok()) {
+    std::fprintf(stderr, "profile check FAILED: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  if (check) {
+    if (collapsed_in != nullptr) {
+      if (Status st = ValidateCollapsed(collapsed_in); !st.ok()) {
+        std::fprintf(stderr, "collapsed check FAILED: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("perf_report check OK: %zu nodes%s\n", profile->rows.size(),
+                collapsed_in != nullptr ? ", collapsed stacks valid" : "");
+    return 0;
+  }
+
+  if (collapsed_out != nullptr) {
+    std::ofstream out(collapsed_out, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s for write\n",
+                   collapsed_out);
+      return 1;
+    }
+    out << CollapsedFromProfile(*profile);
+    if (!out.flush()) {
+      std::fprintf(stderr, "error: write to %s failed\n", collapsed_out);
+      return 1;
+    }
+  }
+
+  RenderTable(*profile);
+  return 0;
+}
+
+}  // namespace
+}  // namespace comx
+
+int main(int argc, char** argv) { return comx::Main(argc, argv); }

@@ -5,13 +5,20 @@
 // recorded totals bit-exactly. Exit 0 when the trace checks out, 1 on any
 // mismatch or parse error.
 //
+// With --latency, additionally recomputes decision-latency percentiles from
+// the per-event latency_ns values and cross-checks them against the
+// summary's exported histogram (bit-exact bucket counts, see
+// obs::CheckTraceLatency). Requires a trace recorded with
+// measure_response_time enabled.
+//
 // Usage:
-//   trace_inspect TRACE.jsonl [--quiet]
+//   trace_inspect TRACE.jsonl [--quiet] [--latency]
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "obs/latency_histogram.h"
 #include "obs/trace.h"
 
 namespace comx {
@@ -20,18 +27,23 @@ namespace {
 int Main(int argc, char** argv) {
   const char* path = nullptr;
   bool quiet = false;
+  bool latency = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(argv[i], "--latency") == 0) {
+      latency = true;
     } else if (path == nullptr) {
       path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: trace_inspect TRACE.jsonl [--quiet]\n");
+      std::fprintf(stderr,
+                   "usage: trace_inspect TRACE.jsonl [--quiet] [--latency]\n");
       return 2;
     }
   }
   if (path == nullptr) {
-    std::fprintf(stderr, "usage: trace_inspect TRACE.jsonl [--quiet]\n");
+    std::fprintf(stderr,
+                 "usage: trace_inspect TRACE.jsonl [--quiet] [--latency]\n");
     return 2;
   }
 
@@ -63,6 +75,37 @@ int Main(int argc, char** argv) {
   if (!quiet) {
     std::printf("summary check OK: replayed totals reproduce the recorded "
                 "revenue exactly\n");
+  }
+
+  if (latency) {
+    const obs::LatencySnapshot& lat = replay->latency;
+    if (lat.count == 0) {
+      std::fprintf(stderr,
+                   "latency check FAILED: no latency_ns values in trace "
+                   "(was the run recorded with measure_response_time?)\n");
+      return 1;
+    }
+    if (!quiet) {
+      std::printf(
+          "decision latency (replayed from %lld events):\n"
+          "  p50 %.1f us, p90 %.1f us, p99 %.1f us, p999 %.1f us, "
+          "max %.1f us\n",
+          static_cast<long long>(lat.count),
+          static_cast<double>(lat.ValueAtQuantileNanos(0.50)) / 1e3,
+          static_cast<double>(lat.ValueAtQuantileNanos(0.90)) / 1e3,
+          static_cast<double>(lat.ValueAtQuantileNanos(0.99)) / 1e3,
+          static_cast<double>(lat.ValueAtQuantileNanos(0.999)) / 1e3,
+          static_cast<double>(lat.max_nanos) / 1e3);
+    }
+    if (Status st = obs::CheckTraceLatency(*replay); !st.ok()) {
+      std::fprintf(stderr, "latency check FAILED: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    if (!quiet) {
+      std::printf("latency check OK: replayed histogram matches the summary "
+                  "bucket-for-bucket\n");
+    }
   }
   return 0;
 }
