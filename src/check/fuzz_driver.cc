@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "check/recovery_oracles.h"
 #include "core/ram_com.h"
 #include "datagen/dataset.h"
 #include "util/string_util.h"
@@ -226,6 +227,61 @@ Result<FuzzReport> RunFuzz(const FuzzOptions& options) {
       if (static_cast<int64_t>(report.failures.size()) >=
           options.max_failures) {
         return report;
+      }
+    }
+
+    if (options.crash_check_every > 0 &&
+        i % options.crash_check_every == 0) {
+      // Rotate the matcher kind across checks so every policy's durable
+      // path gets crash coverage over a session.
+      const MatcherKind kind = kAllMatcherKinds
+          [(i / options.crash_check_every) %
+           (sizeof(kAllMatcherKinds) / sizeof(kAllMatcherKinds[0]))];
+      const std::string dir = StrFormat(
+          "%s/crash_%llu_%lld", options.crash_check_dir.c_str(),
+          static_cast<unsigned long long>(options.base_seed),
+          static_cast<long long>(i));
+      // One crash point per check, derived from the scenario stream so the
+      // whole experiment replays from (base_seed, i) alone.
+      const uint64_t crash_seed =
+          scenario.scenario_seed ^ 0xC3A5C85C97CB3127ULL;
+      COMX_ASSIGN_OR_RETURN(
+          const CrashCheckOutcome crash,
+          RunCrashRecoveryCheck(kind, scenario, instance, dir, crash_seed,
+                                options.crash_check_checkpoint_every));
+      ++report.crash_checks;
+      if (!crash.violations.empty()) {
+        if (options.log != nullptr) {
+          std::fprintf(options.log,
+                       "fuzz: CRASH VIOLATION scenario %lld matcher %s "
+                       "(%s): [%s] %s\n",
+                       static_cast<long long>(i), MatcherKindName(kind),
+                       crash.point.ToString().c_str(),
+                       crash.violations.front().oracle.c_str(),
+                       crash.violations.front().detail.c_str());
+        }
+        FuzzFailure failure;
+        failure.scenario_index = static_cast<uint64_t>(i);
+        failure.scenario = scenario;
+        failure.kind = kind;
+        failure.violations = crash.violations;
+        failure.entities_before =
+            static_cast<int64_t>(instance.workers().size()) +
+            static_cast<int64_t>(instance.requests().size());
+        failure.entities_after = failure.entities_before;
+        failure.shrunk_instance = instance;
+        failure.shrunk_violations = crash.violations;
+        failure.replay_command = StrFormat(
+            "crash_matrix --fuzz-seed %llu --scenario %lld --algo %s "
+            "--crash-seed %llu  # artifacts in %s",
+            static_cast<unsigned long long>(options.base_seed),
+            static_cast<long long>(i), MatcherKindName(kind),
+            static_cast<unsigned long long>(crash_seed), dir.c_str());
+        report.failures.push_back(std::move(failure));
+        if (static_cast<int64_t>(report.failures.size()) >=
+            options.max_failures) {
+          return report;
+        }
       }
     }
 

@@ -68,6 +68,18 @@ struct FuzzOptions {
   MatcherWrapper wrap_matcher;
   /// Progress log (e.g. stderr); nullptr = silent.
   std::FILE* log = nullptr;
+  /// Every Nth scenario additionally runs a crash-recovery check (durable
+  /// baseline, seeded crash, recovery, recovery oracles — see
+  /// check/recovery_oracles.h) for one rotating matcher kind; <= 0
+  /// disables. Crash failures skip shrinking: the repro is the scenario
+  /// plus the crash point, not a smaller instance.
+  int64_t crash_check_every = 0;
+  /// Scratch directory for crash checks (must exist); required when
+  /// crash_check_every > 0. Each check keeps its WALs/checkpoints in a
+  /// `crash_<seed>_<index>` subdirectory for post-mortems.
+  std::string crash_check_dir;
+  /// Checkpoint cadence (steps) of the crash checks' durable runs.
+  int64_t crash_check_checkpoint_every = 64;
 };
 
 struct FuzzFailure {
@@ -90,6 +102,8 @@ struct FuzzFailure {
 struct FuzzReport {
   int64_t scenarios_run = 0;
   int64_t matcher_runs = 0;
+  /// Crash-recovery checks executed (0 unless crash_check_every > 0).
+  int64_t crash_checks = 0;
   /// How many differential comparisons actually executed (the OFF bound
   /// and the exhaustive cross-check are regime- and size-gated; a healthy
   /// fuzz session must show both counters well above zero).

@@ -86,4 +86,13 @@ Decision CostAwareDemCom::OnRequest(const Request& r,
   return d;
 }
 
+Status CostAwareDemCom::SaveState(ByteWriter* out) const {
+  WriteRng(rng_, out);
+  return Status::OK();
+}
+
+Status CostAwareDemCom::RestoreState(ByteReader* in) {
+  return ReadRng(in, &rng_);
+}
+
 }  // namespace comx

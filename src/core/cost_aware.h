@@ -35,6 +35,8 @@ class CostAwareDemCom : public OnlineMatcher {
              uint64_t seed) override;
   Decision OnRequest(const Request& r, const PlatformView& view) override;
   std::string name() const override { return "CostDemCOM"; }
+  Status SaveState(ByteWriter* out) const override;
+  Status RestoreState(ByteReader* in) override;
 
  private:
   /// Best candidate by net revenue; kInvalidId when every net <= 0.

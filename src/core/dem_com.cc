@@ -88,4 +88,22 @@ Decision DemCom::OnRequest(const Request& r, const PlatformView& view) {
   return d;
 }
 
+Status DemCom::SaveState(ByteWriter* out) const {
+  WriteRng(rng_, out);
+  out->I64(diag_.outer_offers);
+  out->I64(diag_.outer_accepts);
+  out->F64(diag_.payment_sum);
+  out->F64(diag_.payment_rate_sum);
+  return Status::OK();
+}
+
+Status DemCom::RestoreState(ByteReader* in) {
+  COMX_RETURN_IF_ERROR(ReadRng(in, &rng_));
+  COMX_RETURN_IF_ERROR(in->I64(&diag_.outer_offers));
+  COMX_RETURN_IF_ERROR(in->I64(&diag_.outer_accepts));
+  COMX_RETURN_IF_ERROR(in->F64(&diag_.payment_sum));
+  COMX_RETURN_IF_ERROR(in->F64(&diag_.payment_rate_sum));
+  return Status::OK();
+}
+
 }  // namespace comx

@@ -31,6 +31,8 @@ class DemCom : public OnlineMatcher {
              uint64_t seed) override;
   Decision OnRequest(const Request& r, const PlatformView& view) override;
   std::string name() const override { return "DemCOM"; }
+  Status SaveState(ByteWriter* out) const override;
+  Status RestoreState(ByteReader* in) override;
 
   /// Diagnostics accumulated since the last Reset.
   struct Diagnostics {

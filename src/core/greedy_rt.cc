@@ -23,4 +23,15 @@ Decision GreedyRt::OnRequest(const Request& r, const PlatformView& view) {
   return Decision::Inner(w);
 }
 
+Status GreedyRt::SaveState(ByteWriter* out) const {
+  out->F64(threshold_);
+  WriteRng(rng_, out);
+  return Status::OK();
+}
+
+Status GreedyRt::RestoreState(ByteReader* in) {
+  COMX_RETURN_IF_ERROR(in->F64(&threshold_));
+  return ReadRng(in, &rng_);
+}
+
 }  // namespace comx

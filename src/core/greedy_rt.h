@@ -21,6 +21,8 @@ class GreedyRt : public OnlineMatcher {
              uint64_t seed) override;
   Decision OnRequest(const Request& r, const PlatformView& view) override;
   std::string name() const override { return "Greedy-RT"; }
+  Status SaveState(ByteWriter* out) const override;
+  Status RestoreState(ByteReader* in) override;
 
   /// The drawn threshold e^k (for tests/diagnostics).
   double threshold() const { return threshold_; }

@@ -14,6 +14,7 @@
 #include "model/instance.h"
 #include "model/request.h"
 #include "pricing/acceptance_model.h"
+#include "util/binio.h"
 
 namespace comx {
 
@@ -130,6 +131,22 @@ class OnlineMatcher {
 
   /// Display name ("TOTA", "DemCOM", ...).
   virtual std::string name() const = 0;
+
+  /// Serializes the matcher's mutable per-run state — RNG stream position,
+  /// drawn thresholds/ranks, diagnostics — so checkpoints (src/recovery/)
+  /// can resume a run mid-stream with bit-identical decisions. Construction
+  /// parameters are NOT captured: RestoreState requires a matcher built
+  /// with the same configuration and Reset() with the same (instance,
+  /// platform, seed). Policies without state capture return Unimplemented
+  /// and are simply not eligible for durable runs.
+  virtual Status SaveState(ByteWriter* out) const {
+    (void)out;
+    return Status::Unimplemented(name() + " does not support state capture");
+  }
+  virtual Status RestoreState(ByteReader* in) {
+    (void)in;
+    return Status::Unimplemented(name() + " does not support state capture");
+  }
 };
 
 /// Shared helper: index of the nearest worker in `candidates` (ties broken

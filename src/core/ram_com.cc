@@ -109,4 +109,26 @@ Decision RamCom::OnRequest(const Request& r, const PlatformView& view) {
   return d;
 }
 
+Status RamCom::SaveState(ByteWriter* out) const {
+  out->F64(threshold_);
+  WriteRng(rng_, out);
+  out->I64(diag_.outer_offers);
+  out->I64(diag_.outer_accepts);
+  out->F64(diag_.payment_sum);
+  out->F64(diag_.payment_rate_sum);
+  out->F64(diag_.expected_revenue_sum);
+  return Status::OK();
+}
+
+Status RamCom::RestoreState(ByteReader* in) {
+  COMX_RETURN_IF_ERROR(in->F64(&threshold_));
+  COMX_RETURN_IF_ERROR(ReadRng(in, &rng_));
+  COMX_RETURN_IF_ERROR(in->I64(&diag_.outer_offers));
+  COMX_RETURN_IF_ERROR(in->I64(&diag_.outer_accepts));
+  COMX_RETURN_IF_ERROR(in->F64(&diag_.payment_sum));
+  COMX_RETURN_IF_ERROR(in->F64(&diag_.payment_rate_sum));
+  COMX_RETURN_IF_ERROR(in->F64(&diag_.expected_revenue_sum));
+  return Status::OK();
+}
+
 }  // namespace comx

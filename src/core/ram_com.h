@@ -36,6 +36,8 @@ class RamCom : public OnlineMatcher {
              uint64_t seed) override;
   Decision OnRequest(const Request& r, const PlatformView& view) override;
   std::string name() const override { return "RamCOM"; }
+  Status SaveState(ByteWriter* out) const override;
+  Status RestoreState(ByteReader* in) override;
 
   /// The drawn inner-worker value threshold e^k (for tests/diagnostics).
   double threshold() const { return threshold_; }

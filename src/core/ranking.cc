@@ -24,4 +24,21 @@ Decision Ranking::OnRequest(const Request& r, const PlatformView& view) {
   return Decision::Inner(best);
 }
 
+Status Ranking::SaveState(ByteWriter* out) const {
+  out->U64(static_cast<uint64_t>(ranks_.size()));
+  for (double rank : ranks_) out->F64(rank);
+  return Status::OK();
+}
+
+Status Ranking::RestoreState(ByteReader* in) {
+  uint64_t n;
+  COMX_RETURN_IF_ERROR(in->U64(&n));
+  if (n > in->Remaining() / sizeof(double)) {
+    return Status::OutOfRange("RANKING state: rank count past buffer end");
+  }
+  ranks_.resize(static_cast<size_t>(n));
+  for (double& rank : ranks_) COMX_RETURN_IF_ERROR(in->F64(&rank));
+  return Status::OK();
+}
+
 }  // namespace comx

@@ -22,6 +22,8 @@ class Ranking : public OnlineMatcher {
              uint64_t seed) override;
   Decision OnRequest(const Request& r, const PlatformView& view) override;
   std::string name() const override { return "RANKING"; }
+  Status SaveState(ByteWriter* out) const override;
+  Status RestoreState(ByteReader* in) override;
 
   /// The rank drawn for worker `w` (for tests).
   double RankOf(WorkerId w) const { return ranks_[static_cast<size_t>(w)]; }

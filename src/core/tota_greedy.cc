@@ -29,4 +29,13 @@ Decision TotaGreedy::OnRequest(const Request& r, const PlatformView& view) {
   return d;
 }
 
+Status TotaGreedy::SaveState(ByteWriter* out) const {
+  WriteRng(rng_, out);
+  return Status::OK();
+}
+
+Status TotaGreedy::RestoreState(ByteReader* in) {
+  return ReadRng(in, &rng_);
+}
+
 }  // namespace comx

@@ -28,6 +28,8 @@ class TotaGreedy : public OnlineMatcher {
   std::string name() const override {
     return random_choice_ ? "TOTA-rand" : "TOTA";
   }
+  Status SaveState(ByteWriter* out) const override;
+  Status RestoreState(ByteReader* in) override;
 
  private:
   bool random_choice_;

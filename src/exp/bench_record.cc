@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/json.h"
 #include "util/string_util.h"
 
@@ -46,18 +47,14 @@ std::string SerializeBenchRecord(const BenchRecord& record) {
 
 Status WriteBenchRecords(const std::string& path,
                          const std::vector<BenchRecord>& records) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return Status::Internal(
-        StrFormat("cannot open %s for writing", path.c_str()));
-  }
+  std::string out;
   for (const BenchRecord& record : records) {
-    out << SerializeBenchRecord(record) << '\n';
+    out += SerializeBenchRecord(record);
+    out += '\n';
   }
-  if (!out.good()) {
-    return Status::Internal(StrFormat("write to %s failed", path.c_str()));
-  }
-  return Status::OK();
+  // Atomic replace: a crashed or killed bench run never leaves a torn JSONL
+  // behind for make_report / bench_check to trip over.
+  return AtomicWriteFile(path, out);
 }
 
 Result<std::vector<BenchRecord>> ReadBenchRecords(const std::string& path) {

@@ -42,6 +42,28 @@ class CircuitBreaker {
   /// sequences and the session export a monotone transitions counter.
   int64_t transitions() const { return transitions_; }
 
+  /// Full mutable state as plain data, for checkpoints (src/recovery/).
+  /// The config is construction state and is not captured: Restore()
+  /// requires a breaker built from the same CircuitBreakerConfig.
+  struct Snapshot {
+    int8_t state = 0;
+    int32_t consecutive_failures = 0;
+    int32_t half_open_successes = 0;
+    Timestamp opened_at = 0.0;
+    int64_t transitions = 0;
+  };
+  Snapshot Save() const {
+    return Snapshot{static_cast<int8_t>(state_), consecutive_failures_,
+                    half_open_successes_, opened_at_, transitions_};
+  }
+  void Restore(const Snapshot& snap) {
+    state_ = static_cast<State>(snap.state);
+    consecutive_failures_ = snap.consecutive_failures;
+    half_open_successes_ = snap.half_open_successes;
+    opened_at_ = snap.opened_at;
+    transitions_ = snap.transitions;
+  }
+
  private:
   void MoveTo(State next);
 

@@ -58,6 +58,10 @@ class FaultInjector {
   /// Deterministic jitter draw in [0, 1) for retry backoff.
   double JitterUnit() { return rng_.NextDouble(); }
 
+  /// Injector RNG stream position, for checkpoints (src/recovery/).
+  Rng::State SaveRngState() const { return rng_.SaveState(); }
+  void RestoreRngState(const Rng::State& state) { rng_.RestoreState(state); }
+
   const FaultPlan& plan() const { return *plan_; }
 
  private:

@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/json.h"
 #include "util/string_util.h"
 
@@ -341,12 +342,7 @@ std::string FaultPlanToJsonl(const FaultPlan& plan) {
 }
 
 Status SaveFaultPlan(const FaultPlan& plan, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IoError("cannot write fault plan: " + path);
-  out << FaultPlanToJsonl(plan);
-  out.close();
-  if (!out) return Status::IoError("error writing fault plan: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, FaultPlanToJsonl(plan));
 }
 
 }  // namespace fault

@@ -126,6 +126,82 @@ FaultSessionStats FaultSession::stats() const {
   return out;
 }
 
+void FaultSession::SaveState(ByteWriter* out) const {
+  const Rng::State rng_state = injector_.SaveRngState();
+  for (uint64_t word : rng_state.s) out->U64(word);
+  out->Bool(rng_state.has_cached_normal);
+  out->F64(rng_state.cached_normal);
+  out->U64(static_cast<uint64_t>(breakers_.size()));
+  for (const auto& [key, breaker] : breakers_) {
+    out->I32(key.first);
+    out->I32(key.second);
+    const CircuitBreaker::Snapshot snap = breaker.Save();
+    out->U8(static_cast<uint8_t>(snap.state));
+    out->I32(snap.consecutive_failures);
+    out->I32(snap.half_open_successes);
+    out->F64(snap.opened_at);
+    out->I64(snap.transitions);
+  }
+  out->I64(stats_.attempts);
+  out->I64(stats_.attempt_timeouts);
+  out->I64(stats_.attempt_unavailable);
+  out->I64(stats_.attempt_outages);
+  out->I64(stats_.retries);
+  out->I64(stats_.partner_unreachable);
+  out->I64(stats_.breaker_open_skips);
+  out->I64(stats_.breaker_transitions);
+  out->I64(stats_.reserve_conflicts);
+  out->I64(stats_.degraded_requests);
+  out->F64(stats_.backoff_ms_total);
+  out->F64(stats_.injected_latency_ms_total);
+  out->I32(request_info_.retries);
+  out->I32(request_info_.failed_partners);
+  out->I32(request_info_.reserve_conflicts);
+  out->Bool(request_info_.degraded);
+}
+
+Status FaultSession::RestoreState(ByteReader* in) {
+  Rng::State rng_state;
+  for (uint64_t& word : rng_state.s) COMX_RETURN_IF_ERROR(in->U64(&word));
+  COMX_RETURN_IF_ERROR(in->Bool(&rng_state.has_cached_normal));
+  COMX_RETURN_IF_ERROR(in->F64(&rng_state.cached_normal));
+  injector_.RestoreRngState(rng_state);
+  uint64_t breaker_count;
+  COMX_RETURN_IF_ERROR(in->U64(&breaker_count));
+  breakers_.clear();
+  for (uint64_t i = 0; i < breaker_count; ++i) {
+    PlatformId observer, partner;
+    COMX_RETURN_IF_ERROR(in->I32(&observer));
+    COMX_RETURN_IF_ERROR(in->I32(&partner));
+    CircuitBreaker::Snapshot snap;
+    uint8_t state;
+    COMX_RETURN_IF_ERROR(in->U8(&state));
+    snap.state = static_cast<int8_t>(state);
+    COMX_RETURN_IF_ERROR(in->I32(&snap.consecutive_failures));
+    COMX_RETURN_IF_ERROR(in->I32(&snap.half_open_successes));
+    COMX_RETURN_IF_ERROR(in->F64(&snap.opened_at));
+    COMX_RETURN_IF_ERROR(in->I64(&snap.transitions));
+    BreakerFor(observer, partner).Restore(snap);
+  }
+  COMX_RETURN_IF_ERROR(in->I64(&stats_.attempts));
+  COMX_RETURN_IF_ERROR(in->I64(&stats_.attempt_timeouts));
+  COMX_RETURN_IF_ERROR(in->I64(&stats_.attempt_unavailable));
+  COMX_RETURN_IF_ERROR(in->I64(&stats_.attempt_outages));
+  COMX_RETURN_IF_ERROR(in->I64(&stats_.retries));
+  COMX_RETURN_IF_ERROR(in->I64(&stats_.partner_unreachable));
+  COMX_RETURN_IF_ERROR(in->I64(&stats_.breaker_open_skips));
+  COMX_RETURN_IF_ERROR(in->I64(&stats_.breaker_transitions));
+  COMX_RETURN_IF_ERROR(in->I64(&stats_.reserve_conflicts));
+  COMX_RETURN_IF_ERROR(in->I64(&stats_.degraded_requests));
+  COMX_RETURN_IF_ERROR(in->F64(&stats_.backoff_ms_total));
+  COMX_RETURN_IF_ERROR(in->F64(&stats_.injected_latency_ms_total));
+  COMX_RETURN_IF_ERROR(in->I32(&request_info_.retries));
+  COMX_RETURN_IF_ERROR(in->I32(&request_info_.failed_partners));
+  COMX_RETURN_IF_ERROR(in->I32(&request_info_.reserve_conflicts));
+  COMX_RETURN_IF_ERROR(in->Bool(&request_info_.degraded));
+  return Status::OK();
+}
+
 void FaultSession::PublishMetrics() const {
   if (!obs::CollectionEnabled()) return;
   auto& registry = obs::MetricsRegistry::Global();

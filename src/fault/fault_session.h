@@ -29,6 +29,7 @@
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
 #include "model/ids.h"
+#include "util/binio.h"
 
 namespace comx {
 namespace fault {
@@ -108,6 +109,20 @@ class FaultSession {
   void PublishMetrics() const;
 
   const FaultPlan& plan() const { return injector_.plan(); }
+
+  /// Every live breaker keyed by (observer, partner) — read-only iteration
+  /// for checkpoints and the per-step breaker-transition WAL records.
+  const std::map<std::pair<PlatformId, PlatformId>, CircuitBreaker>&
+  breakers() const {
+    return breakers_;
+  }
+
+  /// Serializes the session's mutable state: injector RNG position, every
+  /// breaker's state machine, the whole-run stats, and the in-flight
+  /// request footprint. RestoreState requires a session built from the
+  /// same (plan, run_seed).
+  void SaveState(ByteWriter* out) const;
+  Status RestoreState(ByteReader* in);
 
  private:
   FaultInjector injector_;

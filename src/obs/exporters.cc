@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "util/atomic_file.h"
 #include "util/json.h"
 #include "util/string_util.h"
 
@@ -177,19 +178,7 @@ Status WriteMetricsFile(const MetricsRegistry& registry,
                          ? ToPrometheusText(snapshot)
                          : ToJson(snapshot);
   if (format == MetricsFormat::kJson) body += '\n';
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    return Status::IoError(
-        StrFormat("cannot open metrics file '%s'", path.c_str()));
-  }
-  const size_t wrote = std::fwrite(body.data(), 1, body.size(), file);
-  const bool flush_failed = std::fflush(file) != 0;
-  std::fclose(file);
-  if (wrote != body.size() || flush_failed) {
-    return Status::IoError(
-        StrFormat("short write to metrics file '%s'", path.c_str()));
-  }
-  return Status::OK();
+  return AtomicWriteFile(path, body);
 }
 
 }  // namespace obs

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "obs/metrics_registry.h"
+#include "util/atomic_file.h"
 #include "util/json.h"
 #include "util/string_util.h"
 
@@ -204,17 +205,7 @@ std::string SpanProfiler::ProfileJsonl() const {
 }
 
 Status SpanProfiler::WriteProfile(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return Status::IoError(
-        StrFormat("cannot open %s for write", path.c_str()));
-  }
-  out << ProfileJsonl();
-  out.flush();
-  if (!out) {
-    return Status::IoError(StrFormat("write to %s failed", path.c_str()));
-  }
-  return Status::OK();
+  return AtomicWriteFile(path, ProfileJsonl());
 }
 
 void SpanProfiler::ResetStats() {

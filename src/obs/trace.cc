@@ -296,7 +296,8 @@ int64_t JsonlTraceWriter::dropped() const {
   return dropped_;
 }
 
-Result<TraceReplay> ReplayTraceFile(const std::string& path) {
+Result<TraceReplay> ReplayTraceFile(const std::string& path,
+                                    const TraceReplayOptions& options) {
   std::FILE* file = std::fopen(path.c_str(), "r");
   if (file == nullptr) {
     return Status::NotFound(
@@ -315,7 +316,21 @@ Result<TraceReplay> ReplayTraceFile(const std::string& path) {
     if (ch == EOF) eof = true;
     if (line.empty()) continue;
     ++line_number;
+    // A final line the writer never terminated is the signature of a
+    // crashed run; lenient replays drop the fragment with a warning
+    // instead of failing the whole file.
+    const bool tolerate_as_torn = !options.strict && eof;
+    const auto torn = [&](const char* why) {
+      replay.truncated_tail = true;
+      replay.tail_warning = StrFormat(
+          "line %lld: dropped unterminated final line (%s, %zu bytes)",
+          static_cast<long long>(line_number), why, line.size());
+    };
     if (replay.has_summary) {
+      if (tolerate_as_torn) {
+        torn("content after the summary line");
+        break;
+      }
       std::fclose(file);
       return Status::InvalidArgument(
           StrFormat("line %lld: content after the summary line",
@@ -324,6 +339,10 @@ Result<TraceReplay> ReplayTraceFile(const std::string& path) {
     if (line.find("\"type\":\"summary\"") != std::string::npos) {
       auto summary = ParseTraceSummary(line);
       if (!summary.ok()) {
+        if (tolerate_as_torn) {
+          torn("unparseable summary");
+          break;
+        }
         std::fclose(file);
         return summary.status();
       }
@@ -333,6 +352,10 @@ Result<TraceReplay> ReplayTraceFile(const std::string& path) {
     }
     auto event = ParseTraceEvent(line);
     if (!event.ok()) {
+      if (tolerate_as_torn) {
+        torn("unparseable event");
+        break;
+      }
       std::fclose(file);
       return Status::InvalidArgument(
           StrFormat("line %lld: %s", static_cast<long long>(line_number),

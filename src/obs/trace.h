@@ -178,6 +178,11 @@ class JsonlTraceWriter : public TraceSink {
   int64_t written() const;
   int64_t dropped() const;
 
+  /// The underlying stream, for util/signal_guard.h registration — a
+  /// shutdown signal can then flush partially written traces. Do not write
+  /// through it. Null after Close().
+  std::FILE* file() const { return file_; }
+
  private:
   JsonlTraceWriter(std::FILE* file, const Options& options)
       : file_(file), options_(options) {}
@@ -209,10 +214,24 @@ struct TraceReplay {
   /// The trailing summary line, when present.
   bool has_summary = false;
   TraceSummary summary;
+  /// True when the file ended in an unparseable final line with no
+  /// newline — the signature of a writer killed mid-line. Lenient replays
+  /// drop that fragment and describe it in `tail_warning`.
+  bool truncated_tail = false;
+  std::string tail_warning;
+};
+
+struct TraceReplayOptions {
+  /// Strict mode fails on ANY malformed line. The default tolerates one
+  /// unterminated, unparseable final line (a torn write from a crashed
+  /// run) by dropping it with a warning; malformed lines followed by more
+  /// content are errors either way.
+  bool strict = false;
 };
 
 /// Reads a JSONL trace file and re-derives the run totals.
-Result<TraceReplay> ReplayTraceFile(const std::string& path);
+Result<TraceReplay> ReplayTraceFile(const std::string& path,
+                                    const TraceReplayOptions& options = {});
 
 /// Verifies the replayed totals reproduce the recorded summary exactly
 /// (event counts and bit-exact revenue). FailedPrecondition on mismatch,

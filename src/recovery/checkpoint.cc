@@ -1,0 +1,240 @@
+#include "recovery/checkpoint.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
+#include "util/atomic_file.h"
+#include "util/binio.h"
+#include "util/crc32c.h"
+#include "util/string_util.h"
+
+namespace comx {
+namespace recovery {
+namespace {
+
+constexpr char kPrefix[] = "checkpoint-";
+constexpr char kSuffix[] = ".ckpt";
+
+void EncodeMeta(const CheckpointMeta& meta, ByteWriter* w) {
+  w->I64(meta.generation);
+  w->U64(meta.next_lsn);
+  w->I64(meta.wal_bytes);
+  w->I64(meta.step_index);
+  w->U64(meta.seed);
+  w->U64(meta.instance_digest);
+  w->U64(meta.config_digest);
+}
+
+Status DecodeMeta(ByteReader* in, CheckpointMeta* meta) {
+  COMX_RETURN_IF_ERROR(in->I64(&meta->generation));
+  COMX_RETURN_IF_ERROR(in->U64(&meta->next_lsn));
+  COMX_RETURN_IF_ERROR(in->I64(&meta->wal_bytes));
+  COMX_RETURN_IF_ERROR(in->I64(&meta->step_index));
+  COMX_RETURN_IF_ERROR(in->U64(&meta->seed));
+  COMX_RETURN_IF_ERROR(in->U64(&meta->instance_digest));
+  COMX_RETURN_IF_ERROR(in->U64(&meta->config_digest));
+  return Status::OK();
+}
+
+/// Generation parsed from a checkpoint file name, or -1.
+int64_t ParseGeneration(std::string_view name) {
+  if (name.size() <= sizeof(kPrefix) - 1 + sizeof(kSuffix) - 1) return -1;
+  if (name.substr(0, sizeof(kPrefix) - 1) != kPrefix) return -1;
+  if (name.substr(name.size() - (sizeof(kSuffix) - 1)) != kSuffix) return -1;
+  const std::string_view digits = name.substr(
+      sizeof(kPrefix) - 1,
+      name.size() - (sizeof(kPrefix) - 1) - (sizeof(kSuffix) - 1));
+  if (digits.empty()) return -1;
+  int64_t gen = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return -1;
+    gen = gen * 10 + (c - '0');
+    if (gen < 0) return -1;  // overflow
+  }
+  return gen;
+}
+
+Result<std::vector<int64_t>> ListGenerations(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::IoError(StrFormat("checkpoint: cannot list %s: %s",
+                                      dir.c_str(), std::strerror(errno)));
+  }
+  std::vector<int64_t> generations;
+  while (struct dirent* entry = ::readdir(d)) {
+    const int64_t gen = ParseGeneration(entry->d_name);
+    if (gen >= 0) generations.push_back(gen);
+  }
+  ::closedir(d);
+  std::sort(generations.begin(), generations.end());
+  return generations;
+}
+
+}  // namespace
+
+std::string CheckpointPath(const std::string& dir, int64_t generation) {
+  return StrFormat("%s/%s%06lld%s", dir.c_str(), kPrefix,
+                   static_cast<long long>(generation), kSuffix);
+}
+
+Status WriteCheckpoint(const std::string& dir, const CheckpointMeta& meta,
+                       std::string_view state, CrashInjector* crash) {
+  COMX_SPAN("checkpoint_write");
+  ByteWriter body;
+  EncodeMeta(meta, &body);
+  body.Str(state);
+
+  ByteWriter file;
+  for (char c : kCheckpointMagic) file.U8(static_cast<uint8_t>(c));
+  file.U32(kCheckpointVersion);
+  file.U32(static_cast<uint32_t>(body.size()));
+  file.U32(Crc32cMask(Crc32c(body.str().data(), body.size())));
+  const std::string bytes = file.Take() + body.Take();
+
+  const std::string path = CheckpointPath(dir, meta.generation);
+  const int64_t want = static_cast<int64_t>(bytes.size());
+  const int64_t allowed =
+      crash ? crash->AllowCheckpointBytes(meta.generation, want) : want;
+  if (allowed < want) {
+    // Torn staging write: persist exactly the allowed prefix and bail
+    // before the rename, the way a crash mid-checkpoint would.
+    const std::string tmp = AtomicTmpPath(path);
+    FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f != nullptr) {
+      std::fwrite(bytes.data(), 1, static_cast<size_t>(allowed), f);
+      std::fflush(f);
+      ::fsync(::fileno(f));
+      std::fclose(f);
+    }
+    return Status::DataLoss(StrFormat(
+        "injected crash: checkpoint gen %lld torn at byte %lld of %lld",
+        static_cast<long long>(meta.generation),
+        static_cast<long long>(allowed), static_cast<long long>(want)));
+  }
+  Status written = AtomicWriteFile(path, bytes);
+  if (written.ok() && obs::CollectionEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("comx_recovery_checkpoints_total",
+                    "Checkpoint generations installed")
+        ->Inc();
+  }
+  return written;
+}
+
+Result<LoadedCheckpoint> LoadCheckpoint(const std::string& path) {
+  std::string bytes;
+  {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::IoError(StrFormat("checkpoint: cannot read %s: %s",
+                                        path.c_str(), std::strerror(errno)));
+    }
+    char chunk[1 << 16];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      bytes.append(chunk, n);
+    }
+    const bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad) {
+      return Status::IoError("checkpoint: read failed: " + path);
+    }
+  }
+  constexpr size_t kHeader = sizeof(kCheckpointMagic) + 3 * sizeof(uint32_t);
+  if (bytes.size() < kHeader) {
+    return Status::DataLoss(StrFormat(
+        "checkpoint: %s truncated (%zu bytes, header needs %zu)",
+        path.c_str(), bytes.size(), kHeader));
+  }
+  if (std::memcmp(bytes.data(), kCheckpointMagic,
+                  sizeof(kCheckpointMagic)) != 0) {
+    return Status::DataLoss("checkpoint: bad magic in " + path);
+  }
+  ByteReader header(
+      std::string_view(bytes).substr(sizeof(kCheckpointMagic)));
+  uint32_t version, body_len, masked_crc;
+  COMX_RETURN_IF_ERROR(header.U32(&version));
+  COMX_RETURN_IF_ERROR(header.U32(&body_len));
+  COMX_RETURN_IF_ERROR(header.U32(&masked_crc));
+  if (version != kCheckpointVersion) {
+    return Status::DataLoss(
+        StrFormat("checkpoint: unsupported version %u in %s", version,
+                  path.c_str()));
+  }
+  if (bytes.size() != kHeader + body_len) {
+    return Status::DataLoss(StrFormat(
+        "checkpoint: %s body is %zu bytes, header claims %u", path.c_str(),
+        bytes.size() - kHeader, body_len));
+  }
+  const std::string_view body(bytes.data() + kHeader, body_len);
+  if (Crc32cMask(Crc32c(body.data(), body.size())) != masked_crc) {
+    return Status::DataLoss("checkpoint: crc mismatch in " + path);
+  }
+  LoadedCheckpoint loaded;
+  loaded.file_bytes = static_cast<int64_t>(bytes.size());
+  ByteReader in(body);
+  COMX_RETURN_IF_ERROR(DecodeMeta(&in, &loaded.meta));
+  COMX_RETURN_IF_ERROR(in.Str(&loaded.state));
+  if (!in.AtEnd()) {
+    return Status::DataLoss(
+        StrFormat("checkpoint: %zu trailing body bytes in %s", in.Remaining(),
+                  path.c_str()));
+  }
+  return loaded;
+}
+
+Result<CheckpointPick> FindLatestValidCheckpoint(const std::string& dir) {
+  std::vector<int64_t> generations;
+  COMX_ASSIGN_OR_RETURN(generations, ListGenerations(dir));
+  CheckpointPick pick;
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    Result<LoadedCheckpoint> loaded = LoadCheckpoint(CheckpointPath(dir, *it));
+    if (loaded.ok()) {
+      if (loaded->meta.generation != *it) {
+        pick.rejected.push_back(StrFormat(
+            "checkpoint: generation mismatch in %s (file says %lld)",
+            CheckpointPath(dir, *it).c_str(),
+            static_cast<long long>(loaded->meta.generation)));
+        ++pick.fallbacks;
+        continue;
+      }
+      pick.best = std::move(loaded).value();
+      break;
+    }
+    pick.rejected.push_back(loaded.status().ToString());
+    ++pick.fallbacks;
+  }
+  if (pick.fallbacks > 0 && obs::CollectionEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("comx_recovery_checkpoint_fallbacks_total",
+                    "Corrupt checkpoint generations skipped during recovery")
+        ->Inc(pick.fallbacks);
+  }
+  return pick;
+}
+
+Status RemoveOldCheckpoints(const std::string& dir, int keep) {
+  std::vector<int64_t> generations;
+  COMX_ASSIGN_OR_RETURN(generations, ListGenerations(dir));
+  if (static_cast<int64_t>(generations.size()) <= keep) return Status::OK();
+  const size_t drop = generations.size() - static_cast<size_t>(keep);
+  for (size_t i = 0; i < drop; ++i) {
+    const std::string path = CheckpointPath(dir, generations[i]);
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IoError(StrFormat("checkpoint: cannot remove %s: %s",
+                                        path.c_str(), std::strerror(errno)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace recovery
+}  // namespace comx

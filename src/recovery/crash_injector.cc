@@ -1,0 +1,76 @@
+#include "recovery/crash_injector.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace comx {
+namespace recovery {
+
+std::string CrashPoint::ToString() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kWalOffset:
+      return StrFormat("wal@%lld", static_cast<long long>(wal_offset));
+    case Kind::kCheckpoint:
+      return StrFormat("ckpt-gen%lld@%lld",
+                       static_cast<long long>(checkpoint_gen),
+                       static_cast<long long>(checkpoint_offset));
+  }
+  return "none";
+}
+
+CrashPoint DrawCrashPoint(const CrashProfile& profile, Rng* rng) {
+  CrashPoint point;
+  const bool mid_checkpoint =
+      !profile.checkpoints.empty() && rng->Bernoulli(0.25);
+  if (mid_checkpoint) {
+    const auto& span =
+        profile.checkpoints[rng->PickIndex(profile.checkpoints.size())];
+    point.kind = CrashPoint::Kind::kCheckpoint;
+    point.checkpoint_gen = span.generation;
+    // [0, bytes - 1]: always a strict prefix, never the complete file.
+    point.checkpoint_offset =
+        span.bytes > 0 ? rng->UniformInt(0, span.bytes - 1) : 0;
+    return point;
+  }
+  point.kind = CrashPoint::Kind::kWalOffset;
+  // [1, wal_bytes - 1]: strictly inside the stream so the crash always
+  // fires, and the torn prefix is never the whole run.
+  point.wal_offset =
+      profile.wal_bytes > 1 ? rng->UniformInt(1, profile.wal_bytes - 1) : 0;
+  return point;
+}
+
+int64_t CrashInjector::AllowWalBytes(int64_t want) {
+  if (!armed()) return want;
+  if (fired_) return 0;
+  if (point_.kind != CrashPoint::Kind::kWalOffset) {
+    wal_written_ += want;
+    return want;
+  }
+  const int64_t budget = std::max<int64_t>(0, point_.wal_offset - wal_written_);
+  const int64_t allowed = std::min(want, budget);
+  wal_written_ += allowed;
+  if (allowed < want) fired_ = true;
+  return allowed;
+}
+
+int64_t CrashInjector::AllowCheckpointBytes(int64_t gen, int64_t want) {
+  if (!armed()) return want;
+  if (fired_) return 0;
+  if (point_.kind != CrashPoint::Kind::kCheckpoint ||
+      gen != point_.checkpoint_gen) {
+    return want;
+  }
+  const int64_t budget =
+      std::max<int64_t>(0, point_.checkpoint_offset - checkpoint_written_);
+  const int64_t allowed = std::min(want, budget);
+  checkpoint_written_ += allowed;
+  if (allowed < want) fired_ = true;
+  return allowed;
+}
+
+}  // namespace recovery
+}  // namespace comx

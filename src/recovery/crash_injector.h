@@ -1,0 +1,85 @@
+// Deterministic crash-point injection for the durability layer — the
+// src/fault/ discipline applied to our own process: a seeded draw picks a
+// byte position in the durable write stream (WAL offset, or an offset
+// inside one checkpoint file's staging write) and the writers stop exactly
+// there, leaving the same torn prefix a kill -9 would. Everything runs
+// in-process (no signals, no subprocesses), so the crash matrix is fast,
+// ASan-clean, and bit-reproducible from its seed.
+
+#ifndef COMX_RECOVERY_CRASH_INJECTOR_H_
+#define COMX_RECOVERY_CRASH_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace comx {
+namespace recovery {
+
+/// One crash location: either "the run dies once `wal_offset` bytes of the
+/// WAL are durable" (mid-record torn writes included: offsets are byte
+/// granular), or "the run dies `checkpoint_offset` bytes into staging
+/// checkpoint generation `checkpoint_gen`".
+struct CrashPoint {
+  enum class Kind : int8_t { kNone = -1, kWalOffset = 0, kCheckpoint = 1 };
+
+  Kind kind = Kind::kNone;
+  int64_t wal_offset = -1;
+  int64_t checkpoint_gen = -1;
+  int64_t checkpoint_offset = 0;
+
+  std::string ToString() const;
+};
+
+/// Shape of a completed baseline run, from which crash points are drawn.
+struct CrashProfile {
+  /// Total durable WAL bytes of the uninterrupted run.
+  int64_t wal_bytes = 0;
+  /// (generation, file size) of every checkpoint the run wrote, in order.
+  struct CheckpointSpan {
+    int64_t generation = 0;
+    int64_t bytes = 0;
+  };
+  std::vector<CheckpointSpan> checkpoints;
+};
+
+/// Draws one crash point: a uniform WAL byte offset in [1, wal_bytes - 1]
+/// (always strictly inside the stream, so the crash is guaranteed to fire
+/// before the run completes), or — with probability 1/4 when the profile
+/// has checkpoints — a mid-checkpoint kill at a uniform offset inside a
+/// uniformly chosen generation's file.
+CrashPoint DrawCrashPoint(const CrashProfile& profile, Rng* rng);
+
+/// Arms one CrashPoint against the durable writers. Once fired, every
+/// further write is refused (the process is "dead"); the writers translate
+/// that into Status::DataLoss with an "injected crash" message.
+class CrashInjector {
+ public:
+  CrashInjector() = default;  // disarmed: all writes allowed
+  explicit CrashInjector(const CrashPoint& point) : point_(point) {}
+
+  bool armed() const { return point_.kind != CrashPoint::Kind::kNone; }
+  bool fired() const { return fired_; }
+  const CrashPoint& point() const { return point_; }
+
+  /// How many of `want` WAL bytes may be durably written (0..want).
+  /// Anything short of `want` means the crash fired.
+  int64_t AllowWalBytes(int64_t want);
+
+  /// How many of `want` bytes of checkpoint generation `gen`'s staging
+  /// file may be written.
+  int64_t AllowCheckpointBytes(int64_t gen, int64_t want);
+
+ private:
+  CrashPoint point_;
+  int64_t wal_written_ = 0;
+  int64_t checkpoint_written_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace recovery
+}  // namespace comx
+
+#endif  // COMX_RECOVERY_CRASH_INJECTOR_H_

@@ -1,0 +1,118 @@
+// Durable simulation driver: runs the resumable engine (sim/sim_engine.h)
+// under a write-ahead log plus periodic checkpoints, and recovers a killed
+// run to a state bit-exact with the uninterrupted one.
+//
+// Durability protocol, in order, for every step:
+//   1. the engine executes the step;
+//   2. the step's WAL records (arrival, or breaker transitions + two-phase
+//      reserve/conflict/confirm + decision-with-digest) are appended and
+//      group-committed;
+//   3. on the checkpoint cadence, the WAL is committed FIRST and only then
+//      the engine snapshot is staged + renamed into place — so a
+//      checkpoint's next_lsn never points past durable records.
+//
+// Recovery leans on the simulation being deterministic: rather than
+// applying logged effects, it restores the newest valid checkpoint (falling
+// back across corrupt generations) and RE-EXECUTES the remaining steps,
+// byte-comparing every regenerated WAL record against the durable one at
+// the same position. Any divergence is a DataLoss error — the
+// `recovery-bit-exact` oracle. A torn tail is truncated back to the last
+// step-boundary record; successful reserves in the discarded fragment are
+// the in-flight two-phase commits, re-resolved by re-execution so Eq. 1
+// revenue is never double-paid (the `no-double-commit-after-crash` oracle
+// checks the final WAL).
+
+#ifndef COMX_RECOVERY_DURABLE_SIM_H_
+#define COMX_RECOVERY_DURABLE_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recovery/checkpoint.h"
+#include "recovery/crash_injector.h"
+#include "recovery/wal.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+
+namespace comx {
+namespace recovery {
+
+struct DurableOptions {
+  /// Directory holding wal.log and checkpoint-*.ckpt. Must exist.
+  std::string dir;
+  /// Snapshot cadence in steps; <= 0 disables checkpoints (WAL only).
+  int64_t checkpoint_every_steps = 512;
+  /// Checkpoint generations retained (>= 1).
+  int keep_checkpoints = 2;
+  WalWriterOptions wal;
+  /// Optional deterministic crash injection; borrowed, may be null.
+  CrashInjector* crash = nullptr;
+};
+
+std::string WalPath(const std::string& dir);
+
+/// CRC32C digest over every worker, request, and event of the instance —
+/// binds WAL + checkpoints to their exact input data.
+uint64_t InstanceDigest(const Instance& instance);
+
+/// Digest over the scalar simulation knobs (pointer members contribute
+/// only their presence — a metric or fault plan cannot be hashed by value).
+uint64_t SimConfigDigest(const SimConfig& config);
+
+struct DurableRunStats {
+  int64_t wal_records = 0;
+  int64_t wal_commits = 0;
+  int64_t wal_bytes = 0;
+  int64_t checkpoints = 0;
+  /// (generation, file bytes) per checkpoint written — the CrashProfile
+  /// input for tools/crash_matrix.
+  std::vector<CrashProfile::CheckpointSpan> checkpoint_spans;
+
+  // Recovery-side accounting (zero for plain durable runs):
+  int64_t recovered_generation = -1;  // -1 = recovered from WAL alone
+  int64_t replayed_records = 0;       // durable records verified by replay
+  int64_t discarded_bytes = 0;        // torn / mid-step tail truncated
+  int64_t inflight_reserves_resolved = 0;
+  int64_t checkpoint_fallbacks = 0;
+  bool torn_tail = false;
+};
+
+struct DurableOutcome {
+  /// Valid only when !crashed.
+  SimResult result;
+  /// True when the injected crash fired before the run completed; the
+  /// run's files are left exactly as the "crash" left them.
+  bool crashed = false;
+  DurableRunStats stats;
+};
+
+/// Runs the full simulation durably in `options.dir`. With an armed crash
+/// injector the run may come back `crashed` instead of completing.
+Result<DurableOutcome> RunDurableSimulation(
+    const Instance& instance, const std::vector<OnlineMatcher*>& matchers,
+    const SimConfig& config, uint64_t seed, const DurableOptions& options);
+
+/// Recovers a crashed (or completed) durable run from `options.dir` and
+/// resumes it to completion: restore newest valid checkpoint, re-execute
+/// with per-record byte verification against the durable WAL tail, truncate
+/// the torn fragment, journal a recovery mark, then continue live. The
+/// returned result is bit-exact with the uninterrupted run's. DataLoss on
+/// verification divergence or unusable files.
+Result<DurableOutcome> RecoverAndResume(const Instance& instance,
+                                        const std::vector<OnlineMatcher*>& matchers,
+                                        const SimConfig& config, uint64_t seed,
+                                        const DurableOptions& options);
+
+/// Reconstructs the run's decision trace (obs/trace.h JSONL, one decision
+/// line per kDecision record plus the summary) from the WAL alone. Two WALs
+/// of equivalent runs rebuild byte-identical trace files; a live-traced
+/// plain run differs only in per-event latency_ns (the rebuild writes -1,
+/// and durable runs never measure response time anyway).
+Status RebuildTraceFromWal(const std::string& wal_path,
+                           const std::string& trace_path);
+
+}  // namespace recovery
+}  // namespace comx
+
+#endif  // COMX_RECOVERY_DURABLE_SIM_H_

@@ -1,0 +1,218 @@
+// Write-ahead log for durable simulation runs (see durable_sim.h).
+//
+// File layout: a fixed header (magic + version), then a stream of frames
+//   [u32 payload_len][u32 masked crc32c(payload)][payload]
+// where payload = [u8 type][u64 lsn][type-specific body], all little-endian
+// via util/binio.h. The CRC is masked (crc32c.h) so a frame of zeros never
+// validates. LSNs are assigned densely (0, 1, 2, ...) by the writer.
+//
+// The writer group-commits: frames accumulate in memory and are written +
+// fsync'd as one batch when either threshold trips or Commit() is called
+// explicitly. A record is durable only after the commit that covers it —
+// the durable driver orders every externally visible effect (checkpoint
+// writes, run completion) after the covering Commit().
+//
+// The reader is crash-tolerant by construction: a scan stops at the first
+// frame that is incomplete or fails its CRC and reports everything before
+// it. The tail is then classified against *step-boundary* record types —
+// records that end a simulation step. A valid prefix that ends mid-step
+// (e.g. a reserve journaled, the covering decision lost) is truncated back
+// to the last boundary; dangling successful reserves in the discarded
+// fragment are the recovered run's in-flight two-phase commits, resolved
+// by deterministic re-execution.
+
+#ifndef COMX_RECOVERY_WAL_H_
+#define COMX_RECOVERY_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "recovery/crash_injector.h"
+#include "sim/sim_engine.h"
+#include "util/binio.h"
+#include "util/result.h"
+
+namespace comx {
+namespace recovery {
+
+/// First 8 file bytes, "COMXWAL1" in file order.
+inline constexpr char kWalMagic[8] = {'C', 'O', 'M', 'X', 'W', 'A', 'L', '1'};
+inline constexpr uint32_t kWalVersion = 1;
+/// magic(8) + version(4) + reserved(4).
+inline constexpr int64_t kWalHeaderBytes = 16;
+/// Per-frame framing overhead: len(4) + masked crc(4).
+inline constexpr int64_t kWalFrameOverhead = 8;
+
+enum class WalRecordType : uint8_t {
+  kRunBegin = 1,       // run identity: seed, digests, platform count
+  kArrival = 2,        // worker (re-)entered the pool
+  kOuterReserve = 3,   // two-phase commit: reserve succeeded
+  kOuterConflict = 4,  // two-phase commit: reserve refused (stale view)
+  kOuterConfirm = 5,   // two-phase commit: confirm of the booked worker
+  kBreakerState = 6,   // circuit breaker changed state this step
+  kDecision = 7,       // request decided (terminal record of its step)
+  kCheckpointMark = 8, // checkpoint generation became durable
+  kRecoveryMark = 9,   // a recovery resumed the run here
+  kRunEnd = 10,        // run completed; closing totals
+};
+
+const char* WalRecordTypeName(WalRecordType type);
+
+/// True for record types that end a consistent unit of work — a torn tail
+/// is truncated back to the last such record. Reserve/conflict/confirm/
+/// breaker records are interior to their step and never a valid stopping
+/// point.
+bool IsStepBoundary(WalRecordType type);
+
+/// One decoded WAL record: a tagged union over plain fields. Only the
+/// fields of the active `type` are meaningful (the rest stay defaulted).
+struct WalRecord {
+  WalRecordType type = WalRecordType::kRunBegin;
+  uint64_t lsn = 0;
+
+  // kRunBegin / kRunEnd
+  uint64_t seed = 0;
+  int32_t platform_count = 0;
+  bool has_fault_plan = false;
+  uint64_t instance_digest = 0;
+  uint64_t config_digest = 0;
+  double total_revenue = 0.0;   // kRunEnd
+  int64_t assignments = 0;      // kRunEnd
+
+  // Step-scoped records (all types except kRunBegin/kRunEnd)
+  int64_t step = -1;
+
+  // kArrival / kDecision: the engine's account of the step. For kDecision
+  // `step_record.reserves` is always empty here — reserve attempts are
+  // journaled as their own kOuterReserve / kOuterConflict records.
+  StepRecord step_record;
+  uint64_t state_digest = 0;  // kDecision: engine digest after the step
+
+  // kOuterReserve / kOuterConflict / kOuterConfirm
+  RequestId request = kInvalidId;
+  PlatformId partner = -1;
+  WorkerId worker = kInvalidId;
+
+  // kBreakerState
+  PlatformId observer = -1;
+  uint8_t breaker_state = 0;
+  int64_t transitions = 0;
+
+  // kCheckpointMark
+  int64_t generation = 0;
+
+  // kRecoveryMark
+  int64_t resumed_step = -1;
+  int64_t inflight_reserves = 0;
+};
+
+/// Serializes `rec` into the frame payload (type + lsn + body). When
+/// `for_compare` is true the lsn field is encoded as zero: recovery
+/// compares regenerated records against stored ones with lsn neutralized,
+/// because informational mark records shift lsn assignment without
+/// affecting simulation state.
+std::string EncodeWalPayload(const WalRecord& rec, bool for_compare = false);
+
+/// Decodes a frame payload. DataLoss on malformed/truncated bodies or an
+/// unknown record type.
+Status DecodeWalPayload(std::string_view payload, WalRecord* rec);
+
+struct WalWriterOptions {
+  /// Commit when this many records are buffered (<=1 commits every append).
+  int64_t group_commit_records = 32;
+  /// ... or when the buffered frames reach this many bytes.
+  int64_t group_commit_bytes = 32 * 1024;
+};
+
+/// Append-only WAL writer. Not thread-safe.
+class WalWriter {
+ public:
+  /// Creates/truncates `path` and writes the header. `crash` may be null;
+  /// it is borrowed and must outlive the writer.
+  static Result<std::unique_ptr<WalWriter>> Create(const std::string& path,
+                                                   const WalWriterOptions& options,
+                                                   CrashInjector* crash);
+
+  /// Reopens an existing WAL for append after recovery: truncates the file
+  /// to `durable_bytes` (discarding a torn or mid-step tail) and resumes
+  /// the LSN sequence at `next_lsn`.
+  static Result<std::unique_ptr<WalWriter>> OpenForAppend(
+      const std::string& path, const WalWriterOptions& options,
+      int64_t durable_bytes, uint64_t next_lsn, CrashInjector* crash);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Assigns `rec->lsn`, frames and buffers it; commits the batch when a
+  /// group-commit threshold trips. DataLoss when the crash injector fires.
+  Status Append(WalRecord* rec);
+
+  /// Writes + fsyncs all buffered frames (no-op when the buffer is empty).
+  Status Commit();
+
+  /// Commit() + close the descriptor. Further appends are errors.
+  Status Close();
+
+  /// Bytes durably on disk (header included) as of the last Commit().
+  int64_t durable_bytes() const { return durable_bytes_; }
+  /// LSN the next Append() will assign.
+  uint64_t next_lsn() const { return next_lsn_; }
+  int64_t records_appended() const { return records_appended_; }
+  int64_t commits() const { return commits_; }
+
+ private:
+  WalWriter(int fd, const WalWriterOptions& options, int64_t durable_bytes,
+            uint64_t next_lsn, CrashInjector* crash);
+
+  int fd_ = -1;
+  WalWriterOptions options_;
+  CrashInjector* crash_ = nullptr;  // borrowed, may be null
+  std::string buffer_;              // framed, uncommitted records
+  int64_t buffered_records_ = 0;
+  int64_t durable_bytes_ = 0;
+  uint64_t next_lsn_ = 0;
+  int64_t records_appended_ = 0;
+  int64_t commits_ = 0;
+  bool dead_ = false;  // injected crash fired; all writes refused
+};
+
+/// Result of scanning a WAL file front to back.
+struct WalScan {
+  /// Every frame that validated, in LSN order.
+  std::vector<WalRecord> records;
+  /// Raw payload bytes per record (same indexing) — recovery byte-compares
+  /// regenerated records against these.
+  std::vector<std::string> payloads;
+  /// File offset just past the last valid frame.
+  int64_t valid_bytes = 0;
+  /// File size at scan time.
+  int64_t file_bytes = 0;
+  /// True when bytes past `valid_bytes` exist but do not validate (torn
+  /// final write, or mid-file corruption — indistinguishable by design).
+  bool torn_tail = false;
+  /// True when the file was too short to hold a complete header (a crash
+  /// inside the very first commit). Scan is empty; not an error.
+  bool torn_header = false;
+  std::string tail_warning;
+
+  /// Prefix consistent at step granularity: index just past the last
+  /// step-boundary record, the file offset of that cut, and the number of
+  /// successful kOuterReserve records in the discarded fragment (in-flight
+  /// two-phase commits to resolve by re-execution).
+  size_t boundary_records = 0;
+  int64_t boundary_bytes = 0;
+  int64_t dangling_reserves = 0;
+};
+
+/// Scans `path`. IoError when unreadable; DataLoss when the header is
+/// complete but wrong (not our magic / unsupported version). Torn tails
+/// and torn headers are reported in the result, not as errors.
+Result<WalScan> ScanWal(const std::string& path);
+
+}  // namespace recovery
+}  // namespace comx
+
+#endif  // COMX_RECOVERY_WAL_H_

@@ -1,8 +1,9 @@
 #include "sim/result_io.h"
 
 #include <cmath>
-#include <fstream>
+#include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
@@ -17,8 +18,7 @@ constexpr char kHeader[] =
 
 Status SaveMatchingCsv(const Instance& instance, const Matching& matching,
                        const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IoError("cannot write " + path);
+  std::ostringstream out;
   out << kHeader << '\n';
   CsvWriter writer(&out);
   for (const Assignment& a : matching.assignments) {
@@ -39,8 +39,7 @@ Status SaveMatchingCsv(const Instance& instance, const Matching& matching,
                      StrFormat("%.17g", r.value),
                      StrFormat("%.17g", r.time)});
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, out.str());
 }
 
 Result<Matching> LoadMatchingCsv(const Instance& instance,

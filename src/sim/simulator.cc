@@ -3,22 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <optional>
-#include <queue>
-#include <utility>
 #include <vector>
 
-#include "fault/faulty_platform_view.h"
 #include "geo/distance.h"
-#include "obs/metrics_registry.h"
-#include "obs/span.h"
-#include "obs/trace.h"
-#include "pricing/acceptance_model.h"
-#include "sim/platform_view.h"
+#include "sim/sim_engine.h"
 #include "sim/worker_pool.h"
-#include "util/memory_meter.h"
 #include "util/string_util.h"
-#include "util/timer.h"
 
 namespace comx {
 
@@ -29,413 +19,18 @@ double ServiceDurationSeconds(const SimConfig& config, double pickup_km,
          config.service_seconds_per_value * value;
 }
 
-namespace {
-
-// Deterministic logical footprint of the static instance data.
-int64_t InstanceLogicalBytes(const Instance& instance) {
-  int64_t bytes = 0;
-  bytes += static_cast<int64_t>(instance.workers().size() * sizeof(Worker));
-  bytes += static_cast<int64_t>(instance.requests().size() * sizeof(Request));
-  bytes += static_cast<int64_t>(instance.events().size() * sizeof(Event));
-  for (const Worker& w : instance.workers()) {
-    bytes += static_cast<int64_t>(w.history.size() * sizeof(double));
-  }
-  return bytes;
-}
-
-struct QueuedEvent {
-  Event event;
-  bool operator>(const QueuedEvent& o) const { return o.event < event; }
-};
-
-// Per-platform registry counters, resolved once per run (labels are part
-// of the interned metric name).
-struct PlatformCounters {
-  obs::Counter* requests;
-  obs::Counter* inner;
-  obs::Counter* outer;
-  obs::Counter* rejects;
-};
-
-std::vector<PlatformCounters> MakePlatformCounters(int32_t platform_count) {
-  auto& registry = obs::MetricsRegistry::Global();
-  std::vector<PlatformCounters> out;
-  out.reserve(static_cast<size_t>(platform_count));
-  for (int32_t p = 0; p < platform_count; ++p) {
-    out.push_back(PlatformCounters{
-        registry.GetCounter(
-            obs::MetricName("comx_sim_requests_total", "platform", p),
-            "Requests fed to the platform's matcher"),
-        registry.GetCounter(
-            obs::MetricName("comx_sim_inner_assignments_total", "platform",
-                            p),
-            "Requests served by inner workers"),
-        registry.GetCounter(
-            obs::MetricName("comx_sim_outer_assignments_total", "platform",
-                            p),
-            "Requests served by borrowed outer workers"),
-        registry.GetCounter(
-            obs::MetricName("comx_sim_rejections_total", "platform", p),
-            "Requests the matcher rejected")});
-  }
-  return out;
-}
-
-// Stamps the request-side and matcher-stats fields of a trace event.
-obs::TraceEvent MakeTraceEvent(int64_t seq, const Request& r,
-                               const Decision& decision) {
-  obs::TraceEvent ev;
-  ev.seq = seq;
-  ev.time = r.time;
-  ev.platform = r.platform;
-  ev.request = r.id;
-  ev.value = r.value;
-  ev.inner_candidates = decision.stats.inner_candidates;
-  ev.outer_candidates = decision.stats.outer_candidates;
-  ev.priced_candidates = decision.stats.priced_candidates;
-  ev.accepting = decision.stats.accepting;
-  ev.bisect_iterations = decision.stats.bisect_iterations;
-  ev.estimator_samples = decision.stats.estimator_samples;
-  ev.estimated_payment = decision.stats.estimated_payment;
-  return ev;
-}
-
-}  // namespace
-
+// The historical monolithic loop now lives in sim/sim_engine.{h,cc} as a
+// resumable Init/Step/Finish engine (the durability seam); this wrapper
+// preserves the original single-call contract bit-exactly.
 Result<SimResult> RunSimulation(const Instance& instance,
                                 const std::vector<OnlineMatcher*>& matchers,
                                 const SimConfig& config, uint64_t seed) {
-  const int32_t platform_count = instance.PlatformCount();
-  if (static_cast<int32_t>(matchers.size()) != platform_count) {
-    return Status::InvalidArgument(
-        StrFormat("need %d matchers, got %zu", platform_count,
-                  matchers.size()));
+  SimEngine engine;
+  COMX_RETURN_IF_ERROR(engine.Init(instance, matchers, config, seed));
+  while (!engine.Done()) {
+    COMX_RETURN_IF_ERROR(engine.Step(nullptr));
   }
-  for (OnlineMatcher* m : matchers) {
-    if (m == nullptr) return Status::InvalidArgument("null matcher");
-  }
-
-  Stopwatch wall;
-  const DistanceMetric& metric =
-      config.metric != nullptr ? *config.metric : DefaultMetric();
-  // A prebuilt shared model (seed grids) skips the per-run history
-  // sort/flatten; both paths yield the identical immutable model.
-  std::optional<AcceptanceModel> local_acceptance;
-  const AcceptanceModel& acceptance =
-      config.acceptance != nullptr
-          ? *config.acceptance
-          : local_acceptance.emplace(instance, config.acceptance_mode,
-                                     config.reservation_seed);
-  WorkerPool pool(instance, &metric);
-  MemoryMeter pool_meter;
-  // Per-available-worker footprint: grid bucket slot + location + flags.
-  constexpr int64_t kPoolEntryBytes =
-      static_cast<int64_t>(sizeof(int64_t) + sizeof(Point) +
-                           sizeof(Timestamp) + 1);
-
-  // Fault injection: one session per run owns the injector RNG, the
-  // per-(platform, partner) circuit breakers, and all fault accounting.
-  // Matchers then see FaultyPlatformView decorators instead of the bare
-  // pool views; their own RNG streams are untouched either way.
-  std::optional<fault::FaultSession> fault_session;
-  if (config.fault_plan != nullptr) {
-    COMX_RETURN_IF_ERROR(config.fault_plan->Validate());
-    fault_session.emplace(*config.fault_plan, seed);
-  }
-
-  std::vector<PoolPlatformView> views;
-  views.reserve(static_cast<size_t>(platform_count));
-  std::vector<fault::FaultyPlatformView> faulty_views;
-  faulty_views.reserve(static_cast<size_t>(platform_count));
-  for (PlatformId p = 0; p < platform_count; ++p) {
-    views.emplace_back(instance, acceptance, pool, p);
-    if (fault_session.has_value()) {
-      faulty_views.emplace_back(views.back(), p, *fault_session,
-                                platform_count);
-    }
-    matchers[static_cast<size_t>(p)]->Reset(instance, p,
-                                            seed + static_cast<uint64_t>(p));
-  }
-
-  SimResult result;
-  result.metrics.per_platform.assign(static_cast<size_t>(platform_count),
-                                     PlatformMetrics{});
-
-  // Observability: counters/gauges are resolved once per run (registration
-  // takes a mutex); tracing is independent of the metrics switch. Neither
-  // consumes RNG draws, so results are bit-identical either way.
-  const bool collect = obs::CollectionEnabled();
-  std::vector<PlatformCounters> counters;
-  obs::Gauge* pool_gauge = nullptr;
-  if (collect) {
-    counters = MakePlatformCounters(platform_count);
-    auto& registry = obs::MetricsRegistry::Global();
-    pool_gauge = registry.GetGauge(
-        "comx_sim_pool_available",
-        "Workers currently available in the shared pool");
-  }
-  // Local (non-registry) decision-latency histogram: recorded whenever the
-  // run measures response time, independent of the global metrics switch,
-  // and returned in SimMetrics so sweeps can merge it across seeds. The
-  // "decide" span below separately feeds the registry/profiler when spans
-  // are enabled.
-  obs::LatencyHistogram decision_latency;
-  int64_t available_workers = 0;
-  int64_t decision_seq = 0;
-
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>>
-      queue;
-  for (const Event& e : instance.events()) queue.push(QueuedEvent{e});
-  const int64_t static_event_count =
-      static_cast<int64_t>(instance.events().size());
-  int64_t dynamic_sequence = static_event_count;
-  // Drop-off point of each worker's last completed service; re-arrival
-  // events place the worker there instead of at its static start location.
-  std::vector<Point> drop_off(instance.workers().size());
-
-  Stopwatch request_clock;
-  while (!queue.empty()) {
-    const Event e = queue.top().event;
-    queue.pop();
-    if (e.kind == EventKind::kWorkerArrival) {
-      const Worker& w = instance.worker(e.entity_id);
-      // Initial arrivals start at the static location; re-arrivals at the
-      // drop-off point of the service that just finished.
-      const Point where = (e.sequence < static_event_count)
-                              ? w.location
-                              : drop_off[static_cast<size_t>(e.entity_id)];
-      COMX_RETURN_IF_ERROR(pool.OnArrival(e.entity_id, where, e.time));
-      pool_meter.Allocate(kPoolEntryBytes);
-      ++available_workers;
-      if (pool_gauge != nullptr) {
-        pool_gauge->Set(static_cast<double>(available_workers));
-      }
-      continue;
-    }
-
-    const Request& r = instance.request(e.entity_id);
-    PlatformMetrics& pm =
-        result.metrics.per_platform[static_cast<size_t>(r.platform)];
-    OnlineMatcher* matcher = matchers[static_cast<size_t>(r.platform)];
-    const PlatformView& view =
-        fault_session.has_value()
-            ? static_cast<const PlatformView&>(
-                  faulty_views[static_cast<size_t>(r.platform)])
-            : views[static_cast<size_t>(r.platform)];
-
-    if (collect) {
-      counters[static_cast<size_t>(r.platform)].requests->Inc();
-    }
-    if (config.measure_response_time) request_clock.Reset();
-    Decision decision;
-    {
-      COMX_SPAN("decide");
-      decision = matcher->OnRequest(r, view);
-    }
-    int64_t decide_nanos = -1;
-    if (config.measure_response_time) {
-      decide_nanos = request_clock.ElapsedNanos();
-      pm.response_time_us.Add(static_cast<double>(decide_nanos) / 1e3);
-      decision_latency.ObserveNanos(decide_nanos);
-    }
-
-    // Two-phase outer commit under fault injection: reserve the chosen
-    // worker with its partner before booking. A stale-view conflict (the
-    // worker was assigned elsewhere between query and commit) falls back
-    // to the matcher's next accepting candidate; exhausting all of them
-    // degrades the request to a reject — never a violated invariable
-    // constraint, never a failed run.
-    if (fault_session.has_value() &&
-        decision.kind == Decision::Kind::kOuter) {
-      WorkerId reserved = kInvalidId;
-      const PlatformId first_partner =
-          instance.worker(decision.worker).platform;
-      if (fault_session->TryReserve(r.platform, first_partner, r.time)) {
-        reserved = decision.worker;
-      } else {
-        for (WorkerId c : decision.fallback_workers) {
-          const PlatformId partner = instance.worker(c).platform;
-          if (fault_session->TryReserve(r.platform, partner, r.time)) {
-            reserved = c;
-            break;
-          }
-        }
-      }
-      if (reserved == kInvalidId) {
-        fault_session->NoteDegraded();
-        Decision rejected = Decision::Reject();
-        rejected.attempted_outer = decision.attempted_outer;
-        rejected.stats = decision.stats;
-        decision = std::move(rejected);
-      } else {
-        decision.worker = reserved;
-      }
-    }
-
-    if (decision.attempted_outer) ++pm.outer_offers;
-
-    if (decision.kind == Decision::Kind::kReject) {
-      ++pm.rejected;
-      if (collect) {
-        counters[static_cast<size_t>(r.platform)].rejects->Inc();
-      }
-      const fault::RequestFaultInfo finfo =
-          fault_session.has_value() ? fault_session->TakeRequestInfo()
-                                    : fault::RequestFaultInfo{};
-      if (config.trace != nullptr) {
-        obs::TraceEvent ev = MakeTraceEvent(decision_seq++, r, decision);
-        ev.outcome = "reject";
-        ev.latency_ns = decide_nanos;
-        ev.fault_retries = finfo.retries;
-        ev.fault_failed_partners = finfo.failed_partners;
-        ev.fault_reserve_conflicts = finfo.reserve_conflicts;
-        ev.degraded = finfo.degraded;
-        config.trace->Record(ev);
-      }
-      continue;
-    }
-
-    // Validate and apply the decision.
-    const WorkerId wid = decision.worker;
-    if (wid < 0 || wid >= static_cast<WorkerId>(instance.workers().size())) {
-      return Status::Internal(
-          StrFormat("%s returned invalid worker id", matcher->name().c_str()));
-    }
-    if (!pool.IsAvailable(wid)) {
-      return Status::Internal(StrFormat("%s assigned an occupied worker",
-                                        matcher->name().c_str()));
-    }
-    const Worker& w = instance.worker(wid);
-    const bool is_outer = w.platform != r.platform;
-    if ((decision.kind == Decision::Kind::kOuter) != is_outer) {
-      return Status::Internal(
-          StrFormat("%s mislabelled inner/outer for worker %lld",
-                    matcher->name().c_str(), static_cast<long long>(wid)));
-    }
-    const double pickup_km =
-        metric.Distance(pool.CurrentLocation(wid), r.location);
-    if (pickup_km > w.radius + 1e-9) {
-      return Status::Internal(StrFormat(
-          "%s violated the range constraint (%.3f > %.3f)",
-          matcher->name().c_str(), pickup_km, w.radius));
-    }
-    if (pool.AvailableSince(wid) > r.time) {
-      return Status::Internal(
-          StrFormat("%s violated the time constraint",
-                    matcher->name().c_str()));
-    }
-
-    Assignment a;
-    a.request = r.id;
-    a.worker = wid;
-    a.is_outer = is_outer;
-    if (is_outer) {
-      const double payment = decision.outer_payment;
-      if (!(payment > 0.0) || payment > r.value + 1e-9) {
-        return Status::Internal(StrFormat(
-            "%s quoted outer payment %.4f outside (0, v=%.4f]",
-            matcher->name().c_str(), payment, r.value));
-      }
-      a.outer_payment = payment;
-      a.revenue = r.value - payment;
-      ++pm.completed_outer;
-      pm.outer_payment_sum += payment;
-      pm.payment_rate_sum += payment / r.value;
-    } else {
-      a.outer_payment = 0.0;
-      a.revenue = r.value;
-      ++pm.completed_inner;
-    }
-    ++pm.completed;
-    pm.revenue += a.revenue;
-    pm.total_pickup_km += pickup_km;
-    result.matching.Add(a);
-
-    if (collect) {
-      const PlatformCounters& pc =
-          counters[static_cast<size_t>(r.platform)];
-      (is_outer ? pc.outer : pc.inner)->Inc();
-    }
-    const fault::RequestFaultInfo finfo =
-        fault_session.has_value() ? fault_session->TakeRequestInfo()
-                                  : fault::RequestFaultInfo{};
-    if (config.trace != nullptr) {
-      obs::TraceEvent ev = MakeTraceEvent(decision_seq++, r, decision);
-      ev.outcome = is_outer ? "outer" : "inner";
-      ev.worker = wid;
-      ev.payment = a.outer_payment;
-      ev.revenue = a.revenue;
-      ev.latency_ns = decide_nanos;
-      ev.fault_retries = finfo.retries;
-      ev.fault_failed_partners = finfo.failed_partners;
-      ev.fault_reserve_conflicts = finfo.reserve_conflicts;
-      ev.degraded = finfo.degraded;
-      config.trace->Record(ev);
-    }
-
-    {
-      COMX_SPAN("pool_commit");
-      COMX_RETURN_IF_ERROR(pool.MarkOccupied(wid));
-      pool_meter.Release(kPoolEntryBytes);
-      --available_workers;
-      if (pool_gauge != nullptr) {
-        pool_gauge->Set(static_cast<double>(available_workers));
-      }
-
-      if (config.workers_recycle) {
-        const double duration =
-            ServiceDurationSeconds(config, pickup_km, r.value);
-        Event rearrival;
-        rearrival.time = r.time + duration;
-        rearrival.kind = EventKind::kWorkerArrival;
-        rearrival.entity_id = wid;
-        rearrival.sequence = dynamic_sequence++;
-        drop_off[static_cast<size_t>(wid)] = r.location;
-        queue.push(QueuedEvent{rearrival});
-      }
-    }
-  }
-
-  if (fault_session.has_value()) {
-    result.fault_stats = fault_session->stats();
-    fault_session->PublishMetrics();
-  }
-
-  result.metrics.logical_bytes =
-      InstanceLogicalBytes(instance) + pool_meter.peak_bytes();
-  result.metrics.rss_bytes = CurrentRssBytes();
-  result.metrics.wall_seconds = wall.ElapsedNanos() / 1e9;
-  if (config.measure_response_time) {
-    result.metrics.decision_latency = decision_latency.Snapshot();
-  }
-
-  if (config.trace != nullptr) {
-    obs::TraceSummary summary;
-    summary.events_written = decision_seq;
-    summary.assignments =
-        static_cast<int64_t>(result.matching.assignments.size());
-    summary.platform_revenue.reserve(result.metrics.per_platform.size());
-    // Accumulate the grand total in platform order, matching both
-    // SimMetrics::TotalRevenue() and the replay in obs/trace.cc, so the
-    // recorded and re-derived totals are bit-identical.
-    double total = 0.0;
-    for (const PlatformMetrics& p : result.metrics.per_platform) {
-      summary.platform_revenue.push_back(p.revenue);
-      total += p.revenue;
-    }
-    summary.total_revenue = total;
-    // Latency block: mirrors the per-event latency_ns values exactly (same
-    // observations, same bucketing), which CheckTraceLatency() verifies.
-    const obs::LatencySnapshot& lat = result.metrics.decision_latency;
-    if (lat.count > 0) {
-      summary.latency_count = lat.count;
-      summary.latency_sum_ns = lat.sum_nanos;
-      summary.latency_max_ns = lat.max_nanos;
-      summary.latency_buckets = lat.NonZeroBuckets();
-    }
-    config.trace->Summary(summary);
-  }
-  return result;
+  return engine.Finish();
 }
 
 Status AuditSimResult(const Instance& instance, const SimConfig& config,

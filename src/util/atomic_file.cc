@@ -1,0 +1,60 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace comx {
+
+std::string AtomicTmpPath(const std::string& path) { return path + ".tmp"; }
+
+void FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = AtomicTmpPath(path);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(
+        StrFormat("cannot open %s: %s", tmp.c_str(), std::strerror(errno)));
+  }
+  if (!contents.empty() &&
+      std::fwrite(contents.data(), 1, contents.size(), f) != contents.size()) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError(StrFormat("short write to %s", tmp.c_str()));
+  }
+  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError(
+        StrFormat("cannot flush %s: %s", tmp.c_str(), std::strerror(errno)));
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError(
+        StrFormat("cannot close %s: %s", tmp.c_str(), std::strerror(errno)));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError(StrFormat("cannot rename %s -> %s: %s", tmp.c_str(),
+                                     path.c_str(), std::strerror(errno)));
+  }
+  FsyncParentDir(path);
+  return Status::OK();
+}
+
+}  // namespace comx

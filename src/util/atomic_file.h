@@ -1,0 +1,34 @@
+// Crash-safe file replacement: write the full contents to `path.tmp`,
+// flush + fsync, then rename over `path`. Readers therefore only ever see
+// the old file or the complete new file — never a torn half-write. Used by
+// every result/baseline/plan writer (result_io, bench JSON emitters,
+// SaveFaultPlan, metrics exporters) and by the checkpoint writer in
+// src/recovery/.
+
+#ifndef COMX_UTIL_ATOMIC_FILE_H_
+#define COMX_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace comx {
+
+/// Atomically replaces `path` with `contents` (tmp + fsync + rename, plus a
+/// best-effort fsync of the containing directory so the rename itself is
+/// durable). On error the target file is left untouched; a stale `.tmp`
+/// may remain and is overwritten by the next attempt.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// The temporary sibling AtomicWriteFile stages into ("<path>.tmp").
+std::string AtomicTmpPath(const std::string& path);
+
+/// Best-effort fsync of the directory containing `path` (makes a freshly
+/// created or renamed entry durable). Errors are swallowed: directory
+/// handles are not writable on every filesystem.
+void FsyncParentDir(const std::string& path);
+
+}  // namespace comx
+
+#endif  // COMX_UTIL_ATOMIC_FILE_H_

@@ -1,0 +1,21 @@
+#include "util/binio.h"
+
+namespace comx {
+
+void WriteRng(const Rng& rng, ByteWriter* out) {
+  const Rng::State state = rng.SaveState();
+  for (uint64_t word : state.s) out->U64(word);
+  out->Bool(state.has_cached_normal);
+  out->F64(state.cached_normal);
+}
+
+Status ReadRng(ByteReader* in, Rng* rng) {
+  Rng::State state;
+  for (uint64_t& word : state.s) COMX_RETURN_IF_ERROR(in->U64(&word));
+  COMX_RETURN_IF_ERROR(in->Bool(&state.has_cached_normal));
+  COMX_RETURN_IF_ERROR(in->F64(&state.cached_normal));
+  rng->RestoreState(state);
+  return Status::OK();
+}
+
+}  // namespace comx

@@ -1,0 +1,125 @@
+// Little-endian binary serialization for checkpoints and WAL records
+// (src/recovery/). ByteWriter appends into an owned string; ByteReader
+// walks a borrowed buffer and fails loudly (Status, never UB) on
+// truncation — a torn file surfaces as DataLoss at the frame layer, and as
+// OutOfRange here when a frame lies about its own length.
+//
+// Doubles are serialized as their IEEE-754 bit patterns, so values round
+// trip bit-exactly (NaN payloads and signed zeros included) — the currency
+// of the recovery suite's bit-exact guarantees.
+
+#ifndef COMX_UTIL_BINIO_H_
+#define COMX_UTIL_BINIO_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace comx {
+
+/// Append-only little-endian encoder.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+  /// Length-prefixed (u32) byte string.
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+  void Clear() { out_.clear(); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    const size_t at = out_.size();
+    out_.resize(at + n);
+    std::memcpy(out_.data() + at, p, n);
+  }
+
+  std::string out_;
+};
+
+/// Sequential decoder over a borrowed buffer; the buffer must outlive the
+/// reader. Every read fails with OutOfRange past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t* v) { return Raw(v, sizeof(*v)); }
+  Status U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  Status U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  Status I32(int32_t* v) {
+    uint32_t u;
+    COMX_RETURN_IF_ERROR(U32(&u));
+    *v = static_cast<int32_t>(u);
+    return Status::OK();
+  }
+  Status I64(int64_t* v) {
+    uint64_t u;
+    COMX_RETURN_IF_ERROR(U64(&u));
+    *v = static_cast<int64_t>(u);
+    return Status::OK();
+  }
+  Status Bool(bool* v) {
+    uint8_t u;
+    COMX_RETURN_IF_ERROR(U8(&u));
+    *v = u != 0;
+    return Status::OK();
+  }
+  Status F64(double* v) {
+    uint64_t u;
+    COMX_RETURN_IF_ERROR(U64(&u));
+    *v = std::bit_cast<double>(u);
+    return Status::OK();
+  }
+  Status Str(std::string* s) {
+    uint32_t n;
+    COMX_RETURN_IF_ERROR(U32(&n));
+    if (n > Remaining()) {
+      return Status::OutOfRange("binio: string length past end of buffer");
+    }
+    s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  size_t Remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t pos() const { return pos_; }
+
+ private:
+  Status Raw(void* p, size_t n) {
+    if (n > Remaining()) {
+      return Status::OutOfRange("binio: read past end of buffer");
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Serializes the full generator state — stream position and the Marsaglia
+/// normal cache — so a restored Rng continues the identical draw sequence.
+void WriteRng(const Rng& rng, ByteWriter* out);
+Status ReadRng(ByteReader* in, Rng* rng);
+
+}  // namespace comx
+
+#endif  // COMX_UTIL_BINIO_H_

@@ -1,0 +1,33 @@
+// CRC32C (Castagnoli) checksums framing every WAL record and checkpoint
+// body (src/recovery/). Software table implementation: the recovery path is
+// I/O-bound and the payloads are small, so portability beats SSE4.2 here.
+
+#ifndef COMX_UTIL_CRC32C_H_
+#define COMX_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace comx {
+
+/// Extends a running CRC32C over `data`. Start from 0 for a fresh checksum.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+/// CRC32C of one buffer.
+inline uint32_t Crc32c(const void* data, size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+/// Masked variant stored on disk (the LevelDB/RocksDB trick): a CRC of data
+/// that itself contains CRCs is vulnerable to systematic corruption mapping
+/// valid frames onto valid frames; masking breaks that composition.
+uint32_t Crc32cMask(uint32_t crc);
+uint32_t Crc32cUnmask(uint32_t masked);
+
+}  // namespace comx
+
+#endif  // COMX_UTIL_CRC32C_H_

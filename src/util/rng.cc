@@ -96,4 +96,18 @@ double Rng::Exponential(double rate) {
 
 Rng Rng::Fork() { return Rng(NextUint64() ^ 0xa0761d6478bd642full); }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace comx

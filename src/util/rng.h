@@ -67,6 +67,17 @@ class Rng {
   /// Derives an independent generator from the current stream.
   Rng Fork();
 
+  /// Raw serializable state: the xoshiro words plus the Marsaglia normal
+  /// cache. Restoring it resumes the exact draw sequence — checkpoints
+  /// (src/recovery/) depend on this to replay runs bit-exactly.
+  struct State {
+    uint64_t s[4];
+    bool has_cached_normal;
+    double cached_normal;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
  private:
   uint64_t s_[4];
   bool has_cached_normal_ = false;

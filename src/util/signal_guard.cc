@@ -1,0 +1,64 @@
+#include "util/signal_guard.h"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace comx {
+namespace {
+
+std::atomic<std::FILE*> g_files[kMaxShutdownFiles];
+std::atomic<bool> g_installed{false};
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+extern "C" void ComxShutdownHandler(int signo) {
+  g_shutdown_requested = 1;
+  for (auto& slot : g_files) {
+    std::FILE* f = slot.load(std::memory_order_relaxed);
+    if (f == nullptr) continue;
+    std::fflush(f);
+    ::fsync(::fileno(f));
+  }
+  std::fflush(nullptr);
+  ::_exit(128 + signo);
+}
+
+}  // namespace
+
+void InstallShutdownGuard() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return;
+  struct sigaction sa = {};
+  sa.sa_handler = ComxShutdownHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool ShutdownRequested() { return g_shutdown_requested != 0; }
+
+void RegisterShutdownFlushFile(std::FILE* f) {
+  if (f == nullptr) return;
+  for (auto& slot : g_files) {
+    std::FILE* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, f,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void UnregisterShutdownFlushFile(std::FILE* f) {
+  if (f == nullptr) return;
+  for (auto& slot : g_files) {
+    std::FILE* expected = f;
+    slot.compare_exchange_strong(expected, nullptr,
+                                 std::memory_order_relaxed);
+  }
+}
+
+int ShutdownExitCode(int signo) { return 128 + signo; }
+
+}  // namespace comx

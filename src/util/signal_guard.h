@@ -1,0 +1,45 @@
+// SIGINT/SIGTERM shutdown guard for the CLI tools: on the first signal the
+// handler best-effort flushes every registered stdio stream (traces,
+// metrics, WAL — so an interrupted run leaves recoverable artifacts, not
+// torn files) and exits with the conventional 128 + signo code, which is
+// distinct from every tool's own exit codes.
+//
+// Async-signal-safety: the handler only walks a fixed array of atomic
+// FILE* slots, calls fflush/fsync on each, and _exit()s. fflush is not on
+// the POSIX async-signal-safe list but is safe here in practice for the
+// single-threaded tools that install this guard; a stream being written at
+// the moment of the signal may at worst leave one torn final line — which
+// the lenient trace/profile readers (obs/trace.h, tools/perf_report) are
+// built to tolerate.
+
+#ifndef COMX_UTIL_SIGNAL_GUARD_H_
+#define COMX_UTIL_SIGNAL_GUARD_H_
+
+#include <cstdio>
+
+namespace comx {
+
+/// Installs the SIGINT/SIGTERM handler. Idempotent.
+void InstallShutdownGuard();
+
+/// True once a shutdown signal was received. With the default handler the
+/// process _exit()s inside the handler, so this is observable only in the
+/// narrow window before exit (it exists for tests that raise() and for
+/// future cooperative-shutdown callers).
+bool ShutdownRequested();
+
+/// Registers `f` for best-effort fflush + fsync when a signal arrives.
+/// Bounded capacity (see kMaxShutdownFiles); extra registrations are
+/// silently dropped. Pass the same pointer to Unregister before closing.
+void RegisterShutdownFlushFile(std::FILE* f);
+void UnregisterShutdownFlushFile(std::FILE* f);
+
+/// Number of FILE* slots the guard can track.
+inline constexpr int kMaxShutdownFiles = 16;
+
+/// The exit code the guard uses for signal `signo` (128 + signo).
+int ShutdownExitCode(int signo);
+
+}  // namespace comx
+
+#endif  // COMX_UTIL_SIGNAL_GUARD_H_

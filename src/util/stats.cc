@@ -43,6 +43,17 @@ double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 void RunningStats::Reset() { *this = RunningStats(); }
 
+RunningStats RunningStats::FromRaw(int64_t count, double mean, double m2,
+                                   double min, double max) {
+  RunningStats s;
+  s.count_ = count;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 std::string RunningStats::ToString() const {
   std::ostringstream os;
   os << "n=" << count_ << ", mean=" << mean_ << ", sd=" << stddev()

@@ -36,6 +36,15 @@ class RunningStats {
   /// Sum of all observations.
   double sum() const { return mean_ * static_cast<double>(count_); }
 
+  /// Raw Welford accumulator (sum of squared deviations) — together with
+  /// count/mean/min/max this is the full internal state, exposed so
+  /// checkpoints (src/recovery/) can serialize and restore it bit-exactly.
+  double m2() const { return m2_; }
+
+  /// Rebuilds an accumulator from previously captured raw state.
+  static RunningStats FromRaw(int64_t count, double mean, double m2,
+                              double min, double max);
+
   /// Resets to the empty state.
   void Reset();
 

@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kIoError = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  kDataLoss = 9,
 };
 
 /// Human-readable name of a status code ("Ok", "InvalidArgument", ...).
@@ -66,6 +67,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True when the operation succeeded.

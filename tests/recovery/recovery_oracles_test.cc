@@ -1,0 +1,233 @@
+// Unit tests for the crash-safety oracles (check/recovery_oracles.h) on
+// synthetic WAL histories: each corrupt-protocol shape must fire the
+// no-double-commit oracle, and clean histories must not.
+
+#include "check/recovery_oracles.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "recovery/wal.h"
+
+namespace comx {
+namespace check {
+namespace {
+
+using recovery::WalRecord;
+using recovery::WalRecordType;
+
+WalRecord Begin(int32_t platforms, bool fault_plan) {
+  WalRecord rec;
+  rec.type = WalRecordType::kRunBegin;
+  rec.platform_count = platforms;
+  rec.has_fault_plan = fault_plan;
+  return rec;
+}
+
+WalRecord Reserve(int64_t step, RequestId request, WorkerId worker) {
+  WalRecord rec;
+  rec.type = WalRecordType::kOuterReserve;
+  rec.step = step;
+  rec.request = request;
+  rec.worker = worker;
+  return rec;
+}
+
+WalRecord Confirm(int64_t step, RequestId request, WorkerId worker) {
+  WalRecord rec;
+  rec.type = WalRecordType::kOuterConfirm;
+  rec.step = step;
+  rec.request = request;
+  rec.worker = worker;
+  return rec;
+}
+
+WalRecord Decision(int64_t step, RequestId request, PlatformId platform,
+                   WorkerId worker, int8_t outcome, double value,
+                   double payment, double revenue) {
+  WalRecord rec;
+  rec.type = WalRecordType::kDecision;
+  rec.step = step;
+  rec.step_record.step = step;
+  rec.step_record.kind = StepRecord::Kind::kDecision;
+  rec.step_record.request = request;
+  rec.step_record.platform = platform;
+  rec.step_record.worker = worker;
+  rec.step_record.outcome = outcome;
+  rec.step_record.value = value;
+  rec.step_record.payment = payment;
+  rec.step_record.revenue = revenue;
+  return rec;
+}
+
+WalRecord Arrival(int64_t step, WorkerId worker) {
+  WalRecord rec;
+  rec.type = WalRecordType::kArrival;
+  rec.step = step;
+  rec.step_record.step = step;
+  rec.step_record.kind = StepRecord::Kind::kArrival;
+  rec.step_record.worker = worker;
+  return rec;
+}
+
+WalRecord End(double total_revenue, int64_t assignments) {
+  WalRecord rec;
+  rec.type = WalRecordType::kRunEnd;
+  rec.total_revenue = total_revenue;
+  rec.assignments = assignments;
+  return rec;
+}
+
+// One violation whose detail contains `needle`, or a test failure.
+void ExpectSingleViolation(const std::vector<OracleViolation>& violations,
+                           const std::string& needle) {
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].oracle, kNoDoubleCommitOracle);
+  EXPECT_NE(violations[0].detail.find(needle), std::string::npos)
+      << violations[0].detail;
+}
+
+TEST(WalCommitProtocolTest, CleanTwoPhaseHistoryPasses) {
+  const std::vector<WalRecord> wal = {
+      Begin(2, /*fault_plan=*/true),
+      Arrival(0, /*worker=*/3),
+      Reserve(1, /*request=*/7, /*worker=*/3),
+      Confirm(1, 7, 3),
+      Decision(1, 7, /*platform=*/0, 3, /*outcome=*/2, 10.0, 4.0, 6.0),
+      Decision(2, 8, 0, kInvalidId, /*outcome=*/0, 5.0, 0.0, 0.0),
+      Decision(3, 9, 1, 4, /*outcome=*/1, 3.0, 0.0, 3.0),
+      End(/*total_revenue=*/9.0, /*assignments=*/2),
+  };
+  EXPECT_TRUE(CheckWalCommitProtocol(wal).empty());
+}
+
+TEST(WalCommitProtocolTest, DoubleDecisionIsDoubleCommit) {
+  const std::vector<WalRecord> wal = {
+      Begin(1, false),
+      Decision(0, 7, 0, 3, 1, 10.0, 0.0, 10.0),
+      Decision(1, 7, 0, 4, 1, 10.0, 0.0, 10.0),
+      End(20.0, 2),
+  };
+  ExpectSingleViolation(CheckWalCommitProtocol(wal),
+                        "decided more than once");
+}
+
+TEST(WalCommitProtocolTest, DanglingReserveInFinalWalFires) {
+  const std::vector<WalRecord> wal = {
+      Begin(2, true),
+      Reserve(1, 7, 3),
+      // The next boundary record arrives without the covering decision.
+      Arrival(2, 5),
+  };
+  ExpectSingleViolation(CheckWalCommitProtocol(wal),
+                        "dangling successful reserve");
+}
+
+TEST(WalCommitProtocolTest, OuterDecisionWithoutConfirmFires) {
+  const std::vector<WalRecord> wal = {
+      Begin(2, /*fault_plan=*/true),
+      Reserve(1, 7, 3),
+      Decision(1, 7, 0, 3, 2, 10.0, 4.0, 6.0),
+  };
+  ExpectSingleViolation(CheckWalCommitProtocol(wal),
+                        "lacks a matching confirm");
+}
+
+TEST(WalCommitProtocolTest, ReservedWorkerMismatchFires) {
+  const std::vector<WalRecord> wal = {
+      Begin(2, true),
+      Reserve(1, 7, 3),
+      Confirm(1, 7, 9),
+      Decision(1, 7, 0, 9, 2, 10.0, 4.0, 6.0),
+  };
+  ExpectSingleViolation(CheckWalCommitProtocol(wal), "but the step reserved");
+}
+
+TEST(WalCommitProtocolTest, ReserveFollowedByNonOuterDecisionFires) {
+  const std::vector<WalRecord> wal = {
+      Begin(2, /*fault_plan=*/false),
+      Reserve(1, 7, 3),
+      Decision(1, 7, 0, 4, /*outcome=*/1, 10.0, 0.0, 10.0),
+  };
+  ExpectSingleViolation(CheckWalCommitProtocol(wal), "decided non-outer");
+}
+
+TEST(WalCommitProtocolTest, OuterRevenueMustSatisfyEq1Bitwise) {
+  std::vector<WalRecord> wal = {
+      Begin(2, false),
+      Decision(1, 7, 0, 3, 2, 10.0, 4.0, 6.0),
+  };
+  EXPECT_TRUE(CheckWalCommitProtocol(wal).empty());
+  // Off by one ULP is still a violation.
+  wal[1].step_record.revenue =
+      std::nextafter(6.0, 7.0);
+  ExpectSingleViolation(CheckWalCommitProtocol(wal), "Eq. 1");
+}
+
+TEST(WalCommitProtocolTest, InnerWithPaymentAndPaidRejectFire) {
+  const std::vector<WalRecord> inner_paid = {
+      Begin(1, false),
+      Decision(0, 7, 0, 3, 1, 10.0, 2.0, 10.0),
+  };
+  ExpectSingleViolation(CheckWalCommitProtocol(inner_paid),
+                        "inner revenue accounting");
+  const std::vector<WalRecord> paid_reject = {
+      Begin(1, false),
+      Decision(0, 7, 0, kInvalidId, 0, 10.0, 0.0, 1.0),
+  };
+  ExpectSingleViolation(CheckWalCommitProtocol(paid_reject),
+                        "carries revenue");
+}
+
+TEST(WalCommitProtocolTest, RunEndTotalsAreCheckedBitwise) {
+  const std::vector<WalRecord> wal = {
+      Begin(1, false),
+      Decision(0, 7, 0, 3, 1, 10.0, 0.0, 10.0),
+      End(/*total_revenue=*/10.5, /*assignments=*/1),
+  };
+  ExpectSingleViolation(CheckWalCommitProtocol(wal), "total revenue");
+
+  const std::vector<WalRecord> wrong_count = {
+      Begin(1, false),
+      Decision(0, 7, 0, 3, 1, 10.0, 0.0, 10.0),
+      End(10.0, /*assignments=*/2),
+  };
+  ExpectSingleViolation(CheckWalCommitProtocol(wrong_count), "assignments");
+}
+
+TEST(RecoveryEquivalenceTest, DetectsRevenueAndAssignmentDrift) {
+  SimResult a;
+  a.metrics.per_platform.resize(2);
+  a.metrics.per_platform[0].revenue = 10.0;
+  a.metrics.per_platform[0].completed = 3;
+  Assignment assign;
+  assign.request = 7;
+  assign.worker = 3;
+  assign.is_outer = true;
+  assign.outer_payment = 4.0;
+  assign.revenue = 6.0;
+  a.matching.assignments.push_back(assign);
+  a.matching.total_revenue = 10.0;
+
+  SimResult b = a;
+  EXPECT_TRUE(CheckRecoveryEquivalence(a, b).empty());
+
+  // One ULP of revenue drift on platform 0.
+  b.metrics.per_platform[0].revenue = std::nextafter(10.0, 11.0);
+  auto violations = CheckRecoveryEquivalence(a, b);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].oracle, kRecoveryBitExactOracle);
+
+  // A flipped assignment field.
+  b = a;
+  b.matching.assignments[0].worker = 4;
+  violations = CheckRecoveryEquivalence(a, b);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].detail.find("assignment"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace comx

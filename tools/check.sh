@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-1 gate: six stages, strictest first.
+# Tier-1 gate: seven stages, strictest first.
 #
 #   1. asan-ubsan — full test suite under AddressSanitizer + UBSan
 #                   (includes the `kernels` backend-equivalence suite).
@@ -24,20 +24,20 @@
 #   tools/check.sh -L fault     # pass-through filter for the asan stage
 # Set COMX_CHECK_SKIP_TSAN=1 / COMX_CHECK_SKIP_BENCH=1 /
 # COMX_CHECK_SKIP_FUZZ=1 / COMX_CHECK_SKIP_KERNELS=1 /
-# COMX_CHECK_SKIP_PERF=1 to skip a stage.
+# COMX_CHECK_SKIP_PERF=1 / COMX_CHECK_SKIP_CRASH=1 to skip a stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== stage 1/6: asan-ubsan test suite =="
+echo "== stage 1/7: asan-ubsan test suite =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${JOBS}"
 ctest --preset asan-ubsan -j "${JOBS}" "$@"
 
 if [[ "${COMX_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "== stage 2/6: thread pool + sweep engine + obs under TSan =="
+  echo "== stage 2/7: thread pool + sweep engine + obs under TSan =="
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}" \
     --target comx_util_test comx_exp_test comx_obs_test
@@ -47,11 +47,11 @@ if [[ "${COMX_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
   ./build-tsan/tests/comx_obs_test \
     --gtest_filter='*Concurrent*:*Threads*'
 else
-  echo "== stage 2/6: skipped (COMX_CHECK_SKIP_TSAN=1) =="
+  echo "== stage 2/7: skipped (COMX_CHECK_SKIP_TSAN=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
-  echo "== stage 3/6: BENCH baseline reproduction =="
+  echo "== stage 3/7: BENCH baseline reproduction =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target bench_sweep bench_check
   SWEEP_OUT="$(mktemp /tmp/comx_bench_sweep.XXXXXX.json)"
@@ -60,20 +60,20 @@ if [[ "${COMX_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
   ./build/tools/bench_check --baseline BENCH_sweep.json \
     --current "${SWEEP_OUT}"
 else
-  echo "== stage 3/6: skipped (COMX_CHECK_SKIP_BENCH=1) =="
+  echo "== stage 3/7: skipped (COMX_CHECK_SKIP_BENCH=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_FUZZ:-0}" != "1" ]]; then
-  echo "== stage 4/6: comx_fuzz smoke (200 scenarios, all matchers) =="
+  echo "== stage 4/7: comx_fuzz smoke (200 scenarios, all matchers) =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target comx_fuzz
   ./build/tools/comx_fuzz --smoke
 else
-  echo "== stage 4/6: skipped (COMX_CHECK_SKIP_FUZZ=1) =="
+  echo "== stage 4/7: skipped (COMX_CHECK_SKIP_FUZZ=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_KERNELS:-0}" != "1" ]]; then
-  echo "== stage 5/6: kernel checksum baseline reproduction =="
+  echo "== stage 5/7: kernel checksum baseline reproduction =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target bench_kernels bench_check
   KERNELS_OUT="$(mktemp /tmp/comx_bench_kernels.XXXXXX.json)"
@@ -82,11 +82,11 @@ if [[ "${COMX_CHECK_SKIP_KERNELS:-0}" != "1" ]]; then
   ./build/tools/bench_check --baseline BENCH_kernels.json \
     --current "${KERNELS_OUT}"
 else
-  echo "== stage 5/6: skipped (COMX_CHECK_SKIP_KERNELS=1) =="
+  echo "== stage 5/7: skipped (COMX_CHECK_SKIP_KERNELS=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_PERF:-0}" != "1" ]]; then
-  echo "== stage 6/6: perf-report pipeline (span profile schema) =="
+  echo "== stage 6/7: perf-report pipeline (span profile schema) =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target bench_sweep perf_report
   PERF_OUT="$(mktemp /tmp/comx_perf_profile.XXXXXX.jsonl)"
@@ -100,7 +100,16 @@ if [[ "${COMX_CHECK_SKIP_PERF:-0}" != "1" ]]; then
   ./build/tools/perf_report --check "${PERF_OUT}" \
     --collapsed "${COLLAPSED_OUT}"
 else
-  echo "== stage 6/6: skipped (COMX_CHECK_SKIP_PERF=1) =="
+  echo "== stage 6/7: skipped (COMX_CHECK_SKIP_PERF=1) =="
+fi
+
+if [[ "${COMX_CHECK_SKIP_CRASH:-0}" != "1" ]]; then
+  echo "== stage 7/7: crash matrix smoke (recovery bit-exactness, ASan) =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "${JOBS}" --target crash_matrix
+  ./build-asan/tools/crash_matrix --smoke
+else
+  echo "== stage 7/7: skipped (COMX_CHECK_SKIP_CRASH=1) =="
 fi
 
 echo "check.sh: all stages passed"

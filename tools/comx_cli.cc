@@ -71,6 +71,7 @@
 #include "sim/result_io.h"
 #include "sim/simulator.h"
 #include "util/csv.h"
+#include "util/signal_guard.h"
 #include "util/stats.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -271,6 +272,9 @@ int CmdRun(int argc, char** argv) {
     auto opened = obs::JsonlTraceWriter::Open(trace_out);
     if (!opened.ok()) return Fail(opened.status());
     trace = std::move(*opened);
+    // ^C mid-run flushes the partial trace and exits 128+signo; the
+    // lenient readers tolerate the torn final line it may leave.
+    RegisterShutdownFlushFile(trace->file());
   }
 
   PlatformMetrics agg;
@@ -656,4 +660,7 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace comx
 
-int main(int argc, char** argv) { return comx::Main(argc, argv); }
+int main(int argc, char** argv) {
+  comx::InstallShutdownGuard();
+  return comx::Main(argc, argv);
+}

@@ -10,6 +10,13 @@
 // Usage:
 //   comx_fuzz [--runs N] [--seed S] [--time-budget SECONDS]
 //             [--repro-dir DIR] [--smoke] [--quiet]
+//             [--crash-check-every N] [--crash-check-dir DIR]
+//
+// --crash-check-every N: every Nth scenario additionally runs a durable
+// baseline + seeded crash + recovery and checks the recovery oracles
+// (recovery-bit-exact, no-double-commit-after-crash); artifacts land under
+// --crash-check-dir (a mkdtemp directory when unset). --smoke enables it
+// at N=16.
 //
 //   --smoke: the CI configuration — fixed seed, 200 scenarios, ~5 s.
 //            Exit 0 iff no oracle fired. Stage 4 of tools/check.sh.
@@ -20,7 +27,10 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <string>
+
 #include "check/fuzz_driver.h"
+#include "util/signal_guard.h"
 
 namespace comx {
 namespace {
@@ -56,6 +66,9 @@ int Main(int argc, char** argv) {
     options.base_seed = 2020;
     options.runs = 200;
     options.time_budget_seconds = 0.0;
+    // Crash-recovery coverage rides along: 13 of the 200 scenarios also
+    // run the durable crash + recover + oracles experiment.
+    options.crash_check_every = 16;
   }
   if (const char* v = FlagValue(argc, argv, "--runs"); v != nullptr) {
     options.runs = std::atoll(v);
@@ -68,6 +81,22 @@ int Main(int argc, char** argv) {
   }
   if (const char* v = FlagValue(argc, argv, "--repro-dir"); v != nullptr) {
     options.repro_dir = v;
+  }
+  if (const char* v = FlagValue(argc, argv, "--crash-check-every");
+      v != nullptr) {
+    options.crash_check_every = std::atoll(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "--crash-check-dir");
+      v != nullptr) {
+    options.crash_check_dir = v;
+  }
+  if (options.crash_check_every > 0 && options.crash_check_dir.empty()) {
+    char tmpl[] = "/tmp/comx_fuzz_crash.XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      std::fprintf(stderr, "comx_fuzz: mkdtemp failed\n");
+      return 2;
+    }
+    options.crash_check_dir = tmpl;
   }
   if (options.runs <= 0) {
     std::fprintf(stderr, "comx_fuzz: --runs must be >= 1\n");
@@ -83,11 +112,13 @@ int Main(int argc, char** argv) {
 
   std::printf(
       "comx_fuzz: %lld scenarios, %lld matcher runs, %lld OFF upper-bound "
-      "checks, %lld brute-force differentials, %zu violation(s)%s\n",
+      "checks, %lld brute-force differentials, %lld crash-recovery checks, "
+      "%zu violation(s)%s\n",
       static_cast<long long>(report->scenarios_run),
       static_cast<long long>(report->matcher_runs),
       static_cast<long long>(report->differential.off_bounds),
       static_cast<long long>(report->differential.brute_force),
+      static_cast<long long>(report->crash_checks),
       report->failures.size(),
       report->time_budget_exhausted ? " [time budget hit]" : "");
   for (const check::FuzzFailure& f : report->failures) {
@@ -108,4 +139,11 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace comx
 
-int main(int argc, char** argv) { return comx::Main(argc, argv); }
+int main(int argc, char** argv) {
+  // SIGINT/SIGTERM flush progress logs and repro files in flight, then
+  // exit 128+signo — distinct from the 0/1/2 contract above.
+  comx::InstallShutdownGuard();
+  comx::RegisterShutdownFlushFile(stderr);
+  comx::RegisterShutdownFlushFile(stdout);
+  return comx::Main(argc, argv);
+}

@@ -15,6 +15,10 @@
 //                                               monotonicity, and (optionally)
 //                                               the collapsed-stack format.
 //
+// A profile (or collapsed file) whose final line was torn by a crashed
+// writer is read leniently by default: the unterminated fragment is
+// dropped with a warning. --strict restores fail-on-any-malformed-line.
+//
 // Exit 0 on success, 1 on parse/validation failure, 2 on usage error.
 
 #include <cctype>
@@ -78,7 +82,8 @@ Result<std::string> RequiredString(
   return it->second.string_value;
 }
 
-Result<Profile> LoadProfile(const char* path) {
+Result<Profile> LoadProfile(const char* path, bool strict,
+                            std::string* warning) {
   std::ifstream in(path);
   if (!in) {
     return Status::IoError(StrFormat("cannot open %s", path));
@@ -92,6 +97,15 @@ Result<Profile> LoadProfile(const char* path) {
     if (line.empty()) continue;
     auto obj = ParseJsonFlatObject(line);
     if (!obj.ok()) {
+      // getline leaves eofbit set exactly when the line had no trailing
+      // newline — a torn final write from a crashed run. Drop it with a
+      // warning unless --strict.
+      if (!strict && in.eof()) {
+        *warning = StrFormat(
+            "%s:%d: dropped unterminated final line (%zu bytes)", path,
+            line_no, line.size());
+        break;
+      }
       return Status::InvalidArgument(
           StrFormat("line %d: %s", line_no, obj.status().ToString().c_str()));
     }
@@ -249,7 +263,8 @@ std::string CollapsedFromProfile(const Profile& profile) {
 
 // Validates "path self_ns" collapsed-stack format: a non-empty frame list
 // (no spaces) then a single space and a non-negative integer.
-Status ValidateCollapsed(const char* path) {
+Status ValidateCollapsed(const char* path, bool strict,
+                         std::string* warning) {
   std::ifstream in(path);
   if (!in) {
     return Status::IoError(StrFormat("cannot open %s", path));
@@ -259,6 +274,21 @@ Status ValidateCollapsed(const char* path) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
+    if (!strict && in.eof()) {
+      // An unterminated final line is a torn write; validate it only in
+      // strict mode, warn otherwise.
+      const size_t sp = line.find(' ');
+      const bool well_formed =
+          sp != std::string::npos && sp > 0 && sp + 1 < line.size() &&
+          line.find(' ', sp + 1) == std::string::npos &&
+          line.find_first_not_of("0123456789", sp + 1) == std::string::npos;
+      if (!well_formed) {
+        *warning = StrFormat(
+            "%s:%d: dropped unterminated final line (%zu bytes)", path,
+            line_no, line.size());
+        break;
+      }
+    }
     const size_t space = line.find(' ');
     if (space == std::string::npos || space == 0 ||
         space + 1 >= line.size()) {
@@ -327,7 +357,8 @@ void RenderTable(const Profile& profile) {
 int Usage() {
   std::fprintf(stderr,
                "usage: perf_report PROFILE.jsonl [--collapsed-out PATH]\n"
-               "       perf_report --check PROFILE.jsonl [--collapsed PATH]\n");
+               "       perf_report --check PROFILE.jsonl [--collapsed PATH]\n"
+               "       (add --strict to fail on a torn final line)\n");
   return 2;
 }
 
@@ -336,9 +367,12 @@ int Main(int argc, char** argv) {
   const char* collapsed_out = nullptr;
   const char* collapsed_in = nullptr;
   bool check = false;
+  bool strict = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
     } else if (std::strcmp(argv[i], "--collapsed-out") == 0 && i + 1 < argc) {
       collapsed_out = argv[++i];
     } else if (std::strcmp(argv[i], "--collapsed") == 0 && i + 1 < argc) {
@@ -353,7 +387,12 @@ int Main(int argc, char** argv) {
   }
   if (profile_path == nullptr) return Usage();
 
-  auto profile = LoadProfile(profile_path);
+  std::string warning;
+  auto profile = LoadProfile(profile_path, strict, &warning);
+  if (!warning.empty()) {
+    std::fprintf(stderr, "warning: %s\n", warning.c_str());
+    warning.clear();
+  }
   if (!profile.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  profile.status().ToString().c_str());
@@ -366,7 +405,11 @@ int Main(int argc, char** argv) {
 
   if (check) {
     if (collapsed_in != nullptr) {
-      if (Status st = ValidateCollapsed(collapsed_in); !st.ok()) {
+      Status st = ValidateCollapsed(collapsed_in, strict, &warning);
+      if (!warning.empty()) {
+        std::fprintf(stderr, "warning: %s\n", warning.c_str());
+      }
+      if (!st.ok()) {
         std::fprintf(stderr, "collapsed check FAILED: %s\n",
                      st.ToString().c_str());
         return 1;

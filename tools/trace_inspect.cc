@@ -12,7 +12,12 @@
 // measure_response_time enabled.
 //
 // Usage:
-//   trace_inspect TRACE.jsonl [--quiet] [--latency]
+//   trace_inspect TRACE.jsonl [--quiet] [--latency] [--strict]
+//
+// A trace whose final line was torn by a crashed writer is replayed
+// leniently by default (the fragment is dropped with a warning; the
+// summary cross-check then reports what is actually missing). --strict
+// restores the old fail-on-any-malformed-line behavior.
 
 #include <cstdio>
 #include <cstring>
@@ -28,29 +33,35 @@ int Main(int argc, char** argv) {
   const char* path = nullptr;
   bool quiet = false;
   bool latency = false;
+  obs::TraceReplayOptions replay_options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else if (std::strcmp(argv[i], "--latency") == 0) {
       latency = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      replay_options.strict = true;
     } else if (path == nullptr) {
       path = argv[i];
     } else {
       std::fprintf(stderr,
-                   "usage: trace_inspect TRACE.jsonl [--quiet] [--latency]\n");
+                   "usage: trace_inspect TRACE.jsonl [--quiet] [--latency] [--strict]\n");
       return 2;
     }
   }
   if (path == nullptr) {
     std::fprintf(stderr,
-                 "usage: trace_inspect TRACE.jsonl [--quiet] [--latency]\n");
+                 "usage: trace_inspect TRACE.jsonl [--quiet] [--latency] [--strict]\n");
     return 2;
   }
 
-  auto replay = obs::ReplayTraceFile(path);
+  auto replay = obs::ReplayTraceFile(path, replay_options);
   if (!replay.ok()) {
     std::fprintf(stderr, "error: %s\n", replay.status().ToString().c_str());
     return 1;
+  }
+  if (replay->truncated_tail) {
+    std::fprintf(stderr, "warning: %s\n", replay->tail_warning.c_str());
   }
 
   if (!quiet) {
