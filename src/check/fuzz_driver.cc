@@ -8,6 +8,7 @@
 #include "check/recovery_oracles.h"
 #include "core/ram_com.h"
 #include "datagen/dataset.h"
+#include "util/signal_guard.h"
 #include "util/string_util.h"
 
 namespace comx {
@@ -132,6 +133,10 @@ Result<FuzzReport> RunFuzz(const FuzzOptions& options) {
   };
 
   for (int64_t i = 0; i < options.runs; ++i) {
+    // Scenario boundaries are the fuzz loop's cooperative shutdown poll
+    // points: SIGINT/SIGTERM only set a flag (util/signal_guard.h), and the
+    // driver returns the partial report for the tool to print and drain.
+    if (ShutdownRequested()) break;
     if (out_of_time()) {
       report.time_budget_exhausted = true;
       break;

@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <utility>
@@ -318,9 +319,16 @@ std::vector<OracleViolation> CheckRecoveryEquivalence(
   return out;
 }
 
-Result<CrashCheckOutcome> RunCrashRecoveryCheck(
+namespace {
+
+/// Shared crash-experiment driver: `choose` turns the completed baseline's
+/// stats into the crash point (random byte for the classic matrix, an
+/// exact group-commit boundary for the batch-loss scenario).
+Result<CrashCheckOutcome> RunCrashRecoveryCheckImpl(
     MatcherKind kind, const Scenario& scenario, const Instance& instance,
-    const std::string& work_dir, uint64_t crash_seed,
+    const std::string& work_dir,
+    const std::function<Result<recovery::CrashPoint>(
+        const recovery::DurableRunStats&)>& choose,
     int64_t checkpoint_every_steps) {
   COMX_RETURN_IF_ERROR(EnsureDir(work_dir));
   const std::string base_dir = work_dir + "/baseline";
@@ -349,12 +357,8 @@ Result<CrashCheckOutcome> RunCrashRecoveryCheck(
   }
   outcome.baseline_stats = baseline.stats;
 
-  // Identical run, killed at a seeded byte of the durable write stream.
-  recovery::CrashProfile profile;
-  profile.wal_bytes = baseline.stats.wal_bytes;
-  profile.checkpoints = baseline.stats.checkpoint_spans;
-  Rng rng(crash_seed);
-  outcome.point = recovery::DrawCrashPoint(profile, &rng);
+  // Identical run, killed at the chosen point of the durable write stream.
+  COMX_ASSIGN_OR_RETURN(outcome.point, choose(baseline.stats));
   recovery::CrashInjector injector(outcome.point);
   opts.dir = crash_dir;
   opts.crash = &injector;
@@ -422,6 +426,52 @@ Result<CrashCheckOutcome> RunCrashRecoveryCheck(
                    outcome.point.ToString().c_str())});
   }
   return outcome;
+}
+
+}  // namespace
+
+Result<CrashCheckOutcome> RunCrashRecoveryCheck(
+    MatcherKind kind, const Scenario& scenario, const Instance& instance,
+    const std::string& work_dir, uint64_t crash_seed,
+    int64_t checkpoint_every_steps) {
+  return RunCrashRecoveryCheckImpl(
+      kind, scenario, instance, work_dir,
+      [crash_seed](const recovery::DurableRunStats& stats)
+          -> Result<recovery::CrashPoint> {
+        recovery::CrashProfile profile;
+        profile.wal_bytes = stats.wal_bytes;
+        profile.checkpoints = stats.checkpoint_spans;
+        Rng rng(crash_seed);
+        return recovery::DrawCrashPoint(profile, &rng);
+      },
+      checkpoint_every_steps);
+}
+
+Result<CrashCheckOutcome> RunBoundaryCrashRecoveryCheck(
+    MatcherKind kind, const Scenario& scenario, const Instance& instance,
+    const std::string& work_dir, uint64_t boundary_index,
+    int64_t checkpoint_every_steps) {
+  return RunCrashRecoveryCheckImpl(
+      kind, scenario, instance, work_dir,
+      [boundary_index](const recovery::DurableRunStats& stats)
+          -> Result<recovery::CrashPoint> {
+        // The final commit offset equals the run's total WAL bytes; a crash
+        // "at" it would never fire (nothing is written afterwards), so only
+        // the interior boundaries model the fill-to-fsync window.
+        if (stats.wal_commit_offsets.size() < 2) {
+          return Status::Internal(
+              "baseline produced fewer than two group commits; no interior "
+              "boundary to crash at");
+        }
+        const size_t usable = stats.wal_commit_offsets.size() - 1;
+        recovery::CrashPoint point;
+        point.kind = recovery::CrashPoint::Kind::kWalOffset;
+        point.wal_offset =
+            stats.wal_commit_offsets[static_cast<size_t>(boundary_index) %
+                                     usable];
+        return point;
+      },
+      checkpoint_every_steps);
 }
 
 }  // namespace check

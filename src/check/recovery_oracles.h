@@ -67,6 +67,19 @@ Result<CrashCheckOutcome> RunCrashRecoveryCheck(
     const std::string& work_dir, uint64_t crash_seed,
     int64_t checkpoint_every_steps);
 
+/// Same experiment, but the crash fires exactly at an interior group-commit
+/// boundary of the baseline WAL (`boundary_index` modulo the usable
+/// boundaries) instead of a random byte. This is the "killed between batch
+/// fill and fsync" window: the writer's buffer has accepted a full batch of
+/// records but not one byte of it is durable, so recovery must re-execute
+/// the ENTIRE lost batch — the scenario that catches a group commit whose
+/// shutdown path forgets to flush the buffered tail. Internal error when
+/// the baseline commits fewer than two batches.
+Result<CrashCheckOutcome> RunBoundaryCrashRecoveryCheck(
+    MatcherKind kind, const Scenario& scenario, const Instance& instance,
+    const std::string& work_dir, uint64_t boundary_index,
+    int64_t checkpoint_every_steps);
+
 }  // namespace check
 }  // namespace comx
 

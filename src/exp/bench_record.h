@@ -52,7 +52,8 @@ struct BenchCompareOptions {
   /// timing/footprint measurements); they are still reported, with the
   /// relative delta against the baseline per row.
   std::vector<std::string> informational_prefixes = {
-      "wall_", "runs_per_sec", "rss_", "jobs", "speedup_", "latency_"};
+      "wall_",    "runs_per_sec", "rss_",  "jobs",
+      "speedup_", "latency_",     "decisions_per_sec"};
 };
 
 /// Diffs `current` against `baseline`. Returns one human-readable line per

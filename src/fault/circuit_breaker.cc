@@ -9,11 +9,18 @@ bool CircuitBreaker::AllowRequest(Timestamp now) {
       return true;
     case State::kOpen:
       if (now - opened_at_ >= config_.open_seconds) {
+        // The call that ends the cooldown IS the first half-open probe.
         MoveTo(State::kHalfOpen);
+        probe_in_flight_ = true;
         return true;
       }
       return false;
     case State::kHalfOpen:
+      // One probe at a time: concurrent callers are rejected until the
+      // admitted probe reports back — a recovering partner sees a trickle,
+      // never a storm.
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
       return true;
   }
   return true;
@@ -29,6 +36,7 @@ void CircuitBreaker::RecordSuccess(Timestamp /*now*/) {
       // us to half-open first; tolerate the call anyway.
       break;
     case State::kHalfOpen:
+      probe_in_flight_ = false;
       if (++half_open_successes_ >= config_.half_open_successes) {
         MoveTo(State::kClosed);
       }
@@ -48,6 +56,7 @@ void CircuitBreaker::RecordFailure(Timestamp now) {
       break;
     case State::kHalfOpen:
       // One failed probe reopens and restarts the cooldown.
+      probe_in_flight_ = false;
       opened_at_ = now;
       MoveTo(State::kOpen);
       break;
@@ -57,8 +66,13 @@ void CircuitBreaker::RecordFailure(Timestamp now) {
 void CircuitBreaker::MoveTo(State next) {
   if (state_ == next) return;
   state_ = next;
+  // Every transition starts the new state clean: failure/success streaks
+  // do not carry across (the half-open -> open re-open edge in particular
+  // must zero half_open_successes_), and no probe can be in flight in a
+  // state it was not admitted in.
   consecutive_failures_ = 0;
   half_open_successes_ = 0;
+  probe_in_flight_ = false;
   ++transitions_;
 }
 

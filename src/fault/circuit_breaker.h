@@ -6,9 +6,12 @@
 // until open_seconds of simulated time elapse. The first allowed call
 // after the cooldown runs as a kHalfOpen probe: half_open_successes
 // consecutive probe successes close the breaker, a single probe failure
-// reopens it (restarting the cooldown). All time is the simulation clock
-// passed by the caller — the breaker never reads a wall clock, so runs
-// stay deterministic.
+// reopens it (restarting the cooldown). Half-open admits exactly ONE
+// in-flight probe at a time — AllowRequest() returns false until the
+// current probe reports its outcome, so a struggling partner recovers
+// under a trickle of probes, never a storm of concurrent ones. All time is
+// the simulation clock passed by the caller — the breaker never reads a
+// wall clock, so runs stay deterministic.
 
 #ifndef COMX_FAULT_CIRCUIT_BREAKER_H_
 #define COMX_FAULT_CIRCUIT_BREAKER_H_
@@ -51,10 +54,13 @@ class CircuitBreaker {
     int32_t half_open_successes = 0;
     Timestamp opened_at = 0.0;
     int64_t transitions = 0;
+    /// A half-open probe was admitted and has not reported back yet.
+    bool probe_in_flight = false;
   };
   Snapshot Save() const {
     return Snapshot{static_cast<int8_t>(state_), consecutive_failures_,
-                    half_open_successes_, opened_at_, transitions_};
+                    half_open_successes_,        opened_at_,
+                    transitions_,                probe_in_flight_};
   }
   void Restore(const Snapshot& snap) {
     state_ = static_cast<State>(snap.state);
@@ -62,6 +68,7 @@ class CircuitBreaker {
     half_open_successes_ = snap.half_open_successes;
     opened_at_ = snap.opened_at;
     transitions_ = snap.transitions;
+    probe_in_flight_ = snap.probe_in_flight;
   }
 
  private:
@@ -73,6 +80,7 @@ class CircuitBreaker {
   int half_open_successes_ = 0;
   Timestamp opened_at_ = 0.0;
   int64_t transitions_ = 0;
+  bool probe_in_flight_ = false;
 };
 
 /// Stable lowercase name for metrics/trace output.

@@ -141,6 +141,7 @@ void FaultSession::SaveState(ByteWriter* out) const {
     out->I32(snap.half_open_successes);
     out->F64(snap.opened_at);
     out->I64(snap.transitions);
+    out->Bool(snap.probe_in_flight);
   }
   out->I64(stats_.attempts);
   out->I64(stats_.attempt_timeouts);
@@ -181,6 +182,7 @@ Status FaultSession::RestoreState(ByteReader* in) {
     COMX_RETURN_IF_ERROR(in->I32(&snap.half_open_successes));
     COMX_RETURN_IF_ERROR(in->F64(&snap.opened_at));
     COMX_RETURN_IF_ERROR(in->I64(&snap.transitions));
+    COMX_RETURN_IF_ERROR(in->Bool(&snap.probe_in_flight));
     BreakerFor(observer, partner).Restore(snap);
   }
   COMX_RETURN_IF_ERROR(in->I64(&stats_.attempts));

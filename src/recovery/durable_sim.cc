@@ -10,6 +10,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "recovery/step_journal.h"
 #include "sim/sim_engine.h"
 #include "util/crc32c.h"
 #include "util/string_util.h"
@@ -18,19 +19,9 @@ namespace comx {
 namespace recovery {
 namespace {
 
-using BreakerKey = std::pair<PlatformId, PlatformId>;
-struct BreakerSeen {
-  uint8_t state = 0;
-  int64_t transitions = 0;
-};
-using BreakerSeenMap = std::map<BreakerKey, BreakerSeen>;
-
-/// Precomputed run identity, shared by run/recover and every checkpoint.
-struct RunIdentity {
-  uint64_t seed = 0;
-  uint64_t instance_digest = 0;
-  uint64_t config_digest = 0;
-};
+// BreakerSeenMap / RunIdentity / MakeRunBegin / MakeRunEnd /
+// BuildStepRecords live in recovery/step_journal.h — shared with the serve
+// shards so every WAL producer emits byte-identical record streams.
 
 Status ValidateDurable(const SimConfig& config, const DurableOptions& options) {
   if (options.dir.empty()) {
@@ -50,86 +41,6 @@ Status ValidateDurable(const SimConfig& config, const DurableOptions& options) {
         "the WAL (RebuildTraceFromWal)");
   }
   return Status::OK();
-}
-
-WalRecord MakeRunBegin(const RunIdentity& ident, const Instance& instance,
-                       const SimConfig& config) {
-  WalRecord rec;
-  rec.type = WalRecordType::kRunBegin;
-  rec.seed = ident.seed;
-  rec.platform_count = instance.PlatformCount();
-  rec.has_fault_plan = config.fault_plan != nullptr;
-  rec.instance_digest = ident.instance_digest;
-  rec.config_digest = ident.config_digest;
-  return rec;
-}
-
-WalRecord MakeRunEnd(const SimEngine& engine) {
-  WalRecord rec;
-  rec.type = WalRecordType::kRunEnd;
-  rec.step = engine.step_index();
-  rec.total_revenue = engine.TotalRevenueSoFar();
-  rec.assignments = engine.AssignmentsSoFar();
-  return rec;
-}
-
-/// Journal records for one executed step, in deterministic order: breaker
-/// transitions (sorted-map diff), reserve attempts, outer confirm, then the
-/// terminal arrival/decision record. Shared verbatim by the live run and
-/// the recovery replay, so regenerated records compare byte-for-byte.
-void BuildStepRecords(const SimEngine& engine, const Instance& instance,
-                      const StepRecord& step, BreakerSeenMap* breaker_seen,
-                      std::vector<WalRecord>* out) {
-  const bool decision = step.kind == StepRecord::Kind::kDecision;
-  if (decision && engine.fault_session() != nullptr) {
-    for (const auto& [key, breaker] : engine.fault_session()->breakers()) {
-      const fault::CircuitBreaker::Snapshot snap = breaker.Save();
-      auto it = breaker_seen->find(key);
-      if (it != breaker_seen->end() &&
-          it->second.state == static_cast<uint8_t>(snap.state) &&
-          it->second.transitions == snap.transitions) {
-        continue;
-      }
-      (*breaker_seen)[key] =
-          BreakerSeen{static_cast<uint8_t>(snap.state), snap.transitions};
-      WalRecord rec;
-      rec.type = WalRecordType::kBreakerState;
-      rec.step = step.step;
-      rec.observer = key.first;
-      rec.partner = key.second;
-      rec.breaker_state = static_cast<uint8_t>(snap.state);
-      rec.transitions = snap.transitions;
-      out->push_back(std::move(rec));
-    }
-    for (const StepReserveEvent& ev : step.reserves) {
-      WalRecord rec;
-      rec.type = ev.reserved ? WalRecordType::kOuterReserve
-                             : WalRecordType::kOuterConflict;
-      rec.step = step.step;
-      rec.request = step.request;
-      rec.observer = step.platform;
-      rec.partner = ev.partner;
-      rec.worker = ev.worker;
-      out->push_back(std::move(rec));
-    }
-    if (step.outcome == static_cast<int8_t>(Decision::Kind::kOuter)) {
-      WalRecord rec;
-      rec.type = WalRecordType::kOuterConfirm;
-      rec.step = step.step;
-      rec.request = step.request;
-      rec.observer = step.platform;
-      rec.partner = instance.worker(step.worker).platform;
-      rec.worker = step.worker;
-      out->push_back(std::move(rec));
-    }
-  }
-  WalRecord rec;
-  rec.type = decision ? WalRecordType::kDecision : WalRecordType::kArrival;
-  rec.step = step.step;
-  rec.step_record = step;
-  rec.step_record.reserves.clear();
-  if (decision) rec.state_digest = engine.StateDigest();
-  out->push_back(std::move(rec));
 }
 
 bool IsInjectedCrash(const Status& status, const DurableOptions& options) {
@@ -198,6 +109,7 @@ void FillWalStats(const WalWriter& wal, DurableRunStats* stats) {
   stats->wal_records = wal.records_appended();
   stats->wal_commits = wal.commits();
   stats->wal_bytes = wal.durable_bytes();
+  stats->wal_commit_offsets = wal.commit_offsets();
 }
 
 }  // namespace

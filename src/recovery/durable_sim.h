@@ -64,6 +64,10 @@ struct DurableRunStats {
   int64_t wal_records = 0;
   int64_t wal_commits = 0;
   int64_t wal_bytes = 0;
+  /// Durable byte offset after each group commit, in order — the
+  /// boundaries tools/crash_matrix targets for its "killed between batch
+  /// fill and fsync" scenario.
+  std::vector<int64_t> wal_commit_offsets;
   int64_t checkpoints = 0;
   /// (generation, file bytes) per checkpoint written — the CrashProfile
   /// input for tools/crash_matrix.

@@ -1,0 +1,117 @@
+#include "recovery/step_journal.h"
+
+#include "recovery/durable_sim.h"
+
+namespace comx {
+namespace recovery {
+
+WalRecord MakeRunBegin(const RunIdentity& ident, const Instance& instance,
+                       const SimConfig& config) {
+  WalRecord rec;
+  rec.type = WalRecordType::kRunBegin;
+  rec.seed = ident.seed;
+  rec.platform_count = instance.PlatformCount();
+  rec.has_fault_plan = config.fault_plan != nullptr;
+  rec.instance_digest = ident.instance_digest;
+  rec.config_digest = ident.config_digest;
+  return rec;
+}
+
+WalRecord MakeRunEnd(const SimEngine& engine) {
+  WalRecord rec;
+  rec.type = WalRecordType::kRunEnd;
+  rec.step = engine.step_index();
+  rec.total_revenue = engine.TotalRevenueSoFar();
+  rec.assignments = engine.AssignmentsSoFar();
+  return rec;
+}
+
+void BuildStepRecords(const SimEngine& engine, const Instance& instance,
+                      const StepRecord& step, BreakerSeenMap* breaker_seen,
+                      std::vector<WalRecord>* out) {
+  const bool decision = step.kind == StepRecord::Kind::kDecision;
+  if (decision && engine.fault_session() != nullptr) {
+    for (const auto& [key, breaker] : engine.fault_session()->breakers()) {
+      const fault::CircuitBreaker::Snapshot snap = breaker.Save();
+      auto it = breaker_seen->find(key);
+      if (it != breaker_seen->end() &&
+          it->second.state == static_cast<uint8_t>(snap.state) &&
+          it->second.transitions == snap.transitions) {
+        continue;
+      }
+      (*breaker_seen)[key] =
+          BreakerSeen{static_cast<uint8_t>(snap.state), snap.transitions};
+      WalRecord rec;
+      rec.type = WalRecordType::kBreakerState;
+      rec.step = step.step;
+      rec.observer = key.first;
+      rec.partner = key.second;
+      rec.breaker_state = static_cast<uint8_t>(snap.state);
+      rec.transitions = snap.transitions;
+      out->push_back(std::move(rec));
+    }
+    for (const StepReserveEvent& ev : step.reserves) {
+      WalRecord rec;
+      rec.type = ev.reserved ? WalRecordType::kOuterReserve
+                             : WalRecordType::kOuterConflict;
+      rec.step = step.step;
+      rec.request = step.request;
+      rec.observer = step.platform;
+      rec.partner = ev.partner;
+      rec.worker = ev.worker;
+      out->push_back(std::move(rec));
+    }
+    if (step.outcome == static_cast<int8_t>(Decision::Kind::kOuter)) {
+      WalRecord rec;
+      rec.type = WalRecordType::kOuterConfirm;
+      rec.step = step.step;
+      rec.request = step.request;
+      rec.observer = step.platform;
+      rec.partner = instance.worker(step.worker).platform;
+      rec.worker = step.worker;
+      out->push_back(std::move(rec));
+    }
+  }
+  WalRecord rec;
+  rec.type = decision ? WalRecordType::kDecision : WalRecordType::kArrival;
+  rec.step = step.step;
+  rec.step_record = step;
+  rec.step_record.reserves.clear();
+  if (decision) rec.state_digest = engine.StateDigest();
+  out->push_back(std::move(rec));
+}
+
+Result<std::unique_ptr<StepJournal>> StepJournal::Create(
+    const std::string& path, const WalWriterOptions& options,
+    const Instance& instance, const SimConfig& config, uint64_t seed,
+    CrashInjector* crash) {
+  std::unique_ptr<WalWriter> wal;
+  COMX_ASSIGN_OR_RETURN(wal, WalWriter::Create(path, options, crash));
+  const RunIdentity ident{seed, InstanceDigest(instance),
+                          SimConfigDigest(config)};
+  WalRecord begin = MakeRunBegin(ident, instance, config);
+  COMX_RETURN_IF_ERROR(wal->Append(&begin));
+  return std::unique_ptr<StepJournal>(
+      new StepJournal(std::move(wal), instance));
+}
+
+Status StepJournal::JournalStep(const SimEngine& engine,
+                                const StepRecord& step) {
+  scratch_.clear();
+  BuildStepRecords(engine, *instance_, step, &breaker_seen_, &scratch_);
+  for (WalRecord& rec : scratch_) {
+    COMX_RETURN_IF_ERROR(wal_->Append(&rec));
+  }
+  return Status::OK();
+}
+
+Status StepJournal::Flush() { return wal_->Flush(); }
+
+Status StepJournal::Finish(const SimEngine& engine) {
+  WalRecord end = MakeRunEnd(engine);
+  COMX_RETURN_IF_ERROR(wal_->Append(&end));
+  return wal_->Close();
+}
+
+}  // namespace recovery
+}  // namespace comx

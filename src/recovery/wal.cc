@@ -360,6 +360,7 @@ Status WalWriter::Commit() {
   buffer_.clear();
   buffered_records_ = 0;
   ++commits_;
+  commit_offsets_.push_back(durable_bytes_);
   CountMetric("comx_recovery_wal_commits_total",
               "WAL group commits (fsync batches)", 1);
   return Status::OK();

@@ -153,15 +153,35 @@ class WalWriter {
   /// Writes + fsyncs all buffered frames (no-op when the buffer is empty).
   Status Commit();
 
+  /// Commit() under the name abnormal shutdown paths must call. The
+  /// destructor deliberately drops any buffered tail (it cannot report a
+  /// torn write), so an exit path that skips Close()/the normal run end —
+  /// comx_serve tearing down on SIGTERM is the canonical one — must
+  /// Flush() first or up to a full group-commit batch of journaled steps
+  /// is silently lost.
+  Status Flush() { return Commit(); }
+
   /// Commit() + close the descriptor. Further appends are errors.
   Status Close();
 
   /// Bytes durably on disk (header included) as of the last Commit().
   int64_t durable_bytes() const { return durable_bytes_; }
+  /// Framed bytes buffered but not yet durable — nonzero at destruction
+  /// means records were lost (see Flush()).
+  int64_t buffered_bytes() const {
+    return static_cast<int64_t>(buffer_.size());
+  }
   /// LSN the next Append() will assign.
   uint64_t next_lsn() const { return next_lsn_; }
   int64_t records_appended() const { return records_appended_; }
   int64_t commits() const { return commits_; }
+  /// durable_bytes() after each successful Commit(), in order — the
+  /// group-commit boundaries. A crash point at one of these offsets models
+  /// a kill between batch fill and fsync: the next batch is fully buffered
+  /// and fully lost (tools/crash_matrix --boundaries).
+  const std::vector<int64_t>& commit_offsets() const {
+    return commit_offsets_;
+  }
 
  private:
   WalWriter(int fd, const WalWriterOptions& options, int64_t durable_bytes,
@@ -176,6 +196,7 @@ class WalWriter {
   uint64_t next_lsn_ = 0;
   int64_t records_appended_ = 0;
   int64_t commits_ = 0;
+  std::vector<int64_t> commit_offsets_;
   bool dead_ = false;  // injected crash fired; all writes refused
 };
 

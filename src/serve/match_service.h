@@ -1,0 +1,125 @@
+// Always-on sharded matching service core: the façade the comx_serve binary
+// (and the batch replay client) drives. Owns the geo-shard plan, one Shard
+// per stripe (each with its own SimEngine, matchers, optional WAL journal,
+// and latency histogram), and the shared thread pool their drainers run on.
+//
+// Lifecycle: Create() -> SubmitEvent()* (any thread, global stream order)
+// -> Drain() exactly once -> destroy. Stats() is safe from any thread at
+// any point between Create and destruction and never blocks a decision
+// (seqlock reads; see stats_cell.h).
+
+#ifndef COMX_SERVE_MATCH_SERVICE_H_
+#define COMX_SERVE_MATCH_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/online_matcher.h"
+#include "model/instance.h"
+#include "recovery/wal.h"
+#include "serve/shard.h"
+#include "serve/shard_plan.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace comx {
+namespace serve {
+
+struct ServiceOptions {
+  /// Geo-stripe count (>= 1). 1 reproduces the batch simulator exactly.
+  int32_t shards = 4;
+  /// Engine seed; each shard's matchers are Reset() with seed + platform,
+  /// so shard results are deterministic for a fixed (instance, seed, plan).
+  uint64_t seed = 1;
+  /// Per-shard simulation config. Pointer members (metric, fault_plan,
+  /// acceptance) must outlive the service; trace and measure_response_time
+  /// are forced off (the serve layer owns latency and reporting).
+  SimConfig sim;
+  /// Non-empty = journal every shard to `<wal_dir>/shard-<k>/wal.log`.
+  /// The directories are created. Empty = no durability.
+  std::string wal_dir;
+  recovery::WalWriterOptions wal;
+  /// Drainer pool size; 0 = min(shards, hardware concurrency).
+  size_t threads = 0;
+};
+
+/// Whole-service totals returned by Drain().
+struct ServiceTotals {
+  double total_revenue = 0.0;
+  int64_t assignments = 0;
+  int64_t completed_inner = 0;
+  int64_t completed_outer = 0;
+  int64_t rejected = 0;
+  /// Per-shard engine results, shard order (empty SimResult for inert
+  /// shards). Per-platform metrics merged across shards are in `merged`.
+  std::vector<SimResult> shard_results;
+  /// Per-platform metrics summed over shards (indexed by platform id).
+  SimMetrics merged;
+};
+
+class MatchService {
+ public:
+  /// Builds the plan, the per-shard matcher sets (`factory` is called once
+  /// per (shard, platform)), and the shards. The input instance is copied
+  /// into the plan — it need not outlive the service.
+  static Result<std::unique_ptr<MatchService>> Create(
+      const Instance& instance,
+      const std::function<std::unique_ptr<OnlineMatcher>()>& factory,
+      const ServiceOptions& options);
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+  ~MatchService();
+
+  /// Routes global event `index` to its shard. Events must be submitted in
+  /// global stream order per shard (submitting 0..event_count()-1 in order
+  /// satisfies this for every shard). `cb` fires on the shard's drainer
+  /// thread; it may be empty.
+  Status SubmitEvent(int64_t index, Shard::Callback cb);
+
+  /// Batch replay client: submits every event in order (no callbacks) and
+  /// returns immediately; the queues drain on the pool.
+  Status SubmitAll();
+
+  /// Graceful drain: every shard flushes its queue, runs to completion,
+  /// finalizes its journal; results are merged. Call exactly once.
+  Result<ServiceTotals> Drain();
+
+  /// Abnormal-shutdown path (signal handler main-loop drain): quiesce the
+  /// shards and fsync each journal's buffered tail. No run-end records.
+  Status FlushJournals();
+
+  /// Per-shard seqlock snapshots plus their sum, consistent per shard.
+  std::vector<ShardSnapshot> ShardStats() const;
+  ShardSnapshot TotalStats() const { return MergeSnapshots(ShardStats()); }
+
+  /// Merged client-visible decision-latency snapshot across shards.
+  obs::LatencySnapshot DecisionLatency() const;
+
+  int64_t event_count() const {
+    return static_cast<int64_t>(plan_.shard_of_event.size());
+  }
+  int32_t shard_count() const { return plan_.shards; }
+  int32_t platform_count() const { return platform_count_; }
+  const ShardPlan& plan() const { return plan_; }
+  const Shard& shard(int32_t k) const { return *shards_[static_cast<size_t>(k)]; }
+
+ private:
+  MatchService() = default;
+
+  ShardPlan plan_;
+  int32_t platform_count_ = 0;
+  // Matchers per shard, owned here; shards borrow raw pointers.
+  std::vector<std::vector<std::unique_ptr<OnlineMatcher>>> owned_matchers_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+  bool drained_ = false;
+};
+
+}  // namespace serve
+}  // namespace comx
+
+#endif  // COMX_SERVE_MATCH_SERVICE_H_

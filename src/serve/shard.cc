@@ -1,0 +1,264 @@
+#include "serve/shard.h"
+
+#include <utility>
+
+#include "obs/metrics_registry.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace comx {
+namespace serve {
+
+Shard::~Shard() {
+  // Belt-and-braces: a correctly used shard is drained or flushed before
+  // destruction, but a unit test bailing early must not race the drainer.
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  cv_.wait(lock, [this] { return !drainer_active_; });
+}
+
+Status Shard::Init(const Instance& instance,
+                   const std::vector<OnlineMatcher*>& matchers,
+                   const Options& options, ThreadPool* pool) {
+  options_ = options;
+  // The serve layer owns latency measurement and decision reporting; the
+  // engine-internal variants would only add clock reads and trace I/O to
+  // the hot path (and SaveState forbids the histogram anyway).
+  options_.sim.trace = nullptr;
+  options_.sim.measure_response_time = false;
+  instance_ = &instance;
+  pool_ = pool;
+  events_ = instance.events().size();
+  cell_ = std::make_unique<StatsCell>(instance.PlatformCount());
+  acc_.platforms.assign(static_cast<size_t>(instance.PlatformCount()),
+                        PlatformSlice{});
+  if (events_ == 0) {
+    inert_ = true;
+    cell_->Publish(acc_);
+    return Status::OK();
+  }
+  COMX_RETURN_IF_ERROR(
+      engine_.Init(instance, matchers, options_.sim, options_.seed));
+  if (!options_.wal_path.empty()) {
+    COMX_ASSIGN_OR_RETURN(
+        journal_,
+        recovery::StepJournal::Create(options_.wal_path, options_.wal, instance,
+                                      options_.sim, options_.seed,
+                                      /*crash=*/nullptr));
+  }
+  if (obs::CollectionEnabled()) {
+    registry_latency_ = obs::MetricsRegistry::Global().GetLatencyHistogram(
+        obs::MetricName("comx_serve_decision_latency_ns", "shard",
+                        static_cast<int64_t>(options_.shard_id)),
+        "Shard decision latency from queue pop to step completion");
+  }
+  cell_->Publish(acc_);
+  return Status::OK();
+}
+
+Status Shard::Submit(int64_t local_index, int64_t global_index, Callback cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inert_) {
+    return Status::FailedPrecondition(
+        StrFormat("shard %d is empty and accepts no events", options_.shard_id));
+  }
+  if (draining_ || finished_) {
+    return Status::FailedPrecondition(
+        StrFormat("shard %d is draining", options_.shard_id));
+  }
+  if (!failed_.ok()) return failed_;
+  queue_.push_back(Pending{local_index, global_index, std::move(cb)});
+  ++acc_submitted_;
+  if (!drainer_active_) {
+    drainer_active_ = true;
+    pool_->Submit([this] { DrainLoop(); });
+  }
+  return Status::OK();
+}
+
+void Shard::DrainLoop() {
+  for (;;) {
+    std::deque<Pending> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        PublishLocked();
+        drainer_active_ = false;
+        cv_.notify_all();
+        return;
+      }
+      batch.swap(queue_);
+    }
+    Status err;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      err = failed_;
+    }
+    for (Pending& p : batch) {
+      if (err.ok()) {
+        const Status st = ProcessOne(p);
+        if (!st.ok()) {
+          err = st;
+          std::lock_guard<std::mutex> lock(mu_);
+          failed_ = st;
+        }
+      } else if (p.cb) {
+        ShardDecision d;
+        d.global_index = p.global_index;
+        d.shard = options_.shard_id;
+        p.cb(err, d);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    PublishLocked();
+  }
+}
+
+Status Shard::ProcessOne(const Pending& p) {
+  Stopwatch sw;
+  if (static_cast<int64_t>(engine_.static_cursor()) != p.local_index) {
+    const Status st = Status::Internal(StrFormat(
+        "shard %d: out-of-order submission: next local event is %zu, got %lld",
+        options_.shard_id, engine_.static_cursor(),
+        static_cast<long long>(p.local_index)));
+    if (p.cb) {
+      ShardDecision d;
+      d.global_index = p.global_index;
+      d.shard = options_.shard_id;
+      p.cb(st, d);
+    }
+    return st;
+  }
+  StepRecord last;
+  if (Status st = StepPast(p.local_index, &last); !st.ok()) {
+    if (p.cb) {
+      ShardDecision d;
+      d.global_index = p.global_index;
+      d.shard = options_.shard_id;
+      p.cb(st, d);
+    }
+    return st;
+  }
+  const int64_t nanos = sw.ElapsedNanos();
+  latency_.ObserveNanos(nanos);
+  if (registry_latency_ != nullptr) registry_latency_->ObserveNanos(nanos);
+  if (p.cb) {
+    ShardDecision d;
+    d.global_index = p.global_index;
+    d.shard = options_.shard_id;
+    d.record = std::move(last);
+    d.latency_nanos = nanos;
+    p.cb(Status::OK(), d);
+  }
+  return Status::OK();
+}
+
+Status Shard::StepPast(int64_t local_index, StepRecord* last) {
+  // Dynamic re-arrivals due before the submitted static event sort first
+  // and do not advance the cursor; the loop drains them, then consumes the
+  // static event itself (cursor moves to local_index + 1).
+  while (static_cast<int64_t>(engine_.static_cursor()) <= local_index) {
+    StepRecord rec;
+    COMX_RETURN_IF_ERROR(engine_.Step(&rec));
+    if (journal_ != nullptr) {
+      COMX_RETURN_IF_ERROR(journal_->JournalStep(engine_, rec));
+    }
+    Accumulate(rec);
+    *last = std::move(rec);
+  }
+  return Status::OK();
+}
+
+void Shard::Accumulate(const StepRecord& rec) {
+  ++acc_.steps;
+  if (rec.kind == StepRecord::Kind::kArrival) {
+    ++acc_.arrivals;
+    return;
+  }
+  ++acc_.decisions;
+  acc_.revenue += rec.revenue;
+  PlatformSlice* slice = nullptr;
+  if (rec.platform >= 0 &&
+      rec.platform < static_cast<PlatformId>(acc_.platforms.size())) {
+    slice = &acc_.platforms[static_cast<size_t>(rec.platform)];
+    ++slice->requests;
+    slice->revenue += rec.revenue;
+  }
+  switch (rec.outcome) {
+    case static_cast<int8_t>(Decision::Kind::kInner):
+      ++acc_.inner;
+      if (slice != nullptr) ++slice->inner;
+      break;
+    case static_cast<int8_t>(Decision::Kind::kOuter):
+      ++acc_.outer;
+      if (slice != nullptr) ++slice->outer;
+      break;
+    default:
+      ++acc_.rejects;
+      if (slice != nullptr) ++slice->rejects;
+      break;
+  }
+}
+
+void Shard::PublishLocked() {
+  acc_.submitted = acc_submitted_;
+  acc_.queue_depth = static_cast<int64_t>(queue_.size());
+  cell_->Publish(acc_);
+}
+
+Status Shard::WaitQuiesced(std::unique_lock<std::mutex>* lock) {
+  cv_.wait(*lock, [this] { return !drainer_active_ && queue_.empty(); });
+  return failed_;
+}
+
+Result<SimResult> Shard::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (finished_) {
+    return Status::FailedPrecondition(
+        StrFormat("shard %d already drained", options_.shard_id));
+  }
+  draining_ = true;
+  COMX_RETURN_IF_ERROR(WaitQuiesced(&lock));
+  if (inert_) {
+    finished_ = true;
+    return SimResult{};
+  }
+  // Close of day: consume what the clients never submitted so Finish()'s
+  // Eq. 1 totals cover the whole instance (and match the batch simulator).
+  while (!engine_.Done()) {
+    StepRecord rec;
+    if (Status st = engine_.Step(&rec); !st.ok()) {
+      failed_ = st;
+      return st;
+    }
+    if (journal_ != nullptr) {
+      if (Status st = journal_->JournalStep(engine_, rec); !st.ok()) {
+        failed_ = st;
+        return st;
+      }
+    }
+    Accumulate(rec);
+  }
+  SimResult result = engine_.Finish();
+  if (journal_ != nullptr) {
+    if (Status st = journal_->Finish(engine_); !st.ok()) {
+      failed_ = st;
+      return st;
+    }
+    journal_.reset();
+  }
+  finished_ = true;
+  PublishLocked();
+  return result;
+}
+
+Status Shard::FlushJournal() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  cv_.wait(lock, [this] { return !drainer_active_; });
+  if (journal_ == nullptr) return Status::OK();
+  return journal_->Flush();
+}
+
+}  // namespace serve
+}  // namespace comx

@@ -1,0 +1,121 @@
+#include "serve/shard_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace comx {
+namespace serve {
+
+namespace {
+
+// Stripe index of an x coordinate over [min_x, max_x]. The top edge maps
+// into the last stripe (closed interval), degenerate extents map to 0.
+int32_t StripeOf(double x, double min_x, double max_x, int32_t shards) {
+  const double width = max_x - min_x;
+  if (!(width > 0.0)) return 0;
+  const double t = (x - min_x) / width * static_cast<double>(shards);
+  const int32_t s = static_cast<int32_t>(t);
+  return std::clamp(s, 0, shards - 1);
+}
+
+}  // namespace
+
+Result<ShardPlan> PartitionInstance(const Instance& instance, int32_t shards) {
+  if (shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  COMX_RETURN_IF_ERROR(instance.Validate());
+
+  ShardPlan plan;
+  plan.shards = shards;
+  plan.instances.resize(static_cast<size_t>(shards));
+  plan.global_worker_of.resize(static_cast<size_t>(shards));
+  plan.global_request_of.resize(static_cast<size_t>(shards));
+  plan.shard_of_event.reserve(instance.events().size());
+  plan.local_index_of_event.reserve(instance.events().size());
+
+  if (shards == 1) {
+    // One shard owns the whole city: verbatim copy, identity routing. This
+    // path is what makes `--shards 1` bit-identical to the batch simulator.
+    plan.instances[0] = instance;
+    plan.global_worker_of[0].resize(instance.workers().size());
+    plan.global_request_of[0].resize(instance.requests().size());
+    for (size_t i = 0; i < instance.workers().size(); ++i) {
+      plan.global_worker_of[0][i] = static_cast<WorkerId>(i);
+    }
+    for (size_t i = 0; i < instance.requests().size(); ++i) {
+      plan.global_request_of[0][i] = static_cast<RequestId>(i);
+    }
+    for (size_t i = 0; i < instance.events().size(); ++i) {
+      plan.shard_of_event.push_back(0);
+      plan.local_index_of_event.push_back(static_cast<int64_t>(i));
+    }
+    return plan;
+  }
+
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  for (const Worker& w : instance.workers()) {
+    min_x = std::min(min_x, w.location.x);
+    max_x = std::max(max_x, w.location.x);
+  }
+  for (const Request& r : instance.requests()) {
+    min_x = std::min(min_x, r.location.x);
+    max_x = std::max(max_x, r.location.x);
+  }
+  if (!(min_x <= max_x)) {  // no entities at all
+    min_x = max_x = 0.0;
+  }
+
+  // Entities in ascending global-id order, so local dense ids preserve the
+  // global relative order within each shard (id tie-breaks stay isomorphic).
+  std::vector<int32_t> worker_shard(instance.workers().size(), 0);
+  std::vector<int32_t> request_shard(instance.requests().size(), 0);
+  std::vector<WorkerId> local_worker_id(instance.workers().size(), kInvalidId);
+  std::vector<RequestId> local_request_id(instance.requests().size(),
+                                          kInvalidId);
+  for (const Worker& w : instance.workers()) {
+    const int32_t s = StripeOf(w.location.x, min_x, max_x, shards);
+    worker_shard[static_cast<size_t>(w.id)] = s;
+    Worker copy = w;
+    copy.id = kInvalidId;
+    local_worker_id[static_cast<size_t>(w.id)] =
+        plan.instances[static_cast<size_t>(s)].AddWorker(std::move(copy));
+    plan.global_worker_of[static_cast<size_t>(s)].push_back(w.id);
+  }
+  for (const Request& r : instance.requests()) {
+    const int32_t s = StripeOf(r.location.x, min_x, max_x, shards);
+    request_shard[static_cast<size_t>(r.id)] = s;
+    Request copy = r;
+    copy.id = kInvalidId;
+    local_request_id[static_cast<size_t>(r.id)] =
+        plan.instances[static_cast<size_t>(s)].AddRequest(std::move(copy));
+    plan.global_request_of[static_cast<size_t>(s)].push_back(r.id);
+  }
+
+  // Filtered event streams: global order restricted to each shard, with
+  // sequence numbers renumbered densely so Event::operator< reproduces
+  // exactly the filtered global order.
+  std::vector<std::vector<Event>> events(static_cast<size_t>(shards));
+  for (const Event& e : instance.events()) {
+    const bool is_worker = e.kind == EventKind::kWorkerArrival;
+    const size_t id = static_cast<size_t>(e.entity_id);
+    const int32_t s = is_worker ? worker_shard[id] : request_shard[id];
+    Event local = e;
+    local.entity_id = is_worker ? local_worker_id[id] : local_request_id[id];
+    local.sequence = static_cast<int64_t>(events[static_cast<size_t>(s)].size());
+    plan.shard_of_event.push_back(s);
+    plan.local_index_of_event.push_back(local.sequence);
+    events[static_cast<size_t>(s)].push_back(local);
+  }
+  for (int32_t s = 0; s < shards; ++s) {
+    plan.instances[static_cast<size_t>(s)].SetEvents(
+        std::move(events[static_cast<size_t>(s)]));
+    COMX_RETURN_IF_ERROR(plan.instances[static_cast<size_t>(s)].Validate());
+  }
+  return plan;
+}
+
+}  // namespace serve
+}  // namespace comx

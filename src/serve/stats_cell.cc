@@ -1,0 +1,35 @@
+#include "serve/stats_cell.h"
+
+#include <algorithm>
+
+namespace comx {
+namespace serve {
+
+ShardSnapshot MergeSnapshots(const std::vector<ShardSnapshot>& shards) {
+  ShardSnapshot total;
+  for (const ShardSnapshot& s : shards) {
+    total.submitted += s.submitted;
+    total.steps += s.steps;
+    total.arrivals += s.arrivals;
+    total.decisions += s.decisions;
+    total.inner += s.inner;
+    total.outer += s.outer;
+    total.rejects += s.rejects;
+    total.queue_depth += s.queue_depth;
+    total.revenue += s.revenue;
+    if (total.platforms.size() < s.platforms.size()) {
+      total.platforms.resize(s.platforms.size());
+    }
+    for (size_t p = 0; p < s.platforms.size(); ++p) {
+      total.platforms[p].requests += s.platforms[p].requests;
+      total.platforms[p].inner += s.platforms[p].inner;
+      total.platforms[p].outer += s.platforms[p].outer;
+      total.platforms[p].rejects += s.platforms[p].rejects;
+      total.platforms[p].revenue += s.platforms[p].revenue;
+    }
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace comx

@@ -1,0 +1,150 @@
+// Epoch-stamped (seqlock) statistics cell: the serve layer's lock-free
+// publication channel from a shard's single drainer thread to any number of
+// concurrent readers (the STATS / METRICS endpoints).
+//
+// The writer never blocks and never takes a lock — publishing is a handful
+// of relaxed atomic stores bracketed by an epoch bump — so reads can never
+// stall the decision hot path. Readers retry until they observe the same
+// even epoch on both sides of the copy, which guarantees a cross-field
+// consistent snapshot (revenue and the decision count that produced it come
+// from the same instant). All slots are std::atomic, so the scheme is
+// data-race-free under TSan, not just "works in practice".
+
+#ifndef COMX_SERVE_STATS_CELL_H_
+#define COMX_SERVE_STATS_CELL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace comx {
+namespace serve {
+
+/// Per-platform slice of a shard snapshot.
+struct PlatformSlice {
+  int64_t requests = 0;
+  int64_t inner = 0;
+  int64_t outer = 0;
+  int64_t rejects = 0;
+  double revenue = 0.0;
+};
+
+/// One shard's published counters. Plain data; `platforms` is sized at
+/// service creation and never changes.
+struct ShardSnapshot {
+  int64_t submitted = 0;      // events accepted into the queue
+  int64_t steps = 0;          // engine steps executed (incl. re-arrivals)
+  int64_t arrivals = 0;       // worker-arrival steps
+  int64_t decisions = 0;      // request-decision steps
+  int64_t inner = 0;
+  int64_t outer = 0;
+  int64_t rejects = 0;
+  int64_t queue_depth = 0;    // pending submissions at publish time
+  double revenue = 0.0;       // Eq. 1 running total
+  std::vector<PlatformSlice> platforms;
+};
+
+/// Single-writer multi-reader seqlock over a ShardSnapshot.
+class StatsCell {
+ public:
+  explicit StatsCell(int32_t platform_count)
+      : platform_count_(platform_count),
+        slots_(kScalarSlots +
+               static_cast<size_t>(platform_count) * kPlatformSlots) {}
+
+  StatsCell(const StatsCell&) = delete;
+  StatsCell& operator=(const StatsCell&) = delete;
+
+  /// Publishes `snap`. Single writer only (the shard's drainer thread).
+  /// `snap.platforms` must have exactly `platform_count` entries.
+  void Publish(const ShardSnapshot& snap) {
+    const uint64_t e = epoch_.load(std::memory_order_relaxed);
+    epoch_.store(e + 1, std::memory_order_relaxed);  // odd: write in progress
+    std::atomic_thread_fence(std::memory_order_release);
+    size_t i = 0;
+    Store(&i, static_cast<uint64_t>(snap.submitted));
+    Store(&i, static_cast<uint64_t>(snap.steps));
+    Store(&i, static_cast<uint64_t>(snap.arrivals));
+    Store(&i, static_cast<uint64_t>(snap.decisions));
+    Store(&i, static_cast<uint64_t>(snap.inner));
+    Store(&i, static_cast<uint64_t>(snap.outer));
+    Store(&i, static_cast<uint64_t>(snap.rejects));
+    Store(&i, static_cast<uint64_t>(snap.queue_depth));
+    Store(&i, Bits(snap.revenue));
+    for (const PlatformSlice& p : snap.platforms) {
+      Store(&i, static_cast<uint64_t>(p.requests));
+      Store(&i, static_cast<uint64_t>(p.inner));
+      Store(&i, static_cast<uint64_t>(p.outer));
+      Store(&i, static_cast<uint64_t>(p.rejects));
+      Store(&i, Bits(p.revenue));
+    }
+    epoch_.store(e + 2, std::memory_order_release);  // even: consistent
+  }
+
+  /// Lock-free consistent read; retries while a publish is in flight.
+  ShardSnapshot Read() const {
+    ShardSnapshot snap;
+    snap.platforms.resize(static_cast<size_t>(platform_count_));
+    std::vector<uint64_t> raw(slots_.size());
+    for (;;) {
+      const uint64_t e1 = epoch_.load(std::memory_order_acquire);
+      if (e1 & 1) continue;  // writer mid-publish
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        raw[i] = slots_[i].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (epoch_.load(std::memory_order_relaxed) == e1) break;
+    }
+    size_t i = 0;
+    snap.submitted = static_cast<int64_t>(raw[i++]);
+    snap.steps = static_cast<int64_t>(raw[i++]);
+    snap.arrivals = static_cast<int64_t>(raw[i++]);
+    snap.decisions = static_cast<int64_t>(raw[i++]);
+    snap.inner = static_cast<int64_t>(raw[i++]);
+    snap.outer = static_cast<int64_t>(raw[i++]);
+    snap.rejects = static_cast<int64_t>(raw[i++]);
+    snap.queue_depth = static_cast<int64_t>(raw[i++]);
+    snap.revenue = Double(raw[i++]);
+    for (PlatformSlice& p : snap.platforms) {
+      p.requests = static_cast<int64_t>(raw[i++]);
+      p.inner = static_cast<int64_t>(raw[i++]);
+      p.outer = static_cast<int64_t>(raw[i++]);
+      p.rejects = static_cast<int64_t>(raw[i++]);
+      p.revenue = Double(raw[i++]);
+    }
+    return snap;
+  }
+
+  int32_t platform_count() const { return platform_count_; }
+
+ private:
+  static constexpr size_t kScalarSlots = 9;
+  static constexpr size_t kPlatformSlots = 5;
+
+  static uint64_t Bits(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double Double(uint64_t bits) {
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  void Store(size_t* i, uint64_t v) {
+    slots_[(*i)++].store(v, std::memory_order_relaxed);
+  }
+
+  const int32_t platform_count_;
+  std::atomic<uint64_t> epoch_{0};
+  std::vector<std::atomic<uint64_t>> slots_;
+};
+
+/// Sums per-shard snapshots (platform vectors must agree in size).
+ShardSnapshot MergeSnapshots(const std::vector<ShardSnapshot>& shards);
+
+}  // namespace serve
+}  // namespace comx
+
+#endif  // COMX_SERVE_STATS_CELL_H_

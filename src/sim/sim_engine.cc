@@ -73,7 +73,9 @@ Status ReadStats(ByteReader* in, RunningStats* s) {
   return Status::OK();
 }
 
-constexpr uint32_t kEngineStateVersion = 1;
+// v2: CircuitBreaker::Snapshot gained probe_in_flight (single half-open
+// probe admission), serialized inside the fault-session block.
+constexpr uint32_t kEngineStateVersion = 2;
 
 }  // namespace
 

@@ -115,6 +115,15 @@ class SimEngine {
   /// Number of Step() calls so far.
   int64_t step_index() const { return step_index_; }
 
+  /// Static instance events consumed so far (the cursor into the sorted
+  /// arrival stream). Dynamic re-arrival events do not advance it — the
+  /// serve layer steps a shard's engine until the cursor moves to process
+  /// "exactly one submitted event plus every re-arrival due before it".
+  size_t static_cursor() const { return cursor_; }
+
+  /// Total static events of this engine's instance.
+  size_t static_event_count() const { return static_events_.size(); }
+
   /// Assignments booked so far across all platforms.
   int64_t AssignmentsSoFar() const {
     return static_cast<int64_t>(result_.matching.assignments.size());

@@ -1,6 +1,7 @@
 #include "util/signal_guard.h"
 
 #include <csignal>
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -10,18 +11,27 @@ namespace {
 
 std::atomic<std::FILE*> g_files[kMaxShutdownFiles];
 std::atomic<bool> g_installed{false};
-volatile std::sig_atomic_t g_shutdown_requested = 0;
+std::atomic<int> g_signal{0};
+// Self-pipe; [0] read end handed to poll loops, [1] written by the handler.
+std::atomic<int> g_wake_read{-1};
+std::atomic<int> g_wake_write{-1};
 
+// Async-signal-safe by construction: one lock-free CAS, one write(2).
+// Everything else (stdio flushes, fsync) runs in DrainShutdown() on a
+// normal thread. A repeated signal bypasses the cooperative path and
+// _exit()s — both _exit and write are on the POSIX async-signal-safe list.
 extern "C" void ComxShutdownHandler(int signo) {
-  g_shutdown_requested = 1;
-  for (auto& slot : g_files) {
-    std::FILE* f = slot.load(std::memory_order_relaxed);
-    if (f == nullptr) continue;
-    std::fflush(f);
-    ::fsync(::fileno(f));
+  int expected = 0;
+  if (!g_signal.compare_exchange_strong(expected, signo,
+                                        std::memory_order_relaxed)) {
+    ::_exit(128 + signo);
   }
-  std::fflush(nullptr);
-  ::_exit(128 + signo);
+  const int fd = g_wake_write.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const unsigned char byte = static_cast<unsigned char>(signo);
+    // Best effort: a full pipe just means the loop already has a wakeup.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
 }
 
 }  // namespace
@@ -29,6 +39,15 @@ extern "C" void ComxShutdownHandler(int signo) {
 void InstallShutdownGuard() {
   bool expected = false;
   if (!g_installed.compare_exchange_strong(expected, true)) return;
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    for (const int fd : fds) {
+      ::fcntl(fd, F_SETFL, O_NONBLOCK);
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+    g_wake_read.store(fds[0], std::memory_order_relaxed);
+    g_wake_write.store(fds[1], std::memory_order_relaxed);
+  }
   struct sigaction sa = {};
   sa.sa_handler = ComxShutdownHandler;
   sigemptyset(&sa.sa_mask);
@@ -37,7 +56,26 @@ void InstallShutdownGuard() {
   ::sigaction(SIGTERM, &sa, nullptr);
 }
 
-bool ShutdownRequested() { return g_shutdown_requested != 0; }
+bool ShutdownRequested() {
+  return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int ShutdownSignal() { return g_signal.load(std::memory_order_relaxed); }
+
+int ShutdownWakeFd() { return g_wake_read.load(std::memory_order_relaxed); }
+
+int DrainShutdown() {
+  const int signo = g_signal.load(std::memory_order_relaxed);
+  if (signo == 0) return 0;
+  for (auto& slot : g_files) {
+    std::FILE* f = slot.load(std::memory_order_relaxed);
+    if (f == nullptr) continue;
+    std::fflush(f);
+    ::fsync(::fileno(f));
+  }
+  std::fflush(nullptr);
+  return ShutdownExitCode(signo);
+}
 
 void RegisterShutdownFlushFile(std::FILE* f) {
   if (f == nullptr) return;
@@ -60,5 +98,15 @@ void UnregisterShutdownFlushFile(std::FILE* f) {
 }
 
 int ShutdownExitCode(int signo) { return 128 + signo; }
+
+void ResetShutdownForTesting() {
+  g_signal.store(0, std::memory_order_relaxed);
+  const int fd = g_wake_read.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    unsigned char buf[16];
+    while (::read(fd, buf, sizeof(buf)) > 0) {
+    }
+  }
+}
 
 }  // namespace comx

@@ -1,16 +1,20 @@
-// SIGINT/SIGTERM shutdown guard for the CLI tools: on the first signal the
-// handler best-effort flushes every registered stdio stream (traces,
-// metrics, WAL — so an interrupted run leaves recoverable artifacts, not
-// torn files) and exits with the conventional 128 + signo code, which is
-// distinct from every tool's own exit codes.
+// SIGINT/SIGTERM shutdown guard for the CLI tools and the serving binary.
 //
-// Async-signal-safety: the handler only walks a fixed array of atomic
-// FILE* slots, calls fflush/fsync on each, and _exit()s. fflush is not on
-// the POSIX async-signal-safe list but is safe here in practice for the
-// single-threaded tools that install this guard; a stream being written at
-// the moment of the signal may at worst leave one torn final line — which
-// the lenient trace/profile readers (obs/trace.h, tools/perf_report) are
-// built to tolerate.
+// The handler itself is strictly async-signal-safe: it records the signal
+// number in a lock-free atomic and writes one byte to a self-pipe, nothing
+// else. All real shutdown work — flushing registered stdio streams (traces,
+// metrics, WAL-adjacent artifacts), committing buffered WAL tails, exiting
+// with the conventional 128 + signo code — happens on a normal thread when
+// the main loop notices the flag (ShutdownRequested()) or the pipe becomes
+// readable (ShutdownWakeFd(), for poll()-based loops) and calls
+// DrainShutdown(). This matters for long-running processes: fflush() takes
+// stdio's internal locks and fsync() can block, so running them inside the
+// handler deadlocks the moment a signal lands while any thread holds a
+// stream lock (or, in comx_serve, a shard lock around a registered file).
+//
+// A second signal while the first is still being drained _exit()s
+// immediately with 128 + signo — the operator's escape hatch when the
+// cooperative drain itself is wedged.
 
 #ifndef COMX_UTIL_SIGNAL_GUARD_H_
 #define COMX_UTIL_SIGNAL_GUARD_H_
@@ -19,16 +23,31 @@
 
 namespace comx {
 
-/// Installs the SIGINT/SIGTERM handler. Idempotent.
+/// Installs the SIGINT/SIGTERM handler and the self-pipe. Idempotent.
 void InstallShutdownGuard();
 
-/// True once a shutdown signal was received. With the default handler the
-/// process _exit()s inside the handler, so this is observable only in the
-/// narrow window before exit (it exists for tests that raise() and for
-/// future cooperative-shutdown callers).
+/// True once a shutdown signal was received. Cheap (one relaxed atomic
+/// load) — poll it from run loops between units of work.
 bool ShutdownRequested();
 
-/// Registers `f` for best-effort fflush + fsync when a signal arrives.
+/// The signal that requested shutdown, or 0 when none arrived yet.
+int ShutdownSignal();
+
+/// Read end of the self-pipe: becomes readable when a signal arrives, so
+/// poll()/select()-based loops wake without busy-polling the flag.
+/// -1 before InstallShutdownGuard() (or if the pipe could not be created,
+/// in which case the flag still works).
+int ShutdownWakeFd();
+
+/// Runs the shutdown work the old handler used to do inside the signal
+/// context: best-effort fflush + fsync of every registered stream, then
+/// fflush(nullptr). Call from the main loop after ShutdownRequested()
+/// turns true; returns the exit code the caller should exit with
+/// (ShutdownExitCode of the received signal), or 0 when no signal was
+/// actually pending. Safe to call more than once.
+int DrainShutdown();
+
+/// Registers `f` for best-effort fflush + fsync in DrainShutdown().
 /// Bounded capacity (see kMaxShutdownFiles); extra registrations are
 /// silently dropped. Pass the same pointer to Unregister before closing.
 void RegisterShutdownFlushFile(std::FILE* f);
@@ -39,6 +58,10 @@ inline constexpr int kMaxShutdownFiles = 16;
 
 /// The exit code the guard uses for signal `signo` (128 + signo).
 int ShutdownExitCode(int signo);
+
+/// Clears a recorded signal and drains the wake pipe so one test's
+/// raise() does not leak into the next. Testing only.
+void ResetShutdownForTesting();
 
 }  // namespace comx
 

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace comx {
 namespace {
@@ -40,18 +41,29 @@ ThreadPool::ThreadPool(size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (shutdown_) return;
     shutdown_ = true;
   }
   task_ready_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      // A task racing the drain would be silently stranded in the queue
+      // (workers exit once it is empty) or run on a half-joined pool —
+      // either way a bug at the call site, so it fails loudly here.
+      throw std::logic_error(
+          "ThreadPool::Submit called during/after Shutdown");
+    }
     tasks_.push(std::move(task));
     ++in_flight_;
   }

@@ -42,7 +42,19 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks must not enqueue further tasks into the same
   /// pool and then Wait() on them from within (deadlock).
+  ///
+  /// Throws std::logic_error once shutdown has begun (Shutdown() or the
+  /// destructor): a task enqueued while the workers drain may or may not
+  /// ever run depending on who wins the race, so the bug fails loudly at
+  /// the submit site instead of surfacing as a lost task or a Wait() that
+  /// never returns.
   void Submit(std::function<void()> task);
+
+  /// Drains outstanding tasks and joins the workers, after which Submit()
+  /// throws. Idempotent; called implicitly by the destructor. Exposed so
+  /// long-running services can stop their pool deterministically and so
+  /// tests can exercise the submit-after-shutdown contract.
+  void Shutdown();
 
   /// Blocks until every submitted task has finished. If any task threw
   /// since the last Wait(), rethrows the first captured exception (the

@@ -73,6 +73,55 @@ TEST(CircuitBreakerTest, ProbeFailureReopensAndRestartsCooldown) {
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
 }
 
+TEST(CircuitBreakerTest, HalfOpenAdmitsSingleProbeInFlight) {
+  // Regression: half-open used to admit every caller while the first probe
+  // was still outstanding — a recovering partner got hammered by a full
+  // probe burst instead of one canary request. Only one probe may be in
+  // flight until its outcome is recorded.
+  CircuitBreaker breaker(SmallConfig());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(10.0);
+  ASSERT_TRUE(breaker.AllowRequest(70.0));  // the single canary probe
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  // Concurrent callers while the probe is outstanding: all rejected.
+  EXPECT_FALSE(breaker.AllowRequest(70.0));
+  EXPECT_FALSE(breaker.AllowRequest(70.5));
+  EXPECT_FALSE(breaker.AllowRequest(71.0));
+  // Probe succeeded: the slot frees up for the next probe.
+  breaker.RecordSuccess(71.0);
+  EXPECT_TRUE(breaker.AllowRequest(71.5));
+  EXPECT_FALSE(breaker.AllowRequest(71.5));
+  breaker.RecordSuccess(72.0);  // second success closes the breaker
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, ProbeSlotFreedOnReopenAndAfterCooldown) {
+  CircuitBreaker breaker(SmallConfig());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(10.0);
+  ASSERT_TRUE(breaker.AllowRequest(70.0));
+  breaker.RecordFailure(70.0);  // probe failed: back to open
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // After the restarted cooldown the next window must again admit exactly
+  // one probe — the in-flight flag cannot leak across the re-open.
+  ASSERT_TRUE(breaker.AllowRequest(130.0));
+  EXPECT_FALSE(breaker.AllowRequest(130.0));
+}
+
+TEST(CircuitBreakerTest, SnapshotRoundTripsProbeInFlight) {
+  CircuitBreaker breaker(SmallConfig());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(10.0);
+  ASSERT_TRUE(breaker.AllowRequest(70.0));  // probe in flight
+  const CircuitBreaker::Snapshot snap = breaker.Save();
+  EXPECT_TRUE(snap.probe_in_flight);
+
+  CircuitBreaker restored(SmallConfig());
+  restored.Restore(snap);
+  // The restored breaker must remember the outstanding probe, or a
+  // recovered run would double-probe where the original run sent one.
+  EXPECT_FALSE(restored.AllowRequest(70.5));
+  restored.RecordSuccess(71.0);
+  EXPECT_TRUE(restored.AllowRequest(71.5));
+}
+
 TEST(CircuitBreakerTest, StateNamesAreStable) {
   EXPECT_STREQ(CircuitBreakerStateName(CircuitBreaker::State::kClosed),
                "closed");

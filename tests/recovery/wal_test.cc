@@ -424,6 +424,76 @@ TEST(WalWriterTest, InjectedCrashTearsExactlyAtOffset) {
   EXPECT_TRUE(scan->torn_tail);
 }
 
+TEST(WalWriterTest, BufferedTailIsLostWithoutFlushAndKeptWithIt) {
+  // Regression for the shutdown path: with group commit on, the destructor
+  // deliberately drops the buffered tail. An abnormal exit (comx_serve on
+  // SIGTERM) that skips Close() must Flush() first or up to a full batch of
+  // journaled steps silently vanishes.
+  const std::string dir = MakeTempDir();
+  WalWriterOptions options;
+  options.group_commit_records = 100;  // nothing auto-commits below
+  const std::vector<WalRecord> all = MakeAllTypeRecords();
+
+  // Without Flush(): destroy the writer with records still buffered.
+  {
+    auto writer = WalWriter::Create(dir + "/lost.log", options, nullptr);
+    ASSERT_TRUE(writer.ok());
+    for (WalRecord rec : all) {
+      ASSERT_TRUE((*writer)->Append(&rec).ok());
+    }
+    // Nothing committed yet: even the header is still in the buffer.
+    EXPECT_GT((*writer)->buffered_bytes(), kWalHeaderBytes);
+    EXPECT_EQ((*writer)->durable_bytes(), 0);
+    // Writer destroyed here — the simulated abnormal exit.
+  }
+  auto lost = ScanWal(dir + "/lost.log");
+  ASSERT_TRUE(lost.ok());
+  EXPECT_TRUE(lost->torn_header);
+  EXPECT_EQ(lost->records.size(), 0u);  // the entire batch is gone
+
+  // With Flush() on the same exit path: everything durable.
+  {
+    auto writer = WalWriter::Create(dir + "/kept.log", options, nullptr);
+    ASSERT_TRUE(writer.ok());
+    for (WalRecord rec : all) {
+      ASSERT_TRUE((*writer)->Append(&rec).ok());
+    }
+    ASSERT_TRUE((*writer)->Flush().ok());
+    EXPECT_EQ((*writer)->buffered_bytes(), 0);
+    EXPECT_GT((*writer)->durable_bytes(), kWalHeaderBytes);
+  }
+  auto kept = ScanWal(dir + "/kept.log");
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->records.size(), all.size());
+  EXPECT_FALSE(kept->torn_tail);
+}
+
+TEST(WalWriterTest, CommitOffsetsRecordGroupBoundaries) {
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/wal.log";
+  WalWriterOptions options;
+  options.group_commit_records = 3;
+  auto writer = WalWriter::Create(path, options, nullptr);
+  ASSERT_TRUE(writer.ok());
+  const std::vector<WalRecord> all = MakeAllTypeRecords();
+  ASSERT_GE(all.size(), 7u);
+  for (size_t i = 0; i < 7; ++i) {
+    WalRecord rec = all[i];
+    ASSERT_TRUE((*writer)->Append(&rec).ok());
+  }
+  // 7 appends at 3 per group: two full batches committed, one buffered.
+  EXPECT_EQ((*writer)->commits(), 2);
+  ASSERT_EQ((*writer)->commit_offsets().size(), 2u);
+  EXPECT_GT((*writer)->commit_offsets()[0], kWalHeaderBytes);
+  EXPECT_GT((*writer)->commit_offsets()[1],
+            (*writer)->commit_offsets()[0]);
+  EXPECT_EQ((*writer)->commit_offsets()[1], (*writer)->durable_bytes());
+  EXPECT_GT((*writer)->buffered_bytes(), 0);
+  ASSERT_TRUE((*writer)->Close().ok());
+  // Close commits the remainder and records the final boundary.
+  EXPECT_EQ((*writer)->commit_offsets().size(), 3u);
+}
+
 TEST(WalRecordTest, BoundaryClassification) {
   EXPECT_TRUE(IsStepBoundary(WalRecordType::kRunBegin));
   EXPECT_TRUE(IsStepBoundary(WalRecordType::kArrival));

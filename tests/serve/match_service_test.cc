@@ -1,0 +1,306 @@
+// MatchService (src/serve/match_service.h): the acceptance properties of the
+// serving core. One shard is bit-identical to the batch simulator; N shards
+// equal one shard exactly on instances whose demand clusters are separated
+// by more than the worker radius; a graceful drain always closes the day
+// with the full-instance Eq. 1 totals; stats reads are safe and consistent
+// under concurrent ingestion (the TSan target).
+
+#include "serve/match_service.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dem_com.h"
+#include "core/tota_greedy.h"
+#include "datagen/synthetic.h"
+#include "sim/simulator.h"
+#include "testing/builders.h"
+
+namespace comx {
+namespace serve {
+namespace {
+
+using testing_fixtures::MakeRequest;
+using testing_fixtures::MakeWorker;
+
+std::unique_ptr<OnlineMatcher> MakeTota() {
+  return std::make_unique<TotaGreedy>();
+}
+
+std::unique_ptr<OnlineMatcher> MakeDemCom() {
+  return std::make_unique<DemCom>();
+}
+
+SimConfig ServeConfig() {
+  SimConfig config;
+  config.measure_response_time = false;  // the serve layer owns latency
+  return config;
+}
+
+Instance SmallSynthetic(uint64_t seed = 7) {
+  SyntheticConfig config;
+  config.platforms = 2;
+  config.requests_per_platform = {40};
+  config.workers_per_platform = {20};
+  config.seed = seed;
+  auto instance = GenerateSynthetic(config);
+  EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+  return std::move(instance).value();
+}
+
+SimResult BatchRun(const Instance& ins,
+                   const std::function<std::unique_ptr<OnlineMatcher>()>& factory,
+                   uint64_t seed) {
+  std::vector<std::unique_ptr<OnlineMatcher>> owned;
+  std::vector<OnlineMatcher*> matchers;
+  for (int32_t p = 0; p < ins.PlatformCount(); ++p) {
+    owned.push_back(factory());
+    matchers.push_back(owned.back().get());
+  }
+  auto result = RunSimulation(ins, matchers, ServeConfig(), seed);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+void ExpectPlatformMetricsBitEqual(const PlatformMetrics& a,
+                                   const PlatformMetrics& b) {
+  EXPECT_EQ(a.revenue, b.revenue);  // bitwise double equality, deliberately
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.completed_inner, b.completed_inner);
+  EXPECT_EQ(a.completed_outer, b.completed_outer);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.outer_offers, b.outer_offers);
+  EXPECT_EQ(a.outer_payment_sum, b.outer_payment_sum);
+  EXPECT_EQ(a.payment_rate_sum, b.payment_rate_sum);
+  EXPECT_EQ(a.total_pickup_km, b.total_pickup_km);
+}
+
+// Two demand clusters separated in x by far more than any worker radius, so
+// no feasible (worker, request) pair ever crosses the stripe boundary —
+// the case where geo-sharding is exact, not approximate. Values are small
+// integers so revenue sums are exact in any summation order.
+Instance TwoClusterInstance() {
+  Instance ins;
+  auto add_cluster = [&ins](double x0, double t0) {
+    ins.AddWorker(MakeWorker(0, t0 + 0.0, x0 + 0.0, 0.0, 1.5));
+    ins.AddWorker(MakeWorker(0, t0 + 1.0, x0 + 2.0, 0.0, 1.5));
+    ins.AddWorker(MakeWorker(1, t0 + 2.0, x0 + 1.0, 0.0, 1.5));
+    ins.AddRequest(MakeRequest(0, t0 + 3.0, x0 + 0.5, 0.0, 4.0));
+    ins.AddRequest(MakeRequest(0, t0 + 4.0, x0 + 1.5, 0.0, 9.0));
+    ins.AddRequest(MakeRequest(1, t0 + 5.0, x0 + 1.0, 0.0, 6.0));
+    ins.AddRequest(MakeRequest(0, t0 + 6.0, x0 + 2.0, 0.0, 3.0));
+  };
+  // Interleaved arrival times (t0 offset by 0.5) so the global event stream
+  // alternates between clusters — the sharded service must reproduce the
+  // batch result despite processing the clusters concurrently.
+  add_cluster(/*x0=*/0.0, /*t0=*/1.0);
+  add_cluster(/*x0=*/100.0, /*t0=*/1.5);
+  ins.BuildEvents();
+  EXPECT_TRUE(ins.Validate().ok());
+  return ins;
+}
+
+TEST(MatchServiceTest, OneShardBitIdenticalToBatchSimulator) {
+  // DemCom exercises the full machinery: outer offers, acceptance RNG,
+  // payments. With one shard the plan is a verbatim instance copy and the
+  // engine consumes the identical event stream with the identical seed, so
+  // every double must match bit for bit.
+  const Instance ins = testing_fixtures::PaperExample();
+  const uint64_t seed = 42;
+  const SimResult batch = BatchRun(ins, MakeDemCom, seed);
+
+  ServiceOptions options;
+  options.shards = 1;
+  options.seed = seed;
+  options.sim = ServeConfig();
+  auto service = MatchService::Create(ins, MakeDemCom, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_TRUE((*service)->SubmitAll().ok());
+  auto totals = (*service)->Drain();
+  ASSERT_TRUE(totals.ok()) << totals.status().ToString();
+
+  ASSERT_EQ(totals->merged.per_platform.size(),
+            batch.metrics.per_platform.size());
+  for (size_t p = 0; p < batch.metrics.per_platform.size(); ++p) {
+    ExpectPlatformMetricsBitEqual(totals->merged.per_platform[p],
+                                  batch.metrics.per_platform[p]);
+  }
+  EXPECT_EQ(totals->total_revenue, batch.metrics.TotalRevenue());
+  EXPECT_EQ(totals->assignments,
+            batch.metrics.Aggregate().completed);
+  ASSERT_EQ(totals->shard_results.size(), 1u);
+  EXPECT_EQ(totals->shard_results[0].matching.assignments.size(),
+            batch.matching.assignments.size());
+}
+
+TEST(MatchServiceTest, ShardedEqualsSingleShardOnSeparatedClusters) {
+  const Instance ins = TwoClusterInstance();
+  const uint64_t seed = 7;
+  const SimResult batch = BatchRun(ins, MakeTota, seed);
+
+  for (const int32_t shards : {1, 2, 4}) {
+    ServiceOptions options;
+    options.shards = shards;
+    options.seed = seed;
+    options.sim = ServeConfig();
+    auto service = MatchService::Create(ins, MakeTota, options);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    ASSERT_TRUE((*service)->SubmitAll().ok());
+    auto totals = (*service)->Drain();
+    ASSERT_TRUE(totals.ok()) << totals.status().ToString();
+    // Integer request values and radius-separated clusters: the sharded
+    // totals are exactly the batch totals at every shard count.
+    EXPECT_EQ(totals->total_revenue, batch.metrics.TotalRevenue())
+        << "shards=" << shards;
+    EXPECT_EQ(totals->assignments, batch.metrics.Aggregate().completed)
+        << "shards=" << shards;
+    ASSERT_EQ(totals->merged.per_platform.size(),
+              batch.metrics.per_platform.size());
+    for (size_t p = 0; p < batch.metrics.per_platform.size(); ++p) {
+      EXPECT_EQ(totals->merged.per_platform[p].revenue,
+                batch.metrics.per_platform[p].revenue)
+          << "shards=" << shards << " platform=" << p;
+      EXPECT_EQ(totals->merged.per_platform[p].completed_inner,
+                batch.metrics.per_platform[p].completed_inner);
+      EXPECT_EQ(totals->merged.per_platform[p].rejected,
+                batch.metrics.per_platform[p].rejected);
+    }
+  }
+}
+
+TEST(MatchServiceTest, GracefulDrainClosesTheDayWithFullTotals) {
+  // Submit only the first half of the stream, then drain: the close-of-day
+  // path must consume the unsubmitted remainder so Eq. 1 totals equal the
+  // uninterrupted batch run exactly.
+  const Instance ins = testing_fixtures::PaperExample();
+  const uint64_t seed = 42;
+  const SimResult batch = BatchRun(ins, MakeDemCom, seed);
+
+  ServiceOptions options;
+  options.shards = 1;
+  options.seed = seed;
+  options.sim = ServeConfig();
+  auto service = MatchService::Create(ins, MakeDemCom, options);
+  ASSERT_TRUE(service.ok());
+  const int64_t half = (*service)->event_count() / 2;
+  for (int64_t i = 0; i < half; ++i) {
+    ASSERT_TRUE((*service)->SubmitEvent(i, nullptr).ok());
+  }
+  auto totals = (*service)->Drain();
+  ASSERT_TRUE(totals.ok()) << totals.status().ToString();
+  EXPECT_EQ(totals->total_revenue, batch.metrics.TotalRevenue());
+  EXPECT_EQ(totals->assignments, batch.metrics.Aggregate().completed);
+  EXPECT_EQ(totals->rejected, batch.metrics.Aggregate().rejected);
+}
+
+TEST(MatchServiceTest, CallbacksFireOncePerEventWithDecisions) {
+  const Instance ins = SmallSynthetic();
+  ServiceOptions options;
+  options.shards = 4;
+  options.seed = 3;
+  options.sim = ServeConfig();
+  auto service = MatchService::Create(ins, MakeTota, options);
+  ASSERT_TRUE(service.ok());
+
+  std::atomic<int64_t> fired{0};
+  std::atomic<int64_t> failed{0};
+  std::atomic<int64_t> bad_latency{0};
+  for (int64_t i = 0; i < (*service)->event_count(); ++i) {
+    const Status st = (*service)->SubmitEvent(
+        i, [i, &fired, &failed, &bad_latency](const Status& status,
+                                              const ShardDecision& d) {
+          fired.fetch_add(1);
+          if (!status.ok()) failed.fetch_add(1);
+          if (d.global_index != i || d.latency_nanos < 0) {
+            bad_latency.fetch_add(1);
+          }
+        });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  auto totals = (*service)->Drain();
+  ASSERT_TRUE(totals.ok()) << totals.status().ToString();
+  EXPECT_EQ(fired.load(), (*service)->event_count());
+  EXPECT_EQ(failed.load(), 0);
+  EXPECT_EQ(bad_latency.load(), 0);
+
+  const ShardSnapshot stats = (*service)->TotalStats();
+  EXPECT_EQ(stats.submitted, (*service)->event_count());
+  EXPECT_EQ(stats.decisions,
+            static_cast<int64_t>(ins.requests().size()));
+  EXPECT_GE(stats.arrivals, static_cast<int64_t>(ins.workers().size()));
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_EQ(stats.inner + stats.outer,
+            totals->assignments);
+  // Snapshot revenue accumulates in step order, merged totals in platform
+  // order — same values, possibly different rounding path.
+  EXPECT_NEAR(stats.revenue, totals->total_revenue,
+              1e-9 * (1.0 + totals->total_revenue));
+  EXPECT_EQ((*service)->DecisionLatency().count, (*service)->event_count());
+}
+
+TEST(MatchServiceTest, StatsReadsAreSafeDuringConcurrentIngestion) {
+  // The seqlock consistency claim under real traffic: readers hammer
+  // TotalStats() from two threads while the stream is ingested and drained.
+  // Under TSan this is the serve layer's data-race proof.
+  const Instance ins = SmallSynthetic(13);
+  const int64_t requests = static_cast<int64_t>(ins.requests().size());
+  ServiceOptions options;
+  options.shards = 4;
+  options.seed = 5;
+  options.sim = ServeConfig();
+  auto service = MatchService::Create(ins, MakeTota, options);
+  ASSERT_TRUE(service.ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> violations{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      int64_t last_decisions = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const ShardSnapshot s = (*service)->TotalStats();
+        if (s.decisions < 0 || s.decisions > requests ||
+            s.inner + s.outer + s.rejects != s.decisions ||
+            s.decisions < last_decisions) {
+          violations.fetch_add(1);
+        }
+        last_decisions = s.decisions;
+      }
+    });
+  }
+  ASSERT_TRUE((*service)->SubmitAll().ok());
+  auto totals = (*service)->Drain();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  ASSERT_TRUE(totals.ok()) << totals.status().ToString();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ((*service)->TotalStats().decisions, requests);
+}
+
+TEST(MatchServiceTest, SubmitErrorsAreLoud) {
+  const Instance ins = testing_fixtures::PaperExample();
+  ServiceOptions options;
+  options.shards = 2;
+  options.sim = ServeConfig();
+  auto service = MatchService::Create(ins, MakeTota, options);
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ((*service)->SubmitEvent(-1, nullptr).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ((*service)->SubmitEvent((*service)->event_count(), nullptr).code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE((*service)->SubmitAll().ok());
+  ASSERT_TRUE((*service)->Drain().ok());
+  // Post-drain: the service is read-only.
+  EXPECT_EQ((*service)->SubmitEvent(0, nullptr).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*service)->Drain().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace comx

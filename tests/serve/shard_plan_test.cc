@@ -1,0 +1,165 @@
+// Geo-shard plan (src/serve/shard_plan.h): the shards==1 verbatim-copy
+// guarantee the bit-identity acceptance test rests on, plus coverage /
+// renumbering invariants for real stripe counts.
+
+#include "serve/shard_plan.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "testing/builders.h"
+
+namespace comx {
+namespace serve {
+namespace {
+
+Instance SmallSynthetic(uint64_t seed = 7) {
+  SyntheticConfig config;
+  config.platforms = 2;
+  config.requests_per_platform = {40};
+  config.workers_per_platform = {20};
+  config.seed = seed;
+  auto instance = GenerateSynthetic(config);
+  EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+  return std::move(instance).value();
+}
+
+TEST(ShardPlanTest, OneShardIsVerbatimCopy) {
+  const Instance ins = testing_fixtures::PaperExample();
+  auto plan = PartitionInstance(ins, 1);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->shards, 1);
+  ASSERT_EQ(plan->instances.size(), 1u);
+
+  const Instance& copy = plan->instances[0];
+  ASSERT_EQ(copy.workers().size(), ins.workers().size());
+  ASSERT_EQ(copy.requests().size(), ins.requests().size());
+  ASSERT_EQ(copy.events().size(), ins.events().size());
+  // Same ids, same sequences: not merely equivalent, identical.
+  for (size_t i = 0; i < ins.events().size(); ++i) {
+    EXPECT_EQ(copy.events()[i], ins.events()[i]);
+    EXPECT_EQ(plan->shard_of_event[i], 0);
+    EXPECT_EQ(plan->local_index_of_event[i], static_cast<int64_t>(i));
+  }
+  for (size_t w = 0; w < ins.workers().size(); ++w) {
+    EXPECT_EQ(plan->global_worker_of[0][w], static_cast<WorkerId>(w));
+  }
+  for (size_t r = 0; r < ins.requests().size(); ++r) {
+    EXPECT_EQ(plan->global_request_of[0][r], static_cast<RequestId>(r));
+  }
+}
+
+TEST(ShardPlanTest, StripesCoverEveryEntityAndEventExactlyOnce) {
+  const Instance ins = SmallSynthetic();
+  const int32_t shards = 4;
+  auto plan = PartitionInstance(ins, shards);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->instances.size(), static_cast<size_t>(shards));
+  ASSERT_EQ(plan->shard_of_event.size(), ins.events().size());
+
+  // Each sub-instance is independently valid.
+  for (const Instance& sub : plan->instances) {
+    EXPECT_TRUE(sub.Validate().ok());
+  }
+
+  // Entity coverage: the inverse maps partition the global id spaces.
+  std::vector<int> worker_seen(ins.workers().size(), 0);
+  std::vector<int> request_seen(ins.requests().size(), 0);
+  size_t total_events = 0;
+  for (int32_t k = 0; k < shards; ++k) {
+    const Instance& sub = plan->instances[static_cast<size_t>(k)];
+    total_events += sub.events().size();
+    ASSERT_EQ(plan->global_worker_of[static_cast<size_t>(k)].size(),
+              sub.workers().size());
+    ASSERT_EQ(plan->global_request_of[static_cast<size_t>(k)].size(),
+              sub.requests().size());
+    for (const WorkerId g : plan->global_worker_of[static_cast<size_t>(k)]) {
+      ASSERT_GE(g, 0);
+      ASSERT_LT(static_cast<size_t>(g), worker_seen.size());
+      ++worker_seen[static_cast<size_t>(g)];
+    }
+    for (const RequestId g : plan->global_request_of[static_cast<size_t>(k)]) {
+      ASSERT_GE(g, 0);
+      ASSERT_LT(static_cast<size_t>(g), request_seen.size());
+      ++request_seen[static_cast<size_t>(g)];
+    }
+  }
+  EXPECT_EQ(total_events, ins.events().size());
+  for (const int n : worker_seen) EXPECT_EQ(n, 1);
+  for (const int n : request_seen) EXPECT_EQ(n, 1);
+
+  // Event routing: walking the global stream and popping each shard's
+  // local stream in order must consume both exactly (relative order within
+  // a shard is the global relative order; sequences renumbered densely).
+  std::vector<int64_t> next_local(static_cast<size_t>(shards), 0);
+  for (size_t i = 0; i < ins.events().size(); ++i) {
+    const int32_t k = plan->shard_of_event[i];
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, shards);
+    const int64_t local = plan->local_index_of_event[i];
+    EXPECT_EQ(local, next_local[static_cast<size_t>(k)]);
+    const Event& ev = plan->instances[static_cast<size_t>(k)]
+                          .events()[static_cast<size_t>(local)];
+    EXPECT_EQ(ev.time, ins.events()[i].time);
+    EXPECT_EQ(ev.kind, ins.events()[i].kind);
+    EXPECT_EQ(ev.sequence, local);  // renumbered 0..n_k-1 in stream order
+    ++next_local[static_cast<size_t>(k)];
+  }
+}
+
+TEST(ShardPlanTest, EntityFieldsSurviveRenumbering) {
+  const Instance ins = SmallSynthetic(11);
+  auto plan = PartitionInstance(ins, 3);
+  ASSERT_TRUE(plan.ok());
+  for (int32_t k = 0; k < plan->shards; ++k) {
+    const Instance& sub = plan->instances[static_cast<size_t>(k)];
+    const auto& wmap = plan->global_worker_of[static_cast<size_t>(k)];
+    // Local ids are assigned in ascending global-id order, so id-based
+    // tie-breaking inside the shard is order-isomorphic to the input.
+    for (size_t w = 1; w < wmap.size(); ++w) EXPECT_LT(wmap[w - 1], wmap[w]);
+    for (size_t w = 0; w < wmap.size(); ++w) {
+      const Worker& local = sub.workers()[w];
+      const Worker& global = ins.worker(wmap[w]);
+      EXPECT_EQ(local.id, static_cast<WorkerId>(w));
+      EXPECT_EQ(local.platform, global.platform);
+      EXPECT_EQ(local.time, global.time);
+      EXPECT_EQ(local.location.x, global.location.x);
+      EXPECT_EQ(local.location.y, global.location.y);
+      EXPECT_EQ(local.radius, global.radius);
+      EXPECT_EQ(local.history, global.history);
+    }
+    const auto& rmap = plan->global_request_of[static_cast<size_t>(k)];
+    for (size_t r = 0; r < rmap.size(); ++r) {
+      const Request& local = sub.requests()[r];
+      const Request& global = ins.request(rmap[r]);
+      EXPECT_EQ(local.id, static_cast<RequestId>(r));
+      EXPECT_EQ(local.platform, global.platform);
+      EXPECT_EQ(local.value, global.value);
+    }
+  }
+}
+
+TEST(ShardPlanTest, MoreShardsThanEntitiesYieldsEmptyShards) {
+  const Instance ins = testing_fixtures::PaperExample();
+  auto plan = PartitionInstance(ins, 64);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  size_t total_events = 0, empty = 0;
+  for (const Instance& sub : plan->instances) {
+    total_events += sub.events().size();
+    if (sub.events().empty()) ++empty;
+  }
+  EXPECT_EQ(total_events, ins.events().size());
+  EXPECT_GT(empty, 0u);  // 10 entities cannot populate 64 stripes
+}
+
+TEST(ShardPlanTest, RejectsNonPositiveShardCount) {
+  const Instance ins = testing_fixtures::PaperExample();
+  EXPECT_FALSE(PartitionInstance(ins, 0).ok());
+  EXPECT_FALSE(PartitionInstance(ins, -3).ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace comx

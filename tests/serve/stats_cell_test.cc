@@ -1,0 +1,153 @@
+// Seqlock stats cell (src/serve/stats_cell.h): round-trip fidelity, merge
+// arithmetic, and the property the scheme exists for — concurrent readers
+// always observe a cross-field CONSISTENT snapshot, never a torn mix of two
+// publishes. The hammer test is the TSan target for the serve layer.
+
+#include "serve/stats_cell.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace serve {
+namespace {
+
+ShardSnapshot MakeSnapshot(int64_t i, int32_t platforms) {
+  ShardSnapshot snap;
+  snap.submitted = i;
+  snap.steps = 2 * i;
+  snap.arrivals = i / 2;
+  snap.decisions = i;
+  snap.inner = i / 3;
+  snap.outer = i / 5;
+  snap.rejects = i - i / 3 - i / 5;
+  snap.queue_depth = i % 7;
+  snap.revenue = 1.5 * static_cast<double>(i);
+  snap.platforms.resize(static_cast<size_t>(platforms));
+  for (int32_t p = 0; p < platforms; ++p) {
+    snap.platforms[static_cast<size_t>(p)].requests = i + p;
+    snap.platforms[static_cast<size_t>(p)].inner = i / 2 + p;
+    snap.platforms[static_cast<size_t>(p)].outer = i / 4 + p;
+    snap.platforms[static_cast<size_t>(p)].rejects = i / 8 + p;
+    snap.platforms[static_cast<size_t>(p)].revenue =
+        0.25 * static_cast<double>(i + p);
+  }
+  return snap;
+}
+
+void ExpectEqual(const ShardSnapshot& a, const ShardSnapshot& b) {
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.inner, b.inner);
+  EXPECT_EQ(a.outer, b.outer);
+  EXPECT_EQ(a.rejects, b.rejects);
+  EXPECT_EQ(a.queue_depth, b.queue_depth);
+  EXPECT_EQ(a.revenue, b.revenue);  // bitwise: stored via bit-cast
+  ASSERT_EQ(a.platforms.size(), b.platforms.size());
+  for (size_t p = 0; p < a.platforms.size(); ++p) {
+    EXPECT_EQ(a.platforms[p].requests, b.platforms[p].requests);
+    EXPECT_EQ(a.platforms[p].inner, b.platforms[p].inner);
+    EXPECT_EQ(a.platforms[p].outer, b.platforms[p].outer);
+    EXPECT_EQ(a.platforms[p].rejects, b.platforms[p].rejects);
+    EXPECT_EQ(a.platforms[p].revenue, b.platforms[p].revenue);
+  }
+}
+
+TEST(StatsCellTest, PublishReadRoundTrip) {
+  StatsCell cell(3);
+  EXPECT_EQ(cell.platform_count(), 3);
+  const ShardSnapshot in = MakeSnapshot(12345, 3);
+  cell.Publish(in);
+  ExpectEqual(cell.Read(), in);
+  // Re-publish overwrites in place.
+  const ShardSnapshot next = MakeSnapshot(999, 3);
+  cell.Publish(next);
+  ExpectEqual(cell.Read(), next);
+}
+
+TEST(StatsCellTest, ZeroPlatformsAndDefaultSnapshot) {
+  StatsCell cell(0);
+  ShardSnapshot empty;
+  cell.Publish(empty);
+  const ShardSnapshot out = cell.Read();
+  EXPECT_EQ(out.decisions, 0);
+  EXPECT_EQ(out.revenue, 0.0);
+  EXPECT_TRUE(out.platforms.empty());
+}
+
+TEST(StatsCellTest, MergeSumsEveryField) {
+  const ShardSnapshot a = MakeSnapshot(100, 2);
+  const ShardSnapshot b = MakeSnapshot(23, 2);
+  const ShardSnapshot m = MergeSnapshots({a, b});
+  EXPECT_EQ(m.submitted, a.submitted + b.submitted);
+  EXPECT_EQ(m.steps, a.steps + b.steps);
+  EXPECT_EQ(m.arrivals, a.arrivals + b.arrivals);
+  EXPECT_EQ(m.decisions, a.decisions + b.decisions);
+  EXPECT_EQ(m.inner, a.inner + b.inner);
+  EXPECT_EQ(m.outer, a.outer + b.outer);
+  EXPECT_EQ(m.rejects, a.rejects + b.rejects);
+  EXPECT_EQ(m.queue_depth, a.queue_depth + b.queue_depth);
+  EXPECT_EQ(m.revenue, a.revenue + b.revenue);
+  ASSERT_EQ(m.platforms.size(), 2u);
+  for (size_t p = 0; p < 2; ++p) {
+    EXPECT_EQ(m.platforms[p].requests,
+              a.platforms[p].requests + b.platforms[p].requests);
+    EXPECT_EQ(m.platforms[p].revenue,
+              a.platforms[p].revenue + b.platforms[p].revenue);
+  }
+}
+
+TEST(StatsCellTest, ConcurrentReadersNeverSeeTornSnapshots) {
+  // One writer publishes snapshots whose fields are all derived from a
+  // single counter i (steps = 2i, revenue = 1.5i, platform slices offset by
+  // p). A torn read — half of publish i, half of publish i+1 — breaks at
+  // least one of those relations. Readers hammer concurrently and check
+  // every relation on every read. Run under TSan this also proves the
+  // scheme is data-race-free, not merely consistent.
+  constexpr int kPlatforms = 2;
+  constexpr int64_t kPublishes = 20000;
+  StatsCell cell(kPlatforms);
+  cell.Publish(MakeSnapshot(0, kPlatforms));
+
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> torn{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&cell, &done, &torn] {
+      int64_t last = -1;
+      while (!done.load(std::memory_order_acquire)) {
+        const ShardSnapshot s = cell.Read();
+        const int64_t i = s.submitted;
+        bool ok = s.steps == 2 * i && s.decisions == i &&
+                  s.arrivals == i / 2 && s.inner == i / 3 &&
+                  s.outer == i / 5 && s.queue_depth == i % 7 &&
+                  s.revenue == 1.5 * static_cast<double>(i) &&
+                  i >= last;  // single writer publishes monotonically
+        for (int p = 0; ok && p < kPlatforms; ++p) {
+          const PlatformSlice& ps = s.platforms[static_cast<size_t>(p)];
+          ok = ps.requests == i + p && ps.inner == i / 2 + p &&
+               ps.outer == i / 4 + p && ps.rejects == i / 8 + p &&
+               ps.revenue == 0.25 * static_cast<double>(i + p);
+        }
+        if (!ok) torn.fetch_add(1);
+        last = i;
+      }
+    });
+  }
+  for (int64_t i = 1; i <= kPublishes; ++i) {
+    cell.Publish(MakeSnapshot(i, kPlatforms));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(cell.Read().submitted, kPublishes);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace comx

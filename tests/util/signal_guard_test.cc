@@ -1,0 +1,133 @@
+#include "util/signal_guard.h"
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace comx {
+namespace {
+
+// Regression for the old handler that called fflush()/fsync()/_exit()
+// directly inside the signal context: raise() would terminate the test
+// binary with exit code 143 before any assertion ran. With the
+// async-signal-safe handler the signal merely sets a flag and the process
+// keeps running.
+TEST(SignalGuardTest, HandlerOnlyRecordsSignalAndReturns) {
+  InstallShutdownGuard();
+  ResetShutdownForTesting();
+  ASSERT_FALSE(ShutdownRequested());
+  ASSERT_EQ(ShutdownSignal(), 0);
+
+  ASSERT_EQ(raise(SIGTERM), 0);
+  // Pre-fix code never reaches this line: the handler _exit(143)'d.
+  EXPECT_TRUE(ShutdownRequested());
+  EXPECT_EQ(ShutdownSignal(), SIGTERM);
+
+  // The deferred drain runs on this (normal) thread and reports the
+  // conventional exit code without exiting.
+  EXPECT_EQ(DrainShutdown(), 128 + SIGTERM);
+
+  ResetShutdownForTesting();
+  EXPECT_FALSE(ShutdownRequested());
+  EXPECT_EQ(ShutdownSignal(), 0);
+  EXPECT_EQ(DrainShutdown(), 0);  // nothing pending
+}
+
+TEST(SignalGuardTest, WakeFdBecomesReadableOnSignal) {
+  InstallShutdownGuard();
+  ResetShutdownForTesting();
+  const int fd = ShutdownWakeFd();
+  ASSERT_GE(fd, 0);
+
+  struct pollfd pfd = {fd, POLLIN, 0};
+  EXPECT_EQ(poll(&pfd, 1, 0), 0);  // quiet before any signal
+
+  ASSERT_EQ(raise(SIGINT), 0);
+  pfd.revents = 0;
+  EXPECT_EQ(poll(&pfd, 1, 1000), 1);
+  EXPECT_NE(pfd.revents & POLLIN, 0);
+  EXPECT_EQ(DrainShutdown(), 128 + SIGINT);
+
+  ResetShutdownForTesting();
+  pfd.revents = 0;
+  EXPECT_EQ(poll(&pfd, 1, 0), 0);  // reset drained the pipe
+}
+
+TEST(SignalGuardTest, ExitCodeConvention) {
+  EXPECT_EQ(ShutdownExitCode(SIGTERM), 128 + SIGTERM);
+  EXPECT_EQ(ShutdownExitCode(SIGINT), 128 + SIGINT);
+}
+
+TEST(SignalGuardTest, RegisteredFileIsFlushedByDrainInKilledChild) {
+  // End-to-end shape of the comx_serve shutdown path: a child process with
+  // buffered, unflushed stdio output is SIGTERMed mid-loop; its main loop
+  // notices the flag, drains, and exits 143 with the bytes durable.
+  char path_tmpl[] = "/tmp/comx_signal_guard_test.XXXXXX";
+  const int tmp_fd = ::mkstemp(path_tmpl);
+  ASSERT_GE(tmp_fd, 0);
+  ::close(tmp_fd);
+  const std::string path = path_tmpl;
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: never returns to gtest.
+    InstallShutdownGuard();
+    ResetShutdownForTesting();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) _exit(90);
+    // Fully buffered so the payload sits in userspace until the drain.
+    setvbuf(f, nullptr, _IOFBF, 1 << 16);
+    std::fputs("payload-survived-shutdown\n", f);
+    RegisterShutdownFlushFile(f);
+    for (int i = 0; i < 20000 && !ShutdownRequested(); ++i) {
+      usleep(1000);
+    }
+    if (!ShutdownRequested()) _exit(91);  // parent never signalled us
+    _exit(DrainShutdown());
+  }
+
+  usleep(100 * 1000);  // let the child open the file and enter its loop
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 128 + SIGTERM);
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[128] = {0};
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  EXPECT_STREQ(buf, "payload-survived-shutdown\n");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(SignalGuardTest, SecondSignalExitsImmediately) {
+  // The escape hatch: if the cooperative drain wedges, a second signal
+  // must _exit(128 + signo) from the handler itself.
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    InstallShutdownGuard();
+    ResetShutdownForTesting();
+    raise(SIGTERM);  // first: recorded, handler returns
+    if (!ShutdownRequested()) _exit(92);
+    raise(SIGTERM);  // second: immediate _exit(143) inside the handler
+    _exit(93);       // must be unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 128 + SIGTERM);
+}
+
+}  // namespace
+}  // namespace comx

@@ -143,6 +143,20 @@ TEST(ParallelForTest, PoolOverloadPropagatesException) {
   EXPECT_EQ(counter.load(), 8);
 }
 
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  // Regression: Submit() during/after shutdown used to enqueue silently —
+  // the task might never run depending on who won the race, surfacing as a
+  // Wait() that never returned. It must fail loudly at the submit site.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 1);  // Shutdown drains before joining
+  EXPECT_THROW(pool.Submit([&ran] { ran.fetch_add(1); }), std::logic_error);
+  EXPECT_EQ(ran.load(), 1);
+  pool.Shutdown();  // idempotent
+}
+
 TEST(ParallelForTest, ParallelResultsMatchSequential) {
   // Sum of squares computed both ways.
   const size_t n = 1000;

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 gate: seven stages, strictest first.
+# Tier-1 gate: eight stages, strictest first.
 #
 #   1. asan-ubsan — full test suite under AddressSanitizer + UBSan
 #                   (includes the `kernels` backend-equivalence suite).
 #   2. tsan       — the concurrency surface (thread pool, sweep engine,
-#                   latency histograms + span profiler) under
-#                   ThreadSanitizer.
+#                   latency histograms + span profiler, serve shards +
+#                   seqlock stats) under ThreadSanitizer.
 #   3. bench      — release bench_sweep reproduced against the committed
 #                   BENCH_sweep.json baseline via bench_check.
 #   4. fuzz       — comx_fuzz --smoke: 200 seeded scenarios through every
@@ -18,40 +18,50 @@
 #                   with --perf-out, then perf_report renders the span
 #                   profile, emits collapsed stacks, and --check validates
 #                   both outputs against the profile schema.
+#   7. crash      — crash_matrix --smoke under ASan: 24 seeded kill points
+#                   (every 4th at a group-commit boundary) recovered
+#                   bit-exact.
+#   8. serve      — comx_loadgen --smoke against a spawned comx_serve under
+#                   ASan (protocol, drain totals, clean QUIT exit, span
+#                   profile validated by perf_report --check), then a
+#                   release closed-loop replay reproduced against the
+#                   committed BENCH_serve.json baseline via bench_check.
 #
 # Usage: tools/check.sh [extra ctest args...]
 #   tools/check.sh              # everything
 #   tools/check.sh -L fault     # pass-through filter for the asan stage
 # Set COMX_CHECK_SKIP_TSAN=1 / COMX_CHECK_SKIP_BENCH=1 /
 # COMX_CHECK_SKIP_FUZZ=1 / COMX_CHECK_SKIP_KERNELS=1 /
-# COMX_CHECK_SKIP_PERF=1 / COMX_CHECK_SKIP_CRASH=1 to skip a stage.
+# COMX_CHECK_SKIP_PERF=1 / COMX_CHECK_SKIP_CRASH=1 /
+# COMX_CHECK_SKIP_SERVE=1 to skip a stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== stage 1/7: asan-ubsan test suite =="
+echo "== stage 1/8: asan-ubsan test suite =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${JOBS}"
 ctest --preset asan-ubsan -j "${JOBS}" "$@"
 
 if [[ "${COMX_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "== stage 2/7: thread pool + sweep engine + obs under TSan =="
+  echo "== stage 2/8: thread pool + sweep engine + obs + serve under TSan =="
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}" \
-    --target comx_util_test comx_exp_test comx_obs_test
+    --target comx_util_test comx_exp_test comx_obs_test comx_serve_test
   ./build-tsan/tests/comx_util_test \
     --gtest_filter='ThreadPoolTest.*:ParallelForTest.*'
   ./build-tsan/tests/comx_exp_test
   ./build-tsan/tests/comx_obs_test \
     --gtest_filter='*Concurrent*:*Threads*'
+  ./build-tsan/tests/comx_serve_test
 else
-  echo "== stage 2/7: skipped (COMX_CHECK_SKIP_TSAN=1) =="
+  echo "== stage 2/8: skipped (COMX_CHECK_SKIP_TSAN=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
-  echo "== stage 3/7: BENCH baseline reproduction =="
+  echo "== stage 3/8: BENCH baseline reproduction =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target bench_sweep bench_check
   SWEEP_OUT="$(mktemp /tmp/comx_bench_sweep.XXXXXX.json)"
@@ -60,20 +70,20 @@ if [[ "${COMX_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
   ./build/tools/bench_check --baseline BENCH_sweep.json \
     --current "${SWEEP_OUT}"
 else
-  echo "== stage 3/7: skipped (COMX_CHECK_SKIP_BENCH=1) =="
+  echo "== stage 3/8: skipped (COMX_CHECK_SKIP_BENCH=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_FUZZ:-0}" != "1" ]]; then
-  echo "== stage 4/7: comx_fuzz smoke (200 scenarios, all matchers) =="
+  echo "== stage 4/8: comx_fuzz smoke (200 scenarios, all matchers) =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target comx_fuzz
   ./build/tools/comx_fuzz --smoke
 else
-  echo "== stage 4/7: skipped (COMX_CHECK_SKIP_FUZZ=1) =="
+  echo "== stage 4/8: skipped (COMX_CHECK_SKIP_FUZZ=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_KERNELS:-0}" != "1" ]]; then
-  echo "== stage 5/7: kernel checksum baseline reproduction =="
+  echo "== stage 5/8: kernel checksum baseline reproduction =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target bench_kernels bench_check
   KERNELS_OUT="$(mktemp /tmp/comx_bench_kernels.XXXXXX.json)"
@@ -82,11 +92,11 @@ if [[ "${COMX_CHECK_SKIP_KERNELS:-0}" != "1" ]]; then
   ./build/tools/bench_check --baseline BENCH_kernels.json \
     --current "${KERNELS_OUT}"
 else
-  echo "== stage 5/7: skipped (COMX_CHECK_SKIP_KERNELS=1) =="
+  echo "== stage 5/8: skipped (COMX_CHECK_SKIP_KERNELS=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_PERF:-0}" != "1" ]]; then
-  echo "== stage 6/7: perf-report pipeline (span profile schema) =="
+  echo "== stage 6/8: perf-report pipeline (span profile schema) =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target bench_sweep perf_report
   PERF_OUT="$(mktemp /tmp/comx_perf_profile.XXXXXX.jsonl)"
@@ -100,16 +110,43 @@ if [[ "${COMX_CHECK_SKIP_PERF:-0}" != "1" ]]; then
   ./build/tools/perf_report --check "${PERF_OUT}" \
     --collapsed "${COLLAPSED_OUT}"
 else
-  echo "== stage 6/7: skipped (COMX_CHECK_SKIP_PERF=1) =="
+  echo "== stage 6/8: skipped (COMX_CHECK_SKIP_PERF=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_CRASH:-0}" != "1" ]]; then
-  echo "== stage 7/7: crash matrix smoke (recovery bit-exactness, ASan) =="
+  echo "== stage 7/8: crash matrix smoke (recovery bit-exactness, ASan) =="
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j "${JOBS}" --target crash_matrix
   ./build-asan/tools/crash_matrix --smoke
 else
-  echo "== stage 7/7: skipped (COMX_CHECK_SKIP_CRASH=1) =="
+  echo "== stage 7/8: skipped (COMX_CHECK_SKIP_CRASH=1) =="
+fi
+
+if [[ "${COMX_CHECK_SKIP_SERVE:-0}" != "1" ]]; then
+  echo "== stage 8/8: serve smoke (comx_loadgen vs comx_serve, ASan) =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "${JOBS}" \
+    --target comx_serve_bin comx_loadgen perf_report
+  SERVE_PERF="$(mktemp /tmp/comx_serve_perf.XXXXXX.jsonl)"
+  trap 'rm -f "${SWEEP_OUT:-}" "${KERNELS_OUT:-}" "${PERF_OUT:-}" \
+    "${COLLAPSED_OUT:-}" "${PERF_SWEEP_OUT:-}" "${SERVE_PERF}"' EXIT
+  ./build-asan/tools/comx_loadgen \
+    --spawn-serve ./build-asan/tools/comx_serve --smoke \
+    --perf-out "${SERVE_PERF}"
+  ./build-asan/tools/perf_report --check "${SERVE_PERF}"
+  cmake --preset release
+  cmake --build --preset release -j "${JOBS}" \
+    --target comx_serve_bin comx_loadgen bench_check
+  SERVE_OUT="$(mktemp /tmp/comx_bench_serve.XXXXXX.json)"
+  trap 'rm -f "${SWEEP_OUT:-}" "${KERNELS_OUT:-}" "${PERF_OUT:-}" \
+    "${COLLAPSED_OUT:-}" "${PERF_SWEEP_OUT:-}" "${SERVE_PERF:-}" \
+    "${SERVE_OUT}"' EXIT
+  ./build/tools/comx_loadgen --spawn-serve ./build/tools/comx_serve \
+    --smoke --mode closed --bench-out "${SERVE_OUT}"
+  ./build/tools/bench_check --baseline BENCH_serve.json \
+    --current "${SERVE_OUT}"
+else
+  echo "== stage 8/8: skipped (COMX_CHECK_SKIP_SERVE=1) =="
 fi
 
 echo "check.sh: all stages passed"

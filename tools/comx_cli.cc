@@ -79,6 +79,13 @@
 namespace comx {
 namespace {
 
+// Cooperative shutdown poll for multi-run loops. The signal handler only
+// records the signal (util/signal_guard.h); between runs is the safe point
+// to flush registered artifacts and exit 128+signo.
+void PollShutdown() {
+  if (ShutdownRequested()) std::exit(DrainShutdown());
+}
+
 // Accepts both "--flag value" and "--flag=value".
 const char* FlagValue(int argc, char** argv, const char* flag) {
   const size_t flag_len = std::strlen(flag);
@@ -283,6 +290,7 @@ int CmdRun(int argc, char** argv) {
       static_cast<size_t>(instance->PlatformCount()));
   const int run_count = sim_seed_flag != nullptr ? 1 : seeds;
   for (int s = 1; s <= run_count; ++s) {
+    PollShutdown();
     std::vector<std::unique_ptr<OnlineMatcher>> owned;
     std::vector<OnlineMatcher*> matchers;
     for (PlatformId p = 0; p < instance->PlatformCount(); ++p) {
@@ -465,6 +473,7 @@ int CmdBatch(int argc, char** argv) {
   const int seeds = static_cast<int>(IntFlag(argc, argv, "--seeds", 3));
   PlatformMetrics agg;
   for (int s = 1; s <= seeds; ++s) {
+    PollShutdown();
     auto result =
         RunBatchSimulation(*instance, config, static_cast<uint64_t>(s));
     if (!result.ok()) return Fail(result.status());
@@ -601,6 +610,7 @@ int CmdDegrade(int argc, char** argv) {
       {"availability", "revenue", "tota_revenue", "degraded_requests"});
   const double top = fault_free > 0.0 ? fault_free : 1.0;
   for (int k = 0; k <= steps; ++k) {
+    PollShutdown();
     const double avail = static_cast<double>(k) / steps;
     fault::FaultPlan plan;
     for (PlatformId p = 0; p < instance->PlatformCount(); ++p) {
@@ -662,5 +672,9 @@ int Main(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   comx::InstallShutdownGuard();
-  return comx::Main(argc, argv);
+  const int rc = comx::Main(argc, argv);
+  // A signal that landed after the last poll point still flushes
+  // registered artifacts and wins the exit code (128+signo contract).
+  if (comx::ShutdownRequested()) return comx::DrainShutdown();
+  return rc;
 }

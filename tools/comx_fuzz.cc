@@ -145,5 +145,9 @@ int main(int argc, char** argv) {
   comx::InstallShutdownGuard();
   comx::RegisterShutdownFlushFile(stderr);
   comx::RegisterShutdownFlushFile(stdout);
-  return comx::Main(argc, argv);
+  const int rc = comx::Main(argc, argv);
+  // The fuzz loop polls the shutdown flag between scenarios and returns a
+  // partial report; the 128+signo exit code still wins over 0/1/2.
+  if (comx::ShutdownRequested()) return comx::DrainShutdown();
+  return rc;
 }

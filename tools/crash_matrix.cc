@@ -12,11 +12,16 @@
 // Usage:
 //   crash_matrix [--points N] [--scenarios M] [--seed S] [--jobs J]
 //                [--checkpoint-every STEPS] [--dir DIR] [--smoke]
+//                [--boundaries]
 //   crash_matrix --fuzz-seed S --scenario I --algo NAME --crash-seed C
 //                [--dir DIR]   (replay one comx_fuzz crash-check failure)
 //
 //   --smoke: the CI configuration — 24 points over 4 scenarios, every
-//            matcher kind. Stage 7 of tools/check.sh.
+//            matcher kind, every 4th point a group-commit boundary kill.
+//            Stage 7 of tools/check.sh.
+//   --boundaries: every point crashes exactly at an interior group-commit
+//            boundary ("killed between batch fill and fsync": the full
+//            buffered batch is lost and must be re-executed on recovery).
 //
 // Exit codes: 0 = every point recovered bit-exact, 1 = violations,
 // 2 = usage/harness error.
@@ -73,7 +78,9 @@ int Main(int argc, char** argv) {
   int64_t checkpoint_every = 32;
   std::string dir;
 
-  if (HasFlag(argc, argv, "--smoke")) {
+  const bool smoke = HasFlag(argc, argv, "--smoke");
+  const bool boundaries = HasFlag(argc, argv, "--boundaries");
+  if (smoke) {
     points = 24;
     scenarios = 4;
   }
@@ -184,10 +191,18 @@ int Main(int argc, char** argv) {
         PointOutcome& out = outcomes[j];
         out.kind = check::kAllMatcherKinds[j % 3];
         out.scenario_index = static_cast<uint64_t>(s);
-        auto check_run = check::RunCrashRecoveryCheck(
-            out.kind, scen[s], inst[s],
-            StrFormat("%s/point_%04zu", dir.c_str(), j),
-            exp::JobSeed(seed, static_cast<uint64_t>(j)), checkpoint_every);
+        const bool at_boundary = boundaries || (smoke && j % 4 == 3);
+        auto check_run =
+            at_boundary
+                ? check::RunBoundaryCrashRecoveryCheck(
+                      out.kind, scen[s], inst[s],
+                      StrFormat("%s/point_%04zu", dir.c_str(), j),
+                      static_cast<uint64_t>(j / scenarios), checkpoint_every)
+                : check::RunCrashRecoveryCheck(
+                      out.kind, scen[s], inst[s],
+                      StrFormat("%s/point_%04zu", dir.c_str(), j),
+                      exp::JobSeed(seed, static_cast<uint64_t>(j)),
+                      checkpoint_every);
         if (!check_run.ok()) return check_run.status();
         out.check = std::move(check_run).value();
         out.ran = true;
