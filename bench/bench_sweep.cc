@@ -22,13 +22,17 @@
 // dumps the hierarchical span profile (flat JSONL, see obs/profiler.h) to
 // PATH for tools/perf_report; expect lower runs_per_sec in that mode.
 
+#include <cctype>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common.h"
+#include "core/offline_opt.h"
 #include "datagen/synthetic.h"
+#include "exp/batch_grid.h"
 #include "exp/bench_record.h"
+#include "util/string_util.h"
 #include "obs/metrics_registry.h"
 #include "obs/profiler.h"
 #include "util/memory_meter.h"
@@ -123,6 +127,53 @@ int main(int argc, char** argv) {
     Stopwatch workload_wall;
     const std::vector<bench::Row> rows = bench::RunTable(*instance, run);
     const double workload_seconds = workload_wall.ElapsedNanos() / 1e9;
+    // Stress workload extra: the strict capacity-1 OFF via the grid-pruned
+    // incremental KM (the 100k-scale exact bound that used to fall back to
+    // approximate solvers) plus the empirical CR of each online row against
+    // it. Revenue/completed/edges and the CRs are deterministic and gate;
+    // wall_seconds / decisions_per_sec are informational throughput.
+    if (!w.in_summary) {
+      Stopwatch off_wall;
+      exp::BenchRecord off_rec;
+      off_rec.name = std::string(w.label) + ".off";
+      double off_revenue = 0.0;
+      int64_t off_completed = 0;
+      int64_t off_edges = 0;
+      for (PlatformId p = 0; p < instance->PlatformCount(); ++p) {
+        OfflineConfig off;  // capacity 1: exact incremental KM at this scale
+        auto sol = SolveOffline(*instance, p, off);
+        if (!sol.ok()) {
+          std::fprintf(stderr, "offline %s p%d: %s\n", w.label, p,
+                       sol.status().ToString().c_str());
+          return 1;
+        }
+        off_revenue += sol->matching.total_revenue;
+        off_completed += static_cast<int64_t>(sol->matching.size());
+        off_edges += sol->edge_count;
+        off_rec.strings[StrFormat("solver_p%d", p)] = sol->solver;
+      }
+      const double off_seconds = off_wall.ElapsedNanos() / 1e9;
+      off_rec.numbers["revenue"] = off_revenue;
+      off_rec.numbers["completed"] = static_cast<double>(off_completed);
+      off_rec.numbers["edges"] = static_cast<double>(off_edges);
+      off_rec.numbers["wall_seconds"] = off_seconds;
+      off_rec.numbers["decisions_per_sec"] =
+          off_seconds > 0.0
+              ? static_cast<double>(off_completed) / off_seconds
+              : 0.0;
+      for (const bench::Row& row : rows) {
+        double online = 0.0;
+        for (double r : row.revenue) online += r;
+        std::string key = std::string("cr_") + bench::AlgoName(row.algo);
+        for (char& c : key) {
+          c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+          if (c == '-') c = '_';
+        }
+        off_rec.numbers[key] =
+            off_revenue > 0.0 ? online / off_revenue : 0.0;
+      }
+      records.push_back(std::move(off_rec));
+    }
     for (const bench::Row& row : rows) {
       exp::BenchRecord record;
       record.name = std::string(w.label) + "." + bench::AlgoName(row.algo);
@@ -168,6 +219,53 @@ int main(int argc, char** argv) {
     }
     std::printf("%-15s done (%d seeds x %zu algos, %.2fs)\n", w.label,
                 w.seeds, algos.size(), workload_seconds);
+  }
+
+  // Batch-dispatch grid: window length x window solver on the small
+  // workload, each row charted against the shared window-greedy online
+  // baseline. Every field is deterministic and gates; the window = 0 rows
+  // are bit-identical to the baseline, so their gap is exactly 0.
+  {
+    SyntheticConfig gen;
+    gen.requests_per_platform = {500};
+    gen.workers_per_platform = {100};
+    gen.radius_km = 1.5;
+    gen.seed = 2020;
+    auto instance = GenerateSynthetic(gen);
+    if (!instance.ok()) {
+      std::fprintf(stderr, "generate batch grid: %s\n",
+                   instance.status().ToString().c_str());
+      return 1;
+    }
+    exp::BatchGridConfig grid;
+    grid.seeds = seeds;
+    grid.sim.workers_recycle = true;
+    if (jobs > 1) grid.pool = &shared_pool;
+    Stopwatch grid_wall;
+    auto grid_rows = exp::RunBatchGrid(*instance, grid);
+    if (!grid_rows.ok()) {
+      std::fprintf(stderr, "batch grid: %s\n",
+                   grid_rows.status().ToString().c_str());
+      return 1;
+    }
+    for (const exp::BatchGridRow& row : *grid_rows) {
+      exp::BenchRecord record;
+      record.name = StrFormat("batch.R1000_W200.W%g.%s", row.window_seconds,
+                              BatchAlgoName(row.algo));
+      record.numbers["revenue"] = row.revenue;
+      record.numbers["online_revenue"] = row.online_revenue;
+      record.numbers["gap"] = row.gap;
+      record.numbers["mean_wait_s"] = row.mean_wait_seconds;
+      record.numbers["completed"] = row.completed;
+      record.numbers["seeds"] = static_cast<double>(seeds);
+      records.push_back(std::move(record));
+    }
+    exp::BenchRecord timing;
+    timing.name = "batch.R1000_W200.timing";
+    timing.numbers["wall_seconds"] = grid_wall.ElapsedNanos() / 1e9;
+    records.push_back(std::move(timing));
+    std::printf("batch grid done (%zu rows, %.2fs)\n", grid_rows->size(),
+                grid_wall.ElapsedNanos() / 1e9);
   }
 
   const double wall_seconds = summary_seconds;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <fstream>
+#include <iterator>
 #include <set>
 #include <utility>
 
@@ -24,7 +25,8 @@ Result<MatcherRunOutput> RunMatcherOnInstance(MatcherKind kind,
                                               const MatcherWrapper& wrap) {
   MatcherRunOutput out;
   obs::VectorTraceSink sink;
-  const SimConfig sim = scenario.MakeSimConfig(&sink);
+  const SimConfig sim =
+      scenario.MakeSimConfig(&sink, kind == MatcherKind::kBatch);
   const int32_t platforms = instance.PlatformCount();
   std::vector<std::unique_ptr<OnlineMatcher>> owned;
   std::vector<OnlineMatcher*> matchers;
@@ -88,6 +90,11 @@ std::string ReplayCommand(const Scenario& scenario, MatcherKind kind,
       scenario.speed_kmh, scenario.base_service_seconds,
       scenario.service_seconds_per_value);
   if (!scenario.workers_recycle) cmd += " --no-recycle";
+  if (kind == MatcherKind::kBatch) {
+    cmd += StrFormat(" --batch-window %.17g --batch-algo %s",
+                     scenario.batch_window_seconds,
+                     BatchAlgoName(scenario.batch_algo));
+  }
   if (scenario.with_fault_plan) {
     cmd += StrFormat(" --fault-plan %s.faultplan.jsonl",
                      repro_prefix.c_str());
@@ -147,7 +154,14 @@ Result<FuzzReport> RunFuzz(const FuzzOptions& options) {
                           BuildScenarioInstance(scenario));
     ++report.scenarios_run;
 
-    for (MatcherKind kind : kAllMatcherKinds) {
+    std::vector<MatcherKind> kinds(std::begin(kAllMatcherKinds),
+                                   std::end(kAllMatcherKinds));
+    // Batch mode refuses fault plans, so fault-plan scenarios keep their
+    // original three-matcher coverage and batch rides on the rest.
+    if (options.include_batch && !scenario.with_fault_plan) {
+      kinds.push_back(MatcherKind::kBatch);
+    }
+    for (MatcherKind kind : kinds) {
       std::vector<OracleViolation> violations =
           CheckMatcherRun(kind, scenario, instance, options.oracle_options,
                           &report.differential, options.wrap_matcher);

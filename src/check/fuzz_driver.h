@@ -80,6 +80,10 @@ struct FuzzOptions {
   std::string crash_check_dir;
   /// Checkpoint cadence (steps) of the crash checks' durable runs.
   int64_t crash_check_checkpoint_every = 64;
+  /// Additionally run MatcherKind::kBatch (micro-batch dispatch with the
+  /// scenario's window/algo draw) on every scenario without a fault plan.
+  /// Off by default so existing fuzz budgets and counts are unchanged.
+  bool include_batch = false;
 };
 
 struct FuzzFailure {

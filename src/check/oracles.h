@@ -73,6 +73,9 @@ std::vector<OracleViolation> CheckConstraintOracles(
 struct DifferentialCounts {
   int64_t off_bounds = 0;
   int64_t brute_force = 0;
+  /// Sparse warm-startable KM vs dense Hungarian comparisons on the
+  /// offline graph ("incremental-off-equals-dense-off").
+  int64_t incremental_km = 0;
 };
 std::vector<OracleViolation> CheckDifferentialOracles(
     const MatcherRunRecord& run, const OracleOptions& options,

@@ -5,6 +5,7 @@
 #include "core/dem_com.h"
 #include "core/ram_com.h"
 #include "core/tota_greedy.h"
+#include "core/window_greedy.h"
 #include "exp/sweep_runner.h"
 #include "util/string_util.h"
 
@@ -19,6 +20,8 @@ const char* MatcherKindName(MatcherKind kind) {
       return "demcom";
     case MatcherKind::kRamCom:
       return "ramcom";
+    case MatcherKind::kBatch:
+      return "batch";
   }
   return "unknown";
 }
@@ -31,11 +34,16 @@ std::unique_ptr<OnlineMatcher> MakeMatcher(MatcherKind kind) {
       return std::make_unique<DemCom>();
     case MatcherKind::kRamCom:
       return std::make_unique<RamCom>();
+    case MatcherKind::kBatch:
+      // Batch-mode runs never consult the per-platform matchers, but the
+      // engine still Reset()s them; WindowGreedy shares the batch RNG
+      // discipline so a window=0 run is its bit-identical twin.
+      return std::make_unique<WindowGreedy>();
   }
   return nullptr;
 }
 
-SimConfig Scenario::MakeSimConfig(obs::TraceSink* trace) const {
+SimConfig Scenario::MakeSimConfig(obs::TraceSink* trace, bool batch) const {
   SimConfig sim;
   sim.workers_recycle = workers_recycle;
   sim.acceptance_mode = acceptance_mode;
@@ -48,6 +56,12 @@ SimConfig Scenario::MakeSimConfig(obs::TraceSink* trace) const {
   sim.measure_response_time = false;
   sim.trace = trace;
   sim.fault_plan = with_fault_plan ? &fault_plan : nullptr;
+  if (batch) {
+    sim.batch_mode = true;
+    sim.batch_window_seconds = batch_window_seconds;
+    sim.batch.algo = batch_algo;
+    sim.fault_plan = nullptr;  // batch mode refuses fault injection
+  }
   return sim;
 }
 
@@ -56,7 +70,8 @@ std::string Scenario::Describe() const {
       "scenario_seed=%llu platforms=%d requests=%lld workers=%lld "
       "radius=%.3f imbalance=%.3f arrival=%s dist=%s history=[%d,%d] "
       "recycle=%d acceptance=%s reservation_seed=%llu speed=%.2f "
-      "service=%.1f+%.2f/v fault_plan=%s gen_seed=%llu sim_seed=%llu",
+      "service=%.1f+%.2f/v fault_plan=%s gen_seed=%llu sim_seed=%llu "
+      "batch_window=%.3f batch_algo=%s",
       static_cast<unsigned long long>(scenario_seed), gen.platforms,
       static_cast<long long>(gen.requests_per_platform[0]),
       static_cast<long long>(gen.workers_per_platform[0]), gen.radius_km,
@@ -73,7 +88,8 @@ std::string Scenario::Describe() const {
       : fault_plan.Trivial()   ? "trivial"
                                : "active",
       static_cast<unsigned long long>(gen.seed),
-      static_cast<unsigned long long>(sim_seed));
+      static_cast<unsigned long long>(sim_seed), batch_window_seconds,
+      BatchAlgoName(batch_algo));
 }
 
 fault::FaultPlan DrawTrivialFaultPlan(Rng* rng, int32_t platforms) {
@@ -179,6 +195,17 @@ Scenario DrawScenario(uint64_t base_seed, uint64_t index) {
                        : DrawActiveFaultPlan(&rng, s.gen.platforms);
   }
   s.sim_seed = rng.NextUint64();
+
+  // Batch knobs last: every legacy field above consumes exactly the draws
+  // it did before batch existed, so pre-batch repro files stay valid.
+  s.batch_window_seconds =
+      rng.Bernoulli(0.15) ? 0.0 : rng.Uniform(5.0, 120.0);
+  {
+    constexpr BatchAlgo kAlgos[] = {BatchAlgo::kAuto, BatchAlgo::kGreedy,
+                                    BatchAlgo::kHungarian,
+                                    BatchAlgo::kIncrementalKm};
+    s.batch_algo = kAlgos[rng.UniformInt(0, 3)];
+  }
   return s;
 }
 

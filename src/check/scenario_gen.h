@@ -20,6 +20,7 @@
 #include "core/online_matcher.h"
 #include "datagen/synthetic.h"
 #include "fault/fault_plan.h"
+#include "matching/batch_matcher.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 #include "util/result.h"
@@ -29,13 +30,21 @@ namespace comx {
 namespace check {
 
 /// The online matchers the harness fuzzes (OFF rides along as the
-/// differential reference, not as a fuzzed policy).
-enum class MatcherKind : int32_t { kTota = 0, kDemCom = 1, kRamCom = 2 };
+/// differential reference, not as a fuzzed policy). kBatch is the
+/// micro-batch dispatch mode (SimConfig::batch_mode with the scenario's
+/// window/algo knobs); it is opt-in via FuzzOptions::include_batch and not
+/// part of kAllMatcherKinds, so default fuzz budgets are unchanged.
+enum class MatcherKind : int32_t {
+  kTota = 0,
+  kDemCom = 1,
+  kRamCom = 2,
+  kBatch = 3,
+};
 
 inline constexpr MatcherKind kAllMatcherKinds[] = {
     MatcherKind::kTota, MatcherKind::kDemCom, MatcherKind::kRamCom};
 
-/// comx_cli --algo spelling ("tota" / "demcom" / "ramcom").
+/// comx_cli --algo spelling ("tota" / "demcom" / "ramcom" / "batch").
 const char* MatcherKindName(MatcherKind kind);
 
 /// Fresh policy object of the given kind with library-default tuning.
@@ -65,6 +74,12 @@ struct Scenario {
   /// Seed passed to RunSimulation.
   uint64_t sim_seed = 0;
 
+  // Micro-batch dispatch knobs, used only when a run is made with
+  // MakeSimConfig(trace, /*batch=*/true). Drawn after every legacy field so
+  // pre-batch scenario streams replay unchanged.
+  double batch_window_seconds = 30.0;
+  BatchAlgo batch_algo = BatchAlgo::kAuto;
+
   /// True when the scenario was drawn in the reservation-mode regime where
   /// OFF with the same rho seed is a hard upper bound on every online
   /// matcher (kReservation acceptance, no recycling).
@@ -75,8 +90,9 @@ struct Scenario {
 
   /// Assembles the SimConfig for this scenario. The returned struct borrows
   /// `this->fault_plan` (when enabled) and `trace`; both must outlive the
-  /// simulation.
-  SimConfig MakeSimConfig(obs::TraceSink* trace) const;
+  /// simulation. `batch` turns on micro-batch dispatch with the scenario's
+  /// window/algo knobs (and drops the fault plan, which batch mode refuses).
+  SimConfig MakeSimConfig(obs::TraceSink* trace, bool batch = false) const;
 
   /// One-line knob dump for repro files and logs.
   std::string Describe() const;

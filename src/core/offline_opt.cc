@@ -8,6 +8,7 @@
 #include "geo/grid_index.h"
 #include "matching/greedy_offline.h"
 #include "matching/hungarian.h"
+#include "matching/incremental_km.h"
 #include "matching/min_cost_flow.h"
 #include "model/constraints.h"
 #include "pricing/acceptance_model.h"
@@ -199,6 +200,12 @@ Result<OfflineSolution> SolveOffline(const Instance& instance,
   if (config.worker_capacity == 1 && cells <= config.dense_cell_limit) {
     COMX_ASSIGN_OR_RETURN(matched, HungarianMaxWeight(graph));
     solution.solver = "hungarian";
+  } else if (config.worker_capacity == 1) {
+    // Exact at any scale: the incremental KM touches only the grid-pruned
+    // candidate edges, so the 100k-request OFF rows (and hence the
+    // empirical CR curves) no longer fall back to approximate solvers.
+    COMX_ASSIGN_OR_RETURN(matched, IncrementalKmMaxWeight(graph));
+    solution.solver = "incremental_km";
   } else if (static_cast<int64_t>(graph.edges().size()) <=
                  config.flow_edge_limit &&
              static_cast<int64_t>(graph.left_count()) <=

@@ -1,0 +1,46 @@
+// Window-greedy online policy: the degenerate (window = 0) case of
+// micro-batch dispatch, factored out so the batch engine and the online
+// simulator share one decision function. For a single request the window
+// assignment problem collapses to an argmax over the candidate edges —
+// inner workers at weight v_r, outer workers at their per-worker MER
+// expected revenue (Definition 4.1 with W = {w}) — which this matcher
+// evaluates immediately at arrival. SimEngine's batch mode routes every
+// single-request window through DecideWindowGreedy with the same RNG
+// stream, which is what makes BatchMatcher at window = 0 bit-identical to
+// this matcher (property-tested across 200 seeds).
+
+#ifndef COMX_CORE_WINDOW_GREEDY_H_
+#define COMX_CORE_WINDOW_GREEDY_H_
+
+#include <string>
+
+#include "core/online_matcher.h"
+#include "util/rng.h"
+
+namespace comx {
+
+/// The shared decision function: argmax over inner value / outer expected
+/// revenue with earliest-candidate-wins ties (strict improvement only),
+/// acceptance drawn from `rng` for a chosen outer edge (a decline rejects
+/// the request, as in Algorithm 1 lines 25-26). Enumeration order is the
+/// view's: inner candidates first, then outer.
+Decision DecideWindowGreedy(const Request& r, const PlatformView& view,
+                            Rng* rng);
+
+/// OnlineMatcher wrapper around DecideWindowGreedy.
+class WindowGreedy : public OnlineMatcher {
+ public:
+  void Reset(const Instance& instance, PlatformId platform,
+             uint64_t seed) override;
+  Decision OnRequest(const Request& r, const PlatformView& view) override;
+  std::string name() const override { return "WindowGreedy"; }
+  Status SaveState(ByteWriter* out) const override;
+  Status RestoreState(ByteReader* in) override;
+
+ private:
+  Rng rng_{0};
+};
+
+}  // namespace comx
+
+#endif  // COMX_CORE_WINDOW_GREEDY_H_

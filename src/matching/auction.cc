@@ -1,6 +1,7 @@
 #include "matching/auction.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <vector>
 
@@ -19,6 +20,10 @@ Result<BipartiteMatching> AuctionMaxWeight(const BipartiteGraph& graph,
     if (e.weight < 0.0) {
       return Status::InvalidArgument("auction requires weights >= 0");
     }
+    if (config.integer_exact && std::floor(e.weight) != e.weight) {
+      return Status::InvalidArgument(StrFormat(
+          "integer_exact auction got non-integer weight %g", e.weight));
+    }
     max_weight = std::max(max_weight, e.weight);
   }
 
@@ -29,7 +34,9 @@ Result<BipartiteMatching> AuctionMaxWeight(const BipartiteGraph& graph,
   }
 
   const double epsilon =
-      std::max(1e-12, max_weight * config.epsilon_fraction);
+      config.integer_exact
+          ? 1.0 / (static_cast<double>(n_left) + 1.0)
+          : std::max(1e-12, max_weight * config.epsilon_fraction);
   const auto& adj = graph.LeftAdjacency();
   std::vector<double> price(static_cast<size_t>(n_right), 0.0);
   std::vector<int32_t> owner(static_cast<size_t>(n_right), -1);

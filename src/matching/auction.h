@@ -28,6 +28,13 @@ struct AuctionConfig {
   double epsilon_fraction = 1e-4;
   /// Safety cap on total bids.
   int64_t max_bids = 50'000'000;
+  /// Exact mode for integer weights: requires every edge weight to be an
+  /// integer and overrides the epsilon with 1 / (left_count + 1), the
+  /// epsilon-scaling termination point. The left_count * epsilon
+  /// suboptimality bound then drops below 1, and since every matching
+  /// total is an integer the auction total equals the Hungarian optimum
+  /// exactly. Errors with InvalidArgument on non-integer weights.
+  bool integer_exact = false;
 };
 
 /// Runs the auction. Requirements: edge weights >= 0. Errors on negative

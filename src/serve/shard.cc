@@ -26,6 +26,13 @@ Status Shard::Init(const Instance& instance,
   // the hot path (and SaveState forbids the histogram anyway).
   options_.sim.trace = nullptr;
   options_.sim.measure_response_time = false;
+  // The step journal checkpoints via SaveState, which batch mode refuses
+  // (open windows and warm-started duals are not serialized) — reject the
+  // combination up front instead of failing on the first checkpoint.
+  if (options_.sim.batch_mode && !options_.wal_path.empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "shard %d: batch mode cannot journal to a WAL", options.shard_id));
+  }
   instance_ = &instance;
   pool_ = pool;
   events_ = instance.events().size();
@@ -173,6 +180,29 @@ void Shard::Accumulate(const StepRecord& rec) {
   ++acc_.steps;
   if (rec.kind == StepRecord::Kind::kArrival) {
     ++acc_.arrivals;
+    return;
+  }
+  if (rec.kind == StepRecord::Kind::kBatchEnqueue) {
+    // No decision yet — the request is counted when its window flushes.
+    return;
+  }
+  if (rec.kind == StepRecord::Kind::kBatchFlush) {
+    for (const StepRecord::BatchPlatformDelta& d : rec.batch_deltas) {
+      acc_.decisions += d.requests;
+      acc_.revenue += d.revenue;
+      acc_.inner += d.inner;
+      acc_.outer += d.outer;
+      acc_.rejects += d.rejected;
+      if (d.platform >= 0 &&
+          d.platform < static_cast<PlatformId>(acc_.platforms.size())) {
+        PlatformSlice& slice = acc_.platforms[static_cast<size_t>(d.platform)];
+        slice.requests += d.requests;
+        slice.revenue += d.revenue;
+        slice.inner += d.inner;
+        slice.outer += d.outer;
+        slice.rejects += d.rejected;
+      }
+    }
     return;
   }
   ++acc_.decisions;

@@ -7,8 +7,7 @@
 #include <queue>
 #include <vector>
 
-#include "matching/greedy_offline.h"
-#include "matching/hungarian.h"
+#include "matching/batch_matcher.h"
 #include "pricing/acceptance_model.h"
 #include "pricing/mer_pricer.h"
 #include "sim/worker_pool.h"
@@ -52,6 +51,9 @@ Result<SimResult> RunBatchSimulation(const Instance& instance,
                                      config.sim.reservation_seed);
   WorkerPool pool(instance, &metric);
   Rng rng(seed);
+  // One matcher for the whole run: warm-started backends carry worker
+  // potentials across consecutive windows of every platform.
+  BatchMatcher window_matcher(config.match);
 
   SimResult result;
   result.metrics.per_platform.assign(static_cast<size_t>(platform_count),
@@ -136,13 +138,8 @@ Result<SimResult> RunBatchSimulation(const Instance& instance,
     }
 
     BipartiteMatching matched;
-    const int64_t cells = static_cast<int64_t>(window_graph.left_count()) *
-                          static_cast<int64_t>(window_graph.right_count());
-    if (cells <= 250'000) {
-      COMX_ASSIGN_OR_RETURN(matched, HungarianMaxWeight(window_graph));
-    } else {
-      matched = GreedyMaxWeight(window_graph);
-    }
+    COMX_ASSIGN_OR_RETURN(
+        matched, window_matcher.SolveWindow(window_graph, worker_of_column));
 
     // Recover the chosen edge per matched pair (max weight wins, matching
     // the solver's credit).

@@ -21,6 +21,7 @@
 #ifndef COMX_SIM_BATCH_SIMULATOR_H_
 #define COMX_SIM_BATCH_SIMULATOR_H_
 
+#include "matching/batch_matcher.h"
 #include "sim/simulator.h"
 
 namespace comx {
@@ -37,6 +38,10 @@ struct BatchConfig {
   /// A request unmatched after this many windows is rejected (it keeps
   /// retrying in the meantime — the capability online dispatch lacks).
   int32_t max_wait_windows = 4;
+  /// Window solver (matching/batch_matcher.h). The default kAuto routing —
+  /// dense Hungarian up to 250k cells, greedy beyond — reproduces the
+  /// historical runner bit for bit.
+  BatchMatchConfig match;
 };
 
 /// Runs batched dispatch for every platform over the instance. Each

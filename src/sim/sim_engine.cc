@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <utility>
 
+#include "core/window_greedy.h"
 #include "geo/distance.h"
 #include "obs/span.h"
+#include "pricing/mer_pricer.h"
 #include "obs/trace.h"
 #include "util/crc32c.h"
 #include "util/string_util.h"
@@ -90,6 +93,19 @@ Status SimEngine::Init(const Instance& instance,
   for (OnlineMatcher* m : matchers) {
     if (m == nullptr) return Status::InvalidArgument("null matcher");
   }
+  if (config.batch_mode) {
+    if (config.fault_plan != nullptr) {
+      return Status::InvalidArgument(
+          "batch mode does not support fault injection: a window dispatch "
+          "has no per-request two-phase commit to degrade");
+    }
+    if (!(config.batch_window_seconds >= 0.0) ||
+        !std::isfinite(config.batch_window_seconds)) {
+      return Status::InvalidArgument(
+          StrFormat("batch_window_seconds must be finite and >= 0, got %g",
+                    config.batch_window_seconds));
+    }
+  }
 
   instance_ = &instance;
   matchers_ = matchers;
@@ -172,6 +188,19 @@ Status SimEngine::Init(const Instance& instance,
   // Drop-off point of each worker's last completed service; re-arrival
   // events place the worker there instead of at its static start location.
   drop_off_.assign(instance.workers().size(), Point{});
+
+  pending_windows_.clear();
+  pending_count_ = 0;
+  batch_window_seq_ = 0;
+  batch_matcher_.reset();
+  batch_rngs_.clear();
+  if (config.batch_mode) {
+    batch_matcher_.emplace(config.batch);
+    batch_rngs_.reserve(static_cast<size_t>(platform_count));
+    for (PlatformId p = 0; p < platform_count; ++p) {
+      batch_rngs_.emplace_back(seed + static_cast<uint64_t>(p));
+    }
+  }
   return Status::OK();
 }
 
@@ -191,6 +220,14 @@ void SimEngine::BuildViews() {
 }
 
 Status SimEngine::Step(StepRecord* record) {
+  if (config_.batch_mode && BatchFlushDue()) {
+    if (record != nullptr) {
+      *record = StepRecord{};
+      record->step = step_index_;
+    }
+    ++step_index_;
+    return StepBatchFlush(record);
+  }
   const bool take_static =
       cursor_ < static_events_.size() &&
       (dynamic_events_.empty() ||
@@ -214,7 +251,351 @@ Status SimEngine::Step(StepRecord* record) {
   if (e.kind == EventKind::kWorkerArrival) {
     return StepArrival(e, record);
   }
+  if (config_.batch_mode) {
+    return StepBatchEnqueue(e, record);
+  }
   return StepRequest(e, record);
+}
+
+bool SimEngine::BatchFlushDue() const {
+  if (pending_windows_.empty()) return false;
+  // Window 0s: flush the held request before consuming any further event —
+  // the decision point is then exactly the request's own arrival, which is
+  // what makes window=0 equal the online WindowGreedy run bit for bit.
+  if (config_.batch_window_seconds <= 0.0) return true;
+  const Event* next = nullptr;
+  if (cursor_ < static_events_.size()) next = &static_events_[cursor_];
+  if (!dynamic_events_.empty() &&
+      (next == nullptr || dynamic_events_.front() < *next)) {
+    next = &dynamic_events_.front();
+  }
+  if (next == nullptr) return true;
+  // Events exactly at the close are consumed first (a worker arriving at
+  // the close is not eligible anyway: every held request arrived earlier).
+  return next->time > pending_windows_.front().close;
+}
+
+Status SimEngine::StepBatchEnqueue(const Event& e, StepRecord* record) {
+  const Request& r = instance_->request(e.entity_id);
+  const double window_s = config_.batch_window_seconds;
+  int64_t index;
+  Timestamp close;
+  if (window_s > 0.0) {
+    index = static_cast<int64_t>(std::floor(r.time / window_s));
+    close = (static_cast<double>(index) + 1.0) * window_s;
+  } else {
+    index = batch_window_seq_++;
+    close = r.time;
+  }
+  // Requests arrive in time order, so window indices are non-decreasing;
+  // at most the current and the next window are ever open at once (an
+  // event exactly at the close enqueues before the front flushes).
+  if (pending_windows_.empty() || pending_windows_.back().index < index) {
+    PendingWindow w;
+    w.index = index;
+    w.close = close;
+    w.per_platform.assign(
+        static_cast<size_t>(instance_->PlatformCount()), {});
+    pending_windows_.push_back(std::move(w));
+  }
+  pending_windows_.back()
+      .per_platform[static_cast<size_t>(r.platform)]
+      .push_back(r.id);
+  ++pending_count_;
+  if (record != nullptr) {
+    record->kind = StepRecord::Kind::kBatchEnqueue;
+    record->request = r.id;
+    record->platform = r.platform;
+    record->time = r.time;
+    record->value = r.value;
+  }
+  return Status::OK();
+}
+
+Status SimEngine::StepBatchFlush(StepRecord* record) {
+  PendingWindow window = std::move(pending_windows_.front());
+  pending_windows_.pop_front();
+  if (record != nullptr) {
+    record->kind = StepRecord::Kind::kBatchFlush;
+    record->time = window.close;
+  }
+  const int32_t platforms = instance_->PlatformCount();
+  for (PlatformId p = 0; p < platforms; ++p) {
+    const std::vector<RequestId>& ids =
+        window.per_platform[static_cast<size_t>(p)];
+    if (ids.empty()) continue;
+    pending_count_ -= static_cast<int64_t>(ids.size());
+    StepRecord::BatchPlatformDelta delta;
+    delta.platform = p;
+    delta.requests = static_cast<int64_t>(ids.size());
+    COMX_RETURN_IF_ERROR(
+        FlushPlatformWindow(p, window.close, ids, &delta));
+    if (record != nullptr) record->batch_deltas.push_back(delta);
+  }
+  return Status::OK();
+}
+
+Status SimEngine::FlushPlatformWindow(PlatformId platform, Timestamp close,
+                                      const std::vector<RequestId>& ids,
+                                      StepRecord::BatchPlatformDelta* delta) {
+  const PlatformView& view = views_[static_cast<size_t>(platform)];
+  Rng* rng = &batch_rngs_[static_cast<size_t>(platform)];
+  if (collect_) {
+    counters_[static_cast<size_t>(platform)].requests->Inc(
+        static_cast<int64_t>(ids.size()));
+  }
+
+  // Single-request windows take the WindowGreedy argmax directly: same
+  // candidate enumeration, same tie-breaking, same RNG stream — the
+  // window=0 differential suite holds bit for bit because of this path.
+  if (ids.size() == 1) {
+    const Request& r = instance_->request(ids.front());
+    const Decision decision = DecideWindowGreedy(r, view, rng);
+    return ApplyBatchDecision(r, close, decision, delta);
+  }
+
+  // Window assignment problem: left = the window's requests in arrival
+  // order, right = the idle workers that can serve any of them
+  // (dense-reindexed in first-seen order). Inner edges are worth the full
+  // value, outer edges the MER expected revenue; money-losing borrows are
+  // dropped up front, exactly as WindowGreedy prices single requests.
+  struct Candidate {
+    int32_t left;
+    WorkerId worker;
+    bool is_outer;
+    double weight;
+    double payment;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<DecisionStats> stats(ids.size());
+  std::vector<WorkerId> worker_of_column;
+  std::unordered_map<WorkerId, int32_t> column_of_worker;
+  const auto column_of = [&](WorkerId w) {
+    auto [it, inserted] = column_of_worker.try_emplace(
+        w, static_cast<int32_t>(worker_of_column.size()));
+    if (inserted) worker_of_column.push_back(w);
+    return it->second;
+  };
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const Request& r = instance_->request(ids[i]);
+    std::vector<WorkerId> inner, outer;
+    {
+      COMX_SPAN("candidate_lookup");
+      inner = view.FeasibleInnerWorkers(r);
+      outer = view.FeasibleOuterWorkers(r);
+    }
+    stats[i].inner_candidates = static_cast<int32_t>(inner.size());
+    stats[i].outer_candidates = static_cast<int32_t>(outer.size());
+    for (const WorkerId w : inner) {
+      candidates.push_back(
+          {static_cast<int32_t>(i), w, false, r.value, 0.0});
+      column_of(w);
+    }
+    int32_t priced = 0;
+    for (const WorkerId w : outer) {
+      const MerQuote quote =
+          ComputeMerQuote(view.acceptance(), {w}, r.value);
+      ++priced;
+      if (!(r.value - quote.payment > 0.0)) continue;
+      candidates.push_back({static_cast<int32_t>(i), w, true,
+                            quote.expected_revenue, quote.payment});
+      column_of(w);
+    }
+    stats[i].priced_candidates = priced;
+  }
+
+  BipartiteGraph graph(static_cast<int32_t>(ids.size()),
+                       static_cast<int32_t>(worker_of_column.size()));
+  for (const Candidate& c : candidates) {
+    COMX_RETURN_IF_ERROR(graph.AddEdge(
+        c.left, column_of_worker.at(c.worker), c.weight));
+  }
+  BipartiteMatching matched;
+  {
+    COMX_SPAN("batch_solve");
+    COMX_ASSIGN_OR_RETURN(matched,
+                          batch_matcher_->SolveWindow(graph,
+                                                      worker_of_column));
+  }
+
+  // Recover the chosen candidate per matched (request, worker) pair: the
+  // best-weight edge, matching what every backend credits.
+  std::unordered_map<int64_t, size_t> best;
+  best.reserve(candidates.size());
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    const Candidate& c = candidates[ci];
+    const int64_t key = (static_cast<int64_t>(c.left) << 32) |
+                        column_of_worker.at(c.worker);
+    auto [it, inserted] = best.try_emplace(key, ci);
+    if (!inserted && c.weight > candidates[it->second].weight) {
+      it->second = ci;
+    }
+  }
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const Request& r = instance_->request(ids[i]);
+    const int32_t column = matched.match_of_left[i];
+    Decision decision = Decision::Reject();
+    if (column >= 0) {
+      const int64_t key = (static_cast<int64_t>(i) << 32) | column;
+      const Candidate& c = candidates[best.at(key)];
+      if (c.is_outer) {
+        decision = Decision::Outer(c.worker, c.payment);
+        decision.stats = stats[i];
+        decision.stats.estimated_payment = c.payment;
+      } else {
+        decision = Decision::Inner(c.worker);
+        decision.stats = stats[i];
+      }
+    } else {
+      decision.stats = stats[i];
+    }
+    COMX_RETURN_IF_ERROR(ApplyBatchDecision(r, close, decision, delta));
+  }
+  return Status::OK();
+}
+
+Status SimEngine::ApplyBatchDecision(const Request& r, Timestamp close,
+                                     const Decision& decision_in,
+                                     StepRecord::BatchPlatformDelta* delta) {
+  Decision decision = decision_in;
+  PlatformMetrics& pm =
+      result_.metrics.per_platform[static_cast<size_t>(r.platform)];
+  const PlatformView& view = views_[static_cast<size_t>(r.platform)];
+  Rng* rng = &batch_rngs_[static_cast<size_t>(r.platform)];
+
+  // Outer plans survive only if the borrowed worker accepts; the draw
+  // comes from the platform's batch RNG, request by request in arrival
+  // order (kReservation consumes no draw, kBernoulli exactly one — the
+  // same per-decision discipline as the online matchers).
+  if (decision.kind == Decision::Kind::kOuter &&
+      decision.stats.accepting == -1) {
+    if (view.acceptance().Accepts(decision.worker, decision.outer_payment,
+                                  rng)) {
+      decision.stats.accepting = 1;
+    } else {
+      decision.stats.accepting = 0;
+      Decision rejected = Decision::Reject();
+      rejected.attempted_outer = true;
+      rejected.stats = decision.stats;
+      decision = std::move(rejected);
+    }
+  }
+
+  if (decision.attempted_outer) ++pm.outer_offers;
+  if (config_.measure_response_time) {
+    pm.response_time_us.Add((close - r.time) * 1e6);
+  }
+
+  if (decision.kind == Decision::Kind::kReject) {
+    ++pm.rejected;
+    if (delta != nullptr) ++delta->rejected;
+    if (collect_) {
+      counters_[static_cast<size_t>(r.platform)].rejects->Inc();
+    }
+    if (config_.trace != nullptr) {
+      obs::TraceEvent ev = MakeTraceEvent(decision_seq_++, r, decision);
+      ev.outcome = "reject";
+      config_.trace->Record(ev);
+    }
+    return Status::OK();
+  }
+
+  // The same runtime guards as the online path: the window solver is
+  // internal, but a buggy backend must surface as an Internal error, not
+  // as a silently infeasible booking.
+  const WorkerId wid = decision.worker;
+  if (wid < 0 || wid >= static_cast<WorkerId>(instance_->workers().size())) {
+    return Status::Internal("batch solver returned invalid worker id");
+  }
+  if (!pool_->IsAvailable(wid)) {
+    return Status::Internal("batch solver assigned an occupied worker");
+  }
+  const Worker& w = instance_->worker(wid);
+  const bool is_outer = w.platform != r.platform;
+  if ((decision.kind == Decision::Kind::kOuter) != is_outer) {
+    return Status::Internal(
+        StrFormat("batch solver mislabelled inner/outer for worker %lld",
+                  static_cast<long long>(wid)));
+  }
+  const double pickup_km =
+      metric_->Distance(pool_->CurrentLocation(wid), r.location);
+  if (pickup_km > w.radius + 1e-9) {
+    return Status::Internal(
+        StrFormat("batch solver violated the range constraint (%.3f > %.3f)",
+                  pickup_km, w.radius));
+  }
+  if (pool_->AvailableSince(wid) > r.time) {
+    return Status::Internal("batch solver violated the time constraint");
+  }
+
+  Assignment a;
+  a.request = r.id;
+  a.worker = wid;
+  a.is_outer = is_outer;
+  if (is_outer) {
+    const double payment = decision.outer_payment;
+    if (!(payment > 0.0) || payment > r.value + 1e-9) {
+      return Status::Internal(
+          StrFormat("batch solver quoted outer payment %.4f outside "
+                    "(0, v=%.4f]",
+                    payment, r.value));
+    }
+    a.outer_payment = payment;
+    a.revenue = r.value - payment;
+    ++pm.completed_outer;
+    pm.outer_payment_sum += payment;
+    pm.payment_rate_sum += payment / r.value;
+  } else {
+    a.outer_payment = 0.0;
+    a.revenue = r.value;
+    ++pm.completed_inner;
+  }
+  ++pm.completed;
+  pm.revenue += a.revenue;
+  pm.total_pickup_km += pickup_km;
+  result_.matching.Add(a);
+  if (delta != nullptr) {
+    ++(is_outer ? delta->outer : delta->inner);
+    delta->revenue += a.revenue;
+  }
+
+  if (collect_) {
+    const PlatformCounters& pc = counters_[static_cast<size_t>(r.platform)];
+    (is_outer ? pc.outer : pc.inner)->Inc();
+  }
+  if (config_.trace != nullptr) {
+    obs::TraceEvent ev = MakeTraceEvent(decision_seq_++, r, decision);
+    ev.outcome = is_outer ? "outer" : "inner";
+    ev.worker = wid;
+    ev.payment = a.outer_payment;
+    ev.revenue = a.revenue;
+    config_.trace->Record(ev);
+  }
+
+  {
+    COMX_SPAN("pool_commit");
+    COMX_RETURN_IF_ERROR(pool_->MarkOccupied(wid));
+    pool_meter_.Release(kPoolEntryBytes);
+    --available_workers_;
+    if (pool_gauge_ != nullptr) {
+      pool_gauge_->Set(static_cast<double>(available_workers_));
+    }
+    if (config_.workers_recycle) {
+      const double duration =
+          ServiceDurationSeconds(config_, pickup_km, r.value);
+      Event rearrival;
+      rearrival.time = close + duration;
+      rearrival.kind = EventKind::kWorkerArrival;
+      rearrival.entity_id = wid;
+      rearrival.sequence = dynamic_sequence_++;
+      drop_off_[static_cast<size_t>(wid)] = r.location;
+      dynamic_events_.push_back(rearrival);
+      std::push_heap(dynamic_events_.begin(), dynamic_events_.end(),
+                     EventGreater{});
+    }
+  }
+  return Status::OK();
 }
 
 Status SimEngine::StepArrival(const Event& e, StepRecord* record) {
@@ -509,6 +890,11 @@ double SimEngine::TotalRevenueSoFar() const {
 }
 
 Status SimEngine::SaveState(ByteWriter* out) const {
+  if (config_.batch_mode) {
+    return Status::FailedPrecondition(
+        "SaveState is not supported in batch mode: open windows and the "
+        "warm-started window solver are not serialized");
+  }
   if (config_.measure_response_time) {
     return Status::FailedPrecondition(
         "SaveState requires measure_response_time off: the latency "

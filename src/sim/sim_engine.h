@@ -21,6 +21,7 @@
 #ifndef COMX_SIM_SIM_ENGINE_H_
 #define COMX_SIM_SIM_ENGINE_H_
 
+#include <deque>
 #include <map>
 #include <optional>
 #include <utility>
@@ -34,10 +35,12 @@
 #include "obs/latency_histogram.h"
 #include "obs/metrics_registry.h"
 #include "pricing/acceptance_model.h"
+#include "matching/batch_matcher.h"
 #include "sim/platform_view.h"
 #include "sim/simulator.h"
 #include "sim/worker_pool.h"
 #include "util/binio.h"
+#include "util/rng.h"
 #include "util/memory_meter.h"
 #include "util/result.h"
 #include "util/timer.h"
@@ -55,7 +58,27 @@ struct StepReserveEvent {
 /// log needs to journal the step and everything a trace rebuild needs to
 /// reproduce the run's decision trace byte-for-byte.
 struct StepRecord {
-  enum class Kind : int8_t { kArrival = 0, kDecision = 1 };
+  enum class Kind : int8_t {
+    kArrival = 0,
+    kDecision = 1,
+    /// Batch mode: a request joined its window's pending list (no decision
+    /// yet; `request`/`platform`/`time`/`value` are set).
+    kBatchEnqueue = 2,
+    /// Batch mode: a window closed and its assignment problem was solved;
+    /// per-platform outcome totals are in `batch_deltas`, `time` is the
+    /// window close (= dispatch time of every decision in it).
+    kBatchFlush = 3,
+  };
+
+  /// Per-platform outcome totals of one flushed window.
+  struct BatchPlatformDelta {
+    PlatformId platform = -1;
+    int64_t requests = 0;
+    int64_t inner = 0;
+    int64_t outer = 0;
+    int64_t rejected = 0;
+    double revenue = 0.0;
+  };
 
   int64_t step = -1;
   Kind kind = Kind::kArrival;
@@ -82,6 +105,9 @@ struct StepRecord {
   /// Reserve attempts of the two-phase outer commit, in order (empty
   /// without a fault plan: the commit is then single-phase).
   std::vector<StepReserveEvent> reserves;
+
+  /// kBatchFlush only: what each platform's window solve produced.
+  std::vector<BatchPlatformDelta> batch_deltas;
 };
 
 /// Resumable simulation engine. Not movable: internal views borrow the
@@ -99,8 +125,12 @@ class SimEngine {
               const std::vector<OnlineMatcher*>& matchers,
               const SimConfig& config, uint64_t seed);
 
-  /// True when every event has been consumed.
-  bool Done() const { return cursor_ >= static_events_.size() && dynamic_events_.empty(); }
+  /// True when every event has been consumed (and, in batch mode, every
+  /// pending window flushed).
+  bool Done() const {
+    return cursor_ >= static_events_.size() && dynamic_events_.empty() &&
+           pending_count_ == 0;
+  }
 
   /// Processes the next event. When `record` is non-null it is overwritten
   /// with the step's account. Errors mirror RunSimulation (Internal on a
@@ -156,9 +186,28 @@ class SimEngine {
   }
 
  private:
+  /// One virtual-time window awaiting its close, requests bucketed by
+  /// platform in arrival order.
+  struct PendingWindow {
+    int64_t index = 0;
+    Timestamp close = 0.0;
+    std::vector<std::vector<RequestId>> per_platform;
+  };
+
   void BuildViews();
   Status StepArrival(const Event& e, StepRecord* record);
   Status StepRequest(const Event& e, StepRecord* record);
+
+  // Batch mode: is the front window due before the next event?
+  bool BatchFlushDue() const;
+  Status StepBatchEnqueue(const Event& e, StepRecord* record);
+  Status StepBatchFlush(StepRecord* record);
+  Status FlushPlatformWindow(PlatformId platform, Timestamp close,
+                             const std::vector<RequestId>& ids,
+                             StepRecord::BatchPlatformDelta* delta);
+  Status ApplyBatchDecision(const Request& r, Timestamp close,
+                            const Decision& decision,
+                            StepRecord::BatchPlatformDelta* delta);
 
   const Instance* instance_ = nullptr;
   std::vector<OnlineMatcher*> matchers_;
@@ -195,6 +244,17 @@ class SimEngine {
   int64_t static_event_count_ = 0;
   int64_t dynamic_sequence_ = 0;
   std::vector<Point> drop_off_;
+
+  // Batch mode state: open windows (front = oldest), pending request
+  // count across them, the window solver carrying warm-start duals, and
+  // one RNG per platform seeded Rng(seed + p) — the same stream a
+  // WindowGreedy matcher on platform p would own, which is what makes the
+  // window=0 batch run bit-identical to the online WindowGreedy run.
+  std::deque<PendingWindow> pending_windows_;
+  int64_t pending_count_ = 0;
+  int64_t batch_window_seq_ = 0;
+  std::optional<BatchMatcher> batch_matcher_;
+  std::vector<Rng> batch_rngs_;
 
   Stopwatch wall_;
   Stopwatch request_clock_;

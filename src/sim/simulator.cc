@@ -48,6 +48,14 @@ Status AuditSimResult(const Instance& instance, const SimConfig& config,
 
   // Replay in recorded order; times must be non-decreasing. With recycling
   // a worker frees up at its service end; we track that explicitly.
+  // In batch mode the booking point is the request's window close, not its
+  // arrival: ordering and the busy horizon are audited at dispatch time
+  // (within a window, platforms interleave arbitrary request times).
+  const auto dispatch_of = [&config](Timestamp t) {
+    if (!config.batch_mode || config.batch_window_seconds <= 0.0) return t;
+    const double w = config.batch_window_seconds;
+    return (std::floor(t / w) + 1.0) * w;
+  };
   std::vector<Timestamp> busy_until(instance.workers().size(), 0.0);
   double last_time = -std::numeric_limits<double>::infinity();
   double revenue_check = 0.0;
@@ -62,10 +70,11 @@ Status AuditSimResult(const Instance& instance, const SimConfig& config,
     }
     const Request& r = instance.request(a.request);
     const Worker& w = instance.worker(a.worker);
-    if (r.time < last_time - 1e-9) {
+    const Timestamp dispatch = dispatch_of(r.time);
+    if (dispatch < last_time - 1e-9) {
       return Status::FailedPrecondition("assignments out of time order");
     }
-    last_time = r.time;
+    last_time = dispatch;
     if (request_served[static_cast<size_t>(a.request)]) {
       return Status::FailedPrecondition("request served twice");
     }
@@ -116,9 +125,9 @@ Status AuditSimResult(const Instance& instance, const SimConfig& config,
     revenue_check += a.revenue;
 
     is_busy = true;
-    until = r.time + (config.workers_recycle
-                          ? ServiceDurationSeconds(config, pickup, r.value)
-                          : std::numeric_limits<double>::infinity());
+    until = dispatch + (config.workers_recycle
+                            ? ServiceDurationSeconds(config, pickup, r.value)
+                            : std::numeric_limits<double>::infinity());
     loc = r.location;
   }
   if (std::abs(revenue_check - result.matching.total_revenue) > 1e-6) {

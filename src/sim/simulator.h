@@ -17,6 +17,7 @@
 #include "core/online_matcher.h"
 #include "fault/fault_session.h"
 #include "geo/distance_metric.h"
+#include "matching/batch_matcher.h"
 #include "model/assignment.h"
 #include "model/instance.h"
 #include "sim/metrics.h"
@@ -68,6 +69,19 @@ struct SimConfig {
   /// RNG, and a trivial partner costs one predicted branch per outer
   /// query. Must outlive the simulation.
   const fault::FaultPlan* fault_plan = nullptr;
+  /// Micro-batch dispatch: requests are held until their virtual-time
+  /// window closes and each window is solved as one small assignment
+  /// problem (matching/batch_matcher.h) instead of request-by-request
+  /// online decisions. The per-platform OnlineMatchers passed to the run
+  /// are Reset() but never consulted. Incompatible with fault injection
+  /// and with SaveState checkpoints.
+  bool batch_mode = false;
+  /// Window length in virtual seconds. 0 flushes every request in its own
+  /// window immediately — provably bit-identical to the WindowGreedy
+  /// online matcher (see core/window_greedy.h).
+  double batch_window_seconds = 30.0;
+  /// Window solver tuning (algorithm, warm start, budgets).
+  BatchMatchConfig batch;
   /// Optional prebuilt acceptance model. The model is a pure function of
   /// (instance, acceptance_mode, reservation_seed), so a seed grid over one
   /// instance can build it once and share it across runs (it is immutable

@@ -1,0 +1,121 @@
+// Oracle coverage for MatcherKind::kBatch (micro-batch dispatch): clean
+// batch runs pass every constraint/policy/differential oracle, the
+// batch-specific deadline oracle fires on tampered busy overlaps, and the
+// fuzz driver's --batch mode actually adds batch runs with replayable
+// commands. TESTING.md lists the slugs exercised here.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/fuzz_driver.h"
+#include "check/oracles.h"
+#include "check/scenario_gen.h"
+#include "matching/batch_matcher.h"
+#include "testing/scenario_fixtures.h"
+
+namespace comx {
+namespace check {
+namespace {
+
+using testing_fixtures::DumpViolations;
+using testing_fixtures::HasOracle;
+using testing_fixtures::MakeRunRecord;
+
+TEST(BatchOraclesTest, CleanBatchRunsPassEveryOracle) {
+  DifferentialCounts counted;
+  for (uint64_t i = 0; i < 40; ++i) {
+    const Scenario s = DrawScenario(101, i);
+    auto instance = BuildScenarioInstance(s);
+    ASSERT_TRUE(instance.ok());
+    const auto violations = CheckMatcherRun(MatcherKind::kBatch, s, *instance,
+                                            OracleOptions{}, &counted);
+    EXPECT_TRUE(violations.empty())
+        << "batch on " << s.Describe() << "\n" << DumpViolations(violations);
+  }
+  // The stream must reach the differential regime, including the sparse
+  // warm-started KM vs dense Hungarian comparison, or this test proves
+  // nothing about "incremental-off-equals-dense-off" on batch runs.
+  EXPECT_GT(counted.off_bounds, 0);
+  EXPECT_GT(counted.incremental_km, 0);
+}
+
+TEST(BatchOraclesTest, TamperedBusyOverlapFiresDeadlineOracle) {
+  // Hand a dispatched window's worker a second request while the first
+  // service is still running: the replay must attribute the overlap to the
+  // batch deadline oracle (the one-by-one slug is the non-batch analogue).
+  bool fired = false;
+  for (uint64_t i = 0; i < 400 && !fired; ++i) {
+    const Scenario s = DrawScenario(303, i);
+    if (!s.workers_recycle) continue;  // non-recycle reuse fires 1-by-1
+    auto instance = BuildScenarioInstance(s);
+    if (!instance.ok()) continue;
+    auto run = RunMatcherOnInstance(MatcherKind::kBatch, s, *instance);
+    if (!run.ok()) continue;
+    auto& assignments = run->result.matching.assignments;
+    for (size_t j = 1; j < assignments.size() && !fired; ++j) {
+      if (assignments[j].worker == assignments[j - 1].worker) continue;
+      const WorkerId original = assignments[j].worker;
+      assignments[j].worker = assignments[j - 1].worker;
+      const auto violations = CheckConstraintOracles(
+          MakeRunRecord(MatcherKind::kBatch, s, *instance, *run),
+          OracleOptions{});
+      assignments[j].worker = original;
+      fired = HasOracle(violations, "batch-window-never-violates-deadline");
+    }
+  }
+  EXPECT_TRUE(fired)
+      << "no tampered batch run fired batch-window-never-violates-deadline";
+}
+
+TEST(BatchOraclesTest, ScenarioStreamDrawsBatchKnobs) {
+  int zero_windows = 0;
+  int positive_windows = 0;
+  std::set<BatchAlgo> algos;
+  for (uint64_t i = 0; i < 200; ++i) {
+    const Scenario s = DrawScenario(55, i);
+    ASSERT_GE(s.batch_window_seconds, 0.0) << s.Describe();
+    ASSERT_LE(s.batch_window_seconds, 120.0) << s.Describe();
+    if (s.batch_window_seconds == 0.0) {
+      ++zero_windows;
+    } else {
+      ++positive_windows;
+    }
+    algos.insert(s.batch_algo);
+  }
+  // The stream must cover the window-0 (pure online) edge and several
+  // window solvers, or the batch fuzz pass degenerates to one config.
+  EXPECT_GT(zero_windows, 0);
+  EXPECT_GT(positive_windows, 0);
+  EXPECT_GE(algos.size(), 2u);
+}
+
+TEST(BatchOraclesTest, FuzzWithBatchAddsBatchRunsAndStaysClean) {
+  FuzzOptions options;
+  options.base_seed = 77;
+  options.runs = 20;
+  options.shrink = false;
+  options.include_batch = true;
+  auto report = RunFuzz(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->failures.size() << " failures";
+  EXPECT_EQ(report->scenarios_run, 20);
+  // Every fault-free scenario runs a fourth (batch) matcher on top of the
+  // baseline three; at least one of 20 scenarios must be fault-free.
+  EXPECT_GT(report->matcher_runs, report->scenarios_run * 3);
+}
+
+TEST(BatchOraclesTest, ReplayCommandCarriesBatchKnobs) {
+  const Scenario s = DrawScenario(9, 3);
+  const std::string cmd = ReplayCommand(s, MatcherKind::kBatch, "prefix");
+  EXPECT_NE(cmd.find("--algo batch"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("--batch-window"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("--batch-algo"), std::string::npos) << cmd;
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace comx

@@ -3,39 +3,26 @@
 #include <gtest/gtest.h>
 
 #include "check/fuzz_driver.h"
+#include "testing/scenario_fixtures.h"
 
 namespace comx {
 namespace check {
 namespace {
 
-bool HasOracle(const std::vector<OracleViolation>& violations,
-               const std::string& slug) {
-  for (const OracleViolation& v : violations) {
-    if (v.oracle == slug) return true;
-  }
-  return false;
-}
+using testing_fixtures::DumpViolations;
+using testing_fixtures::FindRunWithAssignments;
+using testing_fixtures::HasOracle;
+using testing_fixtures::MakeRunRecord;
+using testing_fixtures::TamperFixture;
 
 std::string Dump(const std::vector<OracleViolation>& violations) {
-  std::string out;
-  for (const OracleViolation& v : violations) {
-    out += "[" + v.oracle + "] " + v.detail + "\n";
-  }
-  return out;
+  return DumpViolations(violations);
 }
 
 MatcherRunRecord MakeRecord(MatcherKind kind, const Scenario& scenario,
                             const Instance& instance,
                             const MatcherRunOutput& run) {
-  MatcherRunRecord record;
-  record.kind = kind;
-  record.instance = &instance;
-  record.scenario = &scenario;
-  record.result = &run.result;
-  record.trace = &run.trace;
-  record.trace_summary = run.has_summary ? &run.trace_summary : nullptr;
-  record.ram_thresholds = run.ram_thresholds;
-  return record;
+  return MakeRunRecord(kind, scenario, instance, run);
 }
 
 TEST(OraclesTest, CleanRunsPassEveryOracle) {
@@ -56,33 +43,6 @@ TEST(OraclesTest, CleanRunsPassEveryOracle) {
   // test proves nothing about them.
   EXPECT_GT(counted.off_bounds, 0);
   EXPECT_GT(counted.brute_force, 0);
-}
-
-// Finds a (scenario, run) pair with at least `min_assignments` assignments
-// for tamper-detection tests.
-struct TamperFixture {
-  Scenario scenario;
-  Instance instance;
-  MatcherRunOutput run;
-};
-
-TamperFixture FindRunWithAssignments(MatcherKind kind, bool want_outer) {
-  for (uint64_t i = 0; i < 400; ++i) {
-    Scenario s = DrawScenario(202, i);
-    auto instance = BuildScenarioInstance(s);
-    if (!instance.ok()) continue;
-    auto run = RunMatcherOnInstance(kind, s, *instance);
-    if (!run.ok()) continue;
-    bool has_outer = false;
-    for (const Assignment& a : run->result.matching.assignments) {
-      has_outer |= a.is_outer;
-    }
-    if (run->result.matching.assignments.empty()) continue;
-    if (want_outer && !has_outer) continue;
-    return TamperFixture{s, *std::move(instance), *std::move(run)};
-  }
-  ADD_FAILURE() << "no suitable run found in 400 scenarios";
-  return {};
 }
 
 TEST(OraclesTest, TamperedRevenueIsCaughtBitExactly) {

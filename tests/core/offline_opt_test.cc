@@ -113,12 +113,28 @@ TEST(OfflineOptTest, WorkerCapacityRelaxationIncreasesRevenue) {
   EXPECT_EQ(s3->solver, "min_cost_flow");
 }
 
-TEST(OfflineOptTest, SolverFallbackToGreedyOnHugeGraphs) {
+TEST(OfflineOptTest, Capacity1BeyondDenseLimitUsesIncrementalKm) {
   Instance ins;
   ins.AddWorker(MakeWorker(0, 1, 0, 0, 2.0));
   ins.AddRequest(MakeRequest(0, 2, 0.5, 0, 5.0));
   ins.BuildEvents();
   OfflineConfig config;
+  config.dense_cell_limit = 0;
+  config.flow_edge_limit = 0;
+  auto sol = SolveOffline(ins, 0, config);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->solver, "incremental_km");
+  EXPECT_DOUBLE_EQ(sol->matching.total_revenue, 5.0);
+}
+
+TEST(OfflineOptTest, SolverFallbackToGreedyOnHugeCapacitatedGraphs) {
+  Instance ins;
+  ins.AddWorker(MakeWorker(0, 1, 0, 0, 2.0));
+  ins.AddRequest(MakeRequest(0, 2, 0.5, 0, 5.0));
+  ins.BuildEvents();
+  OfflineConfig config;
+  config.worker_capacity = 2;
+  config.relax_range_when_recycling = false;
   config.dense_cell_limit = 0;
   config.flow_edge_limit = 0;
   auto sol = SolveOffline(ins, 0, config);

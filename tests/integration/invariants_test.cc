@@ -102,14 +102,14 @@ TEST_P(InvariantSweep, OfflineSolversAgreeOnSmallInstances) {
   OfflineConfig dense;
   dense.dense_cell_limit = 1'000'000'000;  // force Hungarian
   OfflineConfig sparse;
-  sparse.dense_cell_limit = 0;  // force min-cost flow
+  sparse.dense_cell_limit = 0;  // force the sparse incremental KM
   for (PlatformId p = 0; p < 2; ++p) {
     auto a = SolveOffline(ins, p, dense);
     auto b = SolveOffline(ins, p, sparse);
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     EXPECT_EQ(a->solver, "hungarian");
-    EXPECT_EQ(b->solver, "min_cost_flow");
+    EXPECT_EQ(b->solver, "incremental_km");
     EXPECT_NEAR(a->matching.total_revenue, b->matching.total_revenue, 1e-6);
   }
 }

@@ -1,5 +1,7 @@
 // Exponential-time reference solvers used to verify the real matchers on
-// small random graphs.
+// small random graphs. The random instance builders they are usually paired
+// with live in testing/scenario_fixtures.h (re-exported here so existing
+// includes keep working).
 
 #ifndef COMX_TESTS_MATCHING_BRUTE_FORCE_H_
 #define COMX_TESTS_MATCHING_BRUTE_FORCE_H_
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "matching/bipartite_graph.h"
+#include "testing/scenario_fixtures.h"
 #include "util/rng.h"
 
 namespace comx {
@@ -59,21 +62,6 @@ inline int32_t BruteForceMaxCardinality(const BipartiteGraph& g) {
   };
   rec(0, 0);
   return best;
-}
-
-// Random sparse bipartite graph with weights in (0, 10].
-inline BipartiteGraph RandomGraph(int32_t left, int32_t right,
-                                  double edge_prob, Rng* rng) {
-  BipartiteGraph g(left, right);
-  for (int32_t l = 0; l < left; ++l) {
-    for (int32_t r = 0; r < right; ++r) {
-      if (rng->Bernoulli(edge_prob)) {
-        const Status s = g.AddEdge(l, r, rng->Uniform(0.1, 10.0));
-        (void)s;
-      }
-    }
-  }
-  return g;
 }
 
 }  // namespace testing_fixtures

@@ -1,0 +1,232 @@
+#include "matching/incremental_km.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "matching/brute_force.h"
+#include "matching/hungarian.h"
+#include "util/rng.h"
+
+namespace comx {
+namespace {
+
+using testing_fixtures::BruteForceMaxWeight;
+using testing_fixtures::RandomGraph;
+
+TEST(IncrementalKmTest, EmptyGraph) {
+  IncrementalKuhnMunkres km(0);
+  const BipartiteMatching m = km.Extract();
+  EXPECT_EQ(m.total_weight, 0.0);
+  EXPECT_EQ(m.size, 0);
+}
+
+TEST(IncrementalKmTest, SingleEdge) {
+  IncrementalKuhnMunkres km(1);
+  auto row = km.AddRow({{0, 5.0}});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, 0);
+  EXPECT_EQ(km.MatchOfRow(0), 0);
+  EXPECT_EQ(km.MatchOfColumn(0), 0);
+  EXPECT_DOUBLE_EQ(km.Extract().total_weight, 5.0);
+  EXPECT_EQ(km.DualFeasibilityGap(), 0.0);
+}
+
+TEST(IncrementalKmTest, LaterRowStealsColumnThroughAugmentingPath) {
+  // Row 0 takes the only column row 1 can use; the augmenting path must
+  // push row 0 onto its alternative.
+  IncrementalKuhnMunkres km(2);
+  ASSERT_TRUE(km.AddRow({{0, 5.0}, {1, 4.0}}).ok());
+  EXPECT_EQ(km.MatchOfRow(0), 0);
+  ASSERT_TRUE(km.AddRow({{0, 5.0}}).ok());
+  EXPECT_EQ(km.MatchOfRow(0), 1);
+  EXPECT_EQ(km.MatchOfRow(1), 0);
+  EXPECT_DOUBLE_EQ(km.Extract().total_weight, 9.0);
+  EXPECT_EQ(km.DualFeasibilityGap(), 0.0);
+}
+
+TEST(IncrementalKmTest, FreeDisposalDropsWorthlessRows) {
+  IncrementalKuhnMunkres km(2);
+  ASSERT_TRUE(km.AddRow({{0, 3.0}}).ok());
+  // All edges <= 0: the row stays unmatched and costs nothing.
+  auto row = km.AddRow({{0, 0.0}, {1, -2.0}});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(km.MatchOfRow(*row), -1);
+  EXPECT_DOUBLE_EQ(km.Extract().total_weight, 3.0);
+  // Unmatched rows carry zero potential.
+  EXPECT_EQ(km.row_potentials()[static_cast<size_t>(*row)], 0.0);
+}
+
+TEST(IncrementalKmTest, ParallelEdgesCollapseToMax) {
+  IncrementalKuhnMunkres km(1);
+  ASSERT_TRUE(km.AddRow({{0, 2.0}, {0, 7.0}, {0, 4.0}}).ok());
+  EXPECT_DOUBLE_EQ(km.Extract().total_weight, 7.0);
+}
+
+TEST(IncrementalKmTest, RejectsBadColumnsAndNonFiniteWeights) {
+  IncrementalKuhnMunkres km(2);
+  EXPECT_EQ(km.AddRow({{2, 1.0}}).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(km.AddRow({{-1, 1.0}}).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(
+      km.AddRow({{0, std::numeric_limits<double>::quiet_NaN()}})
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      km.AddRow({{0, std::numeric_limits<double>::infinity()}})
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(IncrementalKmTest, RelaxationBudgetErrsOutOfRange) {
+  IncrementalKmConfig config;
+  config.max_relaxations = 1;
+  IncrementalKuhnMunkres km(8, config);
+  ASSERT_TRUE(km.AddRow({{0, 1.0}}).ok());  // no relaxation needed
+  Status failed = Status::OK();
+  for (int32_t i = 0; i < 8; ++i) {
+    std::vector<IncrementalKuhnMunkres::RowEdge> edges;
+    for (int32_t j = 0; j < 8; ++j) {
+      edges.push_back({j, 1.0 + j});
+    }
+    auto row = km.AddRow(edges);
+    if (!row.ok()) {
+      failed = row.status();
+      break;
+    }
+  }
+  EXPECT_EQ(failed.code(), StatusCode::kOutOfRange);
+}
+
+TEST(IncrementalKmTest, WarmStartOnlyBeforeFirstRow) {
+  IncrementalKuhnMunkres km(2);
+  EXPECT_EQ(km.WarmStart({1.0}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(km.WarmStart({1.0, std::numeric_limits<double>::infinity()})
+                .code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(km.WarmStart({1.0, -3.0}).ok());
+  // Negative seeds clamp to 0 (every column starts unmatched).
+  EXPECT_EQ(km.column_potentials()[1], 0.0);
+  EXPECT_EQ(km.column_potentials()[0], 1.0);
+  ASSERT_TRUE(km.AddRow({{0, 5.0}}).ok());
+  EXPECT_EQ(km.WarmStart({0.0, 0.0}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(IncrementalKmTest, WarmStartNeverChangesTheOptimum) {
+  Rng rng(7771);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int32_t left = static_cast<int32_t>(rng.UniformInt(1, 12));
+    const int32_t right = static_cast<int32_t>(rng.UniformInt(1, 12));
+    const BipartiteGraph g = RandomGraph(left, right, 0.5, &rng);
+    auto dense = HungarianMaxWeight(g);
+    ASSERT_TRUE(dense.ok());
+
+    IncrementalKuhnMunkres km(right);
+    std::vector<double> seed(static_cast<size_t>(right));
+    for (double& v : seed) v = rng.Uniform(-2.0, 8.0);
+    ASSERT_TRUE(km.WarmStart(seed).ok());
+    const auto& adj = g.LeftAdjacency();
+    for (int32_t l = 0; l < left; ++l) {
+      std::vector<IncrementalKuhnMunkres::RowEdge> edges;
+      for (int32_t ei : adj[static_cast<size_t>(l)]) {
+        const BipartiteEdge& e = g.edges()[static_cast<size_t>(ei)];
+        edges.push_back({e.right, e.weight});
+      }
+      ASSERT_TRUE(km.AddRow(edges).ok());
+      // The dual updates accumulate ulp-scale rounding; 1e-9 is the
+      // feasibility bar, anything above it is a real solver bug.
+      EXPECT_LE(km.DualFeasibilityGap(), 1e-9) << "trial " << trial;
+    }
+    EXPECT_DOUBLE_EQ(km.Extract().total_weight, dense->total_weight)
+        << "trial " << trial;
+  }
+}
+
+// The differential acceptance bar: on every random instance up to 64x64 the
+// incremental solver must reproduce the dense Hungarian total bit for bit
+// (same matched weights, same ascending-column summation order).
+TEST(IncrementalKmTest, BitEqualToDenseHungarianUpTo64x64) {
+  Rng rng(20200521);
+  int64_t checked = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const int32_t left = static_cast<int32_t>(rng.UniformInt(0, 64));
+    const int32_t right = static_cast<int32_t>(rng.UniformInt(1, 64));
+    const double density = rng.Uniform(0.05, 0.9);
+    const BipartiteGraph g = RandomGraph(left, right, density, &rng);
+    auto dense = HungarianMaxWeight(g);
+    ASSERT_TRUE(dense.ok());
+    auto sparse = IncrementalKmMaxWeight(g);
+    ASSERT_TRUE(sparse.ok());
+    // Bitwise, no tolerance: EXPECT_EQ on doubles.
+    EXPECT_EQ(sparse->total_weight, dense->total_weight)
+        << "trial " << trial << " " << left << "x" << right;
+    EXPECT_EQ(sparse->size, dense->size);
+    ++checked;
+  }
+  EXPECT_EQ(checked, 120);
+}
+
+TEST(IncrementalKmTest, MatchesBruteForceOnTinyGraphs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int32_t left = static_cast<int32_t>(rng.UniformInt(0, 5));
+    const int32_t right = static_cast<int32_t>(rng.UniformInt(0, 5));
+    const BipartiteGraph g = RandomGraph(left, right, 0.6, &rng);
+    auto sparse = IncrementalKmMaxWeight(g);
+    ASSERT_TRUE(sparse.ok());
+    EXPECT_NEAR(sparse->total_weight, BruteForceMaxWeight(g), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(IncrementalKmTest, WrapperRejectsNegativeWeights) {
+  BipartiteGraph g(1, 1);
+  ASSERT_TRUE(g.AddEdge(0, 0, -1.0).ok());
+  EXPECT_EQ(IncrementalKmMaxWeight(g).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IncrementalKmTest, MatchingIsConsistentAndFeasible) {
+  Rng rng(4242);
+  const BipartiteGraph g = RandomGraph(40, 25, 0.3, &rng);
+  IncrementalKuhnMunkres km(25);
+  const auto& adj = g.LeftAdjacency();
+  for (int32_t l = 0; l < 40; ++l) {
+    std::vector<IncrementalKuhnMunkres::RowEdge> edges;
+    for (int32_t ei : adj[static_cast<size_t>(l)]) {
+      const BipartiteEdge& e = g.edges()[static_cast<size_t>(ei)];
+      edges.push_back({e.right, e.weight});
+    }
+    ASSERT_TRUE(km.AddRow(edges).ok());
+  }
+  // match_row / match_col agree and no column is used twice.
+  std::vector<int> col_used(25, 0);
+  for (int32_t l = 0; l < km.row_count(); ++l) {
+    const int32_t c = km.MatchOfRow(l);
+    if (c < 0) continue;
+    EXPECT_EQ(km.MatchOfColumn(c), l);
+    EXPECT_EQ(col_used[static_cast<size_t>(c)]++, 0);
+  }
+  // Duals: matched rows u >= 0, unmatched columns v >= 0, gap exactly 0.
+  for (int32_t l = 0; l < km.row_count(); ++l) {
+    if (km.MatchOfRow(l) >= 0) {
+      EXPECT_GE(km.row_potentials()[static_cast<size_t>(l)], 0.0);
+    } else {
+      EXPECT_EQ(km.row_potentials()[static_cast<size_t>(l)], 0.0);
+    }
+  }
+  for (int32_t c = 0; c < km.column_count(); ++c) {
+    if (km.MatchOfColumn(c) < 0) {
+      EXPECT_GE(km.column_potentials()[static_cast<size_t>(c)], 0.0);
+    }
+  }
+  EXPECT_LE(km.DualFeasibilityGap(), 1e-9);
+  EXPECT_GT(km.relaxations_used(), 0);
+}
+
+}  // namespace
+}  // namespace comx

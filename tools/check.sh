@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-1 gate: eight stages, strictest first.
+# Tier-1 gate: nine stages, strictest first.
 #
 #   1. asan-ubsan — full test suite under AddressSanitizer + UBSan
 #                   (includes the `kernels` backend-equivalence suite).
@@ -26,6 +26,12 @@
 #                   profile validated by perf_report --check), then a
 #                   release closed-loop replay reproduced against the
 #                   committed BENCH_serve.json baseline via bench_check.
+##   9. batch      — the micro-batch dispatch suite: `ctest -L batch` under
+#                   ASan (incremental KM differentials, window solver,
+#                   engine batch mode, batch oracles, window x solver
+#                   grid), then a release comx_fuzz --smoke --batch run
+#                   (every fault-free scenario additionally fuzzed
+#                   through the batch dispatcher).
 #
 # Usage: tools/check.sh [extra ctest args...]
 #   tools/check.sh              # everything
@@ -33,20 +39,20 @@
 # Set COMX_CHECK_SKIP_TSAN=1 / COMX_CHECK_SKIP_BENCH=1 /
 # COMX_CHECK_SKIP_FUZZ=1 / COMX_CHECK_SKIP_KERNELS=1 /
 # COMX_CHECK_SKIP_PERF=1 / COMX_CHECK_SKIP_CRASH=1 /
-# COMX_CHECK_SKIP_SERVE=1 to skip a stage.
+# COMX_CHECK_SKIP_SERVE=1 / COMX_CHECK_SKIP_BATCH=1 to skip a stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== stage 1/8: asan-ubsan test suite =="
+echo "== stage 1/9: asan-ubsan test suite =="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "${JOBS}"
 ctest --preset asan-ubsan -j "${JOBS}" "$@"
 
 if [[ "${COMX_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
-  echo "== stage 2/8: thread pool + sweep engine + obs + serve under TSan =="
+  echo "== stage 2/9: thread pool + sweep engine + obs + serve under TSan =="
   cmake --preset tsan
   cmake --build --preset tsan -j "${JOBS}" \
     --target comx_util_test comx_exp_test comx_obs_test comx_serve_test
@@ -57,11 +63,11 @@ if [[ "${COMX_CHECK_SKIP_TSAN:-0}" != "1" ]]; then
     --gtest_filter='*Concurrent*:*Threads*'
   ./build-tsan/tests/comx_serve_test
 else
-  echo "== stage 2/8: skipped (COMX_CHECK_SKIP_TSAN=1) =="
+  echo "== stage 2/9: skipped (COMX_CHECK_SKIP_TSAN=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
-  echo "== stage 3/8: BENCH baseline reproduction =="
+  echo "== stage 3/9: BENCH baseline reproduction =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target bench_sweep bench_check
   SWEEP_OUT="$(mktemp /tmp/comx_bench_sweep.XXXXXX.json)"
@@ -70,20 +76,20 @@ if [[ "${COMX_CHECK_SKIP_BENCH:-0}" != "1" ]]; then
   ./build/tools/bench_check --baseline BENCH_sweep.json \
     --current "${SWEEP_OUT}"
 else
-  echo "== stage 3/8: skipped (COMX_CHECK_SKIP_BENCH=1) =="
+  echo "== stage 3/9: skipped (COMX_CHECK_SKIP_BENCH=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_FUZZ:-0}" != "1" ]]; then
-  echo "== stage 4/8: comx_fuzz smoke (200 scenarios, all matchers) =="
+  echo "== stage 4/9: comx_fuzz smoke (200 scenarios, all matchers) =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target comx_fuzz
   ./build/tools/comx_fuzz --smoke
 else
-  echo "== stage 4/8: skipped (COMX_CHECK_SKIP_FUZZ=1) =="
+  echo "== stage 4/9: skipped (COMX_CHECK_SKIP_FUZZ=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_KERNELS:-0}" != "1" ]]; then
-  echo "== stage 5/8: kernel checksum baseline reproduction =="
+  echo "== stage 5/9: kernel checksum baseline reproduction =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target bench_kernels bench_check
   KERNELS_OUT="$(mktemp /tmp/comx_bench_kernels.XXXXXX.json)"
@@ -92,11 +98,11 @@ if [[ "${COMX_CHECK_SKIP_KERNELS:-0}" != "1" ]]; then
   ./build/tools/bench_check --baseline BENCH_kernels.json \
     --current "${KERNELS_OUT}"
 else
-  echo "== stage 5/8: skipped (COMX_CHECK_SKIP_KERNELS=1) =="
+  echo "== stage 5/9: skipped (COMX_CHECK_SKIP_KERNELS=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_PERF:-0}" != "1" ]]; then
-  echo "== stage 6/8: perf-report pipeline (span profile schema) =="
+  echo "== stage 6/9: perf-report pipeline (span profile schema) =="
   cmake --preset release
   cmake --build --preset release -j "${JOBS}" --target bench_sweep perf_report
   PERF_OUT="$(mktemp /tmp/comx_perf_profile.XXXXXX.jsonl)"
@@ -110,20 +116,20 @@ if [[ "${COMX_CHECK_SKIP_PERF:-0}" != "1" ]]; then
   ./build/tools/perf_report --check "${PERF_OUT}" \
     --collapsed "${COLLAPSED_OUT}"
 else
-  echo "== stage 6/8: skipped (COMX_CHECK_SKIP_PERF=1) =="
+  echo "== stage 6/9: skipped (COMX_CHECK_SKIP_PERF=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_CRASH:-0}" != "1" ]]; then
-  echo "== stage 7/8: crash matrix smoke (recovery bit-exactness, ASan) =="
+  echo "== stage 7/9: crash matrix smoke (recovery bit-exactness, ASan) =="
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j "${JOBS}" --target crash_matrix
   ./build-asan/tools/crash_matrix --smoke
 else
-  echo "== stage 7/8: skipped (COMX_CHECK_SKIP_CRASH=1) =="
+  echo "== stage 7/9: skipped (COMX_CHECK_SKIP_CRASH=1) =="
 fi
 
 if [[ "${COMX_CHECK_SKIP_SERVE:-0}" != "1" ]]; then
-  echo "== stage 8/8: serve smoke (comx_loadgen vs comx_serve, ASan) =="
+  echo "== stage 8/9: serve smoke (comx_loadgen vs comx_serve, ASan) =="
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j "${JOBS}" \
     --target comx_serve_bin comx_loadgen perf_report
@@ -146,7 +152,19 @@ if [[ "${COMX_CHECK_SKIP_SERVE:-0}" != "1" ]]; then
   ./build/tools/bench_check --baseline BENCH_serve.json \
     --current "${SERVE_OUT}"
 else
-  echo "== stage 8/8: skipped (COMX_CHECK_SKIP_SERVE=1) =="
+  echo "== stage 8/9: skipped (COMX_CHECK_SKIP_SERVE=1) =="
+fi
+
+if [[ "${COMX_CHECK_SKIP_BATCH:-0}" != "1" ]]; then
+  echo "== stage 9/9: micro-batch suite (ctest -L batch, ASan) + batch fuzz =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "${JOBS}" --target comx_batch_test
+  ctest --preset asan-ubsan -j "${JOBS}" -L batch
+  cmake --preset release
+  cmake --build --preset release -j "${JOBS}" --target comx_fuzz
+  ./build/tools/comx_fuzz --smoke --batch
+else
+  echo "== stage 9/9: skipped (COMX_CHECK_SKIP_BATCH=1) =="
 fi
 
 echo "check.sh: all stages passed"

@@ -17,11 +17,17 @@
 //                     [--save-matching OUT.csv] [--fault-plan PLAN.jsonl]
 //                     [--trace-out TRACE.jsonl] [--metrics-out FILE]
 //                     [--metrics-format prom|json]
+//                     [--batch-window SECONDS] [--batch-algo NAME]
 //                     --sim-seed runs one simulation with exactly that seed
 //                     (the comx_fuzz repro replay path); the physics /
 //                     acceptance flags mirror SimConfig.
 //                     (ALGO: tota, ranking, greedyrt, demcom, ramcom,
-//                      costdem)
+//                      costdem, batch)
+//                     --algo batch dispatches in micro-batch windows
+//                     (SimConfig::batch_mode); --batch-window sets the
+//                     window length (0 = per-request, bit-identical to the
+//                     window-greedy policy) and --batch-algo the window
+//                     solver (auto|greedy|hungarian|auction|incremental_km).
 //                     --trace-out records every first-seed decision as one
 //                     JSONL line (verify with trace_inspect); --metrics-out
 //                     dumps the metrics registry after the run;
@@ -55,7 +61,9 @@
 #include "core/ram_com.h"
 #include "core/ranking.h"
 #include "core/tota_greedy.h"
+#include "core/window_greedy.h"
 #include "datagen/dataset.h"
+#include "matching/batch_matcher.h"
 #include "datagen/density.h"
 #include "datagen/real_like.h"
 #include "datagen/synthetic.h"
@@ -130,6 +138,9 @@ std::unique_ptr<OnlineMatcher> MakeMatcher(const std::string& algo) {
   if (algo == "demcom") return std::make_unique<DemCom>();
   if (algo == "ramcom") return std::make_unique<RamCom>();
   if (algo == "costdem") return std::make_unique<CostAwareDemCom>();
+  // Batch-mode runs never consult the per-platform matchers, but the engine
+  // still Reset()s one per platform; WindowGreedy is the window=0 twin.
+  if (algo == "batch") return std::make_unique<WindowGreedy>();
   return nullptr;
 }
 
@@ -249,6 +260,17 @@ int CmdRun(int argc, char** argv) {
   if (const char* rs = FlagValue(argc, argv, "--reservation-seed");
       rs != nullptr) {
     sim.reservation_seed = std::strtoull(rs, nullptr, 10);
+  }
+  if (std::strcmp(algo, "batch") == 0) {
+    sim.batch_mode = true;
+    sim.batch_window_seconds =
+        DoubleFlag(argc, argv, "--batch-window", sim.batch_window_seconds);
+    if (const char* name = FlagValue(argc, argv, "--batch-algo");
+        name != nullptr) {
+      auto parsed = ParseBatchAlgo(name);
+      if (!parsed.ok()) return Fail(parsed.status());
+      sim.batch.algo = *parsed;
+    }
   }
   // The plan must outlive every RunSimulation call; SimConfig only borrows.
   fault::FaultPlan fault_plan;

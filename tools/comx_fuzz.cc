@@ -9,8 +9,13 @@
 //
 // Usage:
 //   comx_fuzz [--runs N] [--seed S] [--time-budget SECONDS]
-//             [--repro-dir DIR] [--smoke] [--quiet]
+//             [--repro-dir DIR] [--smoke] [--quiet] [--batch]
 //             [--crash-check-every N] [--crash-check-dir DIR]
+//
+// --batch: additionally run the micro-batch dispatch mode (SimConfig::
+// batch_mode with the scenario's drawn window/algo) on every fault-free
+// scenario — covering the batch-window-never-violates-deadline oracle and
+// the batch OFF upper bound. Off by default so budgets are unchanged.
 //
 // --crash-check-every N: every Nth scenario additionally runs a durable
 // baseline + seeded crash + recovery and checks the recovery oracles
@@ -69,6 +74,9 @@ int Main(int argc, char** argv) {
     // Crash-recovery coverage rides along: 13 of the 200 scenarios also
     // run the durable crash + recover + oracles experiment.
     options.crash_check_every = 16;
+  }
+  if (HasFlag(argc, argv, "--batch")) {
+    options.include_batch = true;
   }
   if (const char* v = FlagValue(argc, argv, "--runs"); v != nullptr) {
     options.runs = std::atoll(v);

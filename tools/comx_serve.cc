@@ -42,8 +42,10 @@
 #include "core/ram_com.h"
 #include "core/ranking.h"
 #include "core/tota_greedy.h"
+#include "core/window_greedy.h"
 #include "datagen/dataset.h"
 #include "datagen/synthetic.h"
+#include "matching/batch_matcher.h"
 #include "obs/exporters.h"
 #include "obs/metrics_registry.h"
 #include "obs/profiler.h"
@@ -91,6 +93,9 @@ std::unique_ptr<OnlineMatcher> MakeMatcher(const std::string& algo) {
   if (algo == "demcom") return std::make_unique<DemCom>();
   if (algo == "ramcom") return std::make_unique<RamCom>();
   if (algo == "costdem") return std::make_unique<CostAwareDemCom>();
+  // Micro-batch dispatch: the engine never consults these matchers, but
+  // still Reset()s one per platform (WindowGreedy is the window=0 twin).
+  if (algo == "batch") return std::make_unique<WindowGreedy>();
   return nullptr;
 }
 
@@ -172,6 +177,25 @@ std::string DecisionReply(const serve::ShardDecision& d) {
   if (d.record.kind == StepRecord::Kind::kArrival) {
     return StrFormat("D %lld %d A %lld", static_cast<long long>(d.global_index),
                      d.shard, static_cast<long long>(d.latency_nanos));
+  }
+  // Batch mode: a submitted request only joins its window ("Q"); when the
+  // step that consumed it also closed a window the flush totals ride along
+  // ("F <requests> <revenue>").
+  if (d.record.kind == StepRecord::Kind::kBatchEnqueue) {
+    return StrFormat("D %lld %d Q %lld", static_cast<long long>(d.global_index),
+                     d.shard, static_cast<long long>(d.latency_nanos));
+  }
+  if (d.record.kind == StepRecord::Kind::kBatchFlush) {
+    int64_t requests = 0;
+    double revenue = 0.0;
+    for (const StepRecord::BatchPlatformDelta& delta : d.record.batch_deltas) {
+      requests += delta.requests;
+      revenue += delta.revenue;
+    }
+    return StrFormat("D %lld %d F %lld %.17g %lld",
+                     static_cast<long long>(d.global_index), d.shard,
+                     static_cast<long long>(requests), revenue,
+                     static_cast<long long>(d.latency_nanos));
   }
   return StrFormat("D %lld %d D %d %.17g %lld",
                    static_cast<long long>(d.global_index), d.shard,
@@ -404,6 +428,20 @@ int Main(int argc, char** argv) {
   options.threads = static_cast<size_t>(IntFlag(argc, argv, "--threads", 0));
   if (const char* dir = FlagValue(argc, argv, "--wal-dir"); dir != nullptr) {
     options.wal_dir = dir;
+  }
+  // --algo batch serves micro-batch dispatch: requests queue inside their
+  // virtual-time window and each shard solves windows as assignment
+  // problems. Incompatible with --wal-dir (shards refuse the combination).
+  if (algo == "batch") {
+    options.sim.batch_mode = true;
+    options.sim.batch_window_seconds = DoubleFlag(
+        argc, argv, "--batch-window", options.sim.batch_window_seconds);
+    if (const char* name = FlagValue(argc, argv, "--batch-algo");
+        name != nullptr) {
+      auto parsed = ParseBatchAlgo(name);
+      if (!parsed.ok()) return Fail(parsed.status());
+      options.sim.batch.algo = *parsed;
+    }
   }
   auto service = serve::MatchService::Create(
       *instance, [&algo] { return MakeMatcher(algo); }, options);
